@@ -1,0 +1,440 @@
+package chiplet25d
+
+// Benchmark harness: one testing.B benchmark per paper table/figure (each
+// regenerates the artifact's data series at reduced scale through the same
+// code paths cmd/experiments uses at full scale), plus micro-benchmarks of
+// the substrates (thermal solve, cost model, NoC sizing, greedy search).
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-figure benchmarks report figure-specific metrics (rows produced,
+// thermal sims) alongside time/op.
+
+import (
+	"io"
+	"testing"
+
+	"chiplet25d/internal/expt"
+	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/noc"
+	"chiplet25d/internal/org"
+	"chiplet25d/internal/perf"
+	"chiplet25d/internal/power"
+	"chiplet25d/internal/thermal"
+)
+
+// benchOptions is the reduced-scale configuration used by the per-figure
+// benchmarks: 16x16 thermal grid, benchmark subsets, coarse sweeps.
+func benchOptions() expt.Options {
+	return expt.Options{Scale: expt.Reduced, ThermalGridN: 16, Seed: 1}
+}
+
+func runExperiment(b *testing.B, name string, opts expt.Options) {
+	b.Helper()
+	e, err := expt.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := 0
+	for i := 0; i < b.N; i++ {
+		tb, err := e.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(tb.Rows)
+		if err := tb.WriteText(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+// BenchmarkFig3aCostVsInterposer regenerates Fig. 3(a): normalized 2.5D
+// cost versus interposer size for three defect densities.
+func BenchmarkFig3aCostVsInterposer(b *testing.B) {
+	runExperiment(b, "fig3a", benchOptions())
+}
+
+// BenchmarkFig3bTempVsInterposer regenerates Fig. 3(b): peak temperature
+// versus interposer size for synthetic chiplet power densities.
+func BenchmarkFig3bTempVsInterposer(b *testing.B) {
+	runExperiment(b, "fig3b", benchOptions())
+}
+
+// BenchmarkFig5TempVsSpacing regenerates Fig. 5: peak temperature versus
+// uniform chiplet spacing with all 256 cores at 1 GHz.
+func BenchmarkFig5TempVsSpacing(b *testing.B) {
+	o := benchOptions()
+	o.Benchmarks = []string{"shock", "canneal"}
+	runExperiment(b, "fig5", o)
+}
+
+// BenchmarkFig6PerfCost regenerates Fig. 6: normalized maximum IPS and cost
+// versus interposer size under 85 °C.
+func BenchmarkFig6PerfCost(b *testing.B) {
+	o := benchOptions()
+	o.Benchmarks = []string{"canneal"}
+	runExperiment(b, "fig6", o)
+}
+
+// BenchmarkFig7Objective regenerates Fig. 7: minimum Eq. (5) objective
+// versus interposer size for three (α, β) pairs.
+func BenchmarkFig7Objective(b *testing.B) {
+	o := benchOptions()
+	o.Benchmarks = []string{"canneal"}
+	runExperiment(b, "fig7", o)
+}
+
+// BenchmarkFig8Organizations regenerates Fig. 8: the performance-optimal
+// organizations and their MinTemp allocation maps.
+func BenchmarkFig8Organizations(b *testing.B) {
+	o := benchOptions()
+	o.Benchmarks = []string{"canneal"}
+	runExperiment(b, "fig8", o)
+}
+
+// BenchmarkHeadlineIsoCost regenerates the Sec. V-B headline: iso-cost
+// performance improvement at 85 °C.
+func BenchmarkHeadlineIsoCost(b *testing.B) {
+	o := benchOptions()
+	o.Benchmarks = []string{"cholesky"}
+	runExperiment(b, "headline85", o)
+}
+
+// BenchmarkSensitivityThresholds regenerates the Sec. V-B threshold
+// sensitivity study.
+func BenchmarkSensitivityThresholds(b *testing.B) {
+	o := benchOptions()
+	o.Benchmarks = []string{"cholesky"}
+	runExperiment(b, "sensitivity", o)
+}
+
+// BenchmarkCostReduction regenerates the iso-performance 36% cost-saving
+// headline.
+func BenchmarkCostReduction(b *testing.B) {
+	o := benchOptions()
+	o.Benchmarks = []string{"canneal"}
+	runExperiment(b, "costreduction", o)
+}
+
+// BenchmarkGreedyVsExhaustive regenerates the Sec. III-D validation of the
+// multi-start greedy against exhaustive placement search.
+func BenchmarkGreedyVsExhaustive(b *testing.B) {
+	o := benchOptions()
+	o.Benchmarks = []string{"canneal"}
+	runExperiment(b, "validate", o)
+}
+
+// BenchmarkAblationNonUniform measures the non-uniform vs uniform spacing
+// ablation (a DESIGN.md-flagged design choice).
+func BenchmarkAblationNonUniform(b *testing.B) {
+	runExperiment(b, "ablation-nonuniform", benchOptions())
+}
+
+// BenchmarkAblationAllocation measures the MinTemp vs row-major ablation.
+func BenchmarkAblationAllocation(b *testing.B) {
+	runExperiment(b, "ablation-alloc", benchOptions())
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkThermalSolve64 measures one steady-state solve of the paper's
+// 64x64 grid for the full 2.5D stack (the unit of work the paper counts in
+// CPU-hours).
+func BenchmarkThermalSolve64(b *testing.B) {
+	pl, err := floorplan.UniformGrid(4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stack, err := floorplan.BuildStack(pl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := thermal.NewModel(stack, thermal.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pmap := make([]float64, m.Grid().NumCells())
+	for _, c := range pl.Chiplets {
+		m.Grid().RasterizeAdd(pmap, c, 400.0/float64(len(pl.Chiplets)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Solve(pmap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThermalModelAssembly measures conductance-matrix assembly plus
+// IC(0) factorization for the 64x64 2.5D stack.
+func BenchmarkThermalModelAssembly(b *testing.B) {
+	pl, err := floorplan.UniformGrid(4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stack, err := floorplan.BuildStack(pl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := thermal.NewModel(stack, thermal.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLeakageCoupledSim measures one full leakage-temperature
+// fixed-point simulation (the optimizer's evaluation unit) at 32x32.
+func BenchmarkLeakageCoupledSim(b *testing.B) {
+	bench, err := perf.ByName("cholesky")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := floorplan.UniformGrid(4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stack, err := floorplan.BuildStack(pl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tc := thermal.DefaultConfig()
+	tc.Nx, tc.Ny = 32, 32
+	m, err := thermal.NewModel(stack, tc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cores, err := pl.Cores()
+	if err != nil {
+		b.Fatal(err)
+	}
+	active, err := power.MintempActive(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := power.Workload{RefCoreW: bench.RefCoreW, Op: power.NominalPoint,
+		Active: active, NoCW: 8, Leakage: power.DefaultLeakage()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := power.Simulate(m, cores, w, power.DefaultSimOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCostModel measures Eq. (1)-(4) evaluation across the interposer
+// sweep.
+func BenchmarkCostModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		total := 0.0
+		for edge := 20.0; edge <= 50; edge += 0.5 {
+			pl, err := floorplan.PaperOrgForInterposer(16, edge, 0, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += SystemCost(pl)
+		}
+		if total <= 0 {
+			b.Fatal("bogus cost")
+		}
+	}
+}
+
+// BenchmarkMeshPower measures the NoC power model including interposer
+// driver sizing for a 16-chiplet placement.
+func BenchmarkMeshPower(b *testing.B) {
+	pl, err := floorplan.UniformGrid(4, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lp, rp := noc.DefaultLinkParams(), noc.DefaultRouterParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := noc.MeshPower(pl, power.NominalPoint, 256, 0.1, lp, rp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGreedyPlacementSearch measures one multi-start greedy placement
+// search at a fixed cost bucket (the paper's step-3 unit).
+func BenchmarkGreedyPlacementSearch(b *testing.B) {
+	bench, err := perf.ByName("canneal")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := org.DefaultConfig(bench)
+	cfg.Thermal.Nx, cfg.Thermal.Ny = 16, 16
+	cfg.Starts = 5
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := org.NewSearcher(cfg) // fresh searcher: no memo carryover
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, _, _, err := s.FindPlacement(16, 36, power.NominalPoint, 224); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2LinkModel regenerates the Fig. 2 link-model table.
+func BenchmarkFig2LinkModel(b *testing.B) {
+	runExperiment(b, "fig2", benchOptions())
+}
+
+// BenchmarkSprint regenerates the computational-sprinting extension table.
+func BenchmarkSprint(b *testing.B) {
+	o := benchOptions()
+	o.Benchmarks = []string{"shock"}
+	runExperiment(b, "sprint", o)
+}
+
+// BenchmarkTSPCurves regenerates the Thermal Safe Power extension table.
+func BenchmarkTSPCurves(b *testing.B) {
+	runExperiment(b, "tsp", benchOptions())
+}
+
+// BenchmarkReliability regenerates the lifetime-gain extension table.
+func BenchmarkReliability(b *testing.B) {
+	o := benchOptions()
+	o.Benchmarks = []string{"lu.cont"}
+	runExperiment(b, "reliability", o)
+}
+
+// BenchmarkTransientStep measures one backward-Euler transient step of the
+// 2.5D stack at the paper's grid.
+func BenchmarkTransientStep(b *testing.B) {
+	pl, err := floorplan.UniformGrid(4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stack, err := floorplan.BuildStack(pl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tc := thermal.DefaultConfig()
+	tc.Nx, tc.Ny = 32, 32
+	m, err := thermal.NewModel(stack, tc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts, err := m.NewTransientSolver(0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pmap := make([]float64, m.Grid().NumCells())
+	for _, c := range pl.Chiplets {
+		m.Grid().RasterizeAdd(pmap, c, 400.0/float64(len(pl.Chiplets)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ts.Step(pmap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkXYLinkLoads measures the exact XY-routing load computation for
+// the full 256-core mesh.
+func BenchmarkXYLinkLoads(b *testing.B) {
+	active := make([]bool, floorplan.NumCores)
+	for i := range active {
+		active[i] = true
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := noc.XYLinkLoads(active); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnnealingPlacementSearch measures the simulated-annealing
+// alternative to the greedy at the same instance.
+func BenchmarkAnnealingPlacementSearch(b *testing.B) {
+	bench, err := perf.ByName("canneal")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := org.DefaultConfig(bench)
+	cfg.Thermal.Nx, cfg.Thermal.Ny = 16, 16
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := org.NewSearcher(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, _, _, err := s.FindPlacementAnnealing(16, 36, power.NominalPoint, 224, org.DefaultAnnealParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParetoFront measures the full cost-performance frontier
+// extraction at reduced scale.
+func BenchmarkParetoFront(b *testing.B) {
+	bench, err := perf.ByName("swaptions")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := org.DefaultConfig(bench)
+	cfg.Thermal.Nx, cfg.Thermal.Ny = 16, 16
+	cfg.InterposerStepMM = 5
+	cfg.Starts = 3
+	points := 0
+	for i := 0; i < b.N; i++ {
+		s, err := org.NewSearcher(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		front, err := s.ParetoFront()
+		if err != nil {
+			b.Fatal(err)
+		}
+		points = len(front)
+	}
+	b.ReportMetric(float64(points), "front_points")
+}
+
+// BenchmarkOptimizeEndToEnd measures a complete Eq. (5) optimization run
+// (reduced scale) for a low-power benchmark.
+func BenchmarkOptimizeEndToEnd(b *testing.B) {
+	bench, err := perf.ByName("canneal")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := org.DefaultConfig(bench)
+	cfg.Thermal.Nx, cfg.Thermal.Ny = 16, 16
+	cfg.InterposerStepMM = 2
+	cfg.Starts = 5
+	sims := 0
+	for i := 0; i < b.N; i++ {
+		s, err := org.NewSearcher(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Optimize()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Feasible {
+			b.Fatal("expected feasible result")
+		}
+		sims = res.ThermalSims
+	}
+	b.ReportMetric(float64(sims), "thermal_sims")
+}
+
+// BenchmarkStacking regenerates the 2D vs 2.5D vs 3D stacking comparison.
+func BenchmarkStacking(b *testing.B) {
+	runExperiment(b, "stacking", benchOptions())
+}

@@ -1,0 +1,247 @@
+package chiplet25d
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBenchmarkAccessors(t *testing.T) {
+	if len(Benchmarks()) != 8 {
+		t.Fatalf("expected 8 benchmarks")
+	}
+	if len(BenchmarkNames()) != 8 {
+		t.Fatalf("expected 8 names")
+	}
+	if _, err := BenchmarkByName("cholesky"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BenchmarkByName("quake"); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+}
+
+func TestPlacementConstructors(t *testing.T) {
+	if !SingleChip().Is2D() {
+		t.Errorf("SingleChip should be 2D")
+	}
+	pl, err := UniformGrid(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.NumChiplets() != 16 {
+		t.Errorf("UniformGrid(4) chiplets = %d", pl.NumChiplets())
+	}
+	if _, err := PaperOrg(16, 1, 0.5, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PaperOrg(9, 0, 0, 0); err == nil {
+		t.Errorf("expected error for unsupported chiplet count")
+	}
+}
+
+func TestOperatingPoint(t *testing.T) {
+	op, err := OperatingPoint(533)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.VoltageV != 0.71 {
+		t.Errorf("533 MHz voltage = %v", op.VoltageV)
+	}
+	if _, err := OperatingPoint(999); err == nil {
+		t.Errorf("expected error for off-table frequency")
+	}
+	if got := FrequenciesMHz(); len(got) != 5 || got[0] != 1000 {
+		t.Errorf("frequencies = %v", got)
+	}
+	if got := ActiveCoreCounts(); len(got) != 8 || got[7] != 256 {
+		t.Errorf("core counts = %v", got)
+	}
+}
+
+func TestSystemCost(t *testing.T) {
+	chip := SystemCost(SingleChip())
+	if chip <= 0 {
+		t.Fatalf("chip cost = %v", chip)
+	}
+	pl, err := PaperOrg(16, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nc := NormalizedCost(pl); nc <= 0 || nc >= 1 {
+		t.Errorf("minimal 16-chiplet normalized cost = %v, want in (0,1)", nc)
+	}
+}
+
+func TestPeakTemperatureFacade(t *testing.T) {
+	res, err := PeakTemperature(SingleChip(), "shock", 1000, 256, &SimOptions{GridN: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakC < 95 {
+		t.Errorf("shock at full throttle should exceed 95 °C, got %.1f", res.PeakC)
+	}
+	if res.TotalPowerW < 400 {
+		t.Errorf("total power %.1f suspiciously low", res.TotalPowerW)
+	}
+	if res.MeshPowerW <= 0 {
+		t.Errorf("mesh power missing")
+	}
+	if _, err := PeakTemperature(SingleChip(), "shock", 777, 256, nil); err == nil {
+		t.Errorf("expected error for bad frequency")
+	}
+	if _, err := PeakTemperature(SingleChip(), "nope", 1000, 256, nil); err == nil {
+		t.Errorf("expected error for bad benchmark")
+	}
+}
+
+func TestOptimizeFacade(t *testing.T) {
+	res, err := Optimize("canneal", func(c *OptimizeConfig) {
+		c.Thermal.Nx, c.Thermal.Ny = 16, 16
+		c.InterposerStepMM = 2
+		c.Starts = 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("canneal optimization should be feasible")
+	}
+	if res.Best.PeakC > 85 {
+		t.Errorf("organization violates the default threshold")
+	}
+	if _, err := Optimize("nope", nil); err == nil {
+		t.Errorf("expected error for unknown benchmark")
+	}
+}
+
+func TestPlacementMapFacade(t *testing.T) {
+	m, err := PlacementMap(SingleChip(), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(m, "#") != 128 {
+		t.Errorf("map shows %d active cores, want 128", strings.Count(m, "#"))
+	}
+}
+
+func TestOptimizeMultiAppFacade(t *testing.T) {
+	res, err := OptimizeMultiApp(map[string]float64{"canneal": 1, "lu.cont": 2}, func(c *OptimizeConfig) {
+		c.Thermal.Nx, c.Thermal.Ny = 16, 16
+		c.InterposerStepMM = 5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || len(res.PerApp) != 2 {
+		t.Fatalf("unexpected multi-app result: %+v", res)
+	}
+	if _, err := OptimizeMultiApp(nil, nil); err == nil {
+		t.Errorf("expected error for empty mix")
+	}
+	if _, err := OptimizeMultiApp(map[string]float64{"doom": 1}, nil); err == nil {
+		t.Errorf("expected error for unknown benchmark")
+	}
+}
+
+func TestSprintTimeFacade(t *testing.T) {
+	opts := &SimOptions{GridN: 16}
+	single, err := SprintTime(SingleChip(), "shock", 85, 30, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Sustained {
+		t.Fatal("single chip cannot sustain shock at full throttle")
+	}
+	if single.SprintSeconds <= 0 || single.SprintSeconds > 30 {
+		t.Fatalf("sprint time %.2f out of range", single.SprintSeconds)
+	}
+	pl, err := UniformGrid(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread, err := SprintTime(pl, "shock", 85, 30, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spread.Sustained && spread.SprintSeconds <= single.SprintSeconds {
+		t.Fatalf("spread organization should sprint longer: %.2f vs %.2f",
+			spread.SprintSeconds, single.SprintSeconds)
+	}
+	if _, err := SprintTime(SingleChip(), "nope", 85, 10, nil); err == nil {
+		t.Errorf("expected error for unknown benchmark")
+	}
+}
+
+func TestParetoFrontFacade(t *testing.T) {
+	front, err := ParetoFront("swaptions", func(c *OptimizeConfig) {
+		c.Thermal.Nx, c.Thermal.Ny = 16, 16
+		c.InterposerStepMM = 5
+		c.Starts = 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) == 0 {
+		t.Fatal("empty front")
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].CostUSD <= front[i-1].CostUSD || front[i].IPS <= front[i-1].IPS {
+			t.Fatalf("front not strictly improving at %d", i)
+		}
+	}
+	if _, err := ParetoFront("nope", nil); err == nil {
+		t.Errorf("expected error for unknown benchmark")
+	}
+}
+
+func TestSimResultHeatmapFacade(t *testing.T) {
+	res, err := PeakTemperature(SingleChip(), "cholesky", 1000, 256, &SimOptions{GridN: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HeatmapASCII() == "" {
+		t.Errorf("missing heatmap")
+	}
+	var pgm bytes.Buffer
+	if err := res.WriteHeatmapPGM(&pgm); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(pgm.String(), "P5\n") {
+		t.Errorf("bad PGM output")
+	}
+	var csv bytes.Buffer
+	if err := res.WriteFieldCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "x_mm,y_mm,temp_C") {
+		t.Errorf("bad CSV output")
+	}
+	// Zero-value SimResult degrades gracefully.
+	var empty SimResult
+	if empty.HeatmapASCII() != "" {
+		t.Errorf("zero result should have no heatmap")
+	}
+	if err := empty.WriteHeatmapPGM(&pgm); err == nil {
+		t.Errorf("expected error on zero result")
+	}
+	if err := empty.WriteFieldCSV(&csv); err == nil {
+		t.Errorf("expected error on zero result")
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment("fig3a", "reduced", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig. 3(a)") {
+		t.Errorf("experiment output missing title:\n%s", buf.String())
+	}
+	if err := RunExperiment("nope", "reduced", &buf); err == nil {
+		t.Errorf("expected error for unknown experiment")
+	}
+	if len(ExperimentNames()) < 10 {
+		t.Errorf("experiment registry too small: %v", ExperimentNames())
+	}
+}

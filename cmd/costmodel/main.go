@@ -1,0 +1,49 @@
+// Command costmodel prints 2.5D manufacturing cost curves (Eqs. (1)-(4)):
+// absolute and normalized cost of 4- and 16-chiplet systems across
+// interposer sizes, for a configurable defect density.
+//
+// Usage:
+//
+//	costmodel -d0 0.25 -step 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chiplet25d/internal/cost"
+	"chiplet25d/internal/floorplan"
+)
+
+func main() {
+	var (
+		d0   = flag.Float64("d0", 0.25, "defect density (defects/cm²)")
+		step = flag.Float64("step", 2, "interposer edge step (mm)")
+		bond = flag.Float64("bond", 0.2, "per-chiplet bonding cost ($)")
+	)
+	flag.Parse()
+	if *step <= 0 {
+		fmt.Fprintln(os.Stderr, "costmodel: step must be positive")
+		os.Exit(1)
+	}
+
+	p := cost.DefaultParams()
+	p.D0PerCM2 = *d0
+	p.BondCost = *bond
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "costmodel:", err)
+		os.Exit(1)
+	}
+	c2d := p.SingleChipCost(floorplan.ChipEdgeMM, floorplan.ChipEdgeMM)
+	fmt.Printf("defect density %.2f /cm², single chip (18x18 mm): $%.2f (yield %.1f%%)\n\n",
+		*d0, c2d, 100*p.CMOSYield(floorplan.ChipEdgeMM*floorplan.ChipEdgeMM))
+	fmt.Printf("%-8s  %-10s %-10s  %-10s %-10s\n", "edge_mm", "cost_n4_$", "norm_n4", "cost_n16_$", "norm_n16")
+	for edge := 20.0; edge <= floorplan.MaxInterposerEdgeMM+1e-9; edge += *step {
+		c4 := p.Cost25DForInterposer(4, edge)
+		c16 := p.Cost25DForInterposer(16, edge)
+		fmt.Printf("%-8.1f  %-10.2f %-10.3f  %-10.2f %-10.3f\n", edge, c4, c4/c2d, c16, c16/c2d)
+	}
+	fmt.Printf("\nchiplet yields: 4-chiplet die %.1f%%, 16-chiplet die %.1f%%\n",
+		100*p.CMOSYield(81), 100*p.CMOSYield(20.25))
+}

@@ -1,0 +1,118 @@
+// Command experiments regenerates the paper's tables and figures. Each
+// experiment prints an aligned text table (and optionally CSV files) whose
+// rows are the data series of the corresponding figure.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig5 -scale reduced
+//	experiments -run all -scale full -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"chiplet25d/internal/expt"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiments")
+		run     = flag.String("run", "", "experiment name, comma-separated list, or 'all'")
+		scale   = flag.String("scale", "reduced", "experiment scale: reduced or full")
+		grid    = flag.Int("grid", 0, "thermal grid override (0 = scale default)")
+		benches = flag.String("bench", "", "comma-separated benchmark subset (default: scale default)")
+		outDir  = flag.String("out", "", "directory for CSV output (optional)")
+		mdPath  = flag.String("md", "", "append all tables as markdown to this file (optional)")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, e := range expt.Registry() {
+			fmt.Printf("  %-20s %s\n", e.Name, e.Description)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nrun with: experiments -run <name>|all [-scale full] [-out dir]")
+		}
+		return
+	}
+
+	opts := expt.DefaultOptions()
+	if *scale == "full" {
+		opts.Scale = expt.Full
+	}
+	opts.ThermalGridN = *grid
+	opts.Seed = *seed
+	if *benches != "" {
+		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	var names []string
+	if *run == "all" {
+		for _, e := range expt.Registry() {
+			names = append(names, e.Name)
+		}
+	} else {
+		names = strings.Split(*run, ",")
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	var md *os.File
+	if *mdPath != "" {
+		f, err := os.OpenFile(*mdPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		md = f
+		defer md.Close()
+	}
+	for _, name := range names {
+		e, err := expt.ByName(strings.TrimSpace(name))
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		tb, err := e.Run(opts)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.Name, err))
+		}
+		if err := tb.WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("(%s completed in %s at %s scale)\n\n", e.Name, time.Since(start).Round(time.Millisecond), opts.Scale)
+		if md != nil {
+			if err := tb.WriteMarkdown(md); err != nil {
+				fatal(err)
+			}
+		}
+		if *outDir != "" {
+			f, err := os.Create(filepath.Join(*outDir, e.Name+".csv"))
+			if err != nil {
+				fatal(err)
+			}
+			if err := tb.WriteCSV(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+package chiplet25d_test
+
+import (
+	"fmt"
+
+	chiplet "chiplet25d"
+)
+
+// ExampleSystemCost shows the Eq. (1)-(4) cost model: disintegrating the
+// 18mm x 18mm chip into 16 chiplets on a minimal interposer saves ~36%.
+func ExampleSystemCost() {
+	chip := chiplet.SingleChip()
+	pl, err := chiplet.PaperOrg(4, 0, 0, 0) // minimal 4-chiplet organization
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("single chip: $%.1f\n", chiplet.SystemCost(chip))
+	fmt.Printf("4 chiplets:  $%.1f (%.0f%% cheaper)\n",
+		chiplet.SystemCost(pl), (1-chiplet.NormalizedCost(pl))*100)
+	// Output:
+	// single chip: $56.5
+	// 4 chiplets:  $36.3 (36% cheaper)
+}
+
+// ExampleOperatingPoint retrieves a Table II DVFS point.
+func ExampleOperatingPoint() {
+	op, err := chiplet.OperatingPoint(533)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.0f MHz at %.2f V\n", op.FreqMHz, op.VoltageV)
+	// Output:
+	// 533 MHz at 0.71 V
+}
+
+// ExampleBenchmarkByName inspects a workload model: canneal's performance
+// saturates at 192 active cores (the paper's observation).
+func ExampleBenchmarkByName() {
+	b, err := chiplet.BenchmarkByName("canneal")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s (%s) saturates at %d cores\n", b.Name, b.Suite, b.SaturationCores())
+	// Output:
+	// canneal (PARSEC) saturates at 192 cores
+}
+
+// ExamplePaperOrg builds the paper's Fig. 4(a) 16-chiplet organization and
+// validates Eq. (9): interposer edge = 4·w_c + 2·s1 + s3 + 2·l_g.
+func ExamplePaperOrg() {
+	pl, err := chiplet.PaperOrg(16, 1.0, 0.5, 2.0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d chiplets on a %.1f mm interposer\n", pl.NumChiplets(), pl.W)
+	// Output:
+	// 16 chiplets on a 24.0 mm interposer
+}

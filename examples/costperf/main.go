@@ -1,0 +1,65 @@
+// Costperf traces the cost-performance frontier of 2.5D organizations for
+// one benchmark (the Fig. 6 / Fig. 7 view): for each interposer size, the
+// best achievable performance under 85 °C and the manufacturing cost, both
+// normalized to the single-chip baseline, plus the Eq. (5) objective for a
+// balanced (α, β).
+//
+// Run with:
+//
+//	go run ./examples/costperf [-bench hpccg]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	chiplet "chiplet25d"
+	"chiplet25d/internal/org"
+)
+
+func main() {
+	bench := flag.String("bench", "hpccg", "benchmark ("+strings.Join(chiplet.BenchmarkNames(), ", ")+")")
+	flag.Parse()
+
+	cfg, err := chiplet.NewOptimizeConfig(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Thermal.Nx, cfg.Thermal.Ny = 32, 32
+	s, err := org.NewSearcher(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := s.Baseline()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s baseline: %.0f MHz, %d cores, %.1f GIPS, $%.1f\n\n",
+		*bench, base.Op.FreqMHz, base.ActiveCores, base.BestIPS, base.CostUSD)
+	fmt.Printf("%-8s  %-10s %-10s  %-12s  %s\n",
+		"edge_mm", "norm_perf", "norm_cost", "obj(.5,.5)", "organization")
+
+	balanced := chiplet.Objective{Alpha: 0.5, Beta: 0.5}
+	bestObj, bestEdge := 1e18, 0.0
+	for edge := 20.0; edge <= 50+1e-9; edge += 3 {
+		o, found, err := s.MaxIPSAtEdge(edge)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !found {
+			fmt.Printf("%-8.1f  %-10s\n", edge, "infeasible")
+			continue
+		}
+		obj := balanced.Alpha/o.NormPerf + balanced.Beta*o.NormCost
+		if obj < bestObj {
+			bestObj, bestEdge = obj, edge
+		}
+		fmt.Printf("%-8.1f  %-10.3f %-10.3f  %-12.4f  n=%d f=%.0fMHz p=%d\n",
+			edge, o.NormPerf, o.NormCost, obj, o.N, o.Op.FreqMHz, o.ActiveCores)
+	}
+	fmt.Printf("\nbalanced-objective sweet spot near %.0f mm (objective %.4f):\n", bestEdge, bestObj)
+	fmt.Println("small interposers save money, large ones buy thermal headroom;")
+	fmt.Println("Eq. (5) picks the tradeoff a designer weights with α and β.")
+}

@@ -1,0 +1,60 @@
+// Quickstart: optimize the chiplet organization for one benchmark and
+// compare it against the single-chip baseline.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	chiplet "chiplet25d"
+)
+
+func main() {
+	// The paper's flagship example: cholesky, a high-power SPLASH-2 kernel
+	// that is thermally throttled to 533 MHz on the monolithic chip.
+	// α=1, β=0 maximizes performance under the 85 °C threshold.
+	res, err := chiplet.Optimize("cholesky", func(c *chiplet.OptimizeConfig) {
+		// A coarser grid and step keep the quickstart fast; drop these two
+		// lines for the paper's full resolution.
+		c.Thermal.Nx, c.Thermal.Ny = 32, 32
+		c.InterposerStepMM = 2
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	b := res.Baseline
+	fmt.Println("=== single-chip baseline (18mm x 18mm, 256 cores) ===")
+	fmt.Printf("best feasible: %4.0f MHz with %d active cores -> %.1f GIPS (peak %.1f °C)\n",
+		b.Op.FreqMHz, b.ActiveCores, b.BestIPS, b.PeakC)
+	if b.ActiveCores < 256 {
+		fmt.Printf("the other %d cores are dark silicon\n\n", 256-b.ActiveCores)
+	} else {
+		fmt.Printf("all cores active, but throttled well below 1 GHz by the thermal limit\n\n")
+	}
+
+	if !res.Feasible {
+		fmt.Println("no feasible 2.5D organization found")
+		return
+	}
+	o := res.Best
+	fmt.Println("=== thermally-aware 2.5D organization ===")
+	fmt.Printf("%d chiplets on a %.1f mm interposer, spacings s1=%.1f s2=%.1f s3=%.1f mm\n",
+		o.N, o.InterposerMM, o.S1, o.S2, o.S3)
+	fmt.Printf("runs %4.0f MHz with %d active cores -> %.1f GIPS (peak %.1f °C)\n",
+		o.Op.FreqMHz, o.ActiveCores, o.IPS, o.PeakC)
+	fmt.Printf("performance: %.2fx the baseline (+%.0f%%)\n", o.NormPerf, (o.NormPerf-1)*100)
+	fmt.Printf("cost:        %.2fx the baseline ($%.1f vs $%.1f)\n\n", o.NormCost, o.CostUSD, b.CostUSD)
+
+	m, err := chiplet.PlacementMap(o.Placement, o.ActiveCores)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("placement (#=active core, .=dark core):\n%s\n", m)
+	fmt.Printf("\nsearch cost: %d thermal simulations (%d decided by the surrogate)\n",
+		res.ThermalSims, res.SurrogateHits)
+}

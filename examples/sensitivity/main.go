@@ -1,0 +1,58 @@
+// Sensitivity reproduces the paper's temperature-threshold study in
+// miniature: how much performance thermally-aware 2.5D organization
+// reclaims at different safety thresholds (the paper reports 41%, 41%, 27%
+// and 16% average gains at 75, 85, 95 and 105 °C — cooler limits leave more
+// silicon dark, so there is more to win).
+//
+// Run with:
+//
+//	go run ./examples/sensitivity [-bench cholesky,canneal]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	chiplet "chiplet25d"
+)
+
+func main() {
+	benchList := flag.String("bench", "cholesky,canneal", "comma-separated benchmarks")
+	flag.Parse()
+	benches := strings.Split(*benchList, ",")
+
+	fmt.Printf("%-14s", "threshold")
+	for _, b := range benches {
+		fmt.Printf("  %-14s", b)
+	}
+	fmt.Println("  average")
+
+	for _, th := range []float64{75, 85, 95, 105} {
+		fmt.Printf("%-14s", fmt.Sprintf("%.0f °C", th))
+		sum, n := 0.0, 0
+		for _, b := range benches {
+			res, err := chiplet.Optimize(strings.TrimSpace(b), func(c *chiplet.OptimizeConfig) {
+				c.ThresholdC = th
+				c.MaxNormCost = 1 // iso-cost, as the paper's headline
+				c.Thermal.Nx, c.Thermal.Ny = 32, 32
+				c.InterposerStepMM = 2
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			gain := 0.0
+			if res.Feasible && res.Best.NormPerf > 1 {
+				gain = (res.Best.NormPerf - 1) * 100
+			}
+			sum += gain
+			n++
+			fmt.Printf("  %-14s", fmt.Sprintf("+%.0f%%", gain))
+		}
+		fmt.Printf("  +%.1f%%\n", sum/float64(n))
+	}
+	fmt.Println("\nlower thresholds throttle the single chip harder, so the 2.5D")
+	fmt.Println("organization reclaims more; at relaxed thresholds the chip can")
+	fmt.Println("already run fast and the gap narrows.")
+}

@@ -1,0 +1,55 @@
+// Sprinting demonstrates the transient-thermal view of dark silicon:
+// computational sprinting (Raghavan et al.) tolerates short full-throttle
+// bursts above the sustainable envelope, cooling down afterward. A
+// thermally-aware 2.5D organization stretches the sprint — and with enough
+// interposer, turns the burst into steady state, which is the paper's
+// reclaimed dark silicon.
+//
+// Run with:
+//
+//	go run ./examples/sprinting [-bench shock]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	chiplet "chiplet25d"
+)
+
+func main() {
+	bench := flag.String("bench", "shock", "benchmark ("+strings.Join(chiplet.BenchmarkNames(), ", ")+")")
+	flag.Parse()
+
+	opts := &chiplet.SimOptions{GridN: 32}
+	fmt.Printf("%s: all 256 cores at 1 GHz from idle; how long until 85 °C?\n\n", *bench)
+	fmt.Printf("%-24s  %s\n", "organization", "sprint duration")
+
+	show := func(name string, pl chiplet.Placement) {
+		res, err := chiplet.SprintTime(pl, *bench, 85, 60, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Sustained {
+			fmt.Printf("%-24s  sustained indefinitely (steady state below 85 °C)\n", name)
+			return
+		}
+		fmt.Printf("%-24s  %.1f s\n", name, res.SprintSeconds)
+	}
+
+	show("single chip", chiplet.SingleChip())
+	for _, spec := range []struct {
+		r  int
+		sp float64
+	}{{2, 4}, {4, 4}, {4, 8}} {
+		pl, err := chiplet.UniformGrid(spec.r, spec.sp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		show(fmt.Sprintf("%d chiplets @ %.0f mm", spec.r*spec.r, spec.sp), pl)
+	}
+
+	fmt.Println("\nsprinting buys seconds; thermally-aware organization buys steady state.")
+}

@@ -1,0 +1,3 @@
+module chiplet25d
+
+go 1.22

@@ -1,0 +1,159 @@
+// Package config loads and saves optimizer configurations as JSON, so
+// studies are reproducible artifacts rather than command lines. Every field
+// is optional: absent fields keep the paper's defaults from
+// org.DefaultConfig, which makes configuration files minimal diffs against
+// the paper's setup.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"chiplet25d/internal/cost"
+	"chiplet25d/internal/org"
+	"chiplet25d/internal/perf"
+	"chiplet25d/internal/power"
+)
+
+// File is the JSON schema. Pointer fields distinguish "absent" (keep
+// default) from explicit zero values.
+type File struct {
+	// Benchmark names a built-in workload; CustomBenchmark defines one
+	// inline (it wins if both are set).
+	Benchmark       string          `json:"benchmark,omitempty"`
+	CustomBenchmark *perf.Benchmark `json:"custom_benchmark,omitempty"`
+
+	Alpha      *float64 `json:"alpha,omitempty"`
+	Beta       *float64 `json:"beta,omitempty"`
+	ThresholdC *float64 `json:"threshold_c,omitempty"`
+
+	ChipletCounts  []int    `json:"chiplet_counts,omitempty"`
+	InterposerMin  *float64 `json:"interposer_min_mm,omitempty"`
+	InterposerMax  *float64 `json:"interposer_max_mm,omitempty"`
+	InterposerStep *float64 `json:"interposer_step_mm,omitempty"`
+
+	Starts          *int     `json:"starts,omitempty"`
+	Seed            *int64   `json:"seed,omitempty"`
+	MaxNormCost     *float64 `json:"max_norm_cost,omitempty"`
+	ParallelWorkers *int     `json:"parallel_workers,omitempty"`
+	SurrogateMargin *float64 `json:"surrogate_margin_c,omitempty"`
+
+	ThermalGridN      *int     `json:"thermal_grid_n,omitempty"`
+	AmbientC          *float64 `json:"ambient_c,omitempty"`
+	HeatTransferCoeff *float64 `json:"heat_transfer_coeff,omitempty"`
+	BoardHeatTransfer *float64 `json:"board_heat_transfer_coeff,omitempty"`
+
+	Cost    *cost.Params        `json:"cost,omitempty"`
+	Leakage *power.LeakageModel `json:"leakage,omitempty"`
+}
+
+// ToConfig resolves the file against the paper defaults.
+func (f *File) ToConfig() (org.Config, error) {
+	var bench perf.Benchmark
+	switch {
+	case f.CustomBenchmark != nil:
+		bench = *f.CustomBenchmark
+	case f.Benchmark != "":
+		b, err := perf.ByName(f.Benchmark)
+		if err != nil {
+			return org.Config{}, err
+		}
+		bench = b
+	default:
+		return org.Config{}, fmt.Errorf("config: no benchmark specified (set \"benchmark\" or \"custom_benchmark\")")
+	}
+	cfg := org.DefaultConfig(bench)
+	setF := func(dst *float64, src *float64) {
+		if src != nil {
+			*dst = *src
+		}
+	}
+	setF(&cfg.Objective.Alpha, f.Alpha)
+	setF(&cfg.Objective.Beta, f.Beta)
+	setF(&cfg.ThresholdC, f.ThresholdC)
+	if f.ChipletCounts != nil {
+		cfg.ChipletCounts = f.ChipletCounts
+	}
+	setF(&cfg.InterposerMinMM, f.InterposerMin)
+	setF(&cfg.InterposerMaxMM, f.InterposerMax)
+	setF(&cfg.InterposerStepMM, f.InterposerStep)
+	if f.Starts != nil {
+		cfg.Starts = *f.Starts
+	}
+	if f.Seed != nil {
+		cfg.Seed = *f.Seed
+	}
+	setF(&cfg.MaxNormCost, f.MaxNormCost)
+	if f.ParallelWorkers != nil {
+		cfg.ParallelWorkers = *f.ParallelWorkers
+	}
+	setF(&cfg.SurrogateMarginC, f.SurrogateMargin)
+	if f.ThermalGridN != nil {
+		cfg.Thermal.Nx, cfg.Thermal.Ny = *f.ThermalGridN, *f.ThermalGridN
+	}
+	setF(&cfg.Thermal.AmbientC, f.AmbientC)
+	setF(&cfg.Thermal.HeatTransferCoeff, f.HeatTransferCoeff)
+	setF(&cfg.Thermal.BoardHeatTransferCoeff, f.BoardHeatTransfer)
+	if f.Cost != nil {
+		cfg.CostParams = *f.Cost
+	}
+	if f.Leakage != nil {
+		cfg.Leakage = *f.Leakage
+	}
+	if err := cfg.Validate(); err != nil {
+		return org.Config{}, err
+	}
+	return cfg, nil
+}
+
+// Load parses JSON from r and resolves it into a configuration.
+func Load(r io.Reader) (org.Config, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var f File
+	if err := dec.Decode(&f); err != nil {
+		return org.Config{}, fmt.Errorf("config: %w", err)
+	}
+	return f.ToConfig()
+}
+
+// LoadFile loads a configuration from a JSON file.
+func LoadFile(path string) (org.Config, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return org.Config{}, err
+	}
+	defer fh.Close()
+	return Load(fh)
+}
+
+// Save writes a complete (fully explicit) configuration file for cfg, so a
+// run's exact setup can be archived next to its results.
+func Save(w io.Writer, cfg org.Config) error {
+	f := File{
+		CustomBenchmark:   &cfg.Benchmark,
+		Alpha:             &cfg.Objective.Alpha,
+		Beta:              &cfg.Objective.Beta,
+		ThresholdC:        &cfg.ThresholdC,
+		ChipletCounts:     cfg.ChipletCounts,
+		InterposerMin:     &cfg.InterposerMinMM,
+		InterposerMax:     &cfg.InterposerMaxMM,
+		InterposerStep:    &cfg.InterposerStepMM,
+		Starts:            &cfg.Starts,
+		Seed:              &cfg.Seed,
+		MaxNormCost:       &cfg.MaxNormCost,
+		ParallelWorkers:   &cfg.ParallelWorkers,
+		SurrogateMargin:   &cfg.SurrogateMarginC,
+		ThermalGridN:      &cfg.Thermal.Nx,
+		AmbientC:          &cfg.Thermal.AmbientC,
+		HeatTransferCoeff: &cfg.Thermal.HeatTransferCoeff,
+		BoardHeatTransfer: &cfg.Thermal.BoardHeatTransferCoeff,
+		Cost:              &cfg.CostParams,
+		Leakage:           &cfg.Leakage,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&f)
+}

@@ -1,0 +1,166 @@
+// Package cost implements the 2.5D manufacturing cost model of Stow et al.
+// adopted by the paper (Eqs. (1)-(4)): dies per wafer, negative-binomial
+// CMOS yield, per-die CMOS and interposer cost, and total 2.5D system cost
+// including serial chiplet bonding yield.
+//
+// Note on units: Table II lists the defect density as "0.25/mm²", but the
+// paper's own in-text numbers (a 40mm x 40mm chip costing 27x more than a
+// 20mm x 20mm one, and the equivalent 4-chiplet 2.5D system being 27%
+// cheaper with the interposer at 30% of system cost) only reproduce with
+// D0 = 0.25/cm². We therefore interpret the figure as per-cm² — the
+// conventional unit for defect density — and reproduce all three in-text
+// anchors (see the tests).
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"chiplet25d/internal/floorplan"
+)
+
+// Params are the cost model constants (Table II).
+type Params struct {
+	// WaferDiameterMM is the CMOS wafer diameter (300 mm).
+	WaferDiameterMM float64
+	// IntWaferDiameterMM is the interposer wafer diameter (300 mm).
+	IntWaferDiameterMM float64
+	// CMOSWaferCost is the cost of one CMOS wafer ($5000).
+	CMOSWaferCost float64
+	// IntWaferCost is the cost of one interposer wafer ($500).
+	IntWaferCost float64
+	// D0PerCM2 is the defect density in defects per cm² (0.25).
+	D0PerCM2 float64
+	// Alpha is the defect clustering parameter (3).
+	Alpha float64
+	// IntYield is the interposer yield (98%).
+	IntYield float64
+	// BondYield is the per-chiplet bonding yield (99%).
+	BondYield float64
+	// BondCost is the per-chiplet bonding cost in dollars.
+	BondCost float64
+}
+
+// DefaultParams returns the Table II constants.
+func DefaultParams() Params {
+	return Params{
+		WaferDiameterMM:    300,
+		IntWaferDiameterMM: 300,
+		CMOSWaferCost:      5000,
+		IntWaferCost:       500,
+		D0PerCM2:           0.25,
+		Alpha:              3,
+		IntYield:           0.98,
+		BondYield:          0.99,
+		BondCost:           0.2,
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.WaferDiameterMM <= 0 || p.IntWaferDiameterMM <= 0 {
+		return fmt.Errorf("cost: wafer diameters must be positive")
+	}
+	if p.CMOSWaferCost <= 0 || p.IntWaferCost <= 0 {
+		return fmt.Errorf("cost: wafer costs must be positive")
+	}
+	if p.D0PerCM2 < 0 {
+		return fmt.Errorf("cost: negative defect density")
+	}
+	if p.Alpha <= 0 {
+		return fmt.Errorf("cost: clustering parameter must be positive")
+	}
+	if p.IntYield <= 0 || p.IntYield > 1 || p.BondYield <= 0 || p.BondYield > 1 {
+		return fmt.Errorf("cost: yields must be in (0,1]")
+	}
+	if p.BondCost < 0 {
+		return fmt.Errorf("cost: negative bonding cost")
+	}
+	return nil
+}
+
+// DiesPerWafer implements Eq. (1): the usable die count on a circular wafer
+// accounting for edge loss.
+func DiesPerWafer(waferDiameterMM, dieAreaMM2 float64) float64 {
+	if dieAreaMM2 <= 0 {
+		return 0
+	}
+	r := waferDiameterMM / 2
+	n := math.Pi*r*r/dieAreaMM2 - math.Pi*waferDiameterMM/math.Sqrt(2*dieAreaMM2)
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// CMOSYield implements Eq. (2), the negative-binomial yield model.
+func (p Params) CMOSYield(dieAreaMM2 float64) float64 {
+	d0mm2 := p.D0PerCM2 / 100 // defects per mm²
+	return math.Pow(1+dieAreaMM2*d0mm2/p.Alpha, -p.Alpha)
+}
+
+// CMOSDieCost implements the CMOS part of Eq. (3): good-die cost.
+func (p Params) CMOSDieCost(dieAreaMM2 float64) float64 {
+	n := DiesPerWafer(p.WaferDiameterMM, dieAreaMM2)
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	return p.CMOSWaferCost / (n * p.CMOSYield(dieAreaMM2))
+}
+
+// InterposerCost implements the interposer part of Eq. (3).
+func (p Params) InterposerCost(areaMM2 float64) float64 {
+	n := DiesPerWafer(p.IntWaferDiameterMM, areaMM2)
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	return p.IntWaferCost / (n * p.IntYield)
+}
+
+// SingleChipCost returns C_2D for a monolithic chip of the given dimensions
+// (mm).
+func (p Params) SingleChipCost(wMM, hMM float64) float64 {
+	return p.CMOSDieCost(wMM * hMM)
+}
+
+// System25DCost implements Eq. (4): n known-good chiplets plus the
+// interposer, bonded serially with per-bond yield.
+func (p Params) System25DCost(n int, chipletAreaMM2, interposerAreaMM2 float64) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	chiplets := float64(n) * (p.CMOSDieCost(chipletAreaMM2) + p.BondCost)
+	return (chiplets + p.InterposerCost(interposerAreaMM2)) / math.Pow(p.BondYield, float64(n))
+}
+
+// PlacementCost returns the manufacturing cost of a placement: C_2D for the
+// monolithic baseline, C_2.5D otherwise.
+func (p Params) PlacementCost(pl floorplan.Placement) float64 {
+	if pl.Is2D() {
+		return p.SingleChipCost(pl.W, pl.H)
+	}
+	return p.System25DCost(pl.NumChiplets(), pl.ChipletW*pl.ChipletH, pl.W*pl.H)
+}
+
+// Cost25DForInterposer returns C_2.5D for n chiplets of the standard
+// 256-core system on a square interposer with the given edge (mm).
+func (p Params) Cost25DForInterposer(n int, interposerEdgeMM float64) float64 {
+	r := 2
+	if n == 16 {
+		r = 4
+	} else if n != 4 {
+		// Generic square split.
+		r = int(math.Round(math.Sqrt(float64(n))))
+		if r*r != n || r < 1 {
+			return math.Inf(1)
+		}
+	}
+	edge := floorplan.ChipEdgeMM / float64(r)
+	return p.System25DCost(n, edge*edge, interposerEdgeMM*interposerEdgeMM)
+}
+
+// MinInterposerEdge returns the smallest square interposer edge (mm) that
+// fits n chiplets of the 256-core system with zero spacing plus guard bands.
+func MinInterposerEdge(n int) float64 {
+	return floorplan.ChipEdgeMM + 2*floorplan.GuardBandMM
+}

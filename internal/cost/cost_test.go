@@ -1,0 +1,237 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"chiplet25d/internal/floorplan"
+)
+
+func TestDefaultParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadParams(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.WaferDiameterMM = 0 },
+		func(p *Params) { p.CMOSWaferCost = -1 },
+		func(p *Params) { p.D0PerCM2 = -0.1 },
+		func(p *Params) { p.Alpha = 0 },
+		func(p *Params) { p.IntYield = 1.5 },
+		func(p *Params) { p.BondYield = 0 },
+		func(p *Params) { p.BondCost = -1 },
+	}
+	for i, mutate := range cases {
+		p := DefaultParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestDiesPerWafer(t *testing.T) {
+	// 324 mm² dies on a 300 mm wafer: pi*150²/324 - pi*300/sqrt(648) ≈ 181.
+	got := DiesPerWafer(300, 324)
+	if math.Abs(got-181.2) > 1 {
+		t.Errorf("DiesPerWafer(300, 324) = %.1f, want ≈181.2", got)
+	}
+	if DiesPerWafer(300, 0) != 0 {
+		t.Errorf("zero-area die should give 0 dies")
+	}
+	// Huge dies that don't fit: clamp at 0, never negative.
+	if DiesPerWafer(300, 1e6) < 0 {
+		t.Errorf("dies per wafer must not be negative")
+	}
+}
+
+func TestCMOSYield(t *testing.T) {
+	p := DefaultParams()
+	// 324 mm² at 0.25/cm², alpha 3: (1 + 0.27)^-3 ≈ 0.488.
+	if y := p.CMOSYield(324); math.Abs(y-0.488) > 0.005 {
+		t.Errorf("yield(324) = %.3f, want ≈0.488", y)
+	}
+	// Yield decreases with area and stays in (0, 1].
+	if p.CMOSYield(20.25) <= p.CMOSYield(81) || p.CMOSYield(81) <= p.CMOSYield(324) {
+		t.Errorf("yield should decrease with die area")
+	}
+	if y := p.CMOSYield(0); math.Abs(y-1) > 1e-12 {
+		t.Errorf("zero-area yield = %v, want 1", y)
+	}
+}
+
+// The paper's in-text anchor: growing a single chip from 20x20 to 40x40
+// costs ~27x more due to yield collapse.
+func TestPaperAnchor27xSingleChip(t *testing.T) {
+	p := DefaultParams()
+	ratio := p.SingleChipCost(40, 40) / p.SingleChipCost(20, 20)
+	if ratio < 24 || ratio < 0 || ratio > 31 {
+		t.Fatalf("40mm/20mm chip cost ratio = %.1f, paper says ~27x", ratio)
+	}
+}
+
+// The paper's in-text anchor: a 4-chiplet 2.5D system with a 40x40
+// interposer is ~27% cheaper than the equivalent 20x20 single chip, with
+// the interposer at ~30% of system cost.
+func TestPaperAnchor4ChipletSystem(t *testing.T) {
+	p := DefaultParams()
+	chip := p.SingleChipCost(20, 20)
+	sys := p.System25DCost(4, 100, 1600)
+	saving := 1 - sys/chip
+	if saving < 0.20 || saving > 0.33 {
+		t.Fatalf("4-chiplet saving = %.1f%%, paper says ~27%%", saving*100)
+	}
+	intFrac := p.InterposerCost(1600) / sys
+	if intFrac < 0.24 || intFrac > 0.36 {
+		t.Fatalf("interposer share = %.1f%%, paper says ~30%%", intFrac*100)
+	}
+}
+
+// Fig. 3(a) anchor: at the minimal interposer size the 2.5D system saves
+// 30-42% versus the 18x18 single chip across the paper's defect densities.
+func TestFig3aMinimalInterposerSavings(t *testing.T) {
+	for _, d0 := range []float64{0.20, 0.25, 0.30} {
+		p := DefaultParams()
+		p.D0PerCM2 = d0
+		chip := p.SingleChipCost(floorplan.ChipEdgeMM, floorplan.ChipEdgeMM)
+		minEdge := MinInterposerEdge(4)
+		for _, n := range []int{4, 16} {
+			sys := p.Cost25DForInterposer(n, minEdge)
+			saving := 1 - sys/chip
+			if saving < 0.25 || saving > 0.48 {
+				t.Errorf("D0=%.2f n=%d: saving %.1f%% outside the paper's 30-42%% band",
+					d0, n, saving*100)
+			}
+		}
+	}
+}
+
+func TestCostIncreasesWithInterposerSize(t *testing.T) {
+	p := DefaultParams()
+	prev := 0.0
+	for edge := 20.0; edge <= 50; edge += 5 {
+		c := p.Cost25DForInterposer(16, edge)
+		if c <= prev {
+			t.Fatalf("2.5D cost not increasing with interposer size at %.0f mm", edge)
+		}
+		prev = c
+	}
+}
+
+func TestCostHigherDefectDensityCostsMore(t *testing.T) {
+	lo, hi := DefaultParams(), DefaultParams()
+	lo.D0PerCM2, hi.D0PerCM2 = 0.20, 0.30
+	if lo.SingleChipCost(18, 18) >= hi.SingleChipCost(18, 18) {
+		t.Errorf("higher defect density should cost more")
+	}
+	// And the relative 2.5D saving grows with defect density (Fig. 3(a)).
+	save := func(p Params) float64 {
+		return 1 - p.Cost25DForInterposer(16, 20)/p.SingleChipCost(18, 18)
+	}
+	if save(hi) <= save(lo) {
+		t.Errorf("2.5D saving should grow with defect density: lo=%.3f hi=%.3f", save(lo), save(hi))
+	}
+}
+
+func TestPlacementCost(t *testing.T) {
+	p := DefaultParams()
+	chip := p.PlacementCost(floorplan.SingleChip())
+	if math.Abs(chip-p.SingleChipCost(18, 18)) > 1e-9 {
+		t.Errorf("2D placement cost mismatch")
+	}
+	pl, err := floorplan.PaperOrg(16, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.PlacementCost(pl)
+	want := p.System25DCost(16, 4.5*4.5, pl.W*pl.W)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("placement cost = %v, want %v", got, want)
+	}
+}
+
+func TestSystem25DCostEdgeCases(t *testing.T) {
+	p := DefaultParams()
+	if !math.IsInf(p.System25DCost(0, 81, 400), 1) {
+		t.Errorf("zero chiplets should be infinite cost")
+	}
+	if !math.IsInf(p.Cost25DForInterposer(5, 30), 1) {
+		t.Errorf("non-square chiplet count should be infinite cost")
+	}
+}
+
+// Property: more chiplets of smaller area never have worse silicon yield
+// cost per mm² (the economic driver of disintegration).
+func TestSmallerDiesCheaperPerArea(t *testing.T) {
+	p := DefaultParams()
+	f := func(aRaw float64) bool {
+		a := 10 + math.Abs(math.Mod(aRaw, 500))
+		small := p.CMOSDieCost(a/4) / (a / 4)
+		big := p.CMOSDieCost(a) / a
+		return small <= big+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The headline cost anchor: minimal-interposer 2.5D saves ≈36% at default
+// defect density (Sec. V-B / Fig. 8 canneal).
+func TestHeadline36PercentSaving(t *testing.T) {
+	p := DefaultParams()
+	chip := p.SingleChipCost(18, 18)
+	best := math.Inf(1)
+	for _, n := range []int{4, 16} {
+		if c := p.Cost25DForInterposer(n, 20); c < best {
+			best = c
+		}
+	}
+	saving := 1 - best/chip
+	if math.Abs(saving-0.36) > 0.04 {
+		t.Fatalf("minimal-interposer saving = %.1f%%, paper headline is 36%%", saving*100)
+	}
+}
+
+// The Monte-Carlo clustered-defect process must reproduce the analytic
+// negative-binomial yield (Eq. (2)) within sampling error.
+func TestSimulateYieldMatchesAnalytic(t *testing.T) {
+	p := DefaultParams()
+	for _, area := range []float64{20.25, 81, 324} {
+		want := p.CMOSYield(area)
+		got, err := p.SimulateYield(area, 40000, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("area %.2f: MC yield %.4f vs analytic %.4f", area, got, want)
+		}
+	}
+}
+
+func TestSimulateYieldErrors(t *testing.T) {
+	p := DefaultParams()
+	if _, err := p.SimulateYield(0, 100, 1); err == nil {
+		t.Errorf("expected error for zero area")
+	}
+	if _, err := p.SimulateYield(100, 0, 1); err == nil {
+		t.Errorf("expected error for zero samples")
+	}
+}
+
+func TestSimulateYieldDeterministicSeed(t *testing.T) {
+	p := DefaultParams()
+	a, err := p.SimulateYield(100, 5000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.SimulateYield(100, 5000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed gave different results: %v vs %v", a, b)
+	}
+}

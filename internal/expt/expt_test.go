@@ -1,0 +1,557 @@
+package expt
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"chiplet25d/internal/floorplan"
+)
+
+// fastOptions returns minimal-size options so every experiment completes in
+// test time; individual tests tighten the benchmark set further.
+func fastOptions() Options {
+	return Options{Scale: Reduced, ThermalGridN: 16, Seed: 1}
+}
+
+func cell(t *testing.T, tb *Table, row, col int) string {
+	t.Helper()
+	if row >= len(tb.Rows) || col >= len(tb.Rows[row]) {
+		t.Fatalf("cell (%d,%d) out of range in %q", row, col, tb.Title)
+	}
+	return tb.Rows[row][col]
+}
+
+func cellF(t *testing.T, tb *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell(t, tb, row, col), 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric: %v", row, col, cell(t, tb, row, col), err)
+	}
+	return v
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+		Notes:   []string{"a note"},
+	}
+	tb.AddRow("1", "2")
+	var text, csv bytes.Buffer
+	if err := tb.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "== demo ==") || !strings.Contains(text.String(), "note: a note") {
+		t.Errorf("text rendering missing pieces:\n%s", text.String())
+	}
+	if got := csv.String(); got != "a,bb\n1,2\n" {
+		t.Errorf("csv rendering = %q", got)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	names := map[string]bool{}
+	for _, e := range Registry() {
+		if e.Name == "" || e.Description == "" || e.Run == nil {
+			t.Errorf("incomplete experiment entry %+v", e)
+		}
+		if names[e.Name] {
+			t.Errorf("duplicate experiment %q", e.Name)
+		}
+		names[e.Name] = true
+	}
+	// Every paper artifact has a regeneration entry.
+	for _, want := range []string{"fig3a", "fig3b", "fig5", "fig6", "fig7", "fig8",
+		"headline85", "headline105", "sensitivity", "costreduction", "validate"} {
+		if !names[want] {
+			t.Errorf("missing experiment %q", want)
+		}
+	}
+	if _, err := ByName("fig5"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Errorf("expected error for unknown experiment")
+	}
+}
+
+func TestFig3aShape(t *testing.T) {
+	tb, err := Fig3a(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// First row is the minimal 20 mm interposer: every normalized cost
+	// must be in the paper's 30-42%-savings band, i.e. 0.55-0.72.
+	for col := 1; col < len(tb.Columns); col++ {
+		v := cellF(t, tb, 0, col)
+		if v < 0.5 || v > 0.78 {
+			t.Errorf("minimal-interposer normalized cost %s = %v outside the paper band", tb.Columns[col], v)
+		}
+	}
+	// Cost grows monotonically with interposer size for every series.
+	for col := 1; col < len(tb.Columns); col++ {
+		prev := 0.0
+		for row := range tb.Rows {
+			v := cellF(t, tb, row, col)
+			if v <= prev {
+				t.Errorf("%s not increasing at row %d", tb.Columns[col], row)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestFig3bShape(t *testing.T) {
+	o := fastOptions()
+	tb, err := Fig3b(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index rows by (density, grid) series and check each series falls
+	// with interposer size; and that higher density is hotter at equal
+	// geometry.
+	type key struct{ d, g string }
+	series := map[key][]float64{}
+	for r := range tb.Rows {
+		k := key{cell(t, tb, r, 0), cell(t, tb, r, 1)}
+		series[k] = append(series[k], cellF(t, tb, r, 3))
+	}
+	if len(series) == 0 {
+		t.Fatal("no series")
+	}
+	for k, temps := range series {
+		for i := 1; i < len(temps); i++ {
+			if temps[i] >= temps[i-1] {
+				t.Errorf("series %v: peak not falling with interposer size: %v", k, temps)
+			}
+		}
+	}
+	// Density 2.0 hotter than 1.0 for the same grid and edge (first point).
+	if a, b := series[key{"1.0", "2x2"}], series[key{"2.0", "2x2"}]; len(a) > 0 && len(b) > 0 {
+		if b[0] <= a[0] {
+			t.Errorf("higher density should be hotter: %v vs %v", b[0], a[0])
+		}
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	o := fastOptions()
+	o.Benchmarks = []string{"shock", "canneal"}
+	tb, err := Fig5(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct{ b, n string }
+	series := map[key][]float64{}
+	single := map[string]float64{}
+	for r := range tb.Rows {
+		b, n := cell(t, tb, r, 0), cell(t, tb, r, 1)
+		if n == "1" {
+			single[b] = cellF(t, tb, r, 3)
+			continue
+		}
+		series[key{b, n}] = append(series[key{b, n}], cellF(t, tb, r, 3))
+	}
+	for k, temps := range series {
+		for i := 1; i < len(temps); i++ {
+			if temps[i] >= temps[i-1]+0.2 {
+				t.Errorf("series %v: peak should fall with spacing: %v", k, temps)
+			}
+		}
+		// 2.5D with spacing must be cooler than the single chip.
+		if last := temps[len(temps)-1]; last >= single[k.b] {
+			t.Errorf("series %v never beats the single chip (%.1f vs %.1f)", k, last, single[k.b])
+		}
+	}
+	// shock (high power) must run hotter than canneal (low power) on the
+	// single chip.
+	if single["shock"] <= single["canneal"] {
+		t.Errorf("shock single-chip %.1f should exceed canneal %.1f", single["shock"], single["canneal"])
+	}
+	// shock's single-chip peak must be far above 85 °C (dark silicon).
+	if single["shock"] < 95 {
+		t.Errorf("shock single chip at %.1f °C does not exhibit dark silicon", single["shock"])
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	o := fastOptions()
+	o.Benchmarks = []string{"canneal"}
+	tb, err := Fig6(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalized IPS must be non-decreasing in interposer size; cost
+	// strictly increasing.
+	prevIPS, prevCost := 0.0, 0.0
+	for r := range tb.Rows {
+		if c := cell(t, tb, r, 2); c == "infeasible" {
+			continue
+		}
+		ips := cellF(t, tb, r, 2)
+		c4 := cellF(t, tb, r, 3)
+		if ips < prevIPS-1e-9 {
+			t.Errorf("max IPS fell with interposer size at row %d", r)
+		}
+		if c4 <= prevCost {
+			t.Errorf("cost not increasing at row %d", r)
+		}
+		prevIPS, prevCost = ips, c4
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	o := fastOptions()
+	o.Benchmarks = []string{"canneal"}
+	tb, err := Fig7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The (0,1) cost-only series must equal the normalized minimum cost and
+	// hence increase with edge; the (1,0) series must be non-increasing.
+	var costSeries, perfSeries []float64
+	for r := range tb.Rows {
+		if cell(t, tb, r, 4) == "infeasible" {
+			continue
+		}
+		alpha := cell(t, tb, r, 1)
+		v := cellF(t, tb, r, 4)
+		switch alpha {
+		case "0.0":
+			costSeries = append(costSeries, v)
+		case "1.0":
+			perfSeries = append(perfSeries, v)
+		}
+	}
+	for i := 1; i < len(costSeries); i++ {
+		if costSeries[i] <= costSeries[i-1] {
+			t.Errorf("cost-only objective should rise with interposer size: %v", costSeries)
+		}
+	}
+	for i := 1; i < len(perfSeries); i++ {
+		if perfSeries[i] > perfSeries[i-1]+1e-9 {
+			t.Errorf("performance-only objective should not rise with interposer size: %v", perfSeries)
+		}
+	}
+}
+
+func TestFig8ProducesMaps(t *testing.T) {
+	o := fastOptions()
+	o.Benchmarks = []string{"canneal"}
+	tb, err := Fig8(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatalf("expected one row, got %d", len(tb.Rows))
+	}
+	found := false
+	for _, n := range tb.Notes {
+		if strings.Contains(n, "organization map") && strings.Contains(n, "#") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected an ASCII organization map in notes")
+	}
+}
+
+func TestHeadlineReducedShape(t *testing.T) {
+	o := fastOptions()
+	o.Benchmarks = []string{"cholesky", "lu.cont"}
+	tb, err := Headline(o, 85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	gains := map[string]float64{}
+	for r := range tb.Rows {
+		gains[cell(t, tb, r, 0)] = cellF(t, tb, r, 8)
+	}
+	if gains["cholesky"] < 30 {
+		t.Errorf("cholesky iso-cost gain %.1f%% too small", gains["cholesky"])
+	}
+	if gains["lu.cont"] != 0 {
+		t.Errorf("lu.cont gain should be 0, got %.1f", gains["lu.cont"])
+	}
+}
+
+func TestCostReductionShape(t *testing.T) {
+	o := fastOptions()
+	o.Benchmarks = []string{"canneal"}
+	tb, err := CostReduction(o, 85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	saving := cellF(t, tb, 0, 4)
+	if saving < 25 || saving > 45 {
+		t.Errorf("iso-performance saving %.1f%% outside the paper's ~36%% band", saving)
+	}
+	if perf := cellF(t, tb, 0, 5); perf < 1 {
+		t.Errorf("iso-performance organization lost performance: %.2fx", perf)
+	}
+}
+
+func TestGreedyValidationReduced(t *testing.T) {
+	o := fastOptions()
+	o.Benchmarks = []string{"canneal"}
+	tb, err := GreedyValidation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("no validation rows")
+	}
+	if got := cell(t, tb, 0, 2); got != "true" {
+		t.Errorf("greedy should agree with exhaustive on the reduced instance, got %q", got)
+	}
+}
+
+func TestPlacementMapGeometry(t *testing.T) {
+	// The single chip with 64 active cores: map is 18x18 characters inside
+	// the border, containing exactly 256 core glyphs of which 64 active.
+	m, err := PlacementMap(mustSingleChip(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(m, "\n")
+	if len(lines) != 20 {
+		t.Fatalf("map has %d lines, want 20 (18 + borders)", len(lines))
+	}
+	active := strings.Count(m, "#")
+	dark := strings.Count(m, ".")
+	if active != 64 {
+		t.Errorf("map shows %d active cores, want 64", active)
+	}
+	if active+dark != 256 {
+		t.Errorf("map shows %d cores, want 256", active+dark)
+	}
+}
+
+func mustSingleChip() floorplan.Placement { return floorplan.SingleChip() }
+
+func TestSprintShape(t *testing.T) {
+	o := fastOptions()
+	o.Benchmarks = []string{"shock"}
+	tb, err := Sprint(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 3 {
+		t.Fatalf("expected several organizations, got %d rows", len(tb.Rows))
+	}
+	// The single chip must hit the threshold quickly; at least one spread
+	// organization must last longer or sustain indefinitely.
+	var singleS float64
+	bestS := -1.0
+	sustained := false
+	for r := range tb.Rows {
+		name := cell(t, tb, r, 1)
+		s := cell(t, tb, r, 2)
+		if strings.HasPrefix(s, ">") {
+			if name != "single-chip" {
+				sustained = true
+			}
+			continue
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name == "single-chip" {
+			singleS = v
+		} else if v > bestS {
+			bestS = v
+		}
+	}
+	if singleS <= 0 || singleS > 60 {
+		t.Fatalf("single chip sprint time %.1f out of expected range", singleS)
+	}
+	if !sustained && bestS <= singleS {
+		t.Fatalf("no 2.5D organization outlasted the single chip (%.1f s)", singleS)
+	}
+}
+
+func TestTSPCurvesShape(t *testing.T) {
+	o := fastOptions()
+	tb, err := TSPCurves(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group per-core budgets by organization; they must fall with core
+	// count, and the 16-chiplet@8mm rows must beat the single chip.
+	byOrg := map[string][]float64{}
+	for r := range tb.Rows {
+		byOrg[cell(t, tb, r, 0)] = append(byOrg[cell(t, tb, r, 0)], cellF(t, tb, r, 2))
+	}
+	for org, budgets := range byOrg {
+		for i := 1; i < len(budgets); i++ {
+			if budgets[i] >= budgets[i-1] {
+				t.Errorf("%s: per-core TSP should fall with core count: %v", org, budgets)
+			}
+		}
+	}
+	single := byOrg["single-chip"]
+	spread := byOrg["16-chiplet@8mm"]
+	if len(single) == 0 || len(spread) == 0 {
+		t.Fatalf("missing TSP series: %v", byOrg)
+	}
+	for i := range single {
+		if spread[i] <= single[i] {
+			t.Errorf("2.5D TSP %.3f should beat single chip %.3f at index %d", spread[i], single[i], i)
+		}
+	}
+}
+
+func TestReliabilityShape(t *testing.T) {
+	o := fastOptions()
+	o.Benchmarks = []string{"lu.cont"}
+	tb, err := Reliability(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// lu.cont's iso-performance 2.5D organization must run cooler and last
+	// longer.
+	delta := cellF(t, tb, 0, 3)
+	ratio := cellF(t, tb, 0, 4)
+	if delta <= 0 {
+		t.Errorf("2.5D should run cooler; delta %.1f", delta)
+	}
+	if ratio <= 1 {
+		t.Errorf("lifetime ratio %.2f should exceed 1", ratio)
+	}
+	if cost := cellF(t, tb, 0, 5); cost >= 1 {
+		t.Errorf("iso-performance organization should also be cheaper, cost %.3f", cost)
+	}
+}
+
+func TestFig2LinkModelShape(t *testing.T) {
+	tb, err := Fig2LinkModel(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Every timed row's delay must meet single-cycle at its frequency, and
+	// longer links at equal frequency must not need smaller drivers.
+	for _, row := range tb.Rows {
+		if row[2] == "untimable" {
+			continue
+		}
+		var l, f, d float64
+		var size int
+		if _, err := fmt.Sscanf(row[0], "%f", &l); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmt.Sscanf(row[1], "%f", &f); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmt.Sscanf(row[2], "%d", &size); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmt.Sscanf(row[3], "%f", &d); err != nil {
+			t.Fatal(err)
+		}
+		if d > 1000/f {
+			t.Errorf("%g mm at %g MHz: delay %g ns misses the cycle", l, f, d)
+		}
+		if size < 1 {
+			t.Errorf("driver size %d invalid", size)
+		}
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if Reduced.String() != "reduced" || Full.String() != "full" {
+		t.Errorf("scale strings wrong")
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	tb := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+		Notes:   []string{"simple note", "multi\nline map"},
+	}
+	tb.AddRow("1", "2")
+	var buf bytes.Buffer
+	if err := tb.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"### demo", "| a | b |", "| --- | --- |", "| 1 | 2 |", "> simple note", "```\nmulti\nline map\n```"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Every registered experiment must run cleanly at reduced scale — the
+// catch-all safety net for the regeneration harness.
+func TestAllExperimentsRunReduced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow catch-all")
+	}
+	o := fastOptions()
+	o.Benchmarks = []string{"canneal"}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			tb, err := e.Run(o)
+			if err != nil {
+				t.Fatalf("%s: %v", e.Name, err)
+			}
+			if len(tb.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.Name)
+			}
+			var buf bytes.Buffer
+			if err := tb.WriteText(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if err := tb.WriteMarkdown(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if err := tb.WriteCSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestStackingShape(t *testing.T) {
+	tb, err := Stacking(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	peaks := map[string]float64{}
+	for r := range tb.Rows {
+		peaks[cell(t, tb, r, 1)] = cellF(t, tb, r, 3)
+	}
+	if !(peaks["3D 2-high"] > peaks["2D single chip"]) {
+		t.Errorf("3D should exceed 2D: %v", peaks)
+	}
+	if !(peaks["3D 4-high"] > peaks["3D 2-high"]) {
+		t.Errorf("more levels should run hotter: %v", peaks)
+	}
+	if !(peaks["2.5D 16-chiplet@8mm"] < peaks["2D single chip"]) {
+		t.Errorf("2.5D should run cooler than 2D: %v", peaks)
+	}
+}

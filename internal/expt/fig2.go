@@ -1,0 +1,40 @@
+package expt
+
+import (
+	"fmt"
+
+	"chiplet25d/internal/noc"
+	"chiplet25d/internal/power"
+)
+
+// Fig2LinkModel characterizes the inter-chiplet interposer link model of
+// Fig. 2 (the HSpice substitute): Elmore delay, the driver size required
+// for single-cycle propagation at each DVFS frequency, and energy per bit,
+// across link lengths. The paper's reference link is 15 mm.
+func Fig2LinkModel(o Options) (*Table, error) {
+	lengths := []float64{1, 5, 10, 15, 20, 25, 30}
+	if o.Scale == Reduced {
+		lengths = []float64{5, 15, 30}
+	}
+	lp := noc.DefaultLinkParams()
+	t := &Table{
+		Title:   "Fig. 2 link model: interposer link delay, driver sizing and energy",
+		Columns: []string{"length_mm", "f_MHz", "driver_size", "delay_ns", "energy_pJ_per_bit"},
+	}
+	for _, l := range lengths {
+		for _, op := range power.FrequencySet {
+			size, err := lp.SizeInterposerDriver(l, op.FreqMHz)
+			if err != nil {
+				t.AddRow(f1(l), f1(op.FreqMHz), "untimable", "-", "-")
+				continue
+			}
+			delay := lp.InterposerElmoreDelayNS(l, size)
+			energy := lp.InterposerEnergyPerBitJ(l, size, op.VoltageV) * 1e12
+			t.AddRow(f1(l), f1(op.FreqMHz), fmt.Sprintf("%d", size), f3(delay), f3(energy))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"drivers are sized up until the Elmore delay of the Fig. 2 RLC ladder meets single-cycle timing (paper Sec. III-A)",
+		"the paper's reference inter-chiplet link is 15 mm; single-cycle at 1 GHz with a modest driver")
+	return t, nil
+}

@@ -1,0 +1,49 @@
+package expt
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// TestGenerateGoldens regenerates the golden files when run with
+// -run TestGenerateGoldens and the UPDATE_GOLDENS environment variable set.
+func TestGenerateGoldens(t *testing.T) {
+	if os.Getenv("UPDATE_GOLDENS") == "" {
+		t.Skip("set UPDATE_GOLDENS=1 to regenerate")
+	}
+	tb, err := Fig3a(Options{Scale: Reduced, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create("testdata/fig3a_reduced.golden.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := tb.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The cost model is fully deterministic, so its reduced-scale figure output
+// is pinned to a golden file: any change to Eqs. (1)-(4), Table II
+// constants, or the normalization shows up as a diff.
+func TestFig3aGolden(t *testing.T) {
+	want, err := os.ReadFile("testdata/fig3a_reduced.golden.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := Fig3a(Options{Scale: Reduced, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := tb.WriteCSV(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != string(want) {
+		t.Fatalf("fig3a output drifted from golden (rerun with UPDATE_GOLDENS=1 if intentional):\n--- got ---\n%s\n--- want ---\n%s",
+			got.String(), want)
+	}
+}

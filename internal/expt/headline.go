@@ -1,0 +1,208 @@
+package expt
+
+import (
+	"fmt"
+	"sort"
+
+	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/org"
+	"chiplet25d/internal/power"
+)
+
+// Headline reproduces the Sec. V-B headline: per-benchmark and average
+// performance improvement of the thermally-aware 2.5D organization over the
+// single-chip baseline at the same manufacturing cost (MaxNormCost = 1)
+// under the given temperature threshold.
+func Headline(o Options, thresholdC float64) (*Table, error) {
+	benches, err := o.benchSet("cholesky", "canneal", "swaptions")
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Headline: iso-cost performance improvement at %.0f °C", thresholdC),
+		Columns: []string{"benchmark", "base_f_MHz", "base_p", "base_ips", "f_MHz", "p", "n",
+			"edge_mm", "gain_%", "norm_cost", "peak_C", "thermal_sims"},
+	}
+	sum, count := 0.0, 0
+	maxGain := 0.0
+	for _, b := range benches {
+		cfg := o.orgConfig(b)
+		cfg.ThresholdC = thresholdC
+		cfg.MaxNormCost = 1.0
+		s, err := org.NewSearcher(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.Optimize()
+		if err != nil {
+			return nil, err
+		}
+		gain := 0.0
+		if res.Feasible {
+			gain = (res.Best.NormPerf - 1) * 100
+			if gain < 0 {
+				gain = 0 // the baseline remains available at equal cost
+			}
+		}
+		sum += gain
+		count++
+		if gain > maxGain {
+			maxGain = gain
+		}
+		if res.Feasible {
+			t.AddRow(b.Name, f1(res.Baseline.Op.FreqMHz), fmt.Sprintf("%d", res.Baseline.ActiveCores),
+				f1(res.Baseline.BestIPS), f1(res.Best.Op.FreqMHz), fmt.Sprintf("%d", res.Best.ActiveCores),
+				fmt.Sprintf("%d", res.Best.N), f1(res.Best.InterposerMM), f1(gain),
+				f3(res.Best.NormCost), f1(res.Best.PeakC), fmt.Sprintf("%d", res.ThermalSims))
+		} else {
+			t.AddRow(b.Name, f1(res.Baseline.Op.FreqMHz), fmt.Sprintf("%d", res.Baseline.ActiveCores),
+				f1(res.Baseline.BestIPS), "-", "-", "-", "-", "0.0", "-", "-",
+				fmt.Sprintf("%d", res.ThermalSims))
+		}
+	}
+	if count > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("average gain %.1f%%, max gain %.1f%% over %d benchmarks",
+			sum/float64(count), maxGain, count))
+	}
+	t.Notes = append(t.Notes,
+		"paper: +41% average / +87% max at 85 °C; +16% average / +39% max at 105 °C, at the same manufacturing cost")
+	return t, nil
+}
+
+// Sensitivity reproduces the Sec. V-B threshold sensitivity study: average
+// iso-cost improvement across benchmarks for thresholds 75-105 °C.
+func Sensitivity(o Options) (*Table, error) {
+	thresholds := []float64{75, 85, 95, 105}
+	if o.Scale == Reduced {
+		thresholds = []float64{85, 105}
+	}
+	t := &Table{
+		Title:   "Sensitivity: average iso-cost improvement vs temperature threshold",
+		Columns: []string{"threshold_C", "avg_gain_%", "max_gain_%", "benchmarks"},
+	}
+	for _, th := range thresholds {
+		ht, err := Headline(o, th)
+		if err != nil {
+			return nil, err
+		}
+		// Recompute the aggregate from the headline rows.
+		sum, max, n := 0.0, 0.0, 0
+		for _, row := range ht.Rows {
+			var g float64
+			if _, err := fmt.Sscanf(row[8], "%f", &g); err != nil {
+				continue
+			}
+			sum += g
+			if g > max {
+				max = g
+			}
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		t.AddRow(f1(th), f1(sum/float64(n)), f1(max), fmt.Sprintf("%d", n))
+	}
+	t.Notes = append(t.Notes,
+		"paper: 41%, 41%, 27%, 16% average improvement at 75, 85, 95, 105 °C")
+	return t, nil
+}
+
+// CostReduction reproduces the iso-performance cost headline: the cheapest
+// 2.5D organization matching the baseline's best performance (β-only
+// objective), expected to save ≈36% at every threshold.
+func CostReduction(o Options, thresholdC float64) (*Table, error) {
+	benches, err := o.benchSet("cholesky", "canneal", "swaptions")
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Iso-performance cost reduction at %.0f °C", thresholdC),
+		Columns: []string{"benchmark", "n", "edge_mm", "norm_cost", "saving_%", "norm_perf"},
+	}
+	for _, b := range benches {
+		cfg := o.orgConfig(b)
+		cfg.ThresholdC = thresholdC
+		s, err := org.NewSearcher(cfg)
+		if err != nil {
+			return nil, err
+		}
+		best, found, err := cheapestIsoPerf(s)
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			t.AddRow(b.Name, "-", "-", "-", "-", "-")
+			continue
+		}
+		t.AddRow(b.Name, fmt.Sprintf("%d", best.N), f1(best.InterposerMM),
+			f3(best.NormCost), f1((1-best.NormCost)*100), f2(best.NormPerf))
+	}
+	t.Notes = append(t.Notes,
+		"paper: 36% lower manufacturing cost without performance loss at all thresholds")
+	return t, nil
+}
+
+// cheapestIsoPerf finds the cheapest 2.5D organization whose performance
+// matches or beats the single-chip baseline's best: candidates (n, edge)
+// are visited in ascending cost; for each, the (f, p) pairs that reach the
+// baseline IPS are tried best-first with the greedy placement search.
+func cheapestIsoPerf(s *org.Searcher) (org.Organization, bool, error) {
+	base, err := s.Baseline()
+	if err != nil {
+		return org.Organization{}, false, err
+	}
+	if !base.Feasible {
+		return org.Organization{}, false, nil
+	}
+	cfg := s.Config()
+	type bucket struct {
+		n    int
+		edge float64
+		cost float64
+	}
+	var buckets []bucket
+	for _, n := range cfg.ChipletCounts {
+		for edge := cfg.InterposerMinMM; edge <= cfg.InterposerMaxMM+1e-9; edge += cfg.InterposerStepMM {
+			if floorplan.SpacingSpan(n, edge) < -1e-9 {
+				continue
+			}
+			buckets = append(buckets, bucket{n: n, edge: edge,
+				cost: cfg.CostParams.Cost25DForInterposer(n, edge)})
+		}
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].cost < buckets[j].cost })
+	type fp struct {
+		op  power.DVFSPoint
+		p   int
+		ips float64
+	}
+	var fps []fp
+	for _, op := range power.FrequencySet {
+		for _, p := range power.ActiveCoreCounts {
+			if ips := cfg.Benchmark.IPS(op, p); ips >= base.BestIPS-1e-9 {
+				fps = append(fps, fp{op: op, p: p, ips: ips})
+			}
+		}
+	}
+	sort.Slice(fps, func(i, j int) bool { return fps[i].ips < fps[j].ips })
+	for _, bk := range buckets {
+		for _, c := range fps {
+			pl, peak, found, err := s.FindPlacement(bk.n, bk.edge, c.op, c.p)
+			if err != nil {
+				return org.Organization{}, false, err
+			}
+			if !found {
+				continue
+			}
+			return org.Organization{
+				N: bk.n, S1: pl.S1, S2: pl.S2, S3: pl.S3,
+				InterposerMM: pl.W, Op: c.op, ActiveCores: c.p,
+				PeakC: peak, IPS: c.ips, CostUSD: bk.cost,
+				NormPerf: c.ips / base.BestIPS, NormCost: bk.cost / base.CostUSD,
+				Placement: pl,
+			}, true, nil
+		}
+	}
+	return org.Organization{}, false, nil
+}

@@ -1,0 +1,59 @@
+package expt
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is a named, runnable reproduction of one paper artifact.
+type Experiment struct {
+	// Name is the CLI identifier (e.g. "fig5").
+	Name string
+	// Description says which paper artifact it regenerates.
+	Description string
+	// Run produces the result table.
+	Run func(Options) (*Table, error)
+}
+
+// Registry returns all experiments keyed by name.
+func Registry() []Experiment {
+	list := []Experiment{
+		{Name: "fig2", Description: "Fig. 2: interposer link model (delay, driver sizing, energy)", Run: Fig2LinkModel},
+		{Name: "fig3a", Description: "Fig. 3(a): normalized 2.5D cost vs interposer size", Run: Fig3a},
+		{Name: "fig3b", Description: "Fig. 3(b): peak temperature vs interposer size (synthetic densities)", Run: Fig3b},
+		{Name: "fig5", Description: "Fig. 5: peak temperature vs chiplet spacing, all cores at 1 GHz", Run: Fig5},
+		{Name: "fig6", Description: "Fig. 6: normalized max IPS and cost vs interposer size", Run: Fig6},
+		{Name: "fig7", Description: "Fig. 7: minimum objective value vs interposer size", Run: Fig7},
+		{Name: "fig8", Description: "Fig. 8: performance-optimal organizations and allocation maps", Run: Fig8},
+		{Name: "headline85", Description: "Sec. V-B: iso-cost improvement at 85 °C", Run: func(o Options) (*Table, error) { return Headline(o, 85) }},
+		{Name: "headline105", Description: "Sec. V-B: iso-cost improvement at 105 °C", Run: func(o Options) (*Table, error) { return Headline(o, 105) }},
+		{Name: "sensitivity", Description: "Sec. V-B: threshold sensitivity (75-105 °C)", Run: Sensitivity},
+		{Name: "costreduction", Description: "Sec. V-B: iso-performance cost reduction (≈36%)", Run: func(o Options) (*Table, error) { return CostReduction(o, 85) }},
+		{Name: "validate", Description: "Sec. III-D: greedy vs exhaustive validation", Run: GreedyValidation},
+		{Name: "sprint", Description: "Extension: computational sprinting, time-to-threshold vs organization", Run: Sprint},
+		{Name: "stacking", Description: "Extension: 2D vs 2.5D vs 3D stacking peak temperature", Run: Stacking},
+		{Name: "tsp", Description: "Extension: Thermal Safe Power curves, single chip vs 2.5D", Run: TSPCurves},
+		{Name: "reliability", Description: "Extension: lifetime gain of iso-performance 2.5D organizations", Run: Reliability},
+		{Name: "ablation-search", Description: "Ablation: greedy vs annealing vs exhaustive search", Run: AblationSearch},
+		{Name: "ablation-starts", Description: "Ablation: greedy start count", Run: AblationStarts},
+		{Name: "ablation-cooling", Description: "Ablation: iso-cost gain vs cooling quality", Run: AblationCooling},
+		{Name: "ablation-grid", Description: "Ablation: thermal grid resolution", Run: AblationGrid},
+		{Name: "ablation-leakage", Description: "Ablation: leakage feedback", Run: AblationLeakage},
+		{Name: "ablation-alloc", Description: "Ablation: MinTemp vs row-major allocation", Run: AblationAllocation},
+		{Name: "ablation-alloc25d", Description: "Ablation: MinTemp vs chiplet-balanced allocation on 2.5D", Run: AblationAllocation25D},
+		{Name: "ablation-neighbor", Description: "Ablation: random vs steepest-descent neighbor policy", Run: AblationNeighborPolicy},
+		{Name: "ablation-nonuniform", Description: "Ablation: non-uniform vs uniform spacing", Run: AblationNonUniform},
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].Name < list[j].Name })
+	return list
+}
+
+// ByName returns the named experiment.
+func ByName(name string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("expt: unknown experiment %q", name)
+}

@@ -1,0 +1,100 @@
+package expt
+
+import (
+	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/noc"
+	"chiplet25d/internal/org"
+	"chiplet25d/internal/perf"
+	"chiplet25d/internal/power"
+	"chiplet25d/internal/reliability"
+	"chiplet25d/internal/thermal"
+)
+
+// Reliability quantifies the paper's lu.cont observation: at equal
+// performance (and lower cost), the thermally-aware 2.5D organization runs
+// cooler, which translates into longer transistor lifetime. For each
+// benchmark the cheapest iso-performance organization is found, both
+// systems are simulated at their operating points, and the Arrhenius
+// lifetime ratio of the per-core temperature fields is reported.
+func Reliability(o Options) (*Table, error) {
+	benches, err := o.benchSet("lu.cont", "canneal", "cholesky")
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: "Reliability: lifetime gain of iso-performance 2.5D organizations (Arrhenius, Ea=0.7 eV)",
+		Columns: []string{"benchmark", "peak_2D_C", "peak_25D_C", "delta_C",
+			"lifetime_ratio", "norm_cost"},
+	}
+	model := reliability.DefaultModel()
+	for _, b := range benches {
+		cfg := o.orgConfig(b)
+		s, err := org.NewSearcher(cfg)
+		if err != nil {
+			return nil, err
+		}
+		base, err := s.Baseline()
+		if err != nil {
+			return nil, err
+		}
+		if !base.Feasible {
+			t.AddRow(b.Name, "-", "-", "-", "-", "-")
+			continue
+		}
+		best, found, err := cheapestIsoPerf(s)
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			t.AddRow(b.Name, "-", "-", "-", "-", "-")
+			continue
+		}
+		temps2D, err := coreTemps(floorplan.SingleChip(), o.thermalConfig(), b, base.Op, base.ActiveCores)
+		if err != nil {
+			return nil, err
+		}
+		temps25D, err := coreTemps(best.Placement, o.thermalConfig(), b, best.Op, best.ActiveCores)
+		if err != nil {
+			return nil, err
+		}
+		ratio, err := model.WeightedLifetimeRatio(temps25D.CoreTemps, temps2D.CoreTemps, 60)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(b.Name, f1(temps2D.PeakC), f1(temps25D.PeakC),
+			f1(temps2D.PeakC-temps25D.PeakC), f2(ratio), f3(best.NormCost))
+	}
+	t.Notes = append(t.Notes,
+		"paper: \"our proposed thermally-aware chiplet organization can still provide lower operating temperature, which improves transistor lifetime and reliability\" (Sec. V-B, lu.cont)",
+		"lifetime ratio uses per-core Arrhenius acceleration; both systems run their best iso-performance configuration")
+	return t, nil
+}
+
+// coreTemps simulates a benchmark configuration and returns the converged
+// result including per-core temperatures.
+func coreTemps(pl floorplan.Placement, tc thermal.Config, b perf.Benchmark,
+	op power.DVFSPoint, p int) (*power.SimResult, error) {
+	stack, err := floorplan.BuildStack(pl)
+	if err != nil {
+		return nil, err
+	}
+	model, err := thermal.NewModel(stack, tc)
+	if err != nil {
+		return nil, err
+	}
+	cores, err := pl.Cores()
+	if err != nil {
+		return nil, err
+	}
+	active, err := power.MintempActive(p)
+	if err != nil {
+		return nil, err
+	}
+	mesh, err := noc.MeshPower(pl, op, p, b.Traffic, noc.DefaultLinkParams(), noc.DefaultRouterParams())
+	if err != nil {
+		return nil, err
+	}
+	w := power.Workload{RefCoreW: b.RefCoreW, Op: op, Active: active,
+		NoCW: mesh.TotalW(), Leakage: power.DefaultLeakage()}
+	return power.Simulate(model, cores, w, power.DefaultSimOptions())
+}

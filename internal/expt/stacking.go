@@ -1,0 +1,116 @@
+package expt
+
+import (
+	"fmt"
+
+	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/thermal"
+)
+
+// Stacking quantifies the paper's Sec. I motivation for choosing 2.5D over
+// 3D integration: at equal total power and equal silicon, 3D die stacking
+// concentrates heat (smaller footprint, buried dies far from the sink)
+// while 2.5D spreading dilutes it. Peak temperatures for the monolithic
+// chip, 3D stacks, and 2.5D organizations at the same total power.
+func Stacking(o Options) (*Table, error) {
+	powers := []float64{300, 450}
+	if o.Scale == Reduced {
+		powers = []float64{450}
+	}
+	tc := o.thermalConfig()
+	t := &Table{
+		Title:   "Stacking comparison: peak temperature at equal total power (uniform silicon power)",
+		Columns: []string{"total_W", "organization", "footprint_mm", "peak_C"},
+	}
+	for _, totalW := range powers {
+		// 2D monolithic baseline.
+		stack2d, err := floorplan.BuildStack(floorplan.SingleChip())
+		if err != nil {
+			return nil, err
+		}
+		peak2d, err := uniformStackPeak(stack2d, tc, totalW)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(f1(totalW), "2D single chip", "18.0x18.0", f1(peak2d))
+
+		// 3D stacks: 2 and 4 levels.
+		for _, levels := range floorplan.Stack3DLevels {
+			stack3d, p3, err := floorplan.BuildStack3D(levels)
+			if err != nil {
+				return nil, err
+			}
+			m, err := thermal.NewModel(stack3d, tc)
+			if err != nil {
+				return nil, err
+			}
+			perLayer := make(map[int][]float64, levels)
+			perDie := totalW / float64(levels)
+			for _, l := range p3.CMOSLayers {
+				pmap := make([]float64, m.Grid().NumCells())
+				per := perDie / float64(len(pmap))
+				for i := range pmap {
+					pmap[i] = per
+				}
+				perLayer[l] = pmap
+			}
+			res, err := m.SolveMulti(perLayer)
+			if err != nil {
+				return nil, err
+			}
+			peak, err := res.PeakOverLayers(p3.CMOSLayers)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(f1(totalW), fmt.Sprintf("3D %d-high", levels),
+				fmt.Sprintf("%.1fx%.1f", p3.W, p3.H), f1(peak))
+		}
+
+		// 2.5D organizations.
+		for _, spec := range []struct {
+			r  int
+			sp float64
+		}{{2, 8}, {4, 8}} {
+			pl, err := floorplan.UniformGrid(spec.r, spec.sp)
+			if err != nil {
+				return nil, err
+			}
+			stack, err := floorplan.BuildStack(pl)
+			if err != nil {
+				return nil, err
+			}
+			peak, err := uniformStackPeak(stack, tc, totalW)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(f1(totalW), fmt.Sprintf("2.5D %d-chiplet@%gmm", spec.r*spec.r, spec.sp),
+				fmt.Sprintf("%.1fx%.1f", pl.W, pl.H), f1(peak))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper Sec. I: 3D stacking reduces footprint but exacerbates thermal issues; 2.5D is less prone to them",
+		"buried dies sit far from the sink behind bond layers, so 3D peaks exceed even the monolithic chip")
+	return t, nil
+}
+
+// uniformStackPeak solves a stack with totalW spread uniformly over its
+// chiplet silicon.
+func uniformStackPeak(stack floorplan.Stack, tc thermal.Config, totalW float64) (float64, error) {
+	m, err := thermal.NewModel(stack, tc)
+	if err != nil {
+		return 0, err
+	}
+	pmap := make([]float64, m.Grid().NumCells())
+	area := 0.0
+	for _, c := range stack.Placement.Chiplets {
+		area += c.Area()
+	}
+	for _, c := range stack.Placement.Chiplets {
+		m.Grid().RasterizeAdd(pmap, c, totalW*c.Area()/area)
+	}
+	res, err := m.Solve(pmap)
+	if err != nil {
+		return 0, err
+	}
+	return res.PeakC(), nil
+}

@@ -1,0 +1,85 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+
+	"chiplet25d/internal/org"
+)
+
+// GreedyValidation reproduces the Sec. III-D validation: the multi-start
+// greedy is compared against exhaustive placement search over a set of
+// optimization instances (benchmark x threshold), reporting the agreement
+// rate and the thermal-simulation savings (the paper reports 99% agreement
+// and a ~400x reduction in thermal simulation time with 10 starts).
+func GreedyValidation(o Options) (*Table, error) {
+	benches, err := o.benchSet("canneal", "hpccg", "cholesky")
+	if err != nil {
+		return nil, err
+	}
+	thresholds := []float64{85, 95}
+	if o.Scale == Reduced {
+		thresholds = []float64{85}
+	}
+	t := &Table{
+		Title: "Greedy vs exhaustive validation (Sec. III-D)",
+		Columns: []string{"benchmark", "threshold_C", "agree", "greedy_sims", "exhaustive_sims",
+			"sim_reduction_x"},
+	}
+	agree, total := 0, 0
+	simG, simE := 0, 0
+	for _, b := range benches {
+		for _, th := range thresholds {
+			cfg := o.orgConfig(b)
+			cfg.ThresholdC = th
+			g, err := org.NewSearcher(cfg)
+			if err != nil {
+				return nil, err
+			}
+			gr, err := g.Optimize()
+			if err != nil {
+				return nil, err
+			}
+			e, err := org.NewSearcher(cfg)
+			if err != nil {
+				return nil, err
+			}
+			ex, err := e.OptimizeExhaustive()
+			if err != nil {
+				return nil, err
+			}
+			same := gr.Feasible == ex.Feasible
+			if same && gr.Feasible {
+				same = gr.Best.Op == ex.Best.Op &&
+					gr.Best.ActiveCores == ex.Best.ActiveCores &&
+					gr.Best.N == ex.Best.N &&
+					math.Abs(gr.Best.InterposerMM-ex.Best.InterposerMM) < 1e-9
+			}
+			total++
+			if same {
+				agree++
+			}
+			simG += g.ThermalSims()
+			simE += e.ThermalSims()
+			red := "-"
+			if g.ThermalSims() > 0 {
+				red = f1(float64(e.ThermalSims()) / float64(g.ThermalSims()))
+			}
+			t.AddRow(b.Name, f1(th), fmt.Sprintf("%v", same),
+				fmt.Sprintf("%d", g.ThermalSims()), fmt.Sprintf("%d", e.ThermalSims()), red)
+		}
+	}
+	if total > 0 {
+		overall := "-"
+		if simG > 0 {
+			overall = f1(float64(simE) / float64(simG))
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"agreement %d/%d (%.0f%%); overall simulation reduction %sx",
+			agree, total, 100*float64(agree)/float64(total), overall))
+	}
+	t.Notes = append(t.Notes,
+		"paper: greedy with 10 starts matches exhaustive 99% of the time with ~400x less thermal simulation",
+		"both searches share the memoization and surrogate, so the reduction here reflects evaluation counts, not wall-clock CPU-hours")
+	return t, nil
+}

@@ -1,0 +1,319 @@
+// Package floorplan models the physical organization of the paper's 256-core
+// system: the monolithic 18mm x 18mm chip, and its 2.5D decompositions into
+// r x r chiplets placed on a passive silicon interposer with guard bands and
+// configurable inter-chiplet spacings (Fig. 4(a)), plus the package layer
+// stack of Table I used by the thermal solver.
+//
+// Plan-view geometry is in millimeters; layer thicknesses are in meters
+// (fields are suffixed accordingly).
+package floorplan
+
+import (
+	"fmt"
+	"math"
+
+	"chiplet25d/internal/geom"
+)
+
+// Constants of the example 256-core system (Sec. III-A).
+const (
+	// ChipEdgeMM is the edge length of the baseline monolithic chip.
+	ChipEdgeMM = 18.0
+	// CoresPerEdge is the logical core mesh dimension (16 x 16 = 256 cores).
+	CoresPerEdge = 16
+	// NumCores is the total core count.
+	NumCores = CoresPerEdge * CoresPerEdge
+	// CorePitchMM is the edge of one core+L2 tile (1.28 mm² ≈ 1.13 mm x
+	// 1.13 mm in the paper; we use the exact chip/16 pitch so tiles fill the
+	// chip).
+	CorePitchMM = ChipEdgeMM / CoresPerEdge
+	// GuardBandMM is the guard band l_g along each interposer edge.
+	GuardBandMM = 1.0
+	// MaxInterposerEdgeMM is the Eq. (7) limit from the stepper exposure
+	// field.
+	MaxInterposerEdgeMM = 50.0
+	// SpacingStepMM is the placement granularity used throughout the paper.
+	SpacingStepMM = 0.5
+)
+
+// Placement is a concrete plan-view organization: either the 2D single chip
+// (R == 1) or R x R chiplets on an interposer. Chiplet rectangles are in
+// interposer coordinates (origin at the interposer's lower-left corner).
+type Placement struct {
+	// R is the number of chiplets per row/column; 1 denotes the 2D baseline.
+	R int
+	// ChipletW and ChipletH are the chiplet dimensions in mm (Eq. (8)).
+	ChipletW, ChipletH float64
+	// W and H are the interposer dimensions in mm (chip dimensions for the
+	// 2D baseline).
+	W, H float64
+	// S1, S2, S3 are the paper's spacings where applicable; for uniform
+	// placements S3 carries the uniform spacing and S1 = S2 = 0 record-wise.
+	S1, S2, S3 float64
+	// Chiplets are the chiplet outlines. For R == 1 this is the single chip.
+	Chiplets []geom.Rect
+}
+
+// NumChiplets returns the chiplet count (1 for the 2D baseline).
+func (p Placement) NumChiplets() int { return p.R * p.R }
+
+// Is2D reports whether this is the monolithic baseline.
+func (p Placement) Is2D() bool { return p.R == 1 }
+
+// SingleChip returns the 2D baseline placement: the 18mm x 18mm chip.
+func SingleChip() Placement {
+	return Placement{
+		R:        1,
+		ChipletW: ChipEdgeMM,
+		ChipletH: ChipEdgeMM,
+		W:        ChipEdgeMM,
+		H:        ChipEdgeMM,
+		Chiplets: []geom.Rect{{X: 0, Y: 0, W: ChipEdgeMM, H: ChipEdgeMM}},
+	}
+}
+
+// chipletEdge returns the chiplet edge length for an r x r split of the
+// baseline chip (Eq. (8)).
+func chipletEdge(r int) float64 { return ChipEdgeMM / float64(r) }
+
+// UniformGrid places r x r chiplets in a matrix with the given uniform
+// spacing (mm) between adjacent chiplets and a guard band on every edge
+// (Sec. III-C / Fig. 5). r = 1 with spacing 0 degenerates to the single
+// chip mounted on an interposer-sized footprint.
+func UniformGrid(r int, spacing float64) (Placement, error) {
+	if r < 1 {
+		return Placement{}, fmt.Errorf("floorplan: chiplet grid r must be >= 1, got %d", r)
+	}
+	if spacing < 0 {
+		return Placement{}, fmt.Errorf("floorplan: spacing must be non-negative, got %g", spacing)
+	}
+	wc := chipletEdge(r)
+	edge := float64(r)*wc + float64(r-1)*spacing + 2*GuardBandMM
+	p := Placement{
+		R: r, ChipletW: wc, ChipletH: wc,
+		W: edge, H: edge,
+		S3: spacing,
+	}
+	for j := 0; j < r; j++ {
+		for i := 0; i < r; i++ {
+			x := GuardBandMM + float64(i)*(wc+spacing)
+			y := GuardBandMM + float64(j)*(wc+spacing)
+			p.Chiplets = append(p.Chiplets, geom.Rect{X: x, Y: y, W: wc, H: wc})
+		}
+	}
+	return p, nil
+}
+
+// UniformGridForInterposer places r x r chiplets with uniform spacing chosen
+// so the square interposer has the given edge length (Fig. 3(b) sweeps).
+func UniformGridForInterposer(r int, interposerEdge float64) (Placement, error) {
+	if r < 2 {
+		return Placement{}, fmt.Errorf("floorplan: uniform interposer grid needs r >= 2, got %d", r)
+	}
+	wc := chipletEdge(r)
+	spacing := (interposerEdge - 2*GuardBandMM - float64(r)*wc) / float64(r-1)
+	if spacing < -geom.Eps {
+		return Placement{}, fmt.Errorf("floorplan: interposer edge %.2f mm too small for %dx%d chiplets",
+			interposerEdge, r, r)
+	}
+	if spacing < 0 {
+		spacing = 0
+	}
+	return UniformGrid(r, spacing)
+}
+
+// PaperOrg builds the paper's parameterized organization of Fig. 4(a).
+//
+//   - n == 4 (r=2): a 2x2 grid with central gap s3 in both axes; s1 and s2
+//     must be zero (Table II).
+//   - n == 16 (r=4): the 12 perimeter chiplets sit on a frame with column
+//     and row gaps [s1, s3, s1]; the 4 center chiplets form a 2x2 block
+//     centered on the interposer with gap s2 (both axes). Eq. (10)
+//     (2*s1 + s3 >= 2*s2) keeps the center block clear of the frame.
+//
+// The interposer edge follows Eq. (9): r*w_c + 2*s1 + s3 + 2*l_g.
+func PaperOrg(n int, s1, s2, s3 float64) (Placement, error) {
+	switch n {
+	case 4:
+		if s1 != 0 || s2 != 0 {
+			return Placement{}, fmt.Errorf("floorplan: 4-chiplet organization requires s1 = s2 = 0, got s1=%g s2=%g", s1, s2)
+		}
+		if s3 < 0 {
+			return Placement{}, fmt.Errorf("floorplan: s3 must be non-negative, got %g", s3)
+		}
+		p, err := UniformGrid(2, s3)
+		if err != nil {
+			return Placement{}, err
+		}
+		return p, nil
+	case 16:
+		return paperOrg16(s1, s2, s3)
+	default:
+		return Placement{}, fmt.Errorf("floorplan: paper organizations support n in {4, 16}, got %d", n)
+	}
+}
+
+func paperOrg16(s1, s2, s3 float64) (Placement, error) {
+	if s1 < 0 || s2 < 0 || s3 < 0 {
+		return Placement{}, fmt.Errorf("floorplan: spacings must be non-negative, got s1=%g s2=%g s3=%g", s1, s2, s3)
+	}
+	if 2*s1+s3-2*s2 < -geom.Eps {
+		return Placement{}, fmt.Errorf("floorplan: Eq.(10) violated: 2*s1+s3-2*s2 = %g < 0", 2*s1+s3-2*s2)
+	}
+	const r = 4
+	wc := chipletEdge(r)
+	edge := float64(r)*wc + 2*s1 + s3 + 2*GuardBandMM // Eq. (9)
+	p := Placement{
+		R: r, ChipletW: wc, ChipletH: wc,
+		W: edge, H: edge,
+		S1: s1, S2: s2, S3: s3,
+	}
+	// Frame coordinates for the perimeter chiplets: gaps [s1, s3, s1].
+	frame := [4]float64{
+		GuardBandMM,
+		GuardBandMM + wc + s1,
+		GuardBandMM + 2*wc + s1 + s3,
+		GuardBandMM + 3*wc + 2*s1 + s3,
+	}
+	// Centered coordinates for the inner 2x2 block with gap s2.
+	c := edge / 2
+	inner := [2]float64{c - wc - s2/2, c + s2/2}
+	for j := 0; j < r; j++ {
+		for i := 0; i < r; i++ {
+			var x, y float64
+			if i >= 1 && i <= 2 && j >= 1 && j <= 2 {
+				x, y = inner[i-1], inner[j-1]
+			} else {
+				x, y = frame[i], frame[j]
+			}
+			p.Chiplets = append(p.Chiplets, geom.Rect{X: x, Y: y, W: wc, H: wc})
+		}
+	}
+	return p, nil
+}
+
+// PaperOrgForInterposer builds a 16-chiplet organization whose interposer
+// edge is fixed; s3 is derived from Eq. (9): s3 = S - 2*s1 where
+// S = edge - r*w_c - 2*l_g. This is the constrained space the greedy search
+// walks within one cost bucket.
+func PaperOrgForInterposer(n int, interposerEdge, s1, s2 float64) (Placement, error) {
+	switch n {
+	case 4:
+		s3 := interposerEdge - 2*chipletEdge(2) - 2*GuardBandMM
+		if s3 < -geom.Eps {
+			return Placement{}, fmt.Errorf("floorplan: interposer edge %.2f mm too small for 4 chiplets", interposerEdge)
+		}
+		if s3 < 0 {
+			s3 = 0
+		}
+		return PaperOrg(4, 0, 0, s3)
+	case 16:
+		s := interposerEdge - 4*chipletEdge(4) - 2*GuardBandMM
+		if s < -geom.Eps {
+			return Placement{}, fmt.Errorf("floorplan: interposer edge %.2f mm too small for 16 chiplets", interposerEdge)
+		}
+		s3 := s - 2*s1
+		if s3 < -geom.Eps {
+			return Placement{}, fmt.Errorf("floorplan: s1=%g leaves negative s3 for interposer edge %.2f", s1, interposerEdge)
+		}
+		if s3 < 0 {
+			s3 = 0
+		}
+		return PaperOrg(16, s1, s2, s3)
+	default:
+		return Placement{}, fmt.Errorf("floorplan: paper organizations support n in {4, 16}, got %d", n)
+	}
+}
+
+// SpacingSpan returns S = 2*s1 + s3 available between chiplet columns for
+// the given chiplet count and interposer edge (negative if infeasible).
+func SpacingSpan(n int, interposerEdge float64) float64 {
+	r := 2
+	if n == 16 {
+		r = 4
+	}
+	return interposerEdge - float64(r)*chipletEdge(r) - 2*GuardBandMM
+}
+
+// Validate checks the geometric invariants: chiplets pairwise disjoint,
+// inside the guard-banded interposer region, and the interposer within the
+// Eq. (7) stepper limit.
+func (p Placement) Validate() error {
+	if p.W > MaxInterposerEdgeMM+geom.Eps || p.H > MaxInterposerEdgeMM+geom.Eps {
+		return fmt.Errorf("floorplan: interposer %.2fx%.2f mm exceeds %.0f mm limit (Eq. 7)",
+			p.W, p.H, MaxInterposerEdgeMM)
+	}
+	if len(p.Chiplets) != p.NumChiplets() {
+		return fmt.Errorf("floorplan: have %d chiplet rects, want %d", len(p.Chiplets), p.NumChiplets())
+	}
+	inner := geom.Rect{X: 0, Y: 0, W: p.W, H: p.H}
+	if !p.Is2D() {
+		inner = geom.Rect{
+			X: GuardBandMM - geom.Eps, Y: GuardBandMM - geom.Eps,
+			W: p.W - 2*GuardBandMM + 2*geom.Eps, H: p.H - 2*GuardBandMM + 2*geom.Eps,
+		}
+	}
+	for i, c := range p.Chiplets {
+		if !inner.Contains(c) {
+			return fmt.Errorf("floorplan: chiplet %d %v outside guard-banded region %v", i, c, inner)
+		}
+	}
+	if i, j, ov := geom.AnyOverlap(p.Chiplets); ov {
+		return fmt.Errorf("floorplan: chiplets %d and %d overlap: %v vs %v", i, j, p.Chiplets[i], p.Chiplets[j])
+	}
+	return nil
+}
+
+// Core identifies one core tile: its logical mesh coordinates, owning
+// chiplet, and physical outline in interposer coordinates.
+type Core struct {
+	// Col and Row are the logical 16x16 mesh coordinates (preserved across
+	// chiplet splits: the mesh is the same, links between chiplets just get
+	// longer).
+	Col, Row int
+	// Chiplet is the index into Placement.Chiplets that contains this core.
+	Chiplet int
+	// Rect is the physical tile outline in mm, interposer coordinates.
+	Rect geom.Rect
+}
+
+// CoreMapSupported reports whether the placement's chiplet grid divides the
+// 16x16 core mesh evenly (r | 16), which is required to build a core map.
+func (p Placement) CoreMapSupported() bool { return CoresPerEdge%p.R == 0 }
+
+// Cores returns the 256 core tiles of the placement. The logical 16x16 mesh
+// is partitioned into r x r blocks of (16/r)² cores, each block living on
+// one chiplet; tiles are laid out contiguously within their chiplet.
+// Returns an error if r does not divide 16.
+func (p Placement) Cores() ([]Core, error) {
+	if !p.CoreMapSupported() {
+		return nil, fmt.Errorf("floorplan: %dx%d chiplet grid does not divide the %dx%d core mesh",
+			p.R, p.R, CoresPerEdge, CoresPerEdge)
+	}
+	per := CoresPerEdge / p.R // cores per chiplet edge
+	pitchW := p.ChipletW / float64(per)
+	pitchH := p.ChipletH / float64(per)
+	cores := make([]Core, 0, NumCores)
+	for row := 0; row < CoresPerEdge; row++ {
+		for col := 0; col < CoresPerEdge; col++ {
+			ci, cj := col/per, row/per
+			chiplet := cj*p.R + ci
+			base := p.Chiplets[chiplet]
+			lx, ly := col%per, row%per
+			cores = append(cores, Core{
+				Col: col, Row: row, Chiplet: chiplet,
+				Rect: geom.Rect{
+					X: base.X + float64(lx)*pitchW,
+					Y: base.Y + float64(ly)*pitchH,
+					W: pitchW, H: pitchH,
+				},
+			})
+		}
+	}
+	return cores, nil
+}
+
+// SnapToStep rounds a spacing to the paper's 0.5 mm placement granularity.
+func SnapToStep(v float64) float64 {
+	return math.Round(v/SpacingStepMM) * SpacingStepMM
+}

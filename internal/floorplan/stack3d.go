@@ -1,0 +1,104 @@
+package floorplan
+
+import (
+	"fmt"
+
+	"chiplet25d/internal/geom"
+	"chiplet25d/internal/materials"
+)
+
+// 3D stacking support: the paper contrasts 2.5D integration against 3D die
+// stacking, which "reduces system footprint and increases memory bandwidth
+// but exacerbates the thermal issues" (Sec. I). BuildStack3D models that
+// alternative — the same 256 cores split across vertically stacked dies —
+// so the comparison can be made quantitatively with the same thermal
+// solver. Only the bottom-up order differs from the 2D stack: each extra
+// CMOS level sits above a microbump bonding layer; only the top level faces
+// the TIM/spreader/sink directly, which is exactly why the lower levels run
+// hot.
+
+// BondLayerThicknessM is the die-to-die bond (microbump) layer thickness.
+const BondLayerThicknessM = 10e-6
+
+// Stack3DLevels lists the supported level counts: the 324 mm² of silicon
+// splits into equal dies stacked vertically.
+var Stack3DLevels = []int{2, 4}
+
+// Placement3D describes a 3D-stacked organization: `Levels` equal dies,
+// each holding 256/Levels cores, sharing one footprint.
+type Placement3D struct {
+	// Levels is the die count.
+	Levels int
+	// W, H is the shared footprint in mm.
+	W, H float64
+	// CMOSLayers indexes the power-dissipating layers of the built stack,
+	// bottom-up.
+	CMOSLayers []int
+}
+
+// NewPlacement3D splits the 256-core chip into `levels` stacked dies. The
+// footprint keeps the full 18 mm width and divides the height, so the core
+// grid splits into 16 x (16/levels) tiles per die; levels must divide 16.
+func NewPlacement3D(levels int) (Placement3D, error) {
+	if levels < 2 || CoresPerEdge%levels != 0 {
+		return Placement3D{}, fmt.Errorf("floorplan: 3D levels must be >= 2 and divide %d, got %d", CoresPerEdge, levels)
+	}
+	return Placement3D{
+		Levels: levels,
+		W:      ChipEdgeMM,
+		H:      ChipEdgeMM / float64(levels),
+	}, nil
+}
+
+// CoresPerLevel returns the core count on each die.
+func (p Placement3D) CoresPerLevel() int { return NumCores / p.Levels }
+
+// BuildStack3D assembles the layer stack: substrate, C4, then `Levels`
+// silicon dies separated by bond layers, capped by the TIM. The returned
+// Placement3D echo carries the CMOS layer indices for power injection via
+// thermal.(*Model).SolveMulti.
+func BuildStack3D(levels int) (Stack, Placement3D, error) {
+	p3, err := NewPlacement3D(levels)
+	if err != nil {
+		return Stack{}, Placement3D{}, err
+	}
+	si := propsOf(materials.Silicon)
+	fr4 := propsOf(materials.FR4)
+	tim := propsOf(materials.TIM)
+	c4 := propsOfComposite(materials.C4Layer)
+	bond := propsOfComposite(materials.MicrobumpLayer)
+
+	var s Stack
+	s.W, s.H = p3.W, p3.H
+	s.Layers = []Layer{
+		{Name: "substrate", ThicknessM: SubstrateThicknessM, Background: fr4},
+		{Name: "c4", ThicknessM: C4ThicknessM, Background: c4},
+	}
+	for lvl := 0; lvl < levels; lvl++ {
+		if lvl > 0 {
+			s.Layers = append(s.Layers, Layer{
+				Name:       fmt.Sprintf("bond%d", lvl),
+				ThicknessM: BondLayerThicknessM,
+				Background: bond,
+			})
+		}
+		s.Layers = append(s.Layers, Layer{
+			Name:       fmt.Sprintf("die%d", lvl),
+			ThicknessM: ChipThicknessM,
+			Background: si,
+		})
+		p3.CMOSLayers = append(p3.CMOSLayers, len(s.Layers)-1)
+	}
+	s.Layers = append(s.Layers, Layer{Name: "tim", ThicknessM: TIMThicknessM, Background: tim})
+	// ChipLayer points at the top die (the hottest-path reference); power
+	// for all levels is injected via SolveMulti using CMOSLayers.
+	s.ChipLayer = p3.CMOSLayers[len(p3.CMOSLayers)-1]
+	s.Placement = Placement{
+		R: 1, ChipletW: p3.W, ChipletH: p3.H, W: p3.W, H: p3.H,
+		Chiplets: []geom.Rect{{X: 0, Y: 0, W: p3.W, H: p3.H}},
+	}
+	if err := s.Validate(); err != nil {
+		return Stack{}, Placement3D{}, err
+	}
+	return s, p3, nil
+}

@@ -1,0 +1,207 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+
+	"chiplet25d/internal/geom"
+	"chiplet25d/internal/materials"
+)
+
+func TestBuildStack2D(t *testing.T) {
+	s, err := BuildStack(SingleChip())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"substrate", "c4", "chip", "tim"}
+	if len(s.Layers) != len(names) {
+		t.Fatalf("2D stack has %d layers, want %d", len(s.Layers), len(names))
+	}
+	for i, n := range names {
+		if s.Layers[i].Name != n {
+			t.Errorf("layer %d = %q, want %q", i, s.Layers[i].Name, n)
+		}
+	}
+	if s.Layers[s.ChipLayer].Name != "chip" {
+		t.Errorf("chip layer mislabeled: %q", s.Layers[s.ChipLayer].Name)
+	}
+}
+
+func TestBuildStack25D(t *testing.T) {
+	p, err := PaperOrg(16, 1, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := BuildStack(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"substrate", "c4", "interposer", "microbump", "chiplets", "tim"}
+	for i, n := range names {
+		if s.Layers[i].Name != n {
+			t.Errorf("layer %d = %q, want %q", i, s.Layers[i].Name, n)
+		}
+	}
+	if s.Layers[s.ChipLayer].Name != "chiplets" {
+		t.Errorf("chip layer mislabeled: %q", s.Layers[s.ChipLayer].Name)
+	}
+	// Table I thicknesses.
+	if s.Layers[2].ThicknessM != InterposerThicknessM {
+		t.Errorf("interposer thickness = %v", s.Layers[2].ThicknessM)
+	}
+	// The chiplet layer must carry one silicon block per chiplet on an
+	// epoxy background.
+	chip := s.Layers[s.ChipLayer]
+	if len(chip.Blocks) != 16 {
+		t.Fatalf("chiplet layer has %d blocks, want 16", len(chip.Blocks))
+	}
+	if chip.Background.VertK != materials.Epoxy.K {
+		t.Errorf("chiplet layer background should be epoxy, K = %v", chip.Background.VertK)
+	}
+	if chip.Blocks[0].Props.VertK != materials.Silicon.K {
+		t.Errorf("chiplet blocks should be silicon, K = %v", chip.Blocks[0].Props.VertK)
+	}
+}
+
+func TestBuildStackRejectsInvalidPlacement(t *testing.T) {
+	p, err := UniformGrid(2, 40) // 60 mm interposer: violates Eq. (7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildStack(p); err == nil {
+		t.Errorf("expected stack build to reject oversize interposer")
+	}
+}
+
+// TestTableI pins the Table I stack parameters so accidental edits to the
+// physical configuration fail loudly.
+func TestTableI(t *testing.T) {
+	wantThickness := map[string]float64{
+		"substrate":  200e-6,
+		"c4":         70e-6,
+		"interposer": 110e-6,
+		"microbump":  10e-6,
+		"chiplets":   150e-6,
+		"tim":        20e-6,
+	}
+	p, err := PaperOrg(4, 0, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := BuildStack(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range s.Layers {
+		if want := wantThickness[l.Name]; math.Abs(l.ThicknessM-want) > 1e-12 {
+			t.Errorf("layer %q thickness = %v, want %v", l.Name, l.ThicknessM, want)
+		}
+	}
+	if SinkThicknessM != 6.9e-3 || SpreaderThicknessM != 1e-3 {
+		t.Errorf("sink/spreader thicknesses drifted from Table I")
+	}
+}
+
+func TestRasterizeLayerBlending(t *testing.T) {
+	g, err := geom.NewGrid(4, 4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := Layer{
+		Name:       "test",
+		ThicknessM: 1e-4,
+		Background: LayerProps{VertK: 1, LatK: 1, VolHeatCap: 1},
+		Blocks: []Block{
+			// Covers exactly the left half of the grid.
+			{Rect: geom.Rect{X: 0, Y: 0, W: 2, H: 4}, Props: LayerProps{VertK: 101, LatK: 51, VolHeatCap: 11}},
+		},
+	}
+	props := RasterizeLayer(l, g)
+	// Left-half cells take block values; right half background.
+	if p := props[g.Index(0, 0)]; math.Abs(p.VertK-101) > 1e-9 {
+		t.Errorf("left cell VertK = %v, want 101", p.VertK)
+	}
+	if p := props[g.Index(3, 3)]; math.Abs(p.VertK-1) > 1e-9 {
+		t.Errorf("right cell VertK = %v, want 1", p.VertK)
+	}
+}
+
+func TestRasterizeLayerPartialCoverage(t *testing.T) {
+	g, err := geom.NewGrid(2, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := Layer{
+		Name:       "test",
+		ThicknessM: 1e-4,
+		Background: LayerProps{VertK: 10, LatK: 10, VolHeatCap: 10},
+		Blocks: []Block{
+			// Covers half of cell (0,0).
+			{Rect: geom.Rect{X: 0, Y: 0, W: 0.5, H: 1}, Props: LayerProps{VertK: 20, LatK: 20, VolHeatCap: 20}},
+		},
+	}
+	props := RasterizeLayer(l, g)
+	// Cell (0,0): 50% at 20 + 50% at 10 = 15.
+	if p := props[g.Index(0, 0)]; math.Abs(p.VertK-15) > 1e-9 {
+		t.Errorf("blended VertK = %v, want 15", p.VertK)
+	}
+}
+
+func TestStackValidateCatchesBadLayer(t *testing.T) {
+	s := Stack{
+		W: 10, H: 10,
+		Layers: []Layer{{Name: "bad", ThicknessM: 0, Background: LayerProps{VertK: 1, LatK: 1, VolHeatCap: 1}}},
+	}
+	if err := s.Validate(); err == nil {
+		t.Errorf("expected error for zero-thickness layer")
+	}
+	s.Layers[0].ThicknessM = 1e-4
+	s.Layers[0].Background.VertK = 0
+	if err := s.Validate(); err == nil {
+		t.Errorf("expected error for zero conductivity")
+	}
+	if err := (Stack{}).Validate(); err == nil {
+		t.Errorf("expected error for empty stack")
+	}
+}
+
+func TestBuildStack3D(t *testing.T) {
+	s, p3, err := BuildStack3D(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// substrate, c4, die0, bond1, die1, tim.
+	if len(s.Layers) != 6 {
+		t.Fatalf("2-high stack has %d layers, want 6", len(s.Layers))
+	}
+	if len(p3.CMOSLayers) != 2 || p3.CMOSLayers[0] != 2 || p3.CMOSLayers[1] != 4 {
+		t.Fatalf("CMOS layers = %v", p3.CMOSLayers)
+	}
+	if p3.CoresPerLevel() != 128 {
+		t.Fatalf("cores per level = %d", p3.CoresPerLevel())
+	}
+	// Footprint halves in one dimension; silicon area is conserved.
+	if s.W != 18 || math.Abs(s.H-9) > 1e-9 {
+		t.Fatalf("footprint = %.1fx%.1f", s.W, s.H)
+	}
+	if math.Abs(s.W*s.H*float64(p3.Levels)-324) > 1e-6 {
+		t.Fatalf("silicon area not conserved")
+	}
+}
+
+func TestBuildStack3DRejectsBadLevels(t *testing.T) {
+	for _, levels := range []int{0, 1, 3, 5, 32} {
+		if _, _, err := BuildStack3D(levels); err == nil {
+			t.Errorf("levels=%d should be rejected", levels)
+		}
+	}
+}

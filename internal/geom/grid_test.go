@@ -1,0 +1,146 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustGrid(t *testing.T, nx, ny int, w, h float64) Grid {
+	t.Helper()
+	g, err := NewGrid(nx, ny, w, h)
+	if err != nil {
+		t.Fatalf("NewGrid: %v", err)
+	}
+	return g
+}
+
+func TestNewGridRejectsBadArgs(t *testing.T) {
+	if _, err := NewGrid(0, 4, 1, 1); err == nil {
+		t.Errorf("expected error for zero nx")
+	}
+	if _, err := NewGrid(4, 4, -1, 1); err == nil {
+		t.Errorf("expected error for negative width")
+	}
+}
+
+func TestGridCellGeometry(t *testing.T) {
+	g := mustGrid(t, 4, 2, 8, 4)
+	if !almostEq(g.CellW(), 2) || !almostEq(g.CellH(), 2) {
+		t.Fatalf("cell size = %vx%v, want 2x2", g.CellW(), g.CellH())
+	}
+	if g.NumCells() != 8 {
+		t.Fatalf("NumCells = %d, want 8", g.NumCells())
+	}
+	r := g.CellRect(3, 1)
+	if !almostEq(r.X, 6) || !almostEq(r.Y, 2) {
+		t.Fatalf("CellRect(3,1) = %v", r)
+	}
+}
+
+func TestGridIndexRoundTrip(t *testing.T) {
+	g := mustGrid(t, 7, 5, 7, 5)
+	for iy := 0; iy < g.Ny; iy++ {
+		for ix := 0; ix < g.Nx; ix++ {
+			gx, gy := g.Coords(g.Index(ix, iy))
+			if gx != ix || gy != iy {
+				t.Fatalf("round trip (%d,%d) -> (%d,%d)", ix, iy, gx, gy)
+			}
+		}
+	}
+}
+
+func TestCellAtClamps(t *testing.T) {
+	g := mustGrid(t, 4, 4, 4, 4)
+	if ix, iy := g.CellAt(-5, -5); ix != 0 || iy != 0 {
+		t.Errorf("CellAt below range = (%d,%d)", ix, iy)
+	}
+	if ix, iy := g.CellAt(100, 100); ix != 3 || iy != 3 {
+		t.Errorf("CellAt above range = (%d,%d)", ix, iy)
+	}
+	if ix, iy := g.CellAt(2.5, 1.5); ix != 2 || iy != 1 {
+		t.Errorf("CellAt interior = (%d,%d)", ix, iy)
+	}
+}
+
+// RasterizeAdd must conserve the deposited total when the rectangle lies
+// fully inside the grid.
+func TestRasterizeConservesTotal(t *testing.T) {
+	g := mustGrid(t, 16, 16, 18, 18)
+	dst := make([]float64, g.NumCells())
+	g.RasterizeAdd(dst, Rect{X: 1.3, Y: 2.7, W: 5.1, H: 3.9}, 42.5)
+	sum := 0.0
+	for _, v := range dst {
+		sum += v
+	}
+	if math.Abs(sum-42.5) > 1e-9 {
+		t.Fatalf("rasterized sum = %v, want 42.5", sum)
+	}
+}
+
+func TestRasterizeAlignedRect(t *testing.T) {
+	g := mustGrid(t, 4, 4, 4, 4)
+	dst := make([]float64, g.NumCells())
+	// One exact cell.
+	g.RasterizeAdd(dst, Rect{X: 1, Y: 2, W: 1, H: 1}, 8)
+	for i, v := range dst {
+		want := 0.0
+		if i == g.Index(1, 2) {
+			want = 8
+		}
+		if math.Abs(v-want) > 1e-9 {
+			t.Fatalf("cell %d = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestRasterizeOutsidePartlyDeposits(t *testing.T) {
+	g := mustGrid(t, 2, 2, 2, 2)
+	dst := make([]float64, g.NumCells())
+	// Half the rect is outside the grid: only half the total lands.
+	g.RasterizeAdd(dst, Rect{X: 1, Y: 0, W: 2, H: 2}, 10)
+	sum := 0.0
+	for _, v := range dst {
+		sum += v
+	}
+	if math.Abs(sum-5) > 1e-9 {
+		t.Fatalf("sum = %v, want 5 (half inside)", sum)
+	}
+}
+
+func TestCoverageFractionFullLayer(t *testing.T) {
+	g := mustGrid(t, 8, 8, 10, 10)
+	cov := make([]float64, g.NumCells())
+	g.CoverageFraction(cov, Rect{X: 0, Y: 0, W: 10, H: 10})
+	for i, v := range cov {
+		if math.Abs(v-1) > 1e-9 {
+			t.Fatalf("cell %d coverage = %v, want 1", i, v)
+		}
+	}
+}
+
+// Property: rasterizing any in-bounds rectangle conserves its total.
+func TestRasterizeConservationProperty(t *testing.T) {
+	g := mustGrid(t, 12, 10, 24, 20)
+	f := func(x, y, w, h, p float64) bool {
+		r := NewRect(mod(x, 20), mod(y, 16), 0.1+mod(w, 3.9), 0.1+mod(h, 3.9))
+		total := 1 + mod(p, 100)
+		dst := make([]float64, g.NumCells())
+		g.RasterizeAdd(dst, r, total)
+		sum := 0.0
+		for _, v := range dst {
+			sum += v
+		}
+		return math.Abs(sum-total) < 1e-6*total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mod(v, m float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Abs(math.Mod(v, m))
+}

@@ -1,0 +1,50 @@
+package hotspotio
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadFLP exercises the floorplan parser with arbitrary input: it must
+// never panic, and anything it accepts must survive a write/re-read round
+// trip.
+func FuzzReadFLP(f *testing.F) {
+	f.Add("core\t1e-3\t1e-3\t0\t0\n")
+	f.Add("# comment only\n")
+	f.Add("a 1 2 3 4\nb 5 6 7 8\n")
+	f.Add("bad line\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		blocks, err := ReadFLP(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf strings.Builder
+		if werr := WriteFLP(&buf, blocks); werr != nil {
+			return // degenerate geometry is allowed to be unwritable
+		}
+		again, rerr := ReadFLP(strings.NewReader(buf.String()))
+		if rerr != nil {
+			t.Fatalf("round trip failed: %v", rerr)
+		}
+		if len(again) != len(blocks) {
+			t.Fatalf("round trip changed block count: %d vs %d", len(again), len(blocks))
+		}
+	})
+}
+
+// FuzzReadPTrace exercises the power-trace parser the same way.
+func FuzzReadPTrace(f *testing.F) {
+	f.Add("a b\n1 2\n")
+	f.Add("")
+	f.Add("x\nnot-a-number\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		names, rows, err := ReadPTrace(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf strings.Builder
+		if werr := WritePTrace(&buf, names, rows); werr != nil {
+			t.Fatalf("accepted trace failed to write: %v", werr)
+		}
+	})
+}

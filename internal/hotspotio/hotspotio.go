@@ -1,0 +1,245 @@
+// Package hotspotio reads and writes the file formats of the HotSpot
+// thermal simulator (the paper's thermal tool), so organizations built with
+// this library can be cross-validated against real HotSpot runs and vice
+// versa:
+//
+//   - .flp floorplan files: one block per line,
+//     "<name> <width_m> <height_m> <left_x_m> <bottom_y_m>", '#' comments;
+//   - .ptrace power traces: a header line of block names followed by rows
+//     of per-block power samples in watts;
+//   - .lcf layer configuration files for HotSpot's grid model: for each
+//     layer, the layer number, lateral heat flow flag, power dissipation
+//     flag, specific heat (J/(m³·K)), resistivity (m·K/W), thickness (m)
+//     and floorplan file.
+//
+// Geometry converts between this library's millimeters and HotSpot's
+// meters.
+package hotspotio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/geom"
+)
+
+// Block is one named floorplan rectangle (HotSpot "unit").
+type Block struct {
+	Name string
+	Rect geom.Rect // millimeters
+}
+
+// WriteFLP writes blocks in HotSpot .flp format (meters).
+func WriteFLP(w io.Writer, blocks []Block) error {
+	if _, err := fmt.Fprintln(w, "# Floorplan exported by chiplet25d (units: meters)"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "# <unit-name> <width> <height> <left-x> <bottom-y>"); err != nil {
+		return err
+	}
+	for _, b := range blocks {
+		if strings.ContainsAny(b.Name, " \t\n") || b.Name == "" {
+			return fmt.Errorf("hotspotio: invalid block name %q", b.Name)
+		}
+		if b.Rect.Empty() {
+			return fmt.Errorf("hotspotio: block %q has empty rectangle", b.Name)
+		}
+		if _, err := fmt.Fprintf(w, "%s\t%.6e\t%.6e\t%.6e\t%.6e\n",
+			b.Name, b.Rect.W*1e-3, b.Rect.H*1e-3, b.Rect.X*1e-3, b.Rect.Y*1e-3); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFLP parses a HotSpot .flp file into blocks (converted to mm).
+func ReadFLP(r io.Reader) ([]Block, error) {
+	var out []Block
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 5 {
+			return nil, fmt.Errorf("hotspotio: line %d: want 5 fields, got %d", lineNo, len(fields))
+		}
+		vals := make([]float64, 4)
+		for i := 0; i < 4; i++ {
+			v, err := strconv.ParseFloat(fields[i+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("hotspotio: line %d: %v", lineNo, err)
+			}
+			vals[i] = v * 1e3 // meters -> mm
+		}
+		out = append(out, Block{
+			Name: fields[0],
+			Rect: geom.Rect{W: vals[0], H: vals[1], X: vals[2], Y: vals[3]},
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("hotspotio: no blocks in floorplan")
+	}
+	return out, nil
+}
+
+// CoreBlocks converts a placement's 256 core tiles into named blocks
+// ("core_<row>_<col>"), the granularity the paper feeds HotSpot.
+func CoreBlocks(pl floorplan.Placement) ([]Block, error) {
+	cores, err := pl.Cores()
+	if err != nil {
+		return nil, err
+	}
+	blocks := make([]Block, len(cores))
+	for i, c := range cores {
+		blocks[i] = Block{Name: fmt.Sprintf("core_%d_%d", c.Row, c.Col), Rect: c.Rect}
+	}
+	return blocks, nil
+}
+
+// ChipletLayerBlocks converts a 2.5D placement's chiplet layer into blocks:
+// one silicon block per chiplet plus the epoxy fill is left implicit (real
+// HotSpot floorplans fill gaps with explicit blocks; ToFilledLayer adds
+// them).
+func ChipletLayerBlocks(pl floorplan.Placement) []Block {
+	blocks := make([]Block, len(pl.Chiplets))
+	for i, c := range pl.Chiplets {
+		blocks[i] = Block{Name: fmt.Sprintf("chiplet_%d", i), Rect: c}
+	}
+	return blocks
+}
+
+// ToFilledLayer pads a block list with filler blocks so the layer tiles the
+// full w x h footprint, as HotSpot requires. The fill is computed by
+// fracturing the free space into maximal horizontal strips per occupied
+// row interval (simple scanline fracturing over the blocks' y edges).
+func ToFilledLayer(blocks []Block, w, h float64, fillPrefix string) []Block {
+	// Collect y edges.
+	ys := []float64{0, h}
+	for _, b := range blocks {
+		ys = append(ys, b.Rect.Y, b.Rect.MaxY())
+	}
+	sort.Float64s(ys)
+	ys = dedup(ys)
+	out := append([]Block(nil), blocks...)
+	fillCount := 0
+	for i := 0; i+1 < len(ys); i++ {
+		y0, y1 := ys[i], ys[i+1]
+		if y1-y0 < geom.Eps {
+			continue
+		}
+		// X intervals covered by blocks intersecting this strip.
+		type span struct{ x0, x1 float64 }
+		var spans []span
+		for _, b := range blocks {
+			if b.Rect.Y <= y0+geom.Eps && b.Rect.MaxY() >= y1-geom.Eps {
+				spans = append(spans, span{b.Rect.X, b.Rect.MaxX()})
+			}
+		}
+		sort.Slice(spans, func(a, b int) bool { return spans[a].x0 < spans[b].x0 })
+		x := 0.0
+		for _, s := range spans {
+			if s.x0 > x+geom.Eps {
+				out = append(out, Block{
+					Name: fmt.Sprintf("%s%d", fillPrefix, fillCount),
+					Rect: geom.Rect{X: x, Y: y0, W: s.x0 - x, H: y1 - y0},
+				})
+				fillCount++
+			}
+			if s.x1 > x {
+				x = s.x1
+			}
+		}
+		if x < w-geom.Eps {
+			out = append(out, Block{
+				Name: fmt.Sprintf("%s%d", fillPrefix, fillCount),
+				Rect: geom.Rect{X: x, Y: y0, W: w - x, H: y1 - y0},
+			})
+			fillCount++
+		}
+	}
+	return out
+}
+
+func dedup(v []float64) []float64 {
+	out := v[:0]
+	for i, x := range v {
+		if i == 0 || x-out[len(out)-1] > geom.Eps {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// WritePTrace writes a HotSpot .ptrace file: a header of block names and
+// one row per sample of per-block watts.
+func WritePTrace(w io.Writer, names []string, rows [][]float64) error {
+	if len(names) == 0 {
+		return fmt.Errorf("hotspotio: no block names")
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(names, "\t")); err != nil {
+		return err
+	}
+	for i, row := range rows {
+		if len(row) != len(names) {
+			return fmt.Errorf("hotspotio: row %d has %d values, want %d", i, len(row), len(names))
+		}
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = strconv.FormatFloat(v, 'g', 6, 64)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(parts, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadPTrace parses a .ptrace file.
+func ReadPTrace(r io.Reader) (names []string, rows [][]float64, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if names == nil {
+			names = fields
+			continue
+		}
+		if len(fields) != len(names) {
+			return nil, nil, fmt.Errorf("hotspotio: line %d has %d values, want %d", lineNo, len(fields), len(names))
+		}
+		row := make([]float64, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("hotspotio: line %d: %v", lineNo, err)
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if names == nil {
+		return nil, nil, fmt.Errorf("hotspotio: empty power trace")
+	}
+	return names, rows, nil
+}

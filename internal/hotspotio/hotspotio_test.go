@@ -1,0 +1,222 @@
+package hotspotio
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/geom"
+)
+
+func TestFLPRoundTrip(t *testing.T) {
+	in := []Block{
+		{Name: "core_0_0", Rect: geom.Rect{X: 0, Y: 0, W: 1.125, H: 1.125}},
+		{Name: "l2", Rect: geom.Rect{X: 1.125, Y: 0, W: 0.5, H: 1.125}},
+	}
+	var buf strings.Builder
+	if err := WriteFLP(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFLP(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip lost blocks: %d vs %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Name != in[i].Name {
+			t.Errorf("block %d name %q != %q", i, out[i].Name, in[i].Name)
+		}
+		if math.Abs(out[i].Rect.W-in[i].Rect.W) > 1e-9 || math.Abs(out[i].Rect.X-in[i].Rect.X) > 1e-9 {
+			t.Errorf("block %d geometry drifted: %v vs %v", i, out[i].Rect, in[i].Rect)
+		}
+	}
+}
+
+func TestWriteFLPRejectsBadBlocks(t *testing.T) {
+	var buf strings.Builder
+	if err := WriteFLP(&buf, []Block{{Name: "has space", Rect: geom.Rect{W: 1, H: 1}}}); err == nil {
+		t.Errorf("expected error for name with space")
+	}
+	if err := WriteFLP(&buf, []Block{{Name: "empty", Rect: geom.Rect{}}}); err == nil {
+		t.Errorf("expected error for empty rectangle")
+	}
+}
+
+func TestReadFLPErrors(t *testing.T) {
+	if _, err := ReadFLP(strings.NewReader("# only comments\n")); err == nil {
+		t.Errorf("expected error for empty floorplan")
+	}
+	if _, err := ReadFLP(strings.NewReader("blk 1 2 3\n")); err == nil {
+		t.Errorf("expected error for short line")
+	}
+	if _, err := ReadFLP(strings.NewReader("blk a b c d\n")); err == nil {
+		t.Errorf("expected error for non-numeric fields")
+	}
+}
+
+func TestCoreBlocks(t *testing.T) {
+	blocks, err := CoreBlocks(floorplan.SingleChip())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 256 {
+		t.Fatalf("core blocks = %d", len(blocks))
+	}
+	seen := map[string]bool{}
+	for _, b := range blocks {
+		if seen[b.Name] {
+			t.Fatalf("duplicate block name %s", b.Name)
+		}
+		seen[b.Name] = true
+	}
+}
+
+func TestToFilledLayerTilesFootprint(t *testing.T) {
+	pl, err := floorplan.PaperOrg(16, 1, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := ToFilledLayer(ChipletLayerBlocks(pl), pl.W, pl.H, "fill_")
+	// Filled layer must cover exactly the footprint area with no overlap.
+	area := 0.0
+	rects := make([]geom.Rect, len(blocks))
+	for i, b := range blocks {
+		area += b.Rect.Area()
+		rects[i] = b.Rect
+	}
+	if math.Abs(area-pl.W*pl.H) > 1e-6 {
+		t.Fatalf("filled layer area %.6f != footprint %.6f", area, pl.W*pl.H)
+	}
+	if i, j, ov := geom.AnyOverlap(rects); ov {
+		t.Fatalf("filled layer blocks %d and %d overlap: %v %v", i, j, rects[i], rects[j])
+	}
+}
+
+func TestToFilledLayerSingleBlock(t *testing.T) {
+	blocks := ToFilledLayer(
+		[]Block{{Name: "b", Rect: geom.Rect{X: 2, Y: 2, W: 2, H: 2}}}, 10, 10, "f_")
+	area := 0.0
+	for _, b := range blocks {
+		area += b.Rect.Area()
+	}
+	if math.Abs(area-100) > 1e-9 {
+		t.Fatalf("area %.3f != 100", area)
+	}
+}
+
+func TestPTraceRoundTrip(t *testing.T) {
+	names := []string{"core_0_0", "core_0_1"}
+	rows := [][]float64{{1.5, 0}, {1.75, 0.25}}
+	var buf strings.Builder
+	if err := WritePTrace(&buf, names, rows); err != nil {
+		t.Fatal(err)
+	}
+	gotNames, gotRows, err := ReadPTrace(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotNames) != 2 || gotNames[0] != "core_0_0" {
+		t.Fatalf("names = %v", gotNames)
+	}
+	if len(gotRows) != 2 || gotRows[1][0] != 1.75 {
+		t.Fatalf("rows = %v", gotRows)
+	}
+}
+
+func TestPTraceErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := WritePTrace(&buf, nil, nil); err == nil {
+		t.Errorf("expected error for empty names")
+	}
+	if err := WritePTrace(&buf, []string{"a"}, [][]float64{{1, 2}}); err == nil {
+		t.Errorf("expected error for ragged row")
+	}
+	if _, _, err := ReadPTrace(strings.NewReader("")); err == nil {
+		t.Errorf("expected error for empty trace")
+	}
+	if _, _, err := ReadPTrace(strings.NewReader("a b\n1\n")); err == nil {
+		t.Errorf("expected error for short row")
+	}
+	if _, _, err := ReadPTrace(strings.NewReader("a\nx\n")); err == nil {
+		t.Errorf("expected error for non-numeric value")
+	}
+}
+
+func TestExportStack25D(t *testing.T) {
+	pl, err := floorplan.PaperOrg(16, 1, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack, err := floorplan.BuildStack(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle, err := ExportStack(stack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundle.LayerOrder) != len(stack.Layers) {
+		t.Fatalf("exported %d layers, want %d", len(bundle.LayerOrder), len(stack.Layers))
+	}
+	// The chip layer floorplan must contain 256 core blocks and parse back.
+	chipFLP := bundle.Floorplans[bundle.LayerOrder[stack.ChipLayer]]
+	blocks, err := ReadFLP(strings.NewReader(chipFLP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreCount := 0
+	for _, b := range blocks {
+		if strings.HasPrefix(b.Name, "core_") {
+			coreCount++
+		}
+	}
+	if coreCount != 256 {
+		t.Fatalf("chip layer has %d core blocks, want 256", coreCount)
+	}
+	// LCF mentions every floorplan file and marks exactly one layer as
+	// power dissipating.
+	if got := strings.Count(bundle.LCF, ".flp"); got < len(stack.Layers) {
+		t.Errorf("LCF references %d floorplan files, want >= %d", got, len(stack.Layers))
+	}
+	if got := strings.Count(bundle.LCF, "\nY\n%!"); got != 0 {
+		t.Errorf("formatting artifact in LCF")
+	}
+	var out strings.Builder
+	if err := bundle.WriteBundle(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != bundle.LCF {
+		t.Errorf("WriteBundle mismatch")
+	}
+}
+
+func TestExportStack2D(t *testing.T) {
+	stack, err := floorplan.BuildStack(floorplan.SingleChip())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle, err := ExportStack(stack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundle.LayerOrder) != 4 {
+		t.Fatalf("2D stack exported %d layers", len(bundle.LayerOrder))
+	}
+	// Every exported floorplan must tile the footprint exactly.
+	for name, content := range bundle.Floorplans {
+		blocks, err := ReadFLP(strings.NewReader(content))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		area := 0.0
+		for _, b := range blocks {
+			area += b.Rect.Area()
+		}
+		if math.Abs(area-stack.W*stack.H) > 1e-3 {
+			t.Errorf("%s area %.4f != footprint %.4f", name, area, stack.W*stack.H)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package hotspotio
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/geom"
+)
+
+// ExportBundle is the set of files describing one stack for HotSpot's grid
+// model: the layer configuration file plus one floorplan file per layer.
+type ExportBundle struct {
+	// LCF is the layer configuration file content.
+	LCF string
+	// Floorplans maps file names (referenced from the LCF) to .flp content.
+	Floorplans map[string]string
+	// LayerOrder lists floorplan file names bottom-up.
+	LayerOrder []string
+}
+
+// ExportStack converts a floorplan.Stack into HotSpot grid-model input
+// files. Power-dissipating layers (the CMOS layer) get per-core blocks; the
+// other layers get their material blocks with explicit filler so every
+// layer tiles the footprint, as HotSpot requires.
+func ExportStack(stack floorplan.Stack) (*ExportBundle, error) {
+	if err := stack.Validate(); err != nil {
+		return nil, err
+	}
+	bundle := &ExportBundle{Floorplans: make(map[string]string)}
+	var lcf strings.Builder
+	fmt.Fprintf(&lcf, "# HotSpot 6.0 layer configuration exported by chiplet25d\n")
+	fmt.Fprintf(&lcf, "# footprint: %.3f x %.3f mm\n\n", stack.W, stack.H)
+	for i, layer := range stack.Layers {
+		var blocks []Block
+		switch {
+		case i == stack.ChipLayer && stack.Placement.CoreMapSupported():
+			cb, err := CoreBlocks(stack.Placement)
+			if err != nil {
+				return nil, err
+			}
+			blocks = ToFilledLayer(cb, stack.W, stack.H, "fill_")
+		case len(layer.Blocks) > 0:
+			named := make([]Block, len(layer.Blocks))
+			for j, b := range layer.Blocks {
+				named[j] = Block{Name: fmt.Sprintf("%s_blk%d", layer.Name, j), Rect: b.Rect}
+			}
+			blocks = ToFilledLayer(named, stack.W, stack.H, layer.Name+"_fill_")
+		default:
+			blocks = []Block{{Name: layer.Name + "_full", Rect: geom.Rect{W: stack.W, H: stack.H}}}
+		}
+		var flp strings.Builder
+		if err := WriteFLP(&flp, blocks); err != nil {
+			return nil, err
+		}
+		fname := fmt.Sprintf("layer%d_%s.flp", i, layer.Name)
+		bundle.Floorplans[fname] = flp.String()
+		bundle.LayerOrder = append(bundle.LayerOrder, fname)
+
+		// HotSpot LCF stanza: number, lateral heat flow, power dissipation,
+		// specific heat, resistivity, thickness, floorplan file.
+		dissipates := "N"
+		if i == stack.ChipLayer {
+			dissipates = "Y"
+		}
+		fmt.Fprintf(&lcf, "# layer %d: %s\n%d\nY\n%s\n%.6e\n%.6e\n%.6e\n%s\n\n",
+			i, layer.Name, i, dissipates,
+			layer.Background.VolHeatCap,
+			1/layer.Background.VertK, // resistivity in (m·K)/W
+			layer.ThicknessM,
+			fname)
+	}
+	bundle.LCF = lcf.String()
+	return bundle, nil
+}
+
+// WriteBundle writes the LCF to w and reports the floorplan files that must
+// accompany it (the caller persists them; this keeps the package free of
+// filesystem policy).
+func (b *ExportBundle) WriteBundle(w io.Writer) error {
+	if _, err := io.WriteString(w, b.LCF); err != nil {
+		return err
+	}
+	return nil
+}

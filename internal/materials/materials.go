@@ -1,0 +1,174 @@
+// Package materials provides thermal material properties for the layers of
+// 2D and 2.5D package stacks (Table I of the paper): silicon, copper, epoxy
+// underfill, FR-4, thermal interface material, and the heat spreader / heat
+// sink metal, plus composite mixing rules for heterogeneous layers such as
+// the microbump layer (copper bumps in epoxy underfill) and the interposer
+// (silicon with copper TSVs).
+//
+// Conductivities are in W/(m·K) and volumetric heat capacities in J/(m³·K).
+// The steady-state solver only needs conductivity; heat capacity is carried
+// for completeness (and used by sanity checks on material definitions).
+package materials
+
+import "fmt"
+
+// Material is a homogeneous material with isotropic thermal conductivity.
+type Material struct {
+	Name string
+	// K is thermal conductivity in W/(m·K).
+	K float64
+	// VolHeatCap is volumetric heat capacity in J/(m³·K).
+	VolHeatCap float64
+}
+
+// Standard materials. Values are the commonly used HotSpot defaults and
+// textbook values for package materials.
+var (
+	// Silicon die material.
+	Silicon = Material{Name: "silicon", K: 150, VolHeatCap: 1.75e6}
+	// Copper: bumps, TSVs, heat spreader and sink.
+	Copper = Material{Name: "copper", K: 400, VolHeatCap: 3.55e6}
+	// Epoxy: flip-chip underfill resin filling the space between bumps and
+	// between chiplets [21].
+	Epoxy = Material{Name: "epoxy", K: 0.9, VolHeatCap: 2.0e6}
+	// FR4 organic substrate.
+	FR4 = Material{Name: "fr4", K: 0.3, VolHeatCap: 1.2e6}
+	// TIM is the thermal interface material between die and spreader
+	// (HotSpot default conductivity for the interface layer).
+	TIM = Material{Name: "tim", K: 4.0, VolHeatCap: 4.0e6}
+	// AirGap approximates an unfilled region (effectively adiabatic).
+	AirGap = Material{Name: "air", K: 0.025, VolHeatCap: 1.2e3}
+)
+
+// Validate reports an error if the material has non-physical properties.
+func (m Material) Validate() error {
+	if m.K <= 0 {
+		return fmt.Errorf("materials: %s has non-positive conductivity %g", m.Name, m.K)
+	}
+	if m.VolHeatCap <= 0 {
+		return fmt.Errorf("materials: %s has non-positive heat capacity %g", m.Name, m.VolHeatCap)
+	}
+	return nil
+}
+
+// SeriesK returns the effective conductivity of two material slabs of
+// thicknesses t1 and t2 stacked in the heat-flow direction (harmonic mean
+// weighted by thickness). Used for vertical conduction across layer
+// boundaries.
+func SeriesK(k1, t1, k2, t2 float64) float64 {
+	if t1 <= 0 {
+		return k2
+	}
+	if t2 <= 0 {
+		return k1
+	}
+	return (t1 + t2) / (t1/k1 + t2/k2)
+}
+
+// ParallelMixK returns the effective conductivity of a composite where a
+// volume fraction f of material a is embedded in material b, for heat flow
+// parallel to the inclusions (arithmetic mean). This models vertical
+// conduction through bump/TSV layers: the metal columns run in the heat-flow
+// direction.
+func ParallelMixK(ka float64, f float64, kb float64) float64 {
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	return f*ka + (1-f)*kb
+}
+
+// SeriesMixK returns the effective conductivity of the same composite for
+// heat flow perpendicular to the inclusions (harmonic mean). This models
+// lateral conduction through bump/TSV layers.
+func SeriesMixK(ka float64, f float64, kb float64) float64 {
+	if f <= 0 {
+		return kb
+	}
+	if f >= 1 {
+		return ka
+	}
+	return 1 / (f/ka + (1-f)/kb)
+}
+
+// Composite describes a two-phase layer material: columns of Fill material
+// occupying AreaFraction of the layer, surrounded by Matrix. Vertical and
+// lateral effective conductivities differ (the columns are vertical).
+type Composite struct {
+	Name         string
+	Fill         Material // the column material (copper bump/TSV)
+	Matrix       Material // the surrounding material (epoxy or silicon)
+	AreaFraction float64  // fraction of layer plan area occupied by Fill
+}
+
+// VerticalK returns the effective vertical (through-layer) conductivity.
+func (c Composite) VerticalK() float64 {
+	return ParallelMixK(c.Fill.K, c.AreaFraction, c.Matrix.K)
+}
+
+// LateralK returns the effective in-plane conductivity.
+func (c Composite) LateralK() float64 {
+	return SeriesMixK(c.Fill.K, c.AreaFraction, c.Matrix.K)
+}
+
+// VolHeatCap returns the area-fraction-weighted volumetric heat capacity.
+func (c Composite) VolHeatCap() float64 {
+	return c.AreaFraction*c.Fill.VolHeatCap + (1-c.AreaFraction)*c.Matrix.VolHeatCap
+}
+
+// Validate checks the composite is physically meaningful.
+func (c Composite) Validate() error {
+	if err := c.Fill.Validate(); err != nil {
+		return err
+	}
+	if err := c.Matrix.Validate(); err != nil {
+		return err
+	}
+	if c.AreaFraction < 0 || c.AreaFraction > 1 {
+		return fmt.Errorf("materials: %s area fraction %g outside [0,1]", c.Name, c.AreaFraction)
+	}
+	return nil
+}
+
+// BumpAreaFraction computes the plan-area fraction occupied by circular
+// bumps/vias of the given diameter on a square grid with the given pitch
+// (both in the same unit). Table I: microbumps 25 µm diameter on 50 µm
+// pitch, TSVs 10 µm on 50 µm, C4 bumps 250 µm on 600 µm.
+func BumpAreaFraction(diameter, pitch float64) float64 {
+	if pitch <= 0 {
+		return 0
+	}
+	r := diameter / 2
+	f := 3.141592653589793 * r * r / (pitch * pitch)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// Standard composites from Table I.
+var (
+	// MicrobumpLayer: 25 µm copper bumps on 50 µm pitch in epoxy.
+	MicrobumpLayer = Composite{
+		Name:         "microbump",
+		Fill:         Copper,
+		Matrix:       Epoxy,
+		AreaFraction: BumpAreaFraction(25, 50),
+	}
+	// InterposerLayer: silicon with 10 µm copper TSVs on 50 µm pitch.
+	InterposerLayer = Composite{
+		Name:         "interposer",
+		Fill:         Copper,
+		Matrix:       Silicon,
+		AreaFraction: BumpAreaFraction(10, 50),
+	}
+	// C4Layer: 250 µm copper C4 bumps on 600 µm pitch in epoxy.
+	C4Layer = Composite{
+		Name:         "c4",
+		Fill:         Copper,
+		Matrix:       Epoxy,
+		AreaFraction: BumpAreaFraction(250, 600),
+	}
+)

@@ -1,0 +1,131 @@
+package materials
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStandardMaterialsValidate(t *testing.T) {
+	for _, m := range []Material{Silicon, Copper, Epoxy, FR4, TIM, AirGap} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestStandardCompositesValidate(t *testing.T) {
+	for _, c := range []Composite{MicrobumpLayer, InterposerLayer, C4Layer} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesBadMaterial(t *testing.T) {
+	if err := (Material{Name: "bad", K: 0, VolHeatCap: 1}).Validate(); err == nil {
+		t.Errorf("expected error for zero conductivity")
+	}
+	if err := (Material{Name: "bad", K: 1, VolHeatCap: -1}).Validate(); err == nil {
+		t.Errorf("expected error for negative heat capacity")
+	}
+	bad := MicrobumpLayer
+	bad.AreaFraction = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Errorf("expected error for area fraction > 1")
+	}
+}
+
+func TestSeriesKLimits(t *testing.T) {
+	// Equal materials: series conductivity equals the material.
+	if k := SeriesK(100, 1, 100, 3); math.Abs(k-100) > 1e-9 {
+		t.Errorf("SeriesK equal = %v, want 100", k)
+	}
+	// Zero-thickness slab degenerates to the other material.
+	if k := SeriesK(100, 0, 7, 3); math.Abs(k-7) > 1e-9 {
+		t.Errorf("SeriesK zero thickness = %v, want 7", k)
+	}
+	// Series is dominated by the poor conductor.
+	k := SeriesK(400, 1, 1, 1)
+	if k > 2.1 {
+		t.Errorf("series of copper+insulator should be near the insulator, got %v", k)
+	}
+}
+
+func TestMixingBounds(t *testing.T) {
+	// Effective conductivity of a mix lies between the constituents, and
+	// parallel >= series (Wiener bounds).
+	f := func(fr, kaRaw, kbRaw float64) bool {
+		frac := math.Abs(math.Mod(fr, 1))
+		ka := 0.1 + math.Abs(math.Mod(kaRaw, 500))
+		kb := 0.1 + math.Abs(math.Mod(kbRaw, 500))
+		par := ParallelMixK(ka, frac, kb)
+		ser := SeriesMixK(ka, frac, kb)
+		lo, hi := math.Min(ka, kb), math.Max(ka, kb)
+		return par >= ser-1e-9 && par >= lo-1e-9 && par <= hi+1e-9 && ser >= lo-1e-9 && ser <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMixingPureLimits(t *testing.T) {
+	if k := ParallelMixK(400, 0, 0.9); k != 0.9 {
+		t.Errorf("f=0 should give matrix, got %v", k)
+	}
+	if k := ParallelMixK(400, 1, 0.9); k != 400 {
+		t.Errorf("f=1 should give fill, got %v", k)
+	}
+	if k := SeriesMixK(400, 0, 0.9); k != 0.9 {
+		t.Errorf("f=0 should give matrix, got %v", k)
+	}
+	if k := SeriesMixK(400, 1, 0.9); k != 400 {
+		t.Errorf("f=1 should give fill, got %v", k)
+	}
+}
+
+func TestBumpAreaFraction(t *testing.T) {
+	// Table I microbumps: 25 µm diameter on 50 µm pitch ->
+	// pi*12.5^2/2500 ~= 0.196.
+	got := BumpAreaFraction(25, 50)
+	if math.Abs(got-0.19635) > 1e-4 {
+		t.Errorf("microbump fraction = %v, want ~0.19635", got)
+	}
+	if BumpAreaFraction(10, 0) != 0 {
+		t.Errorf("zero pitch should give zero fraction")
+	}
+	if BumpAreaFraction(100, 10) != 1 {
+		t.Errorf("oversize bumps should clamp to 1")
+	}
+}
+
+func TestCompositeAnisotropy(t *testing.T) {
+	// Copper columns in epoxy: vertical conduction must beat lateral.
+	c := MicrobumpLayer
+	if c.VerticalK() <= c.LateralK() {
+		t.Errorf("vertical K (%v) should exceed lateral K (%v) for columnar fill",
+			c.VerticalK(), c.LateralK())
+	}
+	// Microbump layer vertical conductivity should be dominated by the
+	// copper fraction: ~0.196*400 + 0.804*0.9 ~= 79 W/mK.
+	if v := c.VerticalK(); math.Abs(v-79.26) > 0.5 {
+		t.Errorf("microbump vertical K = %v, want ~79.26", v)
+	}
+}
+
+func TestInterposerCompositeCloseToSilicon(t *testing.T) {
+	// TSVs occupy ~3% of the interposer; its conductivity stays near Si but
+	// slightly above vertically.
+	c := InterposerLayer
+	if c.VerticalK() < Silicon.K || c.VerticalK() > Silicon.K*1.1 {
+		t.Errorf("interposer vertical K = %v, want slightly above %v", c.VerticalK(), Silicon.K)
+	}
+}
+
+func TestCompositeHeatCap(t *testing.T) {
+	c := Composite{Fill: Copper, Matrix: Epoxy, AreaFraction: 0.5}
+	want := 0.5*Copper.VolHeatCap + 0.5*Epoxy.VolHeatCap
+	if math.Abs(c.VolHeatCap()-want) > 1e-6 {
+		t.Errorf("VolHeatCap = %v, want %v", c.VolHeatCap(), want)
+	}
+}

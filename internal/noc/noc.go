@@ -1,0 +1,282 @@
+// Package noc models the 256-core electrical mesh network's power and the
+// inter-chiplet interposer links of the paper's 2.5D system. It substitutes
+// for two of the paper's tools:
+//
+//   - DSENT, used for on-chip router and link power, is replaced by a
+//     calibrated energy-per-flit router model and a CV² wire model;
+//   - HSpice on the interconnect model of [23] (Fig. 2), used for
+//     inter-chiplet links, is replaced by an Elmore-delay analysis of the
+//     same RLC ladder (driver, ESD capacitance, microbump parasitics,
+//     distributed interposer wire), with drivers sized up until the link
+//     meets single-cycle propagation at the operating frequency.
+//
+// The defaults are calibrated to the paper's anchors: the single-chip mesh
+// consumes ≈3.9 W and the 2.5D mesh up to ≈8.4 W on the highest-traffic
+// benchmark, with negligible thermal impact either way.
+package noc
+
+import (
+	"fmt"
+	"math"
+
+	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/power"
+)
+
+// LinkParams describes the electrical model of mesh links (Fig. 2).
+type LinkParams struct {
+	// OnChipCPerMM is the on-chiplet wire capacitance (F/mm).
+	OnChipCPerMM float64
+	// OnChipRPerMM is the on-chiplet wire resistance (Ω/mm).
+	OnChipRPerMM float64
+	// InterposerCPerMM and InterposerRPerMM describe the wide interposer
+	// wires of the 2.5D link model [23].
+	InterposerCPerMM float64
+	InterposerRPerMM float64
+	// MicrobumpR, MicrobumpL, MicrobumpC are the per-bump parasitics
+	// (Fig. 2: ≈0.095 Ω, ≈0.053 nH).
+	MicrobumpR float64
+	MicrobumpL float64
+	MicrobumpC float64
+	// ESDC is the ESD protection capacitance at each chiplet I/O.
+	ESDC float64
+	// DriverUnitR and DriverUnitC are the unit inverter's output resistance
+	// and self-capacitance; a size-S driver has R/S and C·S.
+	DriverUnitR float64
+	DriverUnitC float64
+	// ReceiverC is the far-end input capacitance.
+	ReceiverC float64
+	// MaxDriverSize bounds driver upsizing.
+	MaxDriverSize int
+	// TimingMargin is the fraction of the cycle that must absorb the link
+	// delay (e.g. 0.9 leaves 10% margin).
+	TimingMargin float64
+}
+
+// DefaultLinkParams returns the calibrated Fig. 2 model.
+func DefaultLinkParams() LinkParams {
+	return LinkParams{
+		OnChipCPerMM:     0.08e-12,
+		OnChipRPerMM:     2.0,
+		InterposerCPerMM: 0.10e-12,
+		InterposerRPerMM: 10.0,
+		MicrobumpR:       0.095,
+		MicrobumpL:       0.053e-9,
+		MicrobumpC:       0.05e-12,
+		ESDC:             0.10e-12,
+		DriverUnitR:      1000,
+		DriverUnitC:      5e-15,
+		ReceiverC:        5e-15,
+		MaxDriverSize:    256,
+		TimingMargin:     0.9,
+	}
+}
+
+// Validate checks the parameters.
+func (lp LinkParams) Validate() error {
+	if lp.OnChipCPerMM <= 0 || lp.InterposerCPerMM <= 0 {
+		return fmt.Errorf("noc: wire capacitances must be positive")
+	}
+	if lp.OnChipRPerMM <= 0 || lp.InterposerRPerMM <= 0 {
+		return fmt.Errorf("noc: wire resistances must be positive")
+	}
+	if lp.DriverUnitR <= 0 || lp.DriverUnitC < 0 || lp.ReceiverC < 0 {
+		return fmt.Errorf("noc: invalid driver/receiver parameters")
+	}
+	if lp.MaxDriverSize < 1 {
+		return fmt.Errorf("noc: max driver size must be >= 1")
+	}
+	if lp.TimingMargin <= 0 || lp.TimingMargin > 1 {
+		return fmt.Errorf("noc: timing margin %g outside (0,1]", lp.TimingMargin)
+	}
+	return nil
+}
+
+// interposerLoadC returns the total switched capacitance of an interposer
+// link of the given length, excluding the driver's self-capacitance: two
+// ESD caps, two microbumps, the distributed wire, and the receiver.
+func (lp LinkParams) interposerLoadC(lengthMM float64) float64 {
+	return 2*lp.ESDC + 2*lp.MicrobumpC + lp.InterposerCPerMM*lengthMM + lp.ReceiverC
+}
+
+// onChipLoadC returns the switched capacitance of an on-chiplet link.
+func (lp LinkParams) onChipLoadC(lengthMM float64) float64 {
+	return lp.OnChipCPerMM*lengthMM + lp.ReceiverC
+}
+
+// InterposerElmoreDelayNS computes the 50% Elmore delay (ns) of the Fig. 2
+// ladder for an interposer link of the given length driven by a size-S
+// driver: 0.69·(R_drv·C_total + R_bump·C_downstream + R_wire·C_wire/2 + …).
+func (lp LinkParams) InterposerElmoreDelayNS(lengthMM float64, size int) float64 {
+	if size < 1 {
+		size = 1
+	}
+	rDrv := lp.DriverUnitR / float64(size)
+	cWire := lp.InterposerCPerMM * lengthMM
+	rWire := lp.InterposerRPerMM * lengthMM
+	cAfterNearBump := lp.MicrobumpC + cWire + lp.MicrobumpC + lp.ESDC + lp.ReceiverC
+	// Elmore sum down the ladder.
+	tau := rDrv * (lp.DriverUnitC*float64(size) + lp.ESDC + cAfterNearBump)
+	tau += lp.MicrobumpR * cAfterNearBump
+	// Distributed wire: R_w·C_w/2 plus R_w times everything after the wire.
+	tau += rWire * (cWire/2 + lp.MicrobumpC + lp.ESDC + lp.ReceiverC)
+	tau += lp.MicrobumpR * (lp.ESDC + lp.ReceiverC)
+	return 0.69 * tau * 1e9
+}
+
+// SizeInterposerDriver returns the smallest driver size meeting
+// single-cycle propagation at the given frequency, per the paper's
+// methodology ("we size up the drivers to ensure single-cycle propagation
+// delay in the inter-chiplet links").
+func (lp LinkParams) SizeInterposerDriver(lengthMM, freqMHz float64) (int, error) {
+	if lengthMM <= 0 || freqMHz <= 0 {
+		return 0, fmt.Errorf("noc: invalid link length %g mm or frequency %g MHz", lengthMM, freqMHz)
+	}
+	budgetNS := lp.TimingMargin * 1000 / freqMHz
+	for size := 1; size <= lp.MaxDriverSize; size *= 2 {
+		if lp.InterposerElmoreDelayNS(lengthMM, size) <= budgetNS {
+			return size, nil
+		}
+	}
+	if lp.InterposerElmoreDelayNS(lengthMM, lp.MaxDriverSize) <= budgetNS {
+		return lp.MaxDriverSize, nil
+	}
+	return 0, fmt.Errorf("noc: %g mm interposer link cannot meet single-cycle at %g MHz even at max driver size %d",
+		lengthMM, freqMHz, lp.MaxDriverSize)
+}
+
+// InterposerEnergyPerBitJ returns the switching energy per bit transition
+// of an interposer link with a size-S driver at supply voltage v.
+func (lp LinkParams) InterposerEnergyPerBitJ(lengthMM float64, size int, v float64) float64 {
+	c := lp.interposerLoadC(lengthMM) + lp.DriverUnitC*float64(size)
+	return c * v * v
+}
+
+// OnChipEnergyPerBitJ returns the switching energy per bit of an
+// on-chiplet link.
+func (lp LinkParams) OnChipEnergyPerBitJ(lengthMM float64, v float64) float64 {
+	return lp.onChipLoadC(lengthMM) * v * v
+}
+
+// RouterParams is the DSENT-substitute router energy model.
+type RouterParams struct {
+	// EnergyPerFlitJ is the router traversal energy per flit (buffering,
+	// arbitration, crossbar).
+	EnergyPerFlitJ float64
+	// FlitBits is the flit width.
+	FlitBits int
+}
+
+// DefaultRouterParams returns the calibrated single-cycle router model.
+func DefaultRouterParams() RouterParams {
+	return RouterParams{EnergyPerFlitJ: 5e-12, FlitBits: 64}
+}
+
+// Validate checks the parameters.
+func (rp RouterParams) Validate() error {
+	if rp.EnergyPerFlitJ <= 0 || rp.FlitBits <= 0 {
+		return fmt.Errorf("noc: invalid router parameters %+v", rp)
+	}
+	return nil
+}
+
+// PowerBreakdown decomposes mesh power.
+type PowerBreakdown struct {
+	RouterW    float64
+	IntraLinkW float64
+	InterLinkW float64
+	// NumInterLinks counts mesh links crossing chiplet boundaries.
+	NumInterLinks int
+	// MaxDriverSize is the largest inter-chiplet driver the sizing chose.
+	MaxDriverSize int
+	// MaxInterLinkMM is the longest inter-chiplet link.
+	MaxInterLinkMM float64
+}
+
+// TotalW returns the total mesh power.
+func (b PowerBreakdown) TotalW() float64 { return b.RouterW + b.IntraLinkW + b.InterLinkW }
+
+// avgMeshHops is the mean hop count of uniform-random traffic on an n x n
+// mesh: 2n/3 per dimension summed.
+func avgMeshHops(n int) float64 { return 2 * float64(n) / 3 }
+
+// MeshPower computes the electrical mesh power for a placement at an
+// operating point: activeCores cores each inject `traffic` flits per cycle;
+// traffic is spread uniformly over the mesh links; links crossing chiplet
+// boundaries are routed through the interposer with single-cycle-sized
+// drivers (intra-chiplet links use on-chip wires).
+func MeshPower(pl floorplan.Placement, op power.DVFSPoint, activeCores int, traffic float64,
+	lp LinkParams, rp RouterParams) (PowerBreakdown, error) {
+	if err := lp.Validate(); err != nil {
+		return PowerBreakdown{}, err
+	}
+	if err := rp.Validate(); err != nil {
+		return PowerBreakdown{}, err
+	}
+	if activeCores < 0 || activeCores > floorplan.NumCores {
+		return PowerBreakdown{}, fmt.Errorf("noc: active core count %d outside [0,%d]", activeCores, floorplan.NumCores)
+	}
+	if traffic < 0 || traffic > 1 {
+		return PowerBreakdown{}, fmt.Errorf("noc: traffic %g outside [0,1]", traffic)
+	}
+	cores, err := pl.Cores()
+	if err != nil {
+		return PowerBreakdown{}, err
+	}
+	if activeCores == 0 || traffic == 0 {
+		return PowerBreakdown{}, nil
+	}
+	n := floorplan.CoresPerEdge
+	coreAt := make([]floorplan.Core, len(cores))
+	for _, c := range cores {
+		coreAt[c.Row*n+c.Col] = c
+	}
+
+	fHz := op.FreqMHz * 1e6
+	// Total hop traversals per second across the mesh.
+	hopRate := float64(activeCores) * traffic * fHz * avgMeshHops(n)
+	numLinks := 2 * n * (n - 1)
+	perLinkBitRate := hopRate / float64(numLinks) * float64(rp.FlitBits)
+
+	var b PowerBreakdown
+	b.RouterW = hopRate * rp.EnergyPerFlitJ
+	v := op.VoltageV
+	visit := func(a, c floorplan.Core) error {
+		ax, ay := a.Rect.Center()
+		cx, cy := c.Rect.Center()
+		length := math.Hypot(cx-ax, cy-ay)
+		if a.Chiplet == c.Chiplet {
+			b.IntraLinkW += perLinkBitRate * lp.OnChipEnergyPerBitJ(length, v)
+			return nil
+		}
+		size, err := lp.SizeInterposerDriver(length, op.FreqMHz)
+		if err != nil {
+			return err
+		}
+		if size > b.MaxDriverSize {
+			b.MaxDriverSize = size
+		}
+		if length > b.MaxInterLinkMM {
+			b.MaxInterLinkMM = length
+		}
+		b.NumInterLinks++
+		b.InterLinkW += perLinkBitRate * lp.InterposerEnergyPerBitJ(length, size, v)
+		return nil
+	}
+	for row := 0; row < n; row++ {
+		for col := 0; col < n; col++ {
+			c := coreAt[row*n+col]
+			if col+1 < n {
+				if err := visit(c, coreAt[row*n+col+1]); err != nil {
+					return PowerBreakdown{}, err
+				}
+			}
+			if row+1 < n {
+				if err := visit(c, coreAt[(row+1)*n+col]); err != nil {
+					return PowerBreakdown{}, err
+				}
+			}
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,222 @@
+package noc
+
+import (
+	"testing"
+
+	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/power"
+)
+
+func TestDefaultParamsValidate(t *testing.T) {
+	if err := DefaultLinkParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := DefaultRouterParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkParamsValidateCatchesBad(t *testing.T) {
+	cases := []func(*LinkParams){
+		func(p *LinkParams) { p.OnChipCPerMM = 0 },
+		func(p *LinkParams) { p.InterposerRPerMM = -1 },
+		func(p *LinkParams) { p.DriverUnitR = 0 },
+		func(p *LinkParams) { p.MaxDriverSize = 0 },
+		func(p *LinkParams) { p.TimingMargin = 0 },
+	}
+	for i, mutate := range cases {
+		p := DefaultLinkParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	if err := (RouterParams{EnergyPerFlitJ: 0, FlitBits: 64}).Validate(); err == nil {
+		t.Errorf("expected router validation error")
+	}
+}
+
+func TestElmoreDelayGrowsWithLength(t *testing.T) {
+	lp := DefaultLinkParams()
+	prev := 0.0
+	for _, l := range []float64{1, 5, 10, 20, 30} {
+		d := lp.InterposerElmoreDelayNS(l, 4)
+		if d <= prev {
+			t.Fatalf("delay not increasing with length at %g mm: %g", l, d)
+		}
+		prev = d
+	}
+}
+
+func TestElmoreDelayShrinksWithDriverSize(t *testing.T) {
+	lp := DefaultLinkParams()
+	d1 := lp.InterposerElmoreDelayNS(15, 1)
+	d8 := lp.InterposerElmoreDelayNS(15, 8)
+	if d8 >= d1 {
+		t.Fatalf("bigger driver should be faster: size1=%g ns size8=%g ns", d1, d8)
+	}
+}
+
+func TestSizeInterposerDriverSingleCycle(t *testing.T) {
+	lp := DefaultLinkParams()
+	// The paper's Fig. 2 link is 15 mm; it must be drivable in one cycle at
+	// 1 GHz with a reasonable driver.
+	size, err := lp.SizeInterposerDriver(15, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size < 1 || size > lp.MaxDriverSize {
+		t.Fatalf("driver size %d out of range", size)
+	}
+	if d := lp.InterposerElmoreDelayNS(15, size); d > 0.9*1.0 {
+		t.Fatalf("sized link misses timing: %g ns at size %d", d, size)
+	}
+	// At a lower frequency the same link needs a smaller (or equal) driver.
+	slow, err := lp.SizeInterposerDriver(15, 320)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow > size {
+		t.Fatalf("320 MHz driver (%d) should not exceed 1 GHz driver (%d)", slow, size)
+	}
+}
+
+func TestSizeInterposerDriverErrors(t *testing.T) {
+	lp := DefaultLinkParams()
+	if _, err := lp.SizeInterposerDriver(0, 1000); err == nil {
+		t.Errorf("expected error for zero length")
+	}
+	if _, err := lp.SizeInterposerDriver(10, 0); err == nil {
+		t.Errorf("expected error for zero frequency")
+	}
+	// An absurdly long link at a tiny driver bound must fail timing.
+	lp.MaxDriverSize = 1
+	if _, err := lp.SizeInterposerDriver(500, 1000); err == nil {
+		t.Errorf("expected timing failure for 500 mm link with unit driver")
+	}
+}
+
+func TestEnergyPerBitOrdering(t *testing.T) {
+	lp := DefaultLinkParams()
+	on := lp.OnChipEnergyPerBitJ(1.125, 0.9)
+	inter := lp.InterposerEnergyPerBitJ(11, 8, 0.9)
+	if inter <= on {
+		t.Fatalf("interposer bit energy (%g) should exceed on-chip (%g)", inter, on)
+	}
+	// Energy scales with V².
+	lo := lp.InterposerEnergyPerBitJ(11, 8, 0.63)
+	if lo >= inter {
+		t.Fatalf("lower voltage should cost less energy")
+	}
+}
+
+func TestMeshPowerSingleChipAnchor(t *testing.T) {
+	// Paper anchor: the single-chip 256-core mesh consumes ≈3.9 W on the
+	// busiest benchmark (canneal-class traffic 0.15 at 1 GHz).
+	b, err := MeshPower(floorplan.SingleChip(), power.NominalPoint, 256, 0.15,
+		DefaultLinkParams(), DefaultRouterParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.TotalW(); got < 3.0 || got > 4.8 {
+		t.Fatalf("single-chip mesh power %.2f W, paper anchor ≈3.9 W", got)
+	}
+	if b.NumInterLinks != 0 || b.InterLinkW != 0 {
+		t.Fatalf("single chip must have no interposer links: %+v", b)
+	}
+}
+
+func TestMeshPower25DAnchor(t *testing.T) {
+	// Paper anchor: the 2.5D mesh consumes up to ≈8.4 W; it must exceed the
+	// single-chip mesh (drivers and longer wires) but stay the same order.
+	pl, err := floorplan.UniformGrid(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MeshPower(pl, power.NominalPoint, 256, 0.15,
+		DefaultLinkParams(), DefaultRouterParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := b.TotalW()
+	if got < 5.5 || got > 11 {
+		t.Fatalf("2.5D mesh power %.2f W, paper anchor up to ≈8.4 W", got)
+	}
+	if b.NumInterLinks == 0 {
+		t.Fatalf("expected inter-chiplet links in a 16-chiplet mesh")
+	}
+	// 16 chiplets: 3 cut lines per axis x 16 rows = 96 boundary links.
+	if b.NumInterLinks != 96 {
+		t.Fatalf("inter-chiplet link count = %d, want 96", b.NumInterLinks)
+	}
+}
+
+func TestMeshPowerScalesWithSpacing(t *testing.T) {
+	var prev float64
+	for _, sp := range []float64{1, 5, 10} {
+		pl, err := floorplan.UniformGrid(4, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := MeshPower(pl, power.NominalPoint, 256, 0.10,
+			DefaultLinkParams(), DefaultRouterParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.TotalW() <= prev {
+			t.Fatalf("mesh power should grow with spacing: %g at %g mm", b.TotalW(), sp)
+		}
+		prev = b.TotalW()
+	}
+}
+
+func TestMeshPowerScalesWithActivity(t *testing.T) {
+	pl := floorplan.SingleChip()
+	lo, err := MeshPower(pl, power.NominalPoint, 64, 0.05, DefaultLinkParams(), DefaultRouterParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := MeshPower(pl, power.NominalPoint, 256, 0.05, DefaultLinkParams(), DefaultRouterParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := hi.TotalW() / lo.TotalW()
+	if ratio < 3.9 || ratio > 4.1 {
+		t.Fatalf("power should scale linearly with active cores: ratio %.2f", ratio)
+	}
+}
+
+func TestMeshPowerZeroCases(t *testing.T) {
+	pl := floorplan.SingleChip()
+	b, err := MeshPower(pl, power.NominalPoint, 0, 0.1, DefaultLinkParams(), DefaultRouterParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TotalW() != 0 {
+		t.Fatalf("zero active cores should draw no mesh power")
+	}
+	if _, err := MeshPower(pl, power.NominalPoint, -1, 0.1, DefaultLinkParams(), DefaultRouterParams()); err == nil {
+		t.Errorf("expected error for negative active cores")
+	}
+	if _, err := MeshPower(pl, power.NominalPoint, 10, 1.5, DefaultLinkParams(), DefaultRouterParams()); err == nil {
+		t.Errorf("expected error for traffic > 1")
+	}
+}
+
+func TestMeshPowerLowerFrequencyCheaper(t *testing.T) {
+	pl, err := floorplan.UniformGrid(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := MeshPower(pl, power.FrequencySet[0], 256, 0.1, DefaultLinkParams(), DefaultRouterParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := MeshPower(pl, power.FrequencySet[3], 256, 0.1, DefaultLinkParams(), DefaultRouterParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.TotalW() >= fast.TotalW() {
+		t.Fatalf("400 MHz mesh should draw less power than 1 GHz")
+	}
+}

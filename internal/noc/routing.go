@@ -1,0 +1,179 @@
+package noc
+
+import (
+	"fmt"
+	"math"
+
+	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/power"
+)
+
+// Dimension-ordered XY routing on the 16x16 mesh: packets travel along X in
+// the source row, then along Y in the destination column. This file
+// computes exact per-link loads for uniform-random traffic among the active
+// cores, refining the uniform-load approximation used by MeshPower: under
+// XY routing the mesh's central links carry several times the edge links'
+// load, which matters for per-link energy and for identifying the hottest
+// drivers.
+
+// LinkID identifies a mesh link by its source node and direction.
+type LinkID struct {
+	Col, Row int
+	// Dir is 0 for the +X link (to Col+1) and 1 for the +Y link (to Row+1).
+	Dir int
+}
+
+// linkIndex flattens a LinkID. X links first, then Y links.
+func linkIndex(n int, l LinkID) int {
+	if l.Dir == 0 {
+		return l.Row*(n-1) + l.Col
+	}
+	return n*(n-1) + l.Col*(n-1) + l.Row
+}
+
+// NumLinks returns the number of (bidirectional) mesh links for an n x n
+// mesh.
+func NumLinks(n int) int { return 2 * n * (n - 1) }
+
+// XYLinkLoads returns, for each mesh link, the expected traversals per
+// injected flit under uniform-random traffic among the active cores with XY
+// routing (both directions of a link aggregated). The slice is indexed by
+// linkIndex; loads sum to the mean hop count.
+func XYLinkLoads(active []bool) ([]float64, error) {
+	n := floorplan.CoresPerEdge
+	if len(active) != n*n {
+		return nil, fmt.Errorf("noc: active mask has %d entries, want %d", len(active), n*n)
+	}
+	var cores []int
+	for id, a := range active {
+		if a {
+			cores = append(cores, id)
+		}
+	}
+	loads := make([]float64, NumLinks(n))
+	if len(cores) < 2 {
+		return loads, nil
+	}
+	perFlow := 1.0 / float64(len(cores)*(len(cores)-1))
+	for _, s := range cores {
+		sx, sy := s%n, s/n
+		for _, d := range cores {
+			if d == s {
+				continue
+			}
+			dx, dy := d%n, d/n
+			// X leg in the source row.
+			x0, x1 := sx, dx
+			if x0 > x1 {
+				x0, x1 = x1, x0
+			}
+			for x := x0; x < x1; x++ {
+				loads[linkIndex(n, LinkID{Col: x, Row: sy, Dir: 0})] += perFlow
+			}
+			// Y leg in the destination column.
+			y0, y1 := sy, dy
+			if y0 > y1 {
+				y0, y1 = y1, y0
+			}
+			for y := y0; y < y1; y++ {
+				loads[linkIndex(n, LinkID{Col: dx, Row: y, Dir: 1})] += perFlow
+			}
+		}
+	}
+	return loads, nil
+}
+
+// MeshPowerXY computes the electrical mesh power like MeshPower but with
+// exact XY-routed per-link loads for the given active mask instead of the
+// uniform-load approximation. The two agree on totals to within the load
+// redistribution; MeshPowerXY additionally reports the most-loaded link.
+func MeshPowerXY(pl floorplan.Placement, op power.DVFSPoint, active []bool, traffic float64,
+	lp LinkParams, rp RouterParams) (PowerBreakdown, float64, error) {
+	if err := lp.Validate(); err != nil {
+		return PowerBreakdown{}, 0, err
+	}
+	if err := rp.Validate(); err != nil {
+		return PowerBreakdown{}, 0, err
+	}
+	if traffic < 0 || traffic > 1 {
+		return PowerBreakdown{}, 0, fmt.Errorf("noc: traffic %g outside [0,1]", traffic)
+	}
+	loads, err := XYLinkLoads(active)
+	if err != nil {
+		return PowerBreakdown{}, 0, err
+	}
+	cores, err := pl.Cores()
+	if err != nil {
+		return PowerBreakdown{}, 0, err
+	}
+	n := floorplan.CoresPerEdge
+	activeCount := 0
+	for _, a := range active {
+		if a {
+			activeCount++
+		}
+	}
+	if activeCount == 0 || traffic == 0 {
+		return PowerBreakdown{}, 0, nil
+	}
+	coreAt := make([]floorplan.Core, len(cores))
+	for _, c := range cores {
+		coreAt[c.Row*n+c.Col] = c
+	}
+	fHz := op.FreqMHz * 1e6
+	injectRate := float64(activeCount) * traffic * fHz // flits/s entering the mesh
+	v := op.VoltageV
+
+	var b PowerBreakdown
+	maxLoad := 0.0
+	totalHops := 0.0
+	for row := 0; row < n; row++ {
+		for col := 0; col < n; col++ {
+			for dir := 0; dir < 2; dir++ {
+				if (dir == 0 && col+1 >= n) || (dir == 1 && row+1 >= n) {
+					continue
+				}
+				load := loads[linkIndex(n, LinkID{Col: col, Row: row, Dir: dir})]
+				if load == 0 {
+					continue
+				}
+				totalHops += load
+				if load > maxLoad {
+					maxLoad = load
+				}
+				a := coreAt[row*n+col]
+				var c floorplan.Core
+				if dir == 0 {
+					c = coreAt[row*n+col+1]
+				} else {
+					c = coreAt[(row+1)*n+col]
+				}
+				ax, ay := a.Rect.Center()
+				cx, cy := c.Rect.Center()
+				length := math.Hypot(cx-ax, cy-ay)
+				bitRate := injectRate * load * float64(rp.FlitBits)
+				if a.Chiplet == c.Chiplet {
+					b.IntraLinkW += bitRate * lp.OnChipEnergyPerBitJ(length, v)
+					continue
+				}
+				size, err := lp.SizeInterposerDriver(length, op.FreqMHz)
+				if err != nil {
+					return PowerBreakdown{}, 0, err
+				}
+				if size > b.MaxDriverSize {
+					b.MaxDriverSize = size
+				}
+				if length > b.MaxInterLinkMM {
+					b.MaxInterLinkMM = length
+				}
+				b.NumInterLinks++
+				b.InterLinkW += bitRate * lp.InterposerEnergyPerBitJ(length, size, v)
+			}
+		}
+	}
+	b.RouterW = injectRate * totalHops * rp.EnergyPerFlitJ
+	// maxLoad is in traversals per injected flit; convert to link
+	// utilization in flits per cycle.
+	maxUtil := maxLoad * float64(activeCount) * traffic
+	return b, maxUtil, nil
+}

@@ -1,0 +1,136 @@
+package noc
+
+import (
+	"fmt"
+
+	"chiplet25d/internal/floorplan"
+)
+
+// Interposer wiring-resource feasibility: the paper notes that 2.5D
+// integration "provides additional routing resources through the
+// interposer", but those resources are finite — every inter-chiplet mesh
+// link must escape its chiplet through microbumps and cross the gap in an
+// interposer wiring channel. This file checks both budgets for a placement:
+//
+//   - microbump I/O: each chiplet has (edge/pitch)² bumps; a fraction is
+//     reserved for power/ground delivery, the rest is signal I/O;
+//   - channel capacity: the wires of all links crossing one inter-chiplet
+//     gap must fit the routing tracks available across the facing edge
+//     (edge length / wire pitch, times the interposer's signal layers).
+type WiringParams struct {
+	// MicrobumpPitchMM is the bump pitch (Table I: 50 µm = 0.05 mm).
+	MicrobumpPitchMM float64
+	// PowerGroundFraction is the fraction of bumps reserved for delivery.
+	PowerGroundFraction float64
+	// WirePitchMM is the interposer routing pitch per track.
+	WirePitchMM float64
+	// SignalLayers is the number of interposer routing layers available.
+	SignalLayers int
+	// WiresPerLink is the link width in wires (flit width plus control).
+	WiresPerLink int
+}
+
+// DefaultWiringParams returns Table-I-consistent defaults: 50 µm bump
+// pitch, half the bumps for power delivery, 2 µm routing pitch on two
+// signal layers, 72 wires per link (64-bit flit + flow control).
+func DefaultWiringParams() WiringParams {
+	return WiringParams{
+		MicrobumpPitchMM:    0.05,
+		PowerGroundFraction: 0.5,
+		WirePitchMM:         0.002,
+		SignalLayers:        2,
+		WiresPerLink:        72,
+	}
+}
+
+// Validate checks the parameters.
+func (wp WiringParams) Validate() error {
+	if wp.MicrobumpPitchMM <= 0 || wp.WirePitchMM <= 0 {
+		return fmt.Errorf("noc: pitches must be positive")
+	}
+	if wp.PowerGroundFraction < 0 || wp.PowerGroundFraction >= 1 {
+		return fmt.Errorf("noc: power/ground fraction %g outside [0,1)", wp.PowerGroundFraction)
+	}
+	if wp.SignalLayers < 1 || wp.WiresPerLink < 1 {
+		return fmt.Errorf("noc: need at least one signal layer and one wire per link")
+	}
+	return nil
+}
+
+// WiringReport summarizes the resource check for a placement.
+type WiringReport struct {
+	// SignalBumpsPerChiplet is the per-chiplet signal microbump budget.
+	SignalBumpsPerChiplet int
+	// MaxBumpsNeeded is the worst chiplet's demand (its inter-chiplet
+	// links times wires per link, each wire needing one bump).
+	MaxBumpsNeeded int
+	// TracksPerEdge is the routing capacity across one chiplet edge.
+	TracksPerEdge int
+	// MaxTracksNeeded is the worst facing-edge demand.
+	MaxTracksNeeded int
+	// Feasible reports both budgets hold for every chiplet and edge.
+	Feasible bool
+}
+
+// CheckWiring verifies a 2.5D placement's mesh links fit the interposer's
+// wiring resources.
+func CheckWiring(pl floorplan.Placement, wp WiringParams) (WiringReport, error) {
+	if err := wp.Validate(); err != nil {
+		return WiringReport{}, err
+	}
+	if pl.Is2D() {
+		return WiringReport{Feasible: true}, nil
+	}
+	cores, err := pl.Cores()
+	if err != nil {
+		return WiringReport{}, err
+	}
+	n := floorplan.CoresPerEdge
+	coreAt := make([]floorplan.Core, len(cores))
+	for _, c := range cores {
+		coreAt[c.Row*n+c.Col] = c
+	}
+	// Count inter-chiplet links per chiplet and per ordered chiplet pair.
+	linksPerChiplet := make(map[int]int)
+	linksPerPair := make(map[[2]int]int)
+	visit := func(a, b floorplan.Core) {
+		if a.Chiplet == b.Chiplet {
+			return
+		}
+		linksPerChiplet[a.Chiplet]++
+		linksPerChiplet[b.Chiplet]++
+		key := [2]int{a.Chiplet, b.Chiplet}
+		if key[0] > key[1] {
+			key[0], key[1] = key[1], key[0]
+		}
+		linksPerPair[key]++
+	}
+	for row := 0; row < n; row++ {
+		for col := 0; col < n; col++ {
+			if col+1 < n {
+				visit(coreAt[row*n+col], coreAt[row*n+col+1])
+			}
+			if row+1 < n {
+				visit(coreAt[row*n+col], coreAt[(row+1)*n+col])
+			}
+		}
+	}
+	var rep WiringReport
+	bumpsPerEdge := int(pl.ChipletW / wp.MicrobumpPitchMM)
+	totalBumps := bumpsPerEdge * int(pl.ChipletH/wp.MicrobumpPitchMM)
+	rep.SignalBumpsPerChiplet = int(float64(totalBumps) * (1 - wp.PowerGroundFraction))
+	for _, links := range linksPerChiplet {
+		if need := links * wp.WiresPerLink; need > rep.MaxBumpsNeeded {
+			rep.MaxBumpsNeeded = need
+		}
+	}
+	rep.TracksPerEdge = int(pl.ChipletW/wp.WirePitchMM) * wp.SignalLayers
+	for _, links := range linksPerPair {
+		if need := links * wp.WiresPerLink; need > rep.MaxTracksNeeded {
+			rep.MaxTracksNeeded = need
+		}
+	}
+	rep.Feasible = rep.MaxBumpsNeeded <= rep.SignalBumpsPerChiplet &&
+		rep.MaxTracksNeeded <= rep.TracksPerEdge
+	return rep, nil
+}

@@ -1,0 +1,114 @@
+package noc
+
+import (
+	"testing"
+
+	"chiplet25d/internal/floorplan"
+)
+
+func TestWiringParamsValidate(t *testing.T) {
+	if err := DefaultWiringParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*WiringParams){
+		func(p *WiringParams) { p.MicrobumpPitchMM = 0 },
+		func(p *WiringParams) { p.WirePitchMM = -1 },
+		func(p *WiringParams) { p.PowerGroundFraction = 1 },
+		func(p *WiringParams) { p.SignalLayers = 0 },
+		func(p *WiringParams) { p.WiresPerLink = 0 },
+	}
+	for i, mutate := range cases {
+		p := DefaultWiringParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestCheckWiring2DTriviallyFeasible(t *testing.T) {
+	rep, err := CheckWiring(floorplan.SingleChip(), DefaultWiringParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible {
+		t.Fatal("single chip has no interposer links to route")
+	}
+}
+
+func TestCheckWiringPaperSystemFeasible(t *testing.T) {
+	// The paper's 16-chiplet organizations must comfortably fit Table I
+	// bump pitch and interposer routing.
+	pl, err := floorplan.UniformGrid(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckWiring(pl, DefaultWiringParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible {
+		t.Fatalf("paper system should be wiring-feasible: %+v", rep)
+	}
+	// 4x4 chiplets: interior chiplets face 4 neighbors x 4 links each = 16
+	// inter-chiplet links -> 16*72 = 1152 bumps needed; 4.5mm/50µm = 90 per
+	// edge -> 8100 bumps, 4050 for signals.
+	if rep.MaxBumpsNeeded != 16*72 {
+		t.Errorf("MaxBumpsNeeded = %d, want %d", rep.MaxBumpsNeeded, 16*72)
+	}
+	if rep.SignalBumpsPerChiplet != 4050 {
+		t.Errorf("SignalBumpsPerChiplet = %d, want 4050", rep.SignalBumpsPerChiplet)
+	}
+	// Each facing pair shares 4 links -> 288 wires over 4500 tracks.
+	if rep.MaxTracksNeeded != 4*72 {
+		t.Errorf("MaxTracksNeeded = %d, want %d", rep.MaxTracksNeeded, 4*72)
+	}
+}
+
+func TestCheckWiringDetectsInfeasible(t *testing.T) {
+	pl, err := floorplan.UniformGrid(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp := DefaultWiringParams()
+	wp.WiresPerLink = 512
+	wp.MicrobumpPitchMM = 0.6 // absurdly sparse bumps: 7x7=49 bumps, 24 signal
+	rep, err := CheckWiring(pl, wp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Feasible {
+		t.Fatalf("expected infeasibility with sparse bumps and wide links: %+v", rep)
+	}
+	if _, err := CheckWiring(pl, WiringParams{}); err == nil {
+		t.Errorf("expected error for zero params")
+	}
+}
+
+func TestCheckWiring256Chiplets(t *testing.T) {
+	// One core per chiplet: every link is an inter-chiplet link; the 1.125mm
+	// chiplet edge still offers 22x22 bumps = 242 signal bumps, but an
+	// interior chiplet needs 4 links x 72 = 288 -> infeasible at default
+	// parameters, flagged rather than silently accepted.
+	pl, err := floorplan.UniformGrid(16, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckWiring(pl, DefaultWiringParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Feasible {
+		t.Fatalf("256 single-core chiplets should exhaust default bump budget: %+v", rep)
+	}
+	// With a finer bump pitch it becomes feasible.
+	wp := DefaultWiringParams()
+	wp.MicrobumpPitchMM = 0.03
+	rep, err = CheckWiring(pl, wp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible {
+		t.Fatalf("30 µm pitch should make 256 chiplets feasible: %+v", rep)
+	}
+}

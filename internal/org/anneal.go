@@ -1,0 +1,123 @@
+package org
+
+import (
+	"math"
+
+	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/power"
+)
+
+// Simulated-annealing placement search: an alternative to the paper's
+// multi-start greedy for escaping local minima in the (s1, s2) spacing
+// landscape. The walk minimizes peak temperature, accepting uphill moves
+// with probability exp(-ΔT/temperature) under a geometric cooling schedule,
+// and stops as soon as any visited placement meets the threshold (the
+// optimizer only needs feasibility, exactly like the greedy). Exposed for
+// the search-strategy ablation.
+
+// AnnealParams tunes the annealing search.
+type AnnealParams struct {
+	// InitialTempC is the initial acceptance temperature in °C of peak
+	// difference.
+	InitialTempC float64
+	// Cooling is the geometric cooling factor per move.
+	Cooling float64
+	// MaxEvals bounds peak-temperature evaluations per search.
+	MaxEvals int
+	// Restarts is the number of independent chains.
+	Restarts int
+}
+
+// DefaultAnnealParams returns a budget comparable to the 10-start greedy.
+func DefaultAnnealParams() AnnealParams {
+	return AnnealParams{InitialTempC: 6, Cooling: 0.92, MaxEvals: 160, Restarts: 3}
+}
+
+// FindPlacementAnnealing searches for a feasible placement at a fixed
+// (n, edge, op, p) with simulated annealing. Same contract as
+// FindPlacement.
+func (s *Searcher) FindPlacementAnnealing(n int, edgeMM float64, op power.DVFSPoint, p int, ap AnnealParams) (floorplan.Placement, float64, bool, error) {
+	if n == 4 {
+		return s.FindPlacement(4, edgeMM, op, p)
+	}
+	sp, ok := newSpacingSpace(edgeMM)
+	if !ok {
+		return floorplan.Placement{}, 0, false, nil
+	}
+	if ap.MaxEvals <= 0 {
+		ap = DefaultAnnealParams()
+	}
+	visited := make(map[spacePoint]float64)
+	evals := 0
+	eval := func(pt spacePoint) (float64, error) {
+		if v, seen := visited[pt]; seen {
+			return v, nil
+		}
+		pl, valid := sp.placementAt(pt)
+		if !valid {
+			visited[pt] = math.Inf(1)
+			return math.Inf(1), nil
+		}
+		evals++
+		peak, err := s.PeakC(pl, op, p)
+		if err != nil {
+			return 0, err
+		}
+		visited[pt] = peak
+		return peak, nil
+	}
+	for chain := 0; chain < max(1, ap.Restarts); chain++ {
+		cur := spacePoint{i1: s.rng.Intn(sp.max1 + 1), i2: s.rng.Intn(sp.max2 + 1)}
+		curPeak, err := eval(cur)
+		if err != nil {
+			return floorplan.Placement{}, 0, false, err
+		}
+		if curPeak <= s.cfg.ThresholdC {
+			pl, _ := sp.placementAt(cur)
+			return pl, curPeak, true, nil
+		}
+		temp := ap.InitialTempC
+		// attempts bounds the loop even when most moves fall outside the
+		// design space (tiny spacing spans can make every move invalid).
+		for attempts := 0; evals < ap.MaxEvals && temp > 0.05 && attempts < 4*ap.MaxEvals; attempts++ {
+			mv := neighborMoves[s.rng.Intn(len(neighborMoves))]
+			nb := spacePoint{i1: cur.i1 + mv.i1, i2: cur.i2 + mv.i2}
+			if !sp.contains(nb) {
+				temp *= ap.Cooling
+				continue
+			}
+			peak, err := eval(nb)
+			if err != nil {
+				return floorplan.Placement{}, 0, false, err
+			}
+			if peak <= s.cfg.ThresholdC {
+				pl, _ := sp.placementAt(nb)
+				return pl, peak, true, nil
+			}
+			delta := peak - curPeak
+			if delta <= 0 || s.rng.Float64() < math.Exp(-delta/temp) {
+				cur, curPeak = nb, peak
+			}
+			temp *= ap.Cooling
+		}
+		if evals >= ap.MaxEvals {
+			break
+		}
+	}
+	return floorplan.Placement{}, 0, false, nil
+}
+
+// OptimizeAnnealing runs the full optimization with the annealing placement
+// search instead of the greedy.
+func (s *Searcher) OptimizeAnnealing(ap AnnealParams) (Result, error) {
+	return s.optimize(func(n int, edgeMM float64, op power.DVFSPoint, p int) (floorplan.Placement, float64, bool, error) {
+		return s.FindPlacementAnnealing(n, edgeMM, op, p, ap)
+	})
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,108 @@
+package org
+
+import (
+	"math"
+	"testing"
+
+	"chiplet25d/internal/power"
+)
+
+func TestAnnealingFindsFeasiblePlacement(t *testing.T) {
+	s, err := NewSearcher(fastConfig(t, "canneal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, peak, found, err := s.FindPlacementAnnealing(16, 40, power.FrequencySet[2], 96, DefaultAnnealParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("annealing should find a feasible placement for a cool workload")
+	}
+	if peak > s.cfg.ThresholdC {
+		t.Fatalf("returned placement violates the threshold: %.1f", peak)
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnnealingInfeasibleCase(t *testing.T) {
+	s, err := NewSearcher(fastConfig(t, "shock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, found, err := s.FindPlacementAnnealing(16, 20, power.FrequencySet[0], 256, DefaultAnnealParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Fatal("full-throttle shock on a minimal interposer must stay infeasible")
+	}
+	// Edge too small for the chiplets: no placement, no error.
+	_, _, found, err = s.FindPlacementAnnealing(16, 19, power.FrequencySet[4], 32, DefaultAnnealParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Fatal("19 mm interposer cannot host 16 chiplets")
+	}
+}
+
+func TestAnnealingDelegatesFor4Chiplets(t *testing.T) {
+	s, err := NewSearcher(fastConfig(t, "canneal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, _, found, err := s.FindPlacementAnnealing(4, 30, power.FrequencySet[2], 96, DefaultAnnealParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found || pl.NumChiplets() != 4 {
+		t.Fatalf("4-chiplet delegation failed: found=%v n=%d", found, pl.NumChiplets())
+	}
+}
+
+func TestOptimizeAnnealingMatchesGreedy(t *testing.T) {
+	cfgG := fastConfig(t, "cholesky")
+	g, err := NewSearcher(cfgG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := g.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewSearcher(cfgG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := a.OptimizeAnnealing(DefaultAnnealParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.Feasible != an.Feasible {
+		t.Fatalf("feasibility disagreement: greedy %v, annealing %v", gr.Feasible, an.Feasible)
+	}
+	if !gr.Feasible {
+		return
+	}
+	if gr.Best.Op != an.Best.Op || gr.Best.ActiveCores != an.Best.ActiveCores ||
+		gr.Best.N != an.Best.N || math.Abs(gr.Best.InterposerMM-an.Best.InterposerMM) > 1e-9 {
+		t.Fatalf("annealing optimum %+v differs from greedy %+v", an.Best, gr.Best)
+	}
+}
+
+func TestAnnealingZeroEvalBudgetUsesDefaults(t *testing.T) {
+	s, err := NewSearcher(fastConfig(t, "canneal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, found, err := s.FindPlacementAnnealing(16, 40, power.FrequencySet[2], 96, AnnealParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("default-parameter annealing should still find the easy placement")
+	}
+}

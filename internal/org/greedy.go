@@ -1,0 +1,305 @@
+package org
+
+import (
+	"math"
+
+	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/power"
+)
+
+// spacePoint is a point in the 16-chiplet spacing design space at a fixed
+// interposer edge, in half-millimeter units: s1 = i1 * 0.5, s2 = i2 * 0.5,
+// s3 derived from Eq. (9).
+type spacePoint struct{ i1, i2 int }
+
+// spacingSpace describes the discrete feasible (s1, s2) grid at one edge.
+type spacingSpace struct {
+	edge   float64
+	spanHM int // S = 2*s1 + s3 in half-millimeters
+	max1   int // s1 ≤ S/2
+	max2   int // Eq. (10) at fixed edge: s2 ≤ S/2
+}
+
+func newSpacingSpace(edge float64) (spacingSpace, bool) {
+	span := floorplan.SpacingSpan(16, edge)
+	if span < -1e-9 {
+		return spacingSpace{}, false
+	}
+	hm := int(math.Floor(span/floorplan.SpacingStepMM + 1e-9))
+	return spacingSpace{edge: edge, spanHM: hm, max1: hm / 2, max2: hm / 2}, true
+}
+
+func (sp spacingSpace) contains(p spacePoint) bool {
+	return p.i1 >= 0 && p.i1 <= sp.max1 && p.i2 >= 0 && p.i2 <= sp.max2
+}
+
+// placementAt materializes the placement for a design-space point; ok is
+// false when the point is geometrically invalid.
+func (sp spacingSpace) placementAt(p spacePoint) (floorplan.Placement, bool) {
+	s1 := float64(p.i1) * floorplan.SpacingStepMM
+	s2 := float64(p.i2) * floorplan.SpacingStepMM
+	pl, err := floorplan.PaperOrgForInterposer(16, sp.edge, s1, s2)
+	if err != nil {
+		return floorplan.Placement{}, false
+	}
+	if err := pl.Validate(); err != nil {
+		return floorplan.Placement{}, false
+	}
+	return pl, true
+}
+
+// neighborMoves are the six moves of the constrained greedy walk: varying
+// s1 by ±0.5 mm (with s3 absorbing ∓1.0 mm to hold the interposer size and
+// hence the cost bucket fixed), varying s2 by ±0.5 mm, and the two
+// diagonal combinations.
+var neighborMoves = [6]spacePoint{
+	{+1, 0}, {-1, 0}, {0, +1}, {0, -1}, {+1, +1}, {-1, -1},
+}
+
+// FindPlacement searches for any placement of n chiplets on a square
+// interposer of the given edge meeting the temperature threshold at
+// (op, p), using the paper's multi-start greedy (Sec. III-D). It returns
+// the placement, its peak temperature, and whether one was found.
+func (s *Searcher) FindPlacement(n int, edgeMM float64, op power.DVFSPoint, p int) (floorplan.Placement, float64, bool, error) {
+	if n == 4 {
+		pl, err := floorplan.PaperOrgForInterposer(4, edgeMM, 0, 0)
+		if err != nil {
+			return floorplan.Placement{}, 0, false, nil // edge too small: no placement exists
+		}
+		if err := pl.Validate(); err != nil {
+			return floorplan.Placement{}, 0, false, nil
+		}
+		ok, peak, err := s.Feasible(pl, op, p)
+		if err != nil {
+			return floorplan.Placement{}, 0, false, err
+		}
+		return pl, peak, ok, nil
+	}
+	sp, ok := newSpacingSpace(edgeMM)
+	if !ok {
+		return floorplan.Placement{}, 0, false, nil
+	}
+	visited := make(map[spacePoint]float64)
+	eval := func(pt spacePoint) (float64, bool, error) {
+		if v, seen := visited[pt]; seen {
+			return v, true, nil
+		}
+		pl, valid := sp.placementAt(pt)
+		if !valid {
+			visited[pt] = math.Inf(1)
+			return math.Inf(1), true, nil
+		}
+		peak, err := s.PeakC(pl, op, p)
+		if err != nil {
+			return 0, false, err
+		}
+		visited[pt] = peak
+		return peak, true, nil
+	}
+
+	const maxWalk = 256
+	for start := 0; start < s.cfg.Starts; start++ {
+		cur := spacePoint{i1: s.rng.Intn(sp.max1 + 1), i2: s.rng.Intn(sp.max2 + 1)}
+		curPeak, _, err := eval(cur)
+		if err != nil {
+			return floorplan.Placement{}, 0, false, err
+		}
+		if curPeak <= s.cfg.ThresholdC {
+			pl, _ := sp.placementAt(cur)
+			return pl, curPeak, true, nil
+		}
+		for step := 0; step < maxWalk; step++ {
+			// Visit the six neighbors per the configured policy: in random
+			// order moving to the first cooler one (the paper's policy,
+			// avoiding fixed-order bias), or steepest-descent for the
+			// ablation. Either way, accept immediately on feasibility.
+			perm := s.rng.Perm(len(neighborMoves))
+			moved := false
+			bestNb, bestPeak := cur, curPeak
+			for _, mi := range perm {
+				mv := neighborMoves[mi]
+				nb := spacePoint{i1: cur.i1 + mv.i1, i2: cur.i2 + mv.i2}
+				if !sp.contains(nb) {
+					continue
+				}
+				peak, _, err := eval(nb)
+				if err != nil {
+					return floorplan.Placement{}, 0, false, err
+				}
+				if peak <= s.cfg.ThresholdC {
+					pl, _ := sp.placementAt(nb)
+					return pl, peak, true, nil
+				}
+				if peak < bestPeak {
+					bestNb, bestPeak = nb, peak
+					if s.cfg.NeighborPolicy == RandomNeighbor {
+						break
+					}
+				}
+			}
+			if bestPeak < curPeak {
+				cur, curPeak = bestNb, bestPeak
+				moved = true
+			}
+			if !moved {
+				break // local minimum: next random start
+			}
+		}
+	}
+	return floorplan.Placement{}, 0, false, nil
+}
+
+// FindPlacementExhaustive scans the full (s1, s2) grid at the given edge
+// and returns the feasible placement with the lowest peak temperature, for
+// validating the greedy search. For n == 4 the space is the single derived
+// placement. With Config.ParallelWorkers > 1 the un-memoized grid points
+// are simulated concurrently.
+func (s *Searcher) FindPlacementExhaustive(n int, edgeMM float64, op power.DVFSPoint, p int) (floorplan.Placement, float64, bool, error) {
+	if n == 4 {
+		return s.FindPlacement(4, edgeMM, op, p)
+	}
+	sp, ok := newSpacingSpace(edgeMM)
+	if !ok {
+		return floorplan.Placement{}, 0, false, nil
+	}
+	if s.cfg.ParallelWorkers > 1 {
+		if err := s.prefetchGrid(sp, op, p); err != nil {
+			return floorplan.Placement{}, 0, false, err
+		}
+	}
+	bestPeak := math.Inf(1)
+	var bestPl floorplan.Placement
+	found := false
+	for i1 := 0; i1 <= sp.max1; i1++ {
+		for i2 := 0; i2 <= sp.max2; i2++ {
+			pl, valid := sp.placementAt(spacePoint{i1, i2})
+			if !valid {
+				continue
+			}
+			peak, err := s.PeakC(pl, op, p)
+			if err != nil {
+				return floorplan.Placement{}, 0, false, err
+			}
+			if peak <= s.cfg.ThresholdC && peak < bestPeak {
+				bestPeak, bestPl, found = peak, pl, true
+			}
+		}
+	}
+	return bestPl, bestPeak, found, nil
+}
+
+// prefetchGrid evaluates the grid points missing from the memo with a
+// bounded worker pool. Each worker runs pure simulations only; the memo,
+// surrogate calibration and counters are merged on the single caller
+// goroutine afterward, so the Searcher itself stays free of locks.
+func (s *Searcher) prefetchGrid(sp spacingSpace, op power.DVFSPoint, p int) error {
+	fIdx := fIdxOf(op)
+	type job struct {
+		pl   floorplan.Placement
+		pk   plKey
+		ek   evalKey
+		nocW float64
+		// ref snapshots the surrogate calibration (if any) at scan start,
+		// so workers never touch the Searcher's maps.
+		ref    refPoint
+		hasRef bool
+	}
+	type outcome struct {
+		job  job
+		res  *power.SimResult
+		est  float64
+		surr bool
+		err  error
+	}
+	var jobs []job
+	for i1 := 0; i1 <= sp.max1; i1++ {
+		for i2 := 0; i2 <= sp.max2; i2++ {
+			pl, valid := sp.placementAt(spacePoint{i1, i2})
+			if !valid {
+				continue
+			}
+			pk := keyOf(pl)
+			ek := evalKey{pl: pk, fIdx: fIdx, cores: p}
+			if _, ok := s.peakMemo[ek]; ok {
+				continue
+			}
+			nocW, err := s.nocPower(pl, op, p)
+			if err != nil {
+				return err
+			}
+			j := job{pl: pl, pk: pk, ek: ek, nocW: nocW}
+			if byP, ok := s.refMemo[pk]; ok {
+				if ref, ok := byP[p]; ok {
+					j.ref, j.hasRef = ref, true
+				}
+			}
+			jobs = append(jobs, j)
+		}
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+	workers := s.cfg.ParallelWorkers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	jobCh := make(chan job)
+	outCh := make(chan outcome, len(jobs))
+	for w := 0; w < workers; w++ {
+		go func() {
+			for j := range jobCh {
+				// Surrogate check against the snapshot taken at scan start.
+				if s.cfg.SurrogateMarginC >= 0 && j.hasRef {
+					_, est := s.totalPowerAt(op, p, j.nocW, j.ref.rEff)
+					if absf(est-s.cfg.ThresholdC) > s.cfg.SurrogateMarginC {
+						outCh <- outcome{job: j, est: est, surr: true}
+						continue
+					}
+				}
+				res, err := s.simulatePure(j.pl, op, p, j.nocW)
+				outCh <- outcome{job: j, res: res, err: err}
+			}
+		}()
+	}
+	go func() {
+		for _, j := range jobs {
+			jobCh <- j
+		}
+		close(jobCh)
+	}()
+	var firstErr error
+	for range jobs {
+		o := <-outCh
+		if o.err != nil {
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			continue
+		}
+		if o.surr {
+			s.surrogateHits++
+			s.peakMemo[o.job.ek] = o.est
+			continue
+		}
+		s.thermalSims++
+		s.peakMemo[o.job.ek] = o.res.PeakC
+		if o.res.TotalPowerW > 0 {
+			byP := s.refMemo[o.job.pk]
+			if byP == nil {
+				byP = make(map[int]refPoint)
+				s.refMemo[o.job.pk] = byP
+			}
+			if _, ok := byP[p]; !ok {
+				byP[p] = refPoint{rEff: (o.res.PeakC - s.cfg.Thermal.AmbientC) / o.res.TotalPowerW}
+			}
+		}
+	}
+	return firstErr
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,297 @@
+package org
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/perf"
+	"chiplet25d/internal/power"
+)
+
+// The paper evaluates single-application workloads but sketches the
+// multi-application extension in Sec. IV: a designer picks one chiplet
+// organization for a mix of applications by minimizing the weighted
+// objective
+//
+//	α · Σ_i u_i · IPS_2D^i / IPS_2.5D^i  +  β · C_2.5D / C_2D
+//
+// where u_i is how often application i runs. Each application then runs at
+// its own best feasible (f, p) on the shared organization. This file
+// implements that extension.
+
+// AppMix is one application and its usage weight in the mix.
+type AppMix struct {
+	Benchmark perf.Benchmark
+	Weight    float64
+}
+
+// AppOperating records how one application runs on the chosen organization.
+type AppOperating struct {
+	Name        string
+	Op          power.DVFSPoint
+	ActiveCores int
+	IPS         float64
+	// NormPerf is IPS over the application's own 2D-baseline best.
+	NormPerf float64
+	PeakC    float64
+}
+
+// MultiAppResult is the outcome of a multi-application organization search.
+type MultiAppResult struct {
+	Feasible bool
+	// Organization geometry (operating point fields are per-app below).
+	N            int
+	S1, S2, S3   float64
+	InterposerMM float64
+	Placement    floorplan.Placement
+	// PerApp holds each application's chosen operating point on the shared
+	// organization.
+	PerApp []AppOperating
+	// ObjValue is the weighted Eq. (5) value; CostUSD/NormCost the
+	// organization's manufacturing cost.
+	ObjValue float64
+	CostUSD  float64
+	NormCost float64
+	// ThermalSims counts full simulations across the search.
+	ThermalSims int
+}
+
+// multiEval evaluates peak temperatures for arbitrary benchmarks on shared
+// placements, exploiting that the effective thermal resistance of a
+// (placement, active-core-count) pair is a pure map-shape property — every
+// active core carries equal power — and therefore transfers across
+// applications and DVFS points. Near-threshold estimates are verified with
+// full simulations.
+type multiEval struct {
+	s    *Searcher
+	rEff map[plKey]map[int]float64
+	memo map[string]float64
+}
+
+func newMultiEval(s *Searcher) *multiEval {
+	return &multiEval{
+		s:    s,
+		rEff: make(map[plKey]map[int]float64),
+		memo: make(map[string]float64),
+	}
+}
+
+func (e *multiEval) peak(b perf.Benchmark, pl floorplan.Placement, op power.DVFSPoint, p int) (float64, error) {
+	pk := keyOf(pl)
+	key := fmt.Sprintf("%v|%s|%v|%d", pk, b.Name, op.FreqMHz, p)
+	if v, ok := e.memo[key]; ok {
+		return v, nil
+	}
+	nocW, err := e.s.nocPowerWith(b, pl, op, p)
+	if err != nil {
+		return 0, err
+	}
+	margin := e.s.cfg.SurrogateMarginC
+	if margin >= 0 {
+		if byP, ok := e.rEff[pk]; ok {
+			if r, ok := byP[p]; ok {
+				_, est := e.s.totalPowerAtWith(b, op, p, nocW, r)
+				if math.Abs(est-e.s.cfg.ThresholdC) > margin {
+					e.memo[key] = est
+					return est, nil
+				}
+			}
+		}
+	}
+	res, err := e.s.simulateWith(b, pl, op, p, nocW)
+	if err != nil {
+		return 0, err
+	}
+	e.memo[key] = res.PeakC
+	if res.TotalPowerW > 0 {
+		byP := e.rEff[pk]
+		if byP == nil {
+			byP = make(map[int]float64)
+			e.rEff[pk] = byP
+		}
+		if _, ok := byP[p]; !ok {
+			byP[p] = (res.PeakC - e.s.cfg.Thermal.AmbientC) / res.TotalPowerW
+		}
+	}
+	return res.PeakC, nil
+}
+
+// bestFeasible returns the highest-IPS feasible (f, p) for a benchmark on a
+// fixed placement.
+func (e *multiEval) bestFeasible(b perf.Benchmark, pl floorplan.Placement) (AppOperating, bool, error) {
+	type cand struct {
+		op  power.DVFSPoint
+		p   int
+		ips float64
+	}
+	var cands []cand
+	for _, op := range power.FrequencySet {
+		for _, p := range power.ActiveCoreCounts {
+			cands = append(cands, cand{op, p, b.IPS(op, p)})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].ips > cands[j].ips })
+	for _, c := range cands {
+		peak, err := e.peak(b, pl, c.op, c.p)
+		if err != nil {
+			return AppOperating{}, false, err
+		}
+		if peak <= e.s.cfg.ThresholdC {
+			return AppOperating{Name: b.Name, Op: c.op, ActiveCores: c.p, IPS: c.ips, PeakC: peak}, true, nil
+		}
+	}
+	return AppOperating{}, false, nil
+}
+
+// candidatePlacements returns the symmetric spacing candidates examined per
+// (n, edge) bucket: the 4-chiplet bucket has a single derived placement;
+// the 16-chiplet bucket samples s1 in {0, S/3, S/2} x s2 in {0, S/4, S/2}
+// (snapped to the 0.5 mm grid, deduplicated). This is a documented
+// simplification versus the full per-(f, p) greedy of the single-app flow:
+// the multi-app objective couples all applications to one placement, so the
+// search samples a small symmetric design-space basis instead.
+func candidatePlacements(n int, edge float64) []floorplan.Placement {
+	if n == 4 {
+		pl, err := floorplan.PaperOrgForInterposer(4, edge, 0, 0)
+		if err != nil || pl.Validate() != nil {
+			return nil
+		}
+		return []floorplan.Placement{pl}
+	}
+	span := floorplan.SpacingSpan(16, edge)
+	if span < 0 {
+		return nil
+	}
+	var out []floorplan.Placement
+	seen := make(map[plKey]bool)
+	for _, s1 := range []float64{0, floorplan.SnapToStep(span / 3), floorplan.SnapToStep(span / 2)} {
+		for _, s2 := range []float64{0, floorplan.SnapToStep(span / 4), floorplan.SnapToStep(span / 2)} {
+			pl, err := floorplan.PaperOrgForInterposer(16, edge, s1, s2)
+			if err != nil || pl.Validate() != nil {
+				continue
+			}
+			k := keyOf(pl)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, pl)
+		}
+	}
+	return out
+}
+
+// OptimizeMultiApp selects one chiplet organization for a weighted
+// application mix under the configured threshold and objective weights,
+// using each application's own single-chip baseline for normalization. The
+// Benchmark field of cfg is ignored (the mix provides the workloads).
+func OptimizeMultiApp(cfg Config, mix []AppMix) (MultiAppResult, error) {
+	if len(mix) == 0 {
+		return MultiAppResult{}, fmt.Errorf("org: empty application mix")
+	}
+	totalWeight := 0.0
+	for _, m := range mix {
+		if err := m.Benchmark.Validate(); err != nil {
+			return MultiAppResult{}, err
+		}
+		if m.Weight < 0 {
+			return MultiAppResult{}, fmt.Errorf("org: negative weight for %s", m.Benchmark.Name)
+		}
+		totalWeight += m.Weight
+	}
+	if totalWeight <= 0 {
+		return MultiAppResult{}, fmt.Errorf("org: application weights sum to zero")
+	}
+	cfg.Benchmark = mix[0].Benchmark // satisfies validation; per-app models are explicit below
+	s, err := NewSearcher(cfg)
+	if err != nil {
+		return MultiAppResult{}, err
+	}
+	e := newMultiEval(s)
+
+	// Per-application 2D baselines on the shared single chip.
+	chip := floorplan.SingleChip()
+	baseIPS := make(map[string]float64, len(mix))
+	for _, m := range mix {
+		best, found, err := e.bestFeasible(m.Benchmark, chip)
+		if err != nil {
+			return MultiAppResult{}, err
+		}
+		if !found {
+			return MultiAppResult{}, fmt.Errorf("org: %s has no feasible single-chip configuration under %.1f °C",
+				m.Benchmark.Name, cfg.ThresholdC)
+		}
+		baseIPS[m.Benchmark.Name] = best.IPS
+	}
+	c2d := cfg.CostParams.PlacementCost(chip)
+
+	best := MultiAppResult{ObjValue: math.Inf(1)}
+	for _, n := range cfg.ChipletCounts {
+		for edge := cfg.InterposerMinMM; edge <= cfg.InterposerMaxMM+1e-9; edge += cfg.InterposerStepMM {
+			cost := cfg.CostParams.Cost25DForInterposer(n, edge)
+			if cfg.MaxNormCost > 0 && cost/c2d > cfg.MaxNormCost {
+				continue
+			}
+			// Lower bound on the objective for this bucket: every app at
+			// its unconstrained best. Skip buckets that cannot beat the
+			// incumbent.
+			lb := cfg.Objective.Beta * cost / c2d
+			for _, m := range mix {
+				bestIPS := 0.0
+				for _, op := range power.FrequencySet {
+					for _, p := range power.ActiveCoreCounts {
+						if v := m.Benchmark.IPS(op, p); v > bestIPS {
+							bestIPS = v
+						}
+					}
+				}
+				lb += cfg.Objective.Alpha * (m.Weight / totalWeight) * baseIPS[m.Benchmark.Name] / bestIPS
+			}
+			if lb >= best.ObjValue {
+				continue
+			}
+			for _, pl := range candidatePlacements(n, edge) {
+				obj := cfg.Objective.Beta * cost / c2d
+				perApp := make([]AppOperating, 0, len(mix))
+				ok := true
+				for _, m := range mix {
+					ao, found, err := e.bestFeasible(m.Benchmark, pl)
+					if err != nil {
+						return MultiAppResult{}, err
+					}
+					if !found {
+						ok = false
+						break
+					}
+					ao.NormPerf = ao.IPS / baseIPS[m.Benchmark.Name]
+					perApp = append(perApp, ao)
+					obj += cfg.Objective.Alpha * (m.Weight / totalWeight) / ao.NormPerf
+					if obj >= best.ObjValue {
+						// Even before the remaining apps, this placement
+						// already loses; finish scoring only if needed.
+						continue
+					}
+				}
+				if !ok || obj >= best.ObjValue {
+					continue
+				}
+				best = MultiAppResult{
+					Feasible: true,
+					N:        n, S1: pl.S1, S2: pl.S2, S3: pl.S3,
+					InterposerMM: pl.W, Placement: pl,
+					PerApp:   perApp,
+					ObjValue: obj,
+					CostUSD:  cost,
+					NormCost: cost / c2d,
+				}
+			}
+		}
+	}
+	best.ThermalSims = s.ThermalSims()
+	if !best.Feasible {
+		return best, nil
+	}
+	return best, nil
+}

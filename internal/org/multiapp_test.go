@@ -1,0 +1,149 @@
+package org
+
+import (
+	"testing"
+
+	"chiplet25d/internal/perf"
+)
+
+func multiAppConfig(t *testing.T) Config {
+	t.Helper()
+	cfg := fastConfig(t, "canneal")
+	cfg.InterposerStepMM = 5
+	return cfg
+}
+
+func mixOf(t *testing.T, weighted map[string]float64) []AppMix {
+	t.Helper()
+	var mix []AppMix
+	for name, w := range weighted {
+		b, err := perf.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mix = append(mix, AppMix{Benchmark: b, Weight: w})
+	}
+	return mix
+}
+
+func TestOptimizeMultiAppRejectsBadMix(t *testing.T) {
+	cfg := multiAppConfig(t)
+	if _, err := OptimizeMultiApp(cfg, nil); err == nil {
+		t.Errorf("expected error for empty mix")
+	}
+	mix := mixOf(t, map[string]float64{"canneal": 0})
+	if _, err := OptimizeMultiApp(cfg, mix); err == nil {
+		t.Errorf("expected error for zero total weight")
+	}
+	mix = mixOf(t, map[string]float64{"canneal": 1})
+	mix[0].Weight = -1
+	if _, err := OptimizeMultiApp(cfg, mix); err == nil {
+		t.Errorf("expected error for negative weight")
+	}
+}
+
+func TestOptimizeMultiAppSingleAppMix(t *testing.T) {
+	cfg := multiAppConfig(t)
+	res, err := OptimizeMultiApp(cfg, mixOf(t, map[string]float64{"canneal": 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("single-app mix should be feasible")
+	}
+	if len(res.PerApp) != 1 {
+		t.Fatalf("per-app entries = %d", len(res.PerApp))
+	}
+	ao := res.PerApp[0]
+	if ao.PeakC > cfg.ThresholdC {
+		t.Errorf("chosen operating point violates the threshold: %.1f", ao.PeakC)
+	}
+	if ao.NormPerf < 1 {
+		t.Errorf("2.5D should at least match the baseline, got %.2fx", ao.NormPerf)
+	}
+	if err := res.Placement.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizeMultiAppMixedWorkload(t *testing.T) {
+	cfg := multiAppConfig(t)
+	cfg.Objective = Objective{Alpha: 0.5, Beta: 0.5}
+	res, err := OptimizeMultiApp(cfg, mixOf(t, map[string]float64{
+		"cholesky": 2,
+		"canneal":  1,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("mixed workload should be feasible")
+	}
+	if len(res.PerApp) != 2 {
+		t.Fatalf("per-app entries = %d", len(res.PerApp))
+	}
+	for _, ao := range res.PerApp {
+		if ao.PeakC > cfg.ThresholdC {
+			t.Errorf("%s violates the threshold at %.1f °C", ao.Name, ao.PeakC)
+		}
+	}
+	if res.NormCost <= 0 {
+		t.Errorf("missing cost")
+	}
+	if res.ObjValue <= 0 {
+		t.Errorf("missing objective value")
+	}
+}
+
+// Weighting a thermally demanding application more heavily must not shrink
+// the chosen interposer: the organization has to serve the hot app.
+func TestOptimizeMultiAppWeightSensitivity(t *testing.T) {
+	cfg := multiAppConfig(t)
+	cfg.Objective = Objective{Alpha: 0.7, Beta: 0.3}
+	cool, err := OptimizeMultiApp(cfg, mixOf(t, map[string]float64{
+		"shock": 0.1, "lu.cont": 0.9,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := OptimizeMultiApp(cfg, mixOf(t, map[string]float64{
+		"shock": 0.9, "lu.cont": 0.1,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cool.Feasible || !hot.Feasible {
+		t.Fatal("both mixes should be feasible")
+	}
+	if hot.InterposerMM < cool.InterposerMM-1e-9 {
+		t.Errorf("hot-weighted mix chose a smaller interposer (%.1f) than the cool-weighted one (%.1f)",
+			hot.InterposerMM, cool.InterposerMM)
+	}
+	// The hot mix should deliver a real shock improvement.
+	for _, ao := range hot.PerApp {
+		if ao.Name == "shock" && ao.NormPerf < 1.2 {
+			t.Errorf("shock on the hot-weighted organization gains only %.2fx", ao.NormPerf)
+		}
+	}
+}
+
+func TestCandidatePlacements(t *testing.T) {
+	pls := candidatePlacements(16, 36)
+	if len(pls) == 0 {
+		t.Fatal("no candidates at a 36 mm interposer")
+	}
+	for _, pl := range pls {
+		if err := pl.Validate(); err != nil {
+			t.Errorf("invalid candidate: %v", err)
+		}
+		if pl.W != 36 {
+			t.Errorf("candidate edge = %v, want 36", pl.W)
+		}
+	}
+	if got := candidatePlacements(4, 26); len(got) != 1 {
+		t.Errorf("4-chiplet bucket should have exactly one placement, got %d", len(got))
+	}
+	if got := candidatePlacements(4, 19); got != nil {
+		t.Errorf("infeasible edge should yield no candidates")
+	}
+}

@@ -1,0 +1,280 @@
+package org
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/noc"
+	"chiplet25d/internal/perf"
+	"chiplet25d/internal/power"
+	"chiplet25d/internal/thermal"
+)
+
+// plKey identifies a placement geometry on the 0.5 mm grid.
+type plKey struct {
+	n               int
+	edge2, s12, s22 int // edge, s1, s2 in half-millimeters
+}
+
+func keyOf(pl floorplan.Placement) plKey {
+	if pl.Is2D() {
+		return plKey{n: 1}
+	}
+	return plKey{
+		n:     pl.NumChiplets(),
+		edge2: int(math.Round(pl.W * 2)),
+		s12:   int(math.Round(pl.S1 * 2)),
+		s22:   int(math.Round(pl.S2 * 2)),
+	}
+}
+
+// evalKey identifies one peak-temperature evaluation.
+type evalKey struct {
+	pl    plKey
+	fIdx  int
+	cores int
+}
+
+// refPoint calibrates the scalar surrogate for one (placement, p): a full
+// leakage-coupled simulation at one DVFS point yields the effective
+// thermal resistance from total power to peak temperature; because every
+// active core carries the same power, the power-map *shape* is identical
+// across DVFS points and the resistance transfers.
+type refPoint struct {
+	rEff float64 // (peak - ambient) / totalW
+}
+
+// Searcher runs peak-temperature evaluations with memoization and the
+// verified scalar surrogate, and exposes the greedy and exhaustive
+// placement searches.
+type Searcher struct {
+	cfg Config
+	rng *rand.Rand
+
+	peakMemo map[evalKey]float64
+	refMemo  map[plKey]map[int]refPoint // placement -> p -> calibration
+
+	thermalSims   int
+	surrogateHits int
+
+	baseline     *Baseline
+	baselineErr  error
+	baselineDone bool
+}
+
+// NewSearcher validates the configuration and prepares a searcher.
+func NewSearcher(cfg Config) (*Searcher, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Searcher{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		peakMemo: make(map[evalKey]float64),
+		refMemo:  make(map[plKey]map[int]refPoint),
+	}, nil
+}
+
+// Config returns the searcher's configuration.
+func (s *Searcher) Config() Config { return s.cfg }
+
+// ThermalSims returns the number of full thermal simulations run so far.
+func (s *Searcher) ThermalSims() int { return s.thermalSims }
+
+// SurrogateHits returns the number of evaluations the surrogate decided.
+func (s *Searcher) SurrogateHits() int { return s.surrogateHits }
+
+// fIdxOf maps an operating point to its index in the frequency set.
+func fIdxOf(op power.DVFSPoint) int {
+	for i, p := range power.FrequencySet {
+		if p == op {
+			return i
+		}
+	}
+	return -1
+}
+
+// nocPower returns the mesh power for a placement/op/p combination.
+func (s *Searcher) nocPower(pl floorplan.Placement, op power.DVFSPoint, p int) (float64, error) {
+	return s.nocPowerWith(s.cfg.Benchmark, pl, op, p)
+}
+
+func (s *Searcher) nocPowerWith(b perf.Benchmark, pl floorplan.Placement, op power.DVFSPoint, p int) (float64, error) {
+	mesh, err := noc.MeshPower(pl, op, p, b.Traffic, s.cfg.Link, s.cfg.Router)
+	if err != nil {
+		return 0, err
+	}
+	return mesh.TotalW(), nil
+}
+
+// totalPowerAt solves the scalar leakage fixed point: total power of p
+// active cores when the silicon sits at the temperature implied by thermal
+// resistance rEff. Used only by the surrogate estimate.
+func (s *Searcher) totalPowerAt(op power.DVFSPoint, p int, nocW, rEff float64) (totalW, peakC float64) {
+	return s.totalPowerAtWith(s.cfg.Benchmark, op, p, nocW, rEff)
+}
+
+func (s *Searcher) totalPowerAtWith(b perf.Benchmark, op power.DVFSPoint, p int, nocW, rEff float64) (totalW, peakC float64) {
+	lm := s.cfg.Leakage
+	dyn := float64(p)*b.RefCoreW*(1-lm.FracAtRef)*power.DynScale(op) + nocW
+	l0 := float64(p) * b.RefCoreW * lm.FracAtRef * power.LeakScale(op)
+	amb := s.cfg.Thermal.AmbientC
+	k := lm.TempCoeff
+	den := 1 - rEff*l0*k
+	if den <= 0.05 {
+		den = 0.05 // thermal-runaway guard; the estimate saturates high
+	}
+	peakC = (amb + rEff*(dyn+l0*(1-k*lm.RefC))) / den
+	totalW = dyn + l0*lm.Factor(peakC)
+	return totalW, peakC
+}
+
+// simulate runs a full leakage-coupled thermal simulation for a placement.
+func (s *Searcher) simulate(pl floorplan.Placement, op power.DVFSPoint, p int, nocW float64) (*power.SimResult, error) {
+	return s.simulateWith(s.cfg.Benchmark, pl, op, p, nocW)
+}
+
+func (s *Searcher) simulateWith(b perf.Benchmark, pl floorplan.Placement, op power.DVFSPoint, p int, nocW float64) (*power.SimResult, error) {
+	s.thermalSims++
+	return s.simulatePureWith(b, pl, op, p, nocW)
+}
+
+// simulatePure is the benchmark-default pure simulation used by parallel
+// scans: it mutates no Searcher state and is safe to call concurrently.
+func (s *Searcher) simulatePure(pl floorplan.Placement, op power.DVFSPoint, p int, nocW float64) (*power.SimResult, error) {
+	return s.simulatePureWith(s.cfg.Benchmark, pl, op, p, nocW)
+}
+
+func (s *Searcher) simulatePureWith(b perf.Benchmark, pl floorplan.Placement, op power.DVFSPoint, p int, nocW float64) (*power.SimResult, error) {
+	stack, err := floorplan.BuildStack(pl)
+	if err != nil {
+		return nil, err
+	}
+	model, err := thermal.NewModel(stack, s.cfg.Thermal)
+	if err != nil {
+		return nil, err
+	}
+	cores, err := pl.Cores()
+	if err != nil {
+		return nil, err
+	}
+	active, err := power.MintempActive(p)
+	if err != nil {
+		return nil, err
+	}
+	w := power.Workload{
+		RefCoreW: b.RefCoreW,
+		Op:       op,
+		Active:   active,
+		NoCW:     nocW,
+		Leakage:  s.cfg.Leakage,
+	}
+	return power.Simulate(model, cores, w, s.cfg.SimOpts)
+}
+
+// PeakC returns the peak temperature of a placement at an operating point
+// with p active cores, using the memo and, when it is decisive, the
+// calibrated surrogate.
+func (s *Searcher) PeakC(pl floorplan.Placement, op power.DVFSPoint, p int) (float64, error) {
+	fIdx := fIdxOf(op)
+	if fIdx < 0 {
+		return 0, fmt.Errorf("org: operating point %+v not in the DVFS table", op)
+	}
+	if p <= 0 || p > floorplan.NumCores {
+		return 0, fmt.Errorf("org: active core count %d out of range", p)
+	}
+	pk := keyOf(pl)
+	ek := evalKey{pl: pk, fIdx: fIdx, cores: p}
+	if v, ok := s.peakMemo[ek]; ok {
+		return v, nil
+	}
+	nocW, err := s.nocPower(pl, op, p)
+	if err != nil {
+		return 0, err
+	}
+	// Surrogate: if this (placement, p) was calibrated at another DVFS
+	// point and the estimate is far from the threshold, decide without a
+	// full simulation.
+	if s.cfg.SurrogateMarginC >= 0 {
+		if byP, ok := s.refMemo[pk]; ok {
+			if ref, ok := byP[p]; ok {
+				_, est := s.totalPowerAt(op, p, nocW, ref.rEff)
+				if math.Abs(est-s.cfg.ThresholdC) > s.cfg.SurrogateMarginC {
+					s.surrogateHits++
+					s.peakMemo[ek] = est
+					return est, nil
+				}
+			}
+		}
+	}
+	res, err := s.simulate(pl, op, p, nocW)
+	if err != nil {
+		return 0, err
+	}
+	peak := res.PeakC
+	s.peakMemo[ek] = peak
+	if res.TotalPowerW > 0 {
+		byP := s.refMemo[pk]
+		if byP == nil {
+			byP = make(map[int]refPoint)
+			s.refMemo[pk] = byP
+		}
+		if _, ok := byP[p]; !ok {
+			byP[p] = refPoint{rEff: (peak - s.cfg.Thermal.AmbientC) / res.TotalPowerW}
+		}
+	}
+	return peak, nil
+}
+
+// Feasible reports whether the placement meets Eq. (6) at (op, p).
+func (s *Searcher) Feasible(pl floorplan.Placement, op power.DVFSPoint, p int) (bool, float64, error) {
+	peak, err := s.PeakC(pl, op, p)
+	if err != nil {
+		return false, 0, err
+	}
+	return peak <= s.cfg.ThresholdC, peak, nil
+}
+
+// Baseline computes (and memoizes) the 2D single-chip reference: the
+// maximum IPS over all 40 (f, p) pairs whose simulated peak temperature
+// meets the threshold.
+func (s *Searcher) Baseline() (Baseline, error) {
+	if s.baselineDone {
+		return derefBaseline(s.baseline), s.baselineErr
+	}
+	s.baselineDone = true
+	chip := floorplan.SingleChip()
+	var best Baseline
+	best.CostUSD = s.cfg.CostParams.PlacementCost(chip)
+	for _, op := range power.FrequencySet {
+		for _, p := range power.ActiveCoreCounts {
+			ok, peak, err := s.Feasible(chip, op, p)
+			if err != nil {
+				s.baselineErr = err
+				return Baseline{}, err
+			}
+			if !ok {
+				continue
+			}
+			ips := s.cfg.Benchmark.IPS(op, p)
+			if !best.Feasible || ips > best.BestIPS {
+				best.Feasible = true
+				best.BestIPS = ips
+				best.Op = op
+				best.ActiveCores = p
+				best.PeakC = peak
+			}
+		}
+	}
+	s.baseline = &best
+	return best, nil
+}
+
+func derefBaseline(b *Baseline) Baseline {
+	if b == nil {
+		return Baseline{}
+	}
+	return *b
+}

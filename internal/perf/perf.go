@@ -1,0 +1,178 @@
+// Package perf is the architectural-performance substrate standing in for
+// the paper's Sniper simulations: it models IPS(f, p) — instructions per
+// second at frequency f with p active cores — for the eight multi-threaded
+// benchmarks the paper evaluates (SPLASH-2 cholesky and lu.cont, PARSEC
+// blackscholes, swaptions, streamcluster and canneal, HPCCG hpccg, and UHPC
+// shock).
+//
+// Each benchmark combines:
+//
+//   - a per-core roofline: time per instruction splits into a compute part
+//     that scales with 1/f and a memory part that does not, so
+//     memory-bound codes gain little from frequency;
+//   - a contention-saturating parallel-scaling curve
+//     speedup(p) = p / (1 + (p/Psat)^Gamma), which peaks at a finite core
+//     count for codes with heavy sharing (the paper: canneal's performance
+//     saturates at 192 active cores and lu.cont's at 96);
+//   - a per-core power budget at the nominal DVFS point (the McPAT/Intel
+//     SCC calibration substitute) spanning the paper's low/medium/high
+//     power classes;
+//   - a NoC traffic factor feeding the mesh power model.
+//
+// The parameters are calibrated so the paper's qualitative results
+// reproduce: which benchmarks are thermally limited on the single chip, by
+// how much 2.5D integration helps each, and where performance saturates.
+package perf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"chiplet25d/internal/power"
+)
+
+// PowerClass buckets benchmarks the way the paper's figures do.
+type PowerClass int
+
+const (
+	LowPower PowerClass = iota
+	MediumPower
+	HighPower
+)
+
+// String implements fmt.Stringer.
+func (c PowerClass) String() string {
+	switch c {
+	case LowPower:
+		return "low"
+	case MediumPower:
+		return "medium"
+	case HighPower:
+		return "high"
+	default:
+		return fmt.Sprintf("PowerClass(%d)", int(c))
+	}
+}
+
+// Benchmark is one workload's performance and power model.
+type Benchmark struct {
+	// Name is the benchmark's paper name (e.g. "cholesky").
+	Name string
+	// Suite records the originating suite (SPLASH-2, PARSEC, ...).
+	Suite string
+	// Class is the paper's qualitative power class.
+	Class PowerClass
+	// RefCoreW is one active core's total power (W) at 1 GHz / 0.9 V and
+	// the 60 °C leakage reference.
+	RefCoreW float64
+	// BaseIPC is per-core instructions per cycle at 1 GHz when the memory
+	// system is not the bottleneck.
+	BaseIPC float64
+	// MemFrac is the fraction of per-instruction time spent waiting on
+	// memory at 1 GHz; this part does not shrink with frequency.
+	MemFrac float64
+	// Psat and Gamma shape the parallel-scaling curve
+	// speedup(p) = p / (1 + (p/Psat)^Gamma).
+	Psat  float64
+	Gamma float64
+	// Traffic is the mean NoC flit injection rate per active core per cycle
+	// feeding the mesh power model.
+	Traffic float64
+}
+
+// Validate checks model parameters.
+func (b Benchmark) Validate() error {
+	if b.Name == "" {
+		return fmt.Errorf("perf: benchmark with empty name")
+	}
+	if b.RefCoreW <= 0 || b.BaseIPC <= 0 {
+		return fmt.Errorf("perf: %s has non-positive power or IPC", b.Name)
+	}
+	if b.MemFrac < 0 || b.MemFrac >= 1 {
+		return fmt.Errorf("perf: %s memory fraction %g outside [0,1)", b.Name, b.MemFrac)
+	}
+	if b.Psat <= 0 || b.Gamma <= 1 {
+		return fmt.Errorf("perf: %s needs Psat > 0 and Gamma > 1", b.Name)
+	}
+	if b.Traffic < 0 || b.Traffic > 1 {
+		return fmt.Errorf("perf: %s traffic %g outside [0,1]", b.Name, b.Traffic)
+	}
+	return nil
+}
+
+// PerCoreGIPS returns one core's performance in giga-instructions per
+// second at the given frequency (MHz). At 1 GHz it equals BaseIPC.
+func (b Benchmark) PerCoreGIPS(freqMHz float64) float64 {
+	fGHz := freqMHz / 1000
+	return b.BaseIPC / ((1-b.MemFrac)/fGHz + b.MemFrac)
+}
+
+// Speedup returns the parallel-scaling factor at p active cores.
+func (b Benchmark) Speedup(p int) float64 {
+	fp := float64(p)
+	return fp / (1 + math.Pow(fp/b.Psat, b.Gamma))
+}
+
+// IPS returns total system performance in giga-instructions per second at
+// the given operating point and active core count.
+func (b Benchmark) IPS(op power.DVFSPoint, p int) float64 {
+	return b.PerCoreGIPS(op.FreqMHz) * b.Speedup(p)
+}
+
+// SaturationCores returns the active core count from the paper's set that
+// maximizes IPS (frequency does not affect the argmax over p).
+func (b Benchmark) SaturationCores() int {
+	best, bestIPS := 0, math.Inf(-1)
+	for _, p := range power.ActiveCoreCounts {
+		if s := b.Speedup(p); s > bestIPS {
+			best, bestIPS = p, s
+		}
+	}
+	return best
+}
+
+// Benchmarks returns the paper's eight workloads, sorted by name. The slice
+// is freshly allocated; callers may modify it.
+func Benchmarks() []Benchmark {
+	list := []Benchmark{
+		{Name: "shock", Suite: "UHPC", Class: HighPower,
+			RefCoreW: 1.82, BaseIPC: 1.20, MemFrac: 0.24, Psat: 900, Gamma: 2.0, Traffic: 0.08},
+		{Name: "blackscholes", Suite: "PARSEC", Class: HighPower,
+			RefCoreW: 1.75, BaseIPC: 1.30, MemFrac: 0.12, Psat: 1200, Gamma: 2.0, Traffic: 0.03},
+		{Name: "cholesky", Suite: "SPLASH-2", Class: HighPower,
+			RefCoreW: 1.75, BaseIPC: 1.10, MemFrac: 0.15, Psat: 800, Gamma: 2.0, Traffic: 0.06},
+		{Name: "hpccg", Suite: "HPCCG", Class: MediumPower,
+			RefCoreW: 1.40, BaseIPC: 0.90, MemFrac: 0.25, Psat: 500, Gamma: 2.0, Traffic: 0.10},
+		{Name: "streamcluster", Suite: "PARSEC", Class: MediumPower,
+			RefCoreW: 1.20, BaseIPC: 0.80, MemFrac: 0.55, Psat: 500, Gamma: 2.5, Traffic: 0.12},
+		{Name: "swaptions", Suite: "PARSEC", Class: LowPower,
+			RefCoreW: 1.10, BaseIPC: 1.00, MemFrac: 0.10, Psat: 600, Gamma: 2.0, Traffic: 0.02},
+		{Name: "lu.cont", Suite: "SPLASH-2", Class: LowPower,
+			RefCoreW: 1.05, BaseIPC: 0.90, MemFrac: 0.30, Psat: 121, Gamma: 3.0, Traffic: 0.07},
+		{Name: "canneal", Suite: "PARSEC", Class: LowPower,
+			RefCoreW: 1.26, BaseIPC: 0.50, MemFrac: 0.65, Psat: 270, Gamma: 4.0, Traffic: 0.15},
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].Name < list[j].Name })
+	return list
+}
+
+// ByName returns the named benchmark.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range Benchmarks() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("perf: unknown benchmark %q", name)
+}
+
+// Names returns the benchmark names in sorted order.
+func Names() []string {
+	bs := Benchmarks()
+	names := make([]string, len(bs))
+	for i, b := range bs {
+		names[i] = b.Name
+	}
+	return names
+}

@@ -1,0 +1,196 @@
+package perf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"chiplet25d/internal/power"
+)
+
+func TestBenchmarksValidateAndSorted(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 8 {
+		t.Fatalf("have %d benchmarks, want 8", len(bs))
+	}
+	for i, b := range bs {
+		if err := b.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+		if i > 0 && bs[i-1].Name >= b.Name {
+			t.Errorf("benchmarks not sorted: %q before %q", bs[i-1].Name, b.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("cholesky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Suite != "SPLASH-2" {
+		t.Errorf("cholesky suite = %q", b.Suite)
+	}
+	if _, err := ByName("doom"); err == nil {
+		t.Errorf("expected error for unknown benchmark")
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	want := map[string]bool{
+		"blackscholes": true, "canneal": true, "cholesky": true, "hpccg": true,
+		"lu.cont": true, "shock": true, "streamcluster": true, "swaptions": true,
+	}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Errorf("unexpected benchmark %q", n)
+		}
+	}
+}
+
+func TestValidateCatchesBadParams(t *testing.T) {
+	good, err := ByName("shock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Benchmark){
+		func(b *Benchmark) { b.Name = "" },
+		func(b *Benchmark) { b.RefCoreW = 0 },
+		func(b *Benchmark) { b.BaseIPC = -1 },
+		func(b *Benchmark) { b.MemFrac = 1 },
+		func(b *Benchmark) { b.Psat = 0 },
+		func(b *Benchmark) { b.Gamma = 1 },
+		func(b *Benchmark) { b.Traffic = 2 },
+	}
+	for i, mutate := range cases {
+		b := good
+		mutate(&b)
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestPerCoreGIPSAtNominal(t *testing.T) {
+	for _, b := range Benchmarks() {
+		if got := b.PerCoreGIPS(1000); math.Abs(got-b.BaseIPC) > 1e-12 {
+			t.Errorf("%s: PerCoreGIPS(1 GHz) = %v, want BaseIPC %v", b.Name, got, b.BaseIPC)
+		}
+	}
+}
+
+func TestFrequencySensitivityOrdering(t *testing.T) {
+	// Compute-bound blackscholes must gain more from 533 MHz -> 1 GHz than
+	// memory-bound canneal.
+	bs, _ := ByName("blackscholes")
+	cn, _ := ByName("canneal")
+	gainBS := bs.PerCoreGIPS(1000) / bs.PerCoreGIPS(533)
+	gainCN := cn.PerCoreGIPS(1000) / cn.PerCoreGIPS(533)
+	if gainBS <= gainCN {
+		t.Errorf("blackscholes frequency gain %.3f should exceed canneal's %.3f", gainBS, gainCN)
+	}
+	if gainCN < 1 {
+		t.Errorf("even memory-bound codes should not slow down at higher frequency: %.3f", gainCN)
+	}
+}
+
+// The paper reports canneal's performance saturates at 192 active cores and
+// lu.cont's at 96; the rest peak at 256 within the paper's core-count set.
+func TestSaturationCoresMatchPaper(t *testing.T) {
+	want := map[string]int{
+		"canneal": 192, "lu.cont": 96,
+		"blackscholes": 256, "cholesky": 256, "shock": 256,
+		"hpccg": 256, "streamcluster": 256, "swaptions": 256,
+	}
+	for _, b := range Benchmarks() {
+		if got := b.SaturationCores(); got != want[b.Name] {
+			t.Errorf("%s saturates at %d cores, want %d", b.Name, got, want[b.Name])
+		}
+	}
+}
+
+func TestIPSMonotoneInFrequency(t *testing.T) {
+	for _, b := range Benchmarks() {
+		for _, p := range power.ActiveCoreCounts {
+			prev := 0.0
+			for i := len(power.FrequencySet) - 1; i >= 0; i-- {
+				op := power.FrequencySet[i]
+				ips := b.IPS(op, p)
+				if ips < prev {
+					t.Fatalf("%s: IPS decreased from %.2f to %.2f raising frequency to %v MHz at p=%d",
+						b.Name, prev, ips, op.FreqMHz, p)
+				}
+				prev = ips
+			}
+		}
+	}
+}
+
+func TestSpeedupProperties(t *testing.T) {
+	// speedup(p) <= p (no superlinear scaling) and speedup(1) ≈ 1 for
+	// benchmarks with large Psat.
+	f := func(pRaw uint16) bool {
+		p := int(pRaw%256) + 1
+		for _, b := range Benchmarks() {
+			if b.Speedup(p) > float64(p)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	sh, _ := ByName("shock")
+	if s := sh.Speedup(1); math.Abs(s-1) > 0.01 {
+		t.Errorf("shock speedup(1) = %v, want ≈1", s)
+	}
+}
+
+func TestPowerClasses(t *testing.T) {
+	// The paper's classes: shock/blackscholes/cholesky high power;
+	// canneal/swaptions low power.
+	for _, name := range []string{"shock", "blackscholes", "cholesky"} {
+		b, _ := ByName(name)
+		if b.Class != HighPower {
+			t.Errorf("%s should be high power", name)
+		}
+	}
+	for _, name := range []string{"canneal", "swaptions"} {
+		b, _ := ByName(name)
+		if b.Class != LowPower {
+			t.Errorf("%s should be low power", name)
+		}
+	}
+	// High-power benchmarks must actually budget more watts per core than
+	// low-power ones.
+	sh, _ := ByName("shock")
+	cn, _ := ByName("canneal")
+	if sh.RefCoreW <= cn.RefCoreW {
+		t.Errorf("shock per-core power %.2f should exceed canneal's %.2f", sh.RefCoreW, cn.RefCoreW)
+	}
+}
+
+func TestPowerClassString(t *testing.T) {
+	if LowPower.String() != "low" || MediumPower.String() != "medium" || HighPower.String() != "high" {
+		t.Errorf("power class strings wrong")
+	}
+	if PowerClass(42).String() == "" {
+		t.Errorf("unknown class should still format")
+	}
+}
+
+// Total chip power at 1 GHz all-cores must span the paper's synthetic power
+// density range (0.5-2.0 W/mm² over 324 mm² -> 162-648 W).
+func TestChipPowerRange(t *testing.T) {
+	for _, b := range Benchmarks() {
+		total := b.RefCoreW * 256
+		if total < 162 || total > 648 {
+			t.Errorf("%s total chip power %.0f W outside the paper's density range", b.Name, total)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package power
+
+import (
+	"fmt"
+	"sort"
+
+	"chiplet25d/internal/floorplan"
+)
+
+// MintempOrder returns all 256 logical core mesh positions (as flat indices
+// row*16+col) in MinTemp activation order [20]: threads are assigned
+// starting from the outer rows/columns of the whole system and move inward,
+// in a chessboard manner — within each concentric ring the checkerboard
+// positions (even row+col parity) come first, then the remaining ring
+// positions, so partially filled rings stay spatially interleaved and the
+// hottest central region fills last.
+func MintempOrder() []int {
+	n := floorplan.CoresPerEdge
+	type key struct {
+		ring   int
+		parity int
+		idx    int
+	}
+	keys := make([]key, 0, n*n)
+	for row := 0; row < n; row++ {
+		for col := 0; col < n; col++ {
+			ring := min4(row, col, n-1-row, n-1-col)
+			par := (row + col) % 2
+			keys = append(keys, key{ring: ring, parity: par, idx: row*n + col})
+		}
+	}
+	// Stable ordering: ring ascending, checkerboard parity first, then
+	// index for determinism.
+	order := make([]int, len(keys))
+	for i := range order {
+		order[i] = i
+	}
+	lt := func(a, b key) bool {
+		if a.ring != b.ring {
+			return a.ring < b.ring
+		}
+		if a.parity != b.parity {
+			return a.parity < b.parity
+		}
+		return a.idx < b.idx
+	}
+	sort.Slice(order, func(i, j int) bool { return lt(keys[order[i]], keys[order[j]]) })
+	out := make([]int, len(order))
+	for i, o := range order {
+		out[i] = keys[o].idx
+	}
+	return out
+}
+
+func min4(a, b, c, d int) int {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	if d < m {
+		m = d
+	}
+	return m
+}
+
+// MintempActive returns a 256-entry mask (indexed row*16+col) with the p
+// cores chosen by the MinTemp policy set active.
+func MintempActive(p int) ([]bool, error) {
+	if p < 0 || p > floorplan.NumCores {
+		return nil, fmt.Errorf("power: active core count %d outside [0,%d]", p, floorplan.NumCores)
+	}
+	order := MintempOrder()
+	mask := make([]bool, floorplan.NumCores)
+	for i := 0; i < p; i++ {
+		mask[order[i]] = true
+	}
+	return mask, nil
+}
+
+// ChipletBalancedActive returns an allocation mask for a 2.5D placement
+// that spreads p active cores evenly across chiplets (round-robin over
+// chiplets, MinTemp order within each chiplet's local core block). On
+// spread organizations this beats the chip-global MinTemp policy at
+// partial occupancy because no chiplet concentrates more heat than
+// necessary — an extension beyond the paper's global policy.
+func ChipletBalancedActive(pl floorplan.Placement, p int) ([]bool, error) {
+	if p < 0 || p > floorplan.NumCores {
+		return nil, fmt.Errorf("power: active core count %d outside [0,%d]", p, floorplan.NumCores)
+	}
+	cores, err := pl.Cores()
+	if err != nil {
+		return nil, err
+	}
+	// Per-chiplet core lists in MinTemp-like local order: ring within the
+	// chiplet's local sub-grid, checkerboard first.
+	per := floorplan.CoresPerEdge / pl.R
+	type scored struct {
+		id    int
+		ring  int
+		par   int
+		index int
+	}
+	byChiplet := make([][]scored, pl.NumChiplets())
+	for _, c := range cores {
+		lx, ly := c.Col%per, c.Row%per
+		ring := min4(lx, ly, per-1-lx, per-1-ly)
+		byChiplet[c.Chiplet] = append(byChiplet[c.Chiplet], scored{
+			id:   c.Row*floorplan.CoresPerEdge + c.Col,
+			ring: ring, par: (lx + ly) % 2, index: c.Row*floorplan.CoresPerEdge + c.Col,
+		})
+	}
+	for _, list := range byChiplet {
+		sort.Slice(list, func(i, j int) bool {
+			a, b := list[i], list[j]
+			if a.ring != b.ring {
+				return a.ring < b.ring
+			}
+			if a.par != b.par {
+				return a.par < b.par
+			}
+			return a.index < b.index
+		})
+	}
+	mask := make([]bool, floorplan.NumCores)
+	next := make([]int, pl.NumChiplets())
+	assigned := 0
+	for assigned < p {
+		progressed := false
+		for ch := 0; ch < pl.NumChiplets() && assigned < p; ch++ {
+			if next[ch] >= len(byChiplet[ch]) {
+				continue
+			}
+			mask[byChiplet[ch][next[ch]].id] = true
+			next[ch]++
+			assigned++
+			progressed = true
+		}
+		if !progressed {
+			return nil, fmt.Errorf("power: allocation stalled at %d of %d cores", assigned, p)
+		}
+	}
+	return mask, nil
+}
+
+// RowMajorActive returns a naive allocation mask activating the first p
+// cores in row-major order. Used as the ablation baseline for MinTemp.
+func RowMajorActive(p int) ([]bool, error) {
+	if p < 0 || p > floorplan.NumCores {
+		return nil, fmt.Errorf("power: active core count %d outside [0,%d]", p, floorplan.NumCores)
+	}
+	mask := make([]bool, floorplan.NumCores)
+	for i := 0; i < p; i++ {
+		mask[i] = true
+	}
+	return mask, nil
+}

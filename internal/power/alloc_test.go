@@ -1,0 +1,211 @@
+package power
+
+import (
+	"testing"
+
+	"chiplet25d/internal/floorplan"
+)
+
+func TestMintempOrderIsPermutation(t *testing.T) {
+	order := MintempOrder()
+	if len(order) != floorplan.NumCores {
+		t.Fatalf("order length = %d", len(order))
+	}
+	seen := make([]bool, floorplan.NumCores)
+	for _, id := range order {
+		if id < 0 || id >= floorplan.NumCores {
+			t.Fatalf("id %d out of range", id)
+		}
+		if seen[id] {
+			t.Fatalf("id %d repeated", id)
+		}
+		seen[id] = true
+	}
+}
+
+func ring(id int) int {
+	n := floorplan.CoresPerEdge
+	row, col := id/n, id%n
+	return min4(row, col, n-1-row, n-1-col)
+}
+
+func TestMintempOuterRingsFirst(t *testing.T) {
+	order := MintempOrder()
+	// Ring index must be non-decreasing along the activation order.
+	prev := -1
+	for _, id := range order {
+		r := ring(id)
+		if r < prev {
+			t.Fatalf("ring order violated: ring %d after ring %d", r, prev)
+		}
+		prev = r
+	}
+	// The first core activated must be on the outermost ring.
+	if ring(order[0]) != 0 {
+		t.Fatalf("first activated core on ring %d, want 0", ring(order[0]))
+	}
+}
+
+func TestMintempChessboardWithinRing(t *testing.T) {
+	order := MintempOrder()
+	n := floorplan.CoresPerEdge
+	// Ring 0 has 60 cells; the first 30 activated must all be checkerboard
+	// (even parity) positions.
+	for i := 0; i < 30; i++ {
+		id := order[i]
+		row, col := id/n, id%n
+		if ring(id) != 0 {
+			t.Fatalf("position %d: id %d not on ring 0", i, id)
+		}
+		if (row+col)%2 != 0 {
+			t.Fatalf("position %d: id %d is not a checkerboard cell", i, id)
+		}
+	}
+}
+
+func TestMintempActiveMask(t *testing.T) {
+	mask, err := MintempActive(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, a := range mask {
+		if a {
+			count++
+		}
+	}
+	if count != 64 {
+		t.Fatalf("active count = %d, want 64", count)
+	}
+	// With 64 active cores under MinTemp, none should sit in the innermost
+	// 4x4 region (rings 6-7).
+	n := floorplan.CoresPerEdge
+	for id, a := range mask {
+		if a && ring(id) >= 6 {
+			t.Fatalf("core (%d,%d) on ring %d active with only 64 threads", id/n, id%n, ring(id))
+		}
+	}
+}
+
+func TestMintempActiveBounds(t *testing.T) {
+	if _, err := MintempActive(-1); err == nil {
+		t.Errorf("expected error for negative count")
+	}
+	if _, err := MintempActive(257); err == nil {
+		t.Errorf("expected error for count > 256")
+	}
+	mask, err := MintempActive(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, a := range mask {
+		if !a {
+			t.Fatalf("core %d inactive with p=256", id)
+		}
+	}
+}
+
+func TestRowMajorActive(t *testing.T) {
+	mask, err := RowMajorActive(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if !mask[i] {
+			t.Fatalf("core %d should be active", i)
+		}
+	}
+	for i := 20; i < floorplan.NumCores; i++ {
+		if mask[i] {
+			t.Fatalf("core %d should be inactive", i)
+		}
+	}
+	if _, err := RowMajorActive(400); err == nil {
+		t.Errorf("expected error for count > 256")
+	}
+}
+
+func TestChipletBalancedActiveMask(t *testing.T) {
+	pl, err := floorplan.UniformGrid(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask, err := ChipletBalancedActive(pl, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, a := range mask {
+		if a {
+			count++
+		}
+	}
+	if count != 64 {
+		t.Fatalf("active count = %d, want 64", count)
+	}
+	// 64 cores over 16 chiplets: exactly 4 per chiplet.
+	cores, err := pl.Cores()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perChiplet := make(map[int]int)
+	for _, c := range cores {
+		if mask[c.Row*floorplan.CoresPerEdge+c.Col] {
+			perChiplet[c.Chiplet]++
+		}
+	}
+	for ch := 0; ch < 16; ch++ {
+		if perChiplet[ch] != 4 {
+			t.Fatalf("chiplet %d has %d active cores, want 4", ch, perChiplet[ch])
+		}
+	}
+}
+
+func TestChipletBalancedActiveBounds(t *testing.T) {
+	pl, err := floorplan.UniformGrid(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ChipletBalancedActive(pl, -1); err == nil {
+		t.Errorf("expected error for negative count")
+	}
+	if _, err := ChipletBalancedActive(pl, 300); err == nil {
+		t.Errorf("expected error for excessive count")
+	}
+	mask, err := ChipletBalancedActive(pl, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, a := range mask {
+		if !a {
+			t.Fatalf("core %d inactive at full occupancy", id)
+		}
+	}
+}
+
+func TestChipletBalancedUnbalancedRemainder(t *testing.T) {
+	pl, err := floorplan.UniformGrid(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50 cores over 16 chiplets: 3 or 4 per chiplet (round-robin).
+	mask, err := ChipletBalancedActive(pl, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cores, err := pl.Cores()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perChiplet := make(map[int]int)
+	for _, c := range cores {
+		if mask[c.Row*floorplan.CoresPerEdge+c.Col] {
+			perChiplet[c.Chiplet]++
+		}
+	}
+	for ch, n := range perChiplet {
+		if n < 3 || n > 4 {
+			t.Fatalf("chiplet %d has %d active cores, want 3-4", ch, n)
+		}
+	}
+}

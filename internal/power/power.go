@@ -1,0 +1,100 @@
+// Package power models the electrical power of the 256-core system: the
+// DVFS operating points of Table II, a McPAT-like per-core power budget
+// scaled by frequency and voltage, the paper's linear temperature-dependent
+// leakage model (30% of power is leakage at 60 °C), the MinTemp workload
+// allocation policy, and the leakage-temperature fixed-point iteration
+// coupling the power model with the thermal solver.
+package power
+
+import "fmt"
+
+// DVFSPoint is one frequency/voltage operating point from Table II.
+type DVFSPoint struct {
+	FreqMHz  float64
+	VoltageV float64
+}
+
+// FrequencySet is the paper's F/V table (Table II): frequencies
+// {1000, 800, 533, 400, 320} MHz with voltages {0.9, 0.87, 0.71, 0.63,
+// 0.63} V.
+var FrequencySet = []DVFSPoint{
+	{FreqMHz: 1000, VoltageV: 0.90},
+	{FreqMHz: 800, VoltageV: 0.87},
+	{FreqMHz: 533, VoltageV: 0.71},
+	{FreqMHz: 400, VoltageV: 0.63},
+	{FreqMHz: 320, VoltageV: 0.63},
+}
+
+// ActiveCoreCounts is the paper's set of active core counts p (Table II).
+var ActiveCoreCounts = []int{32, 64, 96, 128, 160, 192, 224, 256}
+
+// NominalPoint is the reference operating point at which per-core power
+// budgets are specified (1 GHz, 0.9 V).
+var NominalPoint = FrequencySet[0]
+
+// DynScale returns the dynamic-power scale factor of an operating point
+// relative to the nominal 1 GHz / 0.9 V point: f·V² scaling.
+func DynScale(p DVFSPoint) float64 {
+	v := p.VoltageV / NominalPoint.VoltageV
+	return (p.FreqMHz / NominalPoint.FreqMHz) * v * v
+}
+
+// LeakScale returns the leakage-power scale factor relative to nominal:
+// leakage is roughly proportional to supply voltage.
+func LeakScale(p DVFSPoint) float64 {
+	return p.VoltageV / NominalPoint.VoltageV
+}
+
+// LeakageModel is the paper's linear temperature-dependent leakage model,
+// extracted from published Intel 22 nm power/temperature data: a fraction
+// FracAtRef of total core power is leakage at RefC, growing linearly with
+// temperature at TempCoeff per °C.
+type LeakageModel struct {
+	FracAtRef float64 // fraction of total power that is leakage at RefC
+	RefC      float64 // reference temperature, °C
+	TempCoeff float64 // relative leakage growth per °C above RefC
+}
+
+// DefaultLeakage returns the paper's model: 30% leakage at 60 °C with a
+// linear slope calibrated to 22 nm data (≈1%/°C).
+func DefaultLeakage() LeakageModel {
+	return LeakageModel{FracAtRef: 0.30, RefC: 60, TempCoeff: 0.01}
+}
+
+// Validate checks the model parameters.
+func (l LeakageModel) Validate() error {
+	if l.FracAtRef < 0 || l.FracAtRef >= 1 {
+		return fmt.Errorf("power: leakage fraction %g outside [0,1)", l.FracAtRef)
+	}
+	if l.TempCoeff < 0 {
+		return fmt.Errorf("power: negative leakage temperature coefficient %g", l.TempCoeff)
+	}
+	return nil
+}
+
+// Factor returns the leakage multiplier at temperature tC relative to the
+// reference temperature. Clamped below at 0.1x so extreme extrapolation
+// stays physical.
+func (l LeakageModel) Factor(tC float64) float64 {
+	f := 1 + l.TempCoeff*(tC-l.RefC)
+	if f < 0.1 {
+		f = 0.1
+	}
+	return f
+}
+
+// CorePower returns one active core's power (W) at the given operating
+// point and temperature, given its reference total power refW at the
+// nominal point and reference temperature.
+func CorePower(refW float64, op DVFSPoint, tC float64, lm LeakageModel) float64 {
+	dyn := refW * (1 - lm.FracAtRef) * DynScale(op)
+	leak := refW * lm.FracAtRef * LeakScale(op) * lm.Factor(tC)
+	return dyn + leak
+}
+
+// TotalNominal returns the total power of p active cores with reference
+// per-core power refW at the given operating point and the leakage
+// reference temperature (no thermal feedback).
+func TotalNominal(refW float64, p int, op DVFSPoint, lm LeakageModel) float64 {
+	return float64(p) * CorePower(refW, op, lm.RefC, lm)
+}

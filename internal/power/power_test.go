@@ -1,0 +1,124 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrequencySetMatchesTableII(t *testing.T) {
+	wantF := []float64{1000, 800, 533, 400, 320}
+	wantV := []float64{0.90, 0.87, 0.71, 0.63, 0.63}
+	if len(FrequencySet) != 5 {
+		t.Fatalf("frequency set has %d points, want 5", len(FrequencySet))
+	}
+	for i, p := range FrequencySet {
+		if p.FreqMHz != wantF[i] || p.VoltageV != wantV[i] {
+			t.Errorf("point %d = %+v, want %g MHz / %g V", i, p, wantF[i], wantV[i])
+		}
+	}
+	if len(ActiveCoreCounts) != 8 || ActiveCoreCounts[0] != 32 || ActiveCoreCounts[7] != 256 {
+		t.Errorf("active core counts = %v", ActiveCoreCounts)
+	}
+}
+
+func TestDynScaleNominalIsOne(t *testing.T) {
+	if s := DynScale(NominalPoint); math.Abs(s-1) > 1e-12 {
+		t.Errorf("DynScale(nominal) = %v", s)
+	}
+	if s := LeakScale(NominalPoint); math.Abs(s-1) > 1e-12 {
+		t.Errorf("LeakScale(nominal) = %v", s)
+	}
+}
+
+func TestDynScaleMonotonicallyDecreases(t *testing.T) {
+	prev := math.Inf(1)
+	for _, p := range FrequencySet {
+		s := DynScale(p)
+		if s > prev {
+			t.Fatalf("dynamic power scale not decreasing down the DVFS table: %v", s)
+		}
+		prev = s
+	}
+	// 533 MHz / 0.71 V point: 0.533 * (0.71/0.9)^2 ≈ 0.332.
+	if s := DynScale(FrequencySet[2]); math.Abs(s-0.3317) > 0.001 {
+		t.Errorf("DynScale(533MHz) = %v, want ≈0.332", s)
+	}
+}
+
+func TestLeakageFactor(t *testing.T) {
+	lm := DefaultLeakage()
+	if f := lm.Factor(60); math.Abs(f-1) > 1e-12 {
+		t.Errorf("Factor(60) = %v, want 1", f)
+	}
+	if f := lm.Factor(100); math.Abs(f-1.4) > 1e-9 {
+		t.Errorf("Factor(100) = %v, want 1.4", f)
+	}
+	// Extreme cold extrapolation clamps instead of going negative.
+	if f := lm.Factor(-300); f < 0.099 {
+		t.Errorf("Factor(-300) = %v, should clamp at 0.1", f)
+	}
+}
+
+func TestLeakageValidate(t *testing.T) {
+	if err := DefaultLeakage().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultLeakage()
+	bad.FracAtRef = 1.0
+	if err := bad.Validate(); err == nil {
+		t.Errorf("expected error for leakage fraction 1.0")
+	}
+	bad = DefaultLeakage()
+	bad.TempCoeff = -0.1
+	if err := bad.Validate(); err == nil {
+		t.Errorf("expected error for negative slope")
+	}
+}
+
+func TestCorePowerAtReference(t *testing.T) {
+	lm := DefaultLeakage()
+	// At nominal point and reference temperature the core consumes exactly
+	// its reference power.
+	if p := CorePower(2.0, NominalPoint, 60, lm); math.Abs(p-2.0) > 1e-12 {
+		t.Errorf("CorePower at reference = %v, want 2.0", p)
+	}
+	// Hotter silicon leaks more.
+	if CorePower(2.0, NominalPoint, 100, lm) <= 2.0 {
+		t.Errorf("hot core should consume more than reference")
+	}
+	// Lower DVFS point consumes less at equal temperature.
+	if CorePower(2.0, FrequencySet[2], 60, lm) >= 2.0 {
+		t.Errorf("533 MHz core should consume less than nominal")
+	}
+}
+
+// Property: total power is monotone in temperature and frequency index.
+func TestCorePowerMonotonicityProperty(t *testing.T) {
+	lm := DefaultLeakage()
+	f := func(refRaw, t1Raw, t2Raw float64) bool {
+		ref := 0.5 + math.Abs(math.Mod(refRaw, 3))
+		t1 := 40 + math.Abs(math.Mod(t1Raw, 80))
+		t2 := 40 + math.Abs(math.Mod(t2Raw, 80))
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		for _, op := range FrequencySet {
+			if CorePower(ref, op, t1, lm) > CorePower(ref, op, t2, lm)+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTotalNominal(t *testing.T) {
+	lm := DefaultLeakage()
+	got := TotalNominal(1.95, 256, NominalPoint, lm)
+	if math.Abs(got-1.95*256) > 1e-9 {
+		t.Errorf("TotalNominal = %v, want %v", got, 1.95*256)
+	}
+}

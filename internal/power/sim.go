@@ -1,0 +1,167 @@
+package power
+
+import (
+	"fmt"
+
+	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/thermal"
+)
+
+// SimOptions controls the leakage-temperature fixed-point iteration.
+type SimOptions struct {
+	// MaxIterations bounds the leakage loop (the paper iterates HotSpot
+	// with updated leakage until the temperature converges).
+	MaxIterations int
+	// ConvergenceC is the per-core temperature change threshold (°C) below
+	// which the loop stops.
+	ConvergenceC float64
+	// DisableLeakageFeedback freezes leakage at the reference temperature
+	// (used by the ablation bench).
+	DisableLeakageFeedback bool
+}
+
+// DefaultSimOptions returns the standard loop settings.
+func DefaultSimOptions() SimOptions {
+	return SimOptions{MaxIterations: 12, ConvergenceC: 0.1}
+}
+
+// SimResult summarizes one converged steady-state power/thermal simulation.
+type SimResult struct {
+	// PeakC is the peak chip-layer temperature (Eq. (6)'s left side).
+	PeakC float64
+	// TotalPowerW is the converged total power including
+	// temperature-adjusted leakage and NoC power.
+	TotalPowerW float64
+	// CoreTemps holds the converged per-core temperatures (°C) indexed by
+	// logical core id (row*16+col); inactive cores report their tile
+	// temperature too.
+	CoreTemps []float64
+	// Iterations is the number of leakage-loop iterations used.
+	Iterations int
+	// Thermal is the final thermal solution.
+	Thermal *thermal.Result
+}
+
+// Workload describes what runs on the machine for one simulation: the
+// per-core reference power at the nominal DVFS point and 60 °C, the
+// operating point, the active-core mask (length 256, logical mesh order),
+// and the total NoC power, which is spread uniformly over the active cores'
+// tiles (the paper: NoC power has negligible impact on the thermal profile
+// but is accounted for).
+type Workload struct {
+	RefCoreW float64
+	Op       DVFSPoint
+	Active   []bool
+	NoCW     float64
+	Leakage  LeakageModel
+}
+
+// Validate checks the workload.
+func (w Workload) Validate() error {
+	if w.RefCoreW <= 0 {
+		return fmt.Errorf("power: reference core power must be positive, got %g", w.RefCoreW)
+	}
+	if len(w.Active) != floorplan.NumCores {
+		return fmt.Errorf("power: active mask has %d entries, want %d", len(w.Active), floorplan.NumCores)
+	}
+	if w.NoCW < 0 {
+		return fmt.Errorf("power: negative NoC power %g", w.NoCW)
+	}
+	if w.Op.FreqMHz <= 0 || w.Op.VoltageV <= 0 {
+		return fmt.Errorf("power: invalid operating point %+v", w.Op)
+	}
+	return w.Leakage.Validate()
+}
+
+// ActiveCount returns the number of active cores in the workload.
+func (w Workload) ActiveCount() int {
+	n := 0
+	for _, a := range w.Active {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// Simulate runs the coupled power/thermal fixed point on an assembled
+// thermal model: per-core leakage depends on the core's temperature, which
+// depends on the power map; the loop iterates, warm-starting each solve,
+// until the temperature field converges.
+func Simulate(m *thermal.Model, cores []floorplan.Core, w Workload, opts SimOptions) (*SimResult, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cores) != floorplan.NumCores {
+		return nil, fmt.Errorf("power: core map has %d cores, want %d", len(cores), floorplan.NumCores)
+	}
+	if opts.MaxIterations <= 0 {
+		opts.MaxIterations = 1
+	}
+	active := w.ActiveCount()
+	nocPerCore := 0.0
+	if active > 0 {
+		nocPerCore = w.NoCW / float64(active)
+	}
+
+	grid := m.Grid()
+	temps := make([]float64, floorplan.NumCores)
+	for i := range temps {
+		temps[i] = w.Leakage.RefC
+	}
+	var res *thermal.Result
+	var totalW float64
+	iter := 0
+	for iter = 1; iter <= opts.MaxIterations; iter++ {
+		pmap := make([]float64, grid.NumCells())
+		totalW = 0
+		for _, c := range cores {
+			id := c.Row*floorplan.CoresPerEdge + c.Col
+			if !w.Active[id] {
+				continue // idle cores sleep at ~0 W
+			}
+			t := temps[id]
+			if opts.DisableLeakageFeedback {
+				t = w.Leakage.RefC
+			}
+			p := CorePower(w.RefCoreW, w.Op, t, w.Leakage) + nocPerCore
+			grid.RasterizeAdd(pmap, c.Rect, p)
+			totalW += p
+		}
+		next, err := m.SolveWarm(pmap, res)
+		if err != nil {
+			return nil, err
+		}
+		res = next
+		maxDelta := 0.0
+		for i, c := range cores {
+			id := c.Row*floorplan.CoresPerEdge + c.Col
+			t := res.AvgOverRect(c.Rect)
+			if d := abs(t - temps[id]); d > maxDelta {
+				maxDelta = d
+			}
+			temps[id] = t
+			_ = i
+		}
+		if opts.DisableLeakageFeedback || maxDelta < opts.ConvergenceC {
+			break
+		}
+	}
+	if iter > opts.MaxIterations {
+		iter = opts.MaxIterations
+	}
+	return &SimResult{
+		PeakC:       res.PeakC(),
+		TotalPowerW: totalW,
+		CoreTemps:   temps,
+		Iterations:  iter,
+		Thermal:     res,
+	}, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

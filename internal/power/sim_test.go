@@ -1,0 +1,216 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/thermal"
+)
+
+func simModel(t *testing.T, pl floorplan.Placement) (*thermal.Model, []floorplan.Core) {
+	t.Helper()
+	stack, err := floorplan.BuildStack(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := thermal.DefaultConfig()
+	cfg.Nx, cfg.Ny = 32, 32
+	m, err := thermal.NewModel(stack, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cores, err := pl.Cores()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, cores
+}
+
+func allActive(t *testing.T) []bool {
+	t.Helper()
+	mask, err := MintempActive(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mask
+}
+
+func TestSimulateSingleChipConverges(t *testing.T) {
+	m, cores := simModel(t, floorplan.SingleChip())
+	w := Workload{
+		RefCoreW: 1.75, Op: NominalPoint,
+		Active: allActive(t), NoCW: 3.9, Leakage: DefaultLeakage(),
+	}
+	res, err := Simulate(m, cores, w, DefaultSimOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations < 2 {
+		t.Errorf("leakage loop converged suspiciously fast (%d iterations)", res.Iterations)
+	}
+	// 448 W nominal, plus thermal leakage runaway: total must exceed the
+	// nominal but stay bounded.
+	nominal := TotalNominal(1.75, 256, NominalPoint, DefaultLeakage()) + 3.9
+	if res.TotalPowerW <= nominal {
+		t.Errorf("converged power %.1f should exceed nominal %.1f (hot silicon leaks more)",
+			res.TotalPowerW, nominal)
+	}
+	if res.TotalPowerW > nominal*1.6 {
+		t.Errorf("converged power %.1f unreasonably above nominal %.1f", res.TotalPowerW, nominal)
+	}
+	if res.PeakC < 85 || res.PeakC > 165 {
+		t.Errorf("single-chip high-power peak %.1f outside the expected dark-silicon regime", res.PeakC)
+	}
+}
+
+func TestSimulateLeakageFeedbackRaisesPeak(t *testing.T) {
+	m, cores := simModel(t, floorplan.SingleChip())
+	w := Workload{
+		RefCoreW: 1.75, Op: NominalPoint,
+		Active: allActive(t), NoCW: 3.9, Leakage: DefaultLeakage(),
+	}
+	withFB, err := Simulate(m, cores, w, DefaultSimOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultSimOptions()
+	opts.DisableLeakageFeedback = true
+	noFB, err := Simulate(m, cores, w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withFB.PeakC <= noFB.PeakC {
+		t.Errorf("leakage feedback should raise peak: with %.2f vs without %.2f",
+			withFB.PeakC, noFB.PeakC)
+	}
+}
+
+func TestSimulateFewerCoresRunCooler(t *testing.T) {
+	m, cores := simModel(t, floorplan.SingleChip())
+	base := Workload{RefCoreW: 1.75, Op: NominalPoint, NoCW: 3.9, Leakage: DefaultLeakage()}
+	var peaks []float64
+	for _, p := range []int{256, 128, 64} {
+		w := base
+		mask, err := MintempActive(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Active = mask
+		res, err := Simulate(m, cores, w, DefaultSimOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		peaks = append(peaks, res.PeakC)
+	}
+	if !(peaks[0] > peaks[1] && peaks[1] > peaks[2]) {
+		t.Fatalf("peak should fall with active cores: %v", peaks)
+	}
+}
+
+func TestSimulateLowerFrequencyRunsCooler(t *testing.T) {
+	m, cores := simModel(t, floorplan.SingleChip())
+	var peaks []float64
+	for _, op := range []DVFSPoint{FrequencySet[0], FrequencySet[2]} {
+		w := Workload{RefCoreW: 1.75, Op: op, Active: allActive(t), NoCW: 3.9, Leakage: DefaultLeakage()}
+		res, err := Simulate(m, cores, w, DefaultSimOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		peaks = append(peaks, res.PeakC)
+	}
+	if peaks[1] >= peaks[0] {
+		t.Fatalf("533 MHz should run cooler than 1 GHz: %v", peaks)
+	}
+}
+
+func TestSimulate25DCoolerThan2D(t *testing.T) {
+	w := Workload{RefCoreW: 1.75, Op: NominalPoint, Active: allActive(t), NoCW: 8.4, Leakage: DefaultLeakage()}
+	m2d, cores2d := simModel(t, floorplan.SingleChip())
+	r2d, err := Simulate(m2d, cores2d, w, DefaultSimOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := floorplan.UniformGrid(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m25, cores25 := simModel(t, pl)
+	r25, err := Simulate(m25, cores25, w, DefaultSimOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r25.PeakC >= r2d.PeakC-10 {
+		t.Fatalf("16 chiplets at 8 mm spacing should be much cooler: 2D %.1f vs 2.5D %.1f",
+			r2d.PeakC, r25.PeakC)
+	}
+}
+
+func TestSimulateMintempBeatsRowMajor(t *testing.T) {
+	m, cores := simModel(t, floorplan.SingleChip())
+	base := Workload{RefCoreW: 1.75, Op: NominalPoint, NoCW: 3.9, Leakage: DefaultLeakage()}
+	mt, err := MintempActive(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := RowMajorActive(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wMT, wRM := base, base
+	wMT.Active, wRM.Active = mt, rm
+	resMT, err := Simulate(m, cores, wMT, DefaultSimOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resRM, err := Simulate(m, cores, wRM, DefaultSimOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resMT.PeakC >= resRM.PeakC {
+		t.Fatalf("MinTemp (%.2f °C) should beat row-major (%.2f °C) at 128 cores",
+			resMT.PeakC, resRM.PeakC)
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	good := Workload{RefCoreW: 1, Op: NominalPoint, Active: make([]bool, floorplan.NumCores), Leakage: DefaultLeakage()}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.RefCoreW = 0
+	if err := bad.Validate(); err == nil {
+		t.Errorf("expected error for zero core power")
+	}
+	bad = good
+	bad.Active = make([]bool, 10)
+	if err := bad.Validate(); err == nil {
+		t.Errorf("expected error for short mask")
+	}
+	bad = good
+	bad.NoCW = -1
+	if err := bad.Validate(); err == nil {
+		t.Errorf("expected error for negative NoC power")
+	}
+	bad = good
+	bad.Op = DVFSPoint{}
+	if err := bad.Validate(); err == nil {
+		t.Errorf("expected error for zero operating point")
+	}
+}
+
+func TestSimulateZeroActiveCores(t *testing.T) {
+	m, cores := simModel(t, floorplan.SingleChip())
+	w := Workload{RefCoreW: 1.75, Op: NominalPoint, Active: make([]bool, floorplan.NumCores), Leakage: DefaultLeakage()}
+	res, err := Simulate(m, cores, w, DefaultSimOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.PeakC-thermal.DefaultConfig().AmbientC) > 0.1 {
+		t.Errorf("idle system peak %.2f, want ambient", res.PeakC)
+	}
+	if res.TotalPowerW != 0 {
+		t.Errorf("idle system power %.2f, want 0", res.TotalPowerW)
+	}
+}

@@ -1,0 +1,121 @@
+package power
+
+import (
+	"fmt"
+
+	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/thermal"
+)
+
+// Trace-driven transient simulation: the paper collects performance
+// statistics every 1 ms and drives HotSpot with the resulting power traces.
+// TraceSimulate plays a sequence of workload phases (each with its own
+// operating point, active mask, and per-core power) through the transient
+// solver, updating temperature-dependent leakage every step — enabling
+// duty-cycling and phase-change studies on any organization.
+
+// TracePhase is one segment of a workload trace.
+type TracePhase struct {
+	// DurationS is the phase length in seconds.
+	DurationS float64
+	// Workload describes what runs during the phase (NoCW included).
+	Workload Workload
+}
+
+// TraceResult summarizes a trace playback.
+type TraceResult struct {
+	// TimesS and PeaksC sample the peak temperature after every step.
+	TimesS []float64
+	PeaksC []float64
+	// MaxPeakC is the highest peak over the whole trace.
+	MaxPeakC float64
+	// FirstOverS is the first time the threshold was exceeded (negative if
+	// never). Only tracked when thresholdC > 0.
+	FirstOverS float64
+}
+
+// TraceSimulate plays the phases on an assembled model with step dt,
+// starting from ambient. If thresholdC > 0 the first crossing time is
+// recorded (playback continues; callers decide what a violation means).
+func TraceSimulate(m *thermal.Model, cores []floorplan.Core, phases []TracePhase,
+	dtS, thresholdC float64) (*TraceResult, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("power: empty trace")
+	}
+	if dtS <= 0 {
+		return nil, fmt.Errorf("power: time step must be positive")
+	}
+	if len(cores) != floorplan.NumCores {
+		return nil, fmt.Errorf("power: core map has %d cores, want %d", len(cores), floorplan.NumCores)
+	}
+	ts, err := m.NewTransientSolver(dtS)
+	if err != nil {
+		return nil, err
+	}
+	grid := m.Grid()
+	res := &TraceResult{FirstOverS: -1}
+	for pi, ph := range phases {
+		if ph.DurationS <= 0 {
+			return nil, fmt.Errorf("power: phase %d has non-positive duration", pi)
+		}
+		if err := ph.Workload.Validate(); err != nil {
+			return nil, fmt.Errorf("power: phase %d: %w", pi, err)
+		}
+		active := ph.Workload.ActiveCount()
+		nocPerCore := 0.0
+		if active > 0 {
+			nocPerCore = ph.Workload.NoCW / float64(active)
+		}
+		steps := int(ph.DurationS/dtS + 0.5)
+		if steps < 1 {
+			steps = 1
+		}
+		for s := 0; s < steps; s++ {
+			pmap := make([]float64, grid.NumCells())
+			chip := ts.ChipT()
+			for _, c := range cores {
+				id := c.Row*floorplan.CoresPerEdge + c.Col
+				if !ph.Workload.Active[id] {
+					continue
+				}
+				cx, cy := c.Rect.Center()
+				ix, iy := grid.CellAt(cx, cy)
+				tC := chip[grid.Index(ix, iy)]
+				grid.RasterizeAdd(pmap, c.Rect,
+					CorePower(ph.Workload.RefCoreW, ph.Workload.Op, tC, ph.Workload.Leakage)+nocPerCore)
+			}
+			peak, err := ts.Step(pmap)
+			if err != nil {
+				return nil, err
+			}
+			res.TimesS = append(res.TimesS, ts.Elapsed)
+			res.PeaksC = append(res.PeaksC, peak)
+			if peak > res.MaxPeakC {
+				res.MaxPeakC = peak
+			}
+			if thresholdC > 0 && res.FirstOverS < 0 && peak >= thresholdC {
+				res.FirstOverS = ts.Elapsed
+			}
+		}
+	}
+	return res, nil
+}
+
+// DutyCycle builds a repeating two-phase trace: burst (the given workload)
+// for onS seconds, then idle for offS seconds, repeated `cycles` times.
+func DutyCycle(burst Workload, onS, offS float64, cycles int) ([]TracePhase, error) {
+	if onS <= 0 || offS < 0 || cycles < 1 {
+		return nil, fmt.Errorf("power: invalid duty cycle (on=%g off=%g cycles=%d)", onS, offS, cycles)
+	}
+	idle := burst
+	idle.Active = make([]bool, floorplan.NumCores)
+	idle.NoCW = 0
+	var phases []TracePhase
+	for c := 0; c < cycles; c++ {
+		phases = append(phases, TracePhase{DurationS: onS, Workload: burst})
+		if offS > 0 {
+			phases = append(phases, TracePhase{DurationS: offS, Workload: idle})
+		}
+	}
+	return phases, nil
+}

@@ -1,0 +1,120 @@
+package power
+
+import (
+	"testing"
+
+	"chiplet25d/internal/floorplan"
+)
+
+func traceWorkload(t *testing.T, refW float64, p int) Workload {
+	t.Helper()
+	mask, err := MintempActive(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Workload{RefCoreW: refW, Op: NominalPoint, Active: mask, NoCW: 4, Leakage: DefaultLeakage()}
+}
+
+func TestTraceSimulateErrors(t *testing.T) {
+	m, cores := simModel(t, floorplan.SingleChip())
+	if _, err := TraceSimulate(m, cores, nil, 0.1, 85); err == nil {
+		t.Errorf("expected error for empty trace")
+	}
+	w := traceWorkload(t, 1.8, 256)
+	phases := []TracePhase{{DurationS: 1, Workload: w}}
+	if _, err := TraceSimulate(m, cores, phases, 0, 85); err == nil {
+		t.Errorf("expected error for zero step")
+	}
+	bad := []TracePhase{{DurationS: -1, Workload: w}}
+	if _, err := TraceSimulate(m, cores, bad, 0.1, 85); err == nil {
+		t.Errorf("expected error for negative duration")
+	}
+	badW := w
+	badW.Active = make([]bool, 4)
+	if _, err := TraceSimulate(m, cores, []TracePhase{{DurationS: 1, Workload: badW}}, 0.1, 85); err == nil {
+		t.Errorf("expected error for invalid workload")
+	}
+}
+
+func TestTraceSimulateThresholdCrossing(t *testing.T) {
+	m, cores := simModel(t, floorplan.SingleChip())
+	w := traceWorkload(t, 1.8, 256) // well above the 85 °C envelope
+	phases := []TracePhase{{DurationS: 20, Workload: w}}
+	res, err := TraceSimulate(m, cores, phases, 0.25, 85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstOverS <= 0 {
+		t.Fatalf("full-throttle burst should cross 85 °C, FirstOverS = %v", res.FirstOverS)
+	}
+	if res.MaxPeakC < 85 {
+		t.Fatalf("max peak %.1f should exceed the threshold", res.MaxPeakC)
+	}
+	if len(res.TimesS) != len(res.PeaksC) || len(res.TimesS) != 80 {
+		t.Fatalf("sample bookkeeping wrong: %d times, %d peaks", len(res.TimesS), len(res.PeaksC))
+	}
+	// Peaks rise monotonically under constant power from ambient.
+	for i := 1; i < len(res.PeaksC); i++ {
+		if res.PeaksC[i] < res.PeaksC[i-1]-1e-6 {
+			t.Fatalf("peak fell at step %d under constant power", i)
+		}
+	}
+}
+
+// Duty cycling must cap the peak below the continuous-burst peak.
+func TestDutyCycleCoolsBetweenBursts(t *testing.T) {
+	m, cores := simModel(t, floorplan.SingleChip())
+	w := traceWorkload(t, 1.8, 256)
+	continuous := []TracePhase{{DurationS: 24, Workload: w}}
+	cRes, err := TraceSimulate(m, cores, continuous, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycled, err := DutyCycle(w, 2, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dRes, err := TraceSimulate(m, cores, cycled, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dRes.MaxPeakC >= cRes.MaxPeakC {
+		t.Fatalf("duty cycling should cap the peak: %.1f vs continuous %.1f",
+			dRes.MaxPeakC, cRes.MaxPeakC)
+	}
+	// The idle phases must actually cool the chip: the trace cannot be
+	// monotone.
+	rising := true
+	for i := 1; i < len(dRes.PeaksC); i++ {
+		if dRes.PeaksC[i] < dRes.PeaksC[i-1]-0.5 {
+			rising = false
+			break
+		}
+	}
+	if rising {
+		t.Fatalf("duty-cycled trace never cooled")
+	}
+}
+
+func TestDutyCycleValidation(t *testing.T) {
+	w := traceWorkload(t, 1.5, 128)
+	if _, err := DutyCycle(w, 0, 1, 3); err == nil {
+		t.Errorf("expected error for zero on-time")
+	}
+	if _, err := DutyCycle(w, 1, -1, 3); err == nil {
+		t.Errorf("expected error for negative off-time")
+	}
+	if _, err := DutyCycle(w, 1, 1, 0); err == nil {
+		t.Errorf("expected error for zero cycles")
+	}
+	phases, err := DutyCycle(w, 1, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 4 {
+		t.Fatalf("expected 4 phases, got %d", len(phases))
+	}
+	if phases[1].Workload.ActiveCount() != 0 {
+		t.Fatalf("idle phase should have no active cores")
+	}
+}

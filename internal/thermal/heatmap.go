@@ -1,0 +1,113 @@
+package thermal
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Heatmap export: render a solved chip-layer temperature field as ASCII art
+// (for terminals and logs) or as a binary PGM image (for any image viewer),
+// so organizations can be inspected visually — the hot spots over chiplets
+// and the cool inter-chiplet corridors are the paper's Fig. 8 intuition.
+
+// asciiRamp orders glyphs from coolest to hottest.
+const asciiRamp = " .:-=+*#%@"
+
+// HeatmapASCII renders the chip-layer field with one character per grid
+// cell, scaled between the field's min and max, with a legend.
+func (r *Result) HeatmapASCII() string {
+	g := r.model.grid
+	chip := r.ChipT()
+	lo, hi := minMax(chip)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "chip layer %.1f..%.1f °C (one cell per char, '%c' hottest)\n",
+		lo, hi, asciiRamp[len(asciiRamp)-1])
+	span := hi - lo
+	for iy := g.Ny - 1; iy >= 0; iy-- {
+		for ix := 0; ix < g.Nx; ix++ {
+			t := chip[g.Index(ix, iy)]
+			idx := 0
+			if span > 1e-9 {
+				idx = int((t - lo) / span * float64(len(asciiRamp)-1))
+			}
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(asciiRamp) {
+				idx = len(asciiRamp) - 1
+			}
+			sb.WriteByte(asciiRamp[idx])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// WriteHeatmapPGM writes the chip-layer field as a binary 8-bit PGM image
+// (P5), brightest = hottest, optionally scaled to fixed temperature bounds
+// (pass loC >= hiC to auto-scale to the field's range).
+func (r *Result) WriteHeatmapPGM(w io.Writer, loC, hiC float64) error {
+	g := r.model.grid
+	chip := r.ChipT()
+	if loC >= hiC {
+		loC, hiC = minMax(chip)
+		if hiC-loC < 1e-9 {
+			hiC = loC + 1
+		}
+	}
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", g.Nx, g.Ny); err != nil {
+		return err
+	}
+	row := make([]byte, g.Nx)
+	for iy := g.Ny - 1; iy >= 0; iy-- {
+		for ix := 0; ix < g.Nx; ix++ {
+			t := chip[g.Index(ix, iy)]
+			v := (t - loC) / (hiC - loC) * 255
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			row[ix] = byte(v)
+		}
+		if _, err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFieldCSV writes the chip-layer temperatures as CSV with cell-center
+// coordinates in millimeters: x_mm,y_mm,temp_C.
+func (r *Result) WriteFieldCSV(w io.Writer) error {
+	g := r.model.grid
+	chip := r.ChipT()
+	if _, err := fmt.Fprintln(w, "x_mm,y_mm,temp_C"); err != nil {
+		return err
+	}
+	for iy := 0; iy < g.Ny; iy++ {
+		for ix := 0; ix < g.Nx; ix++ {
+			cx, cy := g.CellRect(ix, iy).Center()
+			if _, err := fmt.Fprintf(w, "%.4f,%.4f,%.4f\n", cx, cy, chip[g.Index(ix, iy)]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func minMax(v []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range v {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,99 @@
+package thermal
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"chiplet25d/internal/geom"
+)
+
+func hotspotResult(t *testing.T) *Result {
+	t.Helper()
+	m := singleChipModel(t, 16)
+	p := make([]float64, m.Grid().NumCells())
+	m.Grid().RasterizeAdd(p, geom.Rect{X: 2, Y: 2, W: 4, H: 4}, 150)
+	res, err := m.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestHeatmapASCII(t *testing.T) {
+	res := hotspotResult(t)
+	art := res.HeatmapASCII()
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != 17 { // legend + 16 rows
+		t.Fatalf("heatmap has %d lines, want 17", len(lines))
+	}
+	for i, l := range lines[1:] {
+		if len(l) != 16 {
+			t.Fatalf("row %d has %d chars, want 16", i, len(l))
+		}
+	}
+	// The hottest glyph must appear, and it must be in the lower-left
+	// region (the hotspot at 2-6 mm).
+	if !strings.Contains(art, "@") {
+		t.Fatalf("no hottest glyph in heatmap:\n%s", art)
+	}
+	rows := lines[1:]
+	found := false
+	for ri := 10; ri < 16; ri++ { // printed top-down: hotspot in bottom rows
+		if strings.Contains(rows[ri][:8], "@") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("hotspot not where expected:\n%s", art)
+	}
+}
+
+func TestWriteHeatmapPGM(t *testing.T) {
+	res := hotspotResult(t)
+	var buf bytes.Buffer
+	if err := res.WriteHeatmapPGM(&buf, 0, 0); err != nil { // auto-scale
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if !bytes.HasPrefix(b, []byte("P5\n16 16\n255\n")) {
+		t.Fatalf("bad PGM header: %q", b[:20])
+	}
+	pixels := b[len("P5\n16 16\n255\n"):]
+	if len(pixels) != 256 {
+		t.Fatalf("PGM has %d pixels, want 256", len(pixels))
+	}
+	// Auto-scale must use the full dynamic range.
+	lo, hi := byte(255), byte(0)
+	for _, p := range pixels {
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	if lo != 0 || hi != 255 {
+		t.Fatalf("PGM range [%d,%d], want [0,255]", lo, hi)
+	}
+	// Fixed bounds clamp correctly.
+	buf.Reset()
+	if err := res.WriteHeatmapPGM(&buf, 45, 46); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteFieldCSV(t *testing.T) {
+	res := hotspotResult(t)
+	var buf bytes.Buffer
+	if err := res.WriteFieldCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+256 {
+		t.Fatalf("CSV has %d lines, want 257", len(lines))
+	}
+	if lines[0] != "x_mm,y_mm,temp_C" {
+		t.Fatalf("bad header %q", lines[0])
+	}
+}

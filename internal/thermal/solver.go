@@ -1,0 +1,404 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"chiplet25d/internal/geom"
+)
+
+// Result is a solved steady-state temperature field.
+type Result struct {
+	// T holds all node temperatures in °C, ordered as in the model
+	// (package layers bottom-up, then spreader, then sink).
+	T []float64
+	// Iterations is the number of CG iterations the solve used.
+	Iterations int
+	// Residual is the final relative residual.
+	Residual float64
+
+	model *Model
+}
+
+// ChipT returns the chip-layer cell temperatures (length Nx*Ny), aliasing
+// the result's storage.
+func (r *Result) ChipT() []float64 {
+	off := r.model.ChipLayerOffset()
+	return r.T[off : off+r.model.nCells]
+}
+
+// PeakC returns the maximum chip-layer temperature, the quantity constrained
+// by Eq. (6).
+func (r *Result) PeakC() float64 {
+	peak := math.Inf(-1)
+	for _, t := range r.ChipT() {
+		if t > peak {
+			peak = t
+		}
+	}
+	return peak
+}
+
+// MaxOverRect returns the maximum chip-layer temperature over the cells
+// whose centers fall inside the given rectangle (mm, package coordinates).
+func (r *Result) MaxOverRect(rc geom.Rect) float64 {
+	return r.overRect(rc, true)
+}
+
+// AvgOverRect returns the mean chip-layer temperature over the cells whose
+// centers fall inside the given rectangle.
+func (r *Result) AvgOverRect(rc geom.Rect) float64 {
+	return r.overRect(rc, false)
+}
+
+func (r *Result) overRect(rc geom.Rect, max bool) float64 {
+	g := r.model.grid
+	chip := r.ChipT()
+	best := math.Inf(-1)
+	sum, n := 0.0, 0
+	for iy := 0; iy < g.Ny; iy++ {
+		for ix := 0; ix < g.Nx; ix++ {
+			cx, cy := g.CellRect(ix, iy).Center()
+			if !rc.ContainsPoint(cx, cy) {
+				continue
+			}
+			t := chip[g.Index(ix, iy)]
+			if t > best {
+				best = t
+			}
+			sum += t
+			n++
+		}
+	}
+	if n == 0 {
+		// Rectangle smaller than a cell: fall back to the containing cell.
+		cx, cy := rc.Center()
+		ix, iy := g.CellAt(cx, cy)
+		return chip[g.Index(ix, iy)]
+	}
+	if max {
+		return best
+	}
+	return sum / float64(n)
+}
+
+// HeatOutW returns the total heat leaving through the sink's convection
+// boundary, which at steady state must equal the injected power.
+func (r *Result) HeatOutW() float64 {
+	m := r.model
+	out := 0.0
+	for c := 0; c < m.nCells; c++ {
+		out += m.convG[c] * (r.T[m.sinkBase+c] - m.cfg.AmbientC)
+	}
+	for c, g := range m.boardG {
+		out += g * (r.T[c] - m.cfg.AmbientC)
+	}
+	return out
+}
+
+// Solve computes the steady-state temperature field for the given
+// chip-layer power map (watts per package-grid cell, length Nx*Ny).
+func (m *Model) Solve(chipPower []float64) (*Result, error) {
+	return m.SolveWarm(chipPower, nil)
+}
+
+// SolveMulti solves with power injected into several package layers at
+// once — the 3D-stacking case, where more than one CMOS layer dissipates.
+// Keys are layer indices (bottom-up, as in the stack); values are
+// per-cell watts (length Nx*Ny).
+func (m *Model) SolveMulti(perLayer map[int][]float64) (*Result, error) {
+	rhs := make([]float64, m.nNodes)
+	for l, pmap := range perLayer {
+		if l < 0 || l >= m.nLayer {
+			return nil, fmt.Errorf("thermal: power layer %d out of range [0,%d)", l, m.nLayer)
+		}
+		if len(pmap) != m.nCells {
+			return nil, fmt.Errorf("thermal: layer %d power map has %d cells, model grid has %d", l, len(pmap), m.nCells)
+		}
+		for c, p := range pmap {
+			if p < 0 {
+				return nil, fmt.Errorf("thermal: negative power %g at layer %d cell %d", p, l, c)
+			}
+			rhs[l*m.nCells+c] += p
+		}
+	}
+	for c := 0; c < m.nCells; c++ {
+		rhs[m.sinkBase+c] += m.convG[c] * m.cfg.AmbientC
+	}
+	for c, g := range m.boardG {
+		rhs[c] += g * m.cfg.AmbientC
+	}
+	x := make([]float64, m.nNodes)
+	for i := range x {
+		x[i] = m.cfg.AmbientC
+	}
+	iters, res, err := m.pcg(x, rhs)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{T: x, Iterations: iters, Residual: res, model: m}, nil
+}
+
+// LayerT returns the temperatures of one package layer's cells (aliasing
+// the result's storage).
+func (r *Result) LayerT(layer int) ([]float64, error) {
+	if layer < 0 || layer >= r.model.nLayer {
+		return nil, fmt.Errorf("thermal: layer %d out of range [0,%d)", layer, r.model.nLayer)
+	}
+	return r.T[layer*r.model.nCells : (layer+1)*r.model.nCells], nil
+}
+
+// PeakOverLayers returns the maximum temperature over the given package
+// layers (e.g. all CMOS levels of a 3D stack).
+func (r *Result) PeakOverLayers(layers []int) (float64, error) {
+	peak := math.Inf(-1)
+	for _, l := range layers {
+		lt, err := r.LayerT(l)
+		if err != nil {
+			return 0, err
+		}
+		for _, t := range lt {
+			if t > peak {
+				peak = t
+			}
+		}
+	}
+	return peak, nil
+}
+
+// SolveWarm is Solve with a warm start from a previous result for the same
+// model (pass nil for a cold start from ambient).
+func (m *Model) SolveWarm(chipPower []float64, prev *Result) (*Result, error) {
+	if len(chipPower) != m.nCells {
+		return nil, fmt.Errorf("thermal: power map has %d cells, model grid has %d", len(chipPower), m.nCells)
+	}
+	rhs := make([]float64, m.nNodes)
+	chipBase := m.ChipLayerOffset()
+	for c, p := range chipPower {
+		if p < 0 {
+			return nil, fmt.Errorf("thermal: negative power %g at cell %d", p, c)
+		}
+		rhs[chipBase+c] = p
+	}
+	for c := 0; c < m.nCells; c++ {
+		rhs[m.sinkBase+c] += m.convG[c] * m.cfg.AmbientC
+	}
+	for c, g := range m.boardG {
+		rhs[c] += g * m.cfg.AmbientC
+	}
+	x := make([]float64, m.nNodes)
+	if prev != nil && len(prev.T) == m.nNodes {
+		copy(x, prev.T)
+	} else {
+		for i := range x {
+			x[i] = m.cfg.AmbientC
+		}
+	}
+	iters, res, err := m.pcg(x, rhs)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{T: x, Iterations: iters, Residual: res, model: m}, nil
+}
+
+// matvec computes y = A·x for the assembled conductance matrix.
+func (m *Model) matvec(y, x []float64) {
+	for i, d := range m.diag {
+		y[i] = d * x[i]
+	}
+	for _, l := range m.links {
+		y[l.a] -= l.g * x[l.b]
+		y[l.b] -= l.g * x[l.a]
+	}
+}
+
+// pcg runs preconditioned conjugate gradients, overwriting x with the
+// solution of A·x = b. Returns iterations used and the final relative
+// residual.
+func (m *Model) pcg(x, b []float64) (int, float64, error) {
+	n := m.nNodes
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	m.matvec(ap, x)
+	bnorm := 0.0
+	for i := 0; i < n; i++ {
+		r[i] = b[i] - ap[i]
+		bnorm += b[i] * b[i]
+	}
+	bnorm = math.Sqrt(bnorm)
+	if bnorm == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return 0, 0, nil
+	}
+	m.precond.apply(z, r)
+	copy(p, z)
+	rz := dot(r, z)
+	for it := 1; it <= m.cfg.MaxIterations; it++ {
+		m.matvec(ap, p)
+		pap := dot(p, ap)
+		if pap <= 0 {
+			return it, math.NaN(), fmt.Errorf("thermal: CG breakdown (pAp = %g); matrix not SPD", pap)
+		}
+		alpha := rz / pap
+		for i := 0; i < n; i++ {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		rnorm := math.Sqrt(dot(r, r))
+		if rnorm/bnorm < m.cfg.Tolerance {
+			return it, rnorm / bnorm, nil
+		}
+		m.precond.apply(z, r)
+		rzNew := dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := 0; i < n; i++ {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	rnorm := math.Sqrt(dot(r, r))
+	return m.cfg.MaxIterations, rnorm / bnorm, fmt.Errorf(
+		"thermal: CG did not converge in %d iterations (residual %.3g)",
+		m.cfg.MaxIterations, rnorm/bnorm)
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// icPreconditioner is a zero-fill incomplete Cholesky factorization
+// A ≈ L·Lᵀ restricted to A's sparsity pattern. Thermal conductance matrices
+// are symmetric M-matrices, for which IC(0) exists and is stable; a
+// diagonal-shift fallback guards against rounding-induced breakdown.
+type icPreconditioner struct {
+	n      int
+	rowPtr []int32   // CSR row pointers for the strict lower triangle
+	colIdx []int32   // column indices (sorted ascending per row)
+	lval   []float64 // factor values for the strict lower triangle
+	d      []float64 // diagonal of L
+}
+
+func newICPreconditioner(n int, diag []float64, links []link) *icPreconditioner {
+	// Build the strict lower triangle in CSR form.
+	counts := make([]int32, n+1)
+	for _, l := range links {
+		hi := l.a
+		if l.b > hi {
+			hi = l.b
+		}
+		counts[hi+1]++
+	}
+	for i := 0; i < n; i++ {
+		counts[i+1] += counts[i]
+	}
+	rowPtr := counts
+	colIdx := make([]int32, rowPtr[n])
+	aval := make([]float64, rowPtr[n])
+	next := make([]int32, n)
+	copy(next, rowPtr[:n])
+	for _, l := range links {
+		lo, hi := l.a, l.b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		pos := next[hi]
+		next[hi]++
+		colIdx[pos] = lo
+		aval[pos] = -l.g // off-diagonal entries of the conductance matrix
+	}
+	// Sort the column indices within each row.
+	for i := 0; i < n; i++ {
+		lo, hi := rowPtr[i], rowPtr[i+1]
+		row := rowSorter{cols: colIdx[lo:hi], vals: aval[lo:hi]}
+		sort.Sort(row)
+	}
+
+	ic := &icPreconditioner{
+		n: n, rowPtr: rowPtr, colIdx: colIdx,
+		lval: make([]float64, len(aval)),
+		d:    make([]float64, n),
+	}
+	ic.factor(diag, aval)
+	return ic
+}
+
+type rowSorter struct {
+	cols []int32
+	vals []float64
+}
+
+func (r rowSorter) Len() int           { return len(r.cols) }
+func (r rowSorter) Less(i, j int) bool { return r.cols[i] < r.cols[j] }
+func (r rowSorter) Swap(i, j int) {
+	r.cols[i], r.cols[j] = r.cols[j], r.cols[i]
+	r.vals[i], r.vals[j] = r.vals[j], r.vals[i]
+}
+
+func (ic *icPreconditioner) factor(diag, aval []float64) {
+	n := ic.n
+	for i := 0; i < n; i++ {
+		ri0, ri1 := ic.rowPtr[i], ic.rowPtr[i+1]
+		for idx := ri0; idx < ri1; idx++ {
+			k := ic.colIdx[idx]
+			s := aval[idx]
+			// s -= Σ_m L[i][m]·L[k][m] over shared columns m < k.
+			a, aEnd := ri0, idx
+			b, bEnd := ic.rowPtr[k], ic.rowPtr[k+1]
+			for a < aEnd && b < bEnd {
+				ca, cb := ic.colIdx[a], ic.colIdx[b]
+				switch {
+				case ca == cb:
+					s -= ic.lval[a] * ic.lval[b]
+					a++
+					b++
+				case ca < cb:
+					a++
+				default:
+					b++
+				}
+			}
+			ic.lval[idx] = s / ic.d[k]
+		}
+		dv := diag[i]
+		for idx := ri0; idx < ri1; idx++ {
+			dv -= ic.lval[idx] * ic.lval[idx]
+		}
+		if dv <= 0 {
+			// Breakdown guard: fall back to the (always positive) original
+			// diagonal, locally degrading toward Jacobi.
+			dv = diag[i]
+		}
+		ic.d[i] = math.Sqrt(dv)
+	}
+}
+
+// apply computes z = M⁻¹·r via forward (L·y = r) and backward (Lᵀ·z = y)
+// substitution.
+func (ic *icPreconditioner) apply(z, r []float64) {
+	n := ic.n
+	copy(z, r)
+	for i := 0; i < n; i++ {
+		s := z[i]
+		for idx := ic.rowPtr[i]; idx < ic.rowPtr[i+1]; idx++ {
+			s -= ic.lval[idx] * z[ic.colIdx[idx]]
+		}
+		z[i] = s / ic.d[i]
+	}
+	for i := n - 1; i >= 0; i-- {
+		z[i] /= ic.d[i]
+		zi := z[i]
+		for idx := ic.rowPtr[i]; idx < ic.rowPtr[i+1]; idx++ {
+			z[ic.colIdx[idx]] -= ic.lval[idx] * zi
+		}
+	}
+}

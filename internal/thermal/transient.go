@@ -1,0 +1,233 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"chiplet25d/internal/floorplan"
+)
+
+// Transient simulation: the steady-state conductance network is augmented
+// with per-node thermal capacitances (from the layers' volumetric heat
+// capacities) and integrated with the unconditionally stable backward Euler
+// scheme:
+//
+//	(C/Δt + G) · T(t+Δt) = C/Δt · T(t) + P(t)
+//
+// Each step solves the shifted SPD system with the same preconditioned
+// conjugate gradient machinery as the steady state (the IC(0) factors are
+// rebuilt once per TransientSolver for the shifted matrix). This supports
+// computational-sprinting style studies: how long a configuration may
+// exceed its steady-state envelope before reaching the threshold.
+
+// TransientSolver integrates a model's temperature field over time with a
+// fixed step.
+type TransientSolver struct {
+	m  *Model
+	dt float64 // seconds
+
+	capOverDt []float64 // C_i/Δt per node
+	diag      []float64 // shifted diagonal: G_ii + C_i/Δt
+	precond   *icPreconditioner
+
+	// T is the current temperature field (°C).
+	T []float64
+	// Elapsed is the simulated time (s).
+	Elapsed float64
+}
+
+// NewTransientSolver prepares a transient integration with time step dt
+// (seconds), starting from the ambient temperature.
+func (m *Model) NewTransientSolver(dt float64) (*TransientSolver, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("thermal: time step must be positive, got %g", dt)
+	}
+	ts := &TransientSolver{m: m, dt: dt}
+	ts.capOverDt = m.nodeCapacitances()
+	for i := range ts.capOverDt {
+		ts.capOverDt[i] /= dt
+	}
+	ts.diag = make([]float64, m.nNodes)
+	for i, d := range m.diag {
+		ts.diag[i] = d + ts.capOverDt[i]
+	}
+	ts.precond = newICPreconditioner(m.nNodes, ts.diag, m.links)
+	ts.T = make([]float64, m.nNodes)
+	for i := range ts.T {
+		ts.T[i] = m.cfg.AmbientC
+	}
+	return ts, nil
+}
+
+// nodeCapacitances returns the lumped thermal capacitance (J/K) of every
+// node: cell volume times volumetric heat capacity for package layers, and
+// copper capacitance for the spreader and sink cells.
+func (m *Model) nodeCapacitances() []float64 {
+	caps := make([]float64, m.nNodes)
+	cw := m.grid.CellW() * 1e-3
+	ch := m.grid.CellH() * 1e-3
+	area := cw * ch
+	for l, layer := range m.stack.Layers {
+		props := floorplan.RasterizeLayer(layer, m.grid)
+		for c := 0; c < m.nCells; c++ {
+			caps[l*m.nCells+c] = props[c].VolHeatCap * area * layer.ThicknessM
+		}
+	}
+	// Spreader cells: 2x2 package-cell footprint; sink cells: 4x4. Copper
+	// volumetric heat capacity.
+	const cuCap = 3.55e6
+	sprBase := m.nLayer * m.nCells
+	for c := 0; c < m.nCells; c++ {
+		caps[sprBase+c] = cuCap * 4 * area * floorplan.SpreaderThicknessM
+		caps[m.sinkBase+c] = cuCap * 16 * area * floorplan.SinkThicknessM
+	}
+	return caps
+}
+
+// Reset returns the field to ambient and zero elapsed time.
+func (ts *TransientSolver) Reset() {
+	for i := range ts.T {
+		ts.T[i] = ts.m.cfg.AmbientC
+	}
+	ts.Elapsed = 0
+}
+
+// SetState copies a previously solved steady-state field as the starting
+// condition (e.g. idle equilibrium before a sprint).
+func (ts *TransientSolver) SetState(res *Result) error {
+	if len(res.T) != len(ts.T) {
+		return fmt.Errorf("thermal: state has %d nodes, solver has %d", len(res.T), len(ts.T))
+	}
+	copy(ts.T, res.T)
+	return nil
+}
+
+// Step advances the field by one time step under the given chip-layer power
+// map (watts per cell, length Nx*Ny) and returns the new peak chip
+// temperature.
+func (ts *TransientSolver) Step(chipPower []float64) (float64, error) {
+	m := ts.m
+	if len(chipPower) != m.nCells {
+		return 0, fmt.Errorf("thermal: power map has %d cells, model grid has %d", len(chipPower), m.nCells)
+	}
+	rhs := make([]float64, m.nNodes)
+	chipBase := m.ChipLayerOffset()
+	for c, p := range chipPower {
+		if p < 0 {
+			return 0, fmt.Errorf("thermal: negative power %g at cell %d", p, c)
+		}
+		rhs[chipBase+c] = p
+	}
+	for c := 0; c < m.nCells; c++ {
+		rhs[m.sinkBase+c] += m.convG[c] * m.cfg.AmbientC
+	}
+	for c, g := range m.boardG {
+		rhs[c] += g * m.cfg.AmbientC
+	}
+	for i := 0; i < m.nNodes; i++ {
+		rhs[i] += ts.capOverDt[i] * ts.T[i]
+	}
+	if _, _, err := ts.pcgShifted(ts.T, rhs); err != nil {
+		return 0, err
+	}
+	ts.Elapsed += ts.dt
+	return ts.PeakC(), nil
+}
+
+// PeakC returns the current peak chip-layer temperature.
+func (ts *TransientSolver) PeakC() float64 {
+	off := ts.m.ChipLayerOffset()
+	peak := math.Inf(-1)
+	for _, t := range ts.T[off : off+ts.m.nCells] {
+		if t > peak {
+			peak = t
+		}
+	}
+	return peak
+}
+
+// ChipT returns the current chip-layer temperatures (aliased).
+func (ts *TransientSolver) ChipT() []float64 {
+	off := ts.m.ChipLayerOffset()
+	return ts.T[off : off+ts.m.nCells]
+}
+
+// pcgShifted solves (G + C/Δt)·x = b with x warm-started in place.
+func (ts *TransientSolver) pcgShifted(x, b []float64) (int, float64, error) {
+	m := ts.m
+	n := m.nNodes
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	matvec := func(y, v []float64) {
+		for i, d := range ts.diag {
+			y[i] = d * v[i]
+		}
+		for _, l := range m.links {
+			y[l.a] -= l.g * v[l.b]
+			y[l.b] -= l.g * v[l.a]
+		}
+	}
+	matvec(ap, x)
+	bnorm := 0.0
+	for i := 0; i < n; i++ {
+		r[i] = b[i] - ap[i]
+		bnorm += b[i] * b[i]
+	}
+	bnorm = math.Sqrt(bnorm)
+	if bnorm == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return 0, 0, nil
+	}
+	ts.precond.apply(z, r)
+	copy(p, z)
+	rz := dot(r, z)
+	for it := 1; it <= m.cfg.MaxIterations; it++ {
+		matvec(ap, p)
+		pap := dot(p, ap)
+		if pap <= 0 {
+			return it, math.NaN(), fmt.Errorf("thermal: transient CG breakdown")
+		}
+		alpha := rz / pap
+		for i := 0; i < n; i++ {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		rnorm := math.Sqrt(dot(r, r))
+		if rnorm/bnorm < m.cfg.Tolerance {
+			return it, rnorm / bnorm, nil
+		}
+		ts.precond.apply(z, r)
+		rzNew := dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := 0; i < n; i++ {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return m.cfg.MaxIterations, math.NaN(), fmt.Errorf("thermal: transient CG did not converge")
+}
+
+// TimeToThreshold integrates under a constant power map until the peak
+// chip temperature reaches thresholdC or maxTime (s) elapses. It returns
+// the crossing time (or maxTime if never crossed) and whether the
+// threshold was hit.
+func (ts *TransientSolver) TimeToThreshold(chipPower []float64, thresholdC, maxTime float64) (float64, bool, error) {
+	if ts.PeakC() >= thresholdC {
+		return 0, true, nil
+	}
+	for ts.Elapsed < maxTime {
+		peak, err := ts.Step(chipPower)
+		if err != nil {
+			return 0, false, err
+		}
+		if peak >= thresholdC {
+			return ts.Elapsed, true, nil
+		}
+	}
+	return maxTime, false, nil
+}
