@@ -13,7 +13,11 @@ package chiplet25d
 // thermal sims) alongside time/op.
 
 import (
+	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"chiplet25d/internal/expt"
@@ -22,6 +26,7 @@ import (
 	"chiplet25d/internal/org"
 	"chiplet25d/internal/perf"
 	"chiplet25d/internal/power"
+	"chiplet25d/internal/serve"
 	"chiplet25d/internal/thermal"
 )
 
@@ -437,4 +442,51 @@ func BenchmarkOptimizeEndToEnd(b *testing.B) {
 // BenchmarkStacking regenerates the 2D vs 2.5D vs 3D stacking comparison.
 func BenchmarkStacking(b *testing.B) {
 	runExperiment(b, "stacking", benchOptions())
+}
+
+// --- chipletd serving-path benchmarks ---
+
+// chipletdSolve posts one solve request through the full HTTP stack and
+// fails the benchmark on any non-200.
+func chipletdSolve(b *testing.B, h http.Handler, body string) {
+	b.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/thermal/solve", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("solve = %d, body = %s", rec.Code, rec.Body)
+	}
+}
+
+func chipletdBody(cores int) string {
+	return fmt.Sprintf(`{"placement": {"chiplets": 4, "s3_mm": 1}, "benchmark": "cholesky",
+		"freq_mhz": 533, "cores": %d, "grid_n": 16}`, cores)
+}
+
+// BenchmarkChipletdSolveCacheMiss measures the cold solve path through
+// chipletd: every iteration uses a single-entry cache and a never-repeating
+// key sequence, so each request runs a fresh leakage-coupled simulation.
+func BenchmarkChipletdSolveCacheMiss(b *testing.B) {
+	opts := serve.DefaultOptions()
+	opts.CacheCapacity = 1 // alternating keys below can never hit
+	s := serve.New(opts)
+	h := s.Handler()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chipletdSolve(b, h, chipletdBody(floorplan.NumCores-i%2)) // 256/255 alternate
+	}
+}
+
+// BenchmarkChipletdSolveCacheHit measures the warm path: one solve seeds
+// the content-addressed cache, then every iteration is answered from it.
+// The acceptance bar is >= 10x faster than BenchmarkChipletdSolveCacheMiss.
+func BenchmarkChipletdSolveCacheHit(b *testing.B) {
+	s := serve.New(serve.DefaultOptions())
+	h := s.Handler()
+	body := chipletdBody(floorplan.NumCores)
+	chipletdSolve(b, h, body) // seed the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chipletdSolve(b, h, body)
+	}
 }

@@ -1,0 +1,94 @@
+// Command chipletd serves the paper's models over HTTP/JSON: thermal
+// solves, organization searches, and cost queries, with a content-addressed
+// result cache, a bounded worker pool, and Prometheus metrics. See
+// internal/serve for the endpoint reference.
+//
+// Usage:
+//
+//	chipletd [-addr :8080] [-workers N] [-queue N] [-cache N]
+//	         [-timeout 60s] [-grid-max 128] [-config file.json]
+//
+// Flags override the optional "server" section of -config. SIGINT/SIGTERM
+// triggers a graceful drain: the listener closes and in-flight solves run
+// to completion before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"chiplet25d/internal/config"
+	"chiplet25d/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "", "listen address (default :8080)")
+		workers    = flag.Int("workers", 0, "max concurrent solves (default GOMAXPROCS)")
+		queue      = flag.Int("queue", 0, "admission queue depth; beyond it requests get 503 (default 64)")
+		cacheCap   = flag.Int("cache", 0, "result cache capacity in entries (default 512)")
+		timeout    = flag.Duration("timeout", 0, "per-request deadline (default 60s)")
+		gridMax    = flag.Int("grid-max", 0, "largest thermal grid a request may ask for (default 128)")
+		configPath = flag.String("config", "", "JSON config file with an optional \"server\" section")
+	)
+	flag.Parse()
+
+	opts := serve.DefaultOptions()
+	if *configPath != "" {
+		sc, err := config.LoadServerFile(*configPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chipletd: %v\n", err)
+			os.Exit(1)
+		}
+		if sc.Addr != "" {
+			opts.Addr = sc.Addr
+		}
+		if sc.Workers != nil {
+			opts.Workers = *sc.Workers
+		}
+		if sc.QueueDepth != nil {
+			opts.QueueDepth = *sc.QueueDepth
+		}
+		if sc.CacheCapacity != nil {
+			opts.CacheCapacity = *sc.CacheCapacity
+		}
+		if sc.RequestTimeoutSec != nil {
+			opts.RequestTimeout = time.Duration(*sc.RequestTimeoutSec * float64(time.Second))
+		}
+	}
+	if *addr != "" {
+		opts.Addr = *addr
+	}
+	if *workers > 0 {
+		opts.Workers = *workers
+	}
+	if *queue > 0 {
+		opts.QueueDepth = *queue
+	}
+	if *cacheCap > 0 {
+		opts.CacheCapacity = *cacheCap
+	}
+	if *timeout > 0 {
+		opts.RequestTimeout = *timeout
+	}
+	if *gridMax > 0 {
+		opts.MaxGridN = *gridMax
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	s := serve.New(opts)
+	log.Printf("chipletd: listening on %s (workers=%d queue=%d cache=%d timeout=%s)",
+		opts.Addr, opts.Workers, opts.QueueDepth, opts.CacheCapacity, opts.RequestTimeout)
+	if err := s.Run(ctx); err != nil {
+		log.Fatalf("chipletd: %v", err)
+	}
+	log.Printf("chipletd: drained, bye")
+}

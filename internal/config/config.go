@@ -47,6 +47,54 @@ type File struct {
 
 	Cost    *cost.Params        `json:"cost,omitempty"`
 	Leakage *power.LeakageModel `json:"leakage,omitempty"`
+
+	// Server configures the chipletd daemon; the one-shot CLI tools ignore
+	// it. A file may contain only this section (no benchmark needed).
+	Server *Server `json:"server,omitempty"`
+}
+
+// Server is the chipletd daemon section of a configuration file. Pointer
+// fields distinguish "absent" (keep default) from explicit zeros, matching
+// the rest of the schema.
+type Server struct {
+	// Addr is the listen address (default ":8080").
+	Addr string `json:"addr,omitempty"`
+	// Workers bounds concurrent solves (default: GOMAXPROCS).
+	Workers *int `json:"workers,omitempty"`
+	// QueueDepth bounds the admission queue; beyond it requests are shed
+	// with 503 (default 64).
+	QueueDepth *int `json:"queue_depth,omitempty"`
+	// CacheCapacity bounds the content-addressed result cache in entries
+	// (default 512).
+	CacheCapacity *int `json:"cache_capacity,omitempty"`
+	// RequestTimeoutSec is the per-request deadline in seconds (default 60).
+	RequestTimeoutSec *float64 `json:"request_timeout_sec,omitempty"`
+}
+
+// LoadServer parses JSON from r and returns the server section (zero value
+// when the file has none). Unlike Load it does not require a benchmark, so
+// daemon-only files work.
+func LoadServer(r io.Reader) (Server, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var f File
+	if err := dec.Decode(&f); err != nil {
+		return Server{}, fmt.Errorf("config: %w", err)
+	}
+	if f.Server == nil {
+		return Server{}, nil
+	}
+	return *f.Server, nil
+}
+
+// LoadServerFile loads the server section from a JSON file.
+func LoadServerFile(path string) (Server, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return Server{}, err
+	}
+	defer fh.Close()
+	return LoadServer(fh)
 }
 
 // ToConfig resolves the file against the paper defaults.

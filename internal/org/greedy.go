@@ -1,7 +1,9 @@
 package org
 
 import (
+	"fmt"
 	"math"
+	"sync"
 
 	"chiplet25d/internal/floorplan"
 	"chiplet25d/internal/power"
@@ -191,8 +193,13 @@ func (s *Searcher) FindPlacementExhaustive(n int, edgeMM float64, op power.DVFSP
 // prefetchGrid evaluates the grid points missing from the memo with a
 // bounded worker pool. Each worker runs pure simulations only; the memo,
 // surrogate calibration and counters are merged on the single caller
-// goroutine afterward, so the Searcher itself stays free of locks.
+// goroutine afterward, so the Searcher itself stays free of locks. The
+// searcher's context cancels the scan: the feeder stops handing out jobs,
+// workers drain and exit, and in-flight CG solves abort, so an abandoned
+// HTTP request stops burning CPU instead of running the grid to completion.
 func (s *Searcher) prefetchGrid(sp spacingSpace, op power.DVFSPoint, p int) error {
+	s.beginUse()
+	defer s.endUse()
 	fIdx := fIdxOf(op)
 	type job struct {
 		pl   floorplan.Placement
@@ -243,11 +250,18 @@ func (s *Searcher) prefetchGrid(sp spacingSpace, op power.DVFSPoint, p int) erro
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	ctx := s.ctx
 	jobCh := make(chan job)
 	outCh := make(chan outcome, len(jobs))
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		wg.Add(1)
 		go func() {
+			defer wg.Done()
 			for j := range jobCh {
+				if ctx.Err() != nil {
+					return
+				}
 				// Surrogate check against the snapshot taken at scan start.
 				if s.cfg.SurrogateMarginC >= 0 && j.hasRef {
 					_, est := s.totalPowerAt(op, p, j.nocW, j.ref.rEff)
@@ -262,14 +276,21 @@ func (s *Searcher) prefetchGrid(sp spacingSpace, op power.DVFSPoint, p int) erro
 		}()
 	}
 	go func() {
+		defer close(jobCh)
 		for _, j := range jobs {
-			jobCh <- j
+			select {
+			case jobCh <- j:
+			case <-ctx.Done():
+				return
+			}
 		}
-		close(jobCh)
+	}()
+	go func() {
+		wg.Wait()
+		close(outCh)
 	}()
 	var firstErr error
-	for range jobs {
-		o := <-outCh
+	for o := range outCh {
 		if o.err != nil {
 			if firstErr == nil {
 				firstErr = o.err
@@ -282,6 +303,7 @@ func (s *Searcher) prefetchGrid(sp spacingSpace, op power.DVFSPoint, p int) erro
 			continue
 		}
 		s.thermalSims++
+		s.cgIterations += int64(o.res.CGIterations)
 		s.peakMemo[o.job.ek] = o.res.PeakC
 		if o.res.TotalPowerW > 0 {
 			byP := s.refMemo[o.job.pk]
@@ -293,6 +315,9 @@ func (s *Searcher) prefetchGrid(sp spacingSpace, op power.DVFSPoint, p int) erro
 				byP[p] = refPoint{rEff: (o.res.PeakC - s.cfg.Thermal.AmbientC) / o.res.TotalPowerW}
 			}
 		}
+	}
+	if firstErr == nil && ctx.Err() != nil {
+		firstErr = fmt.Errorf("org: exhaustive scan canceled: %w", ctx.Err())
 	}
 	return firstErr
 }

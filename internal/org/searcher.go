@@ -1,9 +1,11 @@
 package org
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"chiplet25d/internal/floorplan"
 	"chiplet25d/internal/noc"
@@ -49,15 +51,35 @@ type refPoint struct {
 // Searcher runs peak-temperature evaluations with memoization and the
 // verified scalar surrogate, and exposes the greedy and exhaustive
 // placement searches.
+//
+// A Searcher is NOT safe for concurrent use: its memo maps, surrogate
+// calibration, RNG, and counters are all mutated without locks on the
+// calling goroutine (the internal prefetch workers of the exhaustive scan
+// run pure simulations only and merge results back on the caller). Callers
+// that serve multiple goroutines — chipletd in particular — must construct
+// one Searcher per request/goroutine rather than sharing one; sequential
+// handoff between goroutines is fine. A cheap runtime detector panics on
+// provable concurrent entry to the mutating paths.
+//
+// Long searches are cancelled cooperatively through the context installed
+// with WithContext: every peak-temperature evaluation checks it, and the
+// cancellation propagates into the CG iterations of in-flight thermal
+// solves.
 type Searcher struct {
 	cfg Config
+	ctx context.Context
 	rng *rand.Rand
+
+	// busy is the concurrent-misuse detector: set while a mutating
+	// evaluation is on the stack (see beginUse).
+	busy int32
 
 	peakMemo map[evalKey]float64
 	refMemo  map[plKey]map[int]refPoint // placement -> p -> calibration
 
 	thermalSims   int
 	surrogateHits int
+	cgIterations  int64
 
 	baseline     *Baseline
 	baselineErr  error
@@ -71,10 +93,24 @@ func NewSearcher(cfg Config) (*Searcher, error) {
 	}
 	return &Searcher{
 		cfg:      cfg,
+		ctx:      context.Background(),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		peakMemo: make(map[evalKey]float64),
 		refMemo:  make(map[plKey]map[int]refPoint),
 	}, nil
+}
+
+// WithContext installs a cancellation context and returns the receiver for
+// chaining. Every subsequent peak-temperature evaluation (and hence every
+// search built on them) checks the context and aborts with its error once
+// it is done; in-flight CG solves abort mid-iteration. Must be called
+// before the search starts, from the goroutine running it.
+func (s *Searcher) WithContext(ctx context.Context) *Searcher {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.ctx = ctx
+	return s
 }
 
 // Config returns the searcher's configuration.
@@ -85,6 +121,24 @@ func (s *Searcher) ThermalSims() int { return s.thermalSims }
 
 // SurrogateHits returns the number of evaluations the surrogate decided.
 func (s *Searcher) SurrogateHits() int { return s.surrogateHits }
+
+// CGIterations returns the total conjugate-gradient iterations spent in
+// full thermal simulations so far (the searcher's dominant CPU cost,
+// exported for the /metrics endpoint).
+func (s *Searcher) CGIterations() int64 { return s.cgIterations }
+
+// beginUse is the cheap runtime detector backing the type's
+// single-goroutine contract: it flags the searcher as mid-evaluation and
+// panics when a second goroutine provably enters a mutating path at the
+// same time. Sequential use — including handoff between goroutines — never
+// trips it.
+func (s *Searcher) beginUse() {
+	if !atomic.CompareAndSwapInt32(&s.busy, 0, 1) {
+		panic("org: Searcher used concurrently from multiple goroutines; construct one Searcher per goroutine (see the Searcher doc comment)")
+	}
+}
+
+func (s *Searcher) endUse() { atomic.StoreInt32(&s.busy, 0) }
 
 // fIdxOf maps an operating point to its index in the frequency set.
 func fIdxOf(op power.DVFSPoint) int {
@@ -138,7 +192,11 @@ func (s *Searcher) simulate(pl floorplan.Placement, op power.DVFSPoint, p int, n
 
 func (s *Searcher) simulateWith(b perf.Benchmark, pl floorplan.Placement, op power.DVFSPoint, p int, nocW float64) (*power.SimResult, error) {
 	s.thermalSims++
-	return s.simulatePureWith(b, pl, op, p, nocW)
+	res, err := s.simulatePureWith(b, pl, op, p, nocW)
+	if err == nil {
+		s.cgIterations += int64(res.CGIterations)
+	}
+	return res, err
 }
 
 // simulatePure is the benchmark-default pure simulation used by parallel
@@ -171,13 +229,18 @@ func (s *Searcher) simulatePureWith(b perf.Benchmark, pl floorplan.Placement, op
 		NoCW:     nocW,
 		Leakage:  s.cfg.Leakage,
 	}
-	return power.Simulate(model, cores, w, s.cfg.SimOpts)
+	return power.SimulateCtx(s.ctx, model, cores, w, s.cfg.SimOpts)
 }
 
 // PeakC returns the peak temperature of a placement at an operating point
 // with p active cores, using the memo and, when it is decisive, the
 // calibrated surrogate.
 func (s *Searcher) PeakC(pl floorplan.Placement, op power.DVFSPoint, p int) (float64, error) {
+	s.beginUse()
+	defer s.endUse()
+	if err := s.ctx.Err(); err != nil {
+		return 0, fmt.Errorf("org: search canceled: %w", err)
+	}
 	fIdx := fIdxOf(op)
 	if fIdx < 0 {
 		return 0, fmt.Errorf("org: operating point %+v not in the DVFS table", op)

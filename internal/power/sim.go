@@ -1,6 +1,7 @@
 package power
 
 import (
+	"context"
 	"fmt"
 
 	"chiplet25d/internal/floorplan"
@@ -38,6 +39,10 @@ type SimResult struct {
 	CoreTemps []float64
 	// Iterations is the number of leakage-loop iterations used.
 	Iterations int
+	// CGIterations is the total number of conjugate-gradient iterations
+	// across all thermal solves of the leakage loop (the dominant cost of a
+	// simulation, exported for observability).
+	CGIterations int
 	// Thermal is the final thermal solution.
 	Thermal *thermal.Result
 }
@@ -89,6 +94,13 @@ func (w Workload) ActiveCount() int {
 // depends on the power map; the loop iterates, warm-starting each solve,
 // until the temperature field converges.
 func Simulate(m *thermal.Model, cores []floorplan.Core, w Workload, opts SimOptions) (*SimResult, error) {
+	return SimulateCtx(context.Background(), m, cores, w, opts)
+}
+
+// SimulateCtx is Simulate with cooperative cancellation: ctx is checked
+// between leakage-loop iterations and inside each CG solve, so abandoned
+// requests stop burning CPU promptly.
+func SimulateCtx(ctx context.Context, m *thermal.Model, cores []floorplan.Core, w Workload, opts SimOptions) (*SimResult, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
@@ -111,6 +123,7 @@ func Simulate(m *thermal.Model, cores []floorplan.Core, w Workload, opts SimOpti
 	}
 	var res *thermal.Result
 	var totalW float64
+	cgIters := 0
 	iter := 0
 	for iter = 1; iter <= opts.MaxIterations; iter++ {
 		pmap := make([]float64, grid.NumCells())
@@ -128,11 +141,12 @@ func Simulate(m *thermal.Model, cores []floorplan.Core, w Workload, opts SimOpti
 			grid.RasterizeAdd(pmap, c.Rect, p)
 			totalW += p
 		}
-		next, err := m.SolveWarm(pmap, res)
+		next, err := m.SolveWarmCtx(ctx, pmap, res)
 		if err != nil {
 			return nil, err
 		}
 		res = next
+		cgIters += res.Iterations
 		maxDelta := 0.0
 		for i, c := range cores {
 			id := c.Row*floorplan.CoresPerEdge + c.Col
@@ -151,11 +165,12 @@ func Simulate(m *thermal.Model, cores []floorplan.Core, w Workload, opts SimOpti
 		iter = opts.MaxIterations
 	}
 	return &SimResult{
-		PeakC:       res.PeakC(),
-		TotalPowerW: totalW,
-		CoreTemps:   temps,
-		Iterations:  iter,
-		Thermal:     res,
+		PeakC:        res.PeakC(),
+		TotalPowerW:  totalW,
+		CoreTemps:    temps,
+		Iterations:   iter,
+		CGIterations: cgIters,
+		Thermal:      res,
 	}, nil
 }
 

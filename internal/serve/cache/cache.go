@@ -1,0 +1,202 @@
+// Package cache provides the content-addressed solve cache behind chipletd:
+// a bounded LRU of computed results keyed by a canonical hash of the
+// request, with singleflight-style deduplication so concurrent identical
+// requests share one computation instead of racing N copies of the same
+// multi-second thermal solve.
+//
+// Cancellation is reference-counted: every waiter on an in-flight
+// computation registers its context, and the computation's own context is
+// canceled only once every waiter has gone away. One impatient client
+// therefore cannot kill a solve that other clients still want, while a
+// computation nobody is waiting for stops burning CPU.
+package cache
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	Hits      int64 // lookups answered from the LRU
+	Misses    int64 // lookups that started a computation
+	Shared    int64 // lookups that joined an in-flight computation
+	Evictions int64 // entries dropped by the LRU bound
+	Len       int   // current entry count
+}
+
+// entry is one cached value in the LRU.
+type entry struct {
+	key string
+	val any
+}
+
+// call is one in-flight computation with its waiter refcount.
+type call struct {
+	done    chan struct{} // closed when the computation finishes
+	val     any
+	err     error
+	waiters int
+	cancel  context.CancelFunc // cancels the computation's context
+}
+
+// Cache is a bounded LRU with singleflight deduplication. The zero value is
+// not usable; construct with New.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List               // front = most recently used
+	entries  map[string]*list.Element // key -> *entry element
+	inflight map[string]*call
+
+	hits, misses, shared, evictions int64
+}
+
+// New returns a cache bounded to capacity entries (capacity < 1 is treated
+// as 1: the singleflight layer needs somewhere to publish results).
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*call),
+	}
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry).val, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// put inserts (or refreshes) a value, evicting the least recently used
+// entry beyond capacity. Caller holds c.mu.
+func (c *Cache) put(key string, val any) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*entry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&entry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*entry).key)
+		c.evictions++
+	}
+}
+
+// Put inserts a value directly (used by warm-up paths and tests).
+func (c *Cache) Put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.put(key, val)
+}
+
+// Do returns the value for key, computing it at most once across all
+// concurrent callers. On a cache hit the value returns immediately with
+// hit = true. Otherwise the first caller runs fn with a context that stays
+// alive while at least one caller is still waiting; later identical calls
+// block on the same computation. A caller whose own ctx expires unblocks
+// with ctx's error and drops its reference; when the last reference is
+// dropped the computation's context is canceled. Successful results enter
+// the LRU; errors are not cached.
+func (c *Cache) Do(ctx context.Context, key string, fn func(ctx context.Context) (any, error)) (val any, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		v := el.Value.(*entry).val
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	if cl, ok := c.inflight[key]; ok {
+		cl.waiters++
+		c.shared++
+		c.mu.Unlock()
+		return c.wait(ctx, key, cl)
+	}
+	c.misses++
+	// The computation's lifetime is bound to its waiters, not to the first
+	// caller's request: context.WithCancel from Background plus explicit
+	// refcounting implements that.
+	runCtx, cancel := context.WithCancel(context.Background())
+	cl := &call{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	c.inflight[key] = cl
+	c.mu.Unlock()
+
+	go func() {
+		v, e := fn(runCtx)
+		c.mu.Lock()
+		cl.val, cl.err = v, e
+		if e == nil {
+			c.put(key, v)
+		}
+		delete(c.inflight, key)
+		c.mu.Unlock()
+		cancel() // release the context's resources
+		close(cl.done)
+	}()
+	return c.wait(ctx, key, cl)
+}
+
+// wait blocks until the call completes or ctx is done, maintaining the
+// waiter refcount.
+func (c *Cache) wait(ctx context.Context, key string, cl *call) (any, bool, error) {
+	select {
+	case <-cl.done:
+		return cl.val, false, cl.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		cl.waiters--
+		abandon := cl.waiters == 0
+		c.mu.Unlock()
+		if abandon {
+			cl.cancel()
+		}
+		return nil, false, ctx.Err()
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Shared:    c.shared,
+		Evictions: c.evictions,
+		Len:       c.ll.Len(),
+	}
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Keys returns the keys from most to least recently used (test helper for
+// asserting eviction order).
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*entry).key)
+	}
+	return keys
+}

@@ -1,0 +1,184 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLRUEvictionOrder pins the eviction policy: least recently *used* (not
+// least recently inserted) leaves first, and Get refreshes recency.
+func TestLRUEvictionOrder(t *testing.T) {
+	c := New(3)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	if _, ok := c.Get("a"); !ok { // refresh a: LRU order is now b, c, a
+		t.Fatal("a missing")
+	}
+	c.Put("d", 4) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s should have survived", k)
+		}
+	}
+	c.Put("e", 5) // evicts a: the survivor loop above touched a, then c, then d
+	if got, want := c.Keys(), []string{"e", "d", "c"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("recency order = %v, want %v", got, want)
+	}
+	if st := c.Stats(); st.Evictions != 2 || st.Len != 3 {
+		t.Fatalf("stats = %+v, want 2 evictions, len 3", st)
+	}
+}
+
+// TestSingleflightDedup runs many concurrent identical requests and checks
+// exactly one computation happened.
+func TestSingleflightDedup(t *testing.T) {
+	c := New(8)
+	var calls int32
+	release := make(chan struct{})
+	fn := func(ctx context.Context) (any, error) {
+		atomic.AddInt32(&calls, 1)
+		<-release
+		return "result", nil
+	}
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	vals := make([]any, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], _, errs[i] = c.Do(context.Background(), "k", fn)
+		}(i)
+	}
+	// Let every goroutine either start the call or join it, then release.
+	for c.Stats().Shared < n-1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Fatalf("computation ran %d times, want 1", got)
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil || vals[i] != "result" {
+			t.Fatalf("caller %d: val=%v err=%v", i, vals[i], errs[i])
+		}
+	}
+	// The published value is now a plain cache hit.
+	if _, hit, _ := c.Do(context.Background(), "k", fn); !hit {
+		t.Fatal("expected a cache hit after the shared computation")
+	}
+}
+
+// TestErrorsNotCached verifies a failed computation leaves no entry behind.
+func TestErrorsNotCached(t *testing.T) {
+	c := New(8)
+	boom := errors.New("boom")
+	n := 0
+	fn := func(ctx context.Context) (any, error) {
+		n++
+		if n == 1 {
+			return nil, boom
+		}
+		return 42, nil
+	}
+	if _, _, err := c.Do(context.Background(), "k", fn); !errors.Is(err, boom) {
+		t.Fatalf("first call: %v, want boom", err)
+	}
+	v, hit, err := c.Do(context.Background(), "k", fn)
+	if err != nil || hit || v != 42 {
+		t.Fatalf("retry after error: v=%v hit=%v err=%v", v, hit, err)
+	}
+}
+
+// TestWaiterTimeoutDoesNotKillSharedCall: an impatient waiter must unblock
+// with its own context error while the computation continues for the
+// patient one.
+func TestWaiterTimeoutDoesNotKillSharedCall(t *testing.T) {
+	c := New(8)
+	release := make(chan struct{})
+	var sawCancel atomic.Bool
+	fn := func(ctx context.Context) (any, error) {
+		<-release
+		if ctx.Err() != nil {
+			sawCancel.Store(true)
+			return nil, ctx.Err()
+		}
+		return "ok", nil
+	}
+	patient := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(context.Background(), "k", fn)
+		patient <- err
+	}()
+	for c.Stats().Misses == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, _, err := c.Do(ctx, "k", fn); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("impatient waiter: %v, want deadline exceeded", err)
+	}
+	close(release)
+	if err := <-patient; err != nil {
+		t.Fatalf("patient waiter: %v", err)
+	}
+	if sawCancel.Load() {
+		t.Fatal("computation was canceled while a waiter remained")
+	}
+}
+
+// TestAbandonedCallCanceled: when every waiter gives up, the computation's
+// context must be canceled.
+func TestAbandonedCallCanceled(t *testing.T) {
+	c := New(8)
+	canceled := make(chan struct{})
+	fn := func(ctx context.Context) (any, error) {
+		<-ctx.Done()
+		close(canceled)
+		return nil, ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, _, err := c.Do(ctx, "k", fn); !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning waiter: %v, want context.Canceled", err)
+	}
+	select {
+	case <-canceled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("computation context was never canceled after the last waiter left")
+	}
+}
+
+// TestDoDistinctKeys sanity-checks that distinct keys compute independently.
+func TestDoDistinctKeys(t *testing.T) {
+	c := New(8)
+	var calls int32
+	for i := 0; i < 4; i++ {
+		key := fmt.Sprintf("k%d", i)
+		v, hit, err := c.Do(context.Background(), key, func(ctx context.Context) (any, error) {
+			atomic.AddInt32(&calls, 1)
+			return key, nil
+		})
+		if err != nil || hit || v != key {
+			t.Fatalf("key %s: v=%v hit=%v err=%v", key, v, hit, err)
+		}
+	}
+	if calls != 4 {
+		t.Fatalf("calls = %d, want 4", calls)
+	}
+}

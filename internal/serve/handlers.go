@@ -1,0 +1,526 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"chiplet25d/internal/config"
+	"chiplet25d/internal/cost"
+	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/noc"
+	"chiplet25d/internal/org"
+	"chiplet25d/internal/perf"
+	"chiplet25d/internal/power"
+	"chiplet25d/internal/serve/pool"
+	"chiplet25d/internal/thermal"
+)
+
+// statusClientClosed is the nginx-convention code for "client went away
+// before the response" — used for the request counter label and (moot, the
+// client is gone) the response status.
+const statusClientClosed = 499
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// decodeJSON strictly decodes a bounded request body.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid JSON request: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("invalid JSON request: trailing data after the object")
+	}
+	return nil
+}
+
+// errStatus maps computation errors to HTTP status codes.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, pool.ErrQueueFull), errors.Is(err, pool.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosed
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// finish writes the JSON response and records the request metrics.
+func (s *Server) finish(w http.ResponseWriter, endpoint string, code int, v any, start time.Time) {
+	s.requests.With(endpoint, fmt.Sprintf("%d", code)).Inc()
+	s.solveLatency.Observe(time.Since(start).Seconds())
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) fail(w http.ResponseWriter, endpoint string, code int, err error, start time.Time) {
+	s.finish(w, endpoint, code, errorResponse{Error: err.Error()}, start)
+}
+
+// ---------------------------------------------------------------------------
+// POST /v1/thermal/solve
+
+// PlacementSpec selects a chiplet organization in a request. Exactly one
+// geometry mode applies: chiplets == 1 is the monolithic 2D baseline;
+// spacing_mm places a uniform r x r matrix; interposer_mm derives s3 from
+// the interposer size (Eq. (9)) given s1/s2; otherwise s1/s2/s3 are used
+// directly (the paper's Fig. 4(a) organizations).
+type PlacementSpec struct {
+	Chiplets     int      `json:"chiplets"`
+	SpacingMM    *float64 `json:"spacing_mm,omitempty"`
+	S1MM         float64  `json:"s1_mm,omitempty"`
+	S2MM         float64  `json:"s2_mm,omitempty"`
+	S3MM         float64  `json:"s3_mm,omitempty"`
+	InterposerMM *float64 `json:"interposer_mm,omitempty"`
+}
+
+// Resolve materializes and validates the placement.
+func (ps PlacementSpec) Resolve() (floorplan.Placement, error) {
+	var (
+		pl  floorplan.Placement
+		err error
+	)
+	switch {
+	case ps.Chiplets == 1:
+		pl = floorplan.SingleChip()
+	case ps.Chiplets < 1:
+		return floorplan.Placement{}, fmt.Errorf("placement: chiplets must be >= 1, got %d", ps.Chiplets)
+	case ps.SpacingMM != nil:
+		r := 1
+		for r*r < ps.Chiplets {
+			r++
+		}
+		if r*r != ps.Chiplets {
+			return floorplan.Placement{}, fmt.Errorf("placement: chiplet count %d is not a square (spacing_mm mode)", ps.Chiplets)
+		}
+		pl, err = floorplan.UniformGrid(r, *ps.SpacingMM)
+	case ps.InterposerMM != nil:
+		pl, err = floorplan.PaperOrgForInterposer(ps.Chiplets, *ps.InterposerMM, ps.S1MM, ps.S2MM)
+	default:
+		pl, err = floorplan.PaperOrg(ps.Chiplets, ps.S1MM, ps.S2MM, ps.S3MM)
+	}
+	if err != nil {
+		return floorplan.Placement{}, fmt.Errorf("placement: %w", err)
+	}
+	if err := pl.Validate(); err != nil {
+		return floorplan.Placement{}, fmt.Errorf("placement: %w", err)
+	}
+	return pl, nil
+}
+
+// SolveRequest asks for one steady-state leakage-coupled solve.
+type SolveRequest struct {
+	Placement PlacementSpec `json:"placement"`
+	Benchmark string        `json:"benchmark"`
+	FreqMHz   float64       `json:"freq_mhz"`
+	Cores     int           `json:"cores"`
+	GridN     int           `json:"grid_n,omitempty"` // default 64 (the paper's resolution)
+}
+
+// SolveResponse reports the converged solve.
+type SolveResponse struct {
+	PeakC             float64 `json:"peak_c"`
+	TotalPowerW       float64 `json:"total_power_w"`
+	MeshPowerW        float64 `json:"mesh_power_w"`
+	LeakageIterations int     `json:"leakage_iterations"`
+	CGIterations      int     `json:"cg_iterations"`
+	Cached            bool    `json:"cached"`
+	CacheKey          string  `json:"cache_key"`
+	ElapsedMS         float64 `json:"elapsed_ms"`
+}
+
+// solveSpec is a fully validated solve request.
+type solveSpec struct {
+	pl    floorplan.Placement
+	bench perf.Benchmark
+	op    power.DVFSPoint
+	fIdx  int
+	cores int
+	gridN int
+}
+
+func (req *SolveRequest) resolve(maxGridN int) (*solveSpec, error) {
+	pl, err := req.Placement.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	b, err := perf.ByName(req.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	fIdx := -1
+	for i, op := range power.FrequencySet {
+		if op.FreqMHz == req.FreqMHz {
+			fIdx = i
+			break
+		}
+	}
+	if fIdx < 0 {
+		return nil, fmt.Errorf("freq_mhz %g not in the DVFS table %v", req.FreqMHz, power.FrequencySet)
+	}
+	if req.Cores < 1 || req.Cores > floorplan.NumCores {
+		return nil, fmt.Errorf("cores %d out of range [1, %d]", req.Cores, floorplan.NumCores)
+	}
+	gridN := req.GridN
+	if gridN == 0 {
+		gridN = 64
+	}
+	if gridN < 4 || gridN%4 != 0 || gridN > maxGridN {
+		return nil, fmt.Errorf("grid_n %d must be a multiple of 4 in [4, %d]", gridN, maxGridN)
+	}
+	return &solveSpec{pl: pl, bench: b, op: power.FrequencySet[fIdx], fIdx: fIdx, cores: req.Cores, gridN: gridN}, nil
+}
+
+// hm snaps a length to the 0.5 mm placement grid (half-millimeter units),
+// the resolution at which two geometries are thermally identical.
+func hm(v float64) int { return int(math.Round(v * 2)) }
+
+// cacheKey is the content address of the solve: every input that changes
+// the converged result participates; formatting or field order never does.
+func (sp *solveSpec) cacheKey() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf(
+		"solve|v1|bench=%s|f=%d|p=%d|grid=%d|n=%d|w=%d|h=%d|s1=%d|s2=%d|s3=%d",
+		sp.bench.Name, sp.fIdx, sp.cores, sp.gridN,
+		sp.pl.NumChiplets(), hm(sp.pl.W), hm(sp.pl.H), hm(sp.pl.S1), hm(sp.pl.S2), hm(sp.pl.S3))))
+	return "solve:" + hex.EncodeToString(h[:])
+}
+
+// run executes the solve (on a pool worker).
+func (sp *solveSpec) run(ctx context.Context) (*SolveResponse, error) {
+	stack, err := floorplan.BuildStack(sp.pl)
+	if err != nil {
+		return nil, err
+	}
+	tc := thermal.DefaultConfig()
+	tc.Nx, tc.Ny = sp.gridN, sp.gridN
+	model, err := thermal.NewModel(stack, tc)
+	if err != nil {
+		return nil, err
+	}
+	cores, err := sp.pl.Cores()
+	if err != nil {
+		return nil, err
+	}
+	active, err := power.MintempActive(sp.cores)
+	if err != nil {
+		return nil, err
+	}
+	mesh, err := noc.MeshPower(sp.pl, sp.op, sp.cores, sp.bench.Traffic,
+		noc.DefaultLinkParams(), noc.DefaultRouterParams())
+	if err != nil {
+		return nil, err
+	}
+	w := power.Workload{
+		RefCoreW: sp.bench.RefCoreW,
+		Op:       sp.op,
+		Active:   active,
+		NoCW:     mesh.TotalW(),
+		Leakage:  power.DefaultLeakage(),
+	}
+	res, err := power.SimulateCtx(ctx, model, cores, w, power.DefaultSimOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &SolveResponse{
+		PeakC:             res.PeakC,
+		TotalPowerW:       res.TotalPowerW,
+		MeshPowerW:        mesh.TotalW(),
+		LeakageIterations: res.Iterations,
+		CGIterations:      res.CGIterations,
+	}, nil
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	const endpoint = "thermal_solve"
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
+	var req SolveRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.fail(w, endpoint, http.StatusBadRequest, err, start)
+		return
+	}
+	sp, err := req.resolve(s.opts.MaxGridN)
+	if err != nil {
+		s.fail(w, endpoint, http.StatusBadRequest, err, start)
+		return
+	}
+	key := sp.cacheKey()
+	val, hit, err := s.cache.Do(ctx, key, func(runCtx context.Context) (any, error) {
+		return s.pool.Do(runCtx, func(taskCtx context.Context) (any, error) {
+			res, err := sp.run(taskCtx)
+			if err == nil {
+				s.thermalSims.Inc()
+				s.cgIterations.Add(float64(res.CGIterations))
+			}
+			return res, err
+		})
+	})
+	if err != nil {
+		s.fail(w, endpoint, errStatus(err), err, start)
+		return
+	}
+	if hit {
+		s.cacheHits.With(endpoint).Inc()
+	} else {
+		s.cacheMisses.With(endpoint).Inc()
+	}
+	resp := *(val.(*SolveResponse)) // copy: the cached value is shared
+	resp.Cached = hit
+	resp.CacheKey = key
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3
+	s.finish(w, endpoint, http.StatusOK, resp, start)
+}
+
+// ---------------------------------------------------------------------------
+// POST /v1/org/search
+
+// SearchRequest is the full optimizer configuration schema (identical to a
+// config file: absent fields keep the paper defaults) plus the serving
+// switch between the greedy and exhaustive placement search.
+type SearchRequest struct {
+	config.File
+	Exhaustive bool `json:"exhaustive,omitempty"`
+}
+
+// OrgJSON is one organization in a response.
+type OrgJSON struct {
+	Chiplets     int     `json:"chiplets"`
+	S1MM         float64 `json:"s1_mm"`
+	S2MM         float64 `json:"s2_mm"`
+	S3MM         float64 `json:"s3_mm"`
+	InterposerMM float64 `json:"interposer_mm"`
+	FreqMHz      float64 `json:"freq_mhz"`
+	ActiveCores  int     `json:"active_cores"`
+	PeakC        float64 `json:"peak_c"`
+	IPS          float64 `json:"gips"`
+	CostUSD      float64 `json:"cost_usd"`
+	NormPerf     float64 `json:"norm_perf"`
+	NormCost     float64 `json:"norm_cost"`
+	ObjValue     float64 `json:"obj_value"`
+}
+
+// BaselineJSON is the 2D reference in a response.
+type BaselineJSON struct {
+	Feasible    bool    `json:"feasible"`
+	BestIPS     float64 `json:"best_gips"`
+	FreqMHz     float64 `json:"freq_mhz"`
+	ActiveCores int     `json:"active_cores"`
+	PeakC       float64 `json:"peak_c"`
+	CostUSD     float64 `json:"cost_usd"`
+}
+
+// SearchResponse reports an optimization run.
+type SearchResponse struct {
+	Feasible      bool         `json:"feasible"`
+	Best          *OrgJSON     `json:"best,omitempty"`
+	Baseline      BaselineJSON `json:"baseline"`
+	ThermalSims   int          `json:"thermal_sims"`
+	SurrogateHits int          `json:"surrogate_hits"`
+	CombosTried   int          `json:"combos_tried"`
+	CGIterations  int64        `json:"cg_iterations"`
+	Cached        bool         `json:"cached"`
+	CacheKey      string       `json:"cache_key"`
+	ElapsedMS     float64      `json:"elapsed_ms"`
+}
+
+// searchKey canonicalizes the resolved configuration (config.Save writes
+// every field explicitly, so two requests that resolve to the same search
+// share one address regardless of which defaults they spelled out).
+func searchKey(cfg org.Config, exhaustive bool) (string, error) {
+	var buf bytes.Buffer
+	if err := config.Save(&buf, cfg); err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&buf, "|exhaustive=%v", exhaustive)
+	h := sha256.Sum256(buf.Bytes())
+	return "search:" + hex.EncodeToString(h[:]), nil
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	const endpoint = "org_search"
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
+	var req SearchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.fail(w, endpoint, http.StatusBadRequest, err, start)
+		return
+	}
+	cfg, err := req.File.ToConfig()
+	if err != nil {
+		s.fail(w, endpoint, http.StatusBadRequest, err, start)
+		return
+	}
+	if cfg.Thermal.Nx > s.opts.MaxGridN || cfg.Thermal.Ny > s.opts.MaxGridN {
+		s.fail(w, endpoint, http.StatusBadRequest,
+			fmt.Errorf("thermal_grid_n %d exceeds the server limit %d", cfg.Thermal.Nx, s.opts.MaxGridN), start)
+		return
+	}
+	key, err := searchKey(cfg, req.Exhaustive)
+	if err != nil {
+		s.fail(w, endpoint, http.StatusInternalServerError, err, start)
+		return
+	}
+	val, hit, err := s.cache.Do(ctx, key, func(runCtx context.Context) (any, error) {
+		return s.pool.Do(runCtx, func(taskCtx context.Context) (any, error) {
+			// One Searcher per request: its memo maps and RNG are
+			// single-goroutine (see the org.Searcher doc comment).
+			sr, err := org.NewSearcher(cfg)
+			if err != nil {
+				return nil, err
+			}
+			sr.WithContext(taskCtx)
+			var res org.Result
+			if req.Exhaustive {
+				res, err = sr.OptimizeExhaustive()
+			} else {
+				res, err = sr.Optimize()
+			}
+			s.thermalSims.Add(float64(sr.ThermalSims()))
+			s.cgIterations.Add(float64(sr.CGIterations()))
+			if err != nil {
+				return nil, err
+			}
+			return searchResponse(res, sr.CGIterations()), nil
+		})
+	})
+	if err != nil {
+		s.fail(w, endpoint, errStatus(err), err, start)
+		return
+	}
+	if hit {
+		s.cacheHits.With(endpoint).Inc()
+	} else {
+		s.cacheMisses.With(endpoint).Inc()
+	}
+	resp := *(val.(*SearchResponse))
+	resp.Cached = hit
+	resp.CacheKey = key
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3
+	s.finish(w, endpoint, http.StatusOK, resp, start)
+}
+
+func searchResponse(res org.Result, cgIters int64) *SearchResponse {
+	out := &SearchResponse{
+		Feasible: res.Feasible,
+		Baseline: BaselineJSON{
+			Feasible:    res.Baseline.Feasible,
+			BestIPS:     res.Baseline.BestIPS,
+			FreqMHz:     res.Baseline.Op.FreqMHz,
+			ActiveCores: res.Baseline.ActiveCores,
+			PeakC:       res.Baseline.PeakC,
+			CostUSD:     res.Baseline.CostUSD,
+		},
+		ThermalSims:   res.ThermalSims,
+		SurrogateHits: res.SurrogateHits,
+		CombosTried:   res.CombosTried,
+		CGIterations:  cgIters,
+	}
+	if res.Feasible {
+		b := res.Best
+		out.Best = &OrgJSON{
+			Chiplets:     b.N,
+			S1MM:         b.S1,
+			S2MM:         b.S2,
+			S3MM:         b.S3,
+			InterposerMM: b.InterposerMM,
+			FreqMHz:      b.Op.FreqMHz,
+			ActiveCores:  b.ActiveCores,
+			PeakC:        b.PeakC,
+			IPS:          b.IPS,
+			CostUSD:      b.CostUSD,
+			NormPerf:     b.NormPerf,
+			NormCost:     b.NormCost,
+			ObjValue:     b.ObjValue,
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// POST /v1/cost
+
+// CostRequest queries the Eq. (1)-(4) manufacturing cost model.
+type CostRequest struct {
+	Chiplets     int      `json:"chiplets"`                // 1 (2D baseline), 4, or 16
+	InterposerMM float64  `json:"interposer_mm,omitempty"` // required for chiplets > 1
+	D0PerCM2     *float64 `json:"d0_per_cm2,omitempty"`
+	BondCostUSD  *float64 `json:"bond_cost_usd,omitempty"`
+}
+
+// CostResponse reports the cost query.
+type CostResponse struct {
+	CostUSD         float64 `json:"cost_usd"`
+	SingleChipUSD   float64 `json:"single_chip_cost_usd"`
+	NormCost        float64 `json:"norm_cost"`
+	ChipletYield    float64 `json:"chiplet_yield"`
+	SingleChipYield float64 `json:"single_chip_yield"`
+}
+
+func (s *Server) handleCost(w http.ResponseWriter, r *http.Request) {
+	const endpoint = "cost"
+	start := time.Now()
+	var req CostRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.fail(w, endpoint, http.StatusBadRequest, err, start)
+		return
+	}
+	p := cost.DefaultParams()
+	if req.D0PerCM2 != nil {
+		p.D0PerCM2 = *req.D0PerCM2
+	}
+	if req.BondCostUSD != nil {
+		p.BondCost = *req.BondCostUSD
+	}
+	if err := p.Validate(); err != nil {
+		s.fail(w, endpoint, http.StatusBadRequest, err, start)
+		return
+	}
+	single := p.SingleChipCost(floorplan.ChipEdgeMM, floorplan.ChipEdgeMM)
+	resp := CostResponse{
+		SingleChipUSD:   single,
+		SingleChipYield: p.CMOSYield(floorplan.ChipEdgeMM * floorplan.ChipEdgeMM),
+	}
+	switch {
+	case req.Chiplets == 1:
+		resp.CostUSD = single
+		resp.NormCost = 1
+		resp.ChipletYield = resp.SingleChipYield
+	case req.Chiplets == 4 || req.Chiplets == 16:
+		minEdge := cost.MinInterposerEdge(req.Chiplets)
+		if req.InterposerMM < minEdge || req.InterposerMM > floorplan.MaxInterposerEdgeMM {
+			s.fail(w, endpoint, http.StatusBadRequest,
+				fmt.Errorf("interposer_mm %g out of range [%g, %g] for %d chiplets",
+					req.InterposerMM, minEdge, floorplan.MaxInterposerEdgeMM, req.Chiplets), start)
+			return
+		}
+		resp.CostUSD = p.Cost25DForInterposer(req.Chiplets, req.InterposerMM)
+		resp.NormCost = resp.CostUSD / single
+		chipletArea := floorplan.ChipEdgeMM * floorplan.ChipEdgeMM / float64(req.Chiplets)
+		resp.ChipletYield = p.CMOSYield(chipletArea)
+	default:
+		s.fail(w, endpoint, http.StatusBadRequest,
+			fmt.Errorf("chiplets must be 1, 4, or 16, got %d", req.Chiplets), start)
+		return
+	}
+	s.finish(w, endpoint, http.StatusOK, resp, start)
+}

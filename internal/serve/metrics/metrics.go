@@ -1,0 +1,264 @@
+// Package metrics is a minimal, dependency-free Prometheus text-format
+// exposition layer for chipletd: counters (optionally labeled), gauges
+// backed by callbacks, and fixed-bucket histograms, rendered by a Registry
+// in registration order. It implements just the subset of the format the
+// daemon needs — https://prometheus.io/docs/instrumenting/exposition_formats/
+// version 0.0.4 — so no external client library is required.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing float64 (stored as bits for atomic
+// updates without a mutex on the hot path).
+type Counter struct {
+	bits uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v (must be non-negative to keep the counter monotonic).
+func (c *Counter) Add(v float64) {
+	for {
+		old := atomic.LoadUint64(&c.bits)
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if atomic.CompareAndSwapUint64(&c.bits, old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(atomic.LoadUint64(&c.bits)) }
+
+// CounterVec is a counter family keyed by label values.
+type CounterVec struct {
+	name   string
+	help   string
+	labels []string
+
+	mu   sync.Mutex
+	kids map[string]*Counter
+}
+
+// With returns (creating on first use) the child counter for the given
+// label values, which must match the family's label names in count and
+// order.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: %s expects %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.kids[key]; ok {
+		return c
+	}
+	c := &Counter{}
+	v.kids[key] = c
+	return c
+}
+
+// Gauge is an instantaneous value read from a callback at scrape time
+// (e.g. queue depth) so the instrumented component needs no push calls.
+type Gauge struct {
+	fn func() float64
+}
+
+// Histogram counts observations into cumulative buckets with fixed upper
+// bounds, plus sum and count, matching Prometheus histogram semantics.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds, +Inf implicit
+	counts []uint64  // per-bound (non-cumulative) counts
+	inf    uint64
+	sum    float64
+	total  uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sum += v
+	h.total++
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.inf++
+}
+
+// metric is one registered family for rendering.
+type metric struct {
+	name string
+	help string
+	typ  string
+
+	counter *Counter
+	vec     *CounterVec
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry holds metric families and renders them.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	seen    map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{seen: make(map[string]bool)}
+}
+
+func (r *Registry) register(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seen[m.name] {
+		panic("metrics: duplicate metric " + m.name)
+	}
+	r.seen[m.name] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers and returns a new unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, typ: "counter", counter: c})
+	return c
+}
+
+// CounterVec registers and returns a new labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	v := &CounterVec{name: name, help: help, labels: labels, kids: make(map[string]*Counter)}
+	r.register(&metric{name: name, help: help, typ: "counter", vec: v})
+	return v
+}
+
+// GaugeFunc registers a gauge whose value is fn() at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, typ: "gauge", gauge: &Gauge{fn: fn}})
+}
+
+// Histogram registers and returns a histogram with the given ascending
+// bucket upper bounds (+Inf is added implicitly).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	h := &Histogram{bounds: bs, counts: make([]uint64, len(bs))}
+	r.register(&metric{name: name, help: help, typ: "histogram", hist: h})
+	return h
+}
+
+// fmtFloat renders a float the way Prometheus clients do: integers without
+// a decimal point, +Inf as "+Inf".
+func fmtFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// WritePrometheus renders every registered family in text format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	ms := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	for _, m := range ms {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ); err != nil {
+			return err
+		}
+		switch {
+		case m.counter != nil:
+			if _, err := fmt.Fprintf(w, "%s %s\n", m.name, fmtFloat(m.counter.Value())); err != nil {
+				return err
+			}
+		case m.vec != nil:
+			if err := m.vec.write(w); err != nil {
+				return err
+			}
+		case m.gauge != nil:
+			if _, err := fmt.Fprintf(w, "%s %s\n", m.name, fmtFloat(m.gauge.fn())); err != nil {
+				return err
+			}
+		case m.hist != nil:
+			if err := m.hist.write(w, m.name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (v *CounterVec) write(w io.Writer) error {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.kids))
+	for k := range v.kids {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic scrape output
+	type row struct {
+		key string
+		val float64
+	}
+	rows := make([]row, 0, len(keys))
+	for _, k := range keys {
+		rows = append(rows, row{k, v.kids[k].Value()})
+	}
+	v.mu.Unlock()
+	for _, rw := range rows {
+		values := strings.Split(rw.key, "\x00")
+		parts := make([]string, len(values))
+		for i, val := range values {
+			parts[i] = fmt.Sprintf("%s=%q", v.labels[i], escapeLabel(val))
+		}
+		if _, err := fmt.Fprintf(w, "%s{%s} %s\n", v.name, strings.Join(parts, ","), fmtFloat(rw.val)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *Histogram) write(w io.Writer, name string) error {
+	h.mu.Lock()
+	bounds := h.bounds
+	counts := append([]uint64(nil), h.counts...)
+	inf, sum, total := h.inf, h.sum, h.total
+	h.mu.Unlock()
+	cum := uint64(0)
+	for i, b := range bounds {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmtFloat(b), cum); err != nil {
+			return err
+		}
+	}
+	cum += inf
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, fmtFloat(sum), name, total); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExposition pins the text format: HELP/TYPE headers, labeled and
+// unlabeled counters, gauges, and cumulative histogram buckets.
+func TestExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("widgets_total", "Widgets made.")
+	c.Add(3)
+	v := r.CounterVec("requests_total", "Requests by endpoint and code.", "endpoint", "code")
+	v.With("solve", "200").Add(2)
+	v.With("solve", "400").Inc()
+	v.With("cost", "200").Inc()
+	r.GaugeFunc("queue_depth", "Tasks waiting.", func() float64 { return 5 })
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(99)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP widgets_total Widgets made.\n# TYPE widgets_total counter\nwidgets_total 3\n",
+		"# TYPE requests_total counter",
+		`requests_total{endpoint="cost",code="200"} 1`,
+		`requests_total{endpoint="solve",code="200"} 2`,
+		`requests_total{endpoint="solve",code="400"} 1`,
+		"# TYPE queue_depth gauge\nqueue_depth 5\n",
+		`latency_seconds_bucket{le="0.1"} 1`,
+		`latency_seconds_bucket{le="1"} 2`,
+		`latency_seconds_bucket{le="10"} 2`,
+		`latency_seconds_bucket{le="+Inf"} 3`,
+		"latency_seconds_sum 99.55",
+		"latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestCounterConcurrency exercises the lock-free counter under parallel
+// increments (run with -race).
+func TestCounterConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n", "n")
+	v := r.CounterVec("m", "m", "l")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				v.With("x").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %v, want 8000", c.Value())
+	}
+	if v.With("x").Value() != 8000 {
+		t.Fatalf("vec counter = %v, want 8000", v.With("x").Value())
+	}
+}
+
+// TestDuplicateRegistrationPanics guards against silent metric collisions.
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "first")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup", "second")
+}

@@ -1,0 +1,132 @@
+// Package pool provides chipletd's bounded worker pool: a fixed set of
+// workers pulling from a bounded admission queue. The bound turns overload
+// into fast 503-style rejections instead of unbounded goroutine pileup, and
+// the fixed worker count keeps the number of concurrent thermal solves (each
+// CPU- and memory-hungry) at a level the host can sustain.
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by Do when the admission queue is at capacity.
+var ErrQueueFull = errors.New("pool: admission queue full")
+
+// ErrClosed is returned by Do after Shutdown has begun.
+var ErrClosed = errors.New("pool: shut down")
+
+// Task is one unit of work. It must honor ctx.
+type Task func(ctx context.Context) (any, error)
+
+type job struct {
+	ctx  context.Context
+	fn   Task
+	done chan result
+}
+
+type result struct {
+	val any
+	err error
+}
+
+// Pool is a bounded worker pool. Construct with New.
+type Pool struct {
+	queue   chan *job
+	running int32 // tasks currently executing
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup // workers
+}
+
+// New starts a pool of workers with an admission queue of queueDepth
+// pending tasks (minimums of 1 apply to both).
+func New(workers, queueDepth int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	p := &Pool{queue: make(chan *job, queueDepth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for j := range p.queue {
+		// A task whose submitter already gave up is skipped, not run: its
+		// result channel is buffered so the send never blocks.
+		if err := j.ctx.Err(); err != nil {
+			j.done <- result{err: err}
+			continue
+		}
+		atomic.AddInt32(&p.running, 1)
+		v, err := j.fn(j.ctx)
+		atomic.AddInt32(&p.running, -1)
+		j.done <- result{val: v, err: err}
+	}
+}
+
+// Do submits fn and waits for its result. Admission is non-blocking: when
+// the queue is full Do fails immediately with ErrQueueFull so the caller
+// can shed load (HTTP 503). While queued or running, ctx cancellation
+// unblocks the caller with ctx's error; the task itself receives ctx and is
+// expected to abort cooperatively.
+func (p *Pool) Do(ctx context.Context, fn Task) (any, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	j := &job{ctx: ctx, fn: fn, done: make(chan result, 1)}
+	select {
+	case p.queue <- j:
+		p.mu.Unlock()
+	default:
+		p.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	select {
+	case r := <-j.done:
+		return r.val, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// QueueDepth returns the number of tasks waiting for a worker.
+func (p *Pool) QueueDepth() int { return len(p.queue) }
+
+// Running returns the number of tasks currently executing.
+func (p *Pool) Running() int { return int(atomic.LoadInt32(&p.running)) }
+
+// Shutdown stops admission and waits for queued and running tasks to
+// drain, or for ctx to expire (in which case the remaining tasks keep
+// their own contexts and the error is returned).
+func (p *Pool) Shutdown(ctx context.Context) error {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	drained := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,109 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDoRunsTasks checks basic submission and result plumbing.
+func TestDoRunsTasks(t *testing.T) {
+	p := New(2, 4)
+	defer p.Shutdown(context.Background())
+	v, err := p.Do(context.Background(), func(ctx context.Context) (any, error) {
+		return 7, nil
+	})
+	if err != nil || v != 7 {
+		t.Fatalf("Do = (%v, %v), want (7, nil)", v, err)
+	}
+}
+
+// TestQueueFull verifies overload turns into immediate ErrQueueFull, not
+// blocking.
+func TestQueueFull(t *testing.T) {
+	p := New(1, 1)
+	defer p.Shutdown(context.Background())
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.Do(context.Background(), func(ctx context.Context) (any, error) {
+		close(started)
+		<-block
+		return nil, nil
+	})
+	<-started // worker busy
+	// Fill the single queue slot.
+	go p.Do(context.Background(), func(ctx context.Context) (any, error) { return nil, nil })
+	// Wait for the queue slot to be occupied.
+	for p.QueueDepth() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := p.Do(context.Background(), func(ctx context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overloaded Do = %v, want ErrQueueFull", err)
+	}
+	close(block)
+}
+
+// TestCtxUnblocksWaiter: a caller whose context expires while its task is
+// queued gets the context error, and the skipped task never runs.
+func TestCtxUnblocksWaiter(t *testing.T) {
+	p := New(1, 2)
+	defer p.Shutdown(context.Background())
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.Do(context.Background(), func(ctx context.Context) (any, error) {
+		close(started)
+		<-block
+		return nil, nil
+	})
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	var ran atomic.Bool
+	_, err := p.Do(ctx, func(ctx context.Context) (any, error) {
+		ran.Store(true)
+		return nil, nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued Do past deadline = %v, want DeadlineExceeded", err)
+	}
+	close(block)
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() {
+		t.Fatal("task with expired context was executed")
+	}
+}
+
+// TestShutdownDrains verifies graceful drain: queued work completes, then
+// new submissions are refused.
+func TestShutdownDrains(t *testing.T) {
+	p := New(2, 8)
+	var done int32
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Do(context.Background(), func(ctx context.Context) (any, error) {
+				time.Sleep(5 * time.Millisecond)
+				atomic.AddInt32(&done, 1)
+				return nil, nil
+			})
+		}()
+	}
+	time.Sleep(2 * time.Millisecond) // let (most) submissions land
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if _, err := p.Do(context.Background(), func(ctx context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Do after shutdown = %v, want ErrClosed", err)
+	}
+	if atomic.LoadInt32(&done) == 0 {
+		t.Fatal("no queued task survived the drain")
+	}
+}

@@ -1,0 +1,187 @@
+// Package serve implements chipletd, the long-lived HTTP/JSON serving
+// subsystem over the paper's models. Where the one-shot CLIs rebuild
+// thermal models and re-run solves per invocation, chipletd amortizes that
+// cost fleet-wide behind three reusable components:
+//
+//   - a content-addressed LRU result cache (internal/serve/cache) keyed by
+//     a canonical hash of the request — placement geometry snapped to the
+//     0.5 mm grid, DVFS point, active-core count, grid resolution — with
+//     singleflight deduplication so concurrent identical requests share one
+//     solve;
+//   - a bounded worker pool (internal/serve/pool) with an admission queue,
+//     per-request deadlines, cancellation that propagates into CG solver
+//     iterations and the greedy search loop, and graceful drain on SIGTERM;
+//   - an observability layer (internal/serve/metrics) exposed at
+//     GET /metrics in Prometheus text format, plus GET /healthz.
+//
+// Endpoints:
+//
+//	POST /v1/thermal/solve  floorplan + workload -> peak temperature/power
+//	POST /v1/org/search     benchmark, threshold, α/β -> best organization
+//	POST /v1/cost           Eqs. (1)-(4) manufacturing cost queries
+//	GET  /metrics           Prometheus text exposition
+//	GET  /healthz           liveness
+package serve
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"time"
+
+	"chiplet25d/internal/serve/cache"
+	"chiplet25d/internal/serve/metrics"
+	"chiplet25d/internal/serve/pool"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Addr is the listen address for Run.
+	Addr string
+	// Workers bounds concurrent solves.
+	Workers int
+	// QueueDepth bounds the admission queue; beyond it requests get 503.
+	QueueDepth int
+	// CacheCapacity bounds the result cache in entries.
+	CacheCapacity int
+	// RequestTimeout is the per-request deadline (504 when exceeded).
+	RequestTimeout time.Duration
+	// DrainTimeout bounds the graceful SIGTERM drain.
+	DrainTimeout time.Duration
+	// MaxGridN caps the requested thermal grid so one request cannot ask
+	// for an arbitrarily large model.
+	MaxGridN int
+}
+
+// DefaultOptions returns the production defaults.
+func DefaultOptions() Options {
+	return Options{
+		Addr:           ":8080",
+		Workers:        runtime.GOMAXPROCS(0),
+		QueueDepth:     64,
+		CacheCapacity:  512,
+		RequestTimeout: 60 * time.Second,
+		DrainTimeout:   30 * time.Second,
+		MaxGridN:       128,
+	}
+}
+
+// withDefaults fills zero fields from DefaultOptions.
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.Addr == "" {
+		o.Addr = d.Addr
+	}
+	if o.Workers <= 0 {
+		o.Workers = d.Workers
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = d.QueueDepth
+	}
+	if o.CacheCapacity <= 0 {
+		o.CacheCapacity = d.CacheCapacity
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = d.RequestTimeout
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = d.DrainTimeout
+	}
+	if o.MaxGridN <= 0 {
+		o.MaxGridN = d.MaxGridN
+	}
+	return o
+}
+
+// Server is the chipletd HTTP serving subsystem.
+type Server struct {
+	opts  Options
+	cache *cache.Cache
+	pool  *pool.Pool
+	reg   *metrics.Registry
+	mux   *http.ServeMux
+
+	requests     *metrics.CounterVec // endpoint, code
+	cacheHits    *metrics.CounterVec // endpoint
+	cacheMisses  *metrics.CounterVec // endpoint
+	solveLatency *metrics.Histogram
+	cgIterations *metrics.Counter
+	thermalSims  *metrics.Counter
+}
+
+// New assembles a server (not yet listening; use Run, or Handler with your
+// own http.Server).
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:  opts,
+		cache: cache.New(opts.CacheCapacity),
+		pool:  pool.New(opts.Workers, opts.QueueDepth),
+		reg:   metrics.NewRegistry(),
+		mux:   http.NewServeMux(),
+	}
+	s.requests = s.reg.CounterVec("chipletd_requests_total",
+		"HTTP requests by endpoint and status code.", "endpoint", "code")
+	s.cacheHits = s.reg.CounterVec("chipletd_cache_hits_total",
+		"Requests answered from the content-addressed result cache.", "endpoint")
+	s.cacheMisses = s.reg.CounterVec("chipletd_cache_misses_total",
+		"Requests that ran a fresh computation.", "endpoint")
+	s.solveLatency = s.reg.Histogram("chipletd_solve_latency_seconds",
+		"End-to-end latency of compute endpoints (cache hits included).",
+		[]float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60})
+	s.cgIterations = s.reg.Counter("chipletd_cg_iterations_total",
+		"Conjugate-gradient iterations spent in thermal solves.")
+	s.thermalSims = s.reg.Counter("chipletd_thermal_sims_total",
+		"Full leakage-coupled thermal simulations run.")
+	s.reg.GaugeFunc("chipletd_queue_depth",
+		"Tasks waiting in the worker-pool admission queue.",
+		func() float64 { return float64(s.pool.QueueDepth()) })
+	s.reg.GaugeFunc("chipletd_busy_workers",
+		"Worker-pool tasks currently executing.",
+		func() float64 { return float64(s.pool.Running()) })
+	s.reg.GaugeFunc("chipletd_cache_entries",
+		"Entries resident in the result cache.",
+		func() float64 { return float64(s.cache.Len()) })
+
+	s.mux.HandleFunc("POST /v1/thermal/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/org/search", s.handleSearch)
+	s.mux.HandleFunc("POST /v1/cost", s.handleCost)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the routed handler (httptest-friendly).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Run listens on Options.Addr until ctx is canceled (SIGTERM in cmd/
+// chipletd), then drains gracefully: the listener closes, in-flight
+// requests run to completion within DrainTimeout, and the worker pool shuts
+// down.
+func (s *Server) Run(ctx context.Context) error {
+	srv := &http.Server{Addr: s.opts.Addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.opts.DrainTimeout)
+	defer cancel()
+	err := srv.Shutdown(drainCtx)
+	if perr := s.pool.Shutdown(drainCtx); err == nil {
+		err = perr
+	}
+	return err
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write([]byte(`{"status":"ok"}` + "\n"))
+}

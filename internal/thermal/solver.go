@@ -1,6 +1,7 @@
 package thermal
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -103,6 +104,12 @@ func (m *Model) Solve(chipPower []float64) (*Result, error) {
 	return m.SolveWarm(chipPower, nil)
 }
 
+// SolveCtx is Solve with cooperative cancellation: the CG iteration checks
+// ctx periodically and aborts with ctx's error once it is done.
+func (m *Model) SolveCtx(ctx context.Context, chipPower []float64) (*Result, error) {
+	return m.SolveWarmCtx(ctx, chipPower, nil)
+}
+
 // SolveMulti solves with power injected into several package layers at
 // once — the 3D-stacking case, where more than one CMOS layer dissipates.
 // Keys are layer indices (bottom-up, as in the stack); values are
@@ -133,7 +140,7 @@ func (m *Model) SolveMulti(perLayer map[int][]float64) (*Result, error) {
 	for i := range x {
 		x[i] = m.cfg.AmbientC
 	}
-	iters, res, err := m.pcg(x, rhs)
+	iters, res, err := m.pcg(context.Background(), x, rhs)
 	if err != nil {
 		return nil, err
 	}
@@ -170,6 +177,14 @@ func (r *Result) PeakOverLayers(layers []int) (float64, error) {
 // SolveWarm is Solve with a warm start from a previous result for the same
 // model (pass nil for a cold start from ambient).
 func (m *Model) SolveWarm(chipPower []float64, prev *Result) (*Result, error) {
+	return m.SolveWarmCtx(context.Background(), chipPower, prev)
+}
+
+// SolveWarmCtx is SolveWarm with cooperative cancellation (see SolveCtx).
+func (m *Model) SolveWarmCtx(ctx context.Context, chipPower []float64, prev *Result) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("thermal: solve abandoned before starting: %w", err)
+	}
 	if len(chipPower) != m.nCells {
 		return nil, fmt.Errorf("thermal: power map has %d cells, model grid has %d", len(chipPower), m.nCells)
 	}
@@ -195,7 +210,7 @@ func (m *Model) SolveWarm(chipPower []float64, prev *Result) (*Result, error) {
 			x[i] = m.cfg.AmbientC
 		}
 	}
-	iters, res, err := m.pcg(x, rhs)
+	iters, res, err := m.pcg(ctx, x, rhs)
 	if err != nil {
 		return nil, err
 	}
@@ -215,8 +230,9 @@ func (m *Model) matvec(y, x []float64) {
 
 // pcg runs preconditioned conjugate gradients, overwriting x with the
 // solution of A·x = b. Returns iterations used and the final relative
-// residual.
-func (m *Model) pcg(x, b []float64) (int, float64, error) {
+// residual. ctx is checked every few iterations so long solves can be
+// abandoned (e.g. when an HTTP client disconnects).
+func (m *Model) pcg(ctx context.Context, x, b []float64) (int, float64, error) {
 	n := m.nNodes
 	r := make([]float64, n)
 	z := make([]float64, n)
@@ -240,6 +256,13 @@ func (m *Model) pcg(x, b []float64) (int, float64, error) {
 	copy(p, z)
 	rz := dot(r, z)
 	for it := 1; it <= m.cfg.MaxIterations; it++ {
+		if it&0x1f == 0 {
+			select {
+			case <-ctx.Done():
+				return it, math.NaN(), fmt.Errorf("thermal: solve abandoned after %d CG iterations: %w", it, ctx.Err())
+			default:
+			}
+		}
 		m.matvec(ap, p)
 		pap := dot(p, ap)
 		if pap <= 0 {

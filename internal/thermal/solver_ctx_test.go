@@ -1,0 +1,39 @@
+package thermal
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"chiplet25d/internal/floorplan"
+)
+
+// TestSolveCtxCanceled verifies the CG loop aborts with the context error
+// instead of running to convergence.
+func TestSolveCtxCanceled(t *testing.T) {
+	pl, err := floorplan.UniformGrid(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack, err := floorplan.BuildStack(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(stack, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pmap := make([]float64, m.Grid().NumCells())
+	for _, c := range pl.Chiplets {
+		m.Grid().RasterizeAdd(pmap, c, 25)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.SolveCtx(ctx, pmap); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveCtx with canceled context: got %v, want context.Canceled", err)
+	}
+	// The context-free path must be unaffected.
+	if _, err := m.Solve(pmap); err != nil {
+		t.Fatalf("Solve after canceled SolveCtx: %v", err)
+	}
+}

@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# ci.sh - the repository's full verification gate.
+#
+# Usage: scripts/ci.sh [-short]
+#   -short   pass -short to the race run (skips the slowest tests)
+#
+# Steps: gofmt (fails on any unformatted file), go vet, go build,
+# go test -race, and a smoke run of the chipletd cache benchmarks.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+short=""
+if [ "${1:-}" = "-short" ]; then
+    short="-short"
+fi
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race $short ./..."
+go test -race $short ./...
+
+echo "==> chipletd cache benchmarks (smoke)"
+go test -run '^$' -bench 'BenchmarkChipletdSolve' -benchtime 3x .
+
+echo "==> ci.sh: all green"
