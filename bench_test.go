@@ -13,8 +13,10 @@ package chiplet25d
 // thermal sims) alongside time/op.
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -23,6 +25,7 @@ import (
 	"chiplet25d/internal/expt"
 	"chiplet25d/internal/floorplan"
 	"chiplet25d/internal/noc"
+	"chiplet25d/internal/obs"
 	"chiplet25d/internal/org"
 	"chiplet25d/internal/perf"
 	"chiplet25d/internal/power"
@@ -444,6 +447,62 @@ func BenchmarkStacking(b *testing.B) {
 	runExperiment(b, "stacking", benchOptions())
 }
 
+// benchSolve runs the leakage-coupled solve loop that dominates every
+// serving request, optionally under a span trace, so the pair below bounds
+// the tracer's overhead on the hot path (spans are created inside every CG
+// solve of every leakage iteration).
+func benchSolve(b *testing.B, traced bool) {
+	b.Helper()
+	bench, err := perf.ByName("cholesky")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := floorplan.UniformGrid(4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stack, err := floorplan.BuildStack(pl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tc := thermal.DefaultConfig()
+	tc.Nx, tc.Ny = 32, 32
+	m, err := thermal.NewModel(stack, tc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cores, err := pl.Cores()
+	if err != nil {
+		b.Fatal(err)
+	}
+	active, err := power.MintempActive(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := power.Workload{RefCoreW: bench.RefCoreW, Op: power.NominalPoint,
+		Active: active, NoCW: 8, Leakage: power.DefaultLeakage()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := context.Background()
+		if traced {
+			ctx = obs.WithTrace(ctx, obs.NewTrace("bench", "bench"))
+		}
+		if _, err := power.SimulateCtx(ctx, m, cores, w, power.DefaultSimOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveUntraced is the baseline for the tracer-overhead guard in
+// scripts/ci.sh: the same solve as BenchmarkSolveTraced on an untraced
+// context, where Start returns nil spans.
+func BenchmarkSolveUntraced(b *testing.B) { benchSolve(b, false) }
+
+// BenchmarkSolveTraced measures the solve with a live trace attached, the
+// way chipletd runs it. CI fails if this regresses more than a few percent
+// over BenchmarkSolveUntraced.
+func BenchmarkSolveTraced(b *testing.B) { benchSolve(b, true) }
+
 // --- chipletd serving-path benchmarks ---
 
 // chipletdSolve posts one solve request through the full HTTP stack and
@@ -468,7 +527,8 @@ func chipletdBody(cores int) string {
 // key sequence, so each request runs a fresh leakage-coupled simulation.
 func BenchmarkChipletdSolveCacheMiss(b *testing.B) {
 	opts := serve.DefaultOptions()
-	opts.CacheCapacity = 1 // alternating keys below can never hit
+	opts.CacheCapacity = 1                                       // alternating keys below can never hit
+	opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil)) // keep bench output readable
 	s := serve.New(opts)
 	h := s.Handler()
 	b.ResetTimer()
@@ -481,7 +541,9 @@ func BenchmarkChipletdSolveCacheMiss(b *testing.B) {
 // the content-addressed cache, then every iteration is answered from it.
 // The acceptance bar is >= 10x faster than BenchmarkChipletdSolveCacheMiss.
 func BenchmarkChipletdSolveCacheHit(b *testing.B) {
-	s := serve.New(serve.DefaultOptions())
+	opts := serve.DefaultOptions()
+	opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil)) // keep bench output readable
+	s := serve.New(opts)
 	h := s.Handler()
 	body := chipletdBody(floorplan.NumCores)
 	chipletdSolve(b, h, body) // seed the cache

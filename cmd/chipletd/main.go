@@ -1,31 +1,62 @@
 // Command chipletd serves the paper's models over HTTP/JSON: thermal
 // solves, organization searches, and cost queries, with a content-addressed
-// result cache, a bounded worker pool, and Prometheus metrics. See
-// internal/serve for the endpoint reference.
+// result cache, a bounded worker pool, request-scoped span traces, and
+// Prometheus metrics. See internal/serve for the endpoint reference.
 //
 // Usage:
 //
 //	chipletd [-addr :8080] [-workers N] [-queue N] [-cache N]
 //	         [-timeout 60s] [-grid-max 128] [-config file.json]
+//	         [-log-format text|json] [-log-level info] [-pprof]
+//	         [-trace-ring 64] [-slow-trace 2s]
 //
-// Flags override the optional "server" section of -config. SIGINT/SIGTERM
-// triggers a graceful drain: the listener closes and in-flight solves run
-// to completion before exit.
+// Flags override the optional "server" section of -config. Logs are
+// structured (log/slog); -log-format json emits one JSON object per line,
+// including a "listening" record carrying the bound address so ":0" runs
+// are scriptable. SIGINT/SIGTERM triggers a graceful drain: the listener
+// closes and in-flight solves run to completion before exit.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"chiplet25d/internal/config"
 	"chiplet25d/internal/serve"
 )
+
+// buildLogger assembles the daemon logger from the format/level settings.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", level)
+	}
+	ho := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, ho)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, ho)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+	}
+}
 
 func main() {
 	var (
@@ -36,15 +67,25 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "per-request deadline (default 60s)")
 		gridMax    = flag.Int("grid-max", 0, "largest thermal grid a request may ask for (default 128)")
 		configPath = flag.String("config", "", "JSON config file with an optional \"server\" section")
+		logFormat  = flag.String("log-format", "", "log encoding: text or json (default text)")
+		logLevel   = flag.String("log-level", "", "minimum log level: debug, info, warn, error (default info)")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		traceRing  = flag.Int("trace-ring", 0, "flight-recorder capacity in traces (default 64)")
+		slowTrace  = flag.Duration("slow-trace", 0, "also retain traces at least this slow (default 2s)")
 	)
 	flag.Parse()
 
+	fatal := func(err error) {
+		fmt.Fprintf(os.Stderr, "chipletd: %v\n", err)
+		os.Exit(1)
+	}
+
 	opts := serve.DefaultOptions()
+	format, level := "", ""
 	if *configPath != "" {
 		sc, err := config.LoadServerFile(*configPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "chipletd: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		if sc.Addr != "" {
 			opts.Addr = sc.Addr
@@ -61,6 +102,16 @@ func main() {
 		if sc.RequestTimeoutSec != nil {
 			opts.RequestTimeout = time.Duration(*sc.RequestTimeoutSec * float64(time.Second))
 		}
+		if sc.Pprof != nil {
+			opts.EnablePprof = *sc.Pprof
+		}
+		if sc.TraceRing != nil {
+			opts.TraceRingSize = *sc.TraceRing
+		}
+		if sc.SlowTraceMS != nil {
+			opts.SlowTraceThreshold = time.Duration(*sc.SlowTraceMS * float64(time.Millisecond))
+		}
+		format, level = sc.LogFormat, sc.LogLevel
 	}
 	if *addr != "" {
 		opts.Addr = *addr
@@ -80,15 +131,38 @@ func main() {
 	if *gridMax > 0 {
 		opts.MaxGridN = *gridMax
 	}
+	if *pprofOn {
+		opts.EnablePprof = true
+	}
+	if *traceRing > 0 {
+		opts.TraceRingSize = *traceRing
+	}
+	if *slowTrace > 0 {
+		opts.SlowTraceThreshold = *slowTrace
+	}
+	if *logFormat != "" {
+		format = *logFormat
+	}
+	if *logLevel != "" {
+		level = *logLevel
+	}
+
+	logger, err := buildLogger(format, level)
+	if err != nil {
+		fatal(err)
+	}
+	// Components that log without a request context (and anything else in
+	// the process using slog) share the daemon handler.
+	slog.SetDefault(logger)
+	opts.Logger = logger
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	s := serve.New(opts)
-	log.Printf("chipletd: listening on %s (workers=%d queue=%d cache=%d timeout=%s)",
-		opts.Addr, opts.Workers, opts.QueueDepth, opts.CacheCapacity, opts.RequestTimeout)
 	if err := s.Run(ctx); err != nil {
-		log.Fatalf("chipletd: %v", err)
+		logger.Error("chipletd exiting", "error", err.Error())
+		os.Exit(1)
 	}
-	log.Printf("chipletd: drained, bye")
+	logger.Info("chipletd: drained, bye")
 }

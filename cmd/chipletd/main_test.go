@@ -1,0 +1,230 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDaemonSmoke is the end-to-end daemon check the CI script leans on: it
+// builds the real binary, starts it on an ephemeral port with JSON logs,
+// discovers the bound address from the "listening" log record, exercises a
+// traced solve plus every observability endpoint, and verifies a clean
+// SIGTERM drain.
+func TestDaemonSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon smoke test builds and runs the binary; skipped with -short")
+	}
+
+	bin := filepath.Join(t.TempDir(), "chipletd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-workers", "2",
+		"-log-format", "json",
+		"-slow-trace", "1ms", // everything lands in the slow ring too
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	}()
+
+	// Every stderr line must be a JSON object (that's the -log-format json
+	// contract); the "listening" record carries the bound address.
+	addrCh := make(chan string, 1)
+	logDone := make(chan []string, 1)
+	go func() {
+		var lines []string
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			lines = append(lines, line)
+			var rec map[string]any
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				continue
+			}
+			if rec["msg"] == "listening" {
+				if a, ok := rec["addr"].(string); ok {
+					select {
+					case addrCh <- a:
+					default:
+					}
+				}
+			}
+		}
+		logDone <- lines
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never logged a listening record")
+	}
+	base := "http://" + addr
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+
+	// Traced solve: span tree inline, request ID echoed.
+	body := `{"placement": {"chiplets": 4, "s3_mm": 1}, "benchmark": "cholesky",
+	          "freq_mhz": 533, "cores": 128, "grid_n": 8}`
+	resp, err := http.Post(base+"/v1/thermal/solve?trace=1", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	solveBytes, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve = %d: %s", resp.StatusCode, solveBytes)
+	}
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Error("solve response missing X-Request-Id")
+	}
+	var solve struct {
+		PeakC float64 `json:"peak_c"`
+		Trace *struct {
+			RequestID string `json:"request_id"`
+		} `json:"trace"`
+	}
+	if err := json.Unmarshal(solveBytes, &solve); err != nil {
+		t.Fatalf("solve response: %v\n%s", err, solveBytes)
+	}
+	if solve.PeakC <= 0 {
+		t.Errorf("peak_c = %g", solve.PeakC)
+	}
+	if solve.Trace == nil || solve.Trace.RequestID != resp.Header.Get("X-Request-Id") {
+		t.Errorf("trace missing or id mismatch: %+v", solve.Trace)
+	}
+	for _, span := range []string{"cache.lookup", "pool.queue_wait", "thermal.cg", "power.leakage_loop"} {
+		if !bytes.Contains(solveBytes, []byte(fmt.Sprintf("%q", span))) {
+			t.Errorf("solve trace missing span %q", span)
+		}
+	}
+
+	// Healthz: JSON with build info and uptime.
+	code, hb := get("/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	var hz map[string]any
+	if err := json.Unmarshal(hb, &hz); err != nil || hz["status"] != "ok" {
+		t.Fatalf("healthz body: %s", hb)
+	}
+	for _, k := range []string{"version", "revision", "go_version", "uptime_seconds"} {
+		if _, ok := hz[k]; !ok {
+			t.Errorf("healthz missing %q: %s", k, hb)
+		}
+	}
+
+	// Metrics: the new observability families are exposed.
+	code, mb := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+	for _, want := range []string{
+		"chipletd_cg_iterations_bucket",
+		"chipletd_leakage_iterations_bucket",
+		"chipletd_stage_duration_seconds_bucket",
+		"chipletd_build_info{",
+		"chipletd_inflight_requests{",
+	} {
+		if !bytes.Contains(mb, []byte(want)) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Flight recorder: the solve's trace is retrievable.
+	code, db := get("/debug/solves")
+	if code != http.StatusOK {
+		t.Fatalf("debug/solves = %d", code)
+	}
+	var dbg struct {
+		Recent []json.RawMessage `json:"recent"`
+		Slow   []json.RawMessage `json:"slow"`
+	}
+	if err := json.Unmarshal(db, &dbg); err != nil {
+		t.Fatalf("debug/solves body: %v", err)
+	}
+	if len(dbg.Recent) == 0 {
+		t.Error("debug/solves recent is empty after a solve")
+	}
+	if len(dbg.Slow) == 0 {
+		t.Error("debug/solves slow is empty despite -slow-trace 1ms")
+	}
+
+	// pprof stays off without -pprof.
+	if code, _ := get("/debug/pprof/"); code != http.StatusNotFound {
+		t.Errorf("pprof should be 404 when disabled, got %d", code)
+	}
+
+	// Clean SIGTERM drain. The stderr scanner must reach EOF before
+	// cmd.Wait (Wait closes the pipe and would race the final log lines).
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	select {
+	case lines = <-logDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not close its log stream within 30s of SIGTERM")
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exited uncleanly after SIGTERM: %v", err)
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{`"msg":"draining"`, `"msg":"drained"`, `"clean":true`} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("daemon logs missing %s:\n%s", want, joined)
+		}
+	}
+	// Request logs are structured and carry the request id.
+	if !strings.Contains(joined, `"msg":"request"`) || !strings.Contains(joined, `"request_id"`) {
+		t.Errorf("daemon logs missing structured request record:\n%s", joined)
+	}
+}
+
+// TestBuildLogger covers the format/level matrix and rejection of unknowns.
+func TestBuildLogger(t *testing.T) {
+	for _, ok := range []struct{ format, level string }{
+		{"", ""}, {"text", "debug"}, {"json", "warn"}, {"JSON", "ERROR"},
+	} {
+		if _, err := buildLogger(ok.format, ok.level); err != nil {
+			t.Errorf("buildLogger(%q, %q): %v", ok.format, ok.level, err)
+		}
+	}
+	if _, err := buildLogger("xml", ""); err == nil {
+		t.Error("buildLogger accepted format xml")
+	}
+	if _, err := buildLogger("", "loud"); err == nil {
+		t.Error("buildLogger accepted level loud")
+	}
+}

@@ -69,6 +69,19 @@ type Server struct {
 	CacheCapacity *int `json:"cache_capacity,omitempty"`
 	// RequestTimeoutSec is the per-request deadline in seconds (default 60).
 	RequestTimeoutSec *float64 `json:"request_timeout_sec,omitempty"`
+	// LogFormat selects the structured log encoding, "text" or "json"
+	// (default "text").
+	LogFormat string `json:"log_format,omitempty"`
+	// LogLevel is the minimum log level: "debug", "info", "warn", or
+	// "error" (default "info").
+	LogLevel string `json:"log_level,omitempty"`
+	// Pprof mounts net/http/pprof under /debug/pprof/ (default off).
+	Pprof *bool `json:"pprof,omitempty"`
+	// TraceRing is the flight-recorder capacity in traces (default 64).
+	TraceRing *int `json:"trace_ring,omitempty"`
+	// SlowTraceMS also retains request traces at least this slow (in
+	// milliseconds) in the recorder's slow ring (default 2000).
+	SlowTraceMS *float64 `json:"slow_trace_ms,omitempty"`
 }
 
 // LoadServer parses JSON from r and returns the server section (zero value

@@ -1,0 +1,103 @@
+// Package obs is chipletd's dependency-free, request-scoped observability
+// layer: a lightweight span tracer carried via context.Context, a flight
+// recorder holding the last N completed request traces, and context plumbing
+// for request IDs and request-scoped structured loggers.
+//
+// Everything is nil-safe by design: code deep in the solve path (thermal CG
+// iterations, the leakage fixed point, the greedy search) calls Start
+// unconditionally; when the context carries no trace — library callers, the
+// one-shot CLIs, benchmarks of the untraced path — Start returns a nil
+// *Span whose methods are no-ops, so instrumentation costs one context
+// lookup and nothing else.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+)
+
+type ctxKey int
+
+const (
+	traceKey ctxKey = iota
+	spanKey
+	requestIDKey
+	loggerKey
+)
+
+// NewRequestID returns a fresh 16-hex-character request identifier.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a fixed fallback
+		// keeps the daemon serving rather than panicking.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithRequestID stores a request identifier in the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID returns the context's request identifier, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// WithLogger stores a request-scoped structured logger in the context.
+func WithLogger(ctx context.Context, lg *slog.Logger) context.Context {
+	return context.WithValue(ctx, loggerKey, lg)
+}
+
+// Logger returns the context's request-scoped logger, falling back to
+// slog.Default so components (pool, cache) can log unconditionally.
+func Logger(ctx context.Context) *slog.Logger {
+	if lg, ok := ctx.Value(loggerKey).(*slog.Logger); ok && lg != nil {
+		return lg
+	}
+	return slog.Default()
+}
+
+// WithTrace stores a trace in the context; spans started from the returned
+// context attach to it.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	return context.WithValue(ctx, traceKey, tr)
+}
+
+// TraceFrom returns the context's trace, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceKey).(*Trace)
+	return tr
+}
+
+// spanFrom returns the context's current span, or nil.
+func spanFrom(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey).(*Span)
+	return sp
+}
+
+// Reattach copies the observability values (trace, current span, request
+// ID, logger) from src into base. chipletd's cache deliberately runs
+// computations on a context detached from the first caller's request (the
+// computation's lifetime is refcounted across all waiters); Reattach lets
+// the leader's closure restore tracing across that boundary.
+func Reattach(base, src context.Context) context.Context {
+	if tr := TraceFrom(src); tr != nil {
+		base = WithTrace(base, tr)
+	}
+	if sp := spanFrom(src); sp != nil {
+		base = context.WithValue(base, spanKey, sp)
+	}
+	if id := RequestID(src); id != "" {
+		base = WithRequestID(base, id)
+	}
+	if lg, ok := src.Value(loggerKey).(*slog.Logger); ok && lg != nil {
+		base = WithLogger(base, lg)
+	}
+	return base
+}

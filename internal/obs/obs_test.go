@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestUntracedNoop: instrumented code on a bare context must see nil spans
+// and pay no further cost; nil receivers must not panic.
+func TestUntracedNoop(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := Start(ctx, "anything")
+	if sp != nil {
+		t.Fatal("Start on an untraced context returned a non-nil span")
+	}
+	if ctx2 != ctx {
+		t.Error("Start on an untraced context should return ctx unchanged")
+	}
+	sp.SetAttr("k", 1) // must not panic
+	sp.End()
+	AddSpan(ctx, "retro", time.Now(), time.Millisecond)
+	if TraceFrom(ctx) != nil || RequestID(ctx) != "" {
+		t.Error("bare context unexpectedly carries observability values")
+	}
+	if Logger(ctx) == nil {
+		t.Error("Logger must fall back to slog.Default")
+	}
+}
+
+func TestSpanTreeAssembly(t *testing.T) {
+	tr := NewTrace("req-1", "thermal_solve")
+	ctx := WithTrace(context.Background(), tr)
+
+	ctx1, root := Start(ctx, "solve")
+	ctx2, child := Start(ctx1, "thermal.cg")
+	child.SetAttr("iterations", 42)
+	child.End()
+	_, child2 := Start(ctx1, "power.leakage_loop")
+	child2.End()
+	_, grand := Start(ctx2, "never-tree") // parented under ended child: still valid
+	_ = grand
+	root.End()
+	tr.SetAttr("cache", "miss")
+	tr.Finish()
+
+	js := tr.Snapshot()
+	if js.RequestID != "req-1" || js.Route != "thermal_solve" {
+		t.Fatalf("trace identity = %q/%q", js.RequestID, js.Route)
+	}
+	if js.Attrs["cache"] != "miss" {
+		t.Errorf("trace attrs = %v", js.Attrs)
+	}
+	if len(js.Spans) != 1 || js.Spans[0].Name != "solve" {
+		t.Fatalf("roots = %+v, want single 'solve'", js.Spans)
+	}
+	kids := js.Spans[0].Children
+	if len(kids) != 2 || kids[0].Name != "thermal.cg" || kids[1].Name != "power.leakage_loop" {
+		t.Fatalf("children = %+v", kids)
+	}
+	if got := kids[0].Attrs["iterations"]; got != 42 {
+		t.Errorf("iterations attr = %v, want 42", got)
+	}
+	if len(kids[0].Children) != 1 {
+		t.Errorf("grandchild missing under thermal.cg: %+v", kids[0])
+	}
+	if js.InProgress {
+		t.Error("finished trace marked in progress")
+	}
+}
+
+// TestConcurrentChildSpans hammers one trace from many goroutines (the
+// exhaustive-scan worker shape); run under -race. The tree must contain
+// every span exactly once with correct parents.
+func TestConcurrentChildSpans(t *testing.T) {
+	tr := NewTrace("req-c", "org_search")
+	ctx := WithTrace(context.Background(), tr)
+	ctx, root := Start(ctx, "search")
+
+	const workers, perWorker = 8, 20
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				wctx, sp := Start(ctx, fmt.Sprintf("sim-%d", w))
+				sp.SetAttr("i", i)
+				_, inner := Start(wctx, "thermal.cg")
+				inner.SetAttr("iterations", i)
+				inner.End()
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	tr.Finish()
+
+	js := tr.Snapshot()
+	if len(js.Spans) != 1 {
+		t.Fatalf("roots = %d, want 1", len(js.Spans))
+	}
+	sims := js.Spans[0].Children
+	if len(sims) != workers*perWorker {
+		t.Fatalf("sim spans = %d, want %d", len(sims), workers*perWorker)
+	}
+	for _, sim := range sims {
+		if len(sim.Children) != 1 || sim.Children[0].Name != "thermal.cg" {
+			t.Fatalf("sim %q children = %+v, want one thermal.cg", sim.Name, sim.Children)
+		}
+		if sim.InProgress {
+			t.Errorf("sim %q still in progress", sim.Name)
+		}
+	}
+}
+
+// TestSpanCap: a runaway search must saturate at the cap, not grow the
+// trace unboundedly; drops are counted.
+func TestSpanCap(t *testing.T) {
+	tr := NewTrace("req-cap", "org_search")
+	ctx := WithTrace(context.Background(), tr)
+	for i := 0; i < maxSpansPerTrace+100; i++ {
+		_, sp := Start(ctx, "s")
+		sp.End()
+	}
+	AddSpan(ctx, "late", time.Now(), time.Millisecond)
+	js := tr.Snapshot()
+	if len(js.Spans) != maxSpansPerTrace {
+		t.Errorf("spans = %d, want cap %d", len(js.Spans), maxSpansPerTrace)
+	}
+	if js.SpansDropped != 101 {
+		t.Errorf("dropped = %d, want 101", js.SpansDropped)
+	}
+}
+
+// TestSnapshotWhileRunning: the ?trace=1 path snapshots before Finish.
+func TestSnapshotWhileRunning(t *testing.T) {
+	tr := NewTrace("req-r", "thermal_solve")
+	ctx := WithTrace(context.Background(), tr)
+	_, sp := Start(ctx, "open")
+	js := tr.Snapshot()
+	if !js.InProgress {
+		t.Error("unfinished trace not marked in progress")
+	}
+	if len(js.Spans) != 1 || !js.Spans[0].InProgress {
+		t.Errorf("open span not marked in progress: %+v", js.Spans)
+	}
+	if js.Spans[0].DurationMS < 0 {
+		t.Errorf("negative duration %g", js.Spans[0].DurationMS)
+	}
+	sp.End()
+}
+
+func TestAddSpanRetroactive(t *testing.T) {
+	tr := NewTrace("req-q", "thermal_solve")
+	ctx := WithTrace(context.Background(), tr)
+	ctx, root := Start(ctx, "solve")
+	start := time.Now().Add(-50 * time.Millisecond)
+	AddSpan(ctx, "pool.queue_wait", start, 50*time.Millisecond, Attr{"queue_depth", 3})
+	root.End()
+	js := tr.Snapshot()
+	kids := js.Spans[0].Children
+	if len(kids) != 1 || kids[0].Name != "pool.queue_wait" {
+		t.Fatalf("children = %+v", kids)
+	}
+	if d := kids[0].DurationMS; d < 49 || d > 51 {
+		t.Errorf("retroactive duration = %g ms, want ~50", d)
+	}
+	if kids[0].Attrs["queue_depth"] != 3 {
+		t.Errorf("attrs = %v", kids[0].Attrs)
+	}
+	if kids[0].InProgress {
+		t.Error("retroactive span marked in progress")
+	}
+}
+
+func TestWalk(t *testing.T) {
+	tr := NewTrace("w", "r")
+	ctx := WithTrace(context.Background(), tr)
+	ctx, a := Start(ctx, "a")
+	_, b := Start(ctx, "b")
+	b.End()
+	a.End()
+	var names []string
+	tr.Snapshot().Walk(func(sp *SpanJSON) { names = append(names, sp.Name) })
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("walk order = %v", names)
+	}
+}
+
+func TestReattach(t *testing.T) {
+	tr := NewTrace("req-x", "r")
+	src := WithTrace(context.Background(), tr)
+	src = WithRequestID(src, "req-x")
+	src, sp := Start(src, "outer")
+	dst := Reattach(context.Background(), src)
+	if TraceFrom(dst) != tr || RequestID(dst) != "req-x" {
+		t.Fatal("Reattach lost trace or request id")
+	}
+	_, child := Start(dst, "inner")
+	child.End()
+	sp.End()
+	js := tr.Snapshot()
+	if len(js.Spans) != 1 || len(js.Spans[0].Children) != 1 {
+		t.Fatalf("inner span not parented under outer: %+v", js.Spans)
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || a == b {
+		t.Errorf("request ids %q, %q: want 16 hex chars, distinct", a, b)
+	}
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Recorder is the flight recorder: a fixed-size ring of the most recent
+// completed request traces, plus a second ring that retains only the
+// requests slower than a threshold so an occasional pathological solve is
+// still inspectable after the recent ring has cycled past it.
+type Recorder struct {
+	mu            sync.Mutex
+	recent        ring
+	slow          ring
+	slowThreshold time.Duration
+}
+
+// NewRecorder returns a recorder keeping the last n traces (and the last n
+// slow ones). n < 1 is treated as 1.
+func NewRecorder(n int, slowThreshold time.Duration) *Recorder {
+	if n < 1 {
+		n = 1
+	}
+	return &Recorder{
+		recent:        ring{buf: make([]*TraceJSON, n)},
+		slow:          ring{buf: make([]*TraceJSON, n)},
+		slowThreshold: slowThreshold,
+	}
+}
+
+// SlowThreshold returns the slow-trace retention threshold.
+func (r *Recorder) SlowThreshold() time.Duration { return r.slowThreshold }
+
+// Record adds a completed trace.
+func (r *Recorder) Record(t *TraceJSON) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recent.push(t)
+	if r.slowThreshold > 0 && t.DurationMS >= float64(r.slowThreshold)/float64(time.Millisecond) {
+		r.slow.push(t)
+	}
+}
+
+// Recent returns the retained traces, newest first.
+func (r *Recorder) Recent() []*TraceJSON {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.recent.newestFirst()
+}
+
+// Slow returns the retained slow traces, newest first.
+func (r *Recorder) Slow() []*TraceJSON {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.slow.newestFirst()
+}
+
+// ring is a fixed-capacity overwrite-oldest buffer.
+type ring struct {
+	buf  []*TraceJSON
+	next int // index the next push writes to
+	full bool
+}
+
+func (g *ring) push(t *TraceJSON) {
+	g.buf[g.next] = t
+	g.next++
+	if g.next == len(g.buf) {
+		g.next = 0
+		g.full = true
+	}
+}
+
+func (g *ring) newestFirst() []*TraceJSON {
+	n := g.next
+	if g.full {
+		n = len(g.buf)
+	}
+	out := make([]*TraceJSON, 0, n)
+	for i := 0; i < n; i++ {
+		idx := g.next - 1 - i
+		if idx < 0 {
+			idx += len(g.buf)
+		}
+		out = append(out, g.buf[idx])
+	}
+	return out
+}

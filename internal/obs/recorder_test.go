@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func mkTrace(id string, durMS float64) *TraceJSON {
+	return &TraceJSON{RequestID: id, Route: "thermal_solve", DurationMS: durMS}
+}
+
+// TestRecorderEvictionOrder fills the ring past capacity and asserts the
+// oldest entries are evicted and the snapshot is newest-first.
+func TestRecorderEvictionOrder(t *testing.T) {
+	r := NewRecorder(3, 0)
+	for i := 0; i < 5; i++ {
+		r.Record(mkTrace(fmt.Sprintf("req-%d", i), 1))
+	}
+	got := r.Recent()
+	if len(got) != 3 {
+		t.Fatalf("recent len = %d, want 3", len(got))
+	}
+	for i, want := range []string{"req-4", "req-3", "req-2"} {
+		if got[i].RequestID != want {
+			t.Errorf("recent[%d] = %s, want %s (newest first, oldest evicted)", i, got[i].RequestID, want)
+		}
+	}
+}
+
+func TestRecorderPartialFill(t *testing.T) {
+	r := NewRecorder(4, 0)
+	r.Record(mkTrace("a", 1))
+	r.Record(mkTrace("b", 1))
+	got := r.Recent()
+	if len(got) != 2 || got[0].RequestID != "b" || got[1].RequestID != "a" {
+		t.Fatalf("partial ring = %v", got)
+	}
+	if n := len(r.Slow()); n != 0 {
+		t.Errorf("slow ring has %d entries with threshold 0 (disabled)", n)
+	}
+}
+
+// TestRecorderSlowRetention: slow traces survive the recent ring cycling.
+func TestRecorderSlowRetention(t *testing.T) {
+	r := NewRecorder(2, 100*time.Millisecond)
+	r.Record(mkTrace("slow-1", 250))
+	for i := 0; i < 10; i++ {
+		r.Record(mkTrace(fmt.Sprintf("fast-%d", i), 1))
+	}
+	recent := r.Recent()
+	for _, tr := range recent {
+		if tr.RequestID == "slow-1" {
+			t.Error("slow-1 should have cycled out of the recent ring")
+		}
+	}
+	slow := r.Slow()
+	if len(slow) != 1 || slow[0].RequestID != "slow-1" {
+		t.Fatalf("slow ring = %v, want [slow-1]", slow)
+	}
+}
+
+func TestRecorderMinCapacity(t *testing.T) {
+	r := NewRecorder(0, 0)
+	r.Record(mkTrace("a", 1))
+	r.Record(mkTrace("b", 1))
+	got := r.Recent()
+	if len(got) != 1 || got[0].RequestID != "b" {
+		t.Fatalf("capacity-clamped ring = %v, want [b]", got)
+	}
+}

@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// maxSpansPerTrace bounds one request's span count so a huge organization
+// search cannot balloon the flight recorder; spans beyond the cap are
+// dropped and counted.
+const maxSpansPerTrace = 2048
+
+// Attr is one span attribute.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Span is one timed operation inside a trace. A nil *Span is a valid no-op
+// receiver, which is what Start returns on an untraced context.
+type Span struct {
+	tr     *Trace
+	id     int
+	parent int // parent span id, -1 for roots
+	name   string
+	start  time.Time
+	end    time.Time // zero while in progress
+	attrs  []Attr
+}
+
+// SetAttr records an attribute on the span (no-op on nil).
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.attrs = append(s.attrs, Attr{key, value})
+	s.tr.mu.Unlock()
+}
+
+// End marks the span complete (no-op on nil; later Ends are ignored).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.tr.mu.Unlock()
+}
+
+// Trace collects the spans of one request. Spans may be started and ended
+// concurrently from multiple goroutines (the exhaustive-scan workers do);
+// all mutation is serialized on one mutex.
+type Trace struct {
+	ID    string // request ID
+	Route string
+
+	mu      sync.Mutex
+	begin   time.Time
+	finish  time.Time // zero while the request is in flight
+	spans   []*Span
+	attrs   []Attr
+	dropped int
+}
+
+// NewTrace starts a trace for one request.
+func NewTrace(id, route string) *Trace {
+	return &Trace{ID: id, Route: route, begin: time.Now()}
+}
+
+// SetAttr records a request-level attribute (cache outcome, status code).
+func (t *Trace) SetAttr(key string, value any) {
+	t.mu.Lock()
+	t.attrs = append(t.attrs, Attr{key, value})
+	t.mu.Unlock()
+}
+
+// Finish marks the request complete and returns its total duration.
+func (t *Trace) Finish() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.finish.IsZero() {
+		t.finish = time.Now()
+	}
+	return t.finish.Sub(t.begin)
+}
+
+// newSpan allocates a span; nil when the trace is at its span cap.
+func (t *Trace) newSpan(name string, parent int, start time.Time) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) >= maxSpansPerTrace {
+		t.dropped++
+		return nil
+	}
+	sp := &Span{tr: t, id: len(t.spans), parent: parent, name: name, start: start}
+	t.spans = append(t.spans, sp)
+	return sp
+}
+
+// Start begins a span named name under the context's current span (or at
+// the trace root) and returns a context carrying the new span for child
+// parenting. On an untraced context it returns ctx unchanged and a nil
+// span; every Span method tolerates nil, so call sites need no guard.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	tr := TraceFrom(ctx)
+	if tr == nil {
+		return ctx, nil
+	}
+	parent := -1
+	if ps := spanFrom(ctx); ps != nil {
+		parent = ps.id
+	}
+	sp := tr.newSpan(name, parent, time.Now())
+	if sp == nil {
+		return ctx, nil
+	}
+	return context.WithValue(ctx, spanKey, sp), sp
+}
+
+// AddSpan records an already-completed span (e.g. a queue wait measured
+// retroactively once the task starts executing) under the context's current
+// span. No-op on an untraced context.
+func AddSpan(ctx context.Context, name string, start time.Time, d time.Duration, attrs ...Attr) {
+	tr := TraceFrom(ctx)
+	if tr == nil {
+		return
+	}
+	parent := -1
+	if ps := spanFrom(ctx); ps != nil {
+		parent = ps.id
+	}
+	sp := tr.newSpan(name, parent, start)
+	if sp == nil {
+		return
+	}
+	tr.mu.Lock()
+	sp.end = start.Add(d)
+	sp.attrs = append(sp.attrs, attrs...)
+	tr.mu.Unlock()
+}
+
+// SpanJSON is one node of the serialized span tree. Times are offsets from
+// the trace start in milliseconds.
+type SpanJSON struct {
+	Name       string         `json:"name"`
+	StartMS    float64        `json:"start_ms"`
+	DurationMS float64        `json:"duration_ms"`
+	InProgress bool           `json:"in_progress,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []*SpanJSON    `json:"children,omitempty"`
+}
+
+// TraceJSON is the serialized form of one request trace: the flight
+// recorder entry and the ?trace=1 response payload.
+type TraceJSON struct {
+	RequestID    string         `json:"request_id"`
+	Route        string         `json:"route"`
+	Start        time.Time      `json:"start"`
+	DurationMS   float64        `json:"duration_ms"`
+	InProgress   bool           `json:"in_progress,omitempty"`
+	SpansDropped int            `json:"spans_dropped,omitempty"`
+	Attrs        map[string]any `json:"attrs,omitempty"`
+	Spans        []*SpanJSON    `json:"spans"`
+}
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// Snapshot assembles the span tree. It is safe to call while spans are
+// still being produced (the ?trace=1 path snapshots before the root span's
+// HTTP write completes); in-progress spans are marked and measured up to
+// now.
+func (t *Trace) Snapshot() *TraceJSON {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	end := t.finish
+	if end.IsZero() {
+		end = now
+	}
+	out := &TraceJSON{
+		RequestID:    t.ID,
+		Route:        t.Route,
+		Start:        t.begin,
+		DurationMS:   float64(end.Sub(t.begin)) / float64(time.Millisecond),
+		InProgress:   t.finish.IsZero(),
+		SpansDropped: t.dropped,
+		Attrs:        attrMap(t.attrs),
+	}
+	nodes := make([]*SpanJSON, len(t.spans))
+	for i, sp := range t.spans {
+		e := sp.end
+		js := &SpanJSON{
+			Name:       sp.name,
+			StartMS:    float64(sp.start.Sub(t.begin)) / float64(time.Millisecond),
+			InProgress: e.IsZero(),
+			Attrs:      attrMap(sp.attrs),
+		}
+		if e.IsZero() {
+			e = now
+		}
+		js.DurationMS = float64(e.Sub(sp.start)) / float64(time.Millisecond)
+		nodes[i] = js
+	}
+	for i, sp := range t.spans {
+		if sp.parent >= 0 {
+			nodes[sp.parent].Children = append(nodes[sp.parent].Children, nodes[i])
+		} else {
+			out.Spans = append(out.Spans, nodes[i])
+		}
+	}
+	// Creation order already sorts siblings by id; sort by start time so
+	// retroactive AddSpan entries (queue waits) land where they happened.
+	var sortTree func(ns []*SpanJSON)
+	sortTree = func(ns []*SpanJSON) {
+		sort.SliceStable(ns, func(i, j int) bool { return ns[i].StartMS < ns[j].StartMS })
+		for _, n := range ns {
+			sortTree(n.Children)
+		}
+	}
+	sortTree(out.Spans)
+	return out
+}
+
+// Walk visits every span of a snapshot depth-first (parents before
+// children); the serve layer uses it to feed per-stage duration histograms.
+func (t *TraceJSON) Walk(fn func(sp *SpanJSON)) {
+	var rec func(ns []*SpanJSON)
+	rec = func(ns []*SpanJSON) {
+		for _, n := range ns {
+			fn(n)
+			rec(n.Children)
+		}
+	}
+	rec(t.Spans)
+}

@@ -62,7 +62,16 @@ var neighborMoves = [6]spacePoint{
 // interposer of the given edge meeting the temperature threshold at
 // (op, p), using the paper's multi-start greedy (Sec. III-D). It returns
 // the placement, its peak temperature, and whether one was found.
-func (s *Searcher) FindPlacement(n int, edgeMM float64, op power.DVFSPoint, p int) (floorplan.Placement, float64, bool, error) {
+func (s *Searcher) FindPlacement(n int, edgeMM float64, op power.DVFSPoint, p int) (outPl floorplan.Placement, outPeak float64, outFound bool, outErr error) {
+	fsp, end := s.startSpan("org.find_placement")
+	fsp.SetAttr("n", n)
+	fsp.SetAttr("edge_mm", edgeMM)
+	fsp.SetAttr("freq_mhz", op.FreqMHz)
+	fsp.SetAttr("active_cores", p)
+	defer func() {
+		fsp.SetAttr("found", outFound)
+		end()
+	}()
 	if n == 4 {
 		pl, err := floorplan.PaperOrgForInterposer(4, edgeMM, 0, 0)
 		if err != nil {
@@ -99,8 +108,19 @@ func (s *Searcher) FindPlacement(n int, edgeMM float64, op power.DVFSPoint, p in
 		return peak, true, nil
 	}
 
+	// runRestart walks one greedy descent from a random start; found is
+	// true when it reached a feasible placement.
 	const maxWalk = 256
-	for start := 0; start < s.cfg.Starts; start++ {
+	runRestart := func(restart int) (pl floorplan.Placement, peak float64, found bool, err error) {
+		rsp, rend := s.startSpan("org.restart")
+		rsp.SetAttr("restart", restart)
+		steps, moves := 0, 0
+		defer func() {
+			rsp.SetAttr("steps", steps)
+			rsp.SetAttr("moves_evaluated", moves)
+			rsp.SetAttr("found", found)
+			rend()
+		}()
 		cur := spacePoint{i1: s.rng.Intn(sp.max1 + 1), i2: s.rng.Intn(sp.max2 + 1)}
 		curPeak, _, err := eval(cur)
 		if err != nil {
@@ -110,7 +130,7 @@ func (s *Searcher) FindPlacement(n int, edgeMM float64, op power.DVFSPoint, p in
 			pl, _ := sp.placementAt(cur)
 			return pl, curPeak, true, nil
 		}
-		for step := 0; step < maxWalk; step++ {
+		for ; steps < maxWalk; steps++ {
 			// Visit the six neighbors per the configured policy: in random
 			// order moving to the first cooler one (the paper's policy,
 			// avoiding fixed-order bias), or steepest-descent for the
@@ -124,6 +144,7 @@ func (s *Searcher) FindPlacement(n int, edgeMM float64, op power.DVFSPoint, p in
 				if !sp.contains(nb) {
 					continue
 				}
+				moves++
 				peak, _, err := eval(nb)
 				if err != nil {
 					return floorplan.Placement{}, 0, false, err
@@ -147,6 +168,16 @@ func (s *Searcher) FindPlacement(n int, edgeMM float64, op power.DVFSPoint, p in
 				break // local minimum: next random start
 			}
 		}
+		return floorplan.Placement{}, curPeak, false, nil
+	}
+	for start := 0; start < s.cfg.Starts; start++ {
+		pl, peak, found, err := runRestart(start)
+		if err != nil {
+			return floorplan.Placement{}, 0, false, err
+		}
+		if found {
+			return pl, peak, true, nil
+		}
 	}
 	return floorplan.Placement{}, 0, false, nil
 }
@@ -156,7 +187,7 @@ func (s *Searcher) FindPlacement(n int, edgeMM float64, op power.DVFSPoint, p in
 // validating the greedy search. For n == 4 the space is the single derived
 // placement. With Config.ParallelWorkers > 1 the un-memoized grid points
 // are simulated concurrently.
-func (s *Searcher) FindPlacementExhaustive(n int, edgeMM float64, op power.DVFSPoint, p int) (floorplan.Placement, float64, bool, error) {
+func (s *Searcher) FindPlacementExhaustive(n int, edgeMM float64, op power.DVFSPoint, p int) (outPl floorplan.Placement, outPeak float64, outFound bool, outErr error) {
 	if n == 4 {
 		return s.FindPlacement(4, edgeMM, op, p)
 	}
@@ -164,6 +195,14 @@ func (s *Searcher) FindPlacementExhaustive(n int, edgeMM float64, op power.DVFSP
 	if !ok {
 		return floorplan.Placement{}, 0, false, nil
 	}
+	esp, end := s.startSpan("org.exhaustive_scan")
+	esp.SetAttr("n", n)
+	esp.SetAttr("edge_mm", edgeMM)
+	esp.SetAttr("grid_points", (sp.max1+1)*(sp.max2+1))
+	defer func() {
+		esp.SetAttr("found", outFound)
+		end()
+	}()
 	if s.cfg.ParallelWorkers > 1 {
 		if err := s.prefetchGrid(sp, op, p); err != nil {
 			return floorplan.Placement{}, 0, false, err

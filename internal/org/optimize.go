@@ -98,6 +98,8 @@ func (s *Searcher) OptimizeExhaustive() (Result, error) {
 }
 
 func (s *Searcher) optimize(find placementFinder) (Result, error) {
+	osp, end := s.startSpan("org.optimize")
+	defer end()
 	base, err := s.Baseline()
 	if err != nil {
 		return Result{}, err
@@ -148,6 +150,10 @@ func (s *Searcher) optimize(find placementFinder) (Result, error) {
 	}
 	res.ThermalSims = s.thermalSims
 	res.SurrogateHits = s.surrogateHits
+	osp.SetAttr("combos_tried", res.CombosTried)
+	osp.SetAttr("thermal_sims", res.ThermalSims)
+	osp.SetAttr("surrogate_hits", res.SurrogateHits)
+	osp.SetAttr("feasible", res.Feasible)
 	return res, nil
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"chiplet25d/internal/floorplan"
 	"chiplet25d/internal/noc"
+	"chiplet25d/internal/obs"
 	"chiplet25d/internal/perf"
 	"chiplet25d/internal/power"
 	"chiplet25d/internal/thermal"
@@ -139,6 +140,25 @@ func (s *Searcher) beginUse() {
 }
 
 func (s *Searcher) endUse() { atomic.StoreInt32(&s.busy, 0) }
+
+// startSpan begins a tracing span on the searcher's context and swaps the
+// derived context in, so child evaluations (and the thermal/power spans
+// they produce) nest under it. The returned func restores the previous
+// context and ends the span; call it from the same goroutine, per the
+// Searcher's single-goroutine contract. On an untraced context both the
+// span and the cleanup are no-ops.
+func (s *Searcher) startSpan(name string) (*obs.Span, func()) {
+	ctx, sp := obs.Start(s.ctx, name)
+	if sp == nil {
+		return nil, func() {}
+	}
+	prev := s.ctx
+	s.ctx = ctx
+	return sp, func() {
+		s.ctx = prev
+		sp.End()
+	}
+}
 
 // fIdxOf maps an operating point to its index in the frequency set.
 func fIdxOf(op power.DVFSPoint) int {
@@ -308,6 +328,8 @@ func (s *Searcher) Baseline() (Baseline, error) {
 		return derefBaseline(s.baseline), s.baselineErr
 	}
 	s.baselineDone = true
+	sp, end := s.startSpan("org.baseline")
+	defer end()
 	chip := floorplan.SingleChip()
 	var best Baseline
 	best.CostUSD = s.cfg.CostParams.PlacementCost(chip)
@@ -331,6 +353,8 @@ func (s *Searcher) Baseline() (Baseline, error) {
 			}
 		}
 	}
+	sp.SetAttr("feasible", best.Feasible)
+	sp.SetAttr("best_gips", best.BestIPS)
 	s.baseline = &best
 	return best, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/obs"
 	"chiplet25d/internal/thermal"
 )
 
@@ -116,6 +117,8 @@ func SimulateCtx(ctx context.Context, m *thermal.Model, cores []floorplan.Core, 
 		nocPerCore = w.NoCW / float64(active)
 	}
 
+	ctx, loop := obs.Start(ctx, "power.leakage_loop")
+	defer loop.End()
 	grid := m.Grid()
 	temps := make([]float64, floorplan.NumCores)
 	for i := range temps {
@@ -164,6 +167,10 @@ func SimulateCtx(ctx context.Context, m *thermal.Model, cores []floorplan.Core, 
 	if iter > opts.MaxIterations {
 		iter = opts.MaxIterations
 	}
+	loop.SetAttr("iterations", iter)
+	loop.SetAttr("cg_iterations", cgIters)
+	loop.SetAttr("active_cores", active)
+	loop.SetAttr("peak_c", res.PeakC())
 	return &SimResult{
 		PeakC:        res.PeakC(),
 		TotalPowerW:  totalW,

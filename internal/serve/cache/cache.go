@@ -15,6 +15,8 @@ import (
 	"container/list"
 	"context"
 	"sync"
+
+	"chiplet25d/internal/obs"
 )
 
 // Stats is a snapshot of the cache counters.
@@ -165,6 +167,9 @@ func (c *Cache) wait(ctx context.Context, key string, cl *call) (any, bool, erro
 		if abandon {
 			cl.cancel()
 		}
+		// The request-scoped logger already carries the request ID.
+		obs.Logger(ctx).Info("cache: waiter gave up on in-flight computation",
+			"key", key, "computation_canceled", abandon)
 		return nil, false, ctx.Err()
 	}
 }

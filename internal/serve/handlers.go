@@ -16,6 +16,7 @@ import (
 	"chiplet25d/internal/cost"
 	"chiplet25d/internal/floorplan"
 	"chiplet25d/internal/noc"
+	"chiplet25d/internal/obs"
 	"chiplet25d/internal/org"
 	"chiplet25d/internal/perf"
 	"chiplet25d/internal/power"
@@ -28,9 +29,11 @@ import (
 // client is gone) the response status.
 const statusClientClosed = 499
 
-// errorResponse is the JSON error envelope.
+// errorResponse is the JSON error envelope. RequestID lets a client quote
+// the failing request when digging through logs or /debug/solves.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // decodeJSON strictly decodes a bounded request body.
@@ -71,8 +74,25 @@ func (s *Server) finish(w http.ResponseWriter, endpoint string, code int, v any,
 	_ = enc.Encode(v)
 }
 
-func (s *Server) fail(w http.ResponseWriter, endpoint string, code int, err error, start time.Time) {
-	s.finish(w, endpoint, code, errorResponse{Error: err.Error()}, start)
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, endpoint string, code int, err error, start time.Time) {
+	s.finish(w, endpoint, code, errorResponse{Error: err.Error(), RequestID: obs.RequestID(r.Context())}, start)
+}
+
+// wantTrace reports whether the client asked for the span trace inline
+// (?trace=1).
+func wantTrace(r *http.Request) bool { return r.URL.Query().Get("trace") == "1" }
+
+// snapshotTrace finalizes and serializes the request's trace for inline
+// return; nil on an untraced context. Finishing here (rather than in the
+// middleware) excludes only the JSON encode from the reported duration, and
+// the middleware's later Finish is an idempotent no-op.
+func snapshotTrace(ctx context.Context) *obs.TraceJSON {
+	tr := obs.TraceFrom(ctx)
+	if tr == nil {
+		return nil
+	}
+	tr.Finish()
+	return tr.Snapshot()
 }
 
 // ---------------------------------------------------------------------------
@@ -135,16 +155,18 @@ type SolveRequest struct {
 	GridN     int           `json:"grid_n,omitempty"` // default 64 (the paper's resolution)
 }
 
-// SolveResponse reports the converged solve.
+// SolveResponse reports the converged solve. Trace is the request's span
+// tree, included only when the client asked with ?trace=1.
 type SolveResponse struct {
-	PeakC             float64 `json:"peak_c"`
-	TotalPowerW       float64 `json:"total_power_w"`
-	MeshPowerW        float64 `json:"mesh_power_w"`
-	LeakageIterations int     `json:"leakage_iterations"`
-	CGIterations      int     `json:"cg_iterations"`
-	Cached            bool    `json:"cached"`
-	CacheKey          string  `json:"cache_key"`
-	ElapsedMS         float64 `json:"elapsed_ms"`
+	PeakC             float64        `json:"peak_c"`
+	TotalPowerW       float64        `json:"total_power_w"`
+	MeshPowerW        float64        `json:"mesh_power_w"`
+	LeakageIterations int            `json:"leakage_iterations"`
+	CGIterations      int            `json:"cg_iterations"`
+	Cached            bool           `json:"cached"`
+	CacheKey          string         `json:"cache_key"`
+	ElapsedMS         float64        `json:"elapsed_ms"`
+	Trace             *obs.TraceJSON `json:"trace,omitempty"`
 }
 
 // solveSpec is a fully validated solve request.
@@ -205,17 +227,25 @@ func (sp *solveSpec) cacheKey() string {
 
 // run executes the solve (on a pool worker).
 func (sp *solveSpec) run(ctx context.Context) (*SolveResponse, error) {
+	_, fsp := obs.Start(ctx, "floorplan.build")
 	stack, err := floorplan.BuildStack(sp.pl)
 	if err != nil {
-		return nil, err
-	}
-	tc := thermal.DefaultConfig()
-	tc.Nx, tc.Ny = sp.gridN, sp.gridN
-	model, err := thermal.NewModel(stack, tc)
-	if err != nil {
+		fsp.End()
 		return nil, err
 	}
 	cores, err := sp.pl.Cores()
+	fsp.SetAttr("chiplets", sp.pl.NumChiplets())
+	fsp.SetAttr("interposer_mm", sp.pl.W)
+	fsp.End()
+	if err != nil {
+		return nil, err
+	}
+	_, msp := obs.Start(ctx, "thermal.model")
+	tc := thermal.DefaultConfig()
+	tc.Nx, tc.Ny = sp.gridN, sp.gridN
+	model, err := thermal.NewModel(stack, tc)
+	msp.SetAttr("grid_n", sp.gridN)
+	msp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -223,8 +253,10 @@ func (sp *solveSpec) run(ctx context.Context) (*SolveResponse, error) {
 	if err != nil {
 		return nil, err
 	}
+	_, nsp := obs.Start(ctx, "noc.mesh")
 	mesh, err := noc.MeshPower(sp.pl, sp.op, sp.cores, sp.bench.Traffic,
 		noc.DefaultLinkParams(), noc.DefaultRouterParams())
+	nsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -255,27 +287,45 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	var req SolveRequest
 	if err := decodeJSON(r, &req); err != nil {
-		s.fail(w, endpoint, http.StatusBadRequest, err, start)
+		s.fail(w, r, endpoint, http.StatusBadRequest, err, start)
 		return
 	}
 	sp, err := req.resolve(s.opts.MaxGridN)
 	if err != nil {
-		s.fail(w, endpoint, http.StatusBadRequest, err, start)
+		s.fail(w, r, endpoint, http.StatusBadRequest, err, start)
 		return
 	}
 	key := sp.cacheKey()
+	// The cache runs the computation on a context detached from this
+	// request (its lifetime is refcounted across all waiters), so the
+	// closure reattaches the trace/logger/request ID before handing the
+	// work to the pool.
+	ctx, csp := obs.Start(ctx, "cache.lookup")
 	val, hit, err := s.cache.Do(ctx, key, func(runCtx context.Context) (any, error) {
+		runCtx = obs.Reattach(runCtx, ctx)
 		return s.pool.Do(runCtx, func(taskCtx context.Context) (any, error) {
 			res, err := sp.run(taskCtx)
 			if err == nil {
 				s.thermalSims.Inc()
 				s.cgIterations.Add(float64(res.CGIterations))
+				s.cgIterHist.Observe(float64(res.CGIterations))
+				s.leakIterHist.Observe(float64(res.LeakageIterations))
 			}
 			return res, err
 		})
 	})
+	csp.SetAttr("hit", hit)
+	csp.SetAttr("key", key)
+	csp.End()
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		if hit {
+			tr.SetAttr("cache", "hit")
+		} else {
+			tr.SetAttr("cache", "miss")
+		}
+	}
 	if err != nil {
-		s.fail(w, endpoint, errStatus(err), err, start)
+		s.fail(w, r, endpoint, errStatus(err), err, start)
 		return
 	}
 	if hit {
@@ -287,6 +337,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	resp.Cached = hit
 	resp.CacheKey = key
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3
+	if wantTrace(r) {
+		resp.Trace = snapshotTrace(ctx)
+	}
 	s.finish(w, endpoint, http.StatusOK, resp, start)
 }
 
@@ -328,18 +381,20 @@ type BaselineJSON struct {
 	CostUSD     float64 `json:"cost_usd"`
 }
 
-// SearchResponse reports an optimization run.
+// SearchResponse reports an optimization run. Trace is the request's span
+// tree, included only when the client asked with ?trace=1.
 type SearchResponse struct {
-	Feasible      bool         `json:"feasible"`
-	Best          *OrgJSON     `json:"best,omitempty"`
-	Baseline      BaselineJSON `json:"baseline"`
-	ThermalSims   int          `json:"thermal_sims"`
-	SurrogateHits int          `json:"surrogate_hits"`
-	CombosTried   int          `json:"combos_tried"`
-	CGIterations  int64        `json:"cg_iterations"`
-	Cached        bool         `json:"cached"`
-	CacheKey      string       `json:"cache_key"`
-	ElapsedMS     float64      `json:"elapsed_ms"`
+	Feasible      bool           `json:"feasible"`
+	Best          *OrgJSON       `json:"best,omitempty"`
+	Baseline      BaselineJSON   `json:"baseline"`
+	ThermalSims   int            `json:"thermal_sims"`
+	SurrogateHits int            `json:"surrogate_hits"`
+	CombosTried   int            `json:"combos_tried"`
+	CGIterations  int64          `json:"cg_iterations"`
+	Cached        bool           `json:"cached"`
+	CacheKey      string         `json:"cache_key"`
+	ElapsedMS     float64        `json:"elapsed_ms"`
+	Trace         *obs.TraceJSON `json:"trace,omitempty"`
 }
 
 // searchKey canonicalizes the resolved configuration (config.Save writes
@@ -362,25 +417,27 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	var req SearchRequest
 	if err := decodeJSON(r, &req); err != nil {
-		s.fail(w, endpoint, http.StatusBadRequest, err, start)
+		s.fail(w, r, endpoint, http.StatusBadRequest, err, start)
 		return
 	}
 	cfg, err := req.File.ToConfig()
 	if err != nil {
-		s.fail(w, endpoint, http.StatusBadRequest, err, start)
+		s.fail(w, r, endpoint, http.StatusBadRequest, err, start)
 		return
 	}
 	if cfg.Thermal.Nx > s.opts.MaxGridN || cfg.Thermal.Ny > s.opts.MaxGridN {
-		s.fail(w, endpoint, http.StatusBadRequest,
+		s.fail(w, r, endpoint, http.StatusBadRequest,
 			fmt.Errorf("thermal_grid_n %d exceeds the server limit %d", cfg.Thermal.Nx, s.opts.MaxGridN), start)
 		return
 	}
 	key, err := searchKey(cfg, req.Exhaustive)
 	if err != nil {
-		s.fail(w, endpoint, http.StatusInternalServerError, err, start)
+		s.fail(w, r, endpoint, http.StatusInternalServerError, err, start)
 		return
 	}
+	ctx, csp := obs.Start(ctx, "cache.lookup")
 	val, hit, err := s.cache.Do(ctx, key, func(runCtx context.Context) (any, error) {
+		runCtx = obs.Reattach(runCtx, ctx)
 		return s.pool.Do(runCtx, func(taskCtx context.Context) (any, error) {
 			// One Searcher per request: its memo maps and RNG are
 			// single-goroutine (see the org.Searcher doc comment).
@@ -403,8 +460,18 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			return searchResponse(res, sr.CGIterations()), nil
 		})
 	})
+	csp.SetAttr("hit", hit)
+	csp.SetAttr("key", key)
+	csp.End()
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		if hit {
+			tr.SetAttr("cache", "hit")
+		} else {
+			tr.SetAttr("cache", "miss")
+		}
+	}
 	if err != nil {
-		s.fail(w, endpoint, errStatus(err), err, start)
+		s.fail(w, r, endpoint, errStatus(err), err, start)
 		return
 	}
 	if hit {
@@ -416,6 +483,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	resp.Cached = hit
 	resp.CacheKey = key
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3
+	if wantTrace(r) {
+		resp.Trace = snapshotTrace(ctx)
+	}
 	s.finish(w, endpoint, http.StatusOK, resp, start)
 }
 
@@ -481,7 +551,7 @@ func (s *Server) handleCost(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var req CostRequest
 	if err := decodeJSON(r, &req); err != nil {
-		s.fail(w, endpoint, http.StatusBadRequest, err, start)
+		s.fail(w, r, endpoint, http.StatusBadRequest, err, start)
 		return
 	}
 	p := cost.DefaultParams()
@@ -492,7 +562,7 @@ func (s *Server) handleCost(w http.ResponseWriter, r *http.Request) {
 		p.BondCost = *req.BondCostUSD
 	}
 	if err := p.Validate(); err != nil {
-		s.fail(w, endpoint, http.StatusBadRequest, err, start)
+		s.fail(w, r, endpoint, http.StatusBadRequest, err, start)
 		return
 	}
 	single := p.SingleChipCost(floorplan.ChipEdgeMM, floorplan.ChipEdgeMM)
@@ -508,7 +578,7 @@ func (s *Server) handleCost(w http.ResponseWriter, r *http.Request) {
 	case req.Chiplets == 4 || req.Chiplets == 16:
 		minEdge := cost.MinInterposerEdge(req.Chiplets)
 		if req.InterposerMM < minEdge || req.InterposerMM > floorplan.MaxInterposerEdgeMM {
-			s.fail(w, endpoint, http.StatusBadRequest,
+			s.fail(w, r, endpoint, http.StatusBadRequest,
 				fmt.Errorf("interposer_mm %g out of range [%g, %g] for %d chiplets",
 					req.InterposerMM, minEdge, floorplan.MaxInterposerEdgeMM, req.Chiplets), start)
 			return
@@ -518,7 +588,7 @@ func (s *Server) handleCost(w http.ResponseWriter, r *http.Request) {
 		chipletArea := floorplan.ChipEdgeMM * floorplan.ChipEdgeMM / float64(req.Chiplets)
 		resp.ChipletYield = p.CMOSYield(chipletArea)
 	default:
-		s.fail(w, endpoint, http.StatusBadRequest,
+		s.fail(w, r, endpoint, http.StatusBadRequest,
 			fmt.Errorf("chiplets must be 1, 4, or 16, got %d", req.Chiplets), start)
 		return
 	}

@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime/debug"
+	"time"
+
+	"chiplet25d/internal/obs"
+)
+
+// statusWriter captures the status code a handler wrote so the middleware
+// can log and label it after the fact.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps a compute handler with the per-request observability
+// plumbing: request ID (generated, or honored from an inbound X-Request-Id)
+// echoed in the response header, a request-scoped slog logger, a trace that
+// lands in the flight recorder and feeds the per-stage duration histograms,
+// and the in-flight gauge for the route.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" || len(id) > 64 {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		lg := s.logger.With("request_id", id, "route", route)
+		tr := obs.NewTrace(id, route)
+		ctx := obs.WithTrace(obs.WithLogger(obs.WithRequestID(r.Context(), id), lg), tr)
+
+		g := s.inflight.With(route)
+		g.Inc()
+		defer g.Dec()
+
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r.WithContext(ctx))
+
+		d := tr.Finish()
+		snap := tr.Snapshot()
+		snap.Walk(func(sp *obs.SpanJSON) {
+			s.stageSeconds.With(sp.Name).Observe(sp.DurationMS / 1e3)
+		})
+		s.recorder.Record(snap)
+
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		args := []any{"status", status, "duration_ms", float64(d.Microseconds()) / 1e3}
+		if c, ok := snap.Attrs["cache"]; ok {
+			args = append(args, "cache", c)
+		}
+		lg.Info("request", args...)
+	}
+}
+
+// debugSolvesResponse is the GET /debug/solves payload.
+type debugSolvesResponse struct {
+	SlowThresholdMS float64          `json:"slow_threshold_ms"`
+	Recent          []*obs.TraceJSON `json:"recent"`
+	Slow            []*obs.TraceJSON `json:"slow"`
+}
+
+// handleDebugSolves dumps the flight recorder: the most recent completed
+// request traces plus the retained slow ones, newest first.
+func (s *Server) handleDebugSolves(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(debugSolvesResponse{
+		SlowThresholdMS: float64(s.recorder.SlowThreshold()) / float64(time.Millisecond),
+		Recent:          s.recorder.Recent(),
+		Slow:            s.recorder.Slow(),
+	})
+}
+
+// buildInfo is the daemon's build identity, read once at startup.
+type buildInfo struct {
+	Version   string
+	Revision  string
+	GoVersion string
+}
+
+// readBuildInfo extracts version metadata embedded by the Go toolchain
+// (module version, VCS revision when built from a checkout).
+func readBuildInfo() buildInfo {
+	out := buildInfo{Version: "unknown", Revision: "unknown", GoVersion: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	out.GoVersion = bi.GoVersion
+	if bi.Main.Version != "" {
+		out.Version = bi.Main.Version
+	}
+	modified := false
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			out.Revision = kv.Value
+		case "vcs.modified":
+			modified = kv.Value == "true"
+		}
+	}
+	if modified {
+		out.Revision += "-dirty"
+	}
+	return out
+}
+
+// healthzResponse is the GET /healthz payload.
+type healthzResponse struct {
+	Status        string  `json:"status"`
+	Version       string  `json:"version"`
+	Revision      string  `json:"revision"`
+	GoVersion     string  `json:"go_version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(healthzResponse{
+		Status:        "ok",
+		Version:       s.build.Version,
+		Revision:      s.build.Revision,
+		GoVersion:     s.build.GoVersion,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	})
+}

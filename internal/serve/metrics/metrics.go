@@ -1,9 +1,15 @@
 // Package metrics is a minimal, dependency-free Prometheus text-format
-// exposition layer for chipletd: counters (optionally labeled), gauges
-// backed by callbacks, and fixed-bucket histograms, rendered by a Registry
-// in registration order. It implements just the subset of the format the
-// daemon needs — https://prometheus.io/docs/instrumenting/exposition_formats/
+// exposition layer for chipletd: counters, settable and callback-backed
+// gauges, and fixed-bucket histograms — each optionally labeled — rendered
+// by a Registry in registration order. It implements just the subset of the
+// format the daemon needs —
+// https://prometheus.io/docs/instrumenting/exposition_formats/
 // version 0.0.4 — so no external client library is required.
+//
+// Labeled families (CounterVec, GaugeVec, HistogramVec) share one
+// implementation that renders children sorted element-wise by label values,
+// so exposition order is deterministic regardless of the order in which
+// label permutations were first observed.
 package metrics
 
 import (
@@ -39,33 +45,34 @@ func (c *Counter) Add(v float64) {
 // Value returns the current count.
 func (c *Counter) Value() float64 { return math.Float64frombits(atomic.LoadUint64(&c.bits)) }
 
-// CounterVec is a counter family keyed by label values.
-type CounterVec struct {
-	name   string
-	help   string
-	labels []string
-
-	mu   sync.Mutex
-	kids map[string]*Counter
+// GaugeValue is a settable instantaneous value (the child type of a
+// GaugeVec; contrast with the callback-backed GaugeFunc).
+type GaugeValue struct {
+	bits uint64
 }
 
-// With returns (creating on first use) the child counter for the given
-// label values, which must match the family's label names in count and
-// order.
-func (v *CounterVec) With(values ...string) *Counter {
-	if len(values) != len(v.labels) {
-		panic(fmt.Sprintf("metrics: %s expects %d label values, got %d", v.name, len(v.labels), len(values)))
+// Set stores v.
+func (g *GaugeValue) Set(v float64) { atomic.StoreUint64(&g.bits, math.Float64bits(v)) }
+
+// Add adds v (may be negative).
+func (g *GaugeValue) Add(v float64) {
+	for {
+		old := atomic.LoadUint64(&g.bits)
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if atomic.CompareAndSwapUint64(&g.bits, old, nw) {
+			return
+		}
 	}
-	key := strings.Join(values, "\x00")
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if c, ok := v.kids[key]; ok {
-		return c
-	}
-	c := &Counter{}
-	v.kids[key] = c
-	return c
 }
+
+// Inc adds 1.
+func (g *GaugeValue) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *GaugeValue) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *GaugeValue) Value() float64 { return math.Float64frombits(atomic.LoadUint64(&g.bits)) }
 
 // Gauge is an instantaneous value read from a callback at scrape time
 // (e.g. queue depth) so the instrumented component needs no push calls.
@@ -99,6 +106,148 @@ func (h *Histogram) Observe(v float64) {
 	h.inf++
 }
 
+// newHistogram builds an unregistered histogram (family children reuse it).
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]uint64, len(bs))}
+}
+
+// ---------------------------------------------------------------------------
+// Labeled families
+
+// labelSep joins label values into a map key. 0x00 sorts before every
+// printable byte, so sorting the joined keys lexicographically is identical
+// to sorting the label-value tuples element-wise: exposition order is
+// deterministic for any insertion order of label permutations.
+const labelSep = "\x00"
+
+// family is the shared child registry behind CounterVec, GaugeVec, and
+// HistogramVec.
+type family[T any] struct {
+	name   string
+	labels []string
+	mk     func() T
+
+	mu   sync.Mutex
+	kids map[string]T
+}
+
+func newFamily[T any](name string, labels []string, mk func() T) *family[T] {
+	return &family[T]{name: name, labels: labels, mk: mk, kids: make(map[string]T)}
+}
+
+// with returns (creating on first use) the child for the given label
+// values, which must match the family's label names in count and order.
+func (f *family[T]) with(values []string) T {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s expects %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, labelSep)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.kids[key]; ok {
+		return c
+	}
+	c := f.mk()
+	f.kids[key] = c
+	return c
+}
+
+// child pairs sorted label values with the child metric for rendering.
+type child[T any] struct {
+	values []string
+	kid    T
+}
+
+// sorted snapshots the children ordered element-wise by label values.
+func (f *family[T]) sorted() []child[T] {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.kids))
+	for k := range f.kids {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // see labelSep: element-wise deterministic order
+	out := make([]child[T], 0, len(keys))
+	for _, k := range keys {
+		out = append(out, child[T]{values: strings.Split(k, labelSep), kid: f.kids[k]})
+	}
+	f.mu.Unlock()
+	return out
+}
+
+// labelString renders {k="v",...} for the family's label names and the
+// given values, with extra pairs (e.g. le) appended.
+func (f *family[T]) labelString(values []string, extra ...string) string {
+	parts := make([]string, 0, len(values)+len(extra)/2)
+	for i, v := range values {
+		parts = append(parts, fmt.Sprintf("%s=%q", f.labels[i], escapeLabel(v)))
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		parts = append(parts, fmt.Sprintf("%s=%q", extra[i], escapeLabel(extra[i+1])))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// CounterVec is a counter family keyed by label values.
+type CounterVec struct {
+	f *family[*Counter]
+}
+
+// With returns (creating on first use) the child counter for the given
+// label values.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.with(values) }
+
+func (v *CounterVec) write(w io.Writer) error {
+	for _, c := range v.f.sorted() {
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", v.f.name, v.f.labelString(c.values), fmtFloat(c.kid.Value())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GaugeVec is a settable gauge family keyed by label values (build info,
+// in-flight requests per route).
+type GaugeVec struct {
+	f *family[*GaugeValue]
+}
+
+// With returns (creating on first use) the child gauge for the given label
+// values.
+func (v *GaugeVec) With(values ...string) *GaugeValue { return v.f.with(values) }
+
+func (v *GaugeVec) write(w io.Writer) error {
+	for _, c := range v.f.sorted() {
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", v.f.name, v.f.labelString(c.values), fmtFloat(c.kid.Value())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HistogramVec is a histogram family keyed by label values; every child
+// shares the family's bucket bounds (per-stage solve durations).
+type HistogramVec struct {
+	f *family[*Histogram]
+}
+
+// With returns (creating on first use) the child histogram for the given
+// label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.with(values) }
+
+func (v *HistogramVec) write(w io.Writer) error {
+	for _, c := range v.f.sorted() {
+		if err := c.kid.writeLabeled(w, v.f, c.values); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
 // metric is one registered family for rendering.
 type metric struct {
 	name string
@@ -108,7 +257,9 @@ type metric struct {
 	counter *Counter
 	vec     *CounterVec
 	gauge   *Gauge
+	gvec    *GaugeVec
 	hist    *Histogram
+	hvec    *HistogramVec
 }
 
 // Registry holds metric families and renders them.
@@ -142,7 +293,7 @@ func (r *Registry) Counter(name, help string) *Counter {
 
 // CounterVec registers and returns a new labeled counter family.
 func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
-	v := &CounterVec{name: name, help: help, labels: labels, kids: make(map[string]*Counter)}
+	v := &CounterVec{f: newFamily(name, labels, func() *Counter { return &Counter{} })}
 	r.register(&metric{name: name, help: help, typ: "counter", vec: v})
 	return v
 }
@@ -152,14 +303,27 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.register(&metric{name: name, help: help, typ: "gauge", gauge: &Gauge{fn: fn}})
 }
 
+// GaugeVec registers and returns a new labeled settable-gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	v := &GaugeVec{f: newFamily(name, labels, func() *GaugeValue { return &GaugeValue{} })}
+	r.register(&metric{name: name, help: help, typ: "gauge", gvec: v})
+	return v
+}
+
 // Histogram registers and returns a histogram with the given ascending
 // bucket upper bounds (+Inf is added implicitly).
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
-	bs := append([]float64(nil), bounds...)
-	sort.Float64s(bs)
-	h := &Histogram{bounds: bs, counts: make([]uint64, len(bs))}
+	h := newHistogram(bounds)
 	r.register(&metric{name: name, help: help, typ: "histogram", hist: h})
 	return h
+}
+
+// HistogramVec registers and returns a labeled histogram family whose
+// children all share the given bucket bounds.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	v := &HistogramVec{f: newFamily(name, labels, func() *Histogram { return newHistogram(bounds) })}
+	r.register(&metric{name: name, help: help, typ: "histogram", hvec: v})
+	return v
 }
 
 // fmtFloat renders a float the way Prometheus clients do: integers without
@@ -189,51 +353,22 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ); err != nil {
 			return err
 		}
+		var err error
 		switch {
 		case m.counter != nil:
-			if _, err := fmt.Fprintf(w, "%s %s\n", m.name, fmtFloat(m.counter.Value())); err != nil {
-				return err
-			}
+			_, err = fmt.Fprintf(w, "%s %s\n", m.name, fmtFloat(m.counter.Value()))
 		case m.vec != nil:
-			if err := m.vec.write(w); err != nil {
-				return err
-			}
+			err = m.vec.write(w)
 		case m.gauge != nil:
-			if _, err := fmt.Fprintf(w, "%s %s\n", m.name, fmtFloat(m.gauge.fn())); err != nil {
-				return err
-			}
+			_, err = fmt.Fprintf(w, "%s %s\n", m.name, fmtFloat(m.gauge.fn()))
+		case m.gvec != nil:
+			err = m.gvec.write(w)
 		case m.hist != nil:
-			if err := m.hist.write(w, m.name); err != nil {
-				return err
-			}
+			err = m.hist.write(w, m.name)
+		case m.hvec != nil:
+			err = m.hvec.write(w)
 		}
-	}
-	return nil
-}
-
-func (v *CounterVec) write(w io.Writer) error {
-	v.mu.Lock()
-	keys := make([]string, 0, len(v.kids))
-	for k := range v.kids {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys) // deterministic scrape output
-	type row struct {
-		key string
-		val float64
-	}
-	rows := make([]row, 0, len(keys))
-	for _, k := range keys {
-		rows = append(rows, row{k, v.kids[k].Value()})
-	}
-	v.mu.Unlock()
-	for _, rw := range rows {
-		values := strings.Split(rw.key, "\x00")
-		parts := make([]string, len(values))
-		for i, val := range values {
-			parts[i] = fmt.Sprintf("%s=%q", v.labels[i], escapeLabel(val))
-		}
-		if _, err := fmt.Fprintf(w, "%s{%s} %s\n", v.name, strings.Join(parts, ","), fmtFloat(rw.val)); err != nil {
+		if err != nil {
 			return err
 		}
 	}
@@ -241,11 +376,7 @@ func (v *CounterVec) write(w io.Writer) error {
 }
 
 func (h *Histogram) write(w io.Writer, name string) error {
-	h.mu.Lock()
-	bounds := h.bounds
-	counts := append([]uint64(nil), h.counts...)
-	inf, sum, total := h.inf, h.sum, h.total
-	h.mu.Unlock()
+	bounds, counts, inf, sum, total := h.snapshot()
 	cum := uint64(0)
 	for i, b := range bounds {
 		cum += counts[i]
@@ -257,8 +388,33 @@ func (h *Histogram) write(w io.Writer, name string) error {
 	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, fmtFloat(sum), name, total); err != nil {
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, fmtFloat(sum), name, total)
+	return err
+}
+
+// writeLabeled renders one HistogramVec child, merging the family labels
+// with the le bucket label.
+func (h *Histogram) writeLabeled(w io.Writer, f *family[*Histogram], values []string) error {
+	bounds, counts, inf, sum, total := h.snapshot()
+	name := f.name
+	cum := uint64(0)
+	for i, b := range bounds {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, f.labelString(values, "le", fmtFloat(b)), cum); err != nil {
+			return err
+		}
+	}
+	cum += inf
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, f.labelString(values, "le", "+Inf"), cum); err != nil {
 		return err
 	}
-	return nil
+	ls := f.labelString(values)
+	_, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n", name, ls, fmtFloat(sum), name, ls, total)
+	return err
+}
+
+func (h *Histogram) snapshot() (bounds []float64, counts []uint64, inf uint64, sum float64, total uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.bounds, append([]uint64(nil), h.counts...), h.inf, h.sum, h.total
 }

@@ -47,6 +47,118 @@ func TestExposition(t *testing.T) {
 	}
 }
 
+// TestGaugeVecExposition covers the settable labeled gauge used for build
+// info and in-flight tracking.
+func TestGaugeVecExposition(t *testing.T) {
+	r := NewRegistry()
+	g := r.GaugeVec("build_info", "Build metadata.", "version", "revision")
+	g.With("v1.2", "abc123").Set(1)
+	inflight := r.GaugeVec("inflight", "In-flight requests.", "route")
+	inflight.With("solve").Inc()
+	inflight.With("solve").Inc()
+	inflight.With("solve").Dec()
+	inflight.With("search").Add(3)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE build_info gauge",
+		`build_info{version="v1.2",revision="abc123"} 1`,
+		`inflight{route="solve"} 1`,
+		`inflight{route="search"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramVecExposition covers labeled histograms (per-stage solve
+// durations): every child shares the family bounds and renders cumulative
+// buckets with the le label appended after the family labels.
+func TestHistogramVecExposition(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("stage_seconds", "Stage durations.", []float64{0.1, 1}, "stage")
+	v.With("thermal").Observe(0.05)
+	v.With("thermal").Observe(0.5)
+	v.With("floorplan").Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE stage_seconds histogram",
+		`stage_seconds_bucket{stage="thermal",le="0.1"} 1`,
+		`stage_seconds_bucket{stage="thermal",le="1"} 2`,
+		`stage_seconds_bucket{stage="thermal",le="+Inf"} 2`,
+		`stage_seconds_sum{stage="thermal"} 0.55`,
+		`stage_seconds_count{stage="thermal"} 2`,
+		`stage_seconds_bucket{stage="floorplan",le="+Inf"} 1`,
+		`stage_seconds_sum{stage="floorplan"} 5`,
+		`stage_seconds_count{stage="floorplan"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestLabelOrderDeterminism verifies exposition output is identical no
+// matter the order in which label permutations were first observed.
+func TestLabelOrderDeterminism(t *testing.T) {
+	perms := [][][2]string{
+		{{"solve", "200"}, {"solve", "400"}, {"cost", "200"}, {"cost", "499"}},
+		{{"cost", "499"}, {"cost", "200"}, {"solve", "400"}, {"solve", "200"}},
+		{{"solve", "400"}, {"cost", "499"}, {"solve", "200"}, {"cost", "200"}},
+	}
+	var first string
+	for i, perm := range perms {
+		r := NewRegistry()
+		cv := r.CounterVec("req_total", "x", "endpoint", "code")
+		gv := r.GaugeVec("inflight", "x", "endpoint", "code")
+		hv := r.HistogramVec("lat", "x", []float64{1}, "endpoint", "code")
+		for _, p := range perm {
+			cv.With(p[0], p[1]).Inc()
+			gv.With(p[0], p[1]).Set(2)
+			hv.With(p[0], p[1]).Observe(0.5)
+		}
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = sb.String()
+		} else if sb.String() != first {
+			t.Errorf("insertion order %d changed exposition:\n--- first ---\n%s--- got ---\n%s", i, first, sb.String())
+		}
+	}
+	// Children must sort element-wise by label values.
+	idx := func(s string) int { return strings.Index(first, s) }
+	if !(idx(`req_total{endpoint="cost",code="200"}`) < idx(`req_total{endpoint="cost",code="499"}`) &&
+		idx(`req_total{endpoint="cost",code="499"}`) < idx(`req_total{endpoint="solve",code="200"}`) &&
+		idx(`req_total{endpoint="solve",code="200"}`) < idx(`req_total{endpoint="solve",code="400"}`)) {
+		t.Errorf("counter children not sorted element-wise:\n%s", first)
+	}
+}
+
+// TestVecLabelArityPanics guards against a With call whose value count
+// does not match the family's declared labels.
+func TestVecLabelArityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("arity", "x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch did not panic")
+		}
+	}()
+	v.With("only-one")
+}
+
 // TestCounterConcurrency exercises the lock-free counter under parallel
 // increments (run with -race).
 func TestCounterConcurrency(t *testing.T) {

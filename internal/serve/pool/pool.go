@@ -10,6 +10,9 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"chiplet25d/internal/obs"
 )
 
 // ErrQueueFull is returned by Do when the admission queue is at capacity.
@@ -86,12 +89,24 @@ func (p *Pool) Do(ctx context.Context, fn Task) (any, error) {
 		p.mu.Unlock()
 		return nil, ErrClosed
 	}
-	j := &job{ctx: ctx, fn: fn, done: make(chan result, 1)}
+	// Record the admission-to-execution delay as a retroactive trace span
+	// once a worker picks the task up; a no-op on untraced contexts.
+	submitted := time.Now()
+	depthAtSubmit := len(p.queue)
+	traced := func(c context.Context) (any, error) {
+		obs.AddSpan(c, "pool.queue_wait", submitted, time.Since(submitted),
+			obs.Attr{Key: "queue_depth_at_submit", Value: depthAtSubmit})
+		return fn(c)
+	}
+	j := &job{ctx: ctx, fn: traced, done: make(chan result, 1)}
 	select {
 	case p.queue <- j:
 		p.mu.Unlock()
 	default:
 		p.mu.Unlock()
+		// The request-scoped logger already carries the request ID.
+		obs.Logger(ctx).Warn("pool: admission queue full, shedding request",
+			"queue_depth", depthAtSubmit)
 		return nil, ErrQueueFull
 	}
 	select {

@@ -11,8 +11,11 @@
 //   - a bounded worker pool (internal/serve/pool) with an admission queue,
 //     per-request deadlines, cancellation that propagates into CG solver
 //     iterations and the greedy search loop, and graceful drain on SIGTERM;
-//   - an observability layer (internal/serve/metrics) exposed at
-//     GET /metrics in Prometheus text format, plus GET /healthz.
+//   - an observability layer (internal/obs + internal/serve/metrics):
+//     request-scoped span traces on every compute request (returned inline
+//     with ?trace=1, retained in a flight recorder at GET /debug/solves),
+//     request IDs echoed in X-Request-Id, structured request logs, and
+//     Prometheus text exposition at GET /metrics.
 //
 // Endpoints:
 //
@@ -20,15 +23,21 @@
 //	POST /v1/org/search     benchmark, threshold, α/β -> best organization
 //	POST /v1/cost           Eqs. (1)-(4) manufacturing cost queries
 //	GET  /metrics           Prometheus text exposition
-//	GET  /healthz           liveness
+//	GET  /healthz           liveness + build info + uptime
+//	GET  /debug/solves      flight recorder (recent + slow request traces)
+//	GET  /debug/pprof/*     runtime profiles (only with Options.EnablePprof)
 package serve
 
 import (
 	"context"
+	"log/slog"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"time"
 
+	"chiplet25d/internal/obs"
 	"chiplet25d/internal/serve/cache"
 	"chiplet25d/internal/serve/metrics"
 	"chiplet25d/internal/serve/pool"
@@ -51,6 +60,17 @@ type Options struct {
 	// MaxGridN caps the requested thermal grid so one request cannot ask
 	// for an arbitrarily large model.
 	MaxGridN int
+	// Logger receives the daemon's structured logs; nil means slog.Default.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the serving
+	// mux. Off by default: profiles expose internals and cost CPU.
+	EnablePprof bool
+	// TraceRingSize is the flight-recorder capacity (recent and slow rings
+	// each keep this many traces).
+	TraceRingSize int
+	// SlowTraceThreshold is the duration at or above which a request trace
+	// is also retained in the slow ring.
+	SlowTraceThreshold time.Duration
 }
 
 // DefaultOptions returns the production defaults.
@@ -63,6 +83,9 @@ func DefaultOptions() Options {
 		RequestTimeout: 60 * time.Second,
 		DrainTimeout:   30 * time.Second,
 		MaxGridN:       128,
+
+		TraceRingSize:      64,
+		SlowTraceThreshold: 2 * time.Second,
 	}
 }
 
@@ -90,16 +113,29 @@ func (o Options) withDefaults() Options {
 	if o.MaxGridN <= 0 {
 		o.MaxGridN = d.MaxGridN
 	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	if o.TraceRingSize <= 0 {
+		o.TraceRingSize = d.TraceRingSize
+	}
+	if o.SlowTraceThreshold <= 0 {
+		o.SlowTraceThreshold = d.SlowTraceThreshold
+	}
 	return o
 }
 
 // Server is the chipletd HTTP serving subsystem.
 type Server struct {
-	opts  Options
-	cache *cache.Cache
-	pool  *pool.Pool
-	reg   *metrics.Registry
-	mux   *http.ServeMux
+	opts     Options
+	cache    *cache.Cache
+	pool     *pool.Pool
+	reg      *metrics.Registry
+	mux      *http.ServeMux
+	logger   *slog.Logger
+	recorder *obs.Recorder
+	build    buildInfo
+	started  time.Time
 
 	requests     *metrics.CounterVec // endpoint, code
 	cacheHits    *metrics.CounterVec // endpoint
@@ -107,6 +143,10 @@ type Server struct {
 	solveLatency *metrics.Histogram
 	cgIterations *metrics.Counter
 	thermalSims  *metrics.Counter
+	cgIterHist   *metrics.Histogram    // CG iterations per solve
+	leakIterHist *metrics.Histogram    // leakage-loop iterations per solve
+	stageSeconds *metrics.HistogramVec // stage
+	inflight     *metrics.GaugeVec     // route
 }
 
 // New assembles a server (not yet listening; use Run, or Handler with your
@@ -114,11 +154,15 @@ type Server struct {
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:  opts,
-		cache: cache.New(opts.CacheCapacity),
-		pool:  pool.New(opts.Workers, opts.QueueDepth),
-		reg:   metrics.NewRegistry(),
-		mux:   http.NewServeMux(),
+		opts:     opts,
+		cache:    cache.New(opts.CacheCapacity),
+		pool:     pool.New(opts.Workers, opts.QueueDepth),
+		reg:      metrics.NewRegistry(),
+		mux:      http.NewServeMux(),
+		logger:   opts.Logger,
+		recorder: obs.NewRecorder(opts.TraceRingSize, opts.SlowTraceThreshold),
+		build:    readBuildInfo(),
+		started:  time.Now(),
 	}
 	s.requests = s.reg.CounterVec("chipletd_requests_total",
 		"HTTP requests by endpoint and status code.", "endpoint", "code")
@@ -133,6 +177,21 @@ func New(opts Options) *Server {
 		"Conjugate-gradient iterations spent in thermal solves.")
 	s.thermalSims = s.reg.Counter("chipletd_thermal_sims_total",
 		"Full leakage-coupled thermal simulations run.")
+	s.cgIterHist = s.reg.Histogram("chipletd_cg_iterations",
+		"Conjugate-gradient iterations per fresh solve.",
+		[]float64{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096})
+	s.leakIterHist = s.reg.Histogram("chipletd_leakage_iterations",
+		"Leakage-loop iterations per fresh solve.",
+		[]float64{1, 2, 3, 4, 6, 8, 12})
+	s.stageSeconds = s.reg.HistogramVec("chipletd_stage_duration_seconds",
+		"Per-stage durations from request span traces.",
+		[]float64{0.0001, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60},
+		"stage")
+	s.inflight = s.reg.GaugeVec("chipletd_inflight_requests",
+		"In-flight requests by route.", "route")
+	s.reg.GaugeVec("chipletd_build_info",
+		"Build metadata; value is always 1.", "version", "revision", "goversion").
+		With(s.build.Version, s.build.Revision, s.build.GoVersion).Set(1)
 	s.reg.GaugeFunc("chipletd_queue_depth",
 		"Tasks waiting in the worker-pool admission queue.",
 		func() float64 { return float64(s.pool.QueueDepth()) })
@@ -143,11 +202,20 @@ func New(opts Options) *Server {
 		"Entries resident in the result cache.",
 		func() float64 { return float64(s.cache.Len()) })
 
-	s.mux.HandleFunc("POST /v1/thermal/solve", s.handleSolve)
-	s.mux.HandleFunc("POST /v1/org/search", s.handleSearch)
-	s.mux.HandleFunc("POST /v1/cost", s.handleCost)
+	s.mux.HandleFunc("POST /v1/thermal/solve", s.instrument("thermal_solve", s.handleSolve))
+	s.mux.HandleFunc("POST /v1/org/search", s.instrument("org_search", s.handleSearch))
+	s.mux.HandleFunc("POST /v1/cost", s.instrument("cost", s.handleCost))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /debug/solves", s.handleDebugSolves)
+	if opts.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("POST /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -159,29 +227,35 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // requests run to completion within DrainTimeout, and the worker pool shuts
 // down.
 func (s *Server) Run(ctx context.Context) error {
-	srv := &http.Server{Addr: s.opts.Addr, Handler: s.Handler()}
+	ln, err := net.Listen("tcp", s.opts.Addr)
+	if err != nil {
+		return err
+	}
+	// The bound address is logged (not just configured Addr) so ":0" runs —
+	// tests, the CI smoke step — can discover the ephemeral port.
+	s.logger.Info("listening", "addr", ln.Addr().String(),
+		"workers", s.opts.Workers, "queue_depth", s.opts.QueueDepth,
+		"version", s.build.Version, "revision", s.build.Revision)
+	srv := &http.Server{Handler: s.Handler()}
 	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
+	go func() { errCh <- srv.Serve(ln) }()
 	select {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
 	}
+	s.logger.Info("draining", "timeout", s.opts.DrainTimeout.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), s.opts.DrainTimeout)
 	defer cancel()
-	err := srv.Shutdown(drainCtx)
+	err = srv.Shutdown(drainCtx)
 	if perr := s.pool.Shutdown(drainCtx); err == nil {
 		err = perr
 	}
+	s.logger.Info("drained", "clean", err == nil)
 	return err
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.reg.WritePrometheus(w)
-}
-
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	_, _ = w.Write([]byte(`{"status":"ok"}` + "\n"))
 }

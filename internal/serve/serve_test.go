@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"regexp"
@@ -23,6 +25,8 @@ func testServer(t *testing.T, mutate func(*Options)) *Server {
 	opts.QueueDepth = 16
 	opts.CacheCapacity = 32
 	opts.RequestTimeout = 60 * time.Second
+	// Keep test output clean; individual tests can install their own logger.
+	opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	if mutate != nil {
 		mutate(&opts)
 	}
@@ -400,9 +404,18 @@ func TestHealthz(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("healthz = %d", rec.Code)
 	}
-	var body map[string]string
+	var body map[string]any
 	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["status"] != "ok" {
 		t.Fatalf("healthz body = %s", rec.Body)
+	}
+	// Build info + uptime ride along for fleet debugging.
+	for _, k := range []string{"version", "revision", "go_version", "uptime_seconds"} {
+		if _, ok := body[k]; !ok {
+			t.Errorf("healthz body missing %q: %s", k, rec.Body)
+		}
+	}
+	if up, ok := body["uptime_seconds"].(float64); !ok || up < 0 {
+		t.Errorf("healthz uptime_seconds = %v", body["uptime_seconds"])
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"chiplet25d/internal/geom"
+	"chiplet25d/internal/obs"
 )
 
 // Result is a solved steady-state temperature field.
@@ -203,14 +204,23 @@ func (m *Model) SolveWarmCtx(ctx context.Context, chipPower []float64, prev *Res
 		rhs[c] += g * m.cfg.AmbientC
 	}
 	x := make([]float64, m.nNodes)
-	if prev != nil && len(prev.T) == m.nNodes {
+	warm := prev != nil && len(prev.T) == m.nNodes
+	if warm {
 		copy(x, prev.T)
 	} else {
 		for i := range x {
 			x[i] = m.cfg.AmbientC
 		}
 	}
+	ctx, sp := obs.Start(ctx, "thermal.cg")
 	iters, res, err := m.pcg(ctx, x, rhs)
+	sp.SetAttr("iterations", iters)
+	if !math.IsNaN(res) { // NaN (abandoned solve) is not JSON-encodable
+		sp.SetAttr("residual", res)
+	}
+	sp.SetAttr("grid_n", m.grid.Nx)
+	sp.SetAttr("warm_start", warm)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

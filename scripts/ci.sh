@@ -5,7 +5,10 @@
 #   -short   pass -short to the race run (skips the slowest tests)
 #
 # Steps: gofmt (fails on any unformatted file), go vet, go build,
-# go test -race, and a smoke run of the chipletd cache benchmarks.
+# go test -race, the chipletd daemon smoke test (real binary over HTTP:
+# traced solve, /healthz build info, /metrics histograms, /debug/solves,
+# clean SIGTERM drain), a smoke run of the chipletd cache benchmarks, and
+# the tracer-overhead guard (BenchmarkSolveTraced vs BenchmarkSolveUntraced).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -32,7 +35,29 @@ go build ./...
 echo "==> go test -race $short ./..."
 go test -race $short ./...
 
+echo "==> chipletd daemon smoke (build binary, drive endpoints, SIGTERM drain)"
+# Redundant under a full (non-short) test run above, but cheap, and it keeps
+# the daemon check explicit when CI runs with -short.
+go test -run 'TestDaemonSmoke' -count 1 ./cmd/chipletd
+
 echo "==> chipletd cache benchmarks (smoke)"
 go test -run '^$' -bench 'BenchmarkChipletdSolve' -benchtime 3x .
+
+echo "==> tracer overhead guard"
+# The serving path traces every request, so span creation must stay nearly
+# free. Compare the best-of-3 traced vs untraced solve; fail above +5%
+# (the acceptance bound; the per-span cost is a mutex'd append, and at
+# best-of-3 the residual benchmark noise sits well inside the margin).
+bench_out=$(go test -run '^$' -bench 'BenchmarkSolve(Traced|Untraced)$' -benchtime 3x -count 3 .)
+echo "$bench_out"
+echo "$bench_out" | awk '
+    /^BenchmarkSolveUntraced/ { if (!u || $3 < u) u = $3 }
+    /^BenchmarkSolveTraced/   { if (!t || $3 < t) t = $3 }
+    END {
+        if (!u || !t) { print "tracer guard: missing benchmark output" > "/dev/stderr"; exit 1 }
+        ratio = t / u
+        printf "tracer overhead: traced %.0f ns/op vs untraced %.0f ns/op (%.2fx)\n", t, u, ratio
+        if (ratio > 1.05) { print "tracer guard: overhead above 5%" > "/dev/stderr"; exit 1 }
+    }'
 
 echo "==> ci.sh: all green"
