@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	chipletd [-addr :8080] [-workers N] [-queue N] [-cache N]
-//	         [-timeout 60s] [-grid-max 128] [-config file.json]
+//	chipletd [-addr :8080] [-workers N] [-kernel-threads N] [-queue N]
+//	         [-cache N] [-timeout 60s] [-grid-max 128] [-config file.json]
 //	         [-log-format text|json] [-log-level info] [-pprof]
 //	         [-trace-ring 64] [-slow-trace 2s]
 //
@@ -62,6 +62,7 @@ func main() {
 	var (
 		addr       = flag.String("addr", "", "listen address (default :8080)")
 		workers    = flag.Int("workers", 0, "max concurrent solves (default GOMAXPROCS)")
+		kthreads   = flag.Int("kernel-threads", 0, "thermal-kernel worker goroutines per solve (default GOMAXPROCS/workers, min 1)")
 		queue      = flag.Int("queue", 0, "admission queue depth; beyond it requests get 503 (default 64)")
 		cacheCap   = flag.Int("cache", 0, "result cache capacity in entries (default 512)")
 		timeout    = flag.Duration("timeout", 0, "per-request deadline (default 60s)")
@@ -93,6 +94,9 @@ func main() {
 		if sc.Workers != nil {
 			opts.Workers = *sc.Workers
 		}
+		if sc.KernelThreads != nil {
+			opts.KernelThreads = *sc.KernelThreads
+		}
 		if sc.QueueDepth != nil {
 			opts.QueueDepth = *sc.QueueDepth
 		}
@@ -118,6 +122,9 @@ func main() {
 	}
 	if *workers > 0 {
 		opts.Workers = *workers
+	}
+	if *kthreads > 0 {
+		opts.KernelThreads = *kthreads
 	}
 	if *queue > 0 {
 		opts.QueueDepth = *queue

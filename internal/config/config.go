@@ -44,6 +44,10 @@ type File struct {
 	AmbientC          *float64 `json:"ambient_c,omitempty"`
 	HeatTransferCoeff *float64 `json:"heat_transfer_coeff,omitempty"`
 	BoardHeatTransfer *float64 `json:"board_heat_transfer_coeff,omitempty"`
+	// KernelThreads sets the thermal solver's parallel-kernel worker count
+	// (0/absent: the package default; 1: serial). Purely a wall-clock knob:
+	// the kernel is bit-deterministic across thread counts.
+	KernelThreads *int `json:"kernel_threads,omitempty"`
 
 	Cost    *cost.Params        `json:"cost,omitempty"`
 	Leakage *power.LeakageModel `json:"leakage,omitempty"`
@@ -61,6 +65,10 @@ type Server struct {
 	Addr string `json:"addr,omitempty"`
 	// Workers bounds concurrent solves (default: GOMAXPROCS).
 	Workers *int `json:"workers,omitempty"`
+	// KernelThreads is the per-solve thermal-kernel worker count (default:
+	// GOMAXPROCS divided by Workers, at least 1, so request-level and
+	// kernel-level parallelism compose without oversubscribing).
+	KernelThreads *int `json:"kernel_threads,omitempty"`
 	// QueueDepth bounds the admission queue; beyond it requests are shed
 	// with 503 (default 64).
 	QueueDepth *int `json:"queue_depth,omitempty"`
@@ -154,6 +162,9 @@ func (f *File) ToConfig() (org.Config, error) {
 	if f.ThermalGridN != nil {
 		cfg.Thermal.Nx, cfg.Thermal.Ny = *f.ThermalGridN, *f.ThermalGridN
 	}
+	if f.KernelThreads != nil {
+		cfg.Thermal.KernelThreads = *f.KernelThreads
+	}
 	setF(&cfg.Thermal.AmbientC, f.AmbientC)
 	setF(&cfg.Thermal.HeatTransferCoeff, f.HeatTransferCoeff)
 	setF(&cfg.Thermal.BoardHeatTransferCoeff, f.BoardHeatTransfer)
@@ -211,6 +222,7 @@ func Save(w io.Writer, cfg org.Config) error {
 		AmbientC:          &cfg.Thermal.AmbientC,
 		HeatTransferCoeff: &cfg.Thermal.HeatTransferCoeff,
 		BoardHeatTransfer: &cfg.Thermal.BoardHeatTransferCoeff,
+		KernelThreads:     &cfg.Thermal.KernelThreads,
 		Cost:              &cfg.CostParams,
 		Leakage:           &cfg.Leakage,
 	}

@@ -230,7 +230,15 @@ func (s *Searcher) simulatePureWith(b perf.Benchmark, pl floorplan.Placement, op
 	if err != nil {
 		return nil, err
 	}
-	model, err := thermal.NewModel(stack, s.cfg.Thermal)
+	tc := s.cfg.Thermal
+	if s.cfg.ParallelWorkers > 1 && tc.KernelThreads == 0 {
+		// The exhaustive scan already fans this simulation out across
+		// ParallelWorkers goroutines; pin each solve to a serial kernel so
+		// nested parallelism doesn't oversubscribe the machine. An explicit
+		// KernelThreads in the config wins.
+		tc.KernelThreads = 1
+	}
+	model, err := thermal.NewModel(stack, tc)
 	if err != nil {
 		return nil, err
 	}

@@ -128,8 +128,14 @@ func SimulateCtx(ctx context.Context, m *thermal.Model, cores []floorplan.Core, 
 	var totalW float64
 	cgIters := 0
 	iter := 0
+	// One power-map buffer for the whole fixed point; together with the
+	// model's pooled solver workspaces and Recycle below, iterating the
+	// loop does no per-iteration large allocations.
+	pmap := make([]float64, grid.NumCells())
 	for iter = 1; iter <= opts.MaxIterations; iter++ {
-		pmap := make([]float64, grid.NumCells())
+		for i := range pmap {
+			pmap[i] = 0
+		}
 		totalW = 0
 		for _, c := range cores {
 			id := c.Row*floorplan.CoresPerEdge + c.Col
@@ -147,6 +153,11 @@ func SimulateCtx(ctx context.Context, m *thermal.Model, cores []floorplan.Core, 
 		next, err := m.SolveWarmCtx(ctx, pmap, res)
 		if err != nil {
 			return nil, err
+		}
+		if res != nil {
+			// The superseded field has served as the warm start; hand its
+			// buffer back to the model's pool.
+			res.Recycle()
 		}
 		res = next
 		cgIters += res.Iterations

@@ -177,6 +177,10 @@ type solveSpec struct {
 	fIdx  int
 	cores int
 	gridN int
+	// kthreads is the server's per-solve kernel-thread budget. It is
+	// excluded from cacheKey: thread count never changes the bits of the
+	// result (thermal's determinism contract), only the wall clock.
+	kthreads int
 }
 
 func (req *SolveRequest) resolve(maxGridN int) (*solveSpec, error) {
@@ -243,6 +247,7 @@ func (sp *solveSpec) run(ctx context.Context) (*SolveResponse, error) {
 	_, msp := obs.Start(ctx, "thermal.model")
 	tc := thermal.DefaultConfig()
 	tc.Nx, tc.Ny = sp.gridN, sp.gridN
+	tc.KernelThreads = sp.kthreads
 	model, err := thermal.NewModel(stack, tc)
 	msp.SetAttr("grid_n", sp.gridN)
 	msp.End()
@@ -295,6 +300,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, endpoint, http.StatusBadRequest, err, start)
 		return
 	}
+	sp.kthreads = s.opts.KernelThreads
 	key := sp.cacheKey()
 	// The cache runs the computation on a context detached from this
 	// request (its lifetime is refcounted across all waiters), so the
@@ -401,6 +407,10 @@ type SearchResponse struct {
 // every field explicitly, so two requests that resolve to the same search
 // share one address regardless of which defaults they spelled out).
 func searchKey(cfg org.Config, exhaustive bool) (string, error) {
+	// The kernel thread count is a wall-clock knob with bit-identical
+	// results (thermal's determinism contract), so it must not fork the
+	// content-addressed identity of a search.
+	cfg.Thermal.KernelThreads = 0
 	var buf bytes.Buffer
 	if err := config.Save(&buf, cfg); err != nil {
 		return "", err
@@ -429,6 +439,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, endpoint, http.StatusBadRequest,
 			fmt.Errorf("thermal_grid_n %d exceeds the server limit %d", cfg.Thermal.Nx, s.opts.MaxGridN), start)
 		return
+	}
+	if cfg.Thermal.KernelThreads == 0 {
+		// An explicit kernel_threads in the request wins; otherwise the
+		// search's solves use the daemon's per-solve budget.
+		cfg.Thermal.KernelThreads = s.opts.KernelThreads
 	}
 	key, err := searchKey(cfg, req.Exhaustive)
 	if err != nil {

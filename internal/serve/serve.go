@@ -49,6 +49,13 @@ type Options struct {
 	Addr string
 	// Workers bounds concurrent solves.
 	Workers int
+	// KernelThreads is the thermal solver's parallel-kernel worker count
+	// per solve. 0 picks max(1, GOMAXPROCS/Workers), so request-level and
+	// kernel-level parallelism compose without oversubscription: a fully
+	// loaded pool runs serial kernels, a lightly-provisioned pool lets each
+	// solve fan out. Thread count never changes results (the kernel is
+	// bit-deterministic), so cached and fresh responses always agree.
+	KernelThreads int
 	// QueueDepth bounds the admission queue; beyond it requests get 503.
 	QueueDepth int
 	// CacheCapacity bounds the result cache in entries.
@@ -121,6 +128,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SlowTraceThreshold <= 0 {
 		o.SlowTraceThreshold = d.SlowTraceThreshold
+	}
+	if o.KernelThreads <= 0 {
+		o.KernelThreads = runtime.GOMAXPROCS(0) / o.Workers
+		if o.KernelThreads < 1 {
+			o.KernelThreads = 1
+		}
 	}
 	return o
 }

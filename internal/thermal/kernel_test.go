@@ -1,0 +1,311 @@
+package thermal
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/obs"
+)
+
+// gridModel builds a model over the paper's 4x4 uniform-grid organization
+// at the given resolution, with the power map driving it.
+func gridModel(t testing.TB, nx, kernelThreads int) (*Model, []float64) {
+	t.Helper()
+	pl, err := floorplan.UniformGrid(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack, err := floorplan.BuildStack(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Nx, cfg.Ny = nx, nx
+	cfg.KernelThreads = kernelThreads
+	m, err := NewModel(stack, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pmap := make([]float64, m.Grid().NumCells())
+	for _, c := range pl.Chiplets {
+		m.Grid().RasterizeAdd(pmap, c, 25)
+	}
+	return m, pmap
+}
+
+// forceStriping shrinks the stripe size and parallel gate so small test
+// grids exercise multi-stripe scheduling, restoring both on cleanup.
+func forceStriping(t testing.TB, stripeRows, minNodes int) {
+	t.Helper()
+	oldStripe, oldGate := kernelStripeRows, parallelMinNodes
+	kernelStripeRows, parallelMinNodes = stripeRows, minNodes
+	t.Cleanup(func() { kernelStripeRows, parallelMinNodes = oldStripe, oldGate })
+}
+
+// TestKernelSerialParallelEquality is the golden determinism test: the
+// temperature field must be bit-identical across every kernel thread
+// count — including more workers than stripes — at several grid sizes.
+func TestKernelSerialParallelEquality(t *testing.T) {
+	forceStriping(t, 8, 1)
+	for _, nx := range []int{8, 16, 32} {
+		serial, pmap := gridModel(t, nx, 1)
+		ref, err := serial.Solve(pmap)
+		if err != nil {
+			t.Fatalf("nx=%d serial solve: %v", nx, err)
+		}
+		for _, threads := range []int{2, 3, 5, 64} {
+			m, _ := gridModel(t, nx, threads)
+			got, err := m.Solve(pmap)
+			if err != nil {
+				t.Fatalf("nx=%d threads=%d solve: %v", nx, threads, err)
+			}
+			if got.Iterations != ref.Iterations {
+				t.Errorf("nx=%d threads=%d: %d iterations, serial took %d",
+					nx, threads, got.Iterations, ref.Iterations)
+			}
+			for i := range ref.T {
+				if got.T[i] != ref.T[i] { // bitwise, not approximate
+					t.Fatalf("nx=%d threads=%d: T[%d] = %v, serial %v",
+						nx, threads, i, got.T[i], ref.T[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTransientSerialParallelEquality extends the golden contract to the
+// shifted-diagonal transient stepper, which shares the striped kernels.
+func TestTransientSerialParallelEquality(t *testing.T) {
+	forceStriping(t, 8, 1)
+	run := func(threads int) []float64 {
+		m, pmap := gridModel(t, 16, threads)
+		ts, err := m.NewTransientSolver(1e-3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			if _, err := ts.Step(pmap); err != nil {
+				t.Fatalf("threads=%d step %d: %v", threads, i, err)
+			}
+		}
+		out := make([]float64, len(ts.T))
+		copy(out, ts.T)
+		return out
+	}
+	ref := run(1)
+	for _, threads := range []int{2, 7} {
+		got := run(threads)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("threads=%d: T[%d] = %v, serial %v", threads, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestConcurrentSolves hammers one model from many goroutines (run under
+// -race in CI): the workspace and solution pools must isolate concurrent
+// solves, and every result must match the single-threaded reference
+// bit-for-bit.
+func TestConcurrentSolves(t *testing.T) {
+	forceStriping(t, 16, 1)
+	m, pmap := gridModel(t, 16, 2)
+	ref, err := m.Solve(pmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 4; iter++ {
+				res, err := m.Solve(pmap)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := range ref.T {
+					if res.T[i] != ref.T[i] {
+						errs <- fmt.Errorf("T[%d] = %v, want %v", i, res.T[i], ref.T[i])
+						return
+					}
+				}
+				res.Recycle()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestSolveWarmSteadyStateAllocBudget pins the zero-alloc claim: once the
+// pools are primed, a warm solve allocates only the Result header and the
+// pool boxing — no vectors.
+func TestSolveWarmSteadyStateAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; budget holds only uninstrumented")
+	}
+	m, pmap := gridModel(t, 32, 1)
+	prev, err := m.Solve(pmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		res, err := m.SolveWarm(pmap, prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev.Recycle()
+		prev = res
+	})
+	// Result struct, pool interface boxing, span attributes; anything near
+	// a vector's worth of allocations means a workspace leaked out of the
+	// pool.
+	if allocs > 10 {
+		t.Fatalf("warm solve allocated %.0f objects/op, want <= 10", allocs)
+	}
+}
+
+// TestSolveMultiCtx covers the satellite path: cancellation propagates and
+// the solve runs under a "thermal.cg" span like SolveWarmCtx does.
+func TestSolveMultiCtx(t *testing.T) {
+	m, pmap := gridModel(t, 16, 1)
+	chipLayer := m.ChipLayerOffset() / m.nCells
+	perLayer := map[int][]float64{chipLayer: pmap}
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.SolveMultiCtx(canceled, perLayer); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveMultiCtx with canceled context: got %v, want context.Canceled", err)
+	}
+
+	tr := obs.NewTrace("test", "kernel_test")
+	ctx := obs.WithTrace(context.Background(), tr)
+	res, err := m.SolveMultiCtx(ctx, perLayer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakC() <= m.cfg.AmbientC {
+		t.Errorf("peak %.2f not above ambient %.2f", res.PeakC(), m.cfg.AmbientC)
+	}
+	tr.Finish()
+	found := false
+	tr.Snapshot().Walk(func(sp *obs.SpanJSON) {
+		if sp.Name == "thermal.cg" {
+			found = true
+		}
+	})
+	if !found {
+		t.Error("SolveMultiCtx left no thermal.cg span in the trace")
+	}
+
+	// Single-layer multi must agree with the plain solve bit-for-bit (same
+	// RHS, same cold start).
+	ref, err := m.Solve(pmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.T {
+		if res.T[i] != ref.T[i] {
+			t.Fatalf("T[%d] = %v, Solve gives %v", i, res.T[i], ref.T[i])
+		}
+	}
+}
+
+// TestSolveMultiCtxRejectsBadInput keeps the validation of the old
+// SolveMulti path intact after the ctx rewiring.
+func TestSolveMultiCtxRejectsBadInput(t *testing.T) {
+	m, pmap := gridModel(t, 16, 1)
+	ctx := context.Background()
+	if _, err := m.SolveMultiCtx(ctx, map[int][]float64{-1: pmap}); err == nil {
+		t.Error("expected error for negative layer")
+	}
+	if _, err := m.SolveMultiCtx(ctx, map[int][]float64{99: pmap}); err == nil {
+		t.Error("expected error for out-of-range layer")
+	}
+	if _, err := m.SolveMultiCtx(ctx, map[int][]float64{0: pmap[:3]}); err == nil {
+		t.Error("expected error for short power map")
+	}
+	bad := make([]float64, len(pmap))
+	bad[0] = -1
+	if _, err := m.SolveMultiCtx(ctx, map[int][]float64{0: bad}); err == nil {
+		t.Error("expected error for negative power")
+	}
+}
+
+// TestRecycleTwice guards the at-most-once contract.
+func TestRecycleTwice(t *testing.T) {
+	m, pmap := gridModel(t, 16, 1)
+	res, err := m.Solve(pmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Recycle()
+	res.Recycle() // must be a no-op, not a double pool put
+	if res.T != nil {
+		t.Error("Recycle left T non-nil")
+	}
+}
+
+func benchSolveWarm(b *testing.B, nx, threads int) {
+	m, pmap := gridModel(b, nx, threads)
+	prev, err := m.Solve(pmap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := m.SolveWarm(pmap, prev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prev.Recycle()
+		prev = res
+	}
+}
+
+func BenchmarkSolveWarmGrid64Serial(b *testing.B)   { benchSolveWarm(b, 64, 1) }
+func BenchmarkSolveWarmGrid64Threads2(b *testing.B) { benchSolveWarm(b, 64, 2) }
+func BenchmarkSolveWarmGrid64Threads4(b *testing.B) { benchSolveWarm(b, 64, 4) }
+
+// BenchmarkSpmvStriped times one serial pass of the CSR SpMV at the
+// production grid — the bandwidth-bound inner kernel of every CG
+// iteration.
+func BenchmarkSpmvStriped(b *testing.B) {
+	m, _ := gridModel(b, 64, 1)
+	x := make([]float64, m.nNodes)
+	y := make([]float64, m.nNodes)
+	for i := range x {
+		x[i] = float64(i%7) * 0.5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spmvStriped(1, m.diag, m.csr, y, x, nil, nil)
+	}
+}
+
+// BenchmarkICApply times one IC(0) forward+backward substitution, the
+// serial latency-bound half of a CG iteration.
+func BenchmarkICApply(b *testing.B) {
+	m, _ := gridModel(b, 64, 1)
+	r := make([]float64, m.nNodes)
+	z := make([]float64, m.nNodes)
+	for i := range r {
+		r[i] = float64(i%5) * 0.25
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.precond.apply(z, r)
+	}
+}

@@ -16,6 +16,7 @@ package thermal
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"chiplet25d/internal/floorplan"
 	"chiplet25d/internal/geom"
@@ -44,6 +45,13 @@ type Config struct {
 	Tolerance float64
 	// MaxIterations bounds the CG solve.
 	MaxIterations int
+	// KernelThreads overrides the package-default worker count for the
+	// parallel solver kernel (SetKernelThreads) for models built from this
+	// config. 0 keeps the package default; 1 forces serial — what nested
+	// parallelism (org's exhaustive scan, chipletd's worker pool) sets to
+	// avoid oversubscription. The thread count never changes results: the
+	// kernel is bit-deterministic across worker counts (see kernel.go).
+	KernelThreads int
 }
 
 // DefaultConfig returns the evaluation configuration from Sec. IV: 64x64
@@ -83,6 +91,9 @@ func (c Config) Validate() error {
 	if c.MaxIterations <= 0 {
 		return fmt.Errorf("thermal: max iterations must be positive")
 	}
+	if c.KernelThreads < 0 {
+		return fmt.Errorf("thermal: kernel threads must be non-negative, got %d", c.KernelThreads)
+	}
 	return nil
 }
 
@@ -104,7 +115,10 @@ type Model struct {
 	nNodes int       // (nLayer+2)*nCells
 
 	diag  []float64 // diagonal of the conductance matrix
-	links []link    // strictly off-diagonal symmetric entries
+	links []link    // assembly-time edge list; dropped by finalize
+	// csr is the finalized off-diagonal structure the solve kernel sweeps
+	// (see csr.go); built once per model from the edge list.
+	csr *csrMatrix
 	// convG is the per-sink-cell convection conductance (W/K); its sum
 	// times (Tsink - Tamb) is the heat leaving the system.
 	convG []float64
@@ -115,6 +129,12 @@ type Model struct {
 	sinkBase int // node index of the first sink node
 
 	precond *icPreconditioner
+
+	// wsPool recycles CG scratch workspaces and xPool recycled solution
+	// vectors (fed by Result.Recycle), so steady-state warm solves do no
+	// large allocations. Both are safe for concurrent solves.
+	wsPool sync.Pool
+	xPool  sync.Pool
 }
 
 // Grid returns the package grid used for chip-layer power maps.
@@ -156,8 +176,18 @@ func NewModel(stack floorplan.Stack, cfg Config) (*Model, error) {
 	m.diag = make([]float64, m.nNodes)
 	m.convG = make([]float64, m.nCells)
 	m.assemble()
-	m.precond = newICPreconditioner(m.nNodes, m.diag, m.links)
+	m.finalize()
 	return m, nil
+}
+
+// finalize converts the assembled edge list into the solver's CSR layout,
+// derives the IC(0) preconditioner from the same (already column-sorted)
+// structure, and drops the edge list — after this point every matvec is a
+// gather-only row sweep over the CSR arrays.
+func (m *Model) finalize() {
+	m.csr = newCSR(m.nNodes, m.links)
+	m.precond = newICFromCSR(m.nNodes, m.diag, m.csr)
+	m.links = nil
 }
 
 // addLink registers a symmetric conductance g between nodes a and b.

@@ -1,0 +1,7 @@
+//go:build race
+
+package thermal
+
+// raceEnabled reports whether the race detector is instrumenting this test
+// binary; its tracking allocates, so allocation-budget tests skip.
+const raceEnabled = true

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
 
 	"chiplet25d/internal/geom"
 	"chiplet25d/internal/obs"
@@ -21,6 +20,26 @@ type Result struct {
 	Residual float64
 
 	model *Model
+}
+
+// Recycle returns the result's temperature buffer to the model's solution
+// pool so a later solve can reuse it without allocating. The result must
+// not be used afterward. Steady-state serving loops (the leakage fixed
+// point, chipletd's solve path) call this on every superseded result to
+// keep warm solves allocation-free; callers that retain the result simply
+// never recycle it. Safe to call at most once; nil-model (already
+// recycled) calls are no-ops.
+func (r *Result) Recycle() {
+	m := r.model
+	if m == nil || r.T == nil {
+		return
+	}
+	t := r.T
+	r.model = nil
+	r.T = nil
+	if len(t) == m.nNodes {
+		m.xPool.Put(&t)
+	}
 }
 
 // ChipT returns the chip-layer cell temperatures (length Nx*Ny), aliasing
@@ -99,55 +118,6 @@ func (r *Result) HeatOutW() float64 {
 	return out
 }
 
-// Solve computes the steady-state temperature field for the given
-// chip-layer power map (watts per package-grid cell, length Nx*Ny).
-func (m *Model) Solve(chipPower []float64) (*Result, error) {
-	return m.SolveWarm(chipPower, nil)
-}
-
-// SolveCtx is Solve with cooperative cancellation: the CG iteration checks
-// ctx periodically and aborts with ctx's error once it is done.
-func (m *Model) SolveCtx(ctx context.Context, chipPower []float64) (*Result, error) {
-	return m.SolveWarmCtx(ctx, chipPower, nil)
-}
-
-// SolveMulti solves with power injected into several package layers at
-// once — the 3D-stacking case, where more than one CMOS layer dissipates.
-// Keys are layer indices (bottom-up, as in the stack); values are
-// per-cell watts (length Nx*Ny).
-func (m *Model) SolveMulti(perLayer map[int][]float64) (*Result, error) {
-	rhs := make([]float64, m.nNodes)
-	for l, pmap := range perLayer {
-		if l < 0 || l >= m.nLayer {
-			return nil, fmt.Errorf("thermal: power layer %d out of range [0,%d)", l, m.nLayer)
-		}
-		if len(pmap) != m.nCells {
-			return nil, fmt.Errorf("thermal: layer %d power map has %d cells, model grid has %d", l, len(pmap), m.nCells)
-		}
-		for c, p := range pmap {
-			if p < 0 {
-				return nil, fmt.Errorf("thermal: negative power %g at layer %d cell %d", p, l, c)
-			}
-			rhs[l*m.nCells+c] += p
-		}
-	}
-	for c := 0; c < m.nCells; c++ {
-		rhs[m.sinkBase+c] += m.convG[c] * m.cfg.AmbientC
-	}
-	for c, g := range m.boardG {
-		rhs[c] += g * m.cfg.AmbientC
-	}
-	x := make([]float64, m.nNodes)
-	for i := range x {
-		x[i] = m.cfg.AmbientC
-	}
-	iters, res, err := m.pcg(context.Background(), x, rhs)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{T: x, Iterations: iters, Residual: res, model: m}, nil
-}
-
 // LayerT returns the temperatures of one package layer's cells (aliasing
 // the result's storage).
 func (r *Result) LayerT(layer int) ([]float64, error) {
@@ -175,6 +145,66 @@ func (r *Result) PeakOverLayers(layers []int) (float64, error) {
 	return peak, nil
 }
 
+// workspace holds the per-solve scratch vectors of the CG iteration plus
+// the RHS assembly buffer and the per-stripe partial-sum slots. Workspaces
+// are pooled per model so steady-state serving does zero large allocations
+// per solve.
+type workspace struct {
+	r, z, p, ap []float64
+	rhs         []float64
+	parts       []float64
+}
+
+// getWorkspace fetches a pooled workspace (or allocates the first one).
+func (m *Model) getWorkspace() *workspace {
+	if v := m.wsPool.Get(); v != nil {
+		return v.(*workspace)
+	}
+	n := m.nNodes
+	return &workspace{
+		r: make([]float64, n), z: make([]float64, n),
+		p: make([]float64, n), ap: make([]float64, n),
+		rhs:   make([]float64, n),
+		parts: make([]float64, numStripes(n)),
+	}
+}
+
+func (m *Model) putWorkspace(ws *workspace) { m.wsPool.Put(ws) }
+
+// getX fetches a solution vector from the pool fed by Result.Recycle.
+func (m *Model) getX() []float64 {
+	if v := m.xPool.Get(); v != nil {
+		return *(v.(*[]float64))
+	}
+	return make([]float64, m.nNodes)
+}
+
+// kernelThreads resolves the worker count for this model's solves: the
+// config override, else the package default, gated to serial for systems
+// too small to amortize dispatch.
+func (m *Model) kernelThreads() int {
+	if m.nNodes < parallelMinNodes {
+		return 1
+	}
+	t := m.cfg.KernelThreads
+	if t <= 0 {
+		t = KernelThreads()
+	}
+	return t
+}
+
+// Solve computes the steady-state temperature field for the given
+// chip-layer power map (watts per package-grid cell, length Nx*Ny).
+func (m *Model) Solve(chipPower []float64) (*Result, error) {
+	return m.SolveWarm(chipPower, nil)
+}
+
+// SolveCtx is Solve with cooperative cancellation: the CG iteration checks
+// ctx periodically and aborts with ctx's error once it is done.
+func (m *Model) SolveCtx(ctx context.Context, chipPower []float64) (*Result, error) {
+	return m.SolveWarmCtx(ctx, chipPower, nil)
+}
+
 // SolveWarm is Solve with a warm start from a previous result for the same
 // model (pass nil for a cold start from ambient).
 func (m *Model) SolveWarm(chipPower []float64, prev *Result) (*Result, error) {
@@ -189,7 +219,12 @@ func (m *Model) SolveWarmCtx(ctx context.Context, chipPower []float64, prev *Res
 	if len(chipPower) != m.nCells {
 		return nil, fmt.Errorf("thermal: power map has %d cells, model grid has %d", len(chipPower), m.nCells)
 	}
-	rhs := make([]float64, m.nNodes)
+	ws := m.getWorkspace()
+	defer m.putWorkspace(ws)
+	rhs := ws.rhs
+	for i := range rhs {
+		rhs[i] = 0
+	}
 	chipBase := m.ChipLayerOffset()
 	for c, p := range chipPower {
 		if p < 0 {
@@ -197,13 +232,8 @@ func (m *Model) SolveWarmCtx(ctx context.Context, chipPower []float64, prev *Res
 		}
 		rhs[chipBase+c] = p
 	}
-	for c := 0; c < m.nCells; c++ {
-		rhs[m.sinkBase+c] += m.convG[c] * m.cfg.AmbientC
-	}
-	for c, g := range m.boardG {
-		rhs[c] += g * m.cfg.AmbientC
-	}
-	x := make([]float64, m.nNodes)
+	m.addBoundaryRHS(rhs)
+	x := m.getX()
 	warm := prev != nil && len(prev.T) == m.nNodes
 	if warm {
 		copy(x, prev.T)
@@ -212,8 +242,73 @@ func (m *Model) SolveWarmCtx(ctx context.Context, chipPower []float64, prev *Res
 			x[i] = m.cfg.AmbientC
 		}
 	}
+	return m.runPCG(ctx, ws, x, warm)
+}
+
+// SolveMulti solves with power injected into several package layers at
+// once — the 3D-stacking case, where more than one CMOS layer dissipates.
+// Keys are layer indices (bottom-up, as in the stack); values are
+// per-cell watts (length Nx*Ny).
+func (m *Model) SolveMulti(perLayer map[int][]float64) (*Result, error) {
+	return m.SolveMultiCtx(context.Background(), perLayer)
+}
+
+// SolveMultiCtx is SolveMulti with cooperative cancellation; like
+// SolveWarmCtx it runs the CG under a "thermal.cg" span, so multi-layer
+// solves show up in request traces too.
+func (m *Model) SolveMultiCtx(ctx context.Context, perLayer map[int][]float64) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("thermal: solve abandoned before starting: %w", err)
+	}
+	ws := m.getWorkspace()
+	defer m.putWorkspace(ws)
+	rhs := ws.rhs
+	for i := range rhs {
+		rhs[i] = 0
+	}
+	for l, pmap := range perLayer {
+		if l < 0 || l >= m.nLayer {
+			return nil, fmt.Errorf("thermal: power layer %d out of range [0,%d)", l, m.nLayer)
+		}
+		if len(pmap) != m.nCells {
+			return nil, fmt.Errorf("thermal: layer %d power map has %d cells, model grid has %d", l, len(pmap), m.nCells)
+		}
+		for c, p := range pmap {
+			if p < 0 {
+				return nil, fmt.Errorf("thermal: negative power %g at layer %d cell %d", p, l, c)
+			}
+			rhs[l*m.nCells+c] += p
+		}
+	}
+	m.addBoundaryRHS(rhs)
+	x := m.getX()
+	for i := range x {
+		x[i] = m.cfg.AmbientC
+	}
+	return m.runPCG(ctx, ws, x, false)
+}
+
+// addBoundaryRHS adds the ambient boundary terms (sink convection and the
+// optional board path) to an assembled right-hand side.
+func (m *Model) addBoundaryRHS(rhs []float64) {
+	for c := 0; c < m.nCells; c++ {
+		rhs[m.sinkBase+c] += m.convG[c] * m.cfg.AmbientC
+	}
+	for c, g := range m.boardG {
+		rhs[c] += g * m.cfg.AmbientC
+	}
+}
+
+// runPCG runs the preconditioned CG under a span, assembling the Result.
+// On error the solution buffer goes back to the pool.
+func (m *Model) runPCG(ctx context.Context, ws *workspace, x []float64, warm bool) (*Result, error) {
 	ctx, sp := obs.Start(ctx, "thermal.cg")
-	iters, res, err := m.pcg(ctx, x, rhs)
+	sys := cgSystem{
+		diag: m.diag, mat: m.csr, pre: m.precond,
+		tol: m.cfg.Tolerance, maxIter: m.cfg.MaxIterations,
+		threads: m.kernelThreads(),
+	}
+	iters, res, err := pcgSolve(ctx, &sys, ws, x, ws.rhs)
 	sp.SetAttr("iterations", iters)
 	if !math.IsNaN(res) { // NaN (abandoned solve) is not JSON-encodable
 		sp.SetAttr("residual", res)
@@ -222,50 +317,46 @@ func (m *Model) SolveWarmCtx(ctx context.Context, chipPower []float64, prev *Res
 	sp.SetAttr("warm_start", warm)
 	sp.End()
 	if err != nil {
+		m.xPool.Put(&x)
 		return nil, err
 	}
 	return &Result{T: x, Iterations: iters, Residual: res, model: m}, nil
 }
 
-// matvec computes y = A·x for the assembled conductance matrix.
-func (m *Model) matvec(y, x []float64) {
-	for i, d := range m.diag {
-		y[i] = d * x[i]
-	}
-	for _, l := range m.links {
-		y[l.a] -= l.g * x[l.b]
-		y[l.b] -= l.g * x[l.a]
-	}
+// cgSystem bundles the SPD system one PCG run solves: the (possibly
+// shifted) diagonal, the shared CSR off-diagonals, a matching IC(0)
+// factorization, and the iteration controls.
+type cgSystem struct {
+	diag    []float64
+	mat     *csrMatrix
+	pre     *icPreconditioner
+	tol     float64
+	maxIter int
+	threads int
 }
 
-// pcg runs preconditioned conjugate gradients, overwriting x with the
+// pcgSolve runs preconditioned conjugate gradients, overwriting x with the
 // solution of A·x = b. Returns iterations used and the final relative
 // residual. ctx is checked every few iterations so long solves can be
-// abandoned (e.g. when an HTTP client disconnects).
-func (m *Model) pcg(ctx context.Context, x, b []float64) (int, float64, error) {
-	n := m.nNodes
-	r := make([]float64, n)
-	z := make([]float64, n)
-	p := make([]float64, n)
-	ap := make([]float64, n)
+// abandoned (e.g. when an HTTP client disconnects). All vector stages run
+// through the striped kernel, so the result is bit-identical for every
+// thread count (see kernel.go for the determinism contract).
+func pcgSolve(ctx context.Context, sys *cgSystem, ws *workspace, x, b []float64) (int, float64, error) {
+	th := sys.threads
+	r, z, p, ap, parts := ws.r, ws.z, ws.p, ws.ap, ws.parts
 
-	m.matvec(ap, x)
-	bnorm := 0.0
-	for i := 0; i < n; i++ {
-		r[i] = b[i] - ap[i]
-		bnorm += b[i] * b[i]
-	}
-	bnorm = math.Sqrt(bnorm)
+	spmvStriped(th, sys.diag, sys.mat, ap, x, nil, nil)
+	residualStriped(th, r, b, ap, parts)
+	bnorm := math.Sqrt(reduceParts(parts))
 	if bnorm == 0 {
 		for i := range x {
 			x[i] = 0
 		}
 		return 0, 0, nil
 	}
-	m.precond.apply(z, r)
+	rz := sys.pre.apply(z, r)
 	copy(p, z)
-	rz := dot(r, z)
-	for it := 1; it <= m.cfg.MaxIterations; it++ {
+	for it := 1; it <= sys.maxIter; it++ {
 		if it&0x1f == 0 {
 			select {
 			case <-ctx.Done():
@@ -273,108 +364,125 @@ func (m *Model) pcg(ctx context.Context, x, b []float64) (int, float64, error) {
 			default:
 			}
 		}
-		m.matvec(ap, p)
-		pap := dot(p, ap)
+		spmvStriped(th, sys.diag, sys.mat, ap, p, p, parts)
+		pap := reduceParts(parts)
 		if pap <= 0 {
 			return it, math.NaN(), fmt.Errorf("thermal: CG breakdown (pAp = %g); matrix not SPD", pap)
 		}
 		alpha := rz / pap
-		for i := 0; i < n; i++ {
-			x[i] += alpha * p[i]
-			r[i] -= alpha * ap[i]
-		}
-		rnorm := math.Sqrt(dot(r, r))
-		if rnorm/bnorm < m.cfg.Tolerance {
+		updateStriped(th, alpha, x, p, r, ap, parts)
+		rnorm := math.Sqrt(reduceParts(parts))
+		if rnorm/bnorm < sys.tol {
 			return it, rnorm / bnorm, nil
 		}
-		m.precond.apply(z, r)
-		rzNew := dot(r, z)
+		rzNew := sys.pre.apply(z, r)
 		beta := rzNew / rz
 		rz = rzNew
-		for i := 0; i < n; i++ {
-			p[i] = z[i] + beta*p[i]
-		}
+		combineStriped(th, beta, p, z)
 	}
-	rnorm := math.Sqrt(dot(r, r))
-	return m.cfg.MaxIterations, rnorm / bnorm, fmt.Errorf(
+	dotStriped(th, r, r, parts)
+	rnorm := math.Sqrt(reduceParts(parts))
+	return sys.maxIter, rnorm / bnorm, fmt.Errorf(
 		"thermal: CG did not converge in %d iterations (residual %.3g)",
-		m.cfg.MaxIterations, rnorm/bnorm)
-}
-
-func dot(a, b []float64) float64 {
-	s := 0.0
-	for i, v := range a {
-		s += v * b[i]
-	}
-	return s
+		sys.maxIter, rnorm/bnorm)
 }
 
 // icPreconditioner is a zero-fill incomplete Cholesky factorization
 // A ≈ L·Lᵀ restricted to A's sparsity pattern. Thermal conductance matrices
 // are symmetric M-matrices, for which IC(0) exists and is stable; a
 // diagonal-shift fallback guards against rounding-induced breakdown.
+//
+// Both triangular solves are gather-only: the forward pass reads the lower
+// factor row-wise, and the backward pass reads a precomputed transpose of
+// it (upPtr/upCol/upVal), so neither loop scatters writes across rows and
+// each fuses its division into the single sweep.
 type icPreconditioner struct {
 	n      int
 	rowPtr []int32   // CSR row pointers for the strict lower triangle
 	colIdx []int32   // column indices (sorted ascending per row)
 	lval   []float64 // factor values for the strict lower triangle
 	d      []float64 // diagonal of L
+	dinv   []float64 // 1/d: the solves multiply, since an FP divide in a
+	// loop-carried dependency chain costs ~10x a multiply
+
+	upPtr []int32   // CSR of the strict upper triangle (Lᵀ's rows)
+	upCol []int32   // for row i: the rows j > i with L[j][i] ≠ 0
+	upVal []float64 // L[j][i], mirrored from lval after factorization
+	upPos []int32   // lval index backing each upVal entry
 }
 
+// newICPreconditioner builds the factorization from an edge list (test
+// entry point); production models pass their CSR via newICFromCSR.
 func newICPreconditioner(n int, diag []float64, links []link) *icPreconditioner {
-	// Build the strict lower triangle in CSR form.
-	counts := make([]int32, n+1)
-	for _, l := range links {
-		hi := l.a
-		if l.b > hi {
-			hi = l.b
-		}
-		counts[hi+1]++
-	}
+	return newICFromCSR(n, diag, newCSR(n, links))
+}
+
+// newICFromCSR builds IC(0) from the full symmetric CSR structure. The CSR
+// rows are already column-sorted, so the lower triangle of row i is simply
+// the row's prefix with col < i — no per-row sorting remains.
+func newICFromCSR(n int, diag []float64, a *csrMatrix) *icPreconditioner {
+	lower := 0
 	for i := 0; i < n; i++ {
-		counts[i+1] += counts[i]
-	}
-	rowPtr := counts
-	colIdx := make([]int32, rowPtr[n])
-	aval := make([]float64, rowPtr[n])
-	next := make([]int32, n)
-	copy(next, rowPtr[:n])
-	for _, l := range links {
-		lo, hi := l.a, l.b
-		if lo > hi {
-			lo, hi = hi, lo
+		for idx := a.rowPtr[i]; idx < a.rowPtr[i+1]; idx++ {
+			if a.colIdx[idx] < int32(i) {
+				lower++
+			}
 		}
-		pos := next[hi]
-		next[hi]++
-		colIdx[pos] = lo
-		aval[pos] = -l.g // off-diagonal entries of the conductance matrix
 	}
-	// Sort the column indices within each row.
+	rowPtr := make([]int32, n+1)
+	colIdx := make([]int32, lower)
+	aval := make([]float64, lower)
+	pos := int32(0)
 	for i := 0; i < n; i++ {
-		lo, hi := rowPtr[i], rowPtr[i+1]
-		row := rowSorter{cols: colIdx[lo:hi], vals: aval[lo:hi]}
-		sort.Sort(row)
+		rowPtr[i] = pos
+		for idx := a.rowPtr[i]; idx < a.rowPtr[i+1]; idx++ {
+			c := a.colIdx[idx]
+			if c >= int32(i) {
+				break // columns are sorted; the rest is the upper triangle
+			}
+			colIdx[pos] = c
+			aval[pos] = a.vals[idx]
+			pos++
+		}
 	}
+	rowPtr[n] = pos
 
 	ic := &icPreconditioner{
 		n: n, rowPtr: rowPtr, colIdx: colIdx,
-		lval: make([]float64, len(aval)),
+		lval: make([]float64, lower),
 		d:    make([]float64, n),
+		dinv: make([]float64, n),
 	}
+	ic.buildTranspose()
 	ic.factor(diag, aval)
 	return ic
 }
 
-type rowSorter struct {
-	cols []int32
-	vals []float64
-}
-
-func (r rowSorter) Len() int           { return len(r.cols) }
-func (r rowSorter) Less(i, j int) bool { return r.cols[i] < r.cols[j] }
-func (r rowSorter) Swap(i, j int) {
-	r.cols[i], r.cols[j] = r.cols[j], r.cols[i]
-	r.vals[i], r.vals[j] = r.vals[j], r.vals[i]
+// buildTranspose indexes the strict upper triangle (the lower factor's
+// transpose) so backward substitution can gather instead of scatter.
+func (ic *icPreconditioner) buildTranspose() {
+	n := ic.n
+	ic.upPtr = make([]int32, n+1)
+	for _, c := range ic.colIdx {
+		ic.upPtr[c+1]++
+	}
+	for i := 0; i < n; i++ {
+		ic.upPtr[i+1] += ic.upPtr[i]
+	}
+	ic.upCol = make([]int32, len(ic.colIdx))
+	ic.upPos = make([]int32, len(ic.colIdx))
+	ic.upVal = make([]float64, len(ic.colIdx))
+	off := make([]int32, n)
+	copy(off, ic.upPtr[:n])
+	for j := 0; j < n; j++ {
+		for idx := ic.rowPtr[j]; idx < ic.rowPtr[j+1]; idx++ {
+			i := ic.colIdx[idx]
+			q := off[i]
+			off[i]++
+			ic.upCol[q] = int32(j)
+			ic.upPos[q] = idx
+		}
+	}
 }
 
 func (ic *icPreconditioner) factor(diag, aval []float64) {
@@ -412,26 +520,44 @@ func (ic *icPreconditioner) factor(diag, aval []float64) {
 			dv = diag[i]
 		}
 		ic.d[i] = math.Sqrt(dv)
+		ic.dinv[i] = 1 / ic.d[i]
+	}
+	// Mirror the factor into the transpose for the backward gather.
+	for q, pos := range ic.upPos {
+		ic.upVal[q] = ic.lval[pos]
 	}
 }
 
 // apply computes z = M⁻¹·r via forward (L·y = r) and backward (Lᵀ·z = y)
-// substitution.
-func (ic *icPreconditioner) apply(z, r []float64) {
+// substitution, returning Σ r[i]·z[i] — the r·z inner product CG needs
+// right after preconditioning — accumulated inside the backward sweep so
+// the pair costs one memory pass instead of two. Both sweeps are fused
+// gather loops: one read pass over the factor, one sequential write per
+// row, the diagonal reciprocal folded in. The sweeps (and the returned
+// dot) run serially in row order for every kernel thread count, so the
+// fused sum never threatens the determinism contract.
+func (ic *icPreconditioner) apply(z, r []float64) float64 {
 	n := ic.n
-	copy(z, r)
+	rowPtr, colIdx, lval, dinv := ic.rowPtr, ic.colIdx, ic.lval, ic.dinv
 	for i := 0; i < n; i++ {
-		s := z[i]
-		for idx := ic.rowPtr[i]; idx < ic.rowPtr[i+1]; idx++ {
-			s -= ic.lval[idx] * z[ic.colIdx[idx]]
+		s := r[i]
+		end := rowPtr[i+1]
+		for idx := rowPtr[i]; idx < end; idx++ {
+			s -= lval[idx] * z[colIdx[idx]]
 		}
-		z[i] = s / ic.d[i]
+		z[i] = s * dinv[i]
 	}
+	upPtr, upCol, upVal := ic.upPtr, ic.upCol, ic.upVal
+	rz := 0.0
 	for i := n - 1; i >= 0; i-- {
-		z[i] /= ic.d[i]
-		zi := z[i]
-		for idx := ic.rowPtr[i]; idx < ic.rowPtr[i+1]; idx++ {
-			z[ic.colIdx[idx]] -= ic.lval[idx] * zi
+		s := z[i]
+		end := upPtr[i+1]
+		for idx := upPtr[i]; idx < end; idx++ {
+			s -= upVal[idx] * z[upCol[idx]]
 		}
+		zi := s * dinv[i]
+		z[i] = zi
+		rz += r[i] * zi
 	}
+	return rz
 }

@@ -1,6 +1,7 @@
 package thermal
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -21,7 +22,8 @@ import (
 // exceed its steady-state envelope before reaching the threshold.
 
 // TransientSolver integrates a model's temperature field over time with a
-// fixed step.
+// fixed step. It owns a persistent solver workspace, so stepping allocates
+// nothing; one TransientSolver must not be stepped concurrently.
 type TransientSolver struct {
 	m  *Model
 	dt float64 // seconds
@@ -29,6 +31,7 @@ type TransientSolver struct {
 	capOverDt []float64 // C_i/Δt per node
 	diag      []float64 // shifted diagonal: G_ii + C_i/Δt
 	precond   *icPreconditioner
+	ws        *workspace
 
 	// T is the current temperature field (°C).
 	T []float64
@@ -51,7 +54,15 @@ func (m *Model) NewTransientSolver(dt float64) (*TransientSolver, error) {
 	for i, d := range m.diag {
 		ts.diag[i] = d + ts.capOverDt[i]
 	}
-	ts.precond = newICPreconditioner(m.nNodes, ts.diag, m.links)
+	// The shifted system shares the model's CSR off-diagonals; only the
+	// diagonal and its IC(0) factorization differ.
+	ts.precond = newICFromCSR(m.nNodes, ts.diag, m.csr)
+	ts.ws = &workspace{
+		r: make([]float64, m.nNodes), z: make([]float64, m.nNodes),
+		p: make([]float64, m.nNodes), ap: make([]float64, m.nNodes),
+		rhs:   make([]float64, m.nNodes),
+		parts: make([]float64, numStripes(m.nNodes)),
+	}
 	ts.T = make([]float64, m.nNodes)
 	for i := range ts.T {
 		ts.T[i] = m.cfg.AmbientC
@@ -110,7 +121,10 @@ func (ts *TransientSolver) Step(chipPower []float64) (float64, error) {
 	if len(chipPower) != m.nCells {
 		return 0, fmt.Errorf("thermal: power map has %d cells, model grid has %d", len(chipPower), m.nCells)
 	}
-	rhs := make([]float64, m.nNodes)
+	rhs := ts.ws.rhs
+	for i := range rhs {
+		rhs[i] = 0
+	}
 	chipBase := m.ChipLayerOffset()
 	for c, p := range chipPower {
 		if p < 0 {
@@ -118,17 +132,17 @@ func (ts *TransientSolver) Step(chipPower []float64) (float64, error) {
 		}
 		rhs[chipBase+c] = p
 	}
-	for c := 0; c < m.nCells; c++ {
-		rhs[m.sinkBase+c] += m.convG[c] * m.cfg.AmbientC
-	}
-	for c, g := range m.boardG {
-		rhs[c] += g * m.cfg.AmbientC
-	}
+	m.addBoundaryRHS(rhs)
 	for i := 0; i < m.nNodes; i++ {
 		rhs[i] += ts.capOverDt[i] * ts.T[i]
 	}
-	if _, _, err := ts.pcgShifted(ts.T, rhs); err != nil {
-		return 0, err
+	sys := cgSystem{
+		diag: ts.diag, mat: m.csr, pre: ts.precond,
+		tol: m.cfg.Tolerance, maxIter: m.cfg.MaxIterations,
+		threads: m.kernelThreads(),
+	}
+	if _, _, err := pcgSolve(context.Background(), &sys, ts.ws, ts.T, rhs); err != nil {
+		return 0, fmt.Errorf("thermal: transient step: %w", err)
 	}
 	ts.Elapsed += ts.dt
 	return ts.PeakC(), nil
@@ -150,66 +164,6 @@ func (ts *TransientSolver) PeakC() float64 {
 func (ts *TransientSolver) ChipT() []float64 {
 	off := ts.m.ChipLayerOffset()
 	return ts.T[off : off+ts.m.nCells]
-}
-
-// pcgShifted solves (G + C/Δt)·x = b with x warm-started in place.
-func (ts *TransientSolver) pcgShifted(x, b []float64) (int, float64, error) {
-	m := ts.m
-	n := m.nNodes
-	r := make([]float64, n)
-	z := make([]float64, n)
-	p := make([]float64, n)
-	ap := make([]float64, n)
-
-	matvec := func(y, v []float64) {
-		for i, d := range ts.diag {
-			y[i] = d * v[i]
-		}
-		for _, l := range m.links {
-			y[l.a] -= l.g * v[l.b]
-			y[l.b] -= l.g * v[l.a]
-		}
-	}
-	matvec(ap, x)
-	bnorm := 0.0
-	for i := 0; i < n; i++ {
-		r[i] = b[i] - ap[i]
-		bnorm += b[i] * b[i]
-	}
-	bnorm = math.Sqrt(bnorm)
-	if bnorm == 0 {
-		for i := range x {
-			x[i] = 0
-		}
-		return 0, 0, nil
-	}
-	ts.precond.apply(z, r)
-	copy(p, z)
-	rz := dot(r, z)
-	for it := 1; it <= m.cfg.MaxIterations; it++ {
-		matvec(ap, p)
-		pap := dot(p, ap)
-		if pap <= 0 {
-			return it, math.NaN(), fmt.Errorf("thermal: transient CG breakdown")
-		}
-		alpha := rz / pap
-		for i := 0; i < n; i++ {
-			x[i] += alpha * p[i]
-			r[i] -= alpha * ap[i]
-		}
-		rnorm := math.Sqrt(dot(r, r))
-		if rnorm/bnorm < m.cfg.Tolerance {
-			return it, rnorm / bnorm, nil
-		}
-		ts.precond.apply(z, r)
-		rzNew := dot(r, z)
-		beta := rzNew / rz
-		rz = rzNew
-		for i := 0; i < n; i++ {
-			p[i] = z[i] + beta*p[i]
-		}
-	}
-	return m.cfg.MaxIterations, math.NaN(), fmt.Errorf("thermal: transient CG did not converge")
 }
 
 // TimeToThreshold integrates under a constant power map until the peak

@@ -1,0 +1,62 @@
+#!/usr/bin/env sh
+# bench.sh - record solver benchmark results as a numbered JSON artifact.
+#
+# Usage: scripts/bench.sh
+#   BENCHTIME=3x scripts/bench.sh   # quicker smoke-quality numbers
+#
+# Runs the thermal solve benchmarks (the root harness plus the kernel
+# thread variants in internal/thermal) with -benchmem and writes
+# BENCH_<n>.json at the repository root, where n counts the BENCH_*.json
+# artifacts already present — so successive runs line up as a series
+# (BENCH_0.json is the pre-CSR seed baseline). Each record carries ns/op,
+# B/op, and allocs/op; the summary derives speedup_vs_serial for every
+# kernel thread variant against BenchmarkSolveWarmGrid64Serial.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+n=0
+for f in BENCH_*.json; do
+    [ -e "$f" ] && n=$((n + 1))
+done
+out="BENCH_${n}.json"
+
+bench_out=$(
+    go test -run '^$' -bench 'BenchmarkThermalSolve64$|BenchmarkLeakageCoupledSim$|BenchmarkTransientStep$' \
+        -benchmem -benchtime "${BENCHTIME:-1s}" . &&
+        go test -run '^$' -bench 'BenchmarkSolveWarmGrid64' \
+            -benchmem -benchtime "${BENCHTIME:-1s}" ./internal/thermal
+)
+echo "$bench_out"
+
+echo "$bench_out" | awk -v out="$out" '
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        ns[name] = $3
+        by[name] = $5
+        al[name] = $7
+        if (!(name in seen)) { order[++cnt] = name; seen[name] = 1 }
+    }
+    END {
+        if (!cnt) { print "bench.sh: no benchmark output" > "/dev/stderr"; exit 1 }
+        printf "{\n  \"benchmarks\": [\n" > out
+        for (i = 1; i <= cnt; i++) {
+            name = order[i]
+            printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+                name, ns[name], by[name], al[name], (i < cnt ? "," : "") > out
+        }
+        printf "  ],\n  \"speedup_vs_serial\": {" > out
+        serial = ns["BenchmarkSolveWarmGrid64Serial"]
+        first = 1
+        for (i = 1; i <= cnt; i++) {
+            name = order[i]
+            if (name ~ /^BenchmarkSolveWarmGrid64Threads/ && serial > 0) {
+                printf "%s\"%s\": %.3f", (first ? "" : ", "), name, serial / ns[name] > out
+                first = 0
+            }
+        }
+        printf "}\n}\n" > out
+    }'
+
+echo "bench.sh: wrote $out"

@@ -7,8 +7,11 @@
 # Steps: gofmt (fails on any unformatted file), go vet, go build,
 # go test -race, the chipletd daemon smoke test (real binary over HTTP:
 # traced solve, /healthz build info, /metrics histograms, /debug/solves,
-# clean SIGTERM drain), a smoke run of the chipletd cache benchmarks, and
-# the tracer-overhead guard (BenchmarkSolveTraced vs BenchmarkSolveUntraced).
+# clean SIGTERM drain), a smoke run of the chipletd cache benchmarks,
+# the tracer-overhead guard (BenchmarkSolveTraced vs BenchmarkSolveUntraced),
+# the thermal kernel-correctness gate (serial vs parallel bit-equality and
+# the concurrent-solve stress, under -race), and the warm-solve allocation
+# budget (zero large allocations per steady-state solve).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -59,5 +62,18 @@ echo "$bench_out" | awk '
         printf "tracer overhead: traced %.0f ns/op vs untraced %.0f ns/op (%.2fx)\n", t, u, ratio
         if (ratio > 1.05) { print "tracer guard: overhead above 5%" > "/dev/stderr"; exit 1 }
     }'
+
+echo "==> thermal kernel correctness (serial vs parallel bit-equality, -race)"
+# Redundant under the full -race run above, but explicit and cheap: the
+# determinism contract (kernel.go) is what keeps chipletd's content-
+# addressed cache honest, so it gets its own named gate.
+go test -race -count 1 \
+    -run 'TestKernelSerialParallelEquality|TestTransientSerialParallelEquality|TestConcurrentSolves' \
+    ./internal/thermal
+
+echo "==> thermal warm-solve allocation budget"
+# Steady-state serving must not allocate vectors: a warm SolveWarm is
+# bounded at a few objects per op (Result header + pool boxing).
+go test -count 1 -run 'TestSolveWarmSteadyStateAllocBudget' ./internal/thermal
 
 echo "==> ci.sh: all green"
