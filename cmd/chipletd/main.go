@@ -5,10 +5,10 @@
 //
 // Usage:
 //
-//	chipletd [-addr :8080] [-workers N] [-kernel-threads N] [-queue N]
-//	         [-cache N] [-timeout 60s] [-grid-max 128] [-config file.json]
-//	         [-log-format text|json] [-log-level info] [-pprof]
-//	         [-trace-ring 64] [-slow-trace 2s]
+//	chipletd [-addr :8080] [-workers N] [-kernel-threads N]
+//	         [-search-workers N] [-queue N] [-cache N] [-timeout 60s]
+//	         [-grid-max 128] [-config file.json] [-log-format text|json]
+//	         [-log-level info] [-pprof] [-trace-ring 64] [-slow-trace 2s]
 //
 // Flags override the optional "server" section of -config. Logs are
 // structured (log/slog); -log-format json emits one JSON object per line,
@@ -63,6 +63,7 @@ func main() {
 		addr       = flag.String("addr", "", "listen address (default :8080)")
 		workers    = flag.Int("workers", 0, "max concurrent solves (default GOMAXPROCS)")
 		kthreads   = flag.Int("kernel-threads", 0, "thermal-kernel worker goroutines per solve (default GOMAXPROCS/workers, min 1)")
+		sworkers   = flag.Int("search-workers", 0, "greedy-restart worker goroutines per org search (default GOMAXPROCS/workers, min 1)")
 		queue      = flag.Int("queue", 0, "admission queue depth; beyond it requests get 503 (default 64)")
 		cacheCap   = flag.Int("cache", 0, "result cache capacity in entries (default 512)")
 		timeout    = flag.Duration("timeout", 0, "per-request deadline (default 60s)")
@@ -97,6 +98,9 @@ func main() {
 		if sc.KernelThreads != nil {
 			opts.KernelThreads = *sc.KernelThreads
 		}
+		if sc.SearchWorkers != nil {
+			opts.SearchWorkers = *sc.SearchWorkers
+		}
 		if sc.QueueDepth != nil {
 			opts.QueueDepth = *sc.QueueDepth
 		}
@@ -125,6 +129,9 @@ func main() {
 	}
 	if *kthreads > 0 {
 		opts.KernelThreads = *kthreads
+	}
+	if *sworkers > 0 {
+		opts.SearchWorkers = *sworkers
 	}
 	if *queue > 0 {
 		opts.QueueDepth = *queue

@@ -35,7 +35,7 @@ func TestDaemonSmoke(t *testing.T) {
 		"-addr", "127.0.0.1:0",
 		"-workers", "2",
 		"-log-format", "json",
-		"-slow-trace", "1ms", // everything lands in the slow ring too
+		"-slow-trace", "1ns", // everything lands in the slow ring too
 	)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
@@ -178,7 +178,7 @@ func TestDaemonSmoke(t *testing.T) {
 		t.Error("debug/solves recent is empty after a solve")
 	}
 	if len(dbg.Slow) == 0 {
-		t.Error("debug/solves slow is empty despite -slow-trace 1ms")
+		t.Error("debug/solves slow is empty despite -slow-trace 1ns")
 	}
 
 	// pprof stays off without -pprof.

@@ -38,6 +38,7 @@ func main() {
 		starts    = flag.Int("starts", 10, "multi-start greedy start count m")
 		step      = flag.Float64("step", 0.5, "interposer size step (mm)")
 		seed      = flag.Int64("seed", 1, "random seed for the greedy search")
+		sworkers  = flag.Int("search-workers", 0, "concurrent greedy restarts (0/1 = serial; results are identical at any count)")
 		maxCost   = flag.Float64("maxcost", 0, "cap on cost relative to the single chip (0 = uncapped, 1 = iso-cost)")
 		cfgPath   = flag.String("config", "", "JSON configuration file (overrides the other flags)")
 		saveCfg   = flag.String("savecfg", "", "write the effective configuration as JSON to this path")
@@ -57,6 +58,9 @@ func main() {
 		*bench = cfg.Benchmark.Name
 		*threshold = cfg.ThresholdC
 		*alpha, *beta = cfg.Objective.Alpha, cfg.Objective.Beta
+		if *sworkers > 0 {
+			cfg.SearchWorkers = *sworkers
+		}
 		if *saveCfg != "" {
 			if err := writeConfig(*saveCfg, cfg); err != nil {
 				fmt.Fprintln(os.Stderr, "chipletorg:", err)
@@ -77,6 +81,7 @@ func main() {
 			c.Starts = *starts
 			c.InterposerStepMM = *step
 			c.Seed = *seed
+			c.SearchWorkers = *sworkers
 			c.MaxNormCost = *maxCost
 			if *saveCfg != "" {
 				if err := writeConfig(*saveCfg, *c); err != nil {

@@ -30,6 +30,7 @@ func main() {
 		outDir  = flag.String("out", "", "directory for CSV output (optional)")
 		mdPath  = flag.String("md", "", "append all tables as markdown to this file (optional)")
 		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "concurrent sweep units in the figure experiments (0/1 = serial; tables are identical at any count)")
 	)
 	flag.Parse()
 
@@ -50,6 +51,7 @@ func main() {
 	}
 	opts.ThermalGridN = *grid
 	opts.Seed = *seed
+	opts.Workers = *workers
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}

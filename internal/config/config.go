@@ -38,6 +38,11 @@ type File struct {
 	Seed            *int64   `json:"seed,omitempty"`
 	MaxNormCost     *float64 `json:"max_norm_cost,omitempty"`
 	ParallelWorkers *int     `json:"parallel_workers,omitempty"`
+	// SearchWorkers bounds concurrent greedy restarts (0/absent: serial for
+	// the CLIs, the daemon default for chipletd). Purely a wall-clock knob:
+	// results are bit-identical at any worker count (org's determinism
+	// contract).
+	SearchWorkers   *int     `json:"search_workers,omitempty"`
 	SurrogateMargin *float64 `json:"surrogate_margin_c,omitempty"`
 
 	ThermalGridN      *int     `json:"thermal_grid_n,omitempty"`
@@ -69,6 +74,11 @@ type Server struct {
 	// GOMAXPROCS divided by Workers, at least 1, so request-level and
 	// kernel-level parallelism compose without oversubscribing).
 	KernelThreads *int `json:"kernel_threads,omitempty"`
+	// SearchWorkers is the per-search greedy-restart worker count applied to
+	// search requests that do not set their own (default: GOMAXPROCS divided
+	// by Workers, at least 1 — the same budget rule as KernelThreads, one
+	// level up the hierarchy: serve pool → search workers → kernel threads).
+	SearchWorkers *int `json:"search_workers,omitempty"`
 	// QueueDepth bounds the admission queue; beyond it requests are shed
 	// with 503 (default 64).
 	QueueDepth *int `json:"queue_depth,omitempty"`
@@ -158,6 +168,9 @@ func (f *File) ToConfig() (org.Config, error) {
 	if f.ParallelWorkers != nil {
 		cfg.ParallelWorkers = *f.ParallelWorkers
 	}
+	if f.SearchWorkers != nil {
+		cfg.SearchWorkers = *f.SearchWorkers
+	}
 	setF(&cfg.SurrogateMarginC, f.SurrogateMargin)
 	if f.ThermalGridN != nil {
 		cfg.Thermal.Nx, cfg.Thermal.Ny = *f.ThermalGridN, *f.ThermalGridN
@@ -217,6 +230,7 @@ func Save(w io.Writer, cfg org.Config) error {
 		Seed:              &cfg.Seed,
 		MaxNormCost:       &cfg.MaxNormCost,
 		ParallelWorkers:   &cfg.ParallelWorkers,
+		SearchWorkers:     &cfg.SearchWorkers,
 		SurrogateMargin:   &cfg.SurrogateMarginC,
 		ThermalGridN:      &cfg.Thermal.Nx,
 		AmbientC:          &cfg.Thermal.AmbientC,

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"chiplet25d/internal/org"
 	"chiplet25d/internal/perf"
@@ -47,6 +49,11 @@ type Options struct {
 	Benchmarks []string
 	// Seed for the stochastic greedy searches.
 	Seed int64
+	// Workers bounds concurrent per-benchmark units in the figure sweeps
+	// (0/1 = serial). Purely a wall-clock knob: units write ordered result
+	// slots and the evaluation engine's determinism contract keeps every
+	// value bit-identical, so tables are the same at any worker count.
+	Workers int
 }
 
 // DefaultOptions returns reduced-scale options.
@@ -95,11 +102,68 @@ func (o Options) orgConfig(b perf.Benchmark) org.Config {
 	cfg := org.DefaultConfig(b)
 	cfg.Thermal = o.thermalConfig()
 	cfg.Seed = o.Seed
+	if o.Workers > 1 && cfg.Thermal.KernelThreads == 0 {
+		// Unit-level parallelism takes the worker budget; thermal kernels
+		// run serial (the same hierarchy rule org.NewEngine applies for
+		// restart-level parallelism).
+		cfg.Thermal.KernelThreads = 1
+	}
 	if o.Scale == Reduced {
 		cfg.InterposerStepMM = 2
 		cfg.Starts = 5
 	}
 	return cfg
+}
+
+// sharedEngine builds one evaluation engine for this run's physics. The
+// engine fingerprint is benchmark-independent, so every unit of a sweep —
+// whatever its benchmark, threshold, or objective — shares the same memo
+// and concurrent units dedupe overlapping simulations.
+func (o Options) sharedEngine(b perf.Benchmark) (*org.Engine, error) {
+	return org.NewEngine(o.orgConfig(b))
+}
+
+// parallelUnits runs unit(i) for i in [0, n), serially when o.Workers <= 1
+// and on min(Workers, n) goroutines otherwise. Units must be independent and
+// write only their own result slot; callers merge slots in index order, so
+// output is identical at any worker count. The first error by unit index
+// wins, matching what the serial loop would have returned.
+func (o Options) parallelUnits(n int, unit func(i int) error) error {
+	workers := o.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := unit(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = unit(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Table is a rendered experiment result: a header row plus data rows, with

@@ -28,32 +28,45 @@ func Fig6(o Options) (*Table, error) {
 	}
 	cp := cost.DefaultParams()
 	c2d := cp.SingleChipCost(floorplan.ChipEdgeMM, floorplan.ChipEdgeMM)
-	for _, b := range benches {
-		s, err := org.NewSearcher(o.orgConfig(b))
+	eng, err := o.sharedEngine(benches[0])
+	if err != nil {
+		return nil, err
+	}
+	rowsets := make([][][]string, len(benches))
+	err = o.parallelUnits(len(benches), func(i int) error {
+		b := benches[i]
+		s, err := org.NewSearcherWithEngine(o.orgConfig(b), eng)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		base, err := s.Baseline()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if !base.Feasible {
-			return nil, fmt.Errorf("expt: %s baseline infeasible at 85 °C", b.Name)
+			return fmt.Errorf("expt: %s baseline infeasible at 85 °C", b.Name)
 		}
 		for edge := 20.0; edge <= floorplan.MaxInterposerEdgeMM+1e-9; edge += edgeStep {
 			oBest, found, err := s.MaxIPSAtEdge(edge)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			nc4 := cp.Cost25DForInterposer(4, edge) / c2d
 			nc16 := cp.Cost25DForInterposer(16, edge) / c2d
 			if !found {
-				t.AddRow(b.Name, f1(edge), "infeasible", f3(nc4), f3(nc16), "-", "-", "-")
+				rowsets[i] = append(rowsets[i], []string{b.Name, f1(edge), "infeasible", f3(nc4), f3(nc16), "-", "-", "-"})
 				continue
 			}
-			t.AddRow(b.Name, f1(edge), f3(oBest.NormPerf), f3(nc4), f3(nc16),
-				fmt.Sprintf("%d", oBest.N), f1(oBest.Op.FreqMHz), fmt.Sprintf("%d", oBest.ActiveCores))
+			rowsets[i] = append(rowsets[i], []string{b.Name, f1(edge), f3(oBest.NormPerf), f3(nc4), f3(nc16),
+				fmt.Sprintf("%d", oBest.N), f1(oBest.Op.FreqMHz), fmt.Sprintf("%d", oBest.ActiveCores)})
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range rowsets {
+		t.Rows = append(t.Rows, rows...)
 	}
 	t.Notes = append(t.Notes,
 		"paper trends: max IPS is a staircase in interposer size (discrete f and p); cost curves are benchmark-independent",

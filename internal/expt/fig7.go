@@ -5,6 +5,7 @@ import (
 
 	"chiplet25d/internal/floorplan"
 	"chiplet25d/internal/org"
+	"chiplet25d/internal/perf"
 )
 
 // Fig7 reproduces Fig. 7: the minimum objective function value (Eq. (5))
@@ -28,25 +29,49 @@ func Fig7(o Options) (*Table, error) {
 		Title:   "Fig. 7: minimum objective value vs interposer size for (α, β) choices (85 °C)",
 		Columns: []string{"benchmark", "alpha", "beta", "edge_mm", "min_objective", "best_n", "best_f_MHz", "best_p"},
 	}
+	eng, err := o.sharedEngine(benches[0])
+	if err != nil {
+		return nil, err
+	}
+	// Units are (benchmark, weight) pairs: the three weight sweeps of one
+	// benchmark revisit the same placements, so they dedupe through the
+	// shared engine whichever unit gets there first.
+	type unit struct {
+		b perf.Benchmark
+		w org.Objective
+	}
+	var units []unit
 	for _, b := range benches {
-		s, err := org.NewSearcher(o.orgConfig(b))
-		if err != nil {
-			return nil, err
-		}
 		for _, w := range weights {
-			for edge := 20.0; edge <= floorplan.MaxInterposerEdgeMM+1e-9; edge += edgeStep {
-				obj, oBest, found, err := s.MinObjectiveAtEdgeWith(w, edge)
-				if err != nil {
-					return nil, err
-				}
-				if !found {
-					t.AddRow(b.Name, f1(w.Alpha), f1(w.Beta), f1(edge), "infeasible", "-", "-", "-")
-					continue
-				}
-				t.AddRow(b.Name, f1(w.Alpha), f1(w.Beta), f1(edge), f3(obj),
-					fmt.Sprintf("%d", oBest.N), f1(oBest.Op.FreqMHz), fmt.Sprintf("%d", oBest.ActiveCores))
-			}
+			units = append(units, unit{b: b, w: w})
 		}
+	}
+	rowsets := make([][][]string, len(units))
+	err = o.parallelUnits(len(units), func(i int) error {
+		b, w := units[i].b, units[i].w
+		s, err := org.NewSearcherWithEngine(o.orgConfig(b), eng)
+		if err != nil {
+			return err
+		}
+		for edge := 20.0; edge <= floorplan.MaxInterposerEdgeMM+1e-9; edge += edgeStep {
+			obj, oBest, found, err := s.MinObjectiveAtEdgeWith(w, edge)
+			if err != nil {
+				return err
+			}
+			if !found {
+				rowsets[i] = append(rowsets[i], []string{b.Name, f1(w.Alpha), f1(w.Beta), f1(edge), "infeasible", "-", "-", "-"})
+				continue
+			}
+			rowsets[i] = append(rowsets[i], []string{b.Name, f1(w.Alpha), f1(w.Beta), f1(edge), f3(obj),
+				fmt.Sprintf("%d", oBest.N), f1(oBest.Op.FreqMHz), fmt.Sprintf("%d", oBest.ActiveCores)})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range rowsets {
+		t.Rows = append(t.Rows, rows...)
 	}
 	t.Notes = append(t.Notes,
 		"(α,β)=(0,1) reproduces the normalized minimum-cost curve; (1,0) the inverse normalized max performance; the optimum is the curve's minimum",

@@ -25,32 +25,49 @@ func Fig8(o Options) (*Table, error) {
 		Columns: []string{"benchmark", "base_f_MHz", "base_p", "f_MHz", "p", "n",
 			"edge_mm", "s1", "s2", "s3", "perf_gain_%", "cost_delta_%", "peak_C"},
 	}
-	for _, b := range benches {
-		s, err := org.NewSearcher(o.orgConfig(b))
+	eng, err := o.sharedEngine(benches[0])
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]string, len(benches))
+	notes := make([]string, len(benches))
+	err = o.parallelUnits(len(benches), func(i int) error {
+		b := benches[i]
+		s, err := org.NewSearcherWithEngine(o.orgConfig(b), eng)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := s.Optimize()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if !res.Feasible {
-			t.AddRow(b.Name, f1(res.Baseline.Op.FreqMHz), fmt.Sprintf("%d", res.Baseline.ActiveCores),
-				"-", "-", "-", "-", "-", "-", "-", "-", "-", "-")
-			continue
+			rows[i] = []string{b.Name, f1(res.Baseline.Op.FreqMHz), fmt.Sprintf("%d", res.Baseline.ActiveCores),
+				"-", "-", "-", "-", "-", "-", "-", "-", "-", "-"}
+			return nil
 		}
 		best := res.Best
-		t.AddRow(b.Name,
+		rows[i] = []string{b.Name,
 			f1(res.Baseline.Op.FreqMHz), fmt.Sprintf("%d", res.Baseline.ActiveCores),
 			f1(best.Op.FreqMHz), fmt.Sprintf("%d", best.ActiveCores),
 			fmt.Sprintf("%d", best.N), f1(best.InterposerMM),
 			f1(best.S1), f1(best.S2), f1(best.S3),
-			f1((best.NormPerf-1)*100), f1((best.NormCost-1)*100), f1(best.PeakC))
+			f1((best.NormPerf - 1) * 100), f1((best.NormCost - 1) * 100), f1(best.PeakC)}
 		m, err := PlacementMap(best.Placement, best.ActiveCores)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.Notes = append(t.Notes, fmt.Sprintf("%s organization map (#=active core, .=dark core):\n%s", b.Name, m))
+		notes[i] = fmt.Sprintf("%s organization map (#=active core, .=dark core):\n%s", b.Name, m)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, rows...)
+	for _, n := range notes {
+		if n != "" {
+			t.Notes = append(t.Notes, n)
+		}
 	}
 	t.Notes = append(t.Notes,
 		"paper examples: cholesky +80% by raising frequency 533 MHz -> 1 GHz; hpccg +40% by raising active cores 160 -> 256 (and -28% cost); canneal +7% (saturates at 192 cores) with -36% cost")

@@ -1,0 +1,43 @@
+package expt
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFigureSweepsParallelMatchSerial pins the wall-clock-only contract of
+// Options.Workers: the figure sweeps produce byte-identical tables at any
+// worker count, because units write ordered slots and every evaluation value
+// is pure (org's determinism contract).
+func TestFigureSweepsParallelMatchSerial(t *testing.T) {
+	serial := fastOptions()
+	serial.Benchmarks = []string{"canneal", "hpccg"}
+	parallel := serial
+	parallel.Workers = 4
+
+	figures := []struct {
+		name string
+		run  func(Options) (*Table, error)
+	}{
+		{"fig7", Fig7}, // three weight units over one benchmark: shared engine keys overlap
+		{"fig8", Fig8},
+		{"headline85", func(o Options) (*Table, error) { return Headline(o, 85) }},
+	}
+	for _, fig := range figures {
+		fig := fig
+		t.Run(fig.name, func(t *testing.T) {
+			t.Parallel()
+			ts, err := fig.run(serial)
+			if err != nil {
+				t.Fatalf("serial %s: %v", fig.name, err)
+			}
+			tp, err := fig.run(parallel)
+			if err != nil {
+				t.Fatalf("parallel %s: %v", fig.name, err)
+			}
+			if !reflect.DeepEqual(ts, tp) {
+				t.Errorf("%s: parallel table differs from serial\nserial:   %+v\nparallel: %+v", fig.name, ts, tp)
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package org
 
 import (
 	"math"
+	"math/rand"
 
 	"chiplet25d/internal/floorplan"
 	"chiplet25d/internal/power"
@@ -66,8 +67,14 @@ func (s *Searcher) FindPlacementAnnealing(n int, edgeMM float64, op power.DVFSPo
 		visited[pt] = peak
 		return peak, nil
 	}
+	edgeHM := int(math.Round(edgeMM * 2))
+	fIdx := fIdxOf(op)
 	for chain := 0; chain < max(1, ap.Restarts); chain++ {
-		cur := spacePoint{i1: s.rng.Intn(sp.max1 + 1), i2: s.rng.Intn(sp.max2 + 1)}
+		// Each chain draws from its own RNG stream derived from the root
+		// seed and the chain coordinates, same scheme as the greedy
+		// restarts, so annealing results do not depend on call order.
+		rng := rand.New(rand.NewSource(deriveSeed(s.cfg.Seed, saltAnneal, n, edgeHM, fIdx, p, chain)))
+		cur := spacePoint{i1: rng.Intn(sp.max1 + 1), i2: rng.Intn(sp.max2 + 1)}
 		curPeak, err := eval(cur)
 		if err != nil {
 			return floorplan.Placement{}, 0, false, err
@@ -80,7 +87,7 @@ func (s *Searcher) FindPlacementAnnealing(n int, edgeMM float64, op power.DVFSPo
 		// attempts bounds the loop even when most moves fall outside the
 		// design space (tiny spacing spans can make every move invalid).
 		for attempts := 0; evals < ap.MaxEvals && temp > 0.05 && attempts < 4*ap.MaxEvals; attempts++ {
-			mv := neighborMoves[s.rng.Intn(len(neighborMoves))]
+			mv := neighborMoves[rng.Intn(len(neighborMoves))]
 			nb := spacePoint{i1: cur.i1 + mv.i1, i2: cur.i2 + mv.i2}
 			if !sp.contains(nb) {
 				temp *= ap.Cooling
@@ -95,7 +102,7 @@ func (s *Searcher) FindPlacementAnnealing(n int, edgeMM float64, op power.DVFSPo
 				return pl, peak, true, nil
 			}
 			delta := peak - curPeak
-			if delta <= 0 || s.rng.Float64() < math.Exp(-delta/temp) {
+			if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
 				cur, curPeak = nb, peak
 			}
 			temp *= ap.Cooling

@@ -1,0 +1,521 @@
+package org
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/noc"
+	"chiplet25d/internal/obs"
+	"chiplet25d/internal/perf"
+	"chiplet25d/internal/power"
+	"chiplet25d/internal/thermal"
+)
+
+// Engine is the concurrency-safe evaluation core under every search: a
+// sharded, mutex-striped memo of full leakage-coupled thermal simulations
+// with singleflight deduplication, so concurrent greedy restarts, multi-app
+// mixes, and concurrent chipletd requests evaluating the same
+// (benchmark, placement, f, p) share one simulation instead of repeating it.
+//
+// Every memoized value is a pure function of its key and the engine's
+// physics profile — never of arrival order. Two rules make that hold under
+// arbitrary concurrency:
+//
+//   - full simulations are deterministic, so the singleflight winner's
+//     result equals what any loser would have computed;
+//   - the scalar surrogate is calibrated at a canonical DVFS point
+//     (FrequencySet[0]) rather than at whichever point happened to be
+//     simulated first, so the effective thermal resistance rEff(b, pl, p) —
+//     and hence every surrogate estimate — is order-independent.
+//
+// This purity is the determinism contract the parallel multi-start search
+// relies on: parallel and serial searches observe bit-identical evaluation
+// values regardless of interleaving.
+//
+// An Engine is safe for concurrent use by any number of goroutines. It is
+// keyed by a physics fingerprint (Fingerprint); searchers may share an
+// engine only when their configurations agree on that fingerprint.
+type Engine struct {
+	phys physProfile
+	fp   string
+
+	shards [engineShards]engineShard
+
+	// Telemetry, all atomic. hits/misses/dedupWaits describe the sim memo
+	// (the expensive tier); thermalSims/surrogateEvals/cgIterations mirror
+	// the Searcher's classic counters process-wide.
+	hits           atomic.Int64
+	misses         atomic.Int64
+	dedupWaits     atomic.Int64
+	thermalSims    atomic.Int64
+	surrogateEvals atomic.Int64
+	cgIterations   atomic.Int64
+}
+
+const (
+	engineShards = 64
+	// engineShardCap bounds each shard's completed-entry count so a
+	// long-lived process-wide engine cannot grow without bound; on overflow
+	// the shard drops its completed entries (in-flight singleflight entries
+	// survive — their waiters hold direct references). Purity makes
+	// eviction safe: a re-computed value is bit-identical.
+	engineShardCap = 4096
+)
+
+// canonicalFIdx is the DVFS point at which the surrogate's effective
+// thermal resistance is calibrated for every (benchmark, placement, p).
+// Fixing it (rather than using the first-simulated point) keeps surrogate
+// estimates order-independent under concurrency.
+const canonicalFIdx = 0
+
+// physProfile is the physics substrate an engine evaluates on: every
+// configuration input that changes a simulation result. Search-level knobs
+// (seed, starts, workers, objective, cost, interposer sweep) are absent by
+// construction, and the benchmark is a per-call parameter.
+type physProfile struct {
+	Thermal thermal.Config
+	Leakage power.LeakageModel
+	SimOpts power.SimOptions
+	Link    noc.LinkParams
+	Router  noc.RouterParams
+}
+
+// benchKey is the thermally relevant identity of a benchmark: only name,
+// per-core reference power, and NoC traffic enter a simulation.
+type benchKey struct {
+	name     string
+	refCoreW float64
+	traffic  float64
+}
+
+func benchKeyOf(b perf.Benchmark) benchKey {
+	return benchKey{name: b.Name, refCoreW: b.RefCoreW, traffic: b.Traffic}
+}
+
+// engineKey identifies one full simulation.
+type engineKey struct {
+	bench benchKey
+	ek    evalKey
+}
+
+// SimRecord is the memoized outcome of one full leakage-coupled simulation
+// — the scalar results a search or a solve endpoint needs, without the
+// per-node temperature field (which would pin large arrays in the memo).
+type SimRecord struct {
+	PeakC             float64
+	TotalPowerW       float64
+	MeshPowerW        float64
+	LeakageIterations int
+	CGIterations      int
+}
+
+// simEntry is a singleflight slot: the first goroutine to claim a key
+// computes; later arrivals wait on done and read the shared record.
+type simEntry struct {
+	done chan struct{}
+	rec  SimRecord
+	err  error
+}
+
+type engineShard struct {
+	mu   sync.Mutex
+	sims map[engineKey]*simEntry
+	nocs map[engineKey]float64
+}
+
+// EvalStats reports what one evaluation call did, so callers (Searcher,
+// chipletd handlers) can attribute engine work to their own request.
+type EvalStats struct {
+	// Sims is the number of full simulations this call computed itself.
+	Sims int
+	// CGIterations and LeakageIterations sum over those simulations.
+	CGIterations      int
+	LeakageIterations int
+	// MemoHits counts sim-memo lookups answered from a completed entry.
+	MemoHits int
+	// DedupWaits counts lookups that joined an in-flight computation.
+	DedupWaits int
+	// Surrogate reports the evaluation was decided by the calibrated
+	// scalar surrogate without simulating the requested point.
+	Surrogate bool
+}
+
+func (s *EvalStats) add(o EvalStats) {
+	s.Sims += o.Sims
+	s.CGIterations += o.CGIterations
+	s.LeakageIterations += o.LeakageIterations
+	s.MemoHits += o.MemoHits
+	s.DedupWaits += o.DedupWaits
+}
+
+// EngineStats is an engine's cumulative telemetry snapshot.
+type EngineStats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	DedupWaits    int64 `json:"dedup_waits"`
+	ThermalSims   int64 `json:"thermal_sims"`
+	SurrogateHits int64 `json:"surrogate_hits"`
+	CGIterations  int64 `json:"cg_iterations"`
+}
+
+// NewEngine builds an evaluation engine from a configuration's physics
+// fields. The worker-budget hierarchy is applied here: when the
+// configuration enables restart- or scan-level parallelism
+// (SearchWorkers > 1 or ParallelWorkers > 1) and no explicit KernelThreads
+// is set, thermal kernels are pinned serial so the two levels of
+// parallelism do not oversubscribe the machine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.Thermal.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Leakage.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Link.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Router.Validate(); err != nil {
+		return nil, err
+	}
+	phys := physProfile{
+		Thermal: cfg.Thermal,
+		Leakage: cfg.Leakage,
+		SimOpts: cfg.SimOpts,
+		Link:    cfg.Link,
+		Router:  cfg.Router,
+	}
+	if (cfg.SearchWorkers > 1 || cfg.ParallelWorkers > 1) && phys.Thermal.KernelThreads == 0 {
+		phys.Thermal.KernelThreads = 1
+	}
+	e := &Engine{phys: phys, fp: physFingerprint(cfg)}
+	for i := range e.shards {
+		e.shards[i].sims = make(map[engineKey]*simEntry)
+		e.shards[i].nocs = make(map[engineKey]float64)
+	}
+	return e, nil
+}
+
+// physFingerprint canonicalizes the physics substrate of a configuration.
+// KernelThreads is excluded: it is a wall-clock knob with bit-identical
+// results (thermal's determinism contract), so it must not fork engine
+// identity.
+func physFingerprint(cfg Config) string {
+	tc := cfg.Thermal
+	tc.KernelThreads = 0
+	return fmt.Sprintf("%#v|%#v|%#v|%#v|%#v", tc, cfg.Leakage, cfg.SimOpts, cfg.Link, cfg.Router)
+}
+
+// Fingerprint identifies the engine's physics substrate; a Searcher may
+// share this engine only when its configuration fingerprints identically.
+func (e *Engine) Fingerprint() string { return e.fp }
+
+// Stats returns the engine's cumulative telemetry.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Hits:          e.hits.Load(),
+		Misses:        e.misses.Load(),
+		DedupWaits:    e.dedupWaits.Load(),
+		ThermalSims:   e.thermalSims.Load(),
+		SurrogateHits: e.surrogateEvals.Load(),
+		CGIterations:  e.cgIterations.Load(),
+	}
+}
+
+// MemoLen returns the number of completed simulations resident in the memo.
+func (e *Engine) MemoLen() int {
+	n := 0
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		n += len(sh.sims)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+func (e *Engine) shardOf(k engineKey) *engineShard {
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%s|%g|%g|%d|%d|%d|%d|%d|%d",
+		k.bench.name, k.bench.refCoreW, k.bench.traffic,
+		k.ek.pl.n, k.ek.pl.edge2, k.ek.pl.s12, k.ek.pl.s22, k.ek.fIdx, k.ek.cores)
+	return &e.shards[h.Sum32()%engineShards]
+}
+
+// checkEval validates the evaluation coordinates shared by every entry
+// point.
+func checkEval(op power.DVFSPoint, p int) (int, error) {
+	fIdx := fIdxOf(op)
+	if fIdx < 0 {
+		return 0, fmt.Errorf("org: operating point %+v not in the DVFS table", op)
+	}
+	if p <= 0 || p > floorplan.NumCores {
+		return 0, fmt.Errorf("org: active core count %d out of range", p)
+	}
+	return fIdx, nil
+}
+
+// nocPower returns the memoized mesh power for one evaluation key.
+func (e *Engine) nocPower(b perf.Benchmark, pl floorplan.Placement, op power.DVFSPoint, p int, k engineKey) (float64, error) {
+	sh := e.shardOf(k)
+	sh.mu.Lock()
+	if w, ok := sh.nocs[k]; ok {
+		sh.mu.Unlock()
+		return w, nil
+	}
+	sh.mu.Unlock()
+	mesh, err := noc.MeshPower(pl, op, p, b.Traffic, e.phys.Link, e.phys.Router)
+	if err != nil {
+		return 0, err
+	}
+	w := mesh.TotalW()
+	sh.mu.Lock()
+	if len(sh.nocs) >= engineShardCap {
+		sh.nocs = make(map[engineKey]float64)
+	}
+	sh.nocs[k] = w
+	sh.mu.Unlock()
+	return w, nil
+}
+
+// Simulate runs (or joins, or recalls) the full leakage-coupled simulation
+// for an evaluation key. This is the always-simulate entry point: the
+// surrogate never stands in, so the record carries converged power and
+// iteration counts — what the chipletd solve endpoint reports.
+func (e *Engine) Simulate(ctx context.Context, b perf.Benchmark, pl floorplan.Placement, op power.DVFSPoint, p int) (SimRecord, EvalStats, error) {
+	var st EvalStats
+	fIdx, err := checkEval(op, p)
+	if err != nil {
+		return SimRecord{}, st, err
+	}
+	k := engineKey{bench: benchKeyOf(b), ek: evalKey{pl: keyOf(pl), fIdx: fIdx, cores: p}}
+	rec, err := e.sim(ctx, b, pl, op, p, k, &st)
+	return rec, st, err
+}
+
+// sim is the singleflight-deduplicated simulation lookup. Errors are never
+// memoized: a failed or canceled computation removes its entry so later
+// callers (whose contexts may still be live) retry, and waiters that
+// observe a context-shaped error re-enter the lookup under their own
+// context.
+func (e *Engine) sim(ctx context.Context, b perf.Benchmark, pl floorplan.Placement, op power.DVFSPoint, p int, k engineKey, st *EvalStats) (SimRecord, error) {
+	sh := e.shardOf(k)
+	for {
+		if err := ctx.Err(); err != nil {
+			return SimRecord{}, fmt.Errorf("org: search canceled: %w", err)
+		}
+		sh.mu.Lock()
+		if ent, ok := sh.sims[k]; ok {
+			select {
+			case <-ent.done:
+				// Completed entry: a memo hit.
+				sh.mu.Unlock()
+				e.hits.Add(1)
+				st.MemoHits++
+				return ent.rec, ent.err
+			default:
+			}
+			sh.mu.Unlock()
+			// In-flight: join the computation.
+			e.dedupWaits.Add(1)
+			st.DedupWaits++
+			select {
+			case <-ent.done:
+			case <-ctx.Done():
+				return SimRecord{}, fmt.Errorf("org: search canceled: %w", ctx.Err())
+			}
+			if ent.err == nil {
+				return ent.rec, nil
+			}
+			if ctx.Err() == nil && ctxErrLike(ent.err) {
+				// The computing goroutine was canceled but this caller is
+				// live: retry (the failed entry has been removed).
+				continue
+			}
+			return SimRecord{}, ent.err
+		}
+		// Miss: claim the key and compute.
+		ent := &simEntry{done: make(chan struct{})}
+		if len(sh.sims) >= engineShardCap {
+			e.evictCompletedLocked(sh)
+		}
+		sh.sims[k] = ent
+		sh.mu.Unlock()
+		e.misses.Add(1)
+
+		rec, err := e.runSim(ctx, b, pl, op, p, k)
+		ent.rec, ent.err = rec, err
+		if err != nil {
+			// Never memoize failures; purity only covers successes.
+			sh.mu.Lock()
+			if sh.sims[k] == ent {
+				delete(sh.sims, k)
+			}
+			sh.mu.Unlock()
+		}
+		close(ent.done)
+		if err == nil {
+			st.Sims++
+			st.CGIterations += rec.CGIterations
+			st.LeakageIterations += rec.LeakageIterations
+			e.thermalSims.Add(1)
+			e.cgIterations.Add(int64(rec.CGIterations))
+		}
+		return rec, err
+	}
+}
+
+// ctxErrLike reports whether err is (or wraps) a context cancellation or
+// deadline error — the class of failures that are caller-specific and must
+// not be handed to unrelated singleflight waiters.
+func ctxErrLike(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// evictCompletedLocked drops completed entries from a full shard (callers
+// hold sh.mu). In-flight entries are kept: their waiters hold references
+// and the computation is about to deliver a fresh, still-wanted value.
+func (e *Engine) evictCompletedLocked(sh *engineShard) {
+	for k, ent := range sh.sims {
+		select {
+		case <-ent.done:
+			delete(sh.sims, k)
+		default:
+		}
+	}
+}
+
+// runSim executes one full leakage-coupled simulation (no memo interaction).
+func (e *Engine) runSim(ctx context.Context, b perf.Benchmark, pl floorplan.Placement, op power.DVFSPoint, p int, k engineKey) (SimRecord, error) {
+	ctx, esp := obs.Start(ctx, "engine.sim")
+	esp.SetAttr("bench", b.Name)
+	esp.SetAttr("freq_mhz", op.FreqMHz)
+	esp.SetAttr("active_cores", p)
+	defer esp.End()
+	_, nsp := obs.Start(ctx, "noc.mesh")
+	nocW, err := e.nocPower(b, pl, op, p, k)
+	nsp.End()
+	if err != nil {
+		return SimRecord{}, err
+	}
+	_, fsp := obs.Start(ctx, "floorplan.build")
+	fsp.SetAttr("chiplets", pl.NumChiplets())
+	fsp.SetAttr("interposer_mm", pl.W)
+	stack, err := floorplan.BuildStack(pl)
+	if err != nil {
+		fsp.End()
+		return SimRecord{}, err
+	}
+	cores, err := pl.Cores()
+	fsp.End()
+	if err != nil {
+		return SimRecord{}, err
+	}
+	_, msp := obs.Start(ctx, "thermal.model")
+	msp.SetAttr("grid_n", e.phys.Thermal.Nx)
+	model, err := thermal.NewModel(stack, e.phys.Thermal)
+	msp.End()
+	if err != nil {
+		return SimRecord{}, err
+	}
+	active, err := power.MintempActive(p)
+	if err != nil {
+		return SimRecord{}, err
+	}
+	w := power.Workload{
+		RefCoreW: b.RefCoreW,
+		Op:       op,
+		Active:   active,
+		NoCW:     nocW,
+		Leakage:  e.phys.Leakage,
+	}
+	res, err := power.SimulateCtx(ctx, model, cores, w, e.phys.SimOpts)
+	if err != nil {
+		return SimRecord{}, err
+	}
+	return SimRecord{
+		PeakC:             res.PeakC,
+		TotalPowerW:       res.TotalPowerW,
+		MeshPowerW:        nocW,
+		LeakageIterations: res.Iterations,
+		CGIterations:      res.CGIterations,
+	}, nil
+}
+
+// estimate solves the scalar leakage fixed point: peak temperature and
+// total power of p active cores when the silicon sits at the temperature
+// implied by effective thermal resistance rEff.
+func (e *Engine) estimate(b perf.Benchmark, op power.DVFSPoint, p int, nocW, rEff float64) (totalW, peakC float64) {
+	lm := e.phys.Leakage
+	dyn := float64(p)*b.RefCoreW*(1-lm.FracAtRef)*power.DynScale(op) + nocW
+	l0 := float64(p) * b.RefCoreW * lm.FracAtRef * power.LeakScale(op)
+	amb := e.phys.Thermal.AmbientC
+	kk := lm.TempCoeff
+	den := 1 - rEff*l0*kk
+	if den <= 0.05 {
+		den = 0.05 // thermal-runaway guard; the estimate saturates high
+	}
+	peakC = (amb + rEff*(dyn+l0*(1-kk*lm.RefC))) / den
+	totalW = dyn + l0*lm.Factor(peakC)
+	return totalW, peakC
+}
+
+// PeakC evaluates the peak temperature of (benchmark, placement, op, p)
+// under the search policy: when the surrogate margin is non-negative and
+// the operating point is not the canonical calibration point, the scalar
+// surrogate (calibrated from the memoized canonical simulation) decides the
+// evaluation whenever its estimate sits farther than marginC from
+// thresholdC; otherwise the full simulation is memoized and returned.
+//
+// The returned value is a pure function of the arguments and the engine's
+// physics — independent of evaluation order and concurrency.
+func (e *Engine) PeakC(ctx context.Context, b perf.Benchmark, pl floorplan.Placement, op power.DVFSPoint, p int, thresholdC, marginC float64) (float64, EvalStats, error) {
+	var st EvalStats
+	fIdx, err := checkEval(op, p)
+	if err != nil {
+		return 0, st, err
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, st, fmt.Errorf("org: search canceled: %w", err)
+	}
+	bk := benchKeyOf(b)
+	pk := keyOf(pl)
+	k := engineKey{bench: bk, ek: evalKey{pl: pk, fIdx: fIdx, cores: p}}
+	if marginC >= 0 && fIdx != canonicalFIdx {
+		// Calibrate at the canonical point (memoized; usually already
+		// simulated, since the search's objective ordering visits the
+		// canonical frequency early).
+		ck := engineKey{bench: bk, ek: evalKey{pl: pk, fIdx: canonicalFIdx, cores: p}}
+		var cst EvalStats
+		cref, err := e.sim(ctx, b, pl, power.FrequencySet[canonicalFIdx], p, ck, &cst)
+		st.add(cst)
+		if err != nil {
+			return 0, st, err
+		}
+		if cref.TotalPowerW > 0 {
+			rEff := (cref.PeakC - e.phys.Thermal.AmbientC) / cref.TotalPowerW
+			nocW, err := e.nocPower(b, pl, op, p, k)
+			if err != nil {
+				return 0, st, err
+			}
+			_, est := e.estimate(b, op, p, nocW, rEff)
+			if math.Abs(est-thresholdC) > marginC {
+				st.Surrogate = true
+				e.surrogateEvals.Add(1)
+				return est, st, nil
+			}
+		}
+	}
+	var sst EvalStats
+	rec, err := e.sim(ctx, b, pl, op, p, k, &sst)
+	st.add(sst)
+	if err != nil {
+		return 0, st, err
+	}
+	return rec.PeakC, st, nil
+}

@@ -1,0 +1,98 @@
+package org
+
+import (
+	"sync"
+)
+
+// EngineCache is a small, bounded registry of evaluation engines keyed by
+// physics fingerprint, so a long-lived process (chipletd) can back every
+// request that shares a physics substrate — whatever its search-level knobs
+// — with one process-wide engine and its memo. Eviction is LRU by Get
+// order; evicting an engine only drops its memo (in-flight evaluations keep
+// their references and finish normally).
+type EngineCache struct {
+	mu      sync.Mutex
+	max     int
+	engines map[string]*Engine
+	order   []string // LRU: order[0] is the least recently used fingerprint
+}
+
+// NewEngineCache builds a cache bounded to max engines (min 1).
+func NewEngineCache(max int) *EngineCache {
+	if max < 1 {
+		max = 1
+	}
+	return &EngineCache{max: max, engines: make(map[string]*Engine)}
+}
+
+// Get returns the engine for cfg's physics fingerprint, constructing (and
+// caching) one on first use. The configuration must already be validated.
+func (c *EngineCache) Get(cfg Config) (*Engine, error) {
+	fp := physFingerprint(cfg)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.engines[fp]; ok {
+		c.touch(fp)
+		return e, nil
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(c.engines) >= c.max {
+		evict := c.order[0]
+		c.order = c.order[1:]
+		delete(c.engines, evict)
+	}
+	c.engines[fp] = e
+	c.order = append(c.order, fp)
+	return e, nil
+}
+
+// touch moves fp to the most-recently-used position (c.mu held).
+func (c *EngineCache) touch(fp string) {
+	for i, f := range c.order {
+		if f == fp {
+			c.order = append(append(c.order[:i:i], c.order[i+1:]...), fp)
+			return
+		}
+	}
+}
+
+// Len returns the number of resident engines.
+func (c *EngineCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.engines)
+}
+
+// Stats sums telemetry across all resident engines. Counters from evicted
+// engines are lost with them; the aggregate is therefore a lower bound over
+// the process lifetime, which is the honest reading for memo telemetry (an
+// evicted memo's hits are gone too).
+func (c *EngineCache) Stats() EngineStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out EngineStats
+	for _, e := range c.engines {
+		s := e.Stats()
+		out.Hits += s.Hits
+		out.Misses += s.Misses
+		out.DedupWaits += s.DedupWaits
+		out.ThermalSims += s.ThermalSims
+		out.SurrogateHits += s.SurrogateHits
+		out.CGIterations += s.CGIterations
+	}
+	return out
+}
+
+// MemoLen sums resident completed simulations across all engines.
+func (c *EngineCache) MemoLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, e := range c.engines {
+		n += e.MemoLen()
+	}
+	return n
+}

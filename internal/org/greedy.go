@@ -1,11 +1,14 @@
 package org
 
 import (
-	"fmt"
+	"context"
 	"math"
+	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/obs"
 	"chiplet25d/internal/power"
 )
 
@@ -58,19 +61,69 @@ var neighborMoves = [6]spacePoint{
 	{+1, 0}, {-1, 0}, {0, +1}, {0, -1}, {+1, +1}, {-1, -1},
 }
 
+// splitmix64 is the finalizer of the SplitMix64 generator: a cheap,
+// well-mixed 64-bit hash used to derive independent RNG streams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Salts separating the RNG stream families drawn from one root seed.
+const (
+	saltGreedy = 0x67726565 // "gree"
+	saltAnneal = 0x616e6e65 // "anne"
+)
+
+// deriveSeed mixes the root seed with the coordinates of one search unit
+// (salt, chiplet count, interposer edge in half-mm, DVFS index, active
+// cores, restart index) into an independent RNG seed. Deriving per-restart
+// streams — instead of sharing one sequential generator — is what makes the
+// parallel multi-start search bit-identical to the serial one: restart r
+// draws the same numbers no matter which worker runs it, or when.
+func deriveSeed(root int64, salt, n, edgeHM, fIdx, p, restart int) int64 {
+	h := splitmix64(uint64(root))
+	for _, v := range [...]int{salt, n, edgeHM, fIdx, p, restart} {
+		h = splitmix64(h ^ uint64(int64(v)))
+	}
+	return int64(h >> 1) // non-negative
+}
+
+// restartResult is one restart's outcome in the parallel multi-start driver.
+type restartResult struct {
+	pl    floorplan.Placement
+	peak  float64
+	found bool
+	err   error
+	ran   bool
+}
+
+// terminal reports whether a serial search would have stopped at this
+// restart (success or error).
+func (r restartResult) terminal() bool { return r.found || r.err != nil }
+
 // FindPlacement searches for any placement of n chiplets on a square
 // interposer of the given edge meeting the temperature threshold at
 // (op, p), using the paper's multi-start greedy (Sec. III-D). It returns
 // the placement, its peak temperature, and whether one was found.
-func (s *Searcher) FindPlacement(n int, edgeMM float64, op power.DVFSPoint, p int) (outPl floorplan.Placement, outPeak float64, outFound bool, outErr error) {
-	fsp, end := s.startSpan("org.find_placement")
+//
+// With Config.SearchWorkers > 1 the restarts run concurrently over the
+// shared engine memo; the result is bit-identical to the serial search
+// (see the Searcher determinism contract).
+func (s *Searcher) FindPlacement(n int, edgeMM float64, op power.DVFSPoint, p int) (floorplan.Placement, float64, bool, error) {
+	return s.findPlacement(s.ctx, n, edgeMM, op, p)
+}
+
+func (s *Searcher) findPlacement(ctx context.Context, n int, edgeMM float64, op power.DVFSPoint, p int) (outPl floorplan.Placement, outPeak float64, outFound bool, outErr error) {
+	ctx, fsp := obs.Start(ctx, "org.find_placement")
 	fsp.SetAttr("n", n)
 	fsp.SetAttr("edge_mm", edgeMM)
 	fsp.SetAttr("freq_mhz", op.FreqMHz)
 	fsp.SetAttr("active_cores", p)
 	defer func() {
 		fsp.SetAttr("found", outFound)
-		end()
+		fsp.End()
 	}()
 	if n == 4 {
 		pl, err := floorplan.PaperOrgForInterposer(4, edgeMM, 0, 0)
@@ -80,113 +133,184 @@ func (s *Searcher) FindPlacement(n int, edgeMM float64, op power.DVFSPoint, p in
 		if err := pl.Validate(); err != nil {
 			return floorplan.Placement{}, 0, false, nil
 		}
-		ok, peak, err := s.Feasible(pl, op, p)
+		peak, err := s.peakCtx(ctx, s.cfg.Benchmark, pl, op, p)
 		if err != nil {
 			return floorplan.Placement{}, 0, false, err
 		}
-		return pl, peak, ok, nil
+		return pl, peak, peak <= s.cfg.ThresholdC, nil
 	}
 	sp, ok := newSpacingSpace(edgeMM)
 	if !ok {
 		return floorplan.Placement{}, 0, false, nil
 	}
-	visited := make(map[spacePoint]float64)
-	eval := func(pt spacePoint) (float64, bool, error) {
-		if v, seen := visited[pt]; seen {
-			return v, true, nil
-		}
-		pl, valid := sp.placementAt(pt)
-		if !valid {
-			visited[pt] = math.Inf(1)
-			return math.Inf(1), true, nil
-		}
-		peak, err := s.PeakC(pl, op, p)
-		if err != nil {
-			return 0, false, err
-		}
-		visited[pt] = peak
-		return peak, true, nil
+	edgeHM := int(math.Round(edgeMM * 2))
+	fIdx := fIdxOf(op)
+	starts := s.cfg.Starts
+
+	runOne := func(restart int) restartResult {
+		rng := rand.New(rand.NewSource(deriveSeed(s.cfg.Seed, saltGreedy, n, edgeHM, fIdx, p, restart)))
+		pl, peak, found, err := s.runRestart(ctx, sp, op, p, rng, restart)
+		return restartResult{pl: pl, peak: peak, found: found, err: err, ran: true}
 	}
 
-	// runRestart walks one greedy descent from a random start; found is
-	// true when it reached a feasible placement.
-	const maxWalk = 256
-	runRestart := func(restart int) (pl floorplan.Placement, peak float64, found bool, err error) {
-		rsp, rend := s.startSpan("org.restart")
-		rsp.SetAttr("restart", restart)
-		steps, moves := 0, 0
-		defer func() {
-			rsp.SetAttr("steps", steps)
-			rsp.SetAttr("moves_evaluated", moves)
-			rsp.SetAttr("found", found)
-			rend()
-		}()
-		cur := spacePoint{i1: s.rng.Intn(sp.max1 + 1), i2: s.rng.Intn(sp.max2 + 1)}
-		curPeak, _, err := eval(cur)
-		if err != nil {
-			return floorplan.Placement{}, 0, false, err
+	workers := s.cfg.SearchWorkers
+	if workers > starts {
+		workers = starts
+	}
+	if workers <= 1 {
+		for restart := 0; restart < starts; restart++ {
+			r := runOne(restart)
+			if r.err != nil {
+				return floorplan.Placement{}, 0, false, r.err
+			}
+			if r.found {
+				return r.pl, r.peak, true, nil
+			}
 		}
-		if curPeak <= s.cfg.ThresholdC {
-			pl, _ := sp.placementAt(cur)
-			return pl, curPeak, true, nil
-		}
-		for ; steps < maxWalk; steps++ {
-			// Visit the six neighbors per the configured policy: in random
-			// order moving to the first cooler one (the paper's policy,
-			// avoiding fixed-order bias), or steepest-descent for the
-			// ablation. Either way, accept immediately on feasibility.
-			perm := s.rng.Perm(len(neighborMoves))
-			moved := false
-			bestNb, bestPeak := cur, curPeak
-			for _, mi := range perm {
-				mv := neighborMoves[mi]
-				nb := spacePoint{i1: cur.i1 + mv.i1, i2: cur.i2 + mv.i2}
-				if !sp.contains(nb) {
-					continue
+		return floorplan.Placement{}, 0, false, nil
+	}
+
+	// Parallel multi-start. Serial semantics stop at the first terminal
+	// restart (found or error), so the winner is the minimum terminal index;
+	// restarts above the current minimum can no longer affect the outcome
+	// and are skipped. Every skipped index is strictly above some terminal
+	// index, so the ascending scan below always reaches the true winner
+	// before any skipped slot.
+	results := make([]restartResult, starts)
+	var next atomic.Int64
+	var stopAt atomic.Int64
+	stopAt.Store(int64(starts))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				restart := int(next.Add(1) - 1)
+				if restart >= starts {
+					return
 				}
-				moves++
-				peak, _, err := eval(nb)
-				if err != nil {
-					return floorplan.Placement{}, 0, false, err
+				if int64(restart) > stopAt.Load() {
+					continue // cannot beat an earlier terminal restart
 				}
-				if peak <= s.cfg.ThresholdC {
-					pl, _ := sp.placementAt(nb)
-					return pl, peak, true, nil
-				}
-				if peak < bestPeak {
-					bestNb, bestPeak = nb, peak
-					if s.cfg.NeighborPolicy == RandomNeighbor {
-						break
+				r := runOne(restart)
+				results[restart] = r
+				if r.terminal() {
+					for {
+						cur := stopAt.Load()
+						if int64(restart) >= cur || stopAt.CompareAndSwap(cur, int64(restart)) {
+							break
+						}
 					}
 				}
 			}
-			if bestPeak < curPeak {
-				cur, curPeak = bestNb, bestPeak
-				moved = true
-			}
-			if !moved {
-				break // local minimum: next random start
-			}
-		}
-		return floorplan.Placement{}, curPeak, false, nil
+		}()
 	}
-	for start := 0; start < s.cfg.Starts; start++ {
-		pl, peak, found, err := runRestart(start)
-		if err != nil {
-			return floorplan.Placement{}, 0, false, err
+	wg.Wait()
+	for restart := 0; restart < starts; restart++ {
+		r := results[restart]
+		if !r.ran {
+			continue
 		}
-		if found {
-			return pl, peak, true, nil
+		if r.err != nil {
+			return floorplan.Placement{}, 0, false, r.err
+		}
+		if r.found {
+			return r.pl, r.peak, true, nil
 		}
 	}
 	return floorplan.Placement{}, 0, false, nil
 }
 
+// runRestart walks one greedy descent from its derived random start; found
+// is true when it reached a feasible placement. The visited map is restart-
+// local (a trajectory cache); cross-restart and cross-caller sharing happens
+// in the engine memo, which all evaluations go through.
+func (s *Searcher) runRestart(ctx context.Context, sp spacingSpace, op power.DVFSPoint, p int, rng *rand.Rand, restart int) (outPl floorplan.Placement, outPeak float64, outFound bool, outErr error) {
+	_, rsp := obs.Start(ctx, "org.restart")
+	rsp.SetAttr("restart", restart)
+	steps, moves := 0, 0
+	defer func() {
+		rsp.SetAttr("steps", steps)
+		rsp.SetAttr("moves_evaluated", moves)
+		rsp.SetAttr("found", outFound)
+		rsp.End()
+	}()
+	visited := make(map[spacePoint]float64)
+	eval := func(pt spacePoint) (float64, error) {
+		if v, seen := visited[pt]; seen {
+			return v, nil
+		}
+		pl, valid := sp.placementAt(pt)
+		if !valid {
+			visited[pt] = math.Inf(1)
+			return math.Inf(1), nil
+		}
+		peak, err := s.peakCtx(ctx, s.cfg.Benchmark, pl, op, p)
+		if err != nil {
+			return 0, err
+		}
+		visited[pt] = peak
+		return peak, nil
+	}
+	const maxWalk = 256
+	cur := spacePoint{i1: rng.Intn(sp.max1 + 1), i2: rng.Intn(sp.max2 + 1)}
+	curPeak, err := eval(cur)
+	if err != nil {
+		return floorplan.Placement{}, 0, false, err
+	}
+	if curPeak <= s.cfg.ThresholdC {
+		pl, _ := sp.placementAt(cur)
+		return pl, curPeak, true, nil
+	}
+	for ; steps < maxWalk; steps++ {
+		// Visit the six neighbors per the configured policy: in random
+		// order moving to the first cooler one (the paper's policy,
+		// avoiding fixed-order bias), or steepest-descent for the
+		// ablation. Either way, accept immediately on feasibility.
+		perm := rng.Perm(len(neighborMoves))
+		moved := false
+		bestNb, bestPeak := cur, curPeak
+		for _, mi := range perm {
+			mv := neighborMoves[mi]
+			nb := spacePoint{i1: cur.i1 + mv.i1, i2: cur.i2 + mv.i2}
+			if !sp.contains(nb) {
+				continue
+			}
+			moves++
+			peak, err := eval(nb)
+			if err != nil {
+				return floorplan.Placement{}, 0, false, err
+			}
+			if peak <= s.cfg.ThresholdC {
+				pl, _ := sp.placementAt(nb)
+				return pl, peak, true, nil
+			}
+			if peak < bestPeak {
+				bestNb, bestPeak = nb, peak
+				if s.cfg.NeighborPolicy == RandomNeighbor {
+					break
+				}
+			}
+		}
+		if bestPeak < curPeak {
+			cur, curPeak = bestNb, bestPeak
+			moved = true
+		}
+		if !moved {
+			break // local minimum: next random start
+		}
+	}
+	return floorplan.Placement{}, curPeak, false, nil
+}
+
 // FindPlacementExhaustive scans the full (s1, s2) grid at the given edge
 // and returns the feasible placement with the lowest peak temperature, for
 // validating the greedy search. For n == 4 the space is the single derived
-// placement. With Config.ParallelWorkers > 1 the un-memoized grid points
-// are simulated concurrently.
+// placement. With Config.ParallelWorkers > 1 the grid points are evaluated
+// concurrently over the engine (which deduplicates and memoizes); the
+// reduction is a serial ascending scan, so the chosen placement is
+// independent of worker count.
 func (s *Searcher) FindPlacementExhaustive(n int, edgeMM float64, op power.DVFSPoint, p int) (outPl floorplan.Placement, outPeak float64, outFound bool, outErr error) {
 	if n == 4 {
 		return s.FindPlacement(4, edgeMM, op, p)
@@ -195,175 +319,63 @@ func (s *Searcher) FindPlacementExhaustive(n int, edgeMM float64, op power.DVFSP
 	if !ok {
 		return floorplan.Placement{}, 0, false, nil
 	}
-	esp, end := s.startSpan("org.exhaustive_scan")
+	ctx, esp := obs.Start(s.ctx, "org.exhaustive_scan")
 	esp.SetAttr("n", n)
 	esp.SetAttr("edge_mm", edgeMM)
 	esp.SetAttr("grid_points", (sp.max1+1)*(sp.max2+1))
 	defer func() {
 		esp.SetAttr("found", outFound)
-		end()
+		esp.End()
 	}()
-	if s.cfg.ParallelWorkers > 1 {
-		if err := s.prefetchGrid(sp, op, p); err != nil {
-			return floorplan.Placement{}, 0, false, err
+	var pls []floorplan.Placement
+	for i1 := 0; i1 <= sp.max1; i1++ {
+		for i2 := 0; i2 <= sp.max2; i2++ {
+			if pl, valid := sp.placementAt(spacePoint{i1, i2}); valid {
+				pls = append(pls, pl)
+			}
 		}
+	}
+	peaks := make([]float64, len(pls))
+	errs := make([]error, len(pls))
+	workers := s.cfg.ParallelWorkers
+	if workers > len(pls) {
+		workers = len(pls)
+	}
+	if workers <= 1 {
+		for i, pl := range pls {
+			peaks[i], errs[i] = s.peakCtx(ctx, s.cfg.Benchmark, pl, op, p)
+			if errs[i] != nil {
+				return floorplan.Placement{}, 0, false, errs[i]
+			}
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1) - 1)
+					if i >= len(pls) {
+						return
+					}
+					peaks[i], errs[i] = s.peakCtx(ctx, s.cfg.Benchmark, pls[i], op, p)
+				}
+			}()
+		}
+		wg.Wait()
 	}
 	bestPeak := math.Inf(1)
 	var bestPl floorplan.Placement
 	found := false
-	for i1 := 0; i1 <= sp.max1; i1++ {
-		for i2 := 0; i2 <= sp.max2; i2++ {
-			pl, valid := sp.placementAt(spacePoint{i1, i2})
-			if !valid {
-				continue
-			}
-			peak, err := s.PeakC(pl, op, p)
-			if err != nil {
-				return floorplan.Placement{}, 0, false, err
-			}
-			if peak <= s.cfg.ThresholdC && peak < bestPeak {
-				bestPeak, bestPl, found = peak, pl, true
-			}
+	for i, pl := range pls {
+		if errs[i] != nil {
+			return floorplan.Placement{}, 0, false, errs[i]
+		}
+		if peaks[i] <= s.cfg.ThresholdC && peaks[i] < bestPeak {
+			bestPeak, bestPl, found = peaks[i], pl, true
 		}
 	}
 	return bestPl, bestPeak, found, nil
-}
-
-// prefetchGrid evaluates the grid points missing from the memo with a
-// bounded worker pool. Each worker runs pure simulations only; the memo,
-// surrogate calibration and counters are merged on the single caller
-// goroutine afterward, so the Searcher itself stays free of locks. The
-// searcher's context cancels the scan: the feeder stops handing out jobs,
-// workers drain and exit, and in-flight CG solves abort, so an abandoned
-// HTTP request stops burning CPU instead of running the grid to completion.
-func (s *Searcher) prefetchGrid(sp spacingSpace, op power.DVFSPoint, p int) error {
-	s.beginUse()
-	defer s.endUse()
-	fIdx := fIdxOf(op)
-	type job struct {
-		pl   floorplan.Placement
-		pk   plKey
-		ek   evalKey
-		nocW float64
-		// ref snapshots the surrogate calibration (if any) at scan start,
-		// so workers never touch the Searcher's maps.
-		ref    refPoint
-		hasRef bool
-	}
-	type outcome struct {
-		job  job
-		res  *power.SimResult
-		est  float64
-		surr bool
-		err  error
-	}
-	var jobs []job
-	for i1 := 0; i1 <= sp.max1; i1++ {
-		for i2 := 0; i2 <= sp.max2; i2++ {
-			pl, valid := sp.placementAt(spacePoint{i1, i2})
-			if !valid {
-				continue
-			}
-			pk := keyOf(pl)
-			ek := evalKey{pl: pk, fIdx: fIdx, cores: p}
-			if _, ok := s.peakMemo[ek]; ok {
-				continue
-			}
-			nocW, err := s.nocPower(pl, op, p)
-			if err != nil {
-				return err
-			}
-			j := job{pl: pl, pk: pk, ek: ek, nocW: nocW}
-			if byP, ok := s.refMemo[pk]; ok {
-				if ref, ok := byP[p]; ok {
-					j.ref, j.hasRef = ref, true
-				}
-			}
-			jobs = append(jobs, j)
-		}
-	}
-	if len(jobs) == 0 {
-		return nil
-	}
-	workers := s.cfg.ParallelWorkers
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	ctx := s.ctx
-	jobCh := make(chan job)
-	outCh := make(chan outcome, len(jobs))
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobCh {
-				if ctx.Err() != nil {
-					return
-				}
-				// Surrogate check against the snapshot taken at scan start.
-				if s.cfg.SurrogateMarginC >= 0 && j.hasRef {
-					_, est := s.totalPowerAt(op, p, j.nocW, j.ref.rEff)
-					if absf(est-s.cfg.ThresholdC) > s.cfg.SurrogateMarginC {
-						outCh <- outcome{job: j, est: est, surr: true}
-						continue
-					}
-				}
-				res, err := s.simulatePure(j.pl, op, p, j.nocW)
-				outCh <- outcome{job: j, res: res, err: err}
-			}
-		}()
-	}
-	go func() {
-		defer close(jobCh)
-		for _, j := range jobs {
-			select {
-			case jobCh <- j:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
-	go func() {
-		wg.Wait()
-		close(outCh)
-	}()
-	var firstErr error
-	for o := range outCh {
-		if o.err != nil {
-			if firstErr == nil {
-				firstErr = o.err
-			}
-			continue
-		}
-		if o.surr {
-			s.surrogateHits++
-			s.peakMemo[o.job.ek] = o.est
-			continue
-		}
-		s.thermalSims++
-		s.cgIterations += int64(o.res.CGIterations)
-		s.peakMemo[o.job.ek] = o.res.PeakC
-		if o.res.TotalPowerW > 0 {
-			byP := s.refMemo[o.job.pk]
-			if byP == nil {
-				byP = make(map[int]refPoint)
-				s.refMemo[o.job.pk] = byP
-			}
-			if _, ok := byP[p]; !ok {
-				byP[p] = refPoint{rEff: (o.res.PeakC - s.cfg.Thermal.AmbientC) / o.res.TotalPowerW}
-			}
-		}
-	}
-	if firstErr == nil && ctx.Err() != nil {
-		firstErr = fmt.Errorf("org: exhaustive scan canceled: %w", ctx.Err())
-	}
-	return firstErr
-}
-
-func absf(v float64) float64 {
-	if v < 0 {
-		return -v
-	}
-	return v
 }

@@ -58,69 +58,14 @@ type MultiAppResult struct {
 	ThermalSims int
 }
 
-// multiEval evaluates peak temperatures for arbitrary benchmarks on shared
-// placements, exploiting that the effective thermal resistance of a
-// (placement, active-core-count) pair is a pure map-shape property — every
-// active core carries equal power — and therefore transfers across
-// applications and DVFS points. Near-threshold estimates are verified with
-// full simulations.
-type multiEval struct {
-	s    *Searcher
-	rEff map[plKey]map[int]float64
-	memo map[string]float64
-}
-
-func newMultiEval(s *Searcher) *multiEval {
-	return &multiEval{
-		s:    s,
-		rEff: make(map[plKey]map[int]float64),
-		memo: make(map[string]float64),
-	}
-}
-
-func (e *multiEval) peak(b perf.Benchmark, pl floorplan.Placement, op power.DVFSPoint, p int) (float64, error) {
-	pk := keyOf(pl)
-	key := fmt.Sprintf("%v|%s|%v|%d", pk, b.Name, op.FreqMHz, p)
-	if v, ok := e.memo[key]; ok {
-		return v, nil
-	}
-	nocW, err := e.s.nocPowerWith(b, pl, op, p)
-	if err != nil {
-		return 0, err
-	}
-	margin := e.s.cfg.SurrogateMarginC
-	if margin >= 0 {
-		if byP, ok := e.rEff[pk]; ok {
-			if r, ok := byP[p]; ok {
-				_, est := e.s.totalPowerAtWith(b, op, p, nocW, r)
-				if math.Abs(est-e.s.cfg.ThresholdC) > margin {
-					e.memo[key] = est
-					return est, nil
-				}
-			}
-		}
-	}
-	res, err := e.s.simulateWith(b, pl, op, p, nocW)
-	if err != nil {
-		return 0, err
-	}
-	e.memo[key] = res.PeakC
-	if res.TotalPowerW > 0 {
-		byP := e.rEff[pk]
-		if byP == nil {
-			byP = make(map[int]float64)
-			e.rEff[pk] = byP
-		}
-		if _, ok := byP[p]; !ok {
-			byP[p] = (res.PeakC - e.s.cfg.Thermal.AmbientC) / res.TotalPowerW
-		}
-	}
-	return res.PeakC, nil
-}
-
 // bestFeasible returns the highest-IPS feasible (f, p) for a benchmark on a
-// fixed placement.
-func (e *multiEval) bestFeasible(b perf.Benchmark, pl floorplan.Placement) (AppOperating, bool, error) {
+// fixed placement. Evaluations go through the shared engine, which memoizes
+// per (benchmark, placement, f, p) and calibrates each benchmark's surrogate
+// at the canonical DVFS point — the effective thermal resistance of a
+// (placement, active-core-count) pair is a pure map-shape property (every
+// active core carries equal power), so one reference simulation per
+// benchmark and placement covers the rest of the DVFS table.
+func (s *Searcher) bestFeasible(b perf.Benchmark, pl floorplan.Placement) (AppOperating, bool, error) {
 	type cand struct {
 		op  power.DVFSPoint
 		p   int
@@ -134,11 +79,11 @@ func (e *multiEval) bestFeasible(b perf.Benchmark, pl floorplan.Placement) (AppO
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].ips > cands[j].ips })
 	for _, c := range cands {
-		peak, err := e.peak(b, pl, c.op, c.p)
+		peak, err := s.PeakCWith(b, pl, c.op, c.p)
 		if err != nil {
 			return AppOperating{}, false, err
 		}
-		if peak <= e.s.cfg.ThresholdC {
+		if peak <= s.cfg.ThresholdC {
 			return AppOperating{Name: b.Name, Op: c.op, ActiveCores: c.p, IPS: c.ips, PeakC: peak}, true, nil
 		}
 	}
@@ -209,13 +154,12 @@ func OptimizeMultiApp(cfg Config, mix []AppMix) (MultiAppResult, error) {
 	if err != nil {
 		return MultiAppResult{}, err
 	}
-	e := newMultiEval(s)
 
 	// Per-application 2D baselines on the shared single chip.
 	chip := floorplan.SingleChip()
 	baseIPS := make(map[string]float64, len(mix))
 	for _, m := range mix {
-		best, found, err := e.bestFeasible(m.Benchmark, chip)
+		best, found, err := s.bestFeasible(m.Benchmark, chip)
 		if err != nil {
 			return MultiAppResult{}, err
 		}
@@ -257,7 +201,7 @@ func OptimizeMultiApp(cfg Config, mix []AppMix) (MultiAppResult, error) {
 				perApp := make([]AppOperating, 0, len(mix))
 				ok := true
 				for _, m := range mix {
-					ao, found, err := e.bestFeasible(m.Benchmark, pl)
+					ao, found, err := s.bestFeasible(m.Benchmark, pl)
 					if err != nil {
 						return MultiAppResult{}, err
 					}

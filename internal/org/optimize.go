@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/obs"
 	"chiplet25d/internal/power"
 )
 
@@ -98,8 +99,8 @@ func (s *Searcher) OptimizeExhaustive() (Result, error) {
 }
 
 func (s *Searcher) optimize(find placementFinder) (Result, error) {
-	osp, end := s.startSpan("org.optimize")
-	defer end()
+	_, osp := obs.Start(s.ctx, "org.optimize")
+	defer osp.End()
 	base, err := s.Baseline()
 	if err != nil {
 		return Result{}, err
@@ -148,11 +149,13 @@ func (s *Searcher) optimize(find placementFinder) (Result, error) {
 		}
 		break
 	}
-	res.ThermalSims = s.thermalSims
-	res.SurrogateHits = s.surrogateHits
+	res.ThermalSims = s.ThermalSims()
+	res.SurrogateHits = s.SurrogateHits()
 	osp.SetAttr("combos_tried", res.CombosTried)
 	osp.SetAttr("thermal_sims", res.ThermalSims)
 	osp.SetAttr("surrogate_hits", res.SurrogateHits)
+	osp.SetAttr("engine_memo_hits", s.EngineHits())
+	osp.SetAttr("engine_dedup_waits", s.EngineDedupWaits())
 	osp.SetAttr("feasible", res.Feasible)
 	return res, nil
 }

@@ -4,15 +4,13 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"math/rand"
+	"sync"
 	"sync/atomic"
 
 	"chiplet25d/internal/floorplan"
-	"chiplet25d/internal/noc"
 	"chiplet25d/internal/obs"
 	"chiplet25d/internal/perf"
 	"chiplet25d/internal/power"
-	"chiplet25d/internal/thermal"
 )
 
 // plKey identifies a placement geometry on the 0.5 mm grid.
@@ -40,27 +38,29 @@ type evalKey struct {
 	cores int
 }
 
-// refPoint calibrates the scalar surrogate for one (placement, p): a full
-// leakage-coupled simulation at one DVFS point yields the effective
-// thermal resistance from total power to peak temperature; because every
-// active core carries the same power, the power-map *shape* is identical
-// across DVFS points and the resistance transfers.
-type refPoint struct {
-	rEff float64 // (peak - ambient) / totalW
-}
-
-// Searcher runs peak-temperature evaluations with memoization and the
-// verified scalar surrogate, and exposes the greedy and exhaustive
-// placement searches.
+// Searcher runs peak-temperature evaluations against an Engine — the
+// sharded, singleflight-deduplicated simulation memo — and exposes the
+// greedy, exhaustive, and annealing placement searches on top of it.
 //
-// A Searcher is NOT safe for concurrent use: its memo maps, surrogate
-// calibration, RNG, and counters are all mutated without locks on the
-// calling goroutine (the internal prefetch workers of the exhaustive scan
-// run pure simulations only and merge results back on the caller). Callers
-// that serve multiple goroutines — chipletd in particular — must construct
-// one Searcher per request/goroutine rather than sharing one; sequential
-// handoff between goroutines is fine. A cheap runtime detector panics on
-// provable concurrent entry to the mutating paths.
+// Concurrency contract: the Engine underneath is safe for unbounded
+// concurrent use, and so are the Searcher's evaluation methods (PeakC,
+// PeakCWith, Feasible) and read-only accessors. The high-level searches
+// (Optimize, FindPlacement, Baseline, ...) may each be called from any
+// goroutine and internally fan out across Config.SearchWorkers /
+// ParallelWorkers; running two high-level searches on one Searcher at the
+// same time is also safe, though per-search counters then interleave.
+// WithContext must be called before evaluations begin (it is not
+// synchronized with in-flight calls).
+//
+// Determinism contract: for a fixed Config (seed included), every search
+// result is bit-identical regardless of SearchWorkers, ParallelWorkers,
+// kernel threads, or engine sharing — evaluation values are pure functions
+// of their key (see Engine), restart RNG streams derive from the root seed
+// and the restart coordinates rather than a shared sequence, and winners
+// are selected by restart index. Only the effort counters (ThermalSims,
+// SurrogateHits, CGIterations, engine hit/dedup tallies) may vary with
+// parallelism, because parallel restarts can evaluate points a serial run
+// never reaches.
 //
 // Long searches are cancelled cooperatively through the context installed
 // with WithContext: every peak-temperature evaluation checks it, and the
@@ -69,43 +69,56 @@ type refPoint struct {
 type Searcher struct {
 	cfg Config
 	ctx context.Context
-	rng *rand.Rand
+	eng *Engine
 
-	// busy is the concurrent-misuse detector: set while a mutating
-	// evaluation is on the stack (see beginUse).
-	busy int32
+	// Per-search effort counters (atomic: evaluations may run concurrently).
+	thermalSims      atomic.Int64
+	surrogateHits    atomic.Int64
+	cgIterations     atomic.Int64
+	engineHits       atomic.Int64
+	engineDedupWaits atomic.Int64
 
-	peakMemo map[evalKey]float64
-	refMemo  map[plKey]map[int]refPoint // placement -> p -> calibration
-
-	thermalSims   int
-	surrogateHits int
-	cgIterations  int64
-
+	baseMu       sync.Mutex
 	baseline     *Baseline
 	baselineErr  error
 	baselineDone bool
 }
 
-// NewSearcher validates the configuration and prepares a searcher.
+// NewSearcher validates the configuration and prepares a searcher with its
+// own private evaluation engine.
 func NewSearcher(cfg Config) (*Searcher, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Searcher{
-		cfg:      cfg,
-		ctx:      context.Background(),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		peakMemo: make(map[evalKey]float64),
-		refMemo:  make(map[plKey]map[int]refPoint),
-	}, nil
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Searcher{cfg: cfg, ctx: context.Background(), eng: eng}, nil
+}
+
+// NewSearcherWithEngine prepares a searcher backed by a shared engine (the
+// chipletd process-wide memo tier). The engine's physics fingerprint must
+// match the configuration's: a mismatch would silently evaluate on the
+// wrong substrate, so it is an error.
+func NewSearcherWithEngine(cfg Config, eng *Engine) (*Searcher, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if eng == nil {
+		return NewSearcher(cfg)
+	}
+	if fp := physFingerprint(cfg); fp != eng.Fingerprint() {
+		return nil, fmt.Errorf("org: engine fingerprint mismatch: searcher config evaluates on a different physics substrate than the shared engine")
+	}
+	return &Searcher{cfg: cfg, ctx: context.Background(), eng: eng}, nil
 }
 
 // WithContext installs a cancellation context and returns the receiver for
 // chaining. Every subsequent peak-temperature evaluation (and hence every
 // search built on them) checks the context and aborts with its error once
 // it is done; in-flight CG solves abort mid-iteration. Must be called
-// before the search starts, from the goroutine running it.
+// before the search starts.
 func (s *Searcher) WithContext(ctx context.Context) *Searcher {
 	if ctx == nil {
 		ctx = context.Background()
@@ -117,46 +130,43 @@ func (s *Searcher) WithContext(ctx context.Context) *Searcher {
 // Config returns the searcher's configuration.
 func (s *Searcher) Config() Config { return s.cfg }
 
-// ThermalSims returns the number of full thermal simulations run so far.
-func (s *Searcher) ThermalSims() int { return s.thermalSims }
+// Engine returns the evaluation engine backing this searcher.
+func (s *Searcher) Engine() *Engine { return s.eng }
+
+// ThermalSims returns the number of full thermal simulations this
+// searcher's evaluations computed so far (engine memo hits excluded).
+func (s *Searcher) ThermalSims() int { return int(s.thermalSims.Load()) }
 
 // SurrogateHits returns the number of evaluations the surrogate decided.
-func (s *Searcher) SurrogateHits() int { return s.surrogateHits }
+func (s *Searcher) SurrogateHits() int { return int(s.surrogateHits.Load()) }
 
 // CGIterations returns the total conjugate-gradient iterations spent in
-// full thermal simulations so far (the searcher's dominant CPU cost,
-// exported for the /metrics endpoint).
-func (s *Searcher) CGIterations() int64 { return s.cgIterations }
+// full thermal simulations computed by this searcher (the dominant CPU
+// cost, exported for the /metrics endpoint).
+func (s *Searcher) CGIterations() int64 { return s.cgIterations.Load() }
 
-// beginUse is the cheap runtime detector backing the type's
-// single-goroutine contract: it flags the searcher as mid-evaluation and
-// panics when a second goroutine provably enters a mutating path at the
-// same time. Sequential use — including handoff between goroutines — never
-// trips it.
-func (s *Searcher) beginUse() {
-	if !atomic.CompareAndSwapInt32(&s.busy, 0, 1) {
-		panic("org: Searcher used concurrently from multiple goroutines; construct one Searcher per goroutine (see the Searcher doc comment)")
+// EngineHits returns how many of this searcher's simulation lookups were
+// answered from the engine memo.
+func (s *Searcher) EngineHits() int64 { return s.engineHits.Load() }
+
+// EngineDedupWaits returns how many of this searcher's simulation lookups
+// joined another caller's in-flight computation.
+func (s *Searcher) EngineDedupWaits() int64 { return s.engineDedupWaits.Load() }
+
+// record folds one evaluation's engine stats into the per-search counters.
+func (s *Searcher) record(st EvalStats) {
+	if st.Sims > 0 {
+		s.thermalSims.Add(int64(st.Sims))
+		s.cgIterations.Add(int64(st.CGIterations))
 	}
-}
-
-func (s *Searcher) endUse() { atomic.StoreInt32(&s.busy, 0) }
-
-// startSpan begins a tracing span on the searcher's context and swaps the
-// derived context in, so child evaluations (and the thermal/power spans
-// they produce) nest under it. The returned func restores the previous
-// context and ends the span; call it from the same goroutine, per the
-// Searcher's single-goroutine contract. On an untraced context both the
-// span and the cleanup are no-ops.
-func (s *Searcher) startSpan(name string) (*obs.Span, func()) {
-	ctx, sp := obs.Start(s.ctx, name)
-	if sp == nil {
-		return nil, func() {}
+	if st.Surrogate {
+		s.surrogateHits.Add(1)
 	}
-	prev := s.ctx
-	s.ctx = ctx
-	return sp, func() {
-		s.ctx = prev
-		sp.End()
+	if st.MemoHits > 0 {
+		s.engineHits.Add(int64(st.MemoHits))
+	}
+	if st.DedupWaits > 0 {
+		s.engineDedupWaits.Add(int64(st.DedupWaits))
 	}
 }
 
@@ -170,153 +180,24 @@ func fIdxOf(op power.DVFSPoint) int {
 	return -1
 }
 
-// nocPower returns the mesh power for a placement/op/p combination.
-func (s *Searcher) nocPower(pl floorplan.Placement, op power.DVFSPoint, p int) (float64, error) {
-	return s.nocPowerWith(s.cfg.Benchmark, pl, op, p)
-}
-
-func (s *Searcher) nocPowerWith(b perf.Benchmark, pl floorplan.Placement, op power.DVFSPoint, p int) (float64, error) {
-	mesh, err := noc.MeshPower(pl, op, p, b.Traffic, s.cfg.Link, s.cfg.Router)
-	if err != nil {
-		return 0, err
-	}
-	return mesh.TotalW(), nil
-}
-
-// totalPowerAt solves the scalar leakage fixed point: total power of p
-// active cores when the silicon sits at the temperature implied by thermal
-// resistance rEff. Used only by the surrogate estimate.
-func (s *Searcher) totalPowerAt(op power.DVFSPoint, p int, nocW, rEff float64) (totalW, peakC float64) {
-	return s.totalPowerAtWith(s.cfg.Benchmark, op, p, nocW, rEff)
-}
-
-func (s *Searcher) totalPowerAtWith(b perf.Benchmark, op power.DVFSPoint, p int, nocW, rEff float64) (totalW, peakC float64) {
-	lm := s.cfg.Leakage
-	dyn := float64(p)*b.RefCoreW*(1-lm.FracAtRef)*power.DynScale(op) + nocW
-	l0 := float64(p) * b.RefCoreW * lm.FracAtRef * power.LeakScale(op)
-	amb := s.cfg.Thermal.AmbientC
-	k := lm.TempCoeff
-	den := 1 - rEff*l0*k
-	if den <= 0.05 {
-		den = 0.05 // thermal-runaway guard; the estimate saturates high
-	}
-	peakC = (amb + rEff*(dyn+l0*(1-k*lm.RefC))) / den
-	totalW = dyn + l0*lm.Factor(peakC)
-	return totalW, peakC
-}
-
-// simulate runs a full leakage-coupled thermal simulation for a placement.
-func (s *Searcher) simulate(pl floorplan.Placement, op power.DVFSPoint, p int, nocW float64) (*power.SimResult, error) {
-	return s.simulateWith(s.cfg.Benchmark, pl, op, p, nocW)
-}
-
-func (s *Searcher) simulateWith(b perf.Benchmark, pl floorplan.Placement, op power.DVFSPoint, p int, nocW float64) (*power.SimResult, error) {
-	s.thermalSims++
-	res, err := s.simulatePureWith(b, pl, op, p, nocW)
-	if err == nil {
-		s.cgIterations += int64(res.CGIterations)
-	}
-	return res, err
-}
-
-// simulatePure is the benchmark-default pure simulation used by parallel
-// scans: it mutates no Searcher state and is safe to call concurrently.
-func (s *Searcher) simulatePure(pl floorplan.Placement, op power.DVFSPoint, p int, nocW float64) (*power.SimResult, error) {
-	return s.simulatePureWith(s.cfg.Benchmark, pl, op, p, nocW)
-}
-
-func (s *Searcher) simulatePureWith(b perf.Benchmark, pl floorplan.Placement, op power.DVFSPoint, p int, nocW float64) (*power.SimResult, error) {
-	stack, err := floorplan.BuildStack(pl)
-	if err != nil {
-		return nil, err
-	}
-	tc := s.cfg.Thermal
-	if s.cfg.ParallelWorkers > 1 && tc.KernelThreads == 0 {
-		// The exhaustive scan already fans this simulation out across
-		// ParallelWorkers goroutines; pin each solve to a serial kernel so
-		// nested parallelism doesn't oversubscribe the machine. An explicit
-		// KernelThreads in the config wins.
-		tc.KernelThreads = 1
-	}
-	model, err := thermal.NewModel(stack, tc)
-	if err != nil {
-		return nil, err
-	}
-	cores, err := pl.Cores()
-	if err != nil {
-		return nil, err
-	}
-	active, err := power.MintempActive(p)
-	if err != nil {
-		return nil, err
-	}
-	w := power.Workload{
-		RefCoreW: b.RefCoreW,
-		Op:       op,
-		Active:   active,
-		NoCW:     nocW,
-		Leakage:  s.cfg.Leakage,
-	}
-	return power.SimulateCtx(s.ctx, model, cores, w, s.cfg.SimOpts)
-}
-
 // PeakC returns the peak temperature of a placement at an operating point
-// with p active cores, using the memo and, when it is decisive, the
-// calibrated surrogate.
+// with p active cores, using the engine memo and, when it is decisive, the
+// calibrated scalar surrogate.
 func (s *Searcher) PeakC(pl floorplan.Placement, op power.DVFSPoint, p int) (float64, error) {
-	s.beginUse()
-	defer s.endUse()
-	if err := s.ctx.Err(); err != nil {
-		return 0, fmt.Errorf("org: search canceled: %w", err)
-	}
-	fIdx := fIdxOf(op)
-	if fIdx < 0 {
-		return 0, fmt.Errorf("org: operating point %+v not in the DVFS table", op)
-	}
-	if p <= 0 || p > floorplan.NumCores {
-		return 0, fmt.Errorf("org: active core count %d out of range", p)
-	}
-	pk := keyOf(pl)
-	ek := evalKey{pl: pk, fIdx: fIdx, cores: p}
-	if v, ok := s.peakMemo[ek]; ok {
-		return v, nil
-	}
-	nocW, err := s.nocPower(pl, op, p)
-	if err != nil {
-		return 0, err
-	}
-	// Surrogate: if this (placement, p) was calibrated at another DVFS
-	// point and the estimate is far from the threshold, decide without a
-	// full simulation.
-	if s.cfg.SurrogateMarginC >= 0 {
-		if byP, ok := s.refMemo[pk]; ok {
-			if ref, ok := byP[p]; ok {
-				_, est := s.totalPowerAt(op, p, nocW, ref.rEff)
-				if math.Abs(est-s.cfg.ThresholdC) > s.cfg.SurrogateMarginC {
-					s.surrogateHits++
-					s.peakMemo[ek] = est
-					return est, nil
-				}
-			}
-		}
-	}
-	res, err := s.simulate(pl, op, p, nocW)
-	if err != nil {
-		return 0, err
-	}
-	peak := res.PeakC
-	s.peakMemo[ek] = peak
-	if res.TotalPowerW > 0 {
-		byP := s.refMemo[pk]
-		if byP == nil {
-			byP = make(map[int]refPoint)
-			s.refMemo[pk] = byP
-		}
-		if _, ok := byP[p]; !ok {
-			byP[p] = refPoint{rEff: (peak - s.cfg.Thermal.AmbientC) / res.TotalPowerW}
-		}
-	}
-	return peak, nil
+	return s.peakCtx(s.ctx, s.cfg.Benchmark, pl, op, p)
+}
+
+// PeakCWith is PeakC for an explicit benchmark, letting one searcher (and
+// its engine memo) evaluate several applications on shared placements —
+// the multi-application flow.
+func (s *Searcher) PeakCWith(b perf.Benchmark, pl floorplan.Placement, op power.DVFSPoint, p int) (float64, error) {
+	return s.peakCtx(s.ctx, b, pl, op, p)
+}
+
+func (s *Searcher) peakCtx(ctx context.Context, b perf.Benchmark, pl floorplan.Placement, op power.DVFSPoint, p int) (float64, error) {
+	peak, st, err := s.eng.PeakC(ctx, b, pl, op, p, s.cfg.ThresholdC, s.cfg.SurrogateMarginC)
+	s.record(st)
+	return peak, err
 }
 
 // Feasible reports whether the placement meets Eq. (6) at (op, p).
@@ -328,22 +209,32 @@ func (s *Searcher) Feasible(pl floorplan.Placement, op power.DVFSPoint, p int) (
 	return peak <= s.cfg.ThresholdC, peak, nil
 }
 
+func (s *Searcher) feasibleCtx(ctx context.Context, pl floorplan.Placement, op power.DVFSPoint, p int) (bool, float64, error) {
+	peak, err := s.peakCtx(ctx, s.cfg.Benchmark, pl, op, p)
+	if err != nil {
+		return false, 0, err
+	}
+	return peak <= s.cfg.ThresholdC, peak, nil
+}
+
 // Baseline computes (and memoizes) the 2D single-chip reference: the
 // maximum IPS over all 40 (f, p) pairs whose simulated peak temperature
-// meets the threshold.
+// meets the threshold. Safe for concurrent callers; the first computes.
 func (s *Searcher) Baseline() (Baseline, error) {
+	s.baseMu.Lock()
+	defer s.baseMu.Unlock()
 	if s.baselineDone {
 		return derefBaseline(s.baseline), s.baselineErr
 	}
 	s.baselineDone = true
-	sp, end := s.startSpan("org.baseline")
-	defer end()
+	ctx, sp := obs.Start(s.ctx, "org.baseline")
+	defer sp.End()
 	chip := floorplan.SingleChip()
 	var best Baseline
 	best.CostUSD = s.cfg.CostParams.PlacementCost(chip)
 	for _, op := range power.FrequencySet {
 		for _, p := range power.ActiveCoreCounts {
-			ok, peak, err := s.Feasible(chip, op, p)
+			ok, peak, err := s.feasibleCtx(ctx, chip, op, p)
 			if err != nil {
 				s.baselineErr = err
 				return Baseline{}, err

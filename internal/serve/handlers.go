@@ -15,13 +15,11 @@ import (
 	"chiplet25d/internal/config"
 	"chiplet25d/internal/cost"
 	"chiplet25d/internal/floorplan"
-	"chiplet25d/internal/noc"
 	"chiplet25d/internal/obs"
 	"chiplet25d/internal/org"
 	"chiplet25d/internal/perf"
 	"chiplet25d/internal/power"
 	"chiplet25d/internal/serve/pool"
-	"chiplet25d/internal/thermal"
 )
 
 // statusClientClosed is the nginx-convention code for "client went away
@@ -229,60 +227,39 @@ func (sp *solveSpec) cacheKey() string {
 	return "solve:" + hex.EncodeToString(h[:])
 }
 
-// run executes the solve (on a pool worker).
-func (sp *solveSpec) run(ctx context.Context) (*SolveResponse, error) {
-	_, fsp := obs.Start(ctx, "floorplan.build")
-	stack, err := floorplan.BuildStack(sp.pl)
+// engineConfig maps the solve spec onto the evaluation-engine configuration
+// whose physics fingerprint selects (or constructs) the process-wide engine
+// for this grid resolution.
+func (sp *solveSpec) engineConfig() org.Config {
+	cfg := org.DefaultConfig(sp.bench)
+	cfg.Thermal.Nx, cfg.Thermal.Ny = sp.gridN, sp.gridN
+	cfg.Thermal.KernelThreads = sp.kthreads
+	return cfg
+}
+
+// run executes the solve (on a pool worker) through the shared evaluation
+// engine, so individual solves and org searches on the same physics dedupe
+// into one memo tier.
+func (sp *solveSpec) run(ctx context.Context, engines *org.EngineCache) (*SolveResponse, org.EvalStats, error) {
+	eng, err := engines.Get(sp.engineConfig())
 	if err != nil {
-		fsp.End()
-		return nil, err
+		return nil, org.EvalStats{}, err
 	}
-	cores, err := sp.pl.Cores()
-	fsp.SetAttr("chiplets", sp.pl.NumChiplets())
-	fsp.SetAttr("interposer_mm", sp.pl.W)
-	fsp.End()
+	ctx, esp := obs.Start(ctx, "engine.lookup")
+	rec, st, err := eng.Simulate(ctx, sp.bench, sp.pl, sp.op, sp.cores)
+	esp.SetAttr("memo_hit", st.MemoHits > 0)
+	esp.SetAttr("dedup_waits", st.DedupWaits)
+	esp.End()
 	if err != nil {
-		return nil, err
-	}
-	_, msp := obs.Start(ctx, "thermal.model")
-	tc := thermal.DefaultConfig()
-	tc.Nx, tc.Ny = sp.gridN, sp.gridN
-	tc.KernelThreads = sp.kthreads
-	model, err := thermal.NewModel(stack, tc)
-	msp.SetAttr("grid_n", sp.gridN)
-	msp.End()
-	if err != nil {
-		return nil, err
-	}
-	active, err := power.MintempActive(sp.cores)
-	if err != nil {
-		return nil, err
-	}
-	_, nsp := obs.Start(ctx, "noc.mesh")
-	mesh, err := noc.MeshPower(sp.pl, sp.op, sp.cores, sp.bench.Traffic,
-		noc.DefaultLinkParams(), noc.DefaultRouterParams())
-	nsp.End()
-	if err != nil {
-		return nil, err
-	}
-	w := power.Workload{
-		RefCoreW: sp.bench.RefCoreW,
-		Op:       sp.op,
-		Active:   active,
-		NoCW:     mesh.TotalW(),
-		Leakage:  power.DefaultLeakage(),
-	}
-	res, err := power.SimulateCtx(ctx, model, cores, w, power.DefaultSimOptions())
-	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
 	return &SolveResponse{
-		PeakC:             res.PeakC,
-		TotalPowerW:       res.TotalPowerW,
-		MeshPowerW:        mesh.TotalW(),
-		LeakageIterations: res.Iterations,
-		CGIterations:      res.CGIterations,
-	}, nil
+		PeakC:             rec.PeakC,
+		TotalPowerW:       rec.TotalPowerW,
+		MeshPowerW:        rec.MeshPowerW,
+		LeakageIterations: rec.LeakageIterations,
+		CGIterations:      rec.CGIterations,
+	}, st, nil
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -310,10 +287,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	val, hit, err := s.cache.Do(ctx, key, func(runCtx context.Context) (any, error) {
 		runCtx = obs.Reattach(runCtx, ctx)
 		return s.pool.Do(runCtx, func(taskCtx context.Context) (any, error) {
-			res, err := sp.run(taskCtx)
-			if err == nil {
-				s.thermalSims.Inc()
-				s.cgIterations.Add(float64(res.CGIterations))
+			res, st, err := sp.run(taskCtx, s.engines)
+			// Fresh-simulation metrics count only work this request actually
+			// ran; an engine-memo hit is free and must not inflate them.
+			if err == nil && st.Sims > 0 {
+				s.thermalSims.Add(float64(st.Sims))
+				s.cgIterations.Add(float64(st.CGIterations))
 				s.cgIterHist.Observe(float64(res.CGIterations))
 				s.leakIterHist.Observe(float64(res.LeakageIterations))
 			}
@@ -390,27 +369,37 @@ type BaselineJSON struct {
 // SearchResponse reports an optimization run. Trace is the request's span
 // tree, included only when the client asked with ?trace=1.
 type SearchResponse struct {
-	Feasible      bool           `json:"feasible"`
-	Best          *OrgJSON       `json:"best,omitempty"`
-	Baseline      BaselineJSON   `json:"baseline"`
-	ThermalSims   int            `json:"thermal_sims"`
-	SurrogateHits int            `json:"surrogate_hits"`
-	CombosTried   int            `json:"combos_tried"`
-	CGIterations  int64          `json:"cg_iterations"`
-	Cached        bool           `json:"cached"`
-	CacheKey      string         `json:"cache_key"`
-	ElapsedMS     float64        `json:"elapsed_ms"`
-	Trace         *obs.TraceJSON `json:"trace,omitempty"`
+	Feasible      bool         `json:"feasible"`
+	Best          *OrgJSON     `json:"best,omitempty"`
+	Baseline      BaselineJSON `json:"baseline"`
+	ThermalSims   int          `json:"thermal_sims"`
+	SurrogateHits int          `json:"surrogate_hits"`
+	CombosTried   int          `json:"combos_tried"`
+	CGIterations  int64        `json:"cg_iterations"`
+	// EngineMemoHits and EngineDedupWaits attribute this search's use of the
+	// process-wide evaluation memo: evaluations answered from completed
+	// entries and evaluations that joined another request's in-flight
+	// simulation.
+	EngineMemoHits   int64          `json:"engine_memo_hits"`
+	EngineDedupWaits int64          `json:"engine_dedup_waits"`
+	Cached           bool           `json:"cached"`
+	CacheKey         string         `json:"cache_key"`
+	ElapsedMS        float64        `json:"elapsed_ms"`
+	Trace            *obs.TraceJSON `json:"trace,omitempty"`
 }
 
 // searchKey canonicalizes the resolved configuration (config.Save writes
 // every field explicitly, so two requests that resolve to the same search
 // share one address regardless of which defaults they spelled out).
 func searchKey(cfg org.Config, exhaustive bool) (string, error) {
-	// The kernel thread count is a wall-clock knob with bit-identical
-	// results (thermal's determinism contract), so it must not fork the
-	// content-addressed identity of a search.
+	// Kernel threads, search workers, and scan workers are wall-clock knobs
+	// with bit-identical results (thermal's and org's determinism
+	// contracts), so they must not fork the content-addressed identity of a
+	// search: a serial and a parallel run of the same search share one cache
+	// entry.
 	cfg.Thermal.KernelThreads = 0
+	cfg.SearchWorkers = 0
+	cfg.ParallelWorkers = 0
 	var buf bytes.Buffer
 	if err := config.Save(&buf, cfg); err != nil {
 		return "", err
@@ -440,9 +429,18 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("thermal_grid_n %d exceeds the server limit %d", cfg.Thermal.Nx, s.opts.MaxGridN), start)
 		return
 	}
-	if cfg.Thermal.KernelThreads == 0 {
+	if req.File.SearchWorkers == nil {
+		// Requests that do not pin their own restart parallelism get the
+		// daemon's per-search budget.
+		cfg.SearchWorkers = s.opts.SearchWorkers
+	}
+	if cfg.Thermal.KernelThreads == 0 && cfg.SearchWorkers <= 1 && cfg.ParallelWorkers <= 1 {
 		// An explicit kernel_threads in the request wins; otherwise the
-		// search's solves use the daemon's per-solve budget.
+		// worker budget goes to the outermost parallel level only: a serial
+		// search fans out its thermal kernels with the daemon's per-solve
+		// budget, while a parallel search leaves KernelThreads at 0 so
+		// org.NewEngine pins kernels serial (serve pool → search workers →
+		// kernel threads).
 		cfg.Thermal.KernelThreads = s.opts.KernelThreads
 	}
 	key, err := searchKey(cfg, req.Exhaustive)
@@ -454,9 +452,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	val, hit, err := s.cache.Do(ctx, key, func(runCtx context.Context) (any, error) {
 		runCtx = obs.Reattach(runCtx, ctx)
 		return s.pool.Do(runCtx, func(taskCtx context.Context) (any, error) {
-			// One Searcher per request: its memo maps and RNG are
-			// single-goroutine (see the org.Searcher doc comment).
-			sr, err := org.NewSearcher(cfg)
+			// Searches that share a physics substrate share one process-wide
+			// engine: concurrent requests dedupe and memoize individual
+			// simulations even when their search-level knobs (and hence
+			// their response-cache keys) differ.
+			eng, err := s.engines.Get(cfg)
+			if err != nil {
+				return nil, err
+			}
+			sr, err := org.NewSearcherWithEngine(cfg, eng)
 			if err != nil {
 				return nil, err
 			}
@@ -472,7 +476,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return nil, err
 			}
-			return searchResponse(res, sr.CGIterations()), nil
+			if tr := obs.TraceFrom(taskCtx); tr != nil {
+				tr.SetAttr("engine_memo_hits", sr.EngineHits())
+				tr.SetAttr("engine_dedup_waits", sr.EngineDedupWaits())
+			}
+			return searchResponse(res, sr), nil
 		})
 	})
 	csp.SetAttr("hit", hit)
@@ -504,7 +512,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.finish(w, endpoint, http.StatusOK, resp, start)
 }
 
-func searchResponse(res org.Result, cgIters int64) *SearchResponse {
+func searchResponse(res org.Result, sr *org.Searcher) *SearchResponse {
 	out := &SearchResponse{
 		Feasible: res.Feasible,
 		Baseline: BaselineJSON{
@@ -515,10 +523,12 @@ func searchResponse(res org.Result, cgIters int64) *SearchResponse {
 			PeakC:       res.Baseline.PeakC,
 			CostUSD:     res.Baseline.CostUSD,
 		},
-		ThermalSims:   res.ThermalSims,
-		SurrogateHits: res.SurrogateHits,
-		CombosTried:   res.CombosTried,
-		CGIterations:  cgIters,
+		ThermalSims:      res.ThermalSims,
+		SurrogateHits:    res.SurrogateHits,
+		CombosTried:      res.CombosTried,
+		CGIterations:     sr.CGIterations(),
+		EngineMemoHits:   sr.EngineHits(),
+		EngineDedupWaits: sr.EngineDedupWaits(),
 	}
 	if res.Feasible {
 		b := res.Best

@@ -303,6 +303,14 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.register(&metric{name: name, help: help, typ: "gauge", gauge: &Gauge{fn: fn}})
 }
 
+// CounterFunc registers a counter whose value is fn() at scrape time, for
+// components that already keep their own monotonic tallies (e.g. the
+// evaluation engine's memo counters). fn must be monotonically
+// non-decreasing for the exposition to be a valid counter.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, typ: "counter", gauge: &Gauge{fn: fn}})
+}
+
 // GaugeVec registers and returns a new labeled settable-gauge family.
 func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
 	v := &GaugeVec{f: newFamily(name, labels, func() *GaugeValue { return &GaugeValue{} })}

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"chiplet25d/internal/obs"
+	"chiplet25d/internal/org"
 	"chiplet25d/internal/serve/cache"
 	"chiplet25d/internal/serve/metrics"
 	"chiplet25d/internal/serve/pool"
@@ -56,6 +57,14 @@ type Options struct {
 	// solve fan out. Thread count never changes results (the kernel is
 	// bit-deterministic), so cached and fresh responses always agree.
 	KernelThreads int
+	// SearchWorkers is the per-search greedy-restart worker count applied to
+	// org-search requests that do not set their own search_workers. 0 picks
+	// max(1, GOMAXPROCS/Workers) — the same budget rule as KernelThreads one
+	// level up: the worker budget composes as serve pool → search workers →
+	// kernel threads, and by default only the outermost loaded level fans
+	// out. Worker count never changes search results (org's determinism
+	// contract), so cached and fresh responses always agree.
+	SearchWorkers int
 	// QueueDepth bounds the admission queue; beyond it requests get 503.
 	QueueDepth int
 	// CacheCapacity bounds the result cache in entries.
@@ -135,6 +144,12 @@ func (o Options) withDefaults() Options {
 			o.KernelThreads = 1
 		}
 	}
+	if o.SearchWorkers <= 0 {
+		o.SearchWorkers = runtime.GOMAXPROCS(0) / o.Workers
+		if o.SearchWorkers < 1 {
+			o.SearchWorkers = 1
+		}
+	}
 	return o
 }
 
@@ -143,6 +158,7 @@ type Server struct {
 	opts     Options
 	cache    *cache.Cache
 	pool     *pool.Pool
+	engines  *org.EngineCache
 	reg      *metrics.Registry
 	mux      *http.ServeMux
 	logger   *slog.Logger
@@ -170,6 +186,7 @@ func New(opts Options) *Server {
 		opts:     opts,
 		cache:    cache.New(opts.CacheCapacity),
 		pool:     pool.New(opts.Workers, opts.QueueDepth),
+		engines:  org.NewEngineCache(8),
 		reg:      metrics.NewRegistry(),
 		mux:      http.NewServeMux(),
 		logger:   opts.Logger,
@@ -214,6 +231,25 @@ func New(opts Options) *Server {
 	s.reg.GaugeFunc("chipletd_cache_entries",
 		"Entries resident in the result cache.",
 		func() float64 { return float64(s.cache.Len()) })
+	// The evaluation engine is the second, finer-grained memo tier under the
+	// result cache: it deduplicates individual simulations across requests
+	// that miss the (whole-request) cache above. Its counters live on the
+	// engines themselves, so they are exported as callback-backed counters.
+	s.reg.CounterFunc("chipletd_eval_memo_hits_total",
+		"Engine simulation lookups answered from the shared memo.",
+		func() float64 { return float64(s.engines.Stats().Hits) })
+	s.reg.CounterFunc("chipletd_eval_memo_misses_total",
+		"Engine simulation lookups that computed a fresh simulation.",
+		func() float64 { return float64(s.engines.Stats().Misses) })
+	s.reg.CounterFunc("chipletd_eval_dedup_waits_total",
+		"Engine simulation lookups that joined another caller's in-flight computation.",
+		func() float64 { return float64(s.engines.Stats().DedupWaits) })
+	s.reg.GaugeFunc("chipletd_eval_memo_entries",
+		"Completed simulations resident across all engine memos.",
+		func() float64 { return float64(s.engines.MemoLen()) })
+	s.reg.GaugeFunc("chipletd_eval_engines",
+		"Evaluation engines resident in the fingerprint-keyed cache.",
+		func() float64 { return float64(s.engines.Len()) })
 
 	s.mux.HandleFunc("POST /v1/thermal/solve", s.instrument("thermal_solve", s.handleSolve))
 	s.mux.HandleFunc("POST /v1/org/search", s.instrument("org_search", s.handleSearch))

@@ -5,12 +5,16 @@
 #   BENCHTIME=3x scripts/bench.sh   # quicker smoke-quality numbers
 #
 # Runs the thermal solve benchmarks (the root harness plus the kernel
-# thread variants in internal/thermal) with -benchmem and writes
-# BENCH_<n>.json at the repository root, where n counts the BENCH_*.json
-# artifacts already present — so successive runs line up as a series
-# (BENCH_0.json is the pre-CSR seed baseline). Each record carries ns/op,
-# B/op, and allocs/op; the summary derives speedup_vs_serial for every
-# kernel thread variant against BenchmarkSolveWarmGrid64Serial.
+# thread variants in internal/thermal) and the org multi-start search
+# benchmarks (serial vs restart workers, warm shared-engine search, memoized
+# engine lookup) and writes BENCH_<n>.json at the repository root, where n
+# counts the BENCH_*.json artifacts already present — so successive runs
+# line up as a series (BENCH_0.json is the pre-CSR seed baseline). Each
+# record carries ns/op (plus B/op, allocs/op, and memo-hit-ratio where the
+# benchmark emits them); the summary derives speedup_vs_serial for the
+# kernel thread variants, search_speedup_vs_serial for the restart-worker
+# variants, and warm_shared_engine_speedup for a search over an already-warm
+# process-wide engine (the chipletd steady state).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -25,7 +29,9 @@ bench_out=$(
     go test -run '^$' -bench 'BenchmarkThermalSolve64$|BenchmarkLeakageCoupledSim$|BenchmarkTransientStep$' \
         -benchmem -benchtime "${BENCHTIME:-1s}" . &&
         go test -run '^$' -bench 'BenchmarkSolveWarmGrid64' \
-            -benchmem -benchtime "${BENCHTIME:-1s}" ./internal/thermal
+            -benchmem -benchtime "${BENCHTIME:-1s}" ./internal/thermal &&
+        go test -run '^$' -bench 'BenchmarkMultiStartSearch|BenchmarkEngineLookupHit' \
+            -benchtime "${SEARCHBENCHTIME:-3x}" ./internal/org
 )
 echo "$bench_out"
 
@@ -33,9 +39,12 @@ echo "$bench_out" | awk -v out="$out" '
     /^Benchmark/ {
         name = $1
         sub(/-[0-9]+$/, "", name)
-        ns[name] = $3
-        by[name] = $5
-        al[name] = $7
+        for (i = 3; i <= NF; i++) {
+            if ($i == "ns/op") ns[name] = $(i - 1)
+            else if ($i == "B/op") by[name] = $(i - 1)
+            else if ($i == "allocs/op") al[name] = $(i - 1)
+            else if ($i == "memo-hit-ratio") hr[name] = $(i - 1)
+        }
         if (!(name in seen)) { order[++cnt] = name; seen[name] = 1 }
     }
     END {
@@ -43,8 +52,10 @@ echo "$bench_out" | awk -v out="$out" '
         printf "{\n  \"benchmarks\": [\n" > out
         for (i = 1; i <= cnt; i++) {
             name = order[i]
-            printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
-                name, ns[name], by[name], al[name], (i < cnt ? "," : "") > out
+            printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns[name] > out
+            if (name in by) printf ", \"bytes_per_op\": %s, \"allocs_per_op\": %s", by[name], al[name] > out
+            if (name in hr) printf ", \"memo_hit_ratio\": %s", hr[name] > out
+            printf "}%s\n", (i < cnt ? "," : "") > out
         }
         printf "  ],\n  \"speedup_vs_serial\": {" > out
         serial = ns["BenchmarkSolveWarmGrid64Serial"]
@@ -56,7 +67,26 @@ echo "$bench_out" | awk -v out="$out" '
                 first = 0
             }
         }
-        printf "}\n}\n" > out
+        printf "},\n" > out
+        printf "  \"search_speedup_vs_serial\": {" > out
+        sserial = ns["BenchmarkMultiStartSearchSerial"]
+        first = 1
+        for (i = 1; i <= cnt; i++) {
+            name = order[i]
+            if (name ~ /^BenchmarkMultiStartSearchWorkers/ && sserial > 0) {
+                printf "%s\"%s\": %.3f", (first ? "" : ", "), name, sserial / ns[name] > out
+                first = 0
+            }
+        }
+        printf "}" > out
+        warm = ns["BenchmarkMultiStartSearchWarmShared"]
+        if (sserial > 0 && warm > 0)
+            printf ",\n  \"warm_shared_engine_speedup\": %.1f", sserial / warm > out
+        if ("BenchmarkMultiStartSearchSerial" in hr)
+            printf ",\n  \"engine_memo_hit_ratio\": %s", hr["BenchmarkMultiStartSearchSerial"] > out
+        if ("BenchmarkEngineLookupHit" in ns)
+            printf ",\n  \"engine_lookup_ns\": %s", ns["BenchmarkEngineLookupHit"] > out
+        printf "\n}\n" > out
     }'
 
 echo "bench.sh: wrote $out"

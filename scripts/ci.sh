@@ -10,8 +10,10 @@
 # clean SIGTERM drain), a smoke run of the chipletd cache benchmarks,
 # the tracer-overhead guard (BenchmarkSolveTraced vs BenchmarkSolveUntraced),
 # the thermal kernel-correctness gate (serial vs parallel bit-equality and
-# the concurrent-solve stress, under -race), and the warm-solve allocation
-# budget (zero large allocations per steady-state solve).
+# the concurrent-solve stress, under -race), the org parallel-search
+# determinism gate (parallel multi-start ≡ serial bit-for-bit over a shared
+# engine, under -race), and the warm-solve allocation budget (zero large
+# allocations per steady-state solve).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -70,6 +72,21 @@ echo "==> thermal kernel correctness (serial vs parallel bit-equality, -race)"
 go test -race -count 1 \
     -run 'TestKernelSerialParallelEquality|TestTransientSerialParallelEquality|TestConcurrentSolves' \
     ./internal/thermal
+
+echo "==> org parallel-search determinism (golden parallel≡serial, -race)"
+# The parallel multi-start search promises bit-identical results to the
+# serial path at any worker count, with many goroutines hammering one shared
+# engine. That contract is what lets chipletd share a process-wide memo and
+# content-address searches independently of their worker knobs, so it gets
+# its own named gate under -race.
+go test -race -count 1 \
+    -run 'TestParallelRestartsMatchSerial|TestParallelFindPlacementMatchesSerial|TestSharedEngineSearchersMatchPrivate|TestEngineConcurrentStress' \
+    ./internal/org
+
+echo "==> org package under -race"
+# Cache-friendly form (no -count): reuses the full -race run's cached result
+# when nothing changed, and re-runs the whole package otherwise.
+go test -race ./internal/org/...
 
 echo "==> thermal warm-solve allocation budget"
 # Steady-state serving must not allocate vectors: a warm SolveWarm is
