@@ -1,0 +1,97 @@
+// Command chipletverify runs the physics verification harness from a bare
+// binary: analytic oracles, randomized physics invariants, differential
+// checks against the dumb-but-obviously-correct reference path, the golden
+// regression corpus (embedded in the binary), and the mutation smoke test.
+// Exit status is non-zero if any selected check fails.
+//
+// Usage:
+//
+//	chipletverify               # fast + standard tiers (~1 s)
+//	chipletverify -long         # add paper-scale grids and figure goldens
+//	chipletverify -quick        # fast tier only (CI gate)
+//	chipletverify -list         # list checks without running
+//	chipletverify -run golden   # run checks whose name contains "golden"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"chiplet25d/internal/verify"
+)
+
+func main() {
+	var (
+		long    = flag.Bool("long", false, "run the full tier (paper-scale grids, figure goldens)")
+		quick   = flag.Bool("quick", false, "run only the fast-tier checks")
+		list    = flag.Bool("list", false, "list checks and tiers without running")
+		runPat  = flag.String("run", "", "run only checks whose name contains this substring")
+		verbose = flag.Bool("v", false, "print per-check diagnostics (worst errors, iteration counts)")
+	)
+	flag.Parse()
+	if *long && *quick {
+		fmt.Fprintln(os.Stderr, "chipletverify: -long and -quick are mutually exclusive")
+		os.Exit(2)
+	}
+
+	checks := verify.Checks()
+	if *list {
+		fmt.Printf("%-32s %-8s %s\n", "check", "tier", "description")
+		for _, c := range checks {
+			fmt.Printf("%-32s %-8s %s\n", c.Name, tier(c), c.Description)
+		}
+		return
+	}
+
+	failed := 0
+	ran := 0
+	start := time.Now()
+	for _, c := range checks {
+		if *runPat != "" && !strings.Contains(c.Name, *runPat) {
+			continue
+		}
+		if c.Long && !*long {
+			continue
+		}
+		if *quick && !c.Quick {
+			continue
+		}
+		ran++
+		ctx := &verify.Context{Long: *long}
+		if *verbose {
+			ctx.Logf = func(format string, args ...any) {
+				fmt.Printf("        %s\n", fmt.Sprintf(format, args...))
+			}
+		}
+		t0 := time.Now()
+		if err := c.Run(ctx); err != nil {
+			failed++
+			fmt.Printf("FAIL    %-32s %v\n", c.Name, err)
+			continue
+		}
+		fmt.Printf("ok      %-32s %s\n", c.Name, time.Since(t0).Round(time.Millisecond))
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "chipletverify: no checks matched")
+		os.Exit(2)
+	}
+	if failed > 0 {
+		fmt.Printf("\n%d of %d checks FAILED in %s\n", failed, ran, time.Since(start).Round(time.Millisecond))
+		os.Exit(1)
+	}
+	fmt.Printf("\nall %d checks passed in %s\n", ran, time.Since(start).Round(time.Millisecond))
+}
+
+func tier(c verify.Check) string {
+	switch {
+	case c.Long:
+		return "long"
+	case c.Quick:
+		return "fast"
+	default:
+		return "std"
+	}
+}

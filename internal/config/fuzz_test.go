@@ -1,0 +1,78 @@
+package config
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad exercises the configuration parser with arbitrary input: it must
+// never panic, anything it accepts must validate, and Save must be a
+// canonical fixpoint — Save(Load(Save(cfg))) byte-identical to Save(cfg).
+// The serve layer's content-addressed search cache depends on that
+// fixpoint: two requests resolving to the same search must hash alike.
+func FuzzLoad(f *testing.F) {
+	f.Add(`{"benchmark":"cholesky"}`)
+	f.Add(`{"benchmark":"canneal","starts":2,"seed":7,"thermal_grid_n":16}`)
+	f.Add(`{"benchmark":"hpccg","chiplet_counts":[4],"max_norm_cost":1,"alpha":1,"beta":0.5}`)
+	f.Add(`{"custom_benchmark":{"name":"x","cpi":1,"mem_ratio":0.1}}`)
+	f.Add(`{"benchmark":"nope"}`)
+	f.Add(`{"unknown_field":1}`)
+	f.Add(`{"benchmark":"cholesky"} trailing`)
+	f.Add(`not json`)
+	f.Fuzz(func(t *testing.T, input string) {
+		cfg, err := Load(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("accepted config fails validation: %v", verr)
+		}
+		var first bytes.Buffer
+		if err := Save(&first, cfg); err != nil {
+			return // non-finite floats that survived validation are unencodable
+		}
+		again, err := Load(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("Save output rejected by Load: %v\n%s", err, first.String())
+		}
+		var second bytes.Buffer
+		if err := Save(&second, again); err != nil {
+			t.Fatalf("second Save failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("Save is not a fixpoint:\nfirst:  %s\nsecond: %s", first.String(), second.String())
+		}
+	})
+}
+
+// FuzzLoadServer exercises the daemon-section parser: never panic, and any
+// accepted section must survive an encode/re-decode round trip unchanged.
+func FuzzLoadServer(f *testing.F) {
+	f.Add(`{}`)
+	f.Add(`{"server":{"addr":":9090","workers":4,"queue_depth":8}}`)
+	f.Add(`{"server":{"log_format":"json","log_level":"debug","pprof":true}}`)
+	f.Add(`{"benchmark":"cholesky","server":{"cache_capacity":16}}`)
+	f.Add(`{"server":{"workers":"not-a-number"}}`)
+	f.Add(`null`)
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := LoadServer(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Round-trip the section through the File schema it lives in.
+		enc, err := json.Marshal(File{Server: &s})
+		if err != nil {
+			return // unencodable values (non-finite floats) are allowed in, not out
+		}
+		again, err := LoadServer(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("re-decode of encoded server section failed: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(s, again) {
+			t.Fatalf("server section changed across round trip:\nbefore: %+v\nafter:  %+v", s, again)
+		}
+	})
+}

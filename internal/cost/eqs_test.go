@@ -1,0 +1,129 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+// The tables below pin Eqs. (1)-(4) against values computed by hand from
+// the formulas (independent arithmetic, not a call back into this package),
+// at Table II constants: 300 mm wafers, $5000 CMOS / $500 interposer,
+// D0 = 0.25/cm², α = 3, interposer yield 98%, bond yield 99%, bond $0.20.
+
+const eqTol = 1e-9 // relative; the expected values carry 12 digits
+
+func relClose(got, want float64) bool {
+	return math.Abs(got-want) <= eqTol*math.Max(1, math.Abs(want))
+}
+
+// TestEq1DiesPerWaferHandValues: N = π(d/2)²/A − πd/√(2A).
+// E.g. for A = 100 mm²: π·150²/100 − π·300/√200
+// = 706.858347058 − 66.643244073 = 640.215102985.
+func TestEq1DiesPerWaferHandValues(t *testing.T) {
+	cases := []struct {
+		name    string
+		areaMM2 float64
+		want    float64
+	}{
+		{"10x10", 100, 640.215102985},
+		{"18x18 paper chip", 324, 181.142132015},
+		{"9x9 quarter chiplet", 81, 798.616577028},
+		{"4.5x4.5 sixteenth chiplet", 20.25, 3342.56240605},
+		{"40x40 interposer", 1600, 27.517835673},
+		{"zero area", 0, 0},
+		{"area beyond the wafer", 1e6, 0},
+	}
+	for _, c := range cases {
+		if got := DiesPerWafer(300, c.areaMM2); !relClose(got, c.want) {
+			t.Errorf("%s: DiesPerWafer(300, %g) = %.12g, want %.12g", c.name, c.areaMM2, got, c.want)
+		}
+	}
+}
+
+// TestEq2CMOSYieldHandValues: Y = (1 + A·D0/α)^(−α) with D0 in defects/mm².
+// E.g. for the 18x18 chip: (1 + 324·0.0025/3)^−3 = 1.27^−3 = 0.488189952758.
+func TestEq2CMOSYieldHandValues(t *testing.T) {
+	p := DefaultParams()
+	cases := []struct {
+		name    string
+		areaMM2 float64
+		want    float64
+	}{
+		{"18x18 paper chip", 324, 0.488189952758},
+		{"9x9 quarter chiplet", 81, 0.822046432445},
+		{"4.5x4.5 sixteenth chiplet", 20.25, 0.951036727819},
+		{"40x40 interposer-sized die", 1600, 0.0787172011662},
+		{"zero area yields perfectly", 0, 1},
+	}
+	for _, c := range cases {
+		if got := p.CMOSYield(c.areaMM2); !relClose(got, c.want) {
+			t.Errorf("%s: CMOSYield(%g) = %.12g, want %.12g", c.name, c.areaMM2, got, c.want)
+		}
+	}
+}
+
+// TestEq3DieCostHandValues: C_die = C_wafer / (N · Y), for both the CMOS
+// and interposer wafers. E.g. the paper chip:
+// 5000 / (181.142132015 · 0.488189952758) = $56.5407665577.
+func TestEq3DieCostHandValues(t *testing.T) {
+	p := DefaultParams()
+	cmos := []struct {
+		name    string
+		areaMM2 float64
+		want    float64
+	}{
+		{"18x18 paper chip", 324, 56.5407665577},
+		{"9x9 quarter chiplet", 81, 7.61614729688},
+		{"4.5x4.5 sixteenth chiplet", 20.25, 1.57287131033},
+	}
+	for _, c := range cmos {
+		if got := p.CMOSDieCost(c.areaMM2); !relClose(got, c.want) {
+			t.Errorf("%s: CMOSDieCost(%g) = %.12g, want %.12g", c.name, c.areaMM2, got, c.want)
+		}
+	}
+	interposer := []struct {
+		name    string
+		areaMM2 float64
+		want    float64
+	}{
+		{"40x40", 1600, 18.5408506576}, // 500/(27.517835673 · 0.98)
+		{"20x20", 400, 3.55808308029},
+	}
+	for _, c := range interposer {
+		if got := p.InterposerCost(c.areaMM2); !relClose(got, c.want) {
+			t.Errorf("%s: InterposerCost(%g) = %.12g, want %.12g", c.name, c.areaMM2, got, c.want)
+		}
+	}
+}
+
+// TestEq4System25DCostHandValues:
+// C_2.5D = (n·(C_chiplet + C_bond) + C_interposer) / Y_bond^n.
+// E.g. 4 chiplets of 81 mm² on a 40x40 interposer:
+// (4·(7.61614729688 + 0.2) + 18.5408506576) / 0.99⁴ = $51.8484767026.
+func TestEq4System25DCostHandValues(t *testing.T) {
+	p := DefaultParams()
+	cases := []struct {
+		name              string
+		n                 int
+		chipletAreaMM2    float64
+		interposerAreaMM2 float64
+		want              float64
+	}{
+		{"4 chiplets on 40x40", 4, 81, 1600, 51.8484767026},
+		{"16 chiplets on 20x20", 16, 20.25, 400, 37.4933732821},
+	}
+	for _, c := range cases {
+		if got := p.System25DCost(c.n, c.chipletAreaMM2, c.interposerAreaMM2); !relClose(got, c.want) {
+			t.Errorf("%s: System25DCost(%d, %g, %g) = %.12g, want %.12g",
+				c.name, c.n, c.chipletAreaMM2, c.interposerAreaMM2, got, c.want)
+		}
+	}
+	// Structural identity pinning the bond-yield denominator: de-yielded
+	// costs differ by exactly the four extra chiplets,
+	// C(8)·Y⁸ − C(4)·Y⁴ = 4·(c_die + c_bond).
+	lhs := p.System25DCost(8, 81, 1600)*math.Pow(0.99, 8) - p.System25DCost(4, 81, 1600)*math.Pow(0.99, 4)
+	rhs := 4 * (p.CMOSDieCost(81) + p.BondCost)
+	if !relClose(lhs, rhs) {
+		t.Errorf("Eq. (4) structure: C(8)·Y⁸ − C(4)·Y⁴ = %.12g, want 4·(c_die+c_bond) = %.12g", lhs, rhs)
+	}
+}

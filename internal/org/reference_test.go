@@ -1,0 +1,57 @@
+package org
+
+import (
+	"context"
+	"testing"
+
+	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/power"
+)
+
+// TestReferenceSimulateMatchesEngine holds the memoized, deduplicated,
+// surrogate-accelerated Engine to the unmemoized single-threaded reference
+// path, bit for bit, across placements and operating points — and checks
+// that a repeated Engine lookup (now a memo hit) returns the identical
+// record.
+func TestReferenceSimulateMatchesEngine(t *testing.T) {
+	cfg := fastConfig(t, "cholesky")
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl4, err := floorplan.PaperOrg(4, 0, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		pl   floorplan.Placement
+		fIdx int
+		p    int
+	}{
+		{"2d-f0-256", floorplan.SingleChip(), 0, 256},
+		{"4c-f2-128", pl4, 2, 128},
+		{"4c-f4-256", pl4, 4, 256},
+	}
+	for _, tc := range cases {
+		op := power.FrequencySet[tc.fIdx]
+		want, err := ReferenceSimulate(cfg, cfg.Benchmark, tc.pl, op, tc.p)
+		if err != nil {
+			t.Fatalf("%s: reference: %v", tc.name, err)
+		}
+		got, _, err := eng.Simulate(context.Background(), cfg.Benchmark, tc.pl, op, tc.p)
+		if err != nil {
+			t.Fatalf("%s: engine: %v", tc.name, err)
+		}
+		if got != want {
+			t.Errorf("%s: engine record %+v != reference %+v", tc.name, got, want)
+		}
+		again, st, err := eng.Simulate(context.Background(), cfg.Benchmark, tc.pl, op, tc.p)
+		if err != nil {
+			t.Fatalf("%s: memo hit: %v", tc.name, err)
+		}
+		if st.MemoHits != 1 || again != want {
+			t.Errorf("%s: memo replay got %+v (hits=%d), want %+v (hits=1)", tc.name, again, st.MemoHits, want)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzSolveRequestDecode exercises the /v1/thermal/solve request path up to
+// (but not including) the solve itself: decodeJSON must never panic, and
+// any request that decodes and resolves must produce a stable, well-formed
+// content address — the cache's correctness rests on that key.
+func FuzzSolveRequestDecode(f *testing.F) {
+	f.Add(`{"placement":{"chiplets":1},"benchmark":"cholesky","freq_mhz":1000,"cores":256}`)
+	f.Add(`{"placement":{"chiplets":4,"s3_mm":2},"benchmark":"canneal","freq_mhz":533,"cores":128,"grid_n":16}`)
+	f.Add(`{"placement":{"chiplets":16,"interposer_mm":40,"s1_mm":0.5,"s2_mm":1},"benchmark":"hpccg","freq_mhz":320,"cores":64}`)
+	f.Add(`{"placement":{"chiplets":9,"spacing_mm":1.5},"benchmark":"lu.cont","freq_mhz":400,"cores":32,"grid_n":8}`)
+	f.Add(`{"placement":{"chiplets":0}}`)
+	f.Add(`{"unknown":true}`)
+	f.Add(`{"placement":{"chiplets":1}} extra`)
+	f.Add(`[]`)
+	f.Fuzz(func(t *testing.T, body string) {
+		httpReq := httptest.NewRequest("POST", "/v1/thermal/solve", strings.NewReader(body))
+		var req SolveRequest
+		if err := decodeJSON(httpReq, &req); err != nil {
+			return
+		}
+		sp, err := req.resolve(64)
+		if err != nil {
+			return
+		}
+		key := sp.cacheKey()
+		if !strings.HasPrefix(key, "solve:") {
+			t.Fatalf("malformed cache key %q", key)
+		}
+		// Resolving the same decoded request again must address the same
+		// cache entry.
+		sp2, err := req.resolve(64)
+		if err != nil {
+			t.Fatalf("second resolve of an accepted request failed: %v", err)
+		}
+		if k2 := sp2.cacheKey(); k2 != key {
+			t.Fatalf("cache key unstable across resolves: %q vs %q", key, k2)
+		}
+	})
+}
+
+// FuzzSearchRequestDecode exercises the /v1/org/search request path the
+// same way: decode, resolve against the paper defaults, and demand a
+// stable canonical search key for anything accepted.
+func FuzzSearchRequestDecode(f *testing.F) {
+	f.Add(`{"benchmark":"canneal"}`)
+	f.Add(`{"benchmark":"cholesky","starts":2,"seed":3,"thermal_grid_n":16,"exhaustive":true}`)
+	f.Add(`{"benchmark":"hpccg","chiplet_counts":[4,16],"max_norm_cost":1}`)
+	f.Add(`{"custom_benchmark":{"name":"x","cpi":1,"mem_ratio":0.1},"interposer_step_mm":5}`)
+	f.Add(`{"benchmark":""}`)
+	f.Add(`{"exhaustive":"yes"}`)
+	f.Add(`{"benchmark":"canneal"}{"benchmark":"canneal"}`)
+	f.Fuzz(func(t *testing.T, body string) {
+		httpReq := httptest.NewRequest("POST", "/v1/org/search", bytes.NewReader([]byte(body)))
+		var req SearchRequest
+		if err := decodeJSON(httpReq, &req); err != nil {
+			return
+		}
+		cfg, err := req.ToConfig()
+		if err != nil {
+			return
+		}
+		key, err := searchKey(cfg, req.Exhaustive)
+		if err != nil {
+			return // validated configs with non-finite floats are unencodable
+		}
+		if !strings.HasPrefix(key, "search:") {
+			t.Fatalf("malformed search key %q", key)
+		}
+		k2, err := searchKey(cfg, req.Exhaustive)
+		if err != nil || k2 != key {
+			t.Fatalf("search key unstable: %q vs %q (err %v)", key, k2, err)
+		}
+	})
+}

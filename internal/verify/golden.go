@@ -1,0 +1,448 @@
+package verify
+
+// Golden regression corpus: committed end-to-end results for seed
+// configurations, spanning the three levels of the stack — direct
+// steady-state solves (thermal only), full leakage-coupled simulations
+// (thermal + power + NoC through the Engine), and reduced search winners
+// (the whole optimizer). Everything in the corpus is deterministic, so the
+// comparison tolerance only absorbs future last-ulp libm/compiler drift;
+// any real change shows up as a diff and is either a bug or a conscious
+// `go test ./internal/verify -update` refresh, reviewed like any golden.
+
+import (
+	"context"
+	"embed"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"chiplet25d/internal/expt"
+	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/org"
+	"chiplet25d/internal/perf"
+	"chiplet25d/internal/power"
+	"chiplet25d/internal/thermal"
+)
+
+// goldenFS embeds the committed corpus and figure tables so chipletverify
+// runs standalone from a bare binary.
+//
+//go:embed testdata
+var goldenFS embed.FS
+
+// CorpusPath is the corpus location inside testdata (and the embed FS).
+const CorpusPath = "testdata/corpus.golden.json"
+
+// figGoldens maps the figure checks to their committed reduced-scale CSVs.
+var figGoldens = []struct {
+	Name string
+	Path string
+	Run  func(expt.Options) (*expt.Table, error)
+}{
+	{"fig6", "testdata/fig6_reduced.golden.csv", expt.Fig6},
+	{"fig7", "testdata/fig7_reduced.golden.csv", expt.Fig7},
+	{"fig8", "testdata/fig8_reduced.golden.csv", expt.Fig8},
+}
+
+// SolveCase pins one direct steady-state solve: a placement, a thermal
+// grid, and the minimum-temperature active-core power map.
+type SolveCase struct {
+	Name        string  `json:"name"`
+	Chiplets    int     `json:"chiplets"`
+	S1          float64 `json:"s1_mm"`
+	S2          float64 `json:"s2_mm"`
+	S3          float64 `json:"s3_mm"`
+	GridN       int     `json:"grid_n"`
+	ActiveCores int     `json:"active_cores"`
+	CoreW       float64 `json:"core_w"`
+}
+
+// SolveGolden is a solve case plus its pinned results.
+type SolveGolden struct {
+	SolveCase
+	PeakC    float64 `json:"peak_c"`
+	MeanC    float64 `json:"mean_chip_c"`
+	HeatOutW float64 `json:"heat_out_w"`
+}
+
+// SimCase pins one full leakage-coupled simulation through the Engine.
+type SimCase struct {
+	Name        string  `json:"name"`
+	Bench       string  `json:"bench"`
+	Chiplets    int     `json:"chiplets"`
+	S1          float64 `json:"s1_mm"`
+	S2          float64 `json:"s2_mm"`
+	S3          float64 `json:"s3_mm"`
+	GridN       int     `json:"grid_n"`
+	FreqMHz     float64 `json:"freq_mhz"`
+	ActiveCores int     `json:"active_cores"`
+}
+
+// SimGolden is a sim case plus its pinned results. CG iteration counts are
+// deliberately absent: they may legitimately change with solver tuning,
+// while the physics below must not.
+type SimGolden struct {
+	SimCase
+	PeakC             float64 `json:"peak_c"`
+	TotalPowerW       float64 `json:"total_power_w"`
+	MeshPowerW        float64 `json:"mesh_power_w"`
+	LeakageIterations int     `json:"leakage_iterations"`
+}
+
+// SearchCase pins one reduced optimization run end to end.
+type SearchCase struct {
+	Name             string  `json:"name"`
+	Bench            string  `json:"bench"`
+	GridN            int     `json:"grid_n"`
+	Starts           int     `json:"starts"`
+	Seed             int64   `json:"seed"`
+	InterposerStepMM float64 `json:"interposer_step_mm"`
+	MaxNormCost      float64 `json:"max_norm_cost"`
+}
+
+// SearchGolden is a search case plus its pinned winner.
+type SearchGolden struct {
+	SearchCase
+	Feasible     bool    `json:"feasible"`
+	N            int     `json:"n"`
+	S1           float64 `json:"winner_s1_mm"`
+	S2           float64 `json:"winner_s2_mm"`
+	S3           float64 `json:"winner_s3_mm"`
+	InterposerMM float64 `json:"interposer_mm"`
+	FreqMHz      float64 `json:"winner_freq_mhz"`
+	ActiveCores  int     `json:"winner_active_cores"`
+	PeakC        float64 `json:"peak_c"`
+	ObjValue     float64 `json:"obj_value"`
+}
+
+// Corpus is the committed golden file.
+type Corpus struct {
+	Note     string         `json:"note"`
+	Solves   []SolveGolden  `json:"solves"`
+	Sims     []SimGolden    `json:"sims"`
+	Searches []SearchGolden `json:"searches"`
+}
+
+// corpusCases returns the seed configurations the corpus pins. Adding a
+// case here and running `go test ./internal/verify -update` extends the
+// corpus.
+func corpusCases() ([]SolveCase, []SimCase, []SearchCase) {
+	solves := []SolveCase{
+		{Name: "2d-256c", Chiplets: 1, GridN: 16, ActiveCores: 256, CoreW: 0.4},
+		{Name: "4c-s3=2-128c", Chiplets: 4, S3: 2, GridN: 16, ActiveCores: 128, CoreW: 0.5},
+		{Name: "16c-paper-256c", Chiplets: 16, S1: 0.5, S2: 1, S3: 1, GridN: 16, ActiveCores: 256, CoreW: 0.35},
+	}
+	sims := []SimCase{
+		{Name: "2d-cholesky-f0", Bench: "cholesky", Chiplets: 1, GridN: 16, FreqMHz: power.FrequencySet[0].FreqMHz, ActiveCores: 256},
+		{Name: "4c-canneal-f2", Bench: "canneal", Chiplets: 4, S3: 2, GridN: 16, FreqMHz: power.FrequencySet[2].FreqMHz, ActiveCores: 192},
+		{Name: "16c-hpccg-f4", Bench: "hpccg", Chiplets: 16, S1: 0.5, S2: 1, S3: 1, GridN: 16, FreqMHz: power.FrequencySet[4].FreqMHz, ActiveCores: 256},
+	}
+	searches := []SearchCase{
+		{Name: "canneal-reduced", Bench: "canneal", GridN: 16, Starts: 2, Seed: 1, InterposerStepMM: 10, MaxNormCost: 0},
+	}
+	return solves, sims, searches
+}
+
+// casePlacement materializes a corpus case's geometry.
+func casePlacement(chiplets int, s1, s2, s3 float64) (floorplan.Placement, error) {
+	if chiplets == 1 {
+		return floorplan.SingleChip(), nil
+	}
+	return floorplan.PaperOrg(chiplets, s1, s2, s3)
+}
+
+// solveModel assembles the production-tolerance model for a solve case.
+// Exposed to the mutation check, which needs the same model perturbed.
+func solveModel(c SolveCase) (*thermal.Model, []float64, float64, error) {
+	pl, err := casePlacement(c.Chiplets, c.S1, c.S2, c.S3)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	stack, err := floorplan.BuildStack(pl)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	cfg := thermal.DefaultConfig()
+	cfg.Nx, cfg.Ny = c.GridN, c.GridN
+	m, err := thermal.NewModel(stack, cfg)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	active, err := power.MintempActive(c.ActiveCores)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	cores, err := pl.Cores()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	pmap := make([]float64, c.GridN*c.GridN)
+	total := 0.0
+	for _, core := range cores {
+		id := core.Row*floorplan.CoresPerEdge + core.Col
+		if !active[id] {
+			continue
+		}
+		m.Grid().RasterizeAdd(pmap, core.Rect, c.CoreW)
+		total += c.CoreW
+	}
+	return m, pmap, total, nil
+}
+
+func computeSolve(c SolveCase) (SolveGolden, error) {
+	m, pmap, _, err := solveModel(c)
+	if err != nil {
+		return SolveGolden{}, err
+	}
+	res, err := m.Solve(pmap)
+	if err != nil {
+		return SolveGolden{}, err
+	}
+	mean := 0.0
+	for _, t := range res.ChipT() {
+		mean += t
+	}
+	mean /= float64(len(res.ChipT()))
+	return SolveGolden{SolveCase: c, PeakC: res.PeakC(), MeanC: mean, HeatOutW: res.HeatOutW()}, nil
+}
+
+func computeSim(c SimCase) (SimGolden, error) {
+	b, err := perf.ByName(c.Bench)
+	if err != nil {
+		return SimGolden{}, err
+	}
+	pl, err := casePlacement(c.Chiplets, c.S1, c.S2, c.S3)
+	if err != nil {
+		return SimGolden{}, err
+	}
+	var op power.DVFSPoint
+	found := false
+	for _, p := range power.FrequencySet {
+		if p.FreqMHz == c.FreqMHz {
+			op, found = p, true
+			break
+		}
+	}
+	if !found {
+		return SimGolden{}, fmt.Errorf("verify: freq %g MHz not in the DVFS table", c.FreqMHz)
+	}
+	cfg := org.DefaultConfig(b)
+	cfg.Thermal.Nx, cfg.Thermal.Ny = c.GridN, c.GridN
+	eng, err := org.NewEngine(cfg)
+	if err != nil {
+		return SimGolden{}, err
+	}
+	rec, _, err := eng.Simulate(context.Background(), b, pl, op, c.ActiveCores)
+	if err != nil {
+		return SimGolden{}, err
+	}
+	return SimGolden{
+		SimCase:           c,
+		PeakC:             rec.PeakC,
+		TotalPowerW:       rec.TotalPowerW,
+		MeshPowerW:        rec.MeshPowerW,
+		LeakageIterations: rec.LeakageIterations,
+	}, nil
+}
+
+func searchConfig(c SearchCase) (org.Config, error) {
+	b, err := perf.ByName(c.Bench)
+	if err != nil {
+		return org.Config{}, err
+	}
+	cfg := org.DefaultConfig(b)
+	cfg.Thermal.Nx, cfg.Thermal.Ny = c.GridN, c.GridN
+	cfg.Starts = c.Starts
+	cfg.Seed = c.Seed
+	cfg.InterposerStepMM = c.InterposerStepMM
+	cfg.MaxNormCost = c.MaxNormCost
+	return cfg, nil
+}
+
+func computeSearch(c SearchCase) (SearchGolden, error) {
+	cfg, err := searchConfig(c)
+	if err != nil {
+		return SearchGolden{}, err
+	}
+	s, err := org.NewSearcher(cfg)
+	if err != nil {
+		return SearchGolden{}, err
+	}
+	res, err := s.Optimize()
+	if err != nil {
+		return SearchGolden{}, err
+	}
+	g := SearchGolden{SearchCase: c, Feasible: res.Feasible}
+	if res.Feasible {
+		g.N = res.Best.N
+		g.S1, g.S2, g.S3 = res.Best.S1, res.Best.S2, res.Best.S3
+		g.InterposerMM = res.Best.InterposerMM
+		g.FreqMHz = res.Best.Op.FreqMHz
+		g.ActiveCores = res.Best.ActiveCores
+		g.PeakC = res.Best.PeakC
+		g.ObjValue = res.Best.ObjValue
+	}
+	return g, nil
+}
+
+// BuildCorpus recomputes every corpus case from the current code.
+func BuildCorpus() (Corpus, error) {
+	solves, sims, searches := corpusCases()
+	c := Corpus{
+		Note: "Generated by `go test ./internal/verify -update`. Do not edit by hand; " +
+			"review diffs like code — a changed value is a changed physical result.",
+	}
+	for _, sc := range solves {
+		g, err := computeSolve(sc)
+		if err != nil {
+			return Corpus{}, fmt.Errorf("verify: solve case %s: %w", sc.Name, err)
+		}
+		c.Solves = append(c.Solves, g)
+	}
+	for _, sc := range sims {
+		g, err := computeSim(sc)
+		if err != nil {
+			return Corpus{}, fmt.Errorf("verify: sim case %s: %w", sc.Name, err)
+		}
+		c.Sims = append(c.Sims, g)
+	}
+	for _, sc := range searches {
+		g, err := computeSearch(sc)
+		if err != nil {
+			return Corpus{}, fmt.Errorf("verify: search case %s: %w", sc.Name, err)
+		}
+		c.Searches = append(c.Searches, g)
+	}
+	return c, nil
+}
+
+// LoadEmbeddedCorpus parses the committed corpus baked into the package.
+func LoadEmbeddedCorpus() (Corpus, error) {
+	data, err := goldenFS.ReadFile(CorpusPath)
+	if err != nil {
+		return Corpus{}, fmt.Errorf("verify: embedded corpus: %w", err)
+	}
+	var c Corpus
+	if err := json.Unmarshal(data, &c); err != nil {
+		return Corpus{}, fmt.Errorf("verify: embedded corpus: %w", err)
+	}
+	return c, nil
+}
+
+// MarshalCorpus renders a corpus the way the update flow writes it.
+func MarshalCorpus(c Corpus) ([]byte, error) {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// nearly compares a recomputed value against a golden one: absolute slack
+// GoldenTolC plus the same relative slack for large magnitudes (powers,
+// objective values).
+func nearly(got, want float64) bool {
+	return math.Abs(got-want) <= GoldenTolC+GoldenTolC*math.Abs(want)
+}
+
+// CompareCorpus differences a recomputed corpus against the committed one,
+// returning one message per mismatch (nil means identical within
+// GoldenTolC).
+func CompareCorpus(got, want Corpus) []string {
+	var diffs []string
+	diff := func(format string, args ...any) { diffs = append(diffs, fmt.Sprintf(format, args...)) }
+	if len(got.Solves) != len(want.Solves) || len(got.Sims) != len(want.Sims) || len(got.Searches) != len(want.Searches) {
+		diff("corpus shape changed: %d/%d/%d cases recomputed vs %d/%d/%d committed (run -update)",
+			len(got.Solves), len(got.Sims), len(got.Searches), len(want.Solves), len(want.Sims), len(want.Searches))
+		return diffs
+	}
+	for i, w := range want.Solves {
+		g := got.Solves[i]
+		if g.SolveCase != w.SolveCase {
+			diff("solve %s: case definition changed", w.Name)
+			continue
+		}
+		if !nearly(g.PeakC, w.PeakC) || !nearly(g.MeanC, w.MeanC) || !nearly(g.HeatOutW, w.HeatOutW) {
+			diff("solve %s: got peak=%.9g mean=%.9g out=%.9g, want peak=%.9g mean=%.9g out=%.9g",
+				w.Name, g.PeakC, g.MeanC, g.HeatOutW, w.PeakC, w.MeanC, w.HeatOutW)
+		}
+	}
+	for i, w := range want.Sims {
+		g := got.Sims[i]
+		if g.SimCase != w.SimCase {
+			diff("sim %s: case definition changed", w.Name)
+			continue
+		}
+		if !nearly(g.PeakC, w.PeakC) || !nearly(g.TotalPowerW, w.TotalPowerW) ||
+			!nearly(g.MeshPowerW, w.MeshPowerW) || g.LeakageIterations != w.LeakageIterations {
+			diff("sim %s: got peak=%.9g total=%.9g mesh=%.9g iters=%d, want peak=%.9g total=%.9g mesh=%.9g iters=%d",
+				w.Name, g.PeakC, g.TotalPowerW, g.MeshPowerW, g.LeakageIterations,
+				w.PeakC, w.TotalPowerW, w.MeshPowerW, w.LeakageIterations)
+		}
+	}
+	for i, w := range want.Searches {
+		g := got.Searches[i]
+		if g.SearchCase != w.SearchCase {
+			diff("search %s: case definition changed", w.Name)
+			continue
+		}
+		if g.Feasible != w.Feasible || g.N != w.N || g.S1 != w.S1 || g.S2 != w.S2 || g.S3 != w.S3 ||
+			g.InterposerMM != w.InterposerMM || g.FreqMHz != w.FreqMHz || g.ActiveCores != w.ActiveCores ||
+			!nearly(g.PeakC, w.PeakC) || !nearly(g.ObjValue, w.ObjValue) {
+			diff("search %s: got %+v, want %+v", w.Name, g, w)
+		}
+	}
+	return diffs
+}
+
+// checkGoldenCorpus recomputes the corpus and differences it against the
+// committed file.
+func checkGoldenCorpus(ctx *Context) error {
+	want, err := LoadEmbeddedCorpus()
+	if err != nil {
+		return err
+	}
+	got, err := BuildCorpus()
+	if err != nil {
+		return err
+	}
+	if diffs := CompareCorpus(got, want); len(diffs) > 0 {
+		return failf("golden corpus drifted (%d diffs; rerun with -update if intentional):\n  %s",
+			len(diffs), strings.Join(diffs, "\n  "))
+	}
+	ctx.logf("golden corpus: %d solves, %d sims, %d searches match (tol %g)",
+		len(want.Solves), len(want.Sims), len(want.Searches), GoldenTolC)
+	return nil
+}
+
+// figOptions is the pinned configuration for the figure goldens.
+func figOptions() expt.Options {
+	return expt.Options{Scale: expt.Reduced, Seed: 1, ThermalGridN: 16}
+}
+
+// checkGoldenFigures re-runs the reduced fig6/7/8 sweeps and compares the
+// CSVs byte for byte (the tables format through fixed-precision verbs, so
+// byte equality is the right strictness).
+func checkGoldenFigures(ctx *Context) error {
+	for _, fg := range figGoldens {
+		want, err := goldenFS.ReadFile(fg.Path)
+		if err != nil {
+			return failf("golden figures: %s: %v", fg.Name, err)
+		}
+		tb, err := fg.Run(figOptions())
+		if err != nil {
+			return failf("golden figures: %s: %v", fg.Name, err)
+		}
+		var got strings.Builder
+		if err := tb.WriteCSV(&got); err != nil {
+			return err
+		}
+		if got.String() != string(want) {
+			return failf("golden figures: %s drifted (rerun with -update -long if intentional):\n--- got ---\n%s--- want ---\n%s",
+				fg.Name, got.String(), want)
+		}
+		ctx.logf("golden figures: %s matches (%d bytes)", fg.Name, len(want))
+	}
+	return nil
+}

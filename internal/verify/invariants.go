@@ -1,0 +1,260 @@
+package verify
+
+// Physics invariants as properties: facts that hold for every valid
+// floorplan and power map, checked over randomized seeded cases so no
+// hand-picked geometry can hide a bug. The generator draws paper
+// organizations (4- and 16-chiplet, random spacings on the 0.5 mm grid)
+// and block-structured power maps; everything derives from caseSeed so a
+// failure reproduces exactly.
+
+import (
+	"math"
+	"math/rand"
+
+	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/thermal"
+)
+
+// caseSeed roots every randomized invariant case. Fixed, not time-derived:
+// the suite is a regression gate, not a fuzzer — new coverage comes from
+// raising caseCount under -long, and any failure reproduces byte-for-byte.
+const caseSeed = 20260805
+
+// invariantGridN keeps invariant solves quick; the properties hold at every
+// resolution, so a coarse grid loses no generality.
+const invariantGridN = 16
+
+// invariantCases is the per-check random case count (doubled under -long).
+const invariantCases = 3
+
+func caseCount(ctx *Context) int {
+	if ctx != nil && ctx.Long {
+		return 2 * invariantCases
+	}
+	return invariantCases
+}
+
+// randPlacement draws a valid paper organization: n ∈ {4, 16} with random
+// spacings on the placement grid, retried until the geometry validates
+// (Eq. (9) sizing, Eq. (10) non-overlap, interposer limit).
+func randPlacement(rng *rand.Rand) floorplan.Placement {
+	for {
+		var (
+			pl  floorplan.Placement
+			err error
+		)
+		if rng.Intn(2) == 0 {
+			s3 := floorplan.SpacingStepMM * float64(1+rng.Intn(8))
+			pl, err = floorplan.PaperOrg(4, 0, 0, s3)
+		} else {
+			s1 := floorplan.SpacingStepMM * float64(rng.Intn(5))
+			s2 := floorplan.SpacingStepMM * float64(rng.Intn(5))
+			s3 := floorplan.SpacingStepMM * float64(1+rng.Intn(6))
+			pl, err = floorplan.PaperOrg(16, s1, s2, s3)
+		}
+		if err != nil {
+			continue
+		}
+		if pl.Validate() == nil {
+			return pl
+		}
+	}
+}
+
+// randModel assembles a verification-tolerance model for a random placement.
+func randModel(rng *rand.Rand) (*thermal.Model, floorplan.Placement, error) {
+	pl := randPlacement(rng)
+	stack, err := floorplan.BuildStack(pl)
+	if err != nil {
+		return nil, pl, err
+	}
+	cfg := thermal.DefaultConfig()
+	cfg.Nx, cfg.Ny = invariantGridN, invariantGridN
+	cfg.Tolerance = VerifyCGTol
+	cfg.MaxIterations = 200000
+	m, err := thermal.NewModel(stack, cfg)
+	return m, pl, err
+}
+
+// randPowerMap rasterizes random per-chiplet power (5–30 W each, a random
+// subset active) onto the model grid and returns the map plus its total.
+func randPowerMap(rng *rand.Rand, m *thermal.Model, pl floorplan.Placement) ([]float64, float64) {
+	g := m.Grid()
+	pmap := make([]float64, g.NumCells())
+	total := 0.0
+	for {
+		for _, rect := range pl.Chiplets {
+			if rng.Intn(3) == 0 {
+				continue // this chiplet idles
+			}
+			w := 5 + 25*rng.Float64()
+			g.RasterizeAdd(pmap, rect, w)
+			total += w
+		}
+		if total > 0 {
+			return pmap, total
+		}
+	}
+}
+
+// checkEnergyBalance: at steady state every injected watt must leave
+// through the convection boundary; the residual imbalance is bounded by
+// the CG tolerance.
+func checkEnergyBalance(ctx *Context) error {
+	rng := rand.New(rand.NewSource(caseSeed))
+	worst := 0.0
+	for i := 0; i < caseCount(ctx); i++ {
+		m, pl, err := randModel(rng)
+		if err != nil {
+			return err
+		}
+		pmap, total := randPowerMap(rng, m, pl)
+		res, err := m.Solve(pmap)
+		if err != nil {
+			return err
+		}
+		rel := math.Abs(res.HeatOutW()-total) / total
+		if rel > worst {
+			worst = rel
+		}
+		if rel > EnergyBalanceRelTol {
+			return failf("energy balance: case %d (n=%d, %.1f W in, %.4f W out): relative imbalance %.2e > %g",
+				i, pl.NumChiplets(), total, res.HeatOutW(), rel, EnergyBalanceRelTol)
+		}
+	}
+	ctx.logf("energy balance: worst relative imbalance %.2e over %d cases (tol %g)", worst, caseCount(ctx), EnergyBalanceRelTol)
+	return nil
+}
+
+// checkMaximumPrinciple: the conductance matrix is an M-matrix whose only
+// sources sit on the chip layer, so every source-free node is a convex
+// combination of its neighbors (and ambient): the global maximum must be
+// attained on the chip layer and no node may fall below ambient.
+func checkMaximumPrinciple(ctx *Context) error {
+	rng := rand.New(rand.NewSource(caseSeed + 1))
+	for i := 0; i < caseCount(ctx); i++ {
+		m, pl, err := randModel(rng)
+		if err != nil {
+			return err
+		}
+		pmap, _ := randPowerMap(rng, m, pl)
+		res, err := m.Solve(pmap)
+		if err != nil {
+			return err
+		}
+		chipMax := res.PeakC()
+		globalMax, globalMin := math.Inf(-1), math.Inf(1)
+		for _, t := range res.T {
+			globalMax = math.Max(globalMax, t)
+			globalMin = math.Min(globalMin, t)
+		}
+		if globalMax > chipMax+MaxPrincipleTolC {
+			return failf("maximum principle: case %d: global max %.6f °C exceeds chip-layer max %.6f °C by more than %g",
+				i, globalMax, chipMax, MaxPrincipleTolC)
+		}
+		if amb := m.Config().AmbientC; globalMin < amb-MaxPrincipleTolC {
+			return failf("maximum principle: case %d: node at %.6f °C below ambient %.1f °C by more than %g",
+				i, globalMin, amb, MaxPrincipleTolC)
+		}
+	}
+	ctx.logf("maximum principle: held on %d cases (tol %g °C)", caseCount(ctx), MaxPrincipleTolC)
+	return nil
+}
+
+// checkSuperposition: the steady-state solve is linear in the power map
+// around the ambient solution (the zero-power field is exactly ambient
+// everywhere), so T(P1) + T(P2) - ambient = T(P1+P2) node for node.
+func checkSuperposition(ctx *Context) error {
+	rng := rand.New(rand.NewSource(caseSeed + 2))
+	worst := 0.0
+	for i := 0; i < caseCount(ctx); i++ {
+		m, pl, err := randModel(rng)
+		if err != nil {
+			return err
+		}
+		p1, _ := randPowerMap(rng, m, pl)
+		p2, _ := randPowerMap(rng, m, pl)
+		sum := make([]float64, len(p1))
+		for j := range sum {
+			sum[j] = p1[j] + p2[j]
+		}
+		r1, err := m.Solve(p1)
+		if err != nil {
+			return err
+		}
+		r2, err := m.Solve(p2)
+		if err != nil {
+			return err
+		}
+		r12, err := m.Solve(sum)
+		if err != nil {
+			return err
+		}
+		amb := m.Config().AmbientC
+		for j := range r12.T {
+			d := math.Abs(r1.T[j] + r2.T[j] - amb - r12.T[j])
+			if d > worst {
+				worst = d
+			}
+			if d > SuperpositionTolC {
+				return failf("superposition: case %d node %d: |T1+T2-amb-T12| = %.2e °C > %g",
+					i, j, d, SuperpositionTolC)
+			}
+		}
+	}
+	ctx.logf("superposition: worst node error %.2e °C over %d cases (tol %g)", worst, caseCount(ctx), SuperpositionTolC)
+	return nil
+}
+
+// mirrorIndex returns the cell index of (ix, iy) reflected across the
+// vertical centerline of an nx-wide row-major grid.
+func mirrorIndex(idx, nx int) int {
+	ix, iy := idx%nx, idx/nx
+	return iy*nx + (nx - 1 - ix)
+}
+
+// checkMirrorSymmetry: paper organizations are mirror-symmetric about the
+// interposer centerline (the 16-chiplet frame/inner coordinates reflect
+// onto each other, as do the spreader and sink nesting maps), so solving a
+// mirrored power map on the same model must produce the mirrored field in
+// every layer, spreader and sink included.
+func checkMirrorSymmetry(ctx *Context) error {
+	rng := rand.New(rand.NewSource(caseSeed + 3))
+	worst := 0.0
+	for i := 0; i < caseCount(ctx); i++ {
+		m, pl, err := randModel(rng)
+		if err != nil {
+			return err
+		}
+		pmap, _ := randPowerMap(rng, m, pl)
+		nx := m.Grid().Nx
+		nc := m.Grid().NumCells()
+		mir := make([]float64, nc)
+		for j := range pmap {
+			mir[mirrorIndex(j, nx)] = pmap[j]
+		}
+		ra, err := m.Solve(pmap)
+		if err != nil {
+			return err
+		}
+		rb, err := m.Solve(mir)
+		if err != nil {
+			return err
+		}
+		nLayers := len(ra.T) / nc
+		for l := 0; l < nLayers; l++ {
+			for c := 0; c < nc; c++ {
+				d := math.Abs(ra.T[l*nc+c] - rb.T[l*nc+mirrorIndex(c, nx)])
+				if d > worst {
+					worst = d
+				}
+				if d > MirrorTolC {
+					return failf("mirror symmetry: case %d layer %d cell %d: |T - mirror(T')| = %.2e °C > %g",
+						i, l, c, d, MirrorTolC)
+				}
+			}
+		}
+	}
+	ctx.logf("mirror symmetry: worst node error %.2e °C over %d cases (tol %g)", worst, caseCount(ctx), MirrorTolC)
+	return nil
+}

@@ -1,0 +1,82 @@
+package verify
+
+// Mutation smoke test: a verification harness is only as good as its
+// ability to fail. This check seeds a ~1% perturbation into the assembled
+// conductance network (thermal.PerturbLinksForVerify) and demands that at
+// least two INDEPENDENT detection channels trip on it:
+//
+//  1. the energy-balance invariant — perturbing off-diagonals without
+//     updating the diagonal breaks the row-sum telescoping, creating a
+//     phantom ground that leaks heat past the convection boundary; and
+//  2. the golden corpus — the peak temperature of a committed solve case
+//     moves by orders of magnitude more than GoldenTolC.
+//
+// If either channel fails to notice, the harness itself is broken (dead
+// assertion, tolerance wide enough to hide real physics changes) and the
+// check fails loudly. The same clean model must pass both channels first,
+// so a trivially-always-failing detector cannot sneak through either.
+
+import "math"
+
+// mutationSeed and mutationFrac pin the perturbation so a failure
+// reproduces exactly. 1% is the ISSUE-mandated sensitivity target.
+const (
+	mutationSeed = 20260805
+	mutationFrac = 0.01
+)
+
+func checkMutationSmoke(ctx *Context) error {
+	corpus, err := LoadEmbeddedCorpus()
+	if err != nil {
+		return err
+	}
+	if len(corpus.Solves) == 0 {
+		return failf("mutation smoke: embedded corpus has no solve cases")
+	}
+	sc := corpus.Solves[0]
+
+	// Clean pass: both channels must accept the unperturbed model, proving
+	// the detectors are calibrated, not hair-triggered.
+	m, pmap, total, err := solveModel(sc.SolveCase)
+	if err != nil {
+		return err
+	}
+	res, err := m.Solve(pmap)
+	if err != nil {
+		return err
+	}
+	cleanImbalance := math.Abs(res.HeatOutW()-total) / total
+	if cleanImbalance > EnergyBalanceRelTol {
+		return failf("mutation smoke: clean model already violates energy balance (%.2e > %g) — detector miscalibrated",
+			cleanImbalance, EnergyBalanceRelTol)
+	}
+	if d := math.Abs(res.PeakC() - sc.PeakC); d > GoldenTolC+GoldenTolC*math.Abs(sc.PeakC) {
+		return failf("mutation smoke: clean model already off the golden peak (|Δ|=%.2e °C) — regenerate the corpus first",
+			d)
+	}
+
+	// Mutated pass: same case, conductances perturbed ~1%, both channels
+	// must trip.
+	mm, pmapM, totalM, err := solveModel(sc.SolveCase)
+	if err != nil {
+		return err
+	}
+	mm.PerturbLinksForVerify(mutationSeed, mutationFrac)
+	resM, err := mm.Solve(pmapM)
+	if err != nil {
+		return err
+	}
+	imbalance := math.Abs(resM.HeatOutW()-totalM) / totalM
+	peakShift := math.Abs(resM.PeakC() - sc.PeakC)
+
+	energyTripped := imbalance > EnergyBalanceRelTol
+	goldenTripped := peakShift > GoldenTolC+GoldenTolC*math.Abs(sc.PeakC)
+	if !energyTripped || !goldenTripped {
+		return failf("mutation smoke: %.0f%% conductance perturbation escaped detection "+
+			"(energy balance tripped=%v at %.2e rel, golden tripped=%v at %.4g °C shift) — the harness cannot be trusted",
+			100*mutationFrac, energyTripped, imbalance, goldenTripped, peakShift)
+	}
+	ctx.logf("mutation smoke: %.0f%% perturbation caught twice — energy imbalance %.2e (clean %.2e, tol %g), peak shift %.4g °C (tol %g)",
+		100*mutationFrac, imbalance, cleanImbalance, EnergyBalanceRelTol, peakShift, GoldenTolC)
+	return nil
+}

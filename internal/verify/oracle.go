@@ -1,0 +1,243 @@
+package verify
+
+// Analytic oracles: configurations engineered so the discrete network has a
+// closed-form solution the production solver must reproduce — independent
+// ground truth, not a second run of the same code.
+//
+// The slab and columnar oracles exploit the isothermal limit: raising the
+// spreader/sink conductivity to isoK makes both plates equipotential, so
+// the network reduces to per-column series resistances feeding one lumped
+// convection boundary (h · 16 · A_package — the sink is 4x the package
+// footprint on each edge). In that limit the discrete solution is exact at
+// every mesh size, so the comparison needs no discretization slack. The
+// convergence oracle then checks the opposite regime: with realistic copper
+// plates the solution is mesh-dependent, and refinement must converge.
+
+import (
+	"math"
+
+	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/thermal"
+)
+
+// isoK is the plate conductivity used for the isothermal-limit oracles:
+// 2.5e4 times copper, which shrinks the lateral spreading ΔT (a few °C at
+// copper) to ~1e-4 °C — far below SlabOracleTolC.
+const isoK = 1e7
+
+// uniformLayer builds a homogeneous (block-free) layer.
+func uniformLayer(name string, thicknessM, vertK, latK float64) floorplan.Layer {
+	return floorplan.Layer{
+		Name:       name,
+		ThicknessM: thicknessM,
+		Background: floorplan.LayerProps{VertK: vertK, LatK: latK, VolHeatCap: 1.5e6},
+	}
+}
+
+// slabStack is a three-layer uniform slab on the paper's 18 mm footprint:
+// an FR4-like substrate below the heat-bearing silicon layer (it must end
+// up isothermal with the chip — the bottom is adiabatic), and TIM above.
+func slabStack(latShrink float64) floorplan.Stack {
+	return floorplan.Stack{
+		W: floorplan.ChipEdgeMM, H: floorplan.ChipEdgeMM,
+		Layers: []floorplan.Layer{
+			uniformLayer("substrate", floorplan.SubstrateThicknessM, 0.3, 0.3*latShrink),
+			uniformLayer("chip", floorplan.ChipThicknessM, 150, 150*latShrink),
+			uniformLayer("tim", floorplan.TIMThicknessM, 4, 4*latShrink),
+		},
+		ChipLayer: 1,
+	}
+}
+
+// isoConfig is the solver configuration for the isothermal-limit oracles.
+func isoConfig(n int) thermal.Config {
+	cfg := thermal.DefaultConfig()
+	cfg.Nx, cfg.Ny = n, n
+	cfg.SpreaderK, cfg.SinkK = isoK, isoK
+	cfg.Tolerance = VerifyCGTol
+	cfg.MaxIterations = 200000
+	return cfg
+}
+
+// slabSeriesResistance returns the total series resistance (K/W) from the
+// chip layer to ambient for a uniform slab of footprint area aM2 (m²) in
+// the isothermal limit: chip→…→top-layer half-cell chains, top layer to
+// spreader, spreader to sink (over the 4x plate area), and the lumped
+// convection boundary h·16·A.
+func slabSeriesResistance(cfg thermal.Config, stack floorplan.Stack, aM2 float64) float64 {
+	r := 1 / (cfg.HeatTransferCoeff * 16 * aM2)
+	for l := stack.ChipLayer; l+1 < len(stack.Layers); l++ {
+		r += 0.5*stack.Layers[l].ThicknessM/(stack.Layers[l].Background.VertK*aM2) +
+			0.5*stack.Layers[l+1].ThicknessM/(stack.Layers[l+1].Background.VertK*aM2)
+	}
+	top := stack.Layers[len(stack.Layers)-1]
+	r += 0.5*top.ThicknessM/(top.Background.VertK*aM2) +
+		0.5*floorplan.SpreaderThicknessM/(cfg.SpreaderK*aM2)
+	r += 0.5*floorplan.SpreaderThicknessM/(cfg.SpreaderK*4*aM2) +
+		0.5*floorplan.SinkThicknessM/(cfg.SinkK*4*aM2)
+	return r
+}
+
+// checkSlabOracle solves the uniform slab under uniform heating at several
+// mesh sizes and compares the whole chip layer — and the (flux-free,
+// therefore chip-temperature) substrate layer — against the closed form
+// T = ambient + Q · R_series, which is mesh-independent in the isothermal
+// limit.
+func checkSlabOracle(ctx *Context) error {
+	const totalW = 120.0
+	stack := slabStack(1)
+	aM2 := stack.W * stack.H * 1e-6
+	worst := 0.0
+	for _, n := range []int{8, 16, 32} {
+		cfg := isoConfig(n)
+		want := cfg.AmbientC + totalW*slabSeriesResistance(cfg, stack, aM2)
+		m, err := thermal.NewModel(stack, cfg)
+		if err != nil {
+			return err
+		}
+		pmap := make([]float64, n*n)
+		for i := range pmap {
+			pmap[i] = totalW / float64(len(pmap))
+		}
+		res, err := m.Solve(pmap)
+		if err != nil {
+			return err
+		}
+		for _, t := range res.ChipT() {
+			if d := math.Abs(t - want); d > worst {
+				worst = d
+			}
+		}
+		sub, err := res.LayerT(0)
+		if err != nil {
+			return err
+		}
+		for _, t := range sub {
+			if d := math.Abs(t - want); d > worst {
+				worst = d
+			}
+		}
+		if d := math.Abs(res.PeakC() - want); d > SlabOracleTolC {
+			return failf("slab oracle: grid %d peak %.6f °C vs closed form %.6f °C (|Δ|=%.2e > %g)",
+				n, res.PeakC(), want, d, SlabOracleTolC)
+		}
+	}
+	if worst > SlabOracleTolC {
+		return failf("slab oracle: worst field error %.2e °C exceeds %g", worst, SlabOracleTolC)
+	}
+	ctx.logf("slab oracle: worst field error %.2e °C (tol %g)", worst, SlabOracleTolC)
+	return nil
+}
+
+// checkColumnarOracle heats the slab non-uniformly with near-zero lateral
+// conductivity in the package layers, decoupling the columns: each column c
+// carrying p_c watts must sit at
+// T_c = T_plate + p_c · r_column, with T_plate set by the total power
+// through the lumped convection boundary. This catches per-cell assembly
+// bugs (wrong cell indexing, wrong vertical conductances) that any
+// uniform-heating oracle would average away.
+func checkColumnarOracle(ctx *Context) error {
+	const n = 16
+	const totalW = 100.0
+	// Lateral conductivity 1e-9 of vertical: column cross-talk is far below
+	// the tolerance while keeping the matrix connected and SPD.
+	stack := slabStack(1e-9)
+	cfg := isoConfig(n)
+	m, err := thermal.NewModel(stack, cfg)
+	if err != nil {
+		return err
+	}
+	nc := n * n
+	pmap := make([]float64, nc)
+	sum := 0.0
+	for i := range pmap {
+		pmap[i] = float64(1 + i%7) // deterministic non-uniform pattern
+		sum += pmap[i]
+	}
+	for i := range pmap {
+		pmap[i] *= totalW / sum
+	}
+	res, err := m.Solve(pmap)
+	if err != nil {
+		return err
+	}
+
+	aM2 := stack.W * stack.H * 1e-6
+	cellA := aM2 / float64(nc)
+	// Plate temperature: ambient + convection + spreader→sink half-cells.
+	plate := cfg.AmbientC + totalW*(1/(cfg.HeatTransferCoeff*16*aM2)+
+		0.5*floorplan.SpreaderThicknessM/(cfg.SpreaderK*4*aM2)+
+		0.5*floorplan.SinkThicknessM/(cfg.SinkK*4*aM2))
+	// Per-column resistance from the chip layer up into the spreader.
+	rCol := 0.0
+	for l := stack.ChipLayer; l+1 < len(stack.Layers); l++ {
+		rCol += 0.5*stack.Layers[l].ThicknessM/(stack.Layers[l].Background.VertK*cellA) +
+			0.5*stack.Layers[l+1].ThicknessM/(stack.Layers[l+1].Background.VertK*cellA)
+	}
+	top := stack.Layers[len(stack.Layers)-1]
+	rCol += 0.5*top.ThicknessM/(top.Background.VertK*cellA) +
+		0.5*floorplan.SpreaderThicknessM/(cfg.SpreaderK*cellA)
+
+	worst := 0.0
+	chip := res.ChipT()
+	for c, p := range pmap {
+		want := plate + p*rCol
+		if d := math.Abs(chip[c] - want); d > worst {
+			worst = d
+		}
+	}
+	if worst > SlabOracleTolC {
+		return failf("columnar oracle: worst per-column error %.2e °C exceeds %g", worst, SlabOracleTolC)
+	}
+	ctx.logf("columnar oracle: worst per-column error %.2e °C over %d columns (tol %g)", worst, nc, SlabOracleTolC)
+	return nil
+}
+
+// checkMeshConvergence leaves the isothermal limit: with realistic copper
+// plates the discrete solution is mesh-dependent, and refining the grid
+// must converge — successive peak-temperature deltas shrink, and the
+// observed order p = log2(Δ_coarse/Δ_fine) is reported. The full tier adds
+// the paper's 64-grid.
+func checkMeshConvergence(ctx *Context) error {
+	stack, err := floorplan.BuildStack(floorplan.SingleChip())
+	if err != nil {
+		return err
+	}
+	grids := []int{8, 16, 32}
+	if ctx != nil && ctx.Long {
+		grids = append(grids, 64)
+	}
+	const totalW = 80.0
+	peaks := make([]float64, len(grids))
+	for i, n := range grids {
+		cfg := thermal.DefaultConfig()
+		cfg.Nx, cfg.Ny = n, n
+		cfg.Tolerance = VerifyCGTol
+		cfg.MaxIterations = 200000
+		m, err := thermal.NewModel(stack, cfg)
+		if err != nil {
+			return err
+		}
+		pmap := make([]float64, n*n)
+		for j := range pmap {
+			pmap[j] = totalW / float64(len(pmap))
+		}
+		res, err := m.Solve(pmap)
+		if err != nil {
+			return err
+		}
+		peaks[i] = res.PeakC()
+	}
+	for i := 1; i+1 < len(peaks); i++ {
+		dCoarse := math.Abs(peaks[i] - peaks[i-1])
+		dFine := math.Abs(peaks[i+1] - peaks[i])
+		if dFine >= dCoarse {
+			return failf("mesh convergence: refinement %d→%d moved the peak by %.4g °C, not less than the previous %.4g °C (peaks %v at grids %v)",
+				grids[i], grids[i+1], dFine, dCoarse, peaks, grids)
+		}
+		order := math.Log2(dCoarse / dFine)
+		ctx.logf("mesh convergence: grids %d→%d→%d deltas %.4g → %.4g °C, observed order %.2f",
+			grids[i-1], grids[i], grids[i+1], dCoarse, dFine, order)
+	}
+	return nil
+}

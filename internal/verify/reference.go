@@ -1,0 +1,357 @@
+package verify
+
+// The dumb-but-obviously-correct reference path for the linear solve: a
+// dense-matrix assembly of the documented network (written straight from
+// the modeling spec in thermal/model.go's comments, sharing none of the
+// production code's edge lists, CSR layout, preconditioner, or kernel) and
+// a textbook Gauss-Seidel iteration over it. Slow and simple on purpose —
+// its only job is to be independently, visibly right so the optimized
+// CSR/CG kernel can be differenced against it.
+
+import (
+	"context"
+	"math"
+	"math/rand"
+
+	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/geom"
+	"chiplet25d/internal/org"
+	"chiplet25d/internal/perf"
+	"chiplet25d/internal/power"
+	"chiplet25d/internal/thermal"
+)
+
+// denseSystem is the reference network: a full n×n matrix (off-diagonals
+// and diagonal alike), the right-hand side for a given power map, and the
+// bookkeeping needed to read the solution back.
+type denseSystem struct {
+	n        int
+	a        [][]float64
+	rhs      []float64
+	ambient  float64
+	nCells   int
+	chipBase int
+	sinkBase int
+	convG    []float64
+}
+
+// addG accumulates one symmetric conductance into the dense matrix.
+func (d *denseSystem) addG(i, j int, g float64) {
+	d.a[i][j] -= g
+	d.a[j][i] -= g
+	d.a[i][i] += g
+	d.a[j][j] += g
+}
+
+// assembleDense builds the reference system for a stack on an n×n grid,
+// following the documented scheme: per-layer lateral half-cell series
+// resistances, vertical inter-layer links, a 2x spreader and 4x sink with
+// the center-quarter nesting maps, and per-sink-cell convection h·16·area.
+// The optional board path is deliberately unsupported (the verification
+// configs never enable it).
+func assembleDense(stack floorplan.Stack, cfg thermal.Config) (*denseSystem, error) {
+	nx, ny := cfg.Nx, cfg.Ny
+	grid, err := geom.NewGrid(nx, ny, stack.W, stack.H)
+	if err != nil {
+		return nil, err
+	}
+	nc := nx * ny
+	nLayer := len(stack.Layers)
+	n := (nLayer + 2) * nc
+	d := &denseSystem{
+		n:        n,
+		ambient:  cfg.AmbientC,
+		nCells:   nc,
+		chipBase: stack.ChipLayer * nc,
+		sinkBase: (nLayer + 1) * nc,
+		convG:    make([]float64, nc),
+	}
+	d.a = make([][]float64, n)
+	for i := range d.a {
+		d.a[i] = make([]float64, n)
+	}
+	cw := grid.CellW() * 1e-3
+	ch := grid.CellH() * 1e-3
+	area := cw * ch
+
+	props := make([][]floorplan.LayerProps, nLayer)
+	for l, layer := range stack.Layers {
+		props[l] = floorplan.RasterizeLayer(layer, grid)
+	}
+	idx := func(ix, iy int) int { return iy*nx + ix }
+
+	for l := 0; l < nLayer; l++ {
+		t := stack.Layers[l].ThicknessM
+		base := l * nc
+		for iy := 0; iy < ny; iy++ {
+			for ix := 0; ix < nx; ix++ {
+				c := idx(ix, iy)
+				if ix+1 < nx {
+					c2 := idx(ix+1, iy)
+					r := 0.5*cw/(props[l][c].LatK*t*ch) + 0.5*cw/(props[l][c2].LatK*t*ch)
+					d.addG(base+c, base+c2, 1/r)
+				}
+				if iy+1 < ny {
+					c2 := idx(ix, iy+1)
+					r := 0.5*ch/(props[l][c].LatK*t*cw) + 0.5*ch/(props[l][c2].LatK*t*cw)
+					d.addG(base+c, base+c2, 1/r)
+				}
+			}
+		}
+	}
+	for l := 0; l+1 < nLayer; l++ {
+		tLo := stack.Layers[l].ThicknessM
+		tHi := stack.Layers[l+1].ThicknessM
+		for c := 0; c < nc; c++ {
+			r := 0.5*tLo/(props[l][c].VertK*area) + 0.5*tHi/(props[l+1][c].VertK*area)
+			d.addG(l*nc+c, (l+1)*nc+c, 1/r)
+		}
+	}
+	sprBase := nLayer * nc
+	tTop := stack.Layers[nLayer-1].ThicknessM
+	tSpr := floorplan.SpreaderThicknessM
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			c := idx(ix, iy)
+			sc := idx((ix+nx/2)/2, (iy+ny/2)/2)
+			r := 0.5*tTop/(props[nLayer-1][c].VertK*area) + 0.5*tSpr/(cfg.SpreaderK*area)
+			d.addG((nLayer-1)*nc+c, sprBase+sc, 1/r)
+		}
+	}
+	denseUniformLateral(d, sprBase, nx, ny, 2*cw, 2*ch, tSpr, cfg.SpreaderK)
+
+	tSink := floorplan.SinkThicknessM
+	sprArea := 4 * area
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			sc := idx(ix, iy)
+			kc := idx((ix+nx/2)/2, (iy+ny/2)/2)
+			r := 0.5*tSpr/(cfg.SpreaderK*sprArea) + 0.5*tSink/(cfg.SinkK*sprArea)
+			d.addG(sprBase+sc, d.sinkBase+kc, 1/r)
+		}
+	}
+	denseUniformLateral(d, d.sinkBase, nx, ny, 4*cw, 4*ch, tSink, cfg.SinkK)
+
+	sinkCellArea := 16 * area
+	for c := 0; c < nc; c++ {
+		g := cfg.HeatTransferCoeff * sinkCellArea
+		d.convG[c] = g
+		d.a[d.sinkBase+c][d.sinkBase+c] += g
+	}
+	return d, nil
+}
+
+func denseUniformLateral(d *denseSystem, base, nx, ny int, cw, ch, t, k float64) {
+	gx := k * t * ch / cw
+	gy := k * t * cw / ch
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			c := iy*nx + ix
+			if ix+1 < nx {
+				d.addG(base+c, base+c+1, gx)
+			}
+			if iy+1 < ny {
+				d.addG(base+c, base+c+nx, gy)
+			}
+		}
+	}
+}
+
+// solveGS runs plain Gauss-Seidel sweeps on the dense system until the
+// relative residual drops below tol, starting from ambient. The dense rows
+// are pre-scanned once into (column, value) pairs — a mechanical skip of
+// exact zeros that changes no arithmetic — because an O(n²) sweep would
+// make even the 8-grid differential take minutes. Returns the field, the
+// sweep count, and the final relative residual.
+func (d *denseSystem) solveGS(pmap []float64, tol float64, maxSweeps int) ([]float64, int, float64) {
+	n := d.n
+	rhs := make([]float64, n)
+	for c, p := range pmap {
+		rhs[d.chipBase+c] = p
+	}
+	for c := 0; c < d.nCells; c++ {
+		rhs[d.sinkBase+c] += d.convG[c] * d.ambient
+	}
+	rows := make([][]denseEnt, n)
+	for i := 0; i < n; i++ {
+		for j, v := range d.a[i] {
+			if j != i && v != 0 {
+				rows[i] = append(rows[i], denseEnt{j, v})
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = d.ambient
+	}
+	bnorm := 0.0
+	for _, b := range rhs {
+		bnorm += b * b
+	}
+	bnorm = math.Sqrt(bnorm)
+	res := math.Inf(1)
+	sweeps := 0
+	for ; sweeps < maxSweeps; sweeps++ {
+		if sweeps%16 == 0 {
+			res = d.residual(rows, x, rhs) / bnorm
+			if res < tol {
+				break
+			}
+		}
+		for i := 0; i < n; i++ {
+			s := rhs[i]
+			for _, e := range rows[i] {
+				s -= e.v * x[e.j]
+			}
+			x[i] = s / d.a[i][i]
+		}
+	}
+	res = d.residual(rows, x, rhs) / bnorm
+	return x, sweeps, res
+}
+
+// denseEnt is one pre-scanned nonzero of a dense row.
+type denseEnt struct {
+	j int
+	v float64
+}
+
+func (d *denseSystem) residual(rows [][]denseEnt, x, rhs []float64) float64 {
+	sum := 0.0
+	for i := 0; i < d.n; i++ {
+		r := rhs[i] - d.a[i][i]*x[i]
+		for _, e := range rows[i] {
+			r -= e.v * x[e.j]
+		}
+		sum += r * r
+	}
+	return math.Sqrt(sum)
+}
+
+// gsMaxSweeps bounds the Gauss-Seidel iteration. The weak convection
+// anchor makes GS converge slowly (its slowest mode is the global warm-up
+// toward the boundary), so the cap is generous; the check fails loudly if
+// the cap is hit before the residual target.
+const gsMaxSweeps = 400000
+
+// checkGaussSeidel differences the production CSR/CG kernel against the
+// dense Gauss-Seidel reference on randomized floorplans: same documented
+// physics, disjoint implementations, fields compared node by node. The
+// fast tier runs the 8-grid; -long adds the 16-grid.
+func checkGaussSeidel(ctx *Context) error {
+	rng := rand.New(rand.NewSource(caseSeed + 4))
+	grids := []int{8}
+	if ctx != nil && ctx.Long {
+		grids = append(grids, 16)
+	}
+	worst := 0.0
+	for _, n := range grids {
+		pl := randPlacement(rng)
+		stack, err := floorplan.BuildStack(pl)
+		if err != nil {
+			return err
+		}
+		cfg := thermal.DefaultConfig()
+		cfg.Nx, cfg.Ny = n, n
+		cfg.Tolerance = VerifyCGTol
+		cfg.MaxIterations = 200000
+		m, err := thermal.NewModel(stack, cfg)
+		if err != nil {
+			return err
+		}
+		pmap, _ := randPowerMap(rng, m, pl)
+		res, err := m.Solve(pmap)
+		if err != nil {
+			return err
+		}
+		dsys, err := assembleDense(stack, cfg)
+		if err != nil {
+			return err
+		}
+		ref, sweeps, gsRes := dsys.solveGS(pmap, VerifyCGTol, gsMaxSweeps)
+		if gsRes >= VerifyCGTol {
+			return failf("gauss-seidel: grid %d: reference did not converge (%d sweeps, residual %.2e)", n, sweeps, gsRes)
+		}
+		for i := range ref {
+			if d := math.Abs(res.T[i] - ref[i]); d > worst {
+				worst = d
+			}
+		}
+		if worst > GaussSeidelTolC {
+			return failf("gauss-seidel: grid %d: worst node gap %.2e °C exceeds %g (GS: %d sweeps, residual %.2e)",
+				n, worst, GaussSeidelTolC, sweeps, gsRes)
+		}
+		ctx.logf("gauss-seidel: grid %d: worst node gap %.2e °C after %d GS sweeps (tol %g)", n, worst, sweeps, GaussSeidelTolC)
+	}
+	return nil
+}
+
+// checkReferenceEvaluator differences the Engine (memoized, deduplicated,
+// surrogate-capable) against org.ReferenceSimulate (none of that) on a few
+// evaluation keys, bit for bit — and replays each key on a second engine in
+// reverse order to pin the memo's order independence.
+func checkReferenceEvaluator(ctx *Context) error {
+	b, err := perf.ByName("cholesky")
+	if err != nil {
+		return err
+	}
+	cfg := org.DefaultConfig(b)
+	cfg.Thermal.Nx, cfg.Thermal.Ny = invariantGridN, invariantGridN
+	pl4, err := floorplan.PaperOrg(4, 0, 0, 2)
+	if err != nil {
+		return err
+	}
+	pl16, err := floorplan.PaperOrg(16, 0.5, 1, 1)
+	if err != nil {
+		return err
+	}
+	type key struct {
+		name string
+		pl   floorplan.Placement
+		fIdx int
+		p    int
+	}
+	keys := []key{
+		{"2d-f0-p256", floorplan.SingleChip(), 0, 256},
+		{"4c-f2-p128", pl4, 2, 128},
+	}
+	if ctx != nil && ctx.Long {
+		keys = append(keys, key{"16c-f4-p256", pl16, 4, 256})
+	}
+	engA, err := org.NewEngine(cfg)
+	if err != nil {
+		return err
+	}
+	engB, err := org.NewEngine(cfg)
+	if err != nil {
+		return err
+	}
+	recs := make([]org.SimRecord, len(keys))
+	for i, k := range keys {
+		want, err := org.ReferenceSimulate(cfg, b, k.pl, power.FrequencySet[k.fIdx], k.p)
+		if err != nil {
+			return failf("reference evaluator: %s: reference: %v", k.name, err)
+		}
+		got, _, err := engA.Simulate(context.Background(), b, k.pl, power.FrequencySet[k.fIdx], k.p)
+		if err != nil {
+			return failf("reference evaluator: %s: engine: %v", k.name, err)
+		}
+		if got != want {
+			return failf("reference evaluator: %s: engine %+v != reference %+v", k.name, got, want)
+		}
+		recs[i] = want
+	}
+	// Reverse order on a fresh engine: the memo must be order-independent.
+	for i := len(keys) - 1; i >= 0; i-- {
+		k := keys[i]
+		got, _, err := engB.Simulate(context.Background(), b, k.pl, power.FrequencySet[k.fIdx], k.p)
+		if err != nil {
+			return failf("reference evaluator: %s (reversed): %v", k.name, err)
+		}
+		if got != recs[i] {
+			return failf("reference evaluator: %s: reversed-order engine %+v != %+v", k.name, got, recs[i])
+		}
+	}
+	ctx.logf("reference evaluator: %d keys bit-identical across reference, engine, and reversed-order engine", len(keys))
+	return nil
+}

@@ -1,0 +1,80 @@
+package verify
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var (
+	update   = flag.Bool("update", false, "regenerate the golden corpus and figure CSVs from the current code")
+	longTier = flag.Bool("long", false, "run the full verification tier (paper-scale grids, figure goldens)")
+)
+
+// TestChecks runs the verification registry at the tier the flags select:
+// `go test -short` runs the Quick gate, the default run adds the heavier
+// differential checks, and `-long` adds the paper-scale grids and figure
+// goldens.
+func TestChecks(t *testing.T) {
+	if *update {
+		t.Skip("regenerating goldens; checks would compare against the files being rewritten")
+	}
+	for _, c := range Checks() {
+		t.Run(strings.ReplaceAll(c.Name, "/", "_"), func(t *testing.T) {
+			if c.Long && !*longTier {
+				t.Skip("long tier only (run with -long)")
+			}
+			if testing.Short() && !c.Quick {
+				t.Skip("skipped under -short")
+			}
+			ctx := &Context{Long: *longTier, Logf: t.Logf}
+			if err := c.Run(ctx); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestUpdateGoldens regenerates testdata/ when invoked with -update:
+//
+//	go test ./internal/verify -run TestUpdateGoldens -update        # corpus
+//	go test ./internal/verify -run TestUpdateGoldens -update -long  # + figures
+//
+// The figure sweeps take minutes, so they only regenerate under -long.
+func TestUpdateGoldens(t *testing.T) {
+	if !*update {
+		t.Skip("run with -update to regenerate goldens")
+	}
+	c, err := BuildCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalCorpus(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.FromSlash(CorpusPath), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %d solves, %d sims, %d searches", CorpusPath, len(c.Solves), len(c.Sims), len(c.Searches))
+	if !*longTier {
+		t.Log("figure goldens unchanged (add -long to regenerate)")
+		return
+	}
+	for _, fg := range figGoldens {
+		tb, err := fg.Run(figOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf strings.Builder
+		if err := tb.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.FromSlash(fg.Path), []byte(buf.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", fg.Path, buf.Len())
+	}
+}

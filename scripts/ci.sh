@@ -5,7 +5,12 @@
 #   -short   pass -short to the race run (skips the slowest tests)
 #
 # Steps: gofmt (fails on any unformatted file), go vet, go build,
-# go test -race, the chipletd daemon smoke test (real binary over HTTP:
+# the physics verification fast gate (chipletverify -quick: analytic
+# oracles, randomized invariants, mutation smoke — see internal/verify),
+# go test -race with a coverage profile, the coverage gate (total must not
+# fall below the recorded baseline; skipped under -short because -short
+# skips tests), the fuzz smoke (a few seconds per target; skipped under
+# -short), the chipletd daemon smoke test (real binary over HTTP:
 # traced solve, /healthz build info, /metrics histograms, /debug/solves,
 # clean SIGTERM drain), a smoke run of the chipletd cache benchmarks,
 # the tracer-overhead guard (BenchmarkSolveTraced vs BenchmarkSolveUntraced),
@@ -14,6 +19,10 @@
 # determinism gate (parallel multi-start ≡ serial bit-for-bit over a shared
 # engine, under -race), and the warm-solve allocation budget (zero large
 # allocations per steady-state solve).
+#
+# The full verification tier (paper-scale grids, figure goldens) is not run
+# here; run it explicitly with `go test ./internal/verify -long` or
+# `go run ./cmd/chipletverify -long`.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -37,8 +46,43 @@ go vet ./...
 echo "==> go build ./..."
 go build ./...
 
-echo "==> go test -race $short ./..."
-go test -race $short ./...
+echo "==> physics verification fast gate (chipletverify -quick)"
+# Analytic oracles, randomized physics invariants, and the mutation smoke
+# test (a seeded 1% conductivity perturbation must be caught twice over).
+# Runs in well under a second; the std tier runs inside the -race suite
+# below, and the long tier is an explicit developer command.
+go run ./cmd/chipletverify -quick
+
+echo "==> go test -race -coverprofile $short ./..."
+go test -race -coverprofile=coverage.out $short ./...
+
+if [ -z "$short" ]; then
+    echo "==> coverage gate"
+    # Total statement coverage must not fall below the recorded baseline
+    # (79.5% measured 2026-08; the floor at 78.0% leaves headroom for new
+    # command mains, which are smoke-tested rather than unit-tested).
+    # Per-package numbers are printed by the test run above.
+    go tool cover -func=coverage.out | awk '
+        END {
+            sub(/%$/, "", $NF); total = $NF + 0
+            if (total < 78.0) {
+                printf "coverage gate: total %.1f%% below the 78.0%% baseline\n", total > "/dev/stderr"
+                exit 1
+            }
+            printf "coverage gate: total %.1f%% >= 78.0%% baseline\n", total
+        }'
+
+    echo "==> fuzz smoke (3s per target)"
+    # Each parser/decoder fuzz target gets a short randomized shake. Real
+    # fuzzing campaigns run longer out-of-band; this catches panics
+    # introduced by the current change. (Skipped under -short.)
+    go test -fuzz 'FuzzReadFLP' -fuzztime 3s -run '^$' ./internal/hotspotio
+    go test -fuzz 'FuzzReadPTrace' -fuzztime 3s -run '^$' ./internal/hotspotio
+    go test -fuzz 'FuzzLoad$' -fuzztime 3s -run '^$' ./internal/config
+    go test -fuzz 'FuzzLoadServer' -fuzztime 3s -run '^$' ./internal/config
+    go test -fuzz 'FuzzSolveRequestDecode' -fuzztime 3s -run '^$' ./internal/serve
+    go test -fuzz 'FuzzSearchRequestDecode' -fuzztime 3s -run '^$' ./internal/serve
+fi
 
 echo "==> chipletd daemon smoke (build binary, drive endpoints, SIGTERM drain)"
 # Redundant under a full (non-short) test run above, but cheap, and it keeps
