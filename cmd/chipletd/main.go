@@ -7,8 +7,9 @@
 //
 //	chipletd [-addr :8080] [-workers N] [-kernel-threads N]
 //	         [-search-workers N] [-queue N] [-cache N] [-timeout 60s]
-//	         [-grid-max 128] [-config file.json] [-log-format text|json]
-//	         [-log-level info] [-pprof] [-trace-ring 64] [-slow-trace 2s]
+//	         [-grid-max 128] [-spatial] [-config file.json]
+//	         [-log-format text|json] [-log-level info] [-pprof]
+//	         [-trace-ring 64] [-slow-trace 2s]
 //
 // Flags override the optional "server" section of -config. Logs are
 // structured (log/slog); -log-format json emits one JSON object per line,
@@ -68,6 +69,7 @@ func main() {
 		cacheCap   = flag.Int("cache", 0, "result cache capacity in entries (default 512)")
 		timeout    = flag.Duration("timeout", 0, "per-request deadline (default 60s)")
 		gridMax    = flag.Int("grid-max", 0, "largest thermal grid a request may ask for (default 128)")
+		spatial    = flag.Bool("spatial", false, "default org searches to the spatial surrogate tier (requests may still opt out)")
 		configPath = flag.String("config", "", "JSON config file with an optional \"server\" section")
 		logFormat  = flag.String("log-format", "", "log encoding: text or json (default text)")
 		logLevel   = flag.String("log-level", "", "minimum log level: debug, info, warn, error (default info)")
@@ -144,6 +146,9 @@ func main() {
 	}
 	if *gridMax > 0 {
 		opts.MaxGridN = *gridMax
+	}
+	if *spatial {
+		opts.SpatialSurrogate = true
 	}
 	if *pprofOn {
 		opts.EnablePprof = true

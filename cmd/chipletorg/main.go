@@ -40,6 +40,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed for the greedy search")
 		sworkers  = flag.Int("search-workers", 0, "concurrent greedy restarts (0/1 = serial; results are identical at any count)")
 		maxCost   = flag.Float64("maxcost", 0, "cap on cost relative to the single chip (0 = uncapped, 1 = iso-cost)")
+		spatial   = flag.Bool("spatial", false, "enable the spatial compact-model surrogate tier (decides clear evaluations without a full simulation)")
+		smargin   = flag.Float64("spatial-margin", 0, "extra spatial escalation margin in °C (the calibration bound is always the floor)")
 		cfgPath   = flag.String("config", "", "JSON configuration file (overrides the other flags)")
 		saveCfg   = flag.String("savecfg", "", "write the effective configuration as JSON to this path")
 	)
@@ -60,6 +62,10 @@ func main() {
 		*alpha, *beta = cfg.Objective.Alpha, cfg.Objective.Beta
 		if *sworkers > 0 {
 			cfg.SearchWorkers = *sworkers
+		}
+		if *spatial {
+			cfg.SpatialSurrogate = true
+			cfg.SpatialMarginC = *smargin
 		}
 		if *saveCfg != "" {
 			if err := writeConfig(*saveCfg, cfg); err != nil {
@@ -83,6 +89,8 @@ func main() {
 			c.Seed = *seed
 			c.SearchWorkers = *sworkers
 			c.MaxNormCost = *maxCost
+			c.SpatialSurrogate = *spatial
+			c.SpatialMarginC = *smargin
 			if *saveCfg != "" {
 				if err := writeConfig(*saveCfg, *c); err != nil {
 					fmt.Fprintln(os.Stderr, "chipletorg:", err)
@@ -112,8 +120,8 @@ func main() {
 	fmt.Printf("               IPS=%.1f G (%.2fx baseline)  cost=$%.1f (%.2fx baseline)\n",
 		o.IPS, o.NormPerf, o.CostUSD, o.NormCost)
 	fmt.Printf("               objective value %.4f\n", o.ObjValue)
-	fmt.Printf("search         %d thermal simulations, %d surrogate decisions, %d combinations tried\n",
-		res.ThermalSims, res.SurrogateHits, res.CombosTried)
+	fmt.Printf("search         %d thermal simulations, %d surrogate decisions (%d scalar, %d spatial), %d combinations tried\n",
+		res.ThermalSims, res.SurrogateHits, res.ScalarSurrogateHits, res.SpatialSurrogateHits, res.CombosTried)
 	m, err := chiplet.PlacementMap(o.Placement, o.ActiveCores)
 	if err == nil {
 		fmt.Printf("\norganization map (#=active core, .=dark core):\n%s\n", m)

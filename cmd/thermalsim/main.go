@@ -7,15 +7,20 @@
 //	thermalsim -chiplets 16 -s1 1 -s2 0.5 -s3 2 -bench shock -freq 1000 -cores 256
 //	thermalsim -chiplets 4 -spacing 6 -bench canneal
 //	thermalsim -chiplets 1 -bench cholesky -freq 533
+//	thermalsim -chiplets 16 -s1 1 -s2 1 -s3 2 -surrogate    # spatial model vs. simulation
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	chiplet "chiplet25d"
+	"chiplet25d/internal/org"
+	"chiplet25d/internal/perf"
+	"chiplet25d/internal/power"
 )
 
 func main() {
@@ -33,6 +38,7 @@ func main() {
 		heat    = flag.Bool("heatmap", false, "print the ASCII temperature heatmap")
 		pgm     = flag.String("pgm", "", "write the temperature field as a PGM image to this path")
 		csv     = flag.String("fieldcsv", "", "write the temperature field as CSV to this path")
+		surr    = flag.Bool("surrogate", false, "also run the spatial surrogate and print predicted vs. simulated peak")
 	)
 	flag.Parse()
 
@@ -74,6 +80,11 @@ func main() {
 	fmt.Printf("workload       %s at %.0f MHz, %d active cores\n", *bench, *freq, *cores)
 	fmt.Printf("peak           %.1f °C (ambient 45 °C)\n", res.PeakC)
 	fmt.Printf("power          %.1f W total, %.1f W mesh NoC\n", res.TotalPowerW, res.MeshPowerW)
+	if *surr {
+		if err := printSurrogate(pl, *bench, *freq, *cores, *grid, res.PeakC); err != nil {
+			fatal(err)
+		}
+	}
 	if *showMap {
 		m, err := chiplet.PlacementMap(pl, *cores)
 		if err == nil {
@@ -111,6 +122,48 @@ func main() {
 		}
 		fmt.Printf("wrote field CSV to %s\n", *csv)
 	}
+}
+
+// printSurrogate calibrates the spatial compact model on this placement's
+// chiplet class (running its design-of-experiments simulations at the same
+// grid resolution) and prints the model's peak prediction next to the full
+// simulation — a quick operator check of the fidelity tier's accuracy.
+func printSurrogate(pl chiplet.Placement, bench string, freq float64, cores, grid int, simPeakC float64) error {
+	b, err := perf.ByName(bench)
+	if err != nil {
+		return err
+	}
+	var op power.DVFSPoint
+	found := false
+	for _, o := range power.FrequencySet {
+		if o.FreqMHz == freq {
+			op, found = o, true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("freq %g MHz not in the DVFS table", freq)
+	}
+	cfg := org.DefaultConfig(b)
+	cfg.Thermal.Nx, cfg.Thermal.Ny = grid, grid
+	eng, err := org.NewEngine(cfg)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	cal, err := eng.SpatialCalibration(ctx, b, pl.NumChiplets())
+	if err != nil {
+		return err
+	}
+	pred, err := eng.SpatialPredictPeakC(ctx, b, pl, op, cores)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("surrogate      calibrated on %d+%d DoE points, spread %.2f mm, bound ±%.2f °C\n",
+		cal.Samples, cal.HoldoutSamples, cal.Params.SpreadMM, cal.WorstCaseErrC)
+	fmt.Printf("               predicted %.1f °C, simulated %.1f °C, error %+.2f °C\n",
+		pred, simPeakC, pred-simPeakC)
+	return nil
 }
 
 func fatal(err error) {

@@ -321,6 +321,30 @@ func TestGreedyValidationReduced(t *testing.T) {
 	}
 }
 
+func TestFidelityBreakdownShape(t *testing.T) {
+	o := fastOptions()
+	o.Benchmarks = []string{"canneal"}
+	tb, err := FidelityBreakdown(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatalf("want 1 row, got %d", len(tb.Rows))
+	}
+	if hits := cellF(t, tb, 0, 4); hits <= 0 {
+		t.Errorf("spatial tier decided %v evaluations, want some", hits)
+	}
+	if share := cellF(t, tb, 0, 6); share <= 0 || share > 1 {
+		t.Errorf("spatial share %v outside (0, 1]", share)
+	}
+	if bound := cellF(t, tb, 0, 7); bound <= 0 {
+		t.Errorf("calibration bound %v, want positive", bound)
+	}
+	if got := cell(t, tb, 0, 9); got != "true" {
+		t.Errorf("spatial tier changed the objective value on the reduced instance: same_objective = %q", got)
+	}
+}
+
 func TestPlacementMapGeometry(t *testing.T) {
 	// The single chip with 64 active cores: map is 18x18 characters inside
 	// the border, containing exactly 256 core glyphs of which 64 active.

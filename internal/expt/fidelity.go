@@ -1,0 +1,93 @@
+package expt
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"chiplet25d/internal/org"
+)
+
+// FidelityBreakdown quantifies the multi-fidelity evaluation ladder: for
+// each benchmark the optimization runs once at full fidelity (every
+// surrogate off) and once with the spatial compact-model tier enabled, and
+// the table reports how the spatial run's evaluations split across the
+// three tiers (spatial prediction, scalar DVFS rescaling, full CG solve),
+// the resulting reduction in full simulations (the spatial run's count
+// includes its design-of-experiments calibration solves), the calibration's
+// recorded worst-case error bound, and whether the two runs picked the same
+// winner.
+func FidelityBreakdown(o Options) (*Table, error) {
+	benches, err := o.benchSet("cholesky", "streamcluster", "canneal")
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: "Fidelity-tier breakdown: spatial surrogate vs full-fidelity search",
+		Columns: []string{"benchmark", "full_sims", "spatial_sims", "sim_reduction_x",
+			"spatial_hits", "scalar_hits", "spatial_share", "cal_bound_C", "same_winner", "same_objective"},
+	}
+	for _, b := range benches {
+		base := o.orgConfig(b)
+		full := base
+		full.SpatialSurrogate = false
+		full.SurrogateMarginC = -1
+		spatial := base
+		spatial.SpatialSurrogate = true
+
+		fs, err := org.NewSearcher(full)
+		if err != nil {
+			return nil, err
+		}
+		fr, err := fs.Optimize()
+		if err != nil {
+			return nil, err
+		}
+		ss, err := org.NewSearcher(spatial)
+		if err != nil {
+			return nil, err
+		}
+		sr, err := ss.Optimize()
+		if err != nil {
+			return nil, err
+		}
+
+		same := fr.Feasible == sr.Feasible
+		if same && fr.Feasible {
+			same = fr.Best.Op == sr.Best.Op &&
+				fr.Best.ActiveCores == sr.Best.ActiveCores &&
+				fr.Best.N == sr.Best.N &&
+				math.Abs(fr.Best.InterposerMM-sr.Best.InterposerMM) < 1e-9
+		}
+		sameObj := fr.Feasible == sr.Feasible &&
+			(!fr.Feasible || fr.Best.ObjValue == sr.Best.ObjValue)
+		evals := sr.ThermalSims + sr.SurrogateHits
+		share := "-"
+		if evals > 0 {
+			share = f2(float64(sr.SpatialSurrogateHits) / float64(evals))
+		}
+		red := "-"
+		if sr.ThermalSims > 0 {
+			red = f1(float64(fr.ThermalSims) / float64(sr.ThermalSims))
+		}
+		bound := 0.0
+		for _, n := range base.ChipletCounts {
+			cal, err := ss.Engine().SpatialCalibration(context.Background(), b, n)
+			if err != nil {
+				return nil, err
+			}
+			if cal.WorstCaseErrC > bound {
+				bound = cal.WorstCaseErrC
+			}
+		}
+		t.AddRow(b.Name, fmt.Sprintf("%d", fr.ThermalSims), fmt.Sprintf("%d", sr.ThermalSims),
+			red, fmt.Sprintf("%d", sr.SpatialSurrogateHits), fmt.Sprintf("%d", sr.ScalarSurrogateHits),
+			share, f2(bound), fmt.Sprintf("%v", same), fmt.Sprintf("%v", sameObj))
+	}
+	t.Notes = append(t.Notes,
+		"same_winner compares the exact geometry; same_objective compares the Eq. (5) value — with α=1 β=0 many geometries tie on the objective, and surrogate-steered greedy walks may pick a different member of the tie",
+		"spatial_sims includes the design-of-experiments calibration solves (30 per engine fingerprint), amortized across every later search on the same physics",
+		"cal_bound_C is the worst recorded class bound: safety-factored end-to-end peak error over the DoE replay; escalation never trusts the model closer to the threshold than this",
+		"the scalar tier is consulted only where the spatial prediction lands inside its bound of the threshold, so spatial_share is the fraction of evaluations that never touched a CG solve")
+	return t, nil
+}

@@ -30,6 +30,7 @@ func Registry() []Experiment {
 		{Name: "sensitivity", Description: "Sec. V-B: threshold sensitivity (75-105 °C)", Run: Sensitivity},
 		{Name: "costreduction", Description: "Sec. V-B: iso-performance cost reduction (≈36%)", Run: func(o Options) (*Table, error) { return CostReduction(o, 85) }},
 		{Name: "validate", Description: "Sec. III-D: greedy vs exhaustive validation", Run: GreedyValidation},
+		{Name: "fidelity", Description: "Infrastructure: fidelity-tier breakdown, spatial surrogate vs full-fidelity search", Run: FidelityBreakdown},
 		{Name: "sprint", Description: "Extension: computational sprinting, time-to-threshold vs organization", Run: Sprint},
 		{Name: "stacking", Description: "Extension: 2D vs 2.5D vs 3D stacking peak temperature", Run: Stacking},
 		{Name: "tsp", Description: "Extension: Thermal Safe Power curves, single chip vs 2.5D", Run: TSPCurves},

@@ -48,14 +48,25 @@ type Engine struct {
 	shards [engineShards]engineShard
 
 	// Telemetry, all atomic. hits/misses/dedupWaits describe the sim memo
-	// (the expensive tier); thermalSims/surrogateEvals/cgIterations mirror
-	// the Searcher's classic counters process-wide.
+	// (the expensive tier); thermalSims/surrogateEvals/spatialEvals/
+	// cgIterations mirror the Searcher's classic counters process-wide.
 	hits           atomic.Int64
 	misses         atomic.Int64
 	dedupWaits     atomic.Int64
 	thermalSims    atomic.Int64
-	surrogateEvals atomic.Int64
+	surrogateEvals atomic.Int64 // evaluations decided by the scalar tier
+	spatialEvals   atomic.Int64 // evaluations decided by the spatial tier
 	cgIterations   atomic.Int64
+	// calibrations counts completed spatial calibrations; calWorstErrBits
+	// holds the float64 bits of the worst calibration error bound seen
+	// (monotonic max), exported as a gauge by chipletd.
+	calibrations    atomic.Int64
+	calWorstErrBits atomic.Uint64
+
+	// spatials memoizes the per-benchmark spatial surrogate calibrations
+	// (singleflight; see spatial.go).
+	spatialMu sync.Mutex
+	spatials  map[benchKey]*calEntry
 }
 
 const (
@@ -141,9 +152,11 @@ type EvalStats struct {
 	MemoHits int
 	// DedupWaits counts lookups that joined an in-flight computation.
 	DedupWaits int
-	// Surrogate reports the evaluation was decided by the calibrated
-	// scalar surrogate without simulating the requested point.
-	Surrogate bool
+	// Fidelity reports which tier of the evaluation ladder decided the
+	// call: FidelityFull (the zero value) when the memoized full
+	// simulation answered, FidelityScalar or FidelitySpatial when a
+	// surrogate decided without simulating the requested point.
+	Fidelity Fidelity
 }
 
 func (s *EvalStats) add(o EvalStats) {
@@ -154,14 +167,23 @@ func (s *EvalStats) add(o EvalStats) {
 	s.DedupWaits += o.DedupWaits
 }
 
-// EngineStats is an engine's cumulative telemetry snapshot.
+// EngineStats is an engine's cumulative telemetry snapshot. SurrogateHits
+// remains the total across surrogate tiers for backward compatibility;
+// ScalarHits and SpatialHits break it down by fidelity.
 type EngineStats struct {
 	Hits          int64 `json:"hits"`
 	Misses        int64 `json:"misses"`
 	DedupWaits    int64 `json:"dedup_waits"`
 	ThermalSims   int64 `json:"thermal_sims"`
 	SurrogateHits int64 `json:"surrogate_hits"`
+	ScalarHits    int64 `json:"scalar_hits"`
+	SpatialHits   int64 `json:"spatial_hits"`
 	CGIterations  int64 `json:"cg_iterations"`
+	// Calibrations counts completed spatial-surrogate calibrations;
+	// CalWorstErrC is the worst calibration error bound (°C) across them,
+	// 0 until the first calibration completes.
+	Calibrations int64   `json:"calibrations"`
+	CalWorstErrC float64 `json:"cal_worst_err_c"`
 }
 
 // NewEngine builds an evaluation engine from a configuration's physics
@@ -193,7 +215,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if (cfg.SearchWorkers > 1 || cfg.ParallelWorkers > 1) && phys.Thermal.KernelThreads == 0 {
 		phys.Thermal.KernelThreads = 1
 	}
-	e := &Engine{phys: phys, fp: physFingerprint(cfg)}
+	e := &Engine{phys: phys, fp: physFingerprint(cfg), spatials: make(map[benchKey]*calEntry)}
 	for i := range e.shards {
 		e.shards[i].sims = make(map[engineKey]*simEntry)
 		e.shards[i].nocs = make(map[engineKey]float64)
@@ -217,13 +239,19 @@ func (e *Engine) Fingerprint() string { return e.fp }
 
 // Stats returns the engine's cumulative telemetry.
 func (e *Engine) Stats() EngineStats {
+	scalar := e.surrogateEvals.Load()
+	spatial := e.spatialEvals.Load()
 	return EngineStats{
 		Hits:          e.hits.Load(),
 		Misses:        e.misses.Load(),
 		DedupWaits:    e.dedupWaits.Load(),
 		ThermalSims:   e.thermalSims.Load(),
-		SurrogateHits: e.surrogateEvals.Load(),
+		SurrogateHits: scalar + spatial,
+		ScalarHits:    scalar,
+		SpatialHits:   spatial,
 		CGIterations:  e.cgIterations.Load(),
+		Calibrations:  e.calibrations.Load(),
+		CalWorstErrC:  math.Float64frombits(e.calWorstErrBits.Load()),
 	}
 }
 
@@ -396,6 +424,7 @@ func (e *Engine) runSim(ctx context.Context, b perf.Benchmark, pl floorplan.Plac
 	esp.SetAttr("bench", b.Name)
 	esp.SetAttr("freq_mhz", op.FreqMHz)
 	esp.SetAttr("active_cores", p)
+	esp.SetAttr("fidelity", FidelityFull.String())
 	defer esp.End()
 	_, nsp := obs.Start(ctx, "noc.mesh")
 	nocW, err := e.nocPower(b, pl, op, p, k)
@@ -466,15 +495,32 @@ func (e *Engine) estimate(b perf.Benchmark, op power.DVFSPoint, p int, nocW, rEf
 }
 
 // PeakC evaluates the peak temperature of (benchmark, placement, op, p)
-// under the search policy: when the surrogate margin is non-negative and
-// the operating point is not the canonical calibration point, the scalar
-// surrogate (calibrated from the memoized canonical simulation) decides the
-// evaluation whenever its estimate sits farther than marginC from
-// thresholdC; otherwise the full simulation is memoized and returned.
-//
-// The returned value is a pure function of the arguments and the engine's
-// physics — independent of evaluation order and concurrency.
+// under the classic two-tier policy: scalar surrogate with margin marginC,
+// escalating to the full simulation. It is PeakCPolicy without the spatial
+// tier, kept for callers that predate the fidelity ladder.
 func (e *Engine) PeakC(ctx context.Context, b perf.Benchmark, pl floorplan.Placement, op power.DVFSPoint, p int, thresholdC, marginC float64) (float64, EvalStats, error) {
+	return e.PeakCPolicy(ctx, b, pl, op, p, EvalPolicy{ThresholdC: thresholdC, ScalarMarginC: marginC})
+}
+
+// PeakCPolicy evaluates the peak temperature of (benchmark, placement, op,
+// p) under an escalation policy — the fidelity ladder:
+//
+//  1. spatial tier (when pol.Spatial): the calibrated compact model
+//     predicts the per-chiplet peak vector; its hottest entry decides the
+//     evaluation when it lands farther than
+//     max(pol.SpatialMarginC, calibration worst-case error) from
+//     pol.ThresholdC. First use calibrates the benchmark's model from the
+//     fixed DoE simulations (memoized per engine).
+//  2. scalar tier (when pol.ScalarMarginC >= 0 and op is not the canonical
+//     calibration point): the scalar surrogate, calibrated from the
+//     memoized canonical simulation of the same placement and core count,
+//     decides when its estimate sits farther than pol.ScalarMarginC from
+//     pol.ThresholdC.
+//  3. the full leakage-coupled simulation (memoized).
+//
+// The returned value is a pure function of the arguments, the policy, and
+// the engine's physics — independent of evaluation order and concurrency.
+func (e *Engine) PeakCPolicy(ctx context.Context, b perf.Benchmark, pl floorplan.Placement, op power.DVFSPoint, p int, pol EvalPolicy) (float64, EvalStats, error) {
 	var st EvalStats
 	fIdx, err := checkEval(op, p)
 	if err != nil {
@@ -486,7 +532,18 @@ func (e *Engine) PeakC(ctx context.Context, b perf.Benchmark, pl floorplan.Place
 	bk := benchKeyOf(b)
 	pk := keyOf(pl)
 	k := engineKey{bench: bk, ek: evalKey{pl: pk, fIdx: fIdx, cores: p}}
-	if marginC >= 0 && fIdx != canonicalFIdx {
+	if pol.Spatial {
+		pred, bound, ok, err := e.spatialPeakC(ctx, b, pl, op, p, k, &st)
+		if err != nil {
+			return 0, st, err
+		}
+		if ok && math.Abs(pred-pol.ThresholdC) > math.Max(pol.SpatialMarginC, bound) {
+			st.Fidelity = FidelitySpatial
+			e.spatialEvals.Add(1)
+			return pred, st, nil
+		}
+	}
+	if pol.ScalarMarginC >= 0 && fIdx != canonicalFIdx {
 		// Calibrate at the canonical point (memoized; usually already
 		// simulated, since the search's objective ordering visits the
 		// canonical frequency early).
@@ -504,8 +561,8 @@ func (e *Engine) PeakC(ctx context.Context, b perf.Benchmark, pl floorplan.Place
 				return 0, st, err
 			}
 			_, est := e.estimate(b, op, p, nocW, rEff)
-			if math.Abs(est-thresholdC) > marginC {
-				st.Surrogate = true
+			if math.Abs(est-pol.ThresholdC) > pol.ScalarMarginC {
+				st.Fidelity = FidelityScalar
 				e.surrogateEvals.Add(1)
 				return est, st, nil
 			}

@@ -112,3 +112,65 @@ func BenchmarkEngineLookupHit(b *testing.B) {
 		}
 	}
 }
+
+// benchmarkSearchFidelity runs a cold full optimization per iteration with
+// the given fidelity policy and reports the full-simulation count and the
+// spatial-tier hit ratio per run. The pair of results (spatial on vs
+// surrogates off) is what scripts/bench.sh turns into the
+// full-CG-solve-reduction figure; DoE calibration solves are counted
+// against the spatial run, so the ratio is honest end to end.
+func benchmarkSearchFidelity(b *testing.B, spatial bool) {
+	cfg := benchSearchConfig(b, 1)
+	cfg.SpatialSurrogate = spatial
+	if !spatial {
+		cfg.SurrogateMarginC = -1 // full fidelity: every evaluation simulates
+	}
+	var sims, spatialHits, evals int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := NewSearcher(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Optimize(); err != nil {
+			b.Fatal(err)
+		}
+		sims += int64(s.ThermalSims())
+		spatialHits += int64(s.SpatialSurrogateHits())
+		evals += int64(s.ThermalSims() + s.SurrogateHits())
+	}
+	b.ReportMetric(float64(sims)/float64(b.N), "full-sims/op")
+	if evals > 0 {
+		b.ReportMetric(float64(spatialHits)/float64(evals), "spatial-hit-ratio")
+	}
+}
+
+func BenchmarkSearchFullFidelity(b *testing.B) { benchmarkSearchFidelity(b, false) }
+func BenchmarkSearchSpatialTier(b *testing.B)  { benchmarkSearchFidelity(b, true) }
+
+// BenchmarkSpatialPredict measures a warm spatial-tier evaluation: model
+// calibrated, kernel matrix cached — the steady-state cost of the cheapest
+// fidelity tier (compare BenchmarkEngineLookupHit and the ~ms full solve).
+func BenchmarkSpatialPredict(b *testing.B) {
+	cfg := benchSearchConfig(b, 1)
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := floorplan.PaperOrg(16, 1, 1, 2.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	op := power.FrequencySet[2]
+	ctx := context.Background()
+	if _, err := eng.SpatialPredictPeakC(ctx, cfg.Benchmark, pl, op, 160); err != nil {
+		b.Fatal(err)
+	}
+	pol := EvalPolicy{ThresholdC: cfg.ThresholdC, ScalarMarginC: cfg.SurrogateMarginC, SpatialMarginC: cfg.SpatialMarginC, Spatial: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.PeakCPolicy(ctx, cfg.Benchmark, pl, op, 160, pol); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -81,7 +81,13 @@ func (c *EngineCache) Stats() EngineStats {
 		out.DedupWaits += s.DedupWaits
 		out.ThermalSims += s.ThermalSims
 		out.SurrogateHits += s.SurrogateHits
+		out.ScalarHits += s.ScalarHits
+		out.SpatialHits += s.SpatialHits
 		out.CGIterations += s.CGIterations
+		out.Calibrations += s.Calibrations
+		if s.CalWorstErrC > out.CalWorstErrC {
+			out.CalWorstErrC = s.CalWorstErrC
+		}
 	}
 	return out
 }

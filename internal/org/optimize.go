@@ -150,10 +150,14 @@ func (s *Searcher) optimize(find placementFinder) (Result, error) {
 		break
 	}
 	res.ThermalSims = s.ThermalSims()
-	res.SurrogateHits = s.SurrogateHits()
+	res.ScalarSurrogateHits = s.ScalarSurrogateHits()
+	res.SpatialSurrogateHits = s.SpatialSurrogateHits()
+	res.SurrogateHits = res.ScalarSurrogateHits + res.SpatialSurrogateHits
 	osp.SetAttr("combos_tried", res.CombosTried)
 	osp.SetAttr("thermal_sims", res.ThermalSims)
 	osp.SetAttr("surrogate_hits", res.SurrogateHits)
+	osp.SetAttr("scalar_surrogate_hits", res.ScalarSurrogateHits)
+	osp.SetAttr("spatial_surrogate_hits", res.SpatialSurrogateHits)
 	osp.SetAttr("engine_memo_hits", s.EngineHits())
 	osp.SetAttr("engine_dedup_waits", s.EngineDedupWaits())
 	osp.SetAttr("feasible", res.Feasible)

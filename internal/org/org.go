@@ -113,6 +113,23 @@ type Config struct {
 	// DVFS points, so one reference simulation calibrates the rest).
 	// Set negative to always simulate.
 	SurrogateMarginC float64
+	// SpatialSurrogate enables the spatial compact-model fidelity tier:
+	// a per-benchmark surrogate (internal/surrogate) calibrated against a
+	// fixed design-of-experiments set of full simulations predicts the
+	// per-chiplet peak vector and decides evaluations that land clearly
+	// away from the threshold, before the scalar tier is even consulted.
+	// Escalation is conservative (see SpatialMarginC), so every decided
+	// evaluation agrees with the full simulation on which side of the
+	// threshold it falls; the verify drift tier pins winner parity against
+	// the full-fidelity search on the golden corpus. Off by default.
+	SpatialSurrogate bool
+	// SpatialMarginC is the spatial tier's escalation margin: a spatial
+	// prediction decides an evaluation only when it lands farther than
+	// max(SpatialMarginC, calibration worst-case error) from the
+	// threshold. Larger is safer and slower; the calibration bound is the
+	// floor, so the default of 0 never trusts the model beyond its
+	// recorded worst-case error.
+	SpatialMarginC float64
 
 	// Substrate configuration.
 	Thermal    thermal.Config
@@ -140,6 +157,7 @@ func DefaultConfig(b perf.Benchmark) Config {
 		Starts:           10,
 		Seed:             1,
 		SurrogateMarginC: 3,
+		SpatialMarginC:   0,
 		Thermal:          tc,
 		CostParams:       cost.DefaultParams(),
 		Leakage:          power.DefaultLeakage(),
@@ -251,9 +269,14 @@ type Result struct {
 	Baseline Baseline
 	// ThermalSims counts full thermal simulations run.
 	ThermalSims int
-	// SurrogateHits counts evaluations decided by the calibrated scalar
-	// surrogate without a full simulation.
+	// SurrogateHits counts evaluations decided by a surrogate tier without
+	// a full simulation (scalar + spatial; kept as the total for backward
+	// compatibility).
 	SurrogateHits int
+	// ScalarSurrogateHits and SpatialSurrogateHits break SurrogateHits
+	// down by fidelity tier.
+	ScalarSurrogateHits  int
+	SpatialSurrogateHits int
 	// CombosTried counts (f, p, C) combinations examined before success.
 	CombosTried int
 }

@@ -73,7 +73,8 @@ type Searcher struct {
 
 	// Per-search effort counters (atomic: evaluations may run concurrently).
 	thermalSims      atomic.Int64
-	surrogateHits    atomic.Int64
+	scalarHits       atomic.Int64
+	spatialHits      atomic.Int64
 	cgIterations     atomic.Int64
 	engineHits       atomic.Int64
 	engineDedupWaits atomic.Int64
@@ -137,8 +138,17 @@ func (s *Searcher) Engine() *Engine { return s.eng }
 // searcher's evaluations computed so far (engine memo hits excluded).
 func (s *Searcher) ThermalSims() int { return int(s.thermalSims.Load()) }
 
-// SurrogateHits returns the number of evaluations the surrogate decided.
-func (s *Searcher) SurrogateHits() int { return int(s.surrogateHits.Load()) }
+// SurrogateHits returns the number of evaluations any surrogate tier
+// decided (scalar + spatial).
+func (s *Searcher) SurrogateHits() int { return s.ScalarSurrogateHits() + s.SpatialSurrogateHits() }
+
+// ScalarSurrogateHits returns the number of evaluations the scalar
+// surrogate decided.
+func (s *Searcher) ScalarSurrogateHits() int { return int(s.scalarHits.Load()) }
+
+// SpatialSurrogateHits returns the number of evaluations the spatial
+// compact model decided.
+func (s *Searcher) SpatialSurrogateHits() int { return int(s.spatialHits.Load()) }
 
 // CGIterations returns the total conjugate-gradient iterations spent in
 // full thermal simulations computed by this searcher (the dominant CPU
@@ -159,8 +169,11 @@ func (s *Searcher) record(st EvalStats) {
 		s.thermalSims.Add(int64(st.Sims))
 		s.cgIterations.Add(int64(st.CGIterations))
 	}
-	if st.Surrogate {
-		s.surrogateHits.Add(1)
+	switch st.Fidelity {
+	case FidelityScalar:
+		s.scalarHits.Add(1)
+	case FidelitySpatial:
+		s.spatialHits.Add(1)
 	}
 	if st.MemoHits > 0 {
 		s.engineHits.Add(int64(st.MemoHits))
@@ -195,7 +208,7 @@ func (s *Searcher) PeakCWith(b perf.Benchmark, pl floorplan.Placement, op power.
 }
 
 func (s *Searcher) peakCtx(ctx context.Context, b perf.Benchmark, pl floorplan.Placement, op power.DVFSPoint, p int) (float64, error) {
-	peak, st, err := s.eng.PeakC(ctx, b, pl, op, p, s.cfg.ThresholdC, s.cfg.SurrogateMarginC)
+	peak, st, err := s.eng.PeakCPolicy(ctx, b, pl, op, p, s.cfg.evalPolicy())
 	s.record(st)
 	return peak, err
 }

@@ -374,8 +374,12 @@ type SearchResponse struct {
 	Baseline      BaselineJSON `json:"baseline"`
 	ThermalSims   int          `json:"thermal_sims"`
 	SurrogateHits int          `json:"surrogate_hits"`
-	CombosTried   int          `json:"combos_tried"`
-	CGIterations  int64        `json:"cg_iterations"`
+	// ScalarSurrogateHits and SpatialSurrogateHits break SurrogateHits down
+	// by fidelity tier (surrogate_hits stays the total for old clients).
+	ScalarSurrogateHits  int   `json:"scalar_surrogate_hits"`
+	SpatialSurrogateHits int   `json:"spatial_surrogate_hits"`
+	CombosTried          int   `json:"combos_tried"`
+	CGIterations         int64 `json:"cg_iterations"`
 	// EngineMemoHits and EngineDedupWaits attribute this search's use of the
 	// process-wide evaluation memo: evaluations answered from completed
 	// entries and evaluations that joined another request's in-flight
@@ -433,6 +437,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		// Requests that do not pin their own restart parallelism get the
 		// daemon's per-search budget.
 		cfg.SearchWorkers = s.opts.SearchWorkers
+	}
+	if req.File.SpatialSurrogate == nil && s.opts.SpatialSurrogate {
+		// Requests that do not choose a fidelity policy inherit the daemon's
+		// spatial-tier default (winner-invariant; see Options.SpatialSurrogate).
+		cfg.SpatialSurrogate = true
 	}
 	if cfg.Thermal.KernelThreads == 0 && cfg.SearchWorkers <= 1 && cfg.ParallelWorkers <= 1 {
 		// An explicit kernel_threads in the request wins; otherwise the
@@ -523,12 +532,14 @@ func searchResponse(res org.Result, sr *org.Searcher) *SearchResponse {
 			PeakC:       res.Baseline.PeakC,
 			CostUSD:     res.Baseline.CostUSD,
 		},
-		ThermalSims:      res.ThermalSims,
-		SurrogateHits:    res.SurrogateHits,
-		CombosTried:      res.CombosTried,
-		CGIterations:     sr.CGIterations(),
-		EngineMemoHits:   sr.EngineHits(),
-		EngineDedupWaits: sr.EngineDedupWaits(),
+		ThermalSims:          res.ThermalSims,
+		SurrogateHits:        res.SurrogateHits,
+		ScalarSurrogateHits:  res.ScalarSurrogateHits,
+		SpatialSurrogateHits: res.SpatialSurrogateHits,
+		CombosTried:          res.CombosTried,
+		CGIterations:         sr.CGIterations(),
+		EngineMemoHits:       sr.EngineHits(),
+		EngineDedupWaits:     sr.EngineDedupWaits(),
 	}
 	if res.Feasible {
 		b := res.Best

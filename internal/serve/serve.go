@@ -65,6 +65,12 @@ type Options struct {
 	// out. Worker count never changes search results (org's determinism
 	// contract), so cached and fresh responses always agree.
 	SearchWorkers int
+	// SpatialSurrogate enables the spatial compact-model fidelity tier by
+	// default for org-search requests that do not set their own
+	// spatial_surrogate. Escalation is conservative (org's threshold-side
+	// contract, winner parity pinned by the verify drift tier), so the tier
+	// changes how much work finds a winner, not which winner is found.
+	SpatialSurrogate bool
 	// QueueDepth bounds the admission queue; beyond it requests get 503.
 	QueueDepth int
 	// CacheCapacity bounds the result cache in entries.
@@ -244,6 +250,26 @@ func New(opts Options) *Server {
 	s.reg.CounterFunc("chipletd_eval_dedup_waits_total",
 		"Engine simulation lookups that joined another caller's in-flight computation.",
 		func() float64 { return float64(s.engines.Stats().DedupWaits) })
+	// Fidelity-tier counters: evaluations decided by each surrogate tier
+	// without a full simulation, plus the calibration telemetry the drift
+	// check watches. surrogate_hits stays the scalar+spatial total so
+	// existing dashboards keep working. All callbacks read engine stats
+	// snapshots only — scraping /metrics never triggers a calibration.
+	s.reg.CounterFunc("chipletd_eval_surrogate_hits_total",
+		"Engine evaluations decided by any surrogate tier (scalar + spatial).",
+		func() float64 { st := s.engines.Stats(); return float64(st.ScalarHits + st.SpatialHits) })
+	s.reg.CounterFunc("chipletd_eval_scalar_hits_total",
+		"Engine evaluations decided by the scalar DVFS-rescaling surrogate.",
+		func() float64 { return float64(s.engines.Stats().ScalarHits) })
+	s.reg.CounterFunc("chipletd_eval_spatial_hits_total",
+		"Engine evaluations decided by the spatial compact-model surrogate.",
+		func() float64 { return float64(s.engines.Stats().SpatialHits) })
+	s.reg.CounterFunc("chipletd_eval_spatial_calibrations_total",
+		"Spatial-surrogate calibrations run (one per engine fingerprint and benchmark).",
+		func() float64 { return float64(s.engines.Stats().Calibrations) })
+	s.reg.GaugeFunc("chipletd_eval_spatial_cal_worst_err_c",
+		"Worst recorded spatial-calibration error bound across resident engines (°C).",
+		func() float64 { return s.engines.Stats().CalWorstErrC })
 	s.reg.GaugeFunc("chipletd_eval_memo_entries",
 		"Completed simulations resident across all engine memos.",
 		func() float64 { return float64(s.engines.MemoLen()) })

@@ -1,0 +1,149 @@
+package verify
+
+// Drift detection for the spatial surrogate tier: the calibration record
+// promises |prediction - simulation| <= WorstCaseErrC, and the escalation
+// ladder in org leans on that promise to decide evaluations without a full
+// CG solve. The promise is a measured quantity, so any change to the
+// thermal stack, the power model, the DoE plan, or the fit can silently
+// invalidate it. This check re-measures it: it calibrates a fresh engine
+// and replays held-out, non-DoE evaluation points — if the recorded bound
+// has drifted below reality, the tier would be deciding evaluations on
+// stale error bars, and the check fails before the search does.
+
+import (
+	"context"
+	"math"
+
+	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/org"
+	"chiplet25d/internal/perf"
+	"chiplet25d/internal/power"
+)
+
+// driftPoint is one probe evaluation, chosen to be absent from the DoE plan
+// (org's spatialDoE) so the comparison exercises generalization, not
+// memorization.
+type driftPoint struct {
+	name       string
+	n          int
+	s1, s2, s3 float64
+	fIdx, p    int
+}
+
+// driftPoints spans the three chiplet classes. The fast tier runs the
+// first three (one per class); -long runs them all.
+var driftPoints = []driftPoint{
+	{name: "2d-f1-p224", n: 1, fIdx: 1, p: 224},
+	{name: "4c-s3=2-f1-p128", n: 4, s3: 2, fIdx: 1, p: 128},
+	{name: "16c-f1-p128", n: 16, s1: 0.5, s2: 1, s3: 1.5, fIdx: 1, p: 128},
+	{name: "4c-s3=4.5-f3-p224", n: 4, s3: 4.5, fIdx: 3, p: 224},
+	{name: "16c-f3-p224", n: 16, s1: 1.5, s2: 0.5, s3: 3, fIdx: 3, p: 224},
+	{name: "16c-f0-p32", n: 16, s1: 0.5, s2: 0.5, s3: 0.5, fIdx: 0, p: 32},
+}
+
+// checkSpatialCalibration calibrates the spatial surrogate on a small-grid
+// engine and checks, point by point, that fresh predictions stay within the
+// calibration's own recorded worst-case bound of a full simulation. The
+// bound is the contract the fidelity ladder escalates on; there is no
+// separate tolerance to tune here — the calibration record itself is the
+// tolerance, which is exactly what makes this a drift detector.
+func checkSpatialCalibration(ctx *Context) error {
+	b, err := perf.ByName("cholesky")
+	if err != nil {
+		return err
+	}
+	cfg := org.DefaultConfig(b)
+	cfg.Thermal.Nx, cfg.Thermal.Ny = invariantGridN, invariantGridN
+	eng, err := org.NewEngine(cfg)
+	if err != nil {
+		return err
+	}
+	points := driftPoints[:3]
+	if ctx != nil && ctx.Long {
+		points = driftPoints
+	}
+	bg := context.Background()
+	for _, q := range points {
+		var pl floorplan.Placement
+		if q.n == 1 {
+			pl = floorplan.SingleChip()
+		} else if pl, err = floorplan.PaperOrg(q.n, q.s1, q.s2, q.s3); err != nil {
+			return err
+		}
+		cal, err := eng.SpatialCalibration(bg, b, q.n)
+		if err != nil {
+			return failf("spatial-calibration: class %d: %v", q.n, err)
+		}
+		if cal.WorstCaseErrC <= 0 || cal.Samples <= 0 || cal.HoldoutSamples <= 0 {
+			return failf("spatial-calibration: class %d: degenerate record (bound %g, %d train, %d holdout)",
+				q.n, cal.WorstCaseErrC, cal.Samples, cal.HoldoutSamples)
+		}
+		pred, err := eng.SpatialPredictPeakC(bg, b, pl, power.FrequencySet[q.fIdx], q.p)
+		if err != nil {
+			return failf("spatial-calibration: %s: predict: %v", q.name, err)
+		}
+		rec, _, err := eng.Simulate(bg, b, pl, power.FrequencySet[q.fIdx], q.p)
+		if err != nil {
+			return failf("spatial-calibration: %s: simulate: %v", q.name, err)
+		}
+		if e := math.Abs(pred - rec.PeakC); e > cal.WorstCaseErrC {
+			return failf("spatial-calibration: %s: |%.3f - %.3f| = %.3f °C exceeds the recorded bound %.3f — the calibration has drifted",
+				q.name, pred, rec.PeakC, e, cal.WorstCaseErrC)
+		} else {
+			ctx.logf("spatial-calibration: %s: predicted %.2f, simulated %.2f, error %.3f °C (bound %.3f)",
+				q.name, pred, rec.PeakC, e, cal.WorstCaseErrC)
+		}
+	}
+	return nil
+}
+
+// checkSpatialSearchParity replays every golden-corpus search case twice —
+// exactly as committed, and with the spatial tier switched on — and
+// requires the identical winner. This is the end-to-end consequence of the
+// calibration bound: on the validation corpus, conservative escalation
+// makes fidelity a pure performance knob, invisible in results. (Parity is
+// pinned on the corpus, not claimed universally: surrogate-decided peak
+// values steer the greedy walk through the infeasible region, so two
+// objective-tied geometries can swap on other configs.)
+func checkSpatialSearchParity(ctx *Context) error {
+	_, _, searches := corpusCases()
+	for _, c := range searches {
+		cfg, err := searchConfig(c)
+		if err != nil {
+			return err
+		}
+		spatial := cfg
+		spatial.SpatialSurrogate = true
+
+		run := func(cfg org.Config) (org.Result, error) {
+			s, err := org.NewSearcher(cfg)
+			if err != nil {
+				return org.Result{}, err
+			}
+			return s.Optimize()
+		}
+		rs, err := run(spatial)
+		if err != nil {
+			return failf("spatial-parity: %s: spatial search: %v", c.Name, err)
+		}
+		rf, err := run(cfg)
+		if err != nil {
+			return failf("spatial-parity: %s: corpus search: %v", c.Name, err)
+		}
+		if rs.Feasible != rf.Feasible {
+			return failf("spatial-parity: %s: feasibility diverged: spatial %v, corpus %v", c.Name, rs.Feasible, rf.Feasible)
+		}
+		if rs.Best.Op != rf.Best.Op || rs.Best.ActiveCores != rf.Best.ActiveCores ||
+			rs.Best.N != rf.Best.N || rs.Best.InterposerMM != rf.Best.InterposerMM ||
+			rs.Best.S1 != rf.Best.S1 || rs.Best.S2 != rf.Best.S2 || rs.Best.S3 != rf.Best.S3 ||
+			rs.Best.ObjValue != rf.Best.ObjValue {
+			return failf("spatial-parity: %s: winners diverged:\n  spatial: %+v\n  corpus:  %+v", c.Name, rs.Best, rf.Best)
+		}
+		if rs.SpatialSurrogateHits == 0 {
+			return failf("spatial-parity: %s: the spatial search never used the spatial tier (nothing was verified)", c.Name)
+		}
+		ctx.logf("spatial-parity: %s: identical winner (n=%d f=%.0f MHz p=%d); spatial tier decided %d evaluations, %d vs %d full sims",
+			c.Name, rs.Best.N, rs.Best.Op.FreqMHz, rs.Best.ActiveCores, rs.SpatialSurrogateHits, rs.ThermalSims, rf.ThermalSims)
+	}
+	return nil
+}

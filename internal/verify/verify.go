@@ -2,7 +2,7 @@
 // optimized thermal/power/search stack against independent ground truth
 // rather than against itself, so the determinism contracts elsewhere in the
 // repo (serial ≡ parallel, memo ≡ recompute) cannot hide a bug both paths
-// share. Four tiers:
+// share. Five tiers:
 //
 //   - Analytic oracles (oracle.go): closed-form layered-slab solutions the
 //     grid solver must reproduce within documented tolerances, plus a
@@ -15,6 +15,9 @@
 //     Gauss-Seidel solver cross-checked against the CSR/CG kernel, and
 //     org.ReferenceSimulate (the unmemoized, single-threaded evaluator)
 //     cross-checked against the Engine memo.
+//   - Drift detection (drift.go): the spatial surrogate's calibration bound
+//     re-measured against fresh, non-DoE simulations, and the spatial-tier
+//     search differenced winner-for-winner against the full-fidelity search.
 //   - Golden regression corpus (golden.go): committed end-to-end results —
 //     direct solves, leakage-coupled simulations, search winners, and the
 //     fig6/7/8 reduced tables — compared at documented tolerances, with a
@@ -177,6 +180,17 @@ func Checks() []Check {
 			Name:        "differential/reference-evaluator",
 			Description: "Engine memo against the unmemoized single-threaded evaluator, bit for bit and order-independent",
 			Run:         checkReferenceEvaluator,
+		},
+		{
+			Name:        "drift/spatial-calibration",
+			Description: "spatial-surrogate predictions at non-DoE points stay within the calibration's own recorded worst-case bound",
+			Quick:       true,
+			Run:         checkSpatialCalibration,
+		},
+		{
+			Name:        "drift/spatial-parity",
+			Description: "spatial-tier search and full-fidelity search pick the identical winner",
+			Run:         checkSpatialSearchParity,
 		},
 		{
 			Name:        "golden/corpus",

@@ -13,8 +13,11 @@
 # record carries ns/op (plus B/op, allocs/op, and memo-hit-ratio where the
 # benchmark emits them); the summary derives speedup_vs_serial for the
 # kernel thread variants, search_speedup_vs_serial for the restart-worker
-# variants, and warm_shared_engine_speedup for a search over an already-warm
-# process-wide engine (the chipletd steady state).
+# variants, warm_shared_engine_speedup for a search over an already-warm
+# process-wide engine (the chipletd steady state), and — from the fidelity
+# benchmarks — full_cg_solve_reduction (full-fidelity CG solves divided by
+# spatial-tier CG solves, DoE calibration sims included), the spatial-tier
+# hit ratio, and the warm per-prediction latency of the spatial model.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -31,6 +34,8 @@ bench_out=$(
         go test -run '^$' -bench 'BenchmarkSolveWarmGrid64' \
             -benchmem -benchtime "${BENCHTIME:-1s}" ./internal/thermal &&
         go test -run '^$' -bench 'BenchmarkMultiStartSearch|BenchmarkEngineLookupHit' \
+            -benchtime "${SEARCHBENCHTIME:-3x}" ./internal/org &&
+        go test -run '^$' -bench 'BenchmarkSearchFullFidelity|BenchmarkSearchSpatialTier|BenchmarkSpatialPredict' \
             -benchtime "${SEARCHBENCHTIME:-3x}" ./internal/org
 )
 echo "$bench_out"
@@ -44,6 +49,8 @@ echo "$bench_out" | awk -v out="$out" '
             else if ($i == "B/op") by[name] = $(i - 1)
             else if ($i == "allocs/op") al[name] = $(i - 1)
             else if ($i == "memo-hit-ratio") hr[name] = $(i - 1)
+            else if ($i == "full-sims/op") fs[name] = $(i - 1)
+            else if ($i == "spatial-hit-ratio") sh[name] = $(i - 1)
         }
         if (!(name in seen)) { order[++cnt] = name; seen[name] = 1 }
     }
@@ -55,6 +62,8 @@ echo "$bench_out" | awk -v out="$out" '
             printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns[name] > out
             if (name in by) printf ", \"bytes_per_op\": %s, \"allocs_per_op\": %s", by[name], al[name] > out
             if (name in hr) printf ", \"memo_hit_ratio\": %s", hr[name] > out
+            if (name in fs) printf ", \"full_sims_per_op\": %s", fs[name] > out
+            if (name in sh) printf ", \"spatial_hit_ratio\": %s", sh[name] > out
             printf "}%s\n", (i < cnt ? "," : "") > out
         }
         printf "  ],\n  \"speedup_vs_serial\": {" > out
@@ -86,6 +95,16 @@ echo "$bench_out" | awk -v out="$out" '
             printf ",\n  \"engine_memo_hit_ratio\": %s", hr["BenchmarkMultiStartSearchSerial"] > out
         if ("BenchmarkEngineLookupHit" in ns)
             printf ",\n  \"engine_lookup_ns\": %s", ns["BenchmarkEngineLookupHit"] > out
+        ffull = fs["BenchmarkSearchFullFidelity"]
+        fsp = fs["BenchmarkSearchSpatialTier"]
+        if (ffull > 0 && fsp > 0) {
+            printf ",\n  \"full_cg_solve_reduction\": %.2f", ffull / fsp > out
+            printf ",\n  \"spatial_search_speedup\": %.2f", ns["BenchmarkSearchFullFidelity"] / ns["BenchmarkSearchSpatialTier"] > out
+        }
+        if ("BenchmarkSearchSpatialTier" in sh)
+            printf ",\n  \"spatial_hit_ratio\": %s", sh["BenchmarkSearchSpatialTier"] > out
+        if ("BenchmarkSpatialPredict" in ns)
+            printf ",\n  \"spatial_predict_ns\": %s", ns["BenchmarkSpatialPredict"] > out
         printf "\n}\n" > out
     }'
 

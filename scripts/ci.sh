@@ -7,6 +7,8 @@
 # Steps: gofmt (fails on any unformatted file), go vet, go build,
 # the physics verification fast gate (chipletverify -quick: analytic
 # oracles, randomized invariants, mutation smoke — see internal/verify),
+# the spatial-surrogate drift gate (chipletverify -run drift: calibration
+# bound re-measured at fresh non-DoE points, golden-corpus winner parity),
 # go test -race with a coverage profile, the coverage gate (total must not
 # fall below the recorded baseline; skipped under -short because -short
 # skips tests), the fuzz smoke (a few seconds per target; skipped under
@@ -52,6 +54,13 @@ echo "==> physics verification fast gate (chipletverify -quick)"
 # Runs in well under a second; the std tier runs inside the -race suite
 # below, and the long tier is an explicit developer command.
 go run ./cmd/chipletverify -quick
+
+echo "==> spatial-surrogate drift gate (chipletverify -run drift)"
+# The spatial fidelity tier decides evaluations on its calibration's
+# recorded worst-case error. Re-measure that bound at fresh non-DoE points
+# and pin winner parity on the golden-corpus search, so a physics or fit
+# change cannot silently leave the tier escalating on stale error bars.
+go run ./cmd/chipletverify -run drift
 
 echo "==> go test -race -coverprofile $short ./..."
 go test -race -coverprofile=coverage.out $short ./...
