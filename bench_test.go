@@ -21,11 +21,13 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"chiplet25d/internal/expt"
 	"chiplet25d/internal/floorplan"
 	"chiplet25d/internal/noc"
 	"chiplet25d/internal/obs"
+	"chiplet25d/internal/obs/export"
 	"chiplet25d/internal/org"
 	"chiplet25d/internal/perf"
 	"chiplet25d/internal/power"
@@ -502,6 +504,93 @@ func BenchmarkSolveUntraced(b *testing.B) { benchSolve(b, false) }
 // way chipletd runs it. CI fails if this regresses more than a few percent
 // over BenchmarkSolveUntraced.
 func BenchmarkSolveTraced(b *testing.B) { benchSolve(b, true) }
+
+// BenchmarkSolveTracedExporting measures the solve with a live trace that is
+// finished, snapshotted, and enqueued to a running OTLP exporter after every
+// iteration — the full serving-path telemetry cost. The export-overhead gate
+// in scripts/ci.sh bounds this against BenchmarkSolveUntraced: the bounded
+// async queue must keep export off the solve path.
+func BenchmarkSolveTracedExporting(b *testing.B) {
+	sink := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+	}))
+	defer sink.Close()
+	exp := export.New(export.Options{Endpoint: sink.URL})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = exp.Shutdown(ctx)
+	}()
+
+	bench, err := perf.ByName("cholesky")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := floorplan.UniformGrid(4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stack, err := floorplan.BuildStack(pl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tc := thermal.DefaultConfig()
+	tc.Nx, tc.Ny = 32, 32
+	m, err := thermal.NewModel(stack, tc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cores, err := pl.Cores()
+	if err != nil {
+		b.Fatal(err)
+	}
+	active, err := power.MintempActive(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := power.Workload{RefCoreW: bench.RefCoreW, Op: power.NominalPoint,
+		Active: active, NoCW: 8, Leakage: power.DefaultLeakage()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := obs.NewTrace("bench", "bench")
+		ctx := obs.WithTrace(context.Background(), tr)
+		if _, err := power.SimulateCtx(ctx, m, cores, w, power.DefaultSimOptions()); err != nil {
+			b.Fatal(err)
+		}
+		tr.Finish()
+		exp.Enqueue(tr.Snapshot())
+	}
+}
+
+// BenchmarkGreedyPlacementSearchAudited is BenchmarkGreedyPlacementSearch
+// with a convergence audit log attached, bounding what ?audit=1 costs a
+// search (one bounded ring append per event versus a nil check).
+func BenchmarkGreedyPlacementSearchAudited(b *testing.B) {
+	bench, err := perf.ByName("canneal")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := org.DefaultConfig(bench)
+	cfg.Thermal.Nx, cfg.Thermal.Ny = 16, 16
+	cfg.Starts = 5
+	events := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := org.NewSearcher(cfg) // fresh searcher: no memo carryover
+		if err != nil {
+			b.Fatal(err)
+		}
+		al := org.NewAuditLog(256)
+		s.WithAudit(al)
+		b.StartTimer()
+		if _, _, _, err := s.FindPlacement(16, 36, power.NominalPoint, 224); err != nil {
+			b.Fatal(err)
+		}
+		events = al.Len()
+	}
+	b.ReportMetric(float64(events), "audit_events")
+}
 
 // --- chipletd serving-path benchmarks ---
 

@@ -10,6 +10,8 @@
 //	         [-grid-max 128] [-spatial] [-config file.json]
 //	         [-log-format text|json] [-log-level info] [-pprof]
 //	         [-trace-ring 64] [-slow-trace 2s]
+//	         [-otlp-endpoint http://host:4318] [-trace-sample 1.0]
+//	         [-audit-ring 256]
 //
 // Flags override the optional "server" section of -config. Logs are
 // structured (log/slog); -log-format json emits one JSON object per line,
@@ -76,6 +78,9 @@ func main() {
 		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		traceRing  = flag.Int("trace-ring", 0, "flight-recorder capacity in traces (default 64)")
 		slowTrace  = flag.Duration("slow-trace", 0, "also retain traces at least this slow (default 2s)")
+		otlp       = flag.String("otlp-endpoint", "", "OTLP/HTTP collector base URL; empty disables export")
+		traceRate  = flag.Float64("trace-sample", 0, "tail-sampling rate for unremarkable traces; slow/error traces always export (default 1.0, negative = slow/error only)")
+		auditRing  = flag.Int("audit-ring", 0, "search audit-trail capacity in events (default 256, negative disables)")
 	)
 	flag.Parse()
 
@@ -121,6 +126,15 @@ func main() {
 		if sc.SlowTraceMS != nil {
 			opts.SlowTraceThreshold = time.Duration(*sc.SlowTraceMS * float64(time.Millisecond))
 		}
+		if sc.OTLPEndpoint != "" {
+			opts.OTLPEndpoint = sc.OTLPEndpoint
+		}
+		if sc.TraceSample != nil {
+			opts.TraceSampleRate = *sc.TraceSample
+		}
+		if sc.AuditRing != nil {
+			opts.AuditRingSize = *sc.AuditRing
+		}
 		format, level = sc.LogFormat, sc.LogLevel
 	}
 	if *addr != "" {
@@ -158,6 +172,15 @@ func main() {
 	}
 	if *slowTrace > 0 {
 		opts.SlowTraceThreshold = *slowTrace
+	}
+	if *otlp != "" {
+		opts.OTLPEndpoint = *otlp
+	}
+	if *traceRate != 0 {
+		opts.TraceSampleRate = *traceRate
+	}
+	if *auditRing != 0 {
+		opts.AuditRingSize = *auditRing
 	}
 	if *logFormat != "" {
 		format = *logFormat

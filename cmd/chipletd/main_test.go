@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -31,11 +33,28 @@ func TestDaemonSmoke(t *testing.T) {
 		t.Fatalf("go build: %v\n%s", err, out)
 	}
 
+	// OTLP sink: the daemon exports its traces here; the SIGTERM drain must
+	// flush whatever the batch timer has not yet shipped.
+	var sinkMu sync.Mutex
+	var sinkBodies []string
+	sink := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/traces" {
+			return
+		}
+		b, _ := io.ReadAll(r.Body)
+		sinkMu.Lock()
+		sinkBodies = append(sinkBodies, string(b))
+		sinkMu.Unlock()
+	}))
+	defer sink.Close()
+
 	cmd := exec.Command(bin,
 		"-addr", "127.0.0.1:0",
 		"-workers", "2",
 		"-log-format", "json",
 		"-slow-trace", "1ns", // everything lands in the slow ring too
+		"-otlp-endpoint", sink.URL,
+		"-trace-sample", "1",
 	)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
@@ -94,10 +113,18 @@ func TestDaemonSmoke(t *testing.T) {
 		return resp.StatusCode, b
 	}
 
-	// Traced solve: span tree inline, request ID echoed.
+	// Traced solve: span tree inline, request ID echoed, and the inbound
+	// W3C trace context adopted and echoed back.
+	const remoteTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
 	body := `{"placement": {"chiplets": 4, "s3_mm": 1}, "benchmark": "cholesky",
 	          "freq_mhz": 533, "cores": 128, "grid_n": 8}`
-	resp, err := http.Post(base+"/v1/thermal/solve?trace=1", "application/json", strings.NewReader(body))
+	solveReq, err := http.NewRequest(http.MethodPost, base+"/v1/thermal/solve?trace=1", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	solveReq.Header.Set("Content-Type", "application/json")
+	solveReq.Header.Set("traceparent", "00-"+remoteTrace+"-00f067aa0ba902b7-01")
+	resp, err := http.DefaultClient.Do(solveReq)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,6 +135,9 @@ func TestDaemonSmoke(t *testing.T) {
 	}
 	if resp.Header.Get("X-Request-Id") == "" {
 		t.Error("solve response missing X-Request-Id")
+	}
+	if tp := resp.Header.Get("Traceparent"); !strings.HasPrefix(tp, "00-"+remoteTrace+"-") {
+		t.Errorf("solve response traceparent %q does not join the caller's trace", tp)
 	}
 	var solve struct {
 		PeakC float64 `json:"peak_c"`
@@ -209,6 +239,24 @@ func TestDaemonSmoke(t *testing.T) {
 	// Request logs are structured and carry the request id.
 	if !strings.Contains(joined, `"msg":"request"`) || !strings.Contains(joined, `"request_id"`) {
 		t.Errorf("daemon logs missing structured request record:\n%s", joined)
+	}
+
+	// The drain flushed the exporter queue: by the time the process has
+	// exited, the sink must hold the solve's trace under the propagated
+	// trace ID. Shutdown posts synchronously before exit, so a short bounded
+	// wait is only slack for the sink handler to return.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		sinkMu.Lock()
+		all := strings.Join(sinkBodies, "\n")
+		sinkMu.Unlock()
+		if strings.Contains(all, remoteTrace) && strings.Contains(all, `"thermal_solve"`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("OTLP sink missing the drained solve trace; got %d exports:\n%.2000s", len(sinkBodies), all)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }
 

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Renderers for chipletd's debug endpoints. Both degrade to a one-line
+// note on error: the fleet view stays useful even when a daemon predates
+// an endpoint or auditing is disabled.
+
+// traceLine mirrors the fields of obs.TraceJSON the view renders.
+type traceLine struct {
+	RequestID  string         `json:"request_id"`
+	Route      string         `json:"route"`
+	TraceID    string         `json:"trace_id"`
+	Start      time.Time      `json:"start"`
+	DurationMS float64        `json:"duration_ms"`
+	Attrs      map[string]any `json:"attrs"`
+}
+
+const maxRows = 5
+
+func renderSolves(ctx context.Context, client *http.Client, base string) string {
+	raw, err := fetch(ctx, client, base, "/debug/solves")
+	if err != nil {
+		return fmt.Sprintf("  (unavailable: %v)\n", err)
+	}
+	var body struct {
+		Recent []traceLine `json:"recent"`
+	}
+	if err := json.Unmarshal(raw, &body); err != nil {
+		return fmt.Sprintf("  (bad payload: %v)\n", err)
+	}
+	if len(body.Recent) == 0 {
+		return "  (none yet)\n"
+	}
+	var b strings.Builder
+	for i, t := range body.Recent {
+		if i == maxRows {
+			fmt.Fprintf(&b, "  … %d more\n", len(body.Recent)-maxRows)
+			break
+		}
+		status, cache := "?", "-"
+		if v, ok := t.Attrs["status"]; ok {
+			status = fmt.Sprintf("%v", v)
+		}
+		if v, ok := t.Attrs["cache"]; ok {
+			cache = fmt.Sprintf("%v", v)
+		}
+		fmt.Fprintf(&b, "  %-14s %4s  %8.1fms  cache=%-4s  %s  %s\n",
+			t.Route, status, t.DurationMS, cache, shortID(t.TraceID), t.Start.Format("15:04:05"))
+	}
+	return b.String()
+}
+
+// searchLine mirrors the fields of serve's auditRecord the view renders.
+type searchLine struct {
+	RequestID string    `json:"request_id"`
+	Start     time.Time `json:"start"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+	Feasible  bool      `json:"feasible"`
+	Trail     *struct {
+		Events []struct {
+			Kind string `json:"kind"`
+		} `json:"events"`
+		Dropped uint64 `json:"dropped"`
+	} `json:"trail"`
+}
+
+func renderSearches(ctx context.Context, client *http.Client, base string) string {
+	raw, err := fetch(ctx, client, base, "/debug/search")
+	if err != nil {
+		return fmt.Sprintf("  (unavailable: %v)\n", err)
+	}
+	var body struct {
+		Searches []searchLine `json:"searches"`
+	}
+	if err := json.Unmarshal(raw, &body); err != nil {
+		return fmt.Sprintf("  (bad payload: %v)\n", err)
+	}
+	if len(body.Searches) == 0 {
+		return "  (none yet)\n"
+	}
+	var b strings.Builder
+	for i, s := range body.Searches {
+		if i == maxRows {
+			fmt.Fprintf(&b, "  … %d more\n", len(body.Searches)-maxRows)
+			break
+		}
+		feas := "infeasible"
+		if s.Feasible {
+			feas = "feasible"
+		}
+		evts, kinds := 0, ""
+		if s.Trail != nil {
+			evts = len(s.Trail.Events)
+			kinds = kindSummary(s.Trail.Events)
+			if s.Trail.Dropped > 0 {
+				kinds += fmt.Sprintf(" (+%d dropped)", s.Trail.Dropped)
+			}
+		}
+		fmt.Fprintf(&b, "  %-10s %10.1fms  %4d events  %s  %s  %s\n",
+			feas, s.ElapsedMS, evts, kinds, shortID(s.RequestID), s.Start.Format("15:04:05"))
+	}
+	return b.String()
+}
+
+// kindSummary compresses an event list into "eval×120 accept×9 ...".
+func kindSummary(events []struct {
+	Kind string `json:"kind"`
+}) string {
+	counts := map[string]int{}
+	for _, e := range events {
+		counts[e.Kind]++
+	}
+	parts := make([]string, 0, len(counts))
+	for _, k := range sortedKeys(counts) {
+		parts = append(parts, fmt.Sprintf("%s×%d", strings.TrimPrefix(k, "move_"), counts[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+func shortID(id string) string {
+	if len(id) > 8 {
+		return id[:8]
+	}
+	return id
+}

@@ -1,0 +1,216 @@
+// Command chiplettop renders a live, single-screen fleet view of a running
+// chipletd: request/cache/engine counters from GET /metrics, the most
+// recent request traces from GET /debug/solves, and the latest search
+// convergence audits from GET /debug/search, refreshed in place like top.
+//
+// Usage:
+//
+//	chiplettop [-addr http://localhost:8080] [-interval 2s] [-once]
+//
+// -once renders a single frame without clearing the screen and exits (for
+// scripts and tests). Interactive runs clear and redraw every interval
+// until interrupted.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "chipletd base URL")
+		interval = flag.Duration("interval", 2*time.Second, "refresh interval")
+		once     = flag.Bool("once", false, "render one frame and exit (no screen clearing)")
+	)
+	flag.Parse()
+	if !strings.Contains(*addr, "://") {
+		*addr = "http://" + *addr
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	if *once {
+		frame, err := render(ctx, client, *addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chiplettop: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(frame)
+		return
+	}
+
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for {
+		frame, err := render(ctx, client, *addr)
+		if err != nil {
+			frame = fmt.Sprintf("chiplettop: %s unreachable: %v\n", *addr, err)
+		}
+		// Clear screen + home cursor, then draw the frame in one write so a
+		// slow terminal never shows a half-rendered screen.
+		fmt.Print("\x1b[2J\x1b[H" + frame)
+		select {
+		case <-ctx.Done():
+			fmt.Println()
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// fetch GETs a path and returns the body (bounded).
+func fetch(ctx context.Context, client *http.Client, base, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(base, "/")+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+}
+
+// render assembles one full frame from the three endpoints. /metrics is
+// required; the debug endpoints degrade to empty sections on error.
+func render(ctx context.Context, client *http.Client, base string) (string, error) {
+	raw, err := fetch(ctx, client, base, "/metrics")
+	if err != nil {
+		return "", err
+	}
+	m := parseProm(string(raw))
+	var b strings.Builder
+
+	version, revision := "?", "?"
+	if s := m.firstWithLabels("chipletd_build_info"); s != nil {
+		version, revision = s.labels["version"], s.labels["revision"]
+	}
+	uptime := "?"
+	if start := m.value("chipletd_process_start_time_seconds"); start > 0 {
+		uptime = (time.Duration(time.Now().Unix()-int64(start)) * time.Second).String()
+	}
+	fmt.Fprintf(&b, "chipletd @ %s   up %s   %s (%s)\n\n", base, uptime, version, shortRev(revision))
+
+	req := m.sumPrefix("chipletd_requests_total")
+	errs := m.sumMatching("chipletd_requests_total", func(l map[string]string) bool {
+		return strings.HasPrefix(l["code"], "5")
+	})
+	inflight := m.sumPrefix("chipletd_inflight_requests")
+	fmt.Fprintf(&b, "requests  total %.0f   5xx %.0f   inflight %.0f   queue %.0f   busy %.0f\n",
+		req, errs, inflight, m.value("chipletd_queue_depth"), m.value("chipletd_busy_workers"))
+
+	hits, misses := m.sumPrefix("chipletd_cache_hits_total"), m.sumPrefix("chipletd_cache_misses_total")
+	fmt.Fprintf(&b, "cache     hits %s (%.0f/%.0f)   entries %.0f\n",
+		pct(hits, hits+misses), hits, hits+misses, m.value("chipletd_cache_entries"))
+
+	fmt.Fprintf(&b, "engine    memo hits %.0f   dedup %.0f   sims %.0f   cg iters %s\n",
+		m.value("chipletd_eval_memo_hits_total"), m.value("chipletd_eval_dedup_waits_total"),
+		m.value("chipletd_thermal_sims_total"), human(m.value("chipletd_cg_iterations_total")))
+
+	scalar, spatial := m.value("chipletd_eval_scalar_hits_total"), m.value("chipletd_eval_spatial_hits_total")
+	full := m.value("chipletd_thermal_sims_total")
+	tot := scalar + spatial + full
+	fmt.Fprintf(&b, "fidelity  spatial %s   scalar %s   full %s   calibrations %.0f   worst err %.2f°C\n",
+		pct(spatial, tot), pct(scalar, tot), pct(full, tot),
+		m.value("chipletd_eval_spatial_calibrations_total"), m.value("chipletd_eval_spatial_cal_worst_err_c"))
+
+	fmt.Fprintf(&b, "export    exported %.0f   dropped %.0f   sampled-out %.0f   errors %.0f   queued %.0f\n",
+		m.value("chipletd_otlp_exported_traces_total"), m.value("chipletd_otlp_dropped_traces_total"),
+		m.value("chipletd_otlp_sampled_out_traces_total"), m.value("chipletd_otlp_export_errors_total"),
+		m.value("chipletd_otlp_queue_depth"))
+
+	fmt.Fprintf(&b, "runtime   goroutines %.0f   heap %s   gc cycles %.0f\n",
+		m.value("chipletd_go_goroutines"), bytesHuman(m.value("chipletd_go_heap_bytes")),
+		m.value("chipletd_go_gc_cycles_total"))
+
+	if h := m.histogram("chipletd_solve_latency_seconds"); h != nil {
+		fmt.Fprintf(&b, "latency   p50 %s   p90 %s   p99 %s   (n=%.0f)\n",
+			secsHuman(h.quantile(0.50)), secsHuman(h.quantile(0.90)), secsHuman(h.quantile(0.99)), h.count)
+	}
+
+	b.WriteString("\nrecent solves\n")
+	b.WriteString(renderSolves(ctx, client, base))
+	b.WriteString("\nrecent searches\n")
+	b.WriteString(renderSearches(ctx, client, base))
+	return b.String(), nil
+}
+
+func shortRev(rev string) string {
+	if i := strings.IndexByte(rev, '-'); i > 12 { // keep "-dirty" suffix readable
+		return rev[:12] + rev[i:]
+	}
+	if len(rev) > 12 {
+		return rev[:12]
+	}
+	return rev
+}
+
+func pct(part, whole float64) string {
+	if whole <= 0 {
+		return "–"
+	}
+	return fmt.Sprintf("%.0f%%", 100*part/whole)
+}
+
+func human(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+func bytesHuman(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", v/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", v)
+	}
+}
+
+func secsHuman(s float64) string {
+	switch {
+	case s < 0:
+		return "–"
+	case s < 1:
+		return fmt.Sprintf("%.0fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", s)
+	}
+}
+
+// sortedKeys returns the map keys sorted, for deterministic rendering.
+func sortedKeys[M map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

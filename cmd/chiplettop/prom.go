@@ -1,0 +1,214 @@
+package main
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A minimal Prometheus text-format (0.0.4) reader: enough to pull scalar
+// values, label-summed families, and histogram bucket vectors out of
+// chipletd's own exposition. It is a consumer for one known producer, not a
+// general parser — unknown syntax is skipped, never fatal.
+
+// sample is one exposition line: name, parsed labels, value.
+type sample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// promDump indexes samples by metric name.
+type promDump struct {
+	byName map[string][]sample
+}
+
+// parseProm reads an exposition body.
+func parseProm(text string) *promDump {
+	d := &promDump{byName: make(map[string][]sample)}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		d.byName[s.name] = append(d.byName[s.name], s)
+	}
+	return d
+}
+
+// parseLine parses `name{l1="v1",...} value [exemplar...]`.
+func parseLine(line string) (sample, bool) {
+	s := sample{labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, false
+	} else if rest[i] == '{' {
+		s.name = rest[:i]
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, false
+		}
+		parseLabels(rest[i+1:end], s.labels)
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		s.name = rest[:i]
+		rest = strings.TrimSpace(rest[i+1:])
+	}
+	// Value is the first field; anything after (timestamp, OpenMetrics
+	// exemplar) is ignored.
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		rest = rest[:i]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, false
+	}
+	s.value = v
+	return s, true
+}
+
+// parseLabels parses `k1="v1",k2="v2"` handling escaped quotes.
+func parseLabels(body string, into map[string]string) {
+	for body != "" {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 || len(body) < eq+2 || body[eq+1] != '"' {
+			return
+		}
+		key := body[:eq]
+		rest := body[eq+2:]
+		var val strings.Builder
+		i := 0
+		for i < len(rest) {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				switch rest[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		into[key] = val.String()
+		body = strings.TrimPrefix(strings.TrimPrefix(rest[min(i+1, len(rest)):], ","), " ")
+	}
+}
+
+// value returns the single (or first) sample's value, 0 when absent.
+func (d *promDump) value(name string) float64 {
+	ss := d.byName[name]
+	if len(ss) == 0 {
+		return 0
+	}
+	return ss[0].value
+}
+
+// firstWithLabels returns the first sample of a family (for label reads).
+func (d *promDump) firstWithLabels(name string) *sample {
+	ss := d.byName[name]
+	if len(ss) == 0 {
+		return nil
+	}
+	return &ss[0]
+}
+
+// sumPrefix sums every sample of a family across its label sets.
+func (d *promDump) sumPrefix(name string) float64 {
+	var sum float64
+	for _, s := range d.byName[name] {
+		sum += s.value
+	}
+	return sum
+}
+
+// sumMatching sums the samples whose labels satisfy the predicate.
+func (d *promDump) sumMatching(name string, keep func(map[string]string) bool) float64 {
+	var sum float64
+	for _, s := range d.byName[name] {
+		if keep(s.labels) {
+			sum += s.value
+		}
+	}
+	return sum
+}
+
+// hist is a cumulative bucket vector for quantile estimation.
+type hist struct {
+	uppers []float64 // ascending bucket upper bounds (le), +Inf last
+	counts []float64 // cumulative counts, parallel to uppers
+	count  float64
+}
+
+// histogram assembles a plain (unlabeled) histogram family from its
+// _bucket/_count samples; nil when absent.
+func (d *promDump) histogram(name string) *hist {
+	buckets := d.byName[name+"_bucket"]
+	if len(buckets) == 0 {
+		return nil
+	}
+	h := &hist{count: d.value(name + "_count")}
+	for _, s := range buckets {
+		le := s.labels["le"]
+		u, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			// strconv parses "+Inf" natively; anything else is malformed.
+			continue
+		}
+		h.uppers = append(h.uppers, u)
+		h.counts = append(h.counts, s.value)
+	}
+	sort.Sort(byUpper{h})
+	return h
+}
+
+type byUpper struct{ *hist }
+
+func (b byUpper) Len() int           { return len(b.uppers) }
+func (b byUpper) Less(i, j int) bool { return b.uppers[i] < b.uppers[j] }
+func (b byUpper) Swap(i, j int) {
+	b.uppers[i], b.uppers[j] = b.uppers[j], b.uppers[i]
+	b.counts[i], b.counts[j] = b.counts[j], b.counts[i]
+}
+
+// quantile estimates q ∈ [0,1] by linear interpolation within the bucket
+// that crosses the rank, the standard Prometheus histogram_quantile
+// approximation. Returns -1 when the histogram is empty.
+func (h *hist) quantile(q float64) float64 {
+	if h == nil || h.count == 0 || len(h.uppers) == 0 {
+		return -1
+	}
+	rank := q * h.count
+	var lower, prevCount float64
+	for i, c := range h.counts {
+		if c >= rank {
+			upper := h.uppers[i]
+			if i == len(h.uppers)-1 {
+				// +Inf bucket: report the highest finite bound.
+				if i > 0 {
+					return h.uppers[i-1]
+				}
+				return -1
+			}
+			width := upper - lower
+			inBucket := c - prevCount
+			if inBucket <= 0 {
+				return upper
+			}
+			return lower + width*(rank-prevCount)/inBucket
+		}
+		lower = h.uppers[i]
+		prevCount = c
+	}
+	return h.uppers[len(h.uppers)-1]
+}

@@ -106,6 +106,16 @@ type Server struct {
 	// SlowTraceMS also retains request traces at least this slow (in
 	// milliseconds) in the recorder's slow ring (default 2000).
 	SlowTraceMS *float64 `json:"slow_trace_ms,omitempty"`
+	// OTLPEndpoint is the base URL of an OTLP/HTTP collector; empty disables
+	// trace and metric export (the default).
+	OTLPEndpoint string `json:"otlp_endpoint,omitempty"`
+	// TraceSample is the tail sampler's export probability for unremarkable
+	// traces — slow and error traces always export (default 1.0; negative
+	// exports only slow/error traces).
+	TraceSample *float64 `json:"trace_sample,omitempty"`
+	// AuditRing bounds the search convergence audit trail per request and
+	// the /debug/search history (default 256; negative disables auditing).
+	AuditRing *int `json:"audit_ring,omitempty"`
 }
 
 // LoadServer parses JSON from r and returns the server section (zero value

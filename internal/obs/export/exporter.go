@@ -1,0 +1,421 @@
+package export
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chiplet25d/internal/obs"
+)
+
+// Options configures an Exporter. The zero value is not usable; fill
+// Endpoint and pass through New, which applies defaults.
+type Options struct {
+	// Endpoint is the collector base URL (e.g. http://otel:4318). Traces
+	// POST to Endpoint+"/v1/traces", metrics to Endpoint+"/v1/metrics".
+	Endpoint string
+	// ServiceName becomes the OTLP resource service.name attribute.
+	ServiceName string
+	// QueueSize bounds the trace queue; the oldest queued trace is dropped
+	// when a new one arrives at a full queue. Default 256.
+	QueueSize int
+	// BatchSize caps traces per export POST. Default 64.
+	BatchSize int
+	// FlushInterval is the max age of a queued trace before the worker
+	// exports a partial batch. Default 2s.
+	FlushInterval time.Duration
+	// MetricsInterval is the period between metric snapshot exports; 0
+	// disables metric export. Default 10s when MetricsSource is set.
+	MetricsInterval time.Duration
+	// Sampler decides which completed traces to export; nil exports all.
+	Sampler *TailSampler
+	// MetricsSource supplies the metric families to export each interval.
+	MetricsSource func() []Metric
+	// HTTPClient overrides the POST client (tests). Default: 5s timeout.
+	HTTPClient *http.Client
+	// Logger receives export errors (throttled); nil discards.
+	Logger *slog.Logger
+}
+
+// Stats is a snapshot of the exporter's lifetime counters.
+type Stats struct {
+	Enqueued       uint64 // traces accepted into the queue
+	Sampled        uint64 // traces the sampler dropped (never queued)
+	Dropped        uint64 // traces evicted from a full queue
+	Exported       uint64 // traces successfully POSTed
+	Batches        uint64 // trace POSTs attempted
+	Errors         uint64 // failed POSTs (trace or metric)
+	MetricExports  uint64 // metric POSTs attempted
+	SpansExported  uint64 // spans inside successful trace POSTs
+	QueueDepth     int    // traces currently queued
+	QueueHighWater int    // max observed queue depth
+}
+
+// Exporter ships completed request traces and metric snapshots to an OTLP
+// HTTP collector from a single background goroutine. A nil *Exporter is a
+// valid no-op receiver — the disabled path is one nil check, no allocation
+// — matching the repo-wide nil-telemetry idiom (obs.Span, obs.Recorder).
+type Exporter struct {
+	opts   Options
+	client *http.Client
+
+	mu        sync.Mutex
+	queue     []*obs.TraceJSON // FIFO; index 0 oldest
+	highWater int
+	closed    bool
+
+	notify chan struct{} // 1-buffered wake signal for the worker
+	stop   chan struct{}
+	done   chan struct{}
+
+	flushMu  sync.Mutex // serializes Flush with the worker's export step
+	enqueued atomic.Uint64
+	sampled  atomic.Uint64
+	dropped  atomic.Uint64
+	exported atomic.Uint64
+	batches  atomic.Uint64
+	errs     atomic.Uint64
+	mexports atomic.Uint64
+	spans    atomic.Uint64
+
+	lastErrLog atomic.Int64 // unix nanos of last logged export error
+}
+
+// New starts an exporter and its background worker. Returns nil (the no-op
+// exporter) when opts.Endpoint is empty, so callers can wire the result
+// unconditionally.
+func New(opts Options) *Exporter {
+	if opts.Endpoint == "" {
+		return nil
+	}
+	if opts.ServiceName == "" {
+		opts.ServiceName = "chipletd"
+	}
+	if opts.QueueSize <= 0 {
+		opts.QueueSize = 256
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 64
+	}
+	if opts.BatchSize > opts.QueueSize {
+		opts.BatchSize = opts.QueueSize
+	}
+	if opts.FlushInterval <= 0 {
+		opts.FlushInterval = 2 * time.Second
+	}
+	if opts.MetricsInterval <= 0 && opts.MetricsSource != nil {
+		opts.MetricsInterval = 10 * time.Second
+	}
+	client := opts.HTTPClient
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	e := &Exporter{
+		opts:   opts,
+		client: client,
+		notify: make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go e.run()
+	return e
+}
+
+// Enqueue offers a completed trace for export. It never blocks: the sampler
+// may drop it, and a full queue evicts its oldest entry. Safe on nil and
+// after Shutdown (both no-ops).
+func (e *Exporter) Enqueue(t *obs.TraceJSON) {
+	if e == nil || t == nil {
+		return
+	}
+	if s := e.opts.Sampler; s != nil && !s.Sample(t) {
+		e.sampled.Add(1)
+		return
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	if len(e.queue) >= e.opts.QueueSize {
+		// Drop-oldest: recent traces are the ones an operator is debugging.
+		copy(e.queue, e.queue[1:])
+		e.queue = e.queue[:len(e.queue)-1]
+		e.dropped.Add(1)
+	}
+	e.queue = append(e.queue, t)
+	if len(e.queue) > e.highWater {
+		e.highWater = len(e.queue)
+	}
+	full := len(e.queue) >= e.opts.BatchSize
+	e.mu.Unlock()
+	e.enqueued.Add(1)
+	if full {
+		select {
+		case e.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Stats returns a snapshot of the exporter's counters (zero Stats on nil).
+func (e *Exporter) Stats() Stats {
+	if e == nil {
+		return Stats{}
+	}
+	e.mu.Lock()
+	depth, hw := len(e.queue), e.highWater
+	e.mu.Unlock()
+	return Stats{
+		Enqueued:       e.enqueued.Load(),
+		Sampled:        e.sampled.Load(),
+		Dropped:        e.dropped.Load(),
+		Exported:       e.exported.Load(),
+		Batches:        e.batches.Load(),
+		Errors:         e.errs.Load(),
+		MetricExports:  e.mexports.Load(),
+		SpansExported:  e.spans.Load(),
+		QueueDepth:     depth,
+		QueueHighWater: hw,
+	}
+}
+
+// Flush synchronously exports everything queued right now, plus one metric
+// snapshot when a MetricsSource is configured. Bounded by ctx. No-op on nil.
+func (e *Exporter) Flush(ctx context.Context) error {
+	if e == nil {
+		return nil
+	}
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		batch := e.take(e.opts.BatchSize)
+		if len(batch) == 0 {
+			break
+		}
+		e.exportBatch(ctx, batch)
+	}
+	if e.opts.MetricsSource != nil {
+		e.exportMetrics(ctx)
+	}
+	return ctx.Err()
+}
+
+// Shutdown flushes and stops the worker, bounded by ctx. The exporter
+// accepts no traces afterwards. Safe on nil and when called twice.
+func (e *Exporter) Shutdown(ctx context.Context) error {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	already := e.closed
+	e.closed = true
+	e.mu.Unlock()
+	if !already {
+		close(e.stop)
+	}
+	select {
+	case <-e.done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return e.Flush(ctx)
+}
+
+// take removes up to n traces from the head of the queue.
+func (e *Exporter) take(n int) []*obs.TraceJSON {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.queue) == 0 {
+		return nil
+	}
+	if n > len(e.queue) {
+		n = len(e.queue)
+	}
+	batch := make([]*obs.TraceJSON, n)
+	copy(batch, e.queue)
+	rest := copy(e.queue, e.queue[n:])
+	for i := rest; i < len(e.queue); i++ {
+		e.queue[i] = nil
+	}
+	e.queue = e.queue[:rest]
+	return batch
+}
+
+// run is the background worker: it exports a batch when the queue reaches
+// BatchSize, when FlushInterval elapses with traces pending, and metric
+// snapshots every MetricsInterval.
+func (e *Exporter) run() {
+	defer close(e.done)
+	flush := time.NewTicker(e.opts.FlushInterval)
+	defer flush.Stop()
+	var metricsC <-chan time.Time
+	if e.opts.MetricsSource != nil && e.opts.MetricsInterval > 0 {
+		mt := time.NewTicker(e.opts.MetricsInterval)
+		defer mt.Stop()
+		metricsC = mt.C
+	}
+	ctx := context.Background()
+	for {
+		select {
+		case <-e.stop:
+			return // Shutdown flushes the remainder
+		case <-e.notify:
+			e.drain(ctx)
+		case <-flush.C:
+			e.drain(ctx)
+		case <-metricsC:
+			e.flushMu.Lock()
+			e.exportMetrics(ctx)
+			e.flushMu.Unlock()
+		}
+	}
+}
+
+// drain exports full batches until the queue is below BatchSize, then one
+// partial batch (the interval tick's job is emptying stragglers).
+func (e *Exporter) drain(ctx context.Context) {
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+	for {
+		batch := e.take(e.opts.BatchSize)
+		if len(batch) == 0 {
+			return
+		}
+		e.exportBatch(ctx, batch)
+		if len(batch) < e.opts.BatchSize {
+			return
+		}
+	}
+}
+
+func (e *Exporter) exportBatch(ctx context.Context, batch []*obs.TraceJSON) {
+	body, spanCount := EncodeTraces(e.opts.ServiceName, batch)
+	if body == nil {
+		return
+	}
+	e.batches.Add(1)
+	if e.post(ctx, e.opts.Endpoint+"/v1/traces", body) {
+		e.exported.Add(uint64(len(batch)))
+		e.spans.Add(uint64(spanCount))
+	}
+}
+
+func (e *Exporter) exportMetrics(ctx context.Context) {
+	src := e.opts.MetricsSource
+	if src == nil {
+		return
+	}
+	ms := src()
+	if len(ms) == 0 {
+		return
+	}
+	body := EncodeMetrics(e.opts.ServiceName, ms, time.Now())
+	if body == nil {
+		return
+	}
+	e.mexports.Add(1)
+	e.post(ctx, e.opts.Endpoint+"/v1/metrics", body)
+}
+
+// post sends one OTLP/JSON payload; failures count and log (throttled to
+// one line per 10s so a dead collector cannot spam the daemon log).
+func (e *Exporter) post(ctx context.Context, url string, body []byte) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		e.fail(url, err)
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := e.client.Do(req)
+	if err != nil {
+		e.fail(url, err)
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		e.errs.Add(1)
+		e.logThrottled("otlp export rejected", "url", url, "status", resp.StatusCode)
+		return false
+	}
+	return true
+}
+
+func (e *Exporter) fail(url string, err error) {
+	e.errs.Add(1)
+	e.logThrottled("otlp export failed", "url", url, "err", err.Error())
+}
+
+func (e *Exporter) logThrottled(msg string, args ...any) {
+	if e.opts.Logger == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := e.lastErrLog.Load()
+	if now-last < int64(10*time.Second) || !e.lastErrLog.CompareAndSwap(last, now) {
+		return
+	}
+	e.opts.Logger.Warn(msg, args...)
+}
+
+// ---------------------------------------------------------------------------
+// Tail sampling
+
+// TailSampler makes the export decision after a request completes, when its
+// duration and status are known: slow traces and server errors always
+// export, the rest are sampled at Rate. This keeps export volume flat under
+// load while guaranteeing the traces worth debugging are never dropped.
+type TailSampler struct {
+	slow time.Duration // traces at least this slow always export
+	rate float64       // probability for the unremarkable rest
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewTailSampler builds a sampler. rate is clamped to [0,1]; slow <= 0
+// disables the slow-trace bypass; seed makes the probabilistic stream
+// deterministic (tests) — use time-derived seeds in production wiring.
+func NewTailSampler(rate float64, slow time.Duration, seed int64) *TailSampler {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return &TailSampler{slow: slow, rate: rate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Sample reports whether the trace should be exported. Nil sampler exports
+// everything.
+func (s *TailSampler) Sample(t *obs.TraceJSON) bool {
+	if s == nil {
+		return true
+	}
+	if s.slow > 0 && time.Duration(t.DurationMS*float64(time.Millisecond)) >= s.slow {
+		return true
+	}
+	if code, ok := statusCode(t.Attrs); ok && code >= 500 {
+		return true
+	}
+	if s.rate >= 1 {
+		return true
+	}
+	if s.rate <= 0 {
+		return false
+	}
+	s.mu.Lock()
+	v := s.rng.Float64()
+	s.mu.Unlock()
+	return v < s.rate
+}

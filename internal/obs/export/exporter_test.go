@@ -1,0 +1,501 @@
+package export
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chiplet25d/internal/obs"
+)
+
+// testTrace builds a minimal valid exporter input.
+func testTrace(id string) *obs.TraceJSON {
+	return &obs.TraceJSON{
+		RequestID:  id,
+		Route:      "thermal_solve",
+		TraceID:    "0af7651916cd43dd8448eb211c80319c",
+		SpanID:     "b7ad6b7169203331",
+		Start:      time.Unix(1700000000, 0),
+		DurationMS: 12.5,
+		Attrs:      map[string]any{"status": 200, "cache": "miss"},
+		Spans: []*obs.SpanJSON{{
+			Name: "engine.sim", StartMS: 1, DurationMS: 10,
+			Attrs: map[string]any{"fidelity": "full"},
+			Children: []*obs.SpanJSON{
+				{Name: "thermal.cg", StartMS: 2, DurationMS: 8},
+			},
+		}},
+	}
+}
+
+// otlpSink is an httptest collector that records decoded trace POSTs.
+type otlpSink struct {
+	mu      sync.Mutex
+	bodies  [][]byte
+	traces  int // root (SERVER) spans seen
+	spans   int // all spans seen
+	reqIDs  []string
+	srv     *httptest.Server
+	metrics atomic.Int64
+}
+
+func newOTLPSink(t *testing.T) *otlpSink {
+	t.Helper()
+	s := &otlpSink{}
+	s.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		switch r.URL.Path {
+		case "/v1/metrics":
+			s.metrics.Add(1)
+			return
+		case "/v1/traces":
+		default:
+			t.Errorf("unexpected OTLP path %q", r.URL.Path)
+			return
+		}
+		var payload struct {
+			ResourceSpans []struct {
+				ScopeSpans []struct {
+					Spans []struct {
+						Kind       int `json:"kind"`
+						Attributes []struct {
+							Key   string `json:"key"`
+							Value struct {
+								String *string `json:"stringValue"`
+							} `json:"value"`
+						} `json:"attributes"`
+					} `json:"spans"`
+				} `json:"scopeSpans"`
+			} `json:"resourceSpans"`
+		}
+		if err := json.Unmarshal(body, &payload); err != nil {
+			t.Errorf("sink received invalid JSON: %v", err)
+			return
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.bodies = append(s.bodies, body)
+		for _, rs := range payload.ResourceSpans {
+			for _, ss := range rs.ScopeSpans {
+				for _, sp := range ss.Spans {
+					s.spans++
+					if sp.Kind == 2 {
+						s.traces++
+						for _, a := range sp.Attributes {
+							if a.Key == "request.id" && a.Value.String != nil {
+								s.reqIDs = append(s.reqIDs, *a.Value.String)
+							}
+						}
+					}
+				}
+			}
+		}
+	}))
+	t.Cleanup(s.srv.Close)
+	return s
+}
+
+func (s *otlpSink) counts() (traces, spans int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.traces, s.spans
+}
+
+func (s *otlpSink) requestIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.reqIDs...)
+}
+
+// TestQueueDropOldest verifies the backpressure contract on a quiescent
+// exporter (no worker goroutine): a full queue evicts its oldest entry and
+// Flush exports the survivors in FIFO order.
+func TestQueueDropOldest(t *testing.T) {
+	sink := newOTLPSink(t)
+	e := &Exporter{
+		opts: Options{
+			Endpoint:  sink.srv.URL,
+			QueueSize: 4,
+			BatchSize: 2,
+		},
+		client: sink.srv.Client(),
+		notify: make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for i := 0; i < 7; i++ {
+		e.Enqueue(testTrace(fmt.Sprintf("req-%d", i)))
+	}
+	st := e.Stats()
+	if st.Enqueued != 7 {
+		t.Errorf("Enqueued = %d, want 7", st.Enqueued)
+	}
+	if st.Dropped != 3 {
+		t.Errorf("Dropped = %d, want 3 (queue size 4, 7 offered)", st.Dropped)
+	}
+	if st.QueueDepth != 4 || st.QueueHighWater != 4 {
+		t.Errorf("depth/highwater = %d/%d, want 4/4", st.QueueDepth, st.QueueHighWater)
+	}
+	if err := e.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st = e.Stats()
+	if st.Exported != 4 || st.QueueDepth != 0 {
+		t.Errorf("after flush: Exported = %d (want 4), depth = %d (want 0)", st.Exported, st.QueueDepth)
+	}
+	// The three oldest were evicted; survivors arrive oldest-first.
+	want := []string{"req-3", "req-4", "req-5", "req-6"}
+	got := sink.requestIDs()
+	if len(got) != len(want) {
+		t.Fatalf("sink request ids = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sink order[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestExporterConcurrentStress hammers one live exporter from many
+// goroutines (designed to run under -race): concurrent Enqueue, Flush, and
+// Stats, then a Shutdown that must leave every accepted trace accounted for
+// as exported or dropped, with the sink's receive count matching Exported.
+func TestExporterConcurrentStress(t *testing.T) {
+	sink := newOTLPSink(t)
+	e := New(Options{
+		Endpoint:      sink.srv.URL,
+		QueueSize:     64,
+		BatchSize:     8,
+		FlushInterval: 5 * time.Millisecond,
+		HTTPClient:    sink.srv.Client(),
+	})
+	const (
+		workers = 8
+		perW    = 50
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				e.Enqueue(testTrace(fmt.Sprintf("w%d-%d", w, i)))
+				if i%16 == 0 {
+					_ = e.Flush(context.Background())
+				}
+				_ = e.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := e.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	st := e.Stats()
+	if st.Enqueued != workers*perW {
+		t.Errorf("Enqueued = %d, want %d", st.Enqueued, workers*perW)
+	}
+	if st.Exported+st.Dropped != st.Enqueued {
+		t.Errorf("Exported(%d) + Dropped(%d) != Enqueued(%d)", st.Exported, st.Dropped, st.Enqueued)
+	}
+	if st.QueueDepth != 0 {
+		t.Errorf("queue not empty after shutdown: %d", st.QueueDepth)
+	}
+	traces, spans := sink.counts()
+	if uint64(traces) != st.Exported {
+		t.Errorf("sink saw %d traces, exporter counted %d exported", traces, st.Exported)
+	}
+	if uint64(spans) != st.SpansExported {
+		t.Errorf("sink saw %d spans, exporter counted %d", spans, st.SpansExported)
+	}
+	// Shutdown is terminal: later enqueues are silently refused.
+	e.Enqueue(testTrace("late"))
+	if got := e.Stats().QueueDepth; got != 0 {
+		t.Errorf("enqueue after shutdown queued a trace (depth %d)", got)
+	}
+}
+
+// TestShutdownFlushesPartialBatch: traces below BatchSize (so the worker
+// had no reason to export) must still reach the sink on Shutdown — the
+// drain-flush contract the daemon relies on at SIGTERM.
+func TestShutdownFlushesPartialBatch(t *testing.T) {
+	sink := newOTLPSink(t)
+	e := New(Options{
+		Endpoint:      sink.srv.URL,
+		QueueSize:     64,
+		BatchSize:     32,
+		FlushInterval: time.Hour, // the ticker never fires during the test
+		HTTPClient:    sink.srv.Client(),
+	})
+	for i := 0; i < 5; i++ {
+		e.Enqueue(testTrace(fmt.Sprintf("pending-%d", i)))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := e.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if traces, _ := sink.counts(); traces != 5 {
+		t.Errorf("sink saw %d traces after shutdown, want 5", traces)
+	}
+}
+
+// TestTailSamplerDeterminism: two samplers with one seed make identical
+// decisions, slow traces and 5xx traces always export regardless of rate,
+// and the clamped rates behave as all-or-nothing.
+func TestTailSamplerDeterminism(t *testing.T) {
+	mk := func(d float64, status int) *obs.TraceJSON {
+		return &obs.TraceJSON{DurationMS: d, Attrs: map[string]any{"status": status}}
+	}
+	a := NewTailSampler(0.3, 100*time.Millisecond, 42)
+	b := NewTailSampler(0.3, 100*time.Millisecond, 42)
+	var kept int
+	for i := 0; i < 1000; i++ {
+		tr := mk(float64(i%90), 200)
+		da, db := a.Sample(tr), b.Sample(tr)
+		if da != db {
+			t.Fatalf("seeded samplers diverged at trace %d: %v vs %v", i, da, db)
+		}
+		if da {
+			kept++
+		}
+	}
+	if kept < 200 || kept > 400 {
+		t.Errorf("rate 0.3 kept %d/1000, outside [200, 400]", kept)
+	}
+	zero := NewTailSampler(-1, 100*time.Millisecond, 1) // clamps to 0
+	if zero.Sample(mk(50, 200)) {
+		t.Error("rate 0 sampled an unremarkable trace")
+	}
+	if !zero.Sample(mk(150, 200)) {
+		t.Error("slow trace not exported at rate 0")
+	}
+	if !zero.Sample(mk(1, 503)) {
+		t.Error("5xx trace not exported at rate 0")
+	}
+	all := NewTailSampler(7, 0, 1) // clamps to 1
+	if !all.Sample(mk(0, 200)) {
+		t.Error("rate 1 dropped a trace")
+	}
+	var nilSampler *TailSampler
+	if !nilSampler.Sample(mk(0, 200)) {
+		t.Error("nil sampler must export everything")
+	}
+}
+
+// TestEncodeTracesShape decodes the OTLP/JSON payload and checks the parts
+// a collector depends on: resource/scope envelopes, ID propagation, span
+// kinds, parent linkage, attribute mapping, and error status.
+func TestEncodeTracesShape(t *testing.T) {
+	tr := testTrace("req-1")
+	tr.ParentSpanID = "00f067aa0ba902b7" // joined a remote trace
+	body, n := EncodeTraces("chipletd", []*obs.TraceJSON{tr})
+	if n != 3 {
+		t.Fatalf("span count = %d, want 3 (root + 2 obs spans)", n)
+	}
+	var payload struct {
+		ResourceSpans []struct {
+			Resource struct {
+				Attributes []struct {
+					Key   string `json:"key"`
+					Value struct {
+						String *string `json:"stringValue"`
+					} `json:"value"`
+				} `json:"attributes"`
+			} `json:"resource"`
+			ScopeSpans []struct {
+				Scope struct {
+					Name string `json:"name"`
+				} `json:"scope"`
+				Spans []struct {
+					TraceID  string `json:"traceId"`
+					SpanID   string `json:"spanId"`
+					ParentID string `json:"parentSpanId"`
+					Name     string `json:"name"`
+					Kind     int    `json:"kind"`
+					Start    string `json:"startTimeUnixNano"`
+					End      string `json:"endTimeUnixNano"`
+					Status   *struct {
+						Code int `json:"code"`
+					} `json:"status"`
+				} `json:"spans"`
+			} `json:"scopeSpans"`
+		} `json:"resourceSpans"`
+	}
+	if err := json.Unmarshal(body, &payload); err != nil {
+		t.Fatalf("payload not valid JSON: %v", err)
+	}
+	if len(payload.ResourceSpans) != 1 || len(payload.ResourceSpans[0].ScopeSpans) != 1 {
+		t.Fatalf("envelope shape wrong: %s", body)
+	}
+	res := payload.ResourceSpans[0]
+	foundService := false
+	for _, a := range res.Resource.Attributes {
+		if a.Key == "service.name" && a.Value.String != nil && *a.Value.String == "chipletd" {
+			foundService = true
+		}
+	}
+	if !foundService {
+		t.Error("resource missing service.name=chipletd")
+	}
+	spans := res.ScopeSpans[0].Spans
+	if len(spans) != 3 {
+		t.Fatalf("len(spans) = %d, want 3", len(spans))
+	}
+	root := spans[0]
+	if root.Kind != 2 || root.Name != "thermal_solve" {
+		t.Errorf("root span kind/name = %d/%q", root.Kind, root.Name)
+	}
+	if root.TraceID != tr.TraceID || root.SpanID != tr.SpanID || root.ParentID != tr.ParentSpanID {
+		t.Errorf("root IDs not propagated: %+v", root)
+	}
+	if root.Status == nil || root.Status.Code != 1 {
+		t.Errorf("root status = %+v, want OK (1) for HTTP 200", root.Status)
+	}
+	sim, cg := spans[1], spans[2]
+	if sim.Kind != 1 || sim.ParentID != tr.SpanID {
+		t.Errorf("engine.sim span not parented on root: %+v", sim)
+	}
+	if cg.ParentID != sim.SpanID {
+		t.Errorf("thermal.cg span not parented on engine.sim: parent %q, sim id %q", cg.ParentID, sim.SpanID)
+	}
+	if sim.TraceID != tr.TraceID || cg.TraceID != tr.TraceID {
+		t.Error("child spans carry a different trace ID")
+	}
+	if sim.SpanID == cg.SpanID || sim.SpanID == tr.SpanID {
+		t.Error("derived span IDs collide")
+	}
+
+	// 5xx maps to status ERROR.
+	errTr := testTrace("req-err")
+	errTr.Attrs["status"] = 503
+	body, _ = EncodeTraces("chipletd", []*obs.TraceJSON{errTr})
+	if err := json.Unmarshal(body, &payload); err != nil {
+		t.Fatal(err)
+	}
+	if st := payload.ResourceSpans[0].ScopeSpans[0].Spans[0].Status; st == nil || st.Code != 2 {
+		t.Errorf("503 root status = %+v, want ERROR (2)", st)
+	}
+
+	// Traces without propagation identity are skipped, not mis-encoded.
+	if b, n := EncodeTraces("chipletd", []*obs.TraceJSON{{Route: "x"}}); b != nil || n != 0 {
+		t.Errorf("identity-less trace encoded: %s", b)
+	}
+}
+
+// TestEncodeMetricsShape checks the three family mappings.
+func TestEncodeMetricsShape(t *testing.T) {
+	ms := []Metric{
+		{Name: "chipletd_requests_total", Type: TypeCounter, Points: []Point{
+			{Attrs: [][2]string{{"endpoint", "thermal_solve"}, {"code", "200"}}, Value: 12},
+		}},
+		{Name: "chipletd_queue_depth", Type: TypeGauge, Points: []Point{{Value: 3}}},
+		{Name: "chipletd_solve_latency_seconds", Type: TypeHistogram, Points: []Point{
+			{Hist: &HistPoint{Bounds: []float64{0.1, 1}, Counts: []uint64{5, 2, 1}, Sum: 3.5, Count: 8}},
+		}},
+	}
+	body := EncodeMetrics("chipletd", ms, time.Unix(1700000000, 0))
+	var payload struct {
+		ResourceMetrics []struct {
+			ScopeMetrics []struct {
+				Metrics []struct {
+					Name string `json:"name"`
+					Sum  *struct {
+						Temporality int  `json:"aggregationTemporality"`
+						IsMonotonic bool `json:"isMonotonic"`
+						DataPoints  []struct {
+							AsDouble float64 `json:"asDouble"`
+						} `json:"dataPoints"`
+					} `json:"sum"`
+					Gauge *struct {
+						DataPoints []struct {
+							AsDouble float64 `json:"asDouble"`
+						} `json:"dataPoints"`
+					} `json:"gauge"`
+					Histogram *struct {
+						DataPoints []struct {
+							Count        string    `json:"count"`
+							Sum          float64   `json:"sum"`
+							BucketCounts []string  `json:"bucketCounts"`
+							Bounds       []float64 `json:"explicitBounds"`
+						} `json:"dataPoints"`
+					} `json:"histogram"`
+				} `json:"metrics"`
+			} `json:"scopeMetrics"`
+		} `json:"resourceMetrics"`
+	}
+	if err := json.Unmarshal(body, &payload); err != nil {
+		t.Fatalf("metrics payload not valid JSON: %v", err)
+	}
+	metrics := payload.ResourceMetrics[0].ScopeMetrics[0].Metrics
+	if len(metrics) != 3 {
+		t.Fatalf("len(metrics) = %d, want 3", len(metrics))
+	}
+	if s := metrics[0].Sum; s == nil || !s.IsMonotonic || s.Temporality != 2 || s.DataPoints[0].AsDouble != 12 {
+		t.Errorf("counter mapping wrong: %+v", metrics[0])
+	}
+	if g := metrics[1].Gauge; g == nil || g.DataPoints[0].AsDouble != 3 {
+		t.Errorf("gauge mapping wrong: %+v", metrics[1])
+	}
+	h := metrics[2].Histogram
+	if h == nil || len(h.DataPoints) != 1 {
+		t.Fatalf("histogram mapping wrong: %+v", metrics[2])
+	}
+	dp := h.DataPoints[0]
+	if dp.Count != "8" || dp.Sum != 3.5 || len(dp.BucketCounts) != 3 || len(dp.Bounds) != 2 {
+		t.Errorf("histogram point wrong: %+v", dp)
+	}
+}
+
+// TestDisabledExporterZeroAlloc pins the acceptance bound: with export
+// disabled (nil exporter — the Endpoint=="" wiring), the per-request
+// telemetry calls must not allocate at all.
+func TestDisabledExporterZeroAlloc(t *testing.T) {
+	var e *Exporter
+	tr := testTrace("req")
+	if allocs := testing.AllocsPerRun(100, func() {
+		e.Enqueue(tr)
+		_ = e.Stats()
+	}); allocs != 0 {
+		t.Errorf("disabled exporter allocates %v objects per request", allocs)
+	}
+	if err := e.Flush(context.Background()); err != nil {
+		t.Errorf("nil Flush: %v", err)
+	}
+	if err := e.Shutdown(context.Background()); err != nil {
+		t.Errorf("nil Shutdown: %v", err)
+	}
+}
+
+// TestExportErrorsCounted: a rejecting collector increments Errors, the
+// exporter keeps running, and nothing is retried into a tight loop.
+func TestExportErrorsCounted(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	e := New(Options{Endpoint: srv.URL, HTTPClient: srv.Client()})
+	e.Enqueue(testTrace("req"))
+	if err := e.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Errors == 0 {
+		t.Error("rejected POST not counted in Errors")
+	}
+	if st.Exported != 0 {
+		t.Errorf("Exported = %d after a rejected POST", st.Exported)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = e.Shutdown(ctx)
+}

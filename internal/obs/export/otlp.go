@@ -1,0 +1,433 @@
+// Package export is chipletd's dependency-free telemetry egress: it encodes
+// the obs layer's request traces and the metrics registry's families as
+// OTLP/JSON (the OpenTelemetry protocol's proto3-JSON mapping, stable since
+// OTLP 1.0) and ships them over plain HTTP to a collector's /v1/traces and
+// /v1/metrics endpoints. No OpenTelemetry SDK is linked: the subset of the
+// schema chipletd emits — resource/scope envelopes, spans with attributes
+// and status, sums, gauges, and explicit-bounds histograms — is small
+// enough to hand-roll, which keeps the solve path free of third-party
+// instrumentation costs and the module free of new dependencies.
+//
+// The exporter itself (exporter.go) is a bounded async batch queue with
+// tail-based sampling: slow and failed traces always export, the rest are
+// probabilistically sampled, and under backpressure the oldest queued trace
+// is dropped so the serve path never blocks on telemetry.
+package export
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+
+	"chiplet25d/internal/obs"
+)
+
+// otlpAttr is the OTLP common.v1.KeyValue JSON shape.
+type otlpAttr struct {
+	Key   string    `json:"key"`
+	Value otlpValue `json:"value"`
+}
+
+// otlpValue is common.v1.AnyValue restricted to the types obs attributes
+// actually carry.
+type otlpValue struct {
+	String *string  `json:"stringValue,omitempty"`
+	Bool   *bool    `json:"boolValue,omitempty"`
+	Int    *string  `json:"intValue,omitempty"` // proto3 JSON: int64 as string
+	Double *float64 `json:"doubleValue,omitempty"`
+}
+
+// anyValue maps a Go attribute value onto the OTLP AnyValue union.
+func anyValue(v any) otlpValue {
+	switch x := v.(type) {
+	case string:
+		return otlpValue{String: &x}
+	case bool:
+		return otlpValue{Bool: &x}
+	case int:
+		s := strconv.FormatInt(int64(x), 10)
+		return otlpValue{Int: &s}
+	case int64:
+		s := strconv.FormatInt(x, 10)
+		return otlpValue{Int: &s}
+	case float64:
+		return otlpValue{Double: &x}
+	default:
+		s := fmt.Sprint(v)
+		return otlpValue{String: &s}
+	}
+}
+
+func attrList(m map[string]any, keys []string) []otlpAttr {
+	if len(keys) == 0 {
+		return nil
+	}
+	out := make([]otlpAttr, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, otlpAttr{Key: k, Value: anyValue(m[k])})
+	}
+	return out
+}
+
+// sortedKeys returns the map's keys in deterministic (sorted) order so
+// encoded payloads are byte-stable for a given trace.
+func sortedKeys(m map[string]any) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ { // insertion sort: attr maps are tiny
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// otlpSpan is trace.v1.Span in proto3-JSON form.
+type otlpSpan struct {
+	TraceID      string      `json:"traceId"`
+	SpanID       string      `json:"spanId"`
+	ParentSpanID string      `json:"parentSpanId,omitempty"`
+	Name         string      `json:"name"`
+	Kind         int         `json:"kind"`
+	Start        string      `json:"startTimeUnixNano"`
+	End          string      `json:"endTimeUnixNano"`
+	Attributes   []otlpAttr  `json:"attributes,omitempty"`
+	Status       *otlpStatus `json:"status,omitempty"`
+}
+
+type otlpStatus struct {
+	Code    int    `json:"code"` // 0 unset, 1 ok, 2 error
+	Message string `json:"message,omitempty"`
+}
+
+const (
+	spanKindInternal = 1
+	spanKindServer   = 2
+)
+
+type otlpScope struct {
+	Name    string `json:"name"`
+	Version string `json:"version,omitempty"`
+}
+
+type otlpResource struct {
+	Attributes []otlpAttr `json:"attributes,omitempty"`
+}
+
+type otlpScopeSpans struct {
+	Scope otlpScope  `json:"scope"`
+	Spans []otlpSpan `json:"spans"`
+}
+
+type otlpResourceSpans struct {
+	Resource   otlpResource     `json:"resource"`
+	ScopeSpans []otlpScopeSpans `json:"scopeSpans"`
+}
+
+// tracePayload is the POST /v1/traces body
+// (trace.v1.ExportTraceServiceRequest).
+type tracePayload struct {
+	ResourceSpans []otlpResourceSpans `json:"resourceSpans"`
+}
+
+const scopeName = "chiplet25d/internal/obs"
+
+func resourceFor(serviceName string) otlpResource {
+	return otlpResource{Attributes: []otlpAttr{
+		{Key: "service.name", Value: anyValue(serviceName)},
+	}}
+}
+
+// deriveSpanID deterministically derives a child span ID from the trace's
+// root span ID and the span's visit index, via the SplitMix64 finalizer.
+// Exported IDs must be unique within the trace and stable for a given
+// snapshot; they need no cryptographic randomness beyond the root's.
+func deriveSpanID(rootSpanID string, index int) string {
+	seed := uint64(0x9e3779b97f4a7c15)
+	if b, err := hex.DecodeString(rootSpanID); err == nil && len(b) == 8 {
+		seed = uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+			uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+	}
+	x := seed ^ (uint64(index+1) * 0xbf58476d1ce4e5b9)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	var out [8]byte
+	for i := 0; i < 8; i++ {
+		out[i] = byte(x >> (56 - 8*i))
+	}
+	id := hex.EncodeToString(out[:])
+	if allZeroHex(id) {
+		return "0000000000000001"
+	}
+	return id
+}
+
+func allZeroHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+func unixNano(t time.Time, offsetMS float64) string {
+	return strconv.FormatInt(t.UnixNano()+int64(offsetMS*float64(time.Millisecond)), 10)
+}
+
+// EncodeTraces encodes completed request traces as one OTLP/JSON
+// ExportTraceServiceRequest. Each trace becomes a SERVER root span named
+// after its route (parented on the propagated remote span, when any)
+// carrying the request-level attributes, with the obs span tree below it as
+// INTERNAL spans. Traces without a trace ID (pre-propagation snapshots fed
+// directly by tests) are skipped.
+func EncodeTraces(serviceName string, traces []*obs.TraceJSON) ([]byte, int) {
+	var spans []otlpSpan
+	for _, t := range traces {
+		if t == nil || t.TraceID == "" || t.SpanID == "" {
+			continue
+		}
+		root := otlpSpan{
+			TraceID:      t.TraceID,
+			SpanID:       t.SpanID,
+			ParentSpanID: t.ParentSpanID,
+			Name:         t.Route,
+			Kind:         spanKindServer,
+			Start:        unixNano(t.Start, 0),
+			End:          unixNano(t.Start, t.DurationMS),
+			Attributes: append(attrList(t.Attrs, sortedKeys(t.Attrs)),
+				otlpAttr{Key: "request.id", Value: anyValue(t.RequestID)}),
+		}
+		if code, ok := statusCode(t.Attrs); ok {
+			st := &otlpStatus{Code: 1}
+			if code >= 500 {
+				st = &otlpStatus{Code: 2, Message: fmt.Sprintf("HTTP %d", code)}
+			}
+			root.Status = st
+		}
+		spans = append(spans, root)
+		idx := 0
+		var walk func(parent string, ns []*obs.SpanJSON)
+		walk = func(parent string, ns []*obs.SpanJSON) {
+			for _, n := range ns {
+				id := deriveSpanID(t.SpanID, idx)
+				idx++
+				spans = append(spans, otlpSpan{
+					TraceID:      t.TraceID,
+					SpanID:       id,
+					ParentSpanID: parent,
+					Name:         n.Name,
+					Kind:         spanKindInternal,
+					Start:        unixNano(t.Start, n.StartMS),
+					End:          unixNano(t.Start, n.StartMS+n.DurationMS),
+					Attributes:   attrList(n.Attrs, sortedKeys(n.Attrs)),
+				})
+				walk(id, n.Children)
+			}
+		}
+		walk(t.SpanID, t.Spans)
+	}
+	if len(spans) == 0 {
+		return nil, 0
+	}
+	payload := tracePayload{ResourceSpans: []otlpResourceSpans{{
+		Resource:   resourceFor(serviceName),
+		ScopeSpans: []otlpScopeSpans{{Scope: otlpScope{Name: scopeName}, Spans: spans}},
+	}}}
+	b, err := json.Marshal(payload)
+	if err != nil { // unreachable: the payload is plain data
+		return nil, 0
+	}
+	return b, len(spans)
+}
+
+// statusCode extracts the HTTP status a trace's middleware recorded.
+func statusCode(attrs map[string]any) (int, bool) {
+	v, ok := attrs["status"]
+	if !ok {
+		return 0, false
+	}
+	switch x := v.(type) {
+	case int:
+		return x, true
+	case int64:
+		return int(x), true
+	case float64:
+		return int(x), true
+	}
+	return 0, false
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+// MetricType tags a metric family snapshot for OTLP mapping.
+type MetricType int
+
+const (
+	TypeCounter MetricType = iota
+	TypeGauge
+	TypeHistogram
+)
+
+// HistPoint is one histogram data point: per-bucket (non-cumulative) counts
+// under ascending explicit bounds, with the +Inf bucket last.
+type HistPoint struct {
+	Bounds []float64 // explicit upper bounds, +Inf implicit
+	Counts []uint64  // len(Bounds)+1: per-bound counts then the +Inf count
+	Sum    float64
+	Count  uint64
+}
+
+// Point is one data point of a metric family snapshot.
+type Point struct {
+	Attrs [][2]string // label name/value pairs, deterministic order
+	Value float64     // counter or gauge value
+	Hist  *HistPoint  // set for histogram families
+}
+
+// Metric is one family snapshot, the exporter's metrics input. The serve
+// layer adapts its registry snapshot into this shape so export stays free
+// of serve dependencies.
+type Metric struct {
+	Name        string
+	Description string
+	Type        MetricType
+	Points      []Point
+}
+
+type otlpNumberPoint struct {
+	Attributes []otlpAttr `json:"attributes,omitempty"`
+	TimeNano   string     `json:"timeUnixNano"`
+	AsDouble   float64    `json:"asDouble"`
+}
+
+type otlpHistPoint struct {
+	Attributes   []otlpAttr `json:"attributes,omitempty"`
+	TimeNano     string     `json:"timeUnixNano"`
+	Count        string     `json:"count"`
+	Sum          float64    `json:"sum"`
+	BucketCounts []string   `json:"bucketCounts"`
+	Bounds       []float64  `json:"explicitBounds"`
+}
+
+type otlpSum struct {
+	DataPoints  []otlpNumberPoint `json:"dataPoints"`
+	Temporality int               `json:"aggregationTemporality"` // 2 = cumulative
+	IsMonotonic bool              `json:"isMonotonic"`
+}
+
+type otlpGauge struct {
+	DataPoints []otlpNumberPoint `json:"dataPoints"`
+}
+
+type otlpHistogram struct {
+	DataPoints  []otlpHistPoint `json:"dataPoints"`
+	Temporality int             `json:"aggregationTemporality"`
+}
+
+type otlpMetric struct {
+	Name        string         `json:"name"`
+	Description string         `json:"description,omitempty"`
+	Sum         *otlpSum       `json:"sum,omitempty"`
+	Gauge       *otlpGauge     `json:"gauge,omitempty"`
+	Histogram   *otlpHistogram `json:"histogram,omitempty"`
+}
+
+type otlpScopeMetrics struct {
+	Scope   otlpScope    `json:"scope"`
+	Metrics []otlpMetric `json:"metrics"`
+}
+
+type otlpResourceMetrics struct {
+	Resource     otlpResource       `json:"resource"`
+	ScopeMetrics []otlpScopeMetrics `json:"scopeMetrics"`
+}
+
+// metricsPayload is the POST /v1/metrics body
+// (metrics.v1.ExportMetricsServiceRequest).
+type metricsPayload struct {
+	ResourceMetrics []otlpResourceMetrics `json:"resourceMetrics"`
+}
+
+const temporalityCumulative = 2
+
+func pairAttrs(pairs [][2]string) []otlpAttr {
+	if len(pairs) == 0 {
+		return nil
+	}
+	out := make([]otlpAttr, 0, len(pairs))
+	for _, p := range pairs {
+		out = append(out, otlpAttr{Key: p[0], Value: anyValue(p[1])})
+	}
+	return out
+}
+
+// EncodeMetrics encodes one registry snapshot as an OTLP/JSON
+// ExportMetricsServiceRequest taken at time now.
+func EncodeMetrics(serviceName string, ms []Metric, now time.Time) []byte {
+	ts := strconv.FormatInt(now.UnixNano(), 10)
+	out := make([]otlpMetric, 0, len(ms))
+	for _, m := range ms {
+		om := otlpMetric{Name: m.Name, Description: m.Description}
+		switch m.Type {
+		case TypeHistogram:
+			pts := make([]otlpHistPoint, 0, len(m.Points))
+			for _, p := range m.Points {
+				if p.Hist == nil {
+					continue
+				}
+				bc := make([]string, 0, len(p.Hist.Counts))
+				for _, c := range p.Hist.Counts {
+					bc = append(bc, strconv.FormatUint(c, 10))
+				}
+				sum := p.Hist.Sum
+				if math.IsNaN(sum) || math.IsInf(sum, 0) {
+					sum = 0
+				}
+				pts = append(pts, otlpHistPoint{
+					Attributes:   pairAttrs(p.Attrs),
+					TimeNano:     ts,
+					Count:        strconv.FormatUint(p.Hist.Count, 10),
+					Sum:          sum,
+					BucketCounts: bc,
+					Bounds:       p.Hist.Bounds,
+				})
+			}
+			om.Histogram = &otlpHistogram{DataPoints: pts, Temporality: temporalityCumulative}
+		case TypeCounter:
+			pts := make([]otlpNumberPoint, 0, len(m.Points))
+			for _, p := range m.Points {
+				pts = append(pts, otlpNumberPoint{Attributes: pairAttrs(p.Attrs), TimeNano: ts, AsDouble: p.Value})
+			}
+			om.Sum = &otlpSum{DataPoints: pts, Temporality: temporalityCumulative, IsMonotonic: true}
+		default:
+			pts := make([]otlpNumberPoint, 0, len(m.Points))
+			for _, p := range m.Points {
+				pts = append(pts, otlpNumberPoint{Attributes: pairAttrs(p.Attrs), TimeNano: ts, AsDouble: p.Value})
+			}
+			om.Gauge = &otlpGauge{DataPoints: pts}
+		}
+		out = append(out, om)
+	}
+	payload := metricsPayload{ResourceMetrics: []otlpResourceMetrics{{
+		Resource:     resourceFor(serviceName),
+		ScopeMetrics: []otlpScopeMetrics{{Scope: otlpScope{Name: scopeName}, Metrics: out}},
+	}}}
+	b, err := json.Marshal(payload)
+	if err != nil { // unreachable: plain data
+		return nil
+	}
+	return b
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"strings"
+)
+
+// W3C Trace Context (https://www.w3.org/TR/trace-context/) propagation:
+// chipletd joins an incoming distributed trace by parsing the request's
+// traceparent header, and stamps its own identity on the response so the
+// caller (a future shard router, a load generator, an upstream gateway) can
+// line up its spans with the daemon's exported ones. Everything here is
+// dependency-free string handling; the OTLP wire format lives in
+// internal/obs/export.
+
+// NewTraceID returns a fresh random 16-byte trace ID as 32 lowercase hex
+// characters, never all-zero (the invalid value in the spec).
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a fixed non-zero
+		// fallback keeps the daemon serving rather than panicking.
+		return "00000000000000000000000000000001"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewSpanID returns a fresh random 8-byte span ID as 16 lowercase hex
+// characters, never all-zero.
+func NewSpanID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000001"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// isLowerHex reports whether s is exactly n lowercase hex characters.
+func isLowerHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// allZero reports whether s consists only of '0' characters.
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseTraceparent parses a W3C traceparent header value into its trace ID,
+// parent span ID, and sampled flag. ok is false for malformed values —
+// wrong field count or width, uppercase hex, the forbidden version 0xff, or
+// all-zero IDs — in which case the caller should start a fresh trace rather
+// than propagate garbage. Versions other than 00 are accepted per the
+// spec's forward-compatibility rule (parse the known prefix, ignore extra
+// fields).
+func ParseTraceparent(h string) (traceID, parentID string, sampled bool, ok bool) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) < 4 {
+		return "", "", false, false
+	}
+	ver, tid, pid, flags := parts[0], parts[1], parts[2], parts[3]
+	if !isLowerHex(ver, 2) || ver == "ff" {
+		return "", "", false, false
+	}
+	if ver == "00" && len(parts) != 4 {
+		return "", "", false, false
+	}
+	if !isLowerHex(tid, 32) || allZero(tid) {
+		return "", "", false, false
+	}
+	if !isLowerHex(pid, 16) || allZero(pid) {
+		return "", "", false, false
+	}
+	if !isLowerHex(flags, 2) {
+		return "", "", false, false
+	}
+	fb, _ := hex.DecodeString(flags)
+	return tid, pid, fb[0]&0x01 != 0, true
+}
+
+// FormatTraceparent renders a version-00 traceparent header value.
+func FormatTraceparent(traceID, spanID string, sampled bool) string {
+	flags := "00"
+	if sampled {
+		flags = "01"
+	}
+	return "00-" + traceID + "-" + spanID + "-" + flags
+}

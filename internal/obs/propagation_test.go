@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	const (
+		tid = "0af7651916cd43dd8448eb211c80319c"
+		sid = "00f067aa0ba902b7"
+	)
+	valid := []struct {
+		header  string
+		sampled bool
+	}{
+		{"00-" + tid + "-" + sid + "-01", true},
+		{"00-" + tid + "-" + sid + "-00", false},
+		{"00-" + tid + "-" + sid + "-03", true},       // other flag bits set
+		{"01-" + tid + "-" + sid + "-01-extra", true}, // future version, extra field
+		{"cc-" + tid + "-" + sid + "-01", true},       // any non-ff version
+	}
+	for _, tc := range valid {
+		gotT, gotS, sampled, ok := ParseTraceparent(tc.header)
+		if !ok {
+			t.Errorf("ParseTraceparent(%q) rejected a valid header", tc.header)
+			continue
+		}
+		if gotT != tid || gotS != sid || sampled != tc.sampled {
+			t.Errorf("ParseTraceparent(%q) = (%q, %q, %v)", tc.header, gotT, gotS, sampled)
+		}
+	}
+
+	invalid := []string{
+		"",
+		"00",
+		"00-" + tid + "-" + sid,               // missing flags
+		"00-" + tid + "-" + sid + "-01-extra", // version 00 forbids extras
+		"ff-" + tid + "-" + sid + "-01",       // version ff forbidden
+		"00-" + strings.ToUpper(tid) + "-" + sid + "-01",    // uppercase hex
+		"00-" + tid[:31] + "-" + sid + "-01",                // short trace id
+		"00-" + tid + "-" + sid[:15] + "-01",                // short span id
+		"00-" + strings.Repeat("0", 32) + "-" + sid + "-01", // all-zero trace id
+		"00-" + tid + "-" + strings.Repeat("0", 16) + "-01", // all-zero span id
+		"00-" + tid + "-" + sid + "-0x",                     // bad flags
+		"0-" + tid + "-" + sid + "-01",                      // short version
+	}
+	for _, h := range invalid {
+		if _, _, _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted an invalid header", h)
+		}
+	}
+}
+
+func TestFormatTraceparentRoundTrip(t *testing.T) {
+	tid, sid := NewTraceID(), NewSpanID()
+	h := FormatTraceparent(tid, sid, true)
+	gotT, gotS, sampled, ok := ParseTraceparent(h)
+	if !ok || gotT != tid || gotS != sid || !sampled {
+		t.Fatalf("round trip failed: %q -> (%q, %q, %v, %v)", h, gotT, gotS, sampled, ok)
+	}
+	h = FormatTraceparent(tid, sid, false)
+	if _, _, sampled, ok := ParseTraceparent(h); !ok || sampled {
+		t.Fatalf("unsampled round trip failed: %q", h)
+	}
+}
+
+func TestNewIDsWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		tid, sid := NewTraceID(), NewSpanID()
+		if len(tid) != 32 || len(sid) != 16 {
+			t.Fatalf("id lengths = %d/%d", len(tid), len(sid))
+		}
+		if !isLowerHex(tid, 32) || !isLowerHex(sid, 16) {
+			t.Fatalf("ids not lowercase hex: %q %q", tid, sid)
+		}
+		if allZero(tid) || allZero(sid) {
+			t.Fatal("generated an all-zero id")
+		}
+		if seen[tid] {
+			t.Fatalf("trace id collision: %q", tid)
+		}
+		seen[tid] = true
+	}
+}
+
+// TestTraceRemoteParent: adopting a caller's trace context keeps the local
+// span ID but joins the caller's trace, and the outgoing header carries the
+// local span as the new parent.
+func TestTraceRemoteParent(t *testing.T) {
+	tr := NewTrace("req", "route")
+	own := tr.Snapshot()
+	if own.TraceID == "" || own.SpanID == "" || !own.Sampled {
+		t.Fatalf("fresh trace missing identity: %+v", own)
+	}
+	if own.ParentSpanID != "" {
+		t.Errorf("fresh trace has a parent: %q", own.ParentSpanID)
+	}
+
+	const (
+		remoteT = "0af7651916cd43dd8448eb211c80319c"
+		remoteS = "00f067aa0ba902b7"
+	)
+	tr.SetRemoteParent(remoteT, remoteS, true)
+	snap := tr.Snapshot()
+	if snap.TraceID != remoteT {
+		t.Errorf("TraceID = %q, want adopted %q", snap.TraceID, remoteT)
+	}
+	if snap.ParentSpanID != remoteS {
+		t.Errorf("ParentSpanID = %q, want %q", snap.ParentSpanID, remoteS)
+	}
+	if snap.SpanID != own.SpanID {
+		t.Errorf("SpanID changed on adoption: %q -> %q", own.SpanID, snap.SpanID)
+	}
+	header := tr.Traceparent()
+	gotT, gotS, _, ok := ParseTraceparent(header)
+	if !ok || gotT != remoteT || gotS != snap.SpanID {
+		t.Errorf("outgoing traceparent %q, want trace %s parented on %s", header, remoteT, snap.SpanID)
+	}
+}

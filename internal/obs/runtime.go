@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Runtime health collection via the runtime/metrics package: goroutine
+// count, heap size, GC activity, and the two latency distributions that
+// matter for a compute daemon — GC pause time (stop-the-world stalls inside
+// a CG solve) and scheduler latency (queue delay before a worker goroutine
+// runs). The runtime's native histograms use dynamic bucket layouts, so the
+// collector rebuckets them into fixed bounds the exposition layer can
+// render stably.
+
+// RuntimeHist is one rebucketed runtime distribution: per-bound counts with
+// the overflow count last. Sum is midpoint-approximated (the runtime does
+// not expose exact sums for its histograms).
+type RuntimeHist struct {
+	Bounds []float64
+	Counts []uint64 // len(Bounds)+1
+	Sum    float64
+	Count  uint64
+}
+
+// RuntimeStats is one snapshot of Go runtime health.
+type RuntimeStats struct {
+	Goroutines   float64
+	HeapBytes    float64
+	HeapObjects  float64
+	GCCycles     float64
+	GCPause      RuntimeHist
+	SchedLatency RuntimeHist
+}
+
+// runtimeHistBounds are the fixed upper bounds (seconds) both latency
+// histograms rebucket into: 1µs .. 100ms decades with a 2.5/5 split.
+var runtimeHistBounds = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1,
+}
+
+// Names read from runtime/metrics; resolved against All() at construction
+// so a renamed metric degrades to zero rather than panicking on Read.
+const (
+	nameGoroutines  = "/sched/goroutines:goroutines"
+	nameHeapBytes   = "/memory/classes/heap/objects:bytes"
+	nameHeapObjects = "/gc/heap/objects:objects"
+	nameGCCycles    = "/gc/cycles/total:gc-cycles"
+	nameGCPause     = "/gc/pauses:seconds"
+	nameSchedLat    = "/sched/latencies:seconds"
+)
+
+// RuntimeCollector reads runtime/metrics with a short cache so concurrent
+// scrapes (Prometheus + the OTLP metrics ticker) cost one runtime read per
+// interval, not one per caller.
+type RuntimeCollector struct {
+	samples []metrics.Sample
+	idx     map[string]int // name → samples index, only names the runtime knows
+
+	mu    sync.Mutex
+	last  time.Time
+	stats RuntimeStats
+	ttl   time.Duration
+}
+
+// NewRuntimeCollector builds a collector caching reads for ttl (default
+// 1s when ttl <= 0).
+func NewRuntimeCollector(ttl time.Duration) *RuntimeCollector {
+	if ttl <= 0 {
+		ttl = time.Second
+	}
+	known := make(map[string]bool)
+	for _, d := range metrics.All() {
+		known[d.Name] = true
+	}
+	c := &RuntimeCollector{idx: make(map[string]int), ttl: ttl}
+	for _, name := range []string{
+		nameGoroutines, nameHeapBytes, nameHeapObjects,
+		nameGCCycles, nameGCPause, nameSchedLat,
+	} {
+		if known[name] {
+			c.idx[name] = len(c.samples)
+			c.samples = append(c.samples, metrics.Sample{Name: name})
+		}
+	}
+	return c
+}
+
+// Stats returns the current runtime snapshot, reading the runtime at most
+// once per ttl.
+func (c *RuntimeCollector) Stats() RuntimeStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	if now.Sub(c.last) < c.ttl && !c.last.IsZero() {
+		return c.stats
+	}
+	metrics.Read(c.samples)
+	c.stats = RuntimeStats{
+		Goroutines:   c.scalar(nameGoroutines),
+		HeapBytes:    c.scalar(nameHeapBytes),
+		HeapObjects:  c.scalar(nameHeapObjects),
+		GCCycles:     c.scalar(nameGCCycles),
+		GCPause:      c.hist(nameGCPause),
+		SchedLatency: c.hist(nameSchedLat),
+	}
+	c.last = now
+	return c.stats
+}
+
+func (c *RuntimeCollector) scalar(name string) float64 {
+	i, ok := c.idx[name]
+	if !ok {
+		return 0
+	}
+	switch v := c.samples[i].Value; v.Kind() {
+	case metrics.KindUint64:
+		return float64(v.Uint64())
+	case metrics.KindFloat64:
+		return v.Float64()
+	}
+	return 0
+}
+
+func (c *RuntimeCollector) hist(name string) RuntimeHist {
+	out := RuntimeHist{Bounds: runtimeHistBounds, Counts: make([]uint64, len(runtimeHistBounds)+1)}
+	i, ok := c.idx[name]
+	if !ok {
+		return out
+	}
+	v := c.samples[i].Value
+	if v.Kind() != metrics.KindFloat64Histogram {
+		return out
+	}
+	return rebucket(v.Float64Histogram())
+}
+
+// rebucket folds a runtime Float64Histogram (counts[i] covers
+// [buckets[i], buckets[i+1])) into the fixed bounds. Each source bucket is
+// assigned by its upper edge — conservative: a stall never lands in a
+// smaller fixed bucket than it belongs to.
+func rebucket(h *metrics.Float64Histogram) RuntimeHist {
+	out := RuntimeHist{Bounds: runtimeHistBounds, Counts: make([]uint64, len(runtimeHistBounds)+1)}
+	if h == nil {
+		return out
+	}
+	for i, n := range h.Counts {
+		if n == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		slot := len(runtimeHistBounds) // overflow by default
+		for j, b := range runtimeHistBounds {
+			if hi <= b {
+				slot = j
+				break
+			}
+		}
+		out.Counts[slot] += n
+		out.Count += n
+		mid := (lo + hi) / 2
+		if math.IsInf(hi, +1) {
+			mid = lo
+		}
+		if math.IsInf(lo, -1) {
+			mid = hi
+		}
+		if !math.IsInf(mid, 0) && !math.IsNaN(mid) {
+			out.Sum += mid * float64(n)
+		}
+	}
+	return out
+}

@@ -65,11 +65,45 @@ type Trace struct {
 	spans   []*Span
 	attrs   []Attr
 	dropped int
+
+	// W3C trace-context identity. traceID/spanID identify this request's
+	// root ("server") span in the distributed trace; remoteParent is the
+	// caller's span ID when the request carried a valid traceparent header,
+	// "" when this process started the trace. sampled mirrors the incoming
+	// sampled flag (true for locally started traces — the tail sampler makes
+	// the final export decision after the request completes).
+	traceID      string
+	spanID       string
+	remoteParent string
+	sampled      bool
 }
 
-// NewTrace starts a trace for one request.
+// NewTrace starts a trace for one request with a fresh W3C trace identity.
 func NewTrace(id, route string) *Trace {
-	return &Trace{ID: id, Route: route, begin: time.Now()}
+	return &Trace{
+		ID: id, Route: route, begin: time.Now(),
+		traceID: NewTraceID(), spanID: NewSpanID(), sampled: true,
+	}
+}
+
+// SetRemoteParent joins this trace to an incoming distributed trace: the
+// request-level span keeps its own span ID but adopts the caller's trace ID
+// and records the caller's span as its parent. Must be called before spans
+// are exported (in practice: in the middleware, before the handler runs).
+func (t *Trace) SetRemoteParent(traceID, parentSpanID string, sampled bool) {
+	t.mu.Lock()
+	t.traceID = traceID
+	t.remoteParent = parentSpanID
+	t.sampled = sampled
+	t.mu.Unlock()
+}
+
+// Traceparent renders the outgoing traceparent header value for this
+// request: the (possibly adopted) trace ID and this request's root span ID.
+func (t *Trace) Traceparent() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return FormatTraceparent(t.traceID, t.spanID, t.sampled)
 }
 
 // SetAttr records a request-level attribute (cache outcome, status code).
@@ -156,10 +190,16 @@ type SpanJSON struct {
 }
 
 // TraceJSON is the serialized form of one request trace: the flight
-// recorder entry and the ?trace=1 response payload.
+// recorder entry, the ?trace=1 response payload, and the exporter's input.
+// TraceID/SpanID/ParentSpanID carry the W3C trace-context identity (hex;
+// ParentSpanID only when the request joined a remote trace).
 type TraceJSON struct {
 	RequestID    string         `json:"request_id"`
 	Route        string         `json:"route"`
+	TraceID      string         `json:"trace_id,omitempty"`
+	SpanID       string         `json:"span_id,omitempty"`
+	ParentSpanID string         `json:"parent_span_id,omitempty"`
+	Sampled      bool           `json:"sampled,omitempty"`
 	Start        time.Time      `json:"start"`
 	DurationMS   float64        `json:"duration_ms"`
 	InProgress   bool           `json:"in_progress,omitempty"`
@@ -194,6 +234,10 @@ func (t *Trace) Snapshot() *TraceJSON {
 	out := &TraceJSON{
 		RequestID:    t.ID,
 		Route:        t.Route,
+		TraceID:      t.traceID,
+		SpanID:       t.spanID,
+		ParentSpanID: t.remoteParent,
+		Sampled:      t.sampled,
 		Start:        t.begin,
 		DurationMS:   float64(end.Sub(t.begin)) / float64(time.Millisecond),
 		InProgress:   t.finish.IsZero(),

@@ -157,6 +157,20 @@ type EvalStats struct {
 	// simulation answered, FidelityScalar or FidelitySpatial when a
 	// surrogate decided without simulating the requested point.
 	Fidelity Fidelity
+	// Escalation audit, filled by PeakCPolicy: which surrogate tiers were
+	// consulted, what they predicted, and why the ladder stopped where it
+	// did (the audit trail's per-decision record).
+	SpatialConsulted bool
+	SpatialPredC     float64 // spatial tier's predicted peak (°C)
+	SpatialBoundC    float64 // calibration worst-case error bound (°C)
+	SpatialMarginC   float64 // |prediction - threshold| (°C)
+	ScalarConsulted  bool
+	ScalarEstC       float64 // scalar tier's estimate (°C)
+	// Reason explains the deciding tier ("spatial_decisive",
+	// "scalar_decisive") or, for full simulations, the comma-joined chain
+	// of tiers that declined ("spatial_within_bound,scalar_within_margin",
+	// "canonical_point", "surrogates_disabled").
+	Reason string
 }
 
 func (s *EvalStats) add(o EvalStats) {
@@ -322,8 +336,20 @@ func (e *Engine) Simulate(ctx context.Context, b perf.Benchmark, pl floorplan.Pl
 		return SimRecord{}, st, err
 	}
 	k := engineKey{bench: benchKeyOf(b), ek: evalKey{pl: keyOf(pl), fIdx: fIdx, cores: p}}
-	rec, err := e.sim(ctx, b, pl, op, p, k, &st)
+	rec, err := e.sim(ctx, b, pl, op, p, k, &st, nil)
 	return rec, st, err
+}
+
+// escalation carries the fidelity ladder's decision record down to the full
+// simulation's engine.sim span, so ?trace=1 shows why a CG solve ran.
+type escalation struct {
+	spatialConsulted bool
+	spatialPredC     float64
+	spatialBoundC    float64
+	spatialMarginC   float64
+	scalarConsulted  bool
+	scalarEstC       float64
+	reason           string
 }
 
 // sim is the singleflight-deduplicated simulation lookup. Errors are never
@@ -331,7 +357,7 @@ func (e *Engine) Simulate(ctx context.Context, b perf.Benchmark, pl floorplan.Pl
 // callers (whose contexts may still be live) retry, and waiters that
 // observe a context-shaped error re-enter the lookup under their own
 // context.
-func (e *Engine) sim(ctx context.Context, b perf.Benchmark, pl floorplan.Placement, op power.DVFSPoint, p int, k engineKey, st *EvalStats) (SimRecord, error) {
+func (e *Engine) sim(ctx context.Context, b perf.Benchmark, pl floorplan.Placement, op power.DVFSPoint, p int, k engineKey, st *EvalStats, esc *escalation) (SimRecord, error) {
 	sh := e.shardOf(k)
 	for {
 		if err := ctx.Err(); err != nil {
@@ -376,7 +402,7 @@ func (e *Engine) sim(ctx context.Context, b perf.Benchmark, pl floorplan.Placeme
 		sh.mu.Unlock()
 		e.misses.Add(1)
 
-		rec, err := e.runSim(ctx, b, pl, op, p, k)
+		rec, err := e.runSim(ctx, b, pl, op, p, k, esc)
 		ent.rec, ent.err = rec, err
 		if err != nil {
 			// Never memoize failures; purity only covers successes.
@@ -419,12 +445,25 @@ func (e *Engine) evictCompletedLocked(sh *engineShard) {
 }
 
 // runSim executes one full leakage-coupled simulation (no memo interaction).
-func (e *Engine) runSim(ctx context.Context, b perf.Benchmark, pl floorplan.Placement, op power.DVFSPoint, p int, k engineKey) (SimRecord, error) {
+// esc, when non-nil, is the fidelity ladder's decision record; its fields
+// land on the engine.sim span so a trace shows why this CG solve ran.
+func (e *Engine) runSim(ctx context.Context, b perf.Benchmark, pl floorplan.Placement, op power.DVFSPoint, p int, k engineKey, esc *escalation) (SimRecord, error) {
 	ctx, esp := obs.Start(ctx, "engine.sim")
 	esp.SetAttr("bench", b.Name)
 	esp.SetAttr("freq_mhz", op.FreqMHz)
 	esp.SetAttr("active_cores", p)
 	esp.SetAttr("fidelity", FidelityFull.String())
+	if esc != nil {
+		esp.SetAttr("escalation", esc.reason)
+		if esc.spatialConsulted {
+			esp.SetAttr("spatial_pred_c", esc.spatialPredC)
+			esp.SetAttr("spatial_bound_c", esc.spatialBoundC)
+			esp.SetAttr("spatial_margin_c", esc.spatialMarginC)
+		}
+		if esc.scalarConsulted {
+			esp.SetAttr("scalar_est_c", esc.scalarEstC)
+		}
+	}
 	defer esp.End()
 	_, nsp := obs.Start(ctx, "noc.mesh")
 	nocW, err := e.nocPower(b, pl, op, p, k)
@@ -532,15 +571,27 @@ func (e *Engine) PeakCPolicy(ctx context.Context, b perf.Benchmark, pl floorplan
 	bk := benchKeyOf(b)
 	pk := keyOf(pl)
 	k := engineKey{bench: bk, ek: evalKey{pl: pk, fIdx: fIdx, cores: p}}
+	esc := escalation{}
 	if pol.Spatial {
 		pred, bound, ok, err := e.spatialPeakC(ctx, b, pl, op, p, k, &st)
 		if err != nil {
 			return 0, st, err
 		}
-		if ok && math.Abs(pred-pol.ThresholdC) > math.Max(pol.SpatialMarginC, bound) {
-			st.Fidelity = FidelitySpatial
-			e.spatialEvals.Add(1)
-			return pred, st, nil
+		if ok {
+			margin := math.Abs(pred - pol.ThresholdC)
+			esc.spatialConsulted = true
+			esc.spatialPredC, esc.spatialBoundC, esc.spatialMarginC = pred, bound, margin
+			st.SpatialConsulted = true
+			st.SpatialPredC, st.SpatialBoundC, st.SpatialMarginC = pred, bound, margin
+			if margin > math.Max(pol.SpatialMarginC, bound) {
+				st.Fidelity = FidelitySpatial
+				st.Reason = "spatial_decisive"
+				e.spatialEvals.Add(1)
+				return pred, st, nil
+			}
+			esc.reason = "spatial_within_bound"
+		} else {
+			esc.reason = "spatial_uncovered"
 		}
 	}
 	if pol.ScalarMarginC >= 0 && fIdx != canonicalFIdx {
@@ -549,7 +600,7 @@ func (e *Engine) PeakCPolicy(ctx context.Context, b perf.Benchmark, pl floorplan
 		// canonical frequency early).
 		ck := engineKey{bench: bk, ek: evalKey{pl: pk, fIdx: canonicalFIdx, cores: p}}
 		var cst EvalStats
-		cref, err := e.sim(ctx, b, pl, power.FrequencySet[canonicalFIdx], p, ck, &cst)
+		cref, err := e.sim(ctx, b, pl, power.FrequencySet[canonicalFIdx], p, ck, &cst, nil)
 		st.add(cst)
 		if err != nil {
 			return 0, st, err
@@ -561,18 +612,40 @@ func (e *Engine) PeakCPolicy(ctx context.Context, b perf.Benchmark, pl floorplan
 				return 0, st, err
 			}
 			_, est := e.estimate(b, op, p, nocW, rEff)
+			esc.scalarConsulted = true
+			esc.scalarEstC = est
+			st.ScalarConsulted = true
+			st.ScalarEstC = est
 			if math.Abs(est-pol.ThresholdC) > pol.ScalarMarginC {
 				st.Fidelity = FidelityScalar
+				st.Reason = "scalar_decisive"
 				e.surrogateEvals.Add(1)
 				return est, st, nil
 			}
+			esc.reason = joinReason(esc.reason, "scalar_within_margin")
+		} else {
+			esc.reason = joinReason(esc.reason, "scalar_uncalibratable")
 		}
+	} else if pol.ScalarMarginC >= 0 {
+		esc.reason = joinReason(esc.reason, "canonical_point")
 	}
+	if esc.reason == "" {
+		esc.reason = "surrogates_disabled"
+	}
+	st.Reason = esc.reason
 	var sst EvalStats
-	rec, err := e.sim(ctx, b, pl, op, p, k, &sst)
+	rec, err := e.sim(ctx, b, pl, op, p, k, &sst, &esc)
 	st.add(sst)
 	if err != nil {
 		return 0, st, err
 	}
 	return rec.PeakC, st, nil
+}
+
+// joinReason appends one escalation reason to a comma-joined chain.
+func joinReason(chain, r string) string {
+	if chain == "" {
+		return r
+	}
+	return chain + "," + r
 }

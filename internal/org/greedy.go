@@ -148,7 +148,12 @@ func (s *Searcher) findPlacement(ctx context.Context, n int, edgeMM float64, op 
 	starts := s.cfg.Starts
 
 	runOne := func(restart int) restartResult {
-		rng := rand.New(rand.NewSource(deriveSeed(s.cfg.Seed, saltGreedy, n, edgeHM, fIdx, p, restart)))
+		seed := deriveSeed(s.cfg.Seed, saltGreedy, n, edgeHM, fIdx, p, restart)
+		s.audit.Add(AuditEvent{
+			Kind: AuditRestartSeeded, Restart: restart, Seed: seed,
+			N: n, EdgeMM: edgeMM, FreqMHz: op.FreqMHz, Cores: p,
+		})
+		rng := rand.New(rand.NewSource(seed))
 		pl, peak, found, err := s.runRestart(ctx, sp, op, p, rng, restart)
 		return restartResult{pl: pl, peak: peak, found: found, err: err, ran: true}
 	}
@@ -253,6 +258,14 @@ func (s *Searcher) runRestart(ctx context.Context, sp spacingSpace, op power.DVF
 		visited[pt] = peak
 		return peak, nil
 	}
+	auditPoint := func(kind string, step int, pt spacePoint, peak float64, reason string) {
+		s.audit.Add(AuditEvent{
+			Kind: kind, Restart: restart, Step: step,
+			S1MM:  float64(pt.i1) * floorplan.SpacingStepMM,
+			S2MM:  float64(pt.i2) * floorplan.SpacingStepMM,
+			PeakC: peak, Reason: reason,
+		})
+	}
 	const maxWalk = 256
 	cur := spacePoint{i1: rng.Intn(sp.max1 + 1), i2: rng.Intn(sp.max2 + 1)}
 	curPeak, err := eval(cur)
@@ -261,6 +274,7 @@ func (s *Searcher) runRestart(ctx context.Context, sp spacingSpace, op power.DVF
 	}
 	if curPeak <= s.cfg.ThresholdC {
 		pl, _ := sp.placementAt(cur)
+		auditPoint(AuditFeasibleFound, 0, cur, curPeak, "start_point_feasible")
 		return pl, curPeak, true, nil
 	}
 	for ; steps < maxWalk; steps++ {
@@ -284,6 +298,7 @@ func (s *Searcher) runRestart(ctx context.Context, sp spacingSpace, op power.DVF
 			}
 			if peak <= s.cfg.ThresholdC {
 				pl, _ := sp.placementAt(nb)
+				auditPoint(AuditFeasibleFound, steps, nb, peak, "neighbor_feasible")
 				return pl, peak, true, nil
 			}
 			if peak < bestPeak {
@@ -296,8 +311,10 @@ func (s *Searcher) runRestart(ctx context.Context, sp spacingSpace, op power.DVF
 		if bestPeak < curPeak {
 			cur, curPeak = bestNb, bestPeak
 			moved = true
+			auditPoint(AuditMoveAccepted, steps, cur, curPeak, "")
 		}
 		if !moved {
+			auditPoint(AuditMoveRejected, steps, cur, curPeak, "local_minimum")
 			break // local minimum: next random start
 		}
 	}

@@ -67,9 +67,10 @@ type evalKey struct {
 // cancellation propagates into the CG iterations of in-flight thermal
 // solves.
 type Searcher struct {
-	cfg Config
-	ctx context.Context
-	eng *Engine
+	cfg   Config
+	ctx   context.Context
+	eng   *Engine
+	audit *AuditLog // nil unless WithAudit installed one
 
 	// Per-search effort counters (atomic: evaluations may run concurrently).
 	thermalSims      atomic.Int64
@@ -127,6 +128,18 @@ func (s *Searcher) WithContext(ctx context.Context) *Searcher {
 	s.ctx = ctx
 	return s
 }
+
+// WithAudit installs a convergence audit log and returns the receiver for
+// chaining: every subsequent evaluation and search step records an event.
+// A nil log disables recording (the default). Must be called before the
+// search starts (it is not synchronized with in-flight calls).
+func (s *Searcher) WithAudit(l *AuditLog) *Searcher {
+	s.audit = l
+	return s
+}
+
+// Audit returns the installed audit log (nil when auditing is disabled).
+func (s *Searcher) Audit() *AuditLog { return s.audit }
 
 // Config returns the searcher's configuration.
 func (s *Searcher) Config() Config { return s.cfg }
@@ -210,6 +223,7 @@ func (s *Searcher) PeakCWith(b perf.Benchmark, pl floorplan.Placement, op power.
 func (s *Searcher) peakCtx(ctx context.Context, b perf.Benchmark, pl floorplan.Placement, op power.DVFSPoint, p int) (float64, error) {
 	peak, st, err := s.eng.PeakCPolicy(ctx, b, pl, op, p, s.cfg.evalPolicy())
 	s.record(st)
+	s.audit.evalEvent(pl, op, p, peak, st, err)
 	return peak, err
 }
 

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"chiplet25d/internal/org"
+)
+
+// Search convergence debugging: every org-search request that actually
+// computes (cache misses) leaves its audit trail in a bounded ring, served
+// at GET /debug/search. Cached responses carry the trail of the request
+// that computed them, so the ring records computations, not lookups.
+
+// auditRecord is one completed search's convergence audit.
+type auditRecord struct {
+	RequestID string          `json:"request_id"`
+	CacheKey  string          `json:"cache_key"`
+	Start     time.Time       `json:"start"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+	Feasible  bool            `json:"feasible"`
+	Trail     *org.AuditTrail `json:"trail"`
+}
+
+// auditRing retains the most recent search audits, drop-oldest.
+type auditRing struct {
+	mu   sync.Mutex
+	recs []auditRecord
+	head int
+	size int
+}
+
+func newAuditRing(capacity int) *auditRing {
+	return &auditRing{recs: make([]auditRecord, capacity)}
+}
+
+// add records one search audit; nil receiver is a no-op.
+func (r *auditRing) add(rec auditRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.size < len(r.recs) {
+		r.recs[(r.head+r.size)%len(r.recs)] = rec
+		r.size++
+		return
+	}
+	r.recs[r.head] = rec
+	r.head = (r.head + 1) % len(r.recs)
+}
+
+// snapshot returns the retained audits, newest first.
+func (r *auditRing) snapshot() []auditRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]auditRecord, r.size)
+	for i := 0; i < r.size; i++ {
+		out[r.size-1-i] = r.recs[(r.head+i)%len(r.recs)]
+	}
+	return out
+}
+
+// handleDebugSearch serves the retained search audit trails.
+func (s *Server) handleDebugSearch(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	recs := s.audits.snapshot()
+	if recs == nil {
+		recs = []auditRecord{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Searches []auditRecord `json:"searches"`
+	}{recs})
+}

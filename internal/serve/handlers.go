@@ -80,6 +80,10 @@ func (s *Server) fail(w http.ResponseWriter, r *http.Request, endpoint string, c
 // (?trace=1).
 func wantTrace(r *http.Request) bool { return r.URL.Query().Get("trace") == "1" }
 
+// wantAudit reports whether the client asked for the search convergence
+// audit trail inline (?audit=1).
+func wantAudit(r *http.Request) bool { return r.URL.Query().Get("audit") == "1" }
+
 // snapshotTrace finalizes and serializes the request's trace for inline
 // return; nil on an untraced context. Finishing here (rather than in the
 // middleware) excludes only the JSON encode from the reported duration, and
@@ -390,6 +394,11 @@ type SearchResponse struct {
 	CacheKey         string         `json:"cache_key"`
 	ElapsedMS        float64        `json:"elapsed_ms"`
 	Trace            *obs.TraceJSON `json:"trace,omitempty"`
+	// Audit is the search convergence audit trail (restart seeds, accepted
+	// and rejected moves, per-evaluation fidelity decisions), included only
+	// when the client asked with ?audit=1. Cached responses return the trail
+	// of the request that computed them.
+	Audit *org.AuditTrail `json:"audit,omitempty"`
 }
 
 // searchKey canonicalizes the resolved configuration (config.Save writes
@@ -473,7 +482,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return nil, err
 			}
-			sr.WithContext(taskCtx)
+			computeStart := time.Now()
+			al := org.NewAuditLog(s.opts.AuditRingSize)
+			sr.WithContext(taskCtx).WithAudit(al)
 			var res org.Result
 			if req.Exhaustive {
 				res, err = sr.OptimizeExhaustive()
@@ -489,7 +500,17 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 				tr.SetAttr("engine_memo_hits", sr.EngineHits())
 				tr.SetAttr("engine_dedup_waits", sr.EngineDedupWaits())
 			}
-			return searchResponse(res, sr), nil
+			resp := searchResponse(res, sr)
+			resp.Audit = al.Trail()
+			s.audits.add(auditRecord{
+				RequestID: obs.RequestID(taskCtx),
+				CacheKey:  key,
+				Start:     computeStart,
+				ElapsedMS: float64(time.Since(computeStart).Microseconds()) / 1e3,
+				Feasible:  res.Feasible,
+				Trail:     resp.Audit,
+			})
+			return resp, nil
 		})
 	})
 	csp.SetAttr("hit", hit)
@@ -517,6 +538,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3
 	if wantTrace(r) {
 		resp.Trace = snapshotTrace(ctx)
+	}
+	if !wantAudit(r) {
+		// The trail rides the cached value; strip it from the copy unless
+		// this client opted in.
+		resp.Audit = nil
 	}
 	s.finish(w, endpoint, http.StatusOK, resp, start)
 }

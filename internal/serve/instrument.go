@@ -32,9 +32,11 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 
 // instrument wraps a compute handler with the per-request observability
 // plumbing: request ID (generated, or honored from an inbound X-Request-Id)
-// echoed in the response header, a request-scoped slog logger, a trace that
-// lands in the flight recorder and feeds the per-stage duration histograms,
-// and the in-flight gauge for the route.
+// echoed in the response header, W3C trace context (an inbound traceparent
+// is adopted and the request's own traceparent echoed back), a
+// request-scoped slog logger, a trace that lands in the flight recorder,
+// feeds the per-stage duration histograms (with trace/fidelity exemplars),
+// and enqueues for OTLP export, and the in-flight gauge for the route.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get("X-Request-Id")
@@ -44,6 +46,10 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		w.Header().Set("X-Request-Id", id)
 		lg := s.logger.With("request_id", id, "route", route)
 		tr := obs.NewTrace(id, route)
+		if tid, parent, sampled, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+			tr.SetRemoteParent(tid, parent, sampled)
+		}
+		w.Header().Set("Traceparent", tr.Traceparent())
 		ctx := obs.WithTrace(obs.WithLogger(obs.WithRequestID(r.Context(), id), lg), tr)
 
 		g := s.inflight.With(route)
@@ -53,17 +59,28 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		sw := &statusWriter{ResponseWriter: w}
 		h(sw, r.WithContext(ctx))
 
-		d := tr.Finish()
-		snap := tr.Snapshot()
-		snap.Walk(func(sp *obs.SpanJSON) {
-			s.stageSeconds.With(sp.Name).Observe(sp.DurationMS / 1e3)
-		})
-		s.recorder.Record(snap)
-
 		status := sw.status
 		if status == 0 {
 			status = http.StatusOK
 		}
+		// The status attribute must land before Snapshot: the tail sampler
+		// and the OTLP span status both read it from the snapshot.
+		tr.SetAttr("status", status)
+		d := tr.Finish()
+		snap := tr.Snapshot()
+		snap.Walk(func(sp *obs.SpanJSON) {
+			secs := sp.DurationMS / 1e3
+			if fid, ok := sp.Attrs["fidelity"].(string); ok {
+				s.stageSeconds.With(sp.Name).ObserveWithExemplar(secs,
+					"trace_id", snap.TraceID, "fidelity", fid)
+			} else {
+				s.stageSeconds.With(sp.Name).ObserveWithExemplar(secs,
+					"trace_id", snap.TraceID)
+			}
+		})
+		s.recorder.Record(snap)
+		s.exporter.Enqueue(snap)
+
 		args := []any{"status", status, "duration_ms", float64(d.Microseconds()) / 1e3}
 		if c, ok := snap.Attrs["cache"]; ok {
 			args = append(args, "cache", c)

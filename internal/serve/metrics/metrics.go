@@ -20,6 +20,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing float64 (stored as bits for atomic
@@ -80,31 +81,65 @@ type Gauge struct {
 	fn func() float64
 }
 
+// exemplar is the last exemplar observed for one histogram bucket: label
+// pairs (trace_id, typically, plus optional dimensions like fidelity), the
+// observed value, and its unix-seconds timestamp. Rendered only in
+// OpenMetrics exposition.
+type exemplar struct {
+	pairs []string // key, value, key, value, ...
+	value float64
+	ts    float64
+}
+
 // Histogram counts observations into cumulative buckets with fixed upper
 // bounds, plus sum and count, matching Prometheus histogram semantics.
 type Histogram struct {
-	mu     sync.Mutex
-	bounds []float64 // ascending upper bounds, +Inf implicit
-	counts []uint64  // per-bound (non-cumulative) counts
-	inf    uint64
-	sum    float64
-	total  uint64
+	mu        sync.Mutex
+	bounds    []float64 // ascending upper bounds, +Inf implicit
+	counts    []uint64  // per-bound (non-cumulative) counts
+	inf       uint64
+	sum       float64
+	total     uint64
+	exemplars []exemplar // len(bounds)+1 (last = +Inf), lazily allocated
 }
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.observeLocked(v)
+}
+
+func (h *Histogram) observeLocked(v float64) int {
 	h.sum += v
 	h.total++
 	for i, b := range h.bounds {
 		if v <= b {
 			h.counts[i]++
-			return
+			return i
 		}
 	}
 	h.inf++
+	return len(h.bounds)
 }
+
+// ObserveWithExemplar records one value and attaches an exemplar (label
+// key/value pairs, e.g. trace_id and fidelity) to the bucket it lands in,
+// replacing that bucket's previous exemplar. Exemplars render only in the
+// OpenMetrics exposition; the 0.0.4 text format ignores them.
+func (h *Histogram) ObserveWithExemplar(v float64, pairs ...string) {
+	now := float64(timeNow().UnixMilli()) / 1e3
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := h.observeLocked(v)
+	if h.exemplars == nil {
+		h.exemplars = make([]exemplar, len(h.bounds)+1)
+	}
+	h.exemplars[i] = exemplar{pairs: pairs, value: v, ts: now}
+}
+
+// timeNow is swappable for exposition-format tests.
+var timeNow = time.Now
 
 // newHistogram builds an unregistered histogram (family children reuse it).
 func newHistogram(bounds []float64) *Histogram {
@@ -177,14 +212,17 @@ func (f *family[T]) sorted() []child[T] {
 }
 
 // labelString renders {k="v",...} for the family's label names and the
-// given values, with extra pairs (e.g. le) appended.
+// given values, with extra pairs (e.g. le) appended. Values are quoted
+// manually around escapeLabel — running them through %q as well would
+// double-escape backslashes and quotes (`a\b` became `"a\\\\b"` on the
+// wire, which Prometheus parses back as `a\\b`, not the original value).
 func (f *family[T]) labelString(values []string, extra ...string) string {
 	parts := make([]string, 0, len(values)+len(extra)/2)
 	for i, v := range values {
-		parts = append(parts, fmt.Sprintf("%s=%q", f.labels[i], escapeLabel(v)))
+		parts = append(parts, f.labels[i]+`="`+escapeLabel(v)+`"`)
 	}
 	for i := 0; i+1 < len(extra); i += 2 {
-		parts = append(parts, fmt.Sprintf("%s=%q", extra[i], escapeLabel(extra[i+1])))
+		parts = append(parts, extra[i]+`="`+escapeLabel(extra[i+1])+`"`)
 	}
 	return "{" + strings.Join(parts, ",") + "}"
 }
@@ -236,9 +274,9 @@ type HistogramVec struct {
 // label values.
 func (v *HistogramVec) With(values ...string) *Histogram { return v.f.with(values) }
 
-func (v *HistogramVec) write(w io.Writer) error {
+func (v *HistogramVec) write(w io.Writer, om bool) error {
 	for _, c := range v.f.sorted() {
-		if err := c.kid.writeLabeled(w, v.f, c.values); err != nil {
+		if err := c.kid.writeLabeled(w, v.f, c.values, om); err != nil {
 			return err
 		}
 	}
@@ -247,6 +285,17 @@ func (v *HistogramVec) write(w io.Writer) error {
 
 // ---------------------------------------------------------------------------
 // Registry
+
+// HistSnapshot is one histogram state read at scrape time: per-bound
+// (non-cumulative) counts with the +Inf count last, plus sum and total.
+// It is both the callback shape for HistogramFunc and the histogram leg of
+// the Snapshot API.
+type HistSnapshot struct {
+	Bounds []float64
+	Counts []uint64 // len(Bounds)+1: per-bound counts, then +Inf
+	Sum    float64
+	Count  uint64
+}
 
 // metric is one registered family for rendering.
 type metric struct {
@@ -260,6 +309,7 @@ type metric struct {
 	gvec    *GaugeVec
 	hist    *Histogram
 	hvec    *HistogramVec
+	histFn  func() HistSnapshot
 }
 
 // Registry holds metric families and renders them.
@@ -334,6 +384,15 @@ func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...s
 	return v
 }
 
+// HistogramFunc registers a histogram whose full state is read from fn at
+// scrape time, for sources that already aggregate their own distributions
+// (the Go runtime's GC-pause and scheduler-latency histograms). fn must
+// return cumulative-over-time, non-decreasing counts for the exposition to
+// be a valid Prometheus histogram.
+func (r *Registry) HistogramFunc(name, help string, fn func() HistSnapshot) {
+	r.register(&metric{name: name, help: help, typ: "histogram", histFn: fn})
+}
+
 // fmtFloat renders a float the way Prometheus clients do: integers without
 // a decimal point, +Inf as "+Inf".
 func fmtFloat(v float64) string {
@@ -346,19 +405,44 @@ func fmtFloat(v float64) string {
 	return fmt.Sprintf("%g", v)
 }
 
+// escapeLabel escapes a label value per the exposition format: backslash,
+// newline, and double quote.
 func escapeLabel(v string) string {
 	v = strings.ReplaceAll(v, `\`, `\\`)
 	v = strings.ReplaceAll(v, "\n", `\n`)
 	return strings.ReplaceAll(v, `"`, `\"`)
 }
 
-// WritePrometheus renders every registered family in text format.
+// escapeHelp escapes HELP text per the exposition format: backslash and
+// newline only (quotes are legal in help).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// WritePrometheus renders every registered family in text format 0.0.4.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.write(w, false)
+}
+
+// WriteOpenMetrics renders the same families with OpenMetrics extensions:
+// histogram buckets carry their exemplars and the output ends with "# EOF".
+// It stays within the subset shared with the 0.0.4 format otherwise (family
+// names are rendered as registered).
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	if err := r.write(w, true); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+func (r *Registry) write(w io.Writer, om bool) error {
 	r.mu.Lock()
 	ms := append([]*metric(nil), r.metrics...)
 	r.mu.Unlock()
 	for _, m := range ms {
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, escapeHelp(m.help), m.name, m.typ); err != nil {
 			return err
 		}
 		var err error
@@ -372,9 +456,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		case m.gvec != nil:
 			err = m.gvec.write(w)
 		case m.hist != nil:
-			err = m.hist.write(w, m.name)
+			err = m.hist.write(w, m.name, om)
 		case m.hvec != nil:
-			err = m.hvec.write(w)
+			err = m.hvec.write(w, om)
+		case m.histFn != nil:
+			err = writeHistSnapshot(w, m.name, "", m.histFn())
 		}
 		if err != nil {
 			return err
@@ -383,17 +469,46 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-func (h *Histogram) write(w io.Writer, name string) error {
-	bounds, counts, inf, sum, total := h.snapshot()
+// exemplarSuffix renders the OpenMetrics exemplar annotation for a bucket
+// line, or "" when the bucket has none.
+func exemplarSuffix(ex exemplar) string {
+	if len(ex.pairs) < 2 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString(" # {")
+	for i := 0; i+1 < len(ex.pairs); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(ex.pairs[i])
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(ex.pairs[i+1]))
+		sb.WriteString(`"`)
+	}
+	fmt.Fprintf(&sb, "} %s %.3f", fmtFloat(ex.value), ex.ts)
+	return sb.String()
+}
+
+func (h *Histogram) write(w io.Writer, name string, om bool) error {
+	bounds, counts, inf, sum, total, exs := h.snapshot()
 	cum := uint64(0)
 	for i, b := range bounds {
 		cum += counts[i]
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmtFloat(b), cum); err != nil {
+		suffix := ""
+		if om && i < len(exs) {
+			suffix = exemplarSuffix(exs[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d%s\n", name, fmtFloat(b), cum, suffix); err != nil {
 			return err
 		}
 	}
 	cum += inf
-	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+	suffix := ""
+	if om && len(exs) == len(bounds)+1 {
+		suffix = exemplarSuffix(exs[len(bounds)])
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d%s\n", name, cum, suffix); err != nil {
 		return err
 	}
 	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, fmtFloat(sum), name, total)
@@ -402,18 +517,26 @@ func (h *Histogram) write(w io.Writer, name string) error {
 
 // writeLabeled renders one HistogramVec child, merging the family labels
 // with the le bucket label.
-func (h *Histogram) writeLabeled(w io.Writer, f *family[*Histogram], values []string) error {
-	bounds, counts, inf, sum, total := h.snapshot()
+func (h *Histogram) writeLabeled(w io.Writer, f *family[*Histogram], values []string, om bool) error {
+	bounds, counts, inf, sum, total, exs := h.snapshot()
 	name := f.name
 	cum := uint64(0)
 	for i, b := range bounds {
 		cum += counts[i]
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, f.labelString(values, "le", fmtFloat(b)), cum); err != nil {
+		suffix := ""
+		if om && i < len(exs) {
+			suffix = exemplarSuffix(exs[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", name, f.labelString(values, "le", fmtFloat(b)), cum, suffix); err != nil {
 			return err
 		}
 	}
 	cum += inf
-	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, f.labelString(values, "le", "+Inf"), cum); err != nil {
+	suffix := ""
+	if om && len(exs) == len(bounds)+1 {
+		suffix = exemplarSuffix(exs[len(bounds)])
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", name, f.labelString(values, "le", "+Inf"), cum, suffix); err != nil {
 		return err
 	}
 	ls := f.labelString(values)
@@ -421,8 +544,113 @@ func (h *Histogram) writeLabeled(w io.Writer, f *family[*Histogram], values []st
 	return err
 }
 
-func (h *Histogram) snapshot() (bounds []float64, counts []uint64, inf uint64, sum float64, total uint64) {
+// writeHistSnapshot renders a callback-backed histogram (no exemplars).
+func writeHistSnapshot(w io.Writer, name, labels string, s HistSnapshot) error {
+	cum := uint64(0)
+	for i, b := range s.Bounds {
+		if i < len(s.Counts) {
+			cum += s.Counts[i]
+		}
+		le := fmtFloat(b)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLe(labels, le), cum); err != nil {
+			return err
+		}
+	}
+	if len(s.Counts) > len(s.Bounds) {
+		cum += s.Counts[len(s.Bounds)]
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLe(labels, "+Inf"), cum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n", name, labels, fmtFloat(s.Sum), name, labels, s.Count)
+	return err
+}
+
+// mergeLe splices an le label into an existing (possibly empty) label set.
+func mergeLe(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return strings.TrimSuffix(labels, "}") + `,le="` + le + `"}`
+}
+
+func (h *Histogram) snapshot() (bounds []float64, counts []uint64, inf uint64, sum float64, total uint64, exs []exemplar) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.bounds, append([]uint64(nil), h.counts...), h.inf, h.sum, h.total
+	return h.bounds, append([]uint64(nil), h.counts...), h.inf, h.sum, h.total, append([]exemplar(nil), h.exemplars...)
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot API
+
+// PointSnapshot is one data point of a family snapshot: the label pairs in
+// exposition order and either a scalar value or a histogram state.
+type PointSnapshot struct {
+	Labels [][2]string
+	Value  float64
+	Hist   *HistSnapshot
+}
+
+// FamilySnapshot is one registered family's state read at snapshot time.
+// Type is "counter", "gauge", or "histogram".
+type FamilySnapshot struct {
+	Name   string
+	Help   string
+	Type   string
+	Points []PointSnapshot
+}
+
+// Snapshot reads every registered family into a plain-data form, the input
+// shape for protocol exporters (OTLP) that cannot scrape the text format.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	r.mu.Lock()
+	ms := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	out := make([]FamilySnapshot, 0, len(ms))
+	for _, m := range ms {
+		fs := FamilySnapshot{Name: m.name, Help: m.help, Type: m.typ}
+		switch {
+		case m.counter != nil:
+			fs.Points = []PointSnapshot{{Value: m.counter.Value()}}
+		case m.gauge != nil:
+			fs.Points = []PointSnapshot{{Value: m.gauge.fn()}}
+		case m.vec != nil:
+			for _, c := range m.vec.f.sorted() {
+				fs.Points = append(fs.Points, PointSnapshot{Labels: pairLabels(m.vec.f.labels, c.values), Value: c.kid.Value()})
+			}
+		case m.gvec != nil:
+			for _, c := range m.gvec.f.sorted() {
+				fs.Points = append(fs.Points, PointSnapshot{Labels: pairLabels(m.gvec.f.labels, c.values), Value: c.kid.Value()})
+			}
+		case m.hist != nil:
+			fs.Points = []PointSnapshot{{Hist: histSnapshotOf(m.hist)}}
+		case m.hvec != nil:
+			for _, c := range m.hvec.f.sorted() {
+				fs.Points = append(fs.Points, PointSnapshot{Labels: pairLabels(m.hvec.f.labels, c.values), Hist: histSnapshotOf(c.kid)})
+			}
+		case m.histFn != nil:
+			s := m.histFn()
+			fs.Points = []PointSnapshot{{Hist: &s}}
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+func pairLabels(names, values []string) [][2]string {
+	out := make([][2]string, 0, len(names))
+	for i := range names {
+		out = append(out, [2]string{names[i], values[i]})
+	}
+	return out
+}
+
+func histSnapshotOf(h *Histogram) *HistSnapshot {
+	bounds, counts, inf, sum, total, _ := h.snapshot()
+	return &HistSnapshot{
+		Bounds: append([]float64(nil), bounds...),
+		Counts: append(counts, inf),
+		Sum:    sum,
+		Count:  total,
+	}
 }

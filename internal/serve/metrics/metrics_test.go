@@ -4,6 +4,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestExposition pins the text format: HELP/TYPE headers, labeled and
@@ -195,4 +196,98 @@ func TestDuplicateRegistrationPanics(t *testing.T) {
 		}
 	}()
 	r.Counter("dup", "second")
+}
+
+// TestLabelEscaping pins the wire bytes for label values containing the
+// exposition format's three escapable characters. Each must be escaped
+// exactly once: the old path ran escaped values through %q as well, which
+// double-escaped backslashes and quotes.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("esc_total", "Escaping.", "path")
+	v.With(`C:\temp\"x"` + "\nnext").Inc()
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := `esc_total{path="C:\\temp\\\"x\"\nnext"} 1`
+	if !strings.Contains(out, want) {
+		t.Errorf("exposition missing %s in:\n%s", want, out)
+	}
+	if strings.Contains(out, `\\\\`) {
+		t.Errorf("backslash double-escaped:\n%s", out)
+	}
+	// A raw (unescaped) newline inside a label value would split the sample
+	// across lines and break every parser.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "esc_total{") && !strings.HasSuffix(line, "} 1") {
+			t.Errorf("label value leaked a raw newline: %q", line)
+		}
+	}
+}
+
+// TestHelpEscaping: HELP text escapes backslash and newline but keeps
+// quotes literal (they are legal in help).
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total", "line one\nline \"two\" \\ end")
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP h_total line one\nline "two" \\ end`
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("exposition missing %q in:\n%s", want, sb.String())
+	}
+}
+
+// TestOpenMetricsExemplars: exemplars attach to the bucket their value
+// lands in, render only in the OpenMetrics exposition, and the newest
+// observation per bucket wins.
+func TestOpenMetricsExemplars(t *testing.T) {
+	restore := timeNow
+	defer func() { timeNow = restore }()
+	timeNow = func() time.Time { return time.UnixMilli(1700000000500) }
+
+	r := NewRegistry()
+	v := r.HistogramVec("stage_seconds", "Stages.", []float64{0.1, 1}, "stage")
+	v.With("sim").ObserveWithExemplar(0.05, "trace_id", "aaa111", "fidelity", "full")
+	v.With("sim").ObserveWithExemplar(0.07, "trace_id", "bbb222", "fidelity", "spatial")
+	v.With("sim").ObserveWithExemplar(50, "trace_id", "ccc333")
+	u := r.Histogram("solve_seconds", "Solve.", []float64{1})
+	u.ObserveWithExemplar(0.5, "trace_id", "ddd444")
+
+	var om strings.Builder
+	if err := r.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	out := om.String()
+	for _, want := range []string{
+		// Replacement: bbb222 overwrote aaa111 in the 0.1 bucket.
+		`stage_seconds_bucket{stage="sim",le="0.1"} 2 # {trace_id="bbb222",fidelity="spatial"} 0.07 1700000000.500`,
+		// +Inf bucket exemplar, no fidelity pair.
+		`stage_seconds_bucket{stage="sim",le="+Inf"} 3 # {trace_id="ccc333"} 50 1700000000.500`,
+		// Unlabeled histogram exemplar.
+		`solve_seconds_bucket{le="1"} 1 # {trace_id="ddd444"} 0.5 1700000000.500`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("OpenMetrics exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "aaa111") {
+		t.Error("replaced exemplar still present")
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Error("OpenMetrics exposition missing # EOF")
+	}
+
+	var classic strings.Builder
+	if err := r.WritePrometheus(&classic); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(classic.String(), "# {") {
+		t.Errorf("0.0.4 exposition leaked exemplars:\n%s", classic.String())
+	}
 }

@@ -25,6 +25,7 @@
 //	GET  /metrics           Prometheus text exposition
 //	GET  /healthz           liveness + build info + uptime
 //	GET  /debug/solves      flight recorder (recent + slow request traces)
+//	GET  /debug/search      search convergence audit trails (recent searches)
 //	GET  /debug/pprof/*     runtime profiles (only with Options.EnablePprof)
 package serve
 
@@ -35,9 +36,11 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strings"
 	"time"
 
 	"chiplet25d/internal/obs"
+	"chiplet25d/internal/obs/export"
 	"chiplet25d/internal/org"
 	"chiplet25d/internal/serve/cache"
 	"chiplet25d/internal/serve/metrics"
@@ -91,8 +94,22 @@ type Options struct {
 	// each keep this many traces).
 	TraceRingSize int
 	// SlowTraceThreshold is the duration at or above which a request trace
-	// is also retained in the slow ring.
+	// is also retained in the slow ring. The OTLP tail sampler reuses it:
+	// traces at least this slow always export.
 	SlowTraceThreshold time.Duration
+	// OTLPEndpoint is the base URL of an OTLP/HTTP collector (e.g.
+	// http://otel:4318); traces POST to /v1/traces and metric snapshots to
+	// /v1/metrics under it. Empty disables export entirely — the disabled
+	// path is a nil-receiver no-op, costing no allocation on the solve path.
+	OTLPEndpoint string
+	// TraceSampleRate is the tail sampler's probability for unremarkable
+	// traces (slow and 5xx traces always export). 0 defaults to 1.0; use a
+	// negative value to export only slow/error traces.
+	TraceSampleRate float64
+	// AuditRingSize bounds the per-request search convergence audit trail
+	// (events retained per search) and the /debug/search history ring.
+	// 0 picks the default (256); negative disables auditing.
+	AuditRingSize int
 }
 
 // DefaultOptions returns the production defaults.
@@ -108,6 +125,8 @@ func DefaultOptions() Options {
 
 		TraceRingSize:      64,
 		SlowTraceThreshold: 2 * time.Second,
+		TraceSampleRate:    1.0,
+		AuditRingSize:      256,
 	}
 }
 
@@ -144,6 +163,12 @@ func (o Options) withDefaults() Options {
 	if o.SlowTraceThreshold <= 0 {
 		o.SlowTraceThreshold = d.SlowTraceThreshold
 	}
+	if o.TraceSampleRate == 0 {
+		o.TraceSampleRate = d.TraceSampleRate
+	}
+	if o.AuditRingSize == 0 {
+		o.AuditRingSize = d.AuditRingSize
+	}
 	if o.KernelThreads <= 0 {
 		o.KernelThreads = runtime.GOMAXPROCS(0) / o.Workers
 		if o.KernelThreads < 1 {
@@ -171,6 +196,8 @@ type Server struct {
 	recorder *obs.Recorder
 	build    buildInfo
 	started  time.Time
+	exporter *export.Exporter // nil when OTLPEndpoint is unset (no-op)
+	audits   *auditRing       // /debug/search history; nil when auditing disabled
 
 	requests     *metrics.CounterVec // endpoint, code
 	cacheHits    *metrics.CounterVec // endpoint
@@ -200,6 +227,17 @@ func New(opts Options) *Server {
 		build:    readBuildInfo(),
 		started:  time.Now(),
 	}
+	if opts.AuditRingSize > 0 {
+		s.audits = newAuditRing(opts.AuditRingSize)
+	}
+	s.exporter = export.New(export.Options{
+		Endpoint:    opts.OTLPEndpoint,
+		ServiceName: "chipletd",
+		Sampler: export.NewTailSampler(opts.TraceSampleRate,
+			opts.SlowTraceThreshold, time.Now().UnixNano()),
+		MetricsSource: metricsSource(s.reg),
+		Logger:        opts.Logger,
+	})
 	s.requests = s.reg.CounterVec("chipletd_requests_total",
 		"HTTP requests by endpoint and status code.", "endpoint", "code")
 	s.cacheHits = s.reg.CounterVec("chipletd_cache_hits_total",
@@ -276,6 +314,11 @@ func New(opts Options) *Server {
 	s.reg.GaugeFunc("chipletd_eval_engines",
 		"Evaluation engines resident in the fingerprint-keyed cache.",
 		func() float64 { return float64(s.engines.Len()) })
+	s.reg.GaugeFunc("chipletd_process_start_time_seconds",
+		"Unix time the process started, in seconds.",
+		func() float64 { return float64(s.started.UnixNano()) / 1e9 })
+	s.registerRuntimeMetrics()
+	s.registerExporterMetrics()
 
 	s.mux.HandleFunc("POST /v1/thermal/solve", s.instrument("thermal_solve", s.handleSolve))
 	s.mux.HandleFunc("POST /v1/org/search", s.instrument("org_search", s.handleSearch))
@@ -283,6 +326,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /debug/solves", s.handleDebugSolves)
+	s.mux.HandleFunc("GET /debug/search", s.handleDebugSearch)
 	if opts.EnablePprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -326,11 +370,28 @@ func (s *Server) Run(ctx context.Context) error {
 	if perr := s.pool.Shutdown(drainCtx); err == nil {
 		err = perr
 	}
+	// Flush the telemetry queue last, after in-flight requests have finished
+	// enqueueing their traces; a nil exporter is a no-op.
+	if xerr := s.exporter.Shutdown(drainCtx); xerr != nil {
+		s.logger.Warn("exporter shutdown", "err", xerr)
+	}
 	s.logger.Info("drained", "clean", err == nil)
 	return err
 }
 
+// Exporter returns the OTLP exporter (nil when export is disabled). Tests
+// and embedding callers that serve via Handler instead of Run use it to
+// flush or shut down the export queue themselves.
+func (s *Server) Exporter() *export.Exporter { return s.exporter }
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Content negotiation: OpenMetrics when asked for (it carries the
+	// per-bucket trace exemplars), classic Prometheus text otherwise.
+	if accept := r.Header.Get("Accept"); strings.Contains(accept, "application/openmetrics-text") {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		_ = s.reg.WriteOpenMetrics(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.reg.WritePrometheus(w)
 }

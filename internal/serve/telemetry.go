@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"time"
+
+	"chiplet25d/internal/obs"
+	"chiplet25d/internal/obs/export"
+	"chiplet25d/internal/serve/metrics"
+)
+
+// Telemetry egress wiring: the adapter from the hand-rolled metrics
+// registry to the OTLP exporter's input shape, plus registration of the Go
+// runtime collector and the exporter's own self-telemetry.
+
+// metricsSource adapts the registry's snapshot to the exporter's metric
+// shape, keeping internal/obs/export free of serve dependencies.
+func metricsSource(reg *metrics.Registry) func() []export.Metric {
+	return func() []export.Metric {
+		fams := reg.Snapshot()
+		out := make([]export.Metric, 0, len(fams))
+		for _, f := range fams {
+			m := export.Metric{Name: f.Name, Description: f.Help}
+			switch f.Type {
+			case "counter":
+				m.Type = export.TypeCounter
+			case "histogram":
+				m.Type = export.TypeHistogram
+			default:
+				m.Type = export.TypeGauge
+			}
+			for _, p := range f.Points {
+				pt := export.Point{Attrs: p.Labels, Value: p.Value}
+				if p.Hist != nil {
+					pt.Hist = &export.HistPoint{
+						Bounds: p.Hist.Bounds,
+						Counts: p.Hist.Counts,
+						Sum:    p.Hist.Sum,
+						Count:  p.Hist.Count,
+					}
+				}
+				m.Points = append(m.Points, pt)
+			}
+			out = append(out, m)
+		}
+		return out
+	}
+}
+
+// toHistSnapshot converts a rebucketed runtime histogram to the registry's
+// callback shape.
+func toHistSnapshot(h obs.RuntimeHist) metrics.HistSnapshot {
+	return metrics.HistSnapshot{Bounds: h.Bounds, Counts: h.Counts, Sum: h.Sum, Count: h.Count}
+}
+
+// registerRuntimeMetrics exposes Go runtime health: goroutines, heap, GC
+// cycles, and the two latency distributions (GC pause, scheduler latency)
+// rebucketed from runtime/metrics. All callbacks share one collector whose
+// 1s cache bounds the cost of concurrent scrapes.
+func (s *Server) registerRuntimeMetrics() {
+	rc := obs.NewRuntimeCollector(time.Second)
+	s.reg.GaugeFunc("chipletd_go_goroutines",
+		"Live goroutines.",
+		func() float64 { return rc.Stats().Goroutines })
+	s.reg.GaugeFunc("chipletd_go_heap_bytes",
+		"Bytes of live heap objects.",
+		func() float64 { return rc.Stats().HeapBytes })
+	s.reg.GaugeFunc("chipletd_go_heap_objects",
+		"Live heap objects.",
+		func() float64 { return rc.Stats().HeapObjects })
+	s.reg.CounterFunc("chipletd_go_gc_cycles_total",
+		"Completed GC cycles.",
+		func() float64 { return rc.Stats().GCCycles })
+	s.reg.HistogramFunc("chipletd_go_gc_pause_seconds",
+		"Distribution of GC stop-the-world pause durations.",
+		func() metrics.HistSnapshot { return toHistSnapshot(rc.Stats().GCPause) })
+	s.reg.HistogramFunc("chipletd_go_sched_latency_seconds",
+		"Distribution of goroutine scheduling latency.",
+		func() metrics.HistSnapshot { return toHistSnapshot(rc.Stats().SchedLatency) })
+}
+
+// registerExporterMetrics exposes the OTLP exporter's self-telemetry. The
+// callbacks are nil-safe (a disabled exporter reads as zeros), so they are
+// registered unconditionally.
+func (s *Server) registerExporterMetrics() {
+	s.reg.CounterFunc("chipletd_otlp_exported_traces_total",
+		"Request traces successfully exported over OTLP.",
+		func() float64 { return float64(s.exporter.Stats().Exported) })
+	s.reg.CounterFunc("chipletd_otlp_dropped_traces_total",
+		"Traces evicted from the full export queue (drop-oldest backpressure).",
+		func() float64 { return float64(s.exporter.Stats().Dropped) })
+	s.reg.CounterFunc("chipletd_otlp_sampled_out_traces_total",
+		"Completed traces the tail sampler chose not to export.",
+		func() float64 { return float64(s.exporter.Stats().Sampled) })
+	s.reg.CounterFunc("chipletd_otlp_export_errors_total",
+		"Failed OTLP export POSTs (traces and metrics).",
+		func() float64 { return float64(s.exporter.Stats().Errors) })
+	s.reg.GaugeFunc("chipletd_otlp_queue_depth",
+		"Traces waiting in the export queue.",
+		func() float64 { return float64(s.exporter.Stats().QueueDepth) })
+}

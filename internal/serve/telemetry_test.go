@@ -1,0 +1,389 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// otlpCapture is an httptest OTLP collector that retains decoded spans.
+type otlpCapture struct {
+	mu    sync.Mutex
+	spans []capturedSpan
+}
+
+type capturedSpan struct {
+	TraceID  string `json:"traceId"`
+	SpanID   string `json:"spanId"`
+	ParentID string `json:"parentSpanId"`
+	Name     string `json:"name"`
+	Kind     int    `json:"kind"`
+	Attrs    []struct {
+		Key   string `json:"key"`
+		Value struct {
+			String *string  `json:"stringValue"`
+			Int    *string  `json:"intValue"`
+			Double *float64 `json:"doubleValue"`
+		} `json:"value"`
+	} `json:"attributes"`
+}
+
+func (c *otlpCapture) handler(t *testing.T) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/traces" {
+			return // metric exports are exercised in the export package
+		}
+		body, _ := io.ReadAll(r.Body)
+		var payload struct {
+			ResourceSpans []struct {
+				ScopeSpans []struct {
+					Spans []capturedSpan `json:"spans"`
+				} `json:"scopeSpans"`
+			} `json:"resourceSpans"`
+		}
+		if err := json.Unmarshal(body, &payload); err != nil {
+			t.Errorf("collector got invalid OTLP/JSON: %v", err)
+			return
+		}
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		for _, rs := range payload.ResourceSpans {
+			for _, ss := range rs.ScopeSpans {
+				c.spans = append(c.spans, ss.Spans...)
+			}
+		}
+	}
+}
+
+func (c *otlpCapture) snapshot() []capturedSpan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]capturedSpan(nil), c.spans...)
+}
+
+func (s capturedSpan) attr(key string) (string, bool) {
+	for _, a := range s.Attrs {
+		if a.Key != key {
+			continue
+		}
+		switch {
+		case a.Value.String != nil:
+			return *a.Value.String, true
+		case a.Value.Int != nil:
+			return *a.Value.Int, true
+		}
+	}
+	return "", false
+}
+
+// TestOTLPExportEndToEnd is the tentpole acceptance test: a request with an
+// incoming W3C traceparent, served by the real handler stack, must arrive
+// at an OTLP/JSON collector carrying the propagated trace ID, the SERVER
+// root span, the engine span tree with its fidelity attribute, and the
+// response must echo a traceparent parented on the propagated trace.
+func TestOTLPExportEndToEnd(t *testing.T) {
+	capture := &otlpCapture{}
+	collector := httptest.NewServer(capture.handler(t))
+	defer collector.Close()
+
+	s := testServer(t, func(o *Options) {
+		o.OTLPEndpoint = collector.URL
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Exporter().Shutdown(ctx)
+	}()
+
+	const (
+		remoteTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
+		remoteSpan  = "00f067aa0ba902b7"
+	)
+	// The search route is the one whose engine spans carry fidelity
+	// decisions, so it exercises the full span tree.
+	req := httptest.NewRequest(http.MethodPost, "/v1/org/search", strings.NewReader(searchBody))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", "00-"+remoteTrace+"-"+remoteSpan+"-01")
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search = %d: %s", rec.Code, rec.Body)
+	}
+
+	// The response joins the caller's trace and advertises the server span
+	// as the new parent.
+	tp := rec.Header().Get("Traceparent")
+	if !strings.HasPrefix(tp, "00-"+remoteTrace+"-") {
+		t.Fatalf("response traceparent %q does not join trace %s", tp, remoteTrace)
+	}
+
+	// Flush synchronously instead of waiting out the batch timer.
+	if err := s.Exporter().Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	spans := capture.snapshot()
+	if len(spans) == 0 {
+		t.Fatal("collector received no spans")
+	}
+	var root, sim *capturedSpan
+	for i := range spans {
+		if spans[i].TraceID != remoteTrace {
+			t.Errorf("span %q trace id %q, want propagated %s", spans[i].Name, spans[i].TraceID, remoteTrace)
+		}
+		switch {
+		case spans[i].Kind == 2:
+			root = &spans[i]
+		case spans[i].Name == "engine.sim":
+			sim = &spans[i]
+		}
+	}
+	if root == nil {
+		t.Fatal("no SERVER root span exported")
+	}
+	if root.Name != "org_search" || root.ParentID != remoteSpan {
+		t.Errorf("root = %q parent %q, want org_search parented on %s", root.Name, root.ParentID, remoteSpan)
+	}
+	if v, ok := root.attr("status"); !ok || v != "200" {
+		t.Errorf("root status attr = %q (%v)", v, ok)
+	}
+	if _, ok := root.attr("request.id"); !ok {
+		t.Error("root span missing request.id")
+	}
+	if sim == nil {
+		t.Fatal("engine.sim span not exported")
+	}
+	if fid, ok := sim.attr("fidelity"); !ok || fid == "" {
+		t.Error("engine.sim span missing the fidelity attribute")
+	}
+}
+
+// auditSearchBody uses 16 chiplets: the 4-chiplet search takes the
+// paper-organization fast path with no greedy restarts, while n=16 runs the
+// multi-start greedy whose seeding and moves the audit trail records.
+const auditSearchBody = `{
+  "benchmark": "swaptions",
+  "threshold_c": 85,
+  "chiplet_counts": [16],
+  "interposer_min_mm": 30,
+  "interposer_max_mm": 30,
+  "starts": 1,
+  "thermal_grid_n": 8,
+  "surrogate_margin_c": -1
+}`
+
+// TestSearchAuditTrail: ?audit=1 returns the convergence audit inline with
+// restart seeds and per-evaluation fidelity decisions, the plain response
+// omits it, and /debug/search retains the trail for later inspection.
+func TestSearchAuditTrail(t *testing.T) {
+	s := testServer(t, nil)
+	h := s.Handler()
+
+	rec := postJSON(t, h, "/v1/org/search?audit=1", auditSearchBody)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search = %d: %s", rec.Code, rec.Body)
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Audit == nil || len(resp.Audit.Events) == 0 {
+		t.Fatal("?audit=1 response has no audit trail")
+	}
+	kinds := map[string]int{}
+	for _, ev := range resp.Audit.Events {
+		kinds[ev.Kind]++
+	}
+	if kinds["restart_seeded"] == 0 {
+		t.Errorf("audit has no restart_seeded events: %v", kinds)
+	}
+	if kinds["eval"] == 0 {
+		t.Errorf("audit has no eval events: %v", kinds)
+	}
+	sawFidelity := false
+	for _, ev := range resp.Audit.Events {
+		if ev.Kind == "eval" && ev.Fidelity != "" {
+			sawFidelity = true
+			break
+		}
+	}
+	if !sawFidelity {
+		t.Error("no eval event carries a fidelity decision")
+	}
+
+	// Cached re-request without ?audit=1 must not leak the trail.
+	rec2 := postJSON(t, h, "/v1/org/search", auditSearchBody)
+	var resp2 SearchResponse
+	if err := json.Unmarshal(rec2.Body.Bytes(), &resp2); err != nil {
+		t.Fatal(err)
+	}
+	if !resp2.Cached {
+		t.Error("second identical search not cached")
+	}
+	if resp2.Audit != nil {
+		t.Error("audit trail returned without ?audit=1")
+	}
+	// And with ?audit=1 the cached response still carries it.
+	rec3 := postJSON(t, h, "/v1/org/search?audit=1", auditSearchBody)
+	var resp3 SearchResponse
+	if err := json.Unmarshal(rec3.Body.Bytes(), &resp3); err != nil {
+		t.Fatal(err)
+	}
+	if resp3.Audit == nil || len(resp3.Audit.Events) == 0 {
+		t.Error("cached ?audit=1 response lost the audit trail")
+	}
+
+	// The debug ring has the computation's record.
+	drec := httptest.NewRecorder()
+	h.ServeHTTP(drec, httptest.NewRequest(http.MethodGet, "/debug/search", nil))
+	if drec.Code != http.StatusOK {
+		t.Fatalf("debug/search = %d", drec.Code)
+	}
+	var dbg struct {
+		Searches []struct {
+			RequestID string `json:"request_id"`
+			CacheKey  string `json:"cache_key"`
+			Feasible  bool   `json:"feasible"`
+			Trail     *struct {
+				Events []json.RawMessage `json:"events"`
+			} `json:"trail"`
+		} `json:"searches"`
+	}
+	if err := json.Unmarshal(drec.Body.Bytes(), &dbg); err != nil {
+		t.Fatal(err)
+	}
+	if len(dbg.Searches) != 1 {
+		t.Fatalf("debug/search has %d records, want 1 (cache hits must not re-record)", len(dbg.Searches))
+	}
+	if dbg.Searches[0].Trail == nil || len(dbg.Searches[0].Trail.Events) == 0 {
+		t.Error("debug/search record has no trail")
+	}
+	if dbg.Searches[0].CacheKey != resp.CacheKey {
+		t.Errorf("debug cache key %q != response %q", dbg.Searches[0].CacheKey, resp.CacheKey)
+	}
+}
+
+// TestAuditDisabled: a negative ring size disables auditing end to end.
+func TestAuditDisabled(t *testing.T) {
+	s := testServer(t, func(o *Options) { o.AuditRingSize = -1 })
+	rec := postJSON(t, s.Handler(), "/v1/org/search?audit=1", searchBody)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search = %d", rec.Code)
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Audit != nil {
+		t.Error("audit trail present with auditing disabled")
+	}
+	drec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(drec, httptest.NewRequest(http.MethodGet, "/debug/search", nil))
+	if drec.Code != http.StatusOK || !strings.Contains(drec.Body.String(), `"searches": []`) {
+		t.Errorf("debug/search with auditing disabled = %d: %s", drec.Code, drec.Body)
+	}
+}
+
+// TestOpenMetricsNegotiation: an OpenMetrics Accept header switches the
+// exposition format and carries trace exemplars on stage histograms.
+func TestOpenMetricsNegotiation(t *testing.T) {
+	s := testServer(t, nil)
+	h := s.Handler()
+	if rec := postJSON(t, h, "/v1/org/search", searchBody); rec.Code != http.StatusOK {
+		t.Fatalf("search = %d", rec.Code)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("openmetrics scrape = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "application/openmetrics-text") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body := rec.Body.String()
+	if !strings.HasSuffix(strings.TrimRight(body, "\n")+"\n", "# EOF\n") {
+		t.Error("OpenMetrics exposition missing # EOF terminator")
+	}
+	if !strings.Contains(body, "# {trace_id=") {
+		t.Error("OpenMetrics exposition has no trace exemplars")
+	}
+	if !strings.Contains(body, `fidelity="`) {
+		t.Error("no per-fidelity exemplar on the stage histograms")
+	}
+
+	// The classic scrape stays exemplar-free (0.0.4 parsers reject them).
+	classic := scrape(t, h)
+	if strings.Contains(classic, "# {") {
+		t.Error("Prometheus 0.0.4 exposition leaked exemplar syntax")
+	}
+	if strings.Contains(classic, "# EOF") {
+		t.Error("Prometheus 0.0.4 exposition has an OpenMetrics terminator")
+	}
+}
+
+// TestRuntimeAndProcessMetrics: the Go runtime collector and process start
+// time are exposed with sane values.
+func TestRuntimeAndProcessMetrics(t *testing.T) {
+	s := testServer(t, nil)
+	expo := scrape(t, s.Handler())
+	if v := metricValue(t, expo, "chipletd_go_goroutines"); v < 1 {
+		t.Errorf("chipletd_go_goroutines = %v", v)
+	}
+	if v := metricValue(t, expo, "chipletd_go_heap_bytes"); v <= 0 {
+		t.Errorf("chipletd_go_heap_bytes = %v", v)
+	}
+	if v := metricValue(t, expo, "chipletd_process_start_time_seconds"); v < 1e9 {
+		t.Errorf("chipletd_process_start_time_seconds = %v (not a plausible unix time)", v)
+	}
+	for _, name := range []string{
+		"chipletd_go_gc_pause_seconds_count",
+		"chipletd_go_sched_latency_seconds_count",
+		"chipletd_otlp_exported_traces_total",
+		"chipletd_otlp_queue_depth",
+	} {
+		if !strings.Contains(expo, name) {
+			t.Errorf("metrics missing %s", name)
+		}
+	}
+}
+
+// TestExporterShutdownStopsGoroutines: the exporter's worker must exit on
+// Shutdown — the goleak-style guard behind the daemon's clean-drain claim.
+func TestExporterShutdownStopsGoroutines(t *testing.T) {
+	collector := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer collector.Close()
+
+	before := runtime.NumGoroutine()
+	s := testServer(t, func(o *Options) { o.OTLPEndpoint = collector.URL })
+	if rec := postJSON(t, s.Handler(), "/v1/thermal/solve", solveBody); rec.Code != http.StatusOK {
+		t.Fatalf("solve = %d", rec.Code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Exporter().Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// Bounded wait for goroutine count to return to (near) baseline. The
+	// pool workers stay up — they belong to the server, not the exporter —
+	// so compare against baseline plus the configured pool size.
+	deadline := time.Now().Add(5 * time.Second)
+	limit := before + s.opts.Workers + 4 // pool workers, runtime sampler, HTTP keepalives
+	for {
+		if runtime.NumGoroutine() <= limit {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines = %d, want <= %d after exporter shutdown", runtime.NumGoroutine(), limit)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

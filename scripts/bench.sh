@@ -17,7 +17,10 @@
 # process-wide engine (the chipletd steady state), and — from the fidelity
 # benchmarks — full_cg_solve_reduction (full-fidelity CG solves divided by
 # spatial-tier CG solves, DoE calibration sims included), the spatial-tier
-# hit ratio, and the warm per-prediction latency of the spatial model.
+# hit ratio, and the warm per-prediction latency of the spatial model. The
+# telemetry benchmarks add export_overhead_ratio (traced+exporting solve over
+# the untraced baseline) and audit_overhead_ratio (audited greedy search over
+# the unaudited one).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -36,7 +39,9 @@ bench_out=$(
         go test -run '^$' -bench 'BenchmarkMultiStartSearch|BenchmarkEngineLookupHit' \
             -benchtime "${SEARCHBENCHTIME:-3x}" ./internal/org &&
         go test -run '^$' -bench 'BenchmarkSearchFullFidelity|BenchmarkSearchSpatialTier|BenchmarkSpatialPredict' \
-            -benchtime "${SEARCHBENCHTIME:-3x}" ./internal/org
+            -benchtime "${SEARCHBENCHTIME:-3x}" ./internal/org &&
+        go test -run '^$' -bench 'BenchmarkSolveUntraced$|BenchmarkSolveTracedExporting$|BenchmarkGreedyPlacementSearch$|BenchmarkGreedyPlacementSearchAudited$' \
+            -benchtime "${SEARCHBENCHTIME:-3x}" .
 )
 echo "$bench_out"
 
@@ -105,6 +110,14 @@ echo "$bench_out" | awk -v out="$out" '
             printf ",\n  \"spatial_hit_ratio\": %s", sh["BenchmarkSearchSpatialTier"] > out
         if ("BenchmarkSpatialPredict" in ns)
             printf ",\n  \"spatial_predict_ns\": %s", ns["BenchmarkSpatialPredict"] > out
+        unt = ns["BenchmarkSolveUntraced"]
+        xp = ns["BenchmarkSolveTracedExporting"]
+        if (unt > 0 && xp > 0)
+            printf ",\n  \"export_overhead_ratio\": %.3f", xp / unt > out
+        plain = ns["BenchmarkGreedyPlacementSearch"]
+        aud = ns["BenchmarkGreedyPlacementSearchAudited"]
+        if (plain > 0 && aud > 0)
+            printf ",\n  \"audit_overhead_ratio\": %.3f", aud / plain > out
         printf "\n}\n" > out
     }'
 

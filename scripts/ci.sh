@@ -16,6 +16,8 @@
 # traced solve, /healthz build info, /metrics histograms, /debug/solves,
 # clean SIGTERM drain), a smoke run of the chipletd cache benchmarks,
 # the tracer-overhead guard (BenchmarkSolveTraced vs BenchmarkSolveUntraced),
+# the export-overhead guard (BenchmarkSolveTracedExporting vs untraced, plus
+# the disabled-exporter zero-allocation test),
 # the thermal kernel-correctness gate (serial vs parallel bit-equality and
 # the concurrent-solve stress, under -race), the org parallel-search
 # determinism gate (parallel multi-start ≡ serial bit-for-bit over a shared
@@ -117,6 +119,28 @@ echo "$bench_out" | awk '
         printf "tracer overhead: traced %.0f ns/op vs untraced %.0f ns/op (%.2fx)\n", t, u, ratio
         if (ratio > 1.05) { print "tracer guard: overhead above 5%" > "/dev/stderr"; exit 1 }
     }'
+
+echo "==> export overhead guard"
+# The OTLP exporter must keep export off the solve path: enqueue is a
+# bounded, drop-oldest append behind a mutex and all POSTs happen on the
+# background worker. Compare the best-of-3 traced+exporting solve against
+# the untraced baseline; fail above +5% (same bound as the tracer guard).
+bench_out=$(go test -run '^$' -bench 'BenchmarkSolve(TracedExporting|Untraced)$' -benchtime 3x -count 3 .)
+echo "$bench_out"
+echo "$bench_out" | awk '
+    /^BenchmarkSolveUntraced/        { if (!u || $3 < u) u = $3 }
+    /^BenchmarkSolveTracedExporting/ { if (!t || $3 < t) t = $3 }
+    END {
+        if (!u || !t) { print "export guard: missing benchmark output" > "/dev/stderr"; exit 1 }
+        ratio = t / u
+        printf "export overhead: exporting %.0f ns/op vs untraced %.0f ns/op (%.2fx)\n", t, u, ratio
+        if (ratio > 1.05) { print "export guard: overhead above 5%" > "/dev/stderr"; exit 1 }
+    }'
+
+echo "==> disabled-exporter zero-allocation gate"
+# With no -otlp-endpoint the exporter is a nil receiver; the per-request
+# cost on the serving path must be exactly zero allocations.
+go test -count 1 -run 'TestDisabledExporterZeroAlloc' ./internal/obs/export
 
 echo "==> thermal kernel correctness (serial vs parallel bit-equality, -race)"
 # Redundant under the full -race run above, but explicit and cheap: the
