@@ -150,10 +150,11 @@ func BenchmarkAblationAllocation(b *testing.B) {
 
 // --- substrate micro-benchmarks ---
 
-// BenchmarkThermalSolve64 measures one steady-state solve of the paper's
-// 64x64 grid for the full 2.5D stack (the unit of work the paper counts in
-// CPU-hours).
-func BenchmarkThermalSolve64(b *testing.B) {
+// solve64Fixture assembles the paper's 64x64 full-stack model with the
+// given preconditioner plus a uniform 400 W power map — the shared setup of
+// the cold-solve and warm-start micro-benchmarks below.
+func solve64Fixture(b *testing.B, precond string) (*thermal.Model, floorplan.Placement, []float64) {
+	b.Helper()
 	pl, err := floorplan.UniformGrid(4, 4)
 	if err != nil {
 		b.Fatal(err)
@@ -162,7 +163,9 @@ func BenchmarkThermalSolve64(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	m, err := thermal.NewModel(stack, thermal.DefaultConfig())
+	cfg := thermal.DefaultConfig()
+	cfg.Preconditioner = precond
+	m, err := thermal.NewModel(stack, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -170,12 +173,63 @@ func BenchmarkThermalSolve64(b *testing.B) {
 	for _, c := range pl.Chiplets {
 		m.Grid().RasterizeAdd(pmap, c, 400.0/float64(len(pl.Chiplets)))
 	}
+	return m, pl, pmap
+}
+
+// benchmarkThermalSolve64 measures one cold steady-state solve of the
+// paper's 64x64 grid (the unit of work the paper counts in CPU-hours) and
+// reports the CG iteration count — the machine-independent half of the
+// speedup claim, which scripts/bench.sh gates on.
+func benchmarkThermalSolve64(b *testing.B, precond string) {
+	m, _, pmap := solve64Fixture(b, precond)
+	iters := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.Solve(pmap); err != nil {
+		res, err := m.Solve(pmap)
+		if err != nil {
 			b.Fatal(err)
 		}
+		iters = res.Iterations
+		res.Recycle()
 	}
+	b.ReportMetric(float64(iters), "cg-iters/op")
+}
+
+// BenchmarkThermalSolve64 is the IC(0)-preconditioned cold solve — the
+// pre-multigrid baseline.
+func BenchmarkThermalSolve64(b *testing.B) { benchmarkThermalSolve64(b, thermal.PrecondIC0) }
+
+// BenchmarkThermalSolve64MG is the multigrid-preconditioned cold solve; its
+// ratio against BenchmarkThermalSolve64 is BENCH_5's cold_solve_speedup.
+func BenchmarkThermalSolve64MG(b *testing.B) { benchmarkThermalSolve64(b, thermal.PrecondMG) }
+
+// BenchmarkThermalSolveWarmNeighbor64MG measures the org engine's
+// cross-evaluation warm start at the solver layer: a multigrid solve of the
+// 64x64 grid seeded with the converged field of the same operator under a
+// neighboring power map (a different DVFS point on the same placement).
+func BenchmarkThermalSolveWarmNeighbor64MG(b *testing.B) {
+	m, _, pmap := solve64Fixture(b, thermal.PrecondMG)
+	seedRes, err := m.Solve(pmap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The neighboring operating point: same placement (same operator),
+	// ~10% lower power everywhere.
+	pmap2 := make([]float64, len(pmap))
+	for i, p := range pmap {
+		pmap2[i] = 0.9 * p
+	}
+	iters := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := m.SolveSeeded(pmap2, seedRes.T)
+		if err != nil {
+			b.Fatal(err)
+		}
+		iters = res.Iterations
+		res.Recycle()
+	}
+	b.ReportMetric(float64(iters), "cg-iters/op")
 }
 
 // BenchmarkThermalModelAssembly measures conductance-matrix assembly plus

@@ -63,6 +63,21 @@ type Engine struct {
 	calibrations    atomic.Int64
 	calWorstErrBits atomic.Uint64
 
+	// warmSeeds counts full simulations whose first CG solve was seeded
+	// from a retained neighbor field (warm != nil and a candidate matched).
+	warmSeeds atomic.Int64
+
+	// warm retains recent converged temperature fields for cross-evaluation
+	// CG warm starts (nil unless Config.WarmStart; see warm.go).
+	warm *warmCache
+
+	// models retains assembled thermal models by placement geometry so the
+	// many evaluations of one placement share its assembly (always on:
+	// reuse is bit-exact; see modelcache.go). modelReuses counts sims that
+	// skipped assembly.
+	models      *modelCache
+	modelReuses atomic.Int64
+
 	// spatials memoizes the per-benchmark spatial surrogate calibrations
 	// (singleflight; see spatial.go).
 	spatialMu sync.Mutex
@@ -70,6 +85,12 @@ type Engine struct {
 }
 
 const (
+	// defaultWarmStartCache is the retained-field count when Config.WarmStart
+	// is set without an explicit Config.WarmStartCache. A full 64x64 field is
+	// 8 sheets x 4096 cells x 8 bytes = 256 KiB, so the default ring tops out
+	// at 8 MiB.
+	defaultWarmStartCache = 32
+
 	engineShards = 64
 	// engineShardCap bounds each shard's completed-entry count so a
 	// long-lived process-wide engine cannot grow without bound; on overflow
@@ -193,6 +214,12 @@ type EngineStats struct {
 	ScalarHits    int64 `json:"scalar_hits"`
 	SpatialHits   int64 `json:"spatial_hits"`
 	CGIterations  int64 `json:"cg_iterations"`
+	// WarmSeeds counts full simulations whose first CG solve started from a
+	// retained neighbor field rather than ambient (0 unless WarmStart).
+	WarmSeeds int64 `json:"warm_seeds"`
+	// ModelReuses counts full simulations that reused a cached thermal
+	// model instead of reassembling it (see modelcache.go).
+	ModelReuses int64 `json:"model_reuses"`
 	// Calibrations counts completed spatial-surrogate calibrations;
 	// CalWorstErrC is the worst calibration error bound (°C) across them,
 	// 0 until the first calibration completes.
@@ -230,6 +257,14 @@ func NewEngine(cfg Config) (*Engine, error) {
 		phys.Thermal.KernelThreads = 1
 	}
 	e := &Engine{phys: phys, fp: physFingerprint(cfg), spatials: make(map[benchKey]*calEntry)}
+	if cfg.WarmStart {
+		capacity := cfg.WarmStartCache
+		if capacity == 0 {
+			capacity = defaultWarmStartCache
+		}
+		e.warm = newWarmCache(capacity)
+	}
+	e.models = newModelCache(defaultModelCache)
 	for i := range e.shards {
 		e.shards[i].sims = make(map[engineKey]*simEntry)
 		e.shards[i].nocs = make(map[engineKey]float64)
@@ -240,10 +275,16 @@ func NewEngine(cfg Config) (*Engine, error) {
 // physFingerprint canonicalizes the physics substrate of a configuration.
 // KernelThreads is excluded: it is a wall-clock knob with bit-identical
 // results (thermal's determinism contract), so it must not fork engine
-// identity.
+// identity. Preconditioner is excluded by the same rule, one notch weaker:
+// the multigrid and IC(0) solves converge to the same tolerance (verify's
+// differential/mg-ic0 check pins them ≤1e-6 °C apart node-for-node), so
+// the knob changes wall-clock, not answers, and must not fork the memo.
+// Config.WarmStart/WarmStartCache are likewise absent (they are not part
+// of the physics substrate at all).
 func physFingerprint(cfg Config) string {
 	tc := cfg.Thermal
 	tc.KernelThreads = 0
+	tc.Preconditioner = ""
 	return fmt.Sprintf("%#v|%#v|%#v|%#v|%#v", tc, cfg.Leakage, cfg.SimOpts, cfg.Link, cfg.Router)
 }
 
@@ -264,6 +305,8 @@ func (e *Engine) Stats() EngineStats {
 		ScalarHits:    scalar,
 		SpatialHits:   spatial,
 		CGIterations:  e.cgIterations.Load(),
+		WarmSeeds:     e.warmSeeds.Load(),
+		ModelReuses:   e.modelReuses.Load(),
 		Calibrations:  e.calibrations.Load(),
 		CalWorstErrC:  math.Float64frombits(e.calWorstErrBits.Load()),
 	}
@@ -474,11 +517,6 @@ func (e *Engine) runSim(ctx context.Context, b perf.Benchmark, pl floorplan.Plac
 	_, fsp := obs.Start(ctx, "floorplan.build")
 	fsp.SetAttr("chiplets", pl.NumChiplets())
 	fsp.SetAttr("interposer_mm", pl.W)
-	stack, err := floorplan.BuildStack(pl)
-	if err != nil {
-		fsp.End()
-		return SimRecord{}, err
-	}
 	cores, err := pl.Cores()
 	fsp.End()
 	if err != nil {
@@ -486,10 +524,14 @@ func (e *Engine) runSim(ctx context.Context, b perf.Benchmark, pl floorplan.Plac
 	}
 	_, msp := obs.Start(ctx, "thermal.model")
 	msp.SetAttr("grid_n", e.phys.Thermal.Nx)
-	model, err := thermal.NewModel(stack, e.phys.Thermal)
+	model, reused, err := e.model(pl, k.ek.pl)
+	msp.SetAttr("reused", reused)
 	msp.End()
 	if err != nil {
 		return SimRecord{}, err
+	}
+	if reused {
+		e.modelReuses.Add(1)
 	}
 	active, err := power.MintempActive(p)
 	if err != nil {
@@ -502,9 +544,25 @@ func (e *Engine) runSim(ctx context.Context, b perf.Benchmark, pl floorplan.Plac
 		NoCW:     nocW,
 		Leakage:  e.phys.Leakage,
 	}
-	res, err := power.SimulateCtx(ctx, model, cores, w, e.phys.SimOpts)
+	// Cross-evaluation warm start: seed the first solve of the leakage loop
+	// from the nearest retained same-operator field (see warm.go). The seed
+	// only changes how fast CG converges, never what it converges to.
+	warmSource := "ambient"
+	seed := e.warm.nearest(k)
+	if seed != nil {
+		warmSource = "neighbor"
+		e.warmSeeds.Add(1)
+	}
+	esp.SetAttr("warm_source", warmSource)
+	res, err := power.SimulateSeededCtx(ctx, model, cores, w, e.phys.SimOpts, seed)
 	if err != nil {
 		return SimRecord{}, err
+	}
+	if e.warm != nil && res.Thermal != nil {
+		e.warm.put(k, res.Thermal.T)
+		// The field has been copied into the ring; hand the result's buffer
+		// back to the model's solution pool.
+		res.Thermal.Recycle()
 	}
 	return SimRecord{
 		PeakC:             res.PeakC,

@@ -1,0 +1,111 @@
+package org
+
+import (
+	"sync"
+
+	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/thermal"
+)
+
+// defaultModelCache is the number of assembled thermal models the engine
+// retains, keyed by placement geometry. Every full simulation previously
+// paid model assembly again — cheap for IC(0) (~2 ms at 32x32) but the
+// dominant cost of the multigrid path, whose hierarchy setup (Galerkin
+// coarse operators, coarsest-level Cholesky) runs ~7x the base assembly.
+// Reuse hits whenever one placement is simulated at several operating
+// points close together: the DoE calibration (three ops per geometry),
+// corpus-style repeated evaluations, and the surrogate escalation pattern.
+// Measured on the multi-start search itself, recurrence is inherently
+// sparse (~7% of sims — restarts at different operating points walk
+// largely disjoint spacing points, so raising the capacity does not raise
+// the hit count), which keeps the default small; memory bounds it from
+// the other side, a 64x64 multigrid model being tens of MB.
+const defaultModelCache = 16
+
+// modelCache is a bounded ring of assembled thermal models keyed by exact
+// placement geometry. Unlike the warm-start field cache (warm.go), reuse
+// here is bit-exact, not merely tolerance-bounded: a Model is immutable
+// after assembly and fully determined by (stack, thermal config), its
+// pooled workspaces isolate concurrent solves (the TestConcurrentSolves
+// contract), and a freshly assembled model produces the identical factors
+// and hierarchy. The cache therefore runs unconditionally — it cannot
+// change any result, only skip redundant assembly.
+//
+// Two goroutines missing on the same key may both assemble; the duplicate
+// build is wasted work, not a correctness problem, and the sim memo's
+// singleflight already collapses identical evaluations upstream of here.
+type modelCache struct {
+	mu    sync.Mutex
+	slots []modelSlot
+	next  int // slot the next put overwrites (oldest entry)
+}
+
+type modelSlot struct {
+	used bool
+	key  plKey
+	m    *thermal.Model
+}
+
+// newModelCache builds a ring of the given capacity (nil when
+// non-positive, which disables reuse).
+func newModelCache(capacity int) *modelCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &modelCache{slots: make([]modelSlot, capacity)}
+}
+
+// get returns the retained model for key k, or nil.
+func (c *modelCache) get(k plKey) *thermal.Model {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.slots {
+		if s := &c.slots[i]; s.used && s.key == k {
+			return s.m
+		}
+	}
+	return nil
+}
+
+// put retains model m for key k, overwriting the oldest slot. A concurrent
+// duplicate of an already-retained key is left in place (first build wins,
+// both are identical).
+func (c *modelCache) put(k plKey, m *thermal.Model) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.slots {
+		if s := &c.slots[i]; s.used && s.key == k {
+			return
+		}
+	}
+	s := &c.slots[c.next]
+	s.used = true
+	s.key = k
+	s.m = m
+	c.next = (c.next + 1) % len(c.slots)
+}
+
+// model returns the assembled thermal model for placement pl, reusing the
+// cached one when its geometry key is resident and assembling (and
+// retaining) it otherwise. The returned bool reports a cache hit.
+func (e *Engine) model(pl floorplan.Placement, k plKey) (*thermal.Model, bool, error) {
+	if m := e.models.get(k); m != nil {
+		return m, true, nil
+	}
+	stack, err := floorplan.BuildStack(pl)
+	if err != nil {
+		return nil, false, err
+	}
+	m, err := thermal.NewModel(stack, e.phys.Thermal)
+	if err != nil {
+		return nil, false, err
+	}
+	e.models.put(k, m)
+	return m, false, nil
+}

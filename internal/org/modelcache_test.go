@@ -1,0 +1,62 @@
+package org
+
+import (
+	"testing"
+
+	"chiplet25d/internal/floorplan"
+)
+
+// TestModelCacheReuse pins the model cache's contract: same geometry key
+// returns the identical *thermal.Model, a different key assembles fresh,
+// and the ring evicts the oldest entry at capacity.
+func TestModelCacheReuse(t *testing.T) {
+	cfg := fastConfig(t, "cholesky")
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.models = newModelCache(2)
+
+	pl4 := testPlacement(t)
+	k4 := keyOf(pl4)
+	m1, reused, err := e.model(pl4, k4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused {
+		t.Fatal("first build reported as a reuse")
+	}
+	m2, reused, err := e.model(pl4, k4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reused || m2 != m1 {
+		t.Fatalf("second lookup: reused=%v, same model=%v; want a cache hit returning the identical model", reused, m2 == m1)
+	}
+
+	// Two more geometries overflow the 2-slot ring and evict pl4.
+	plA, err := floorplan.PaperOrg(4, 0, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plB, err := floorplan.PaperOrg(16, 0.5, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, reused, err = e.model(plA, keyOf(plA)); err != nil || reused {
+		t.Fatalf("new geometry A: reused=%v err=%v", reused, err)
+	}
+	if _, reused, err = e.model(plB, keyOf(plB)); err != nil || reused {
+		t.Fatalf("new geometry B: reused=%v err=%v", reused, err)
+	}
+	m3, reused, err := e.model(pl4, k4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused {
+		t.Fatal("evicted geometry still reported as resident")
+	}
+	if m3 == m1 {
+		t.Fatal("evicted geometry returned the stale model pointer")
+	}
+}

@@ -26,7 +26,6 @@ import (
 	"chiplet25d/internal/perf"
 	"chiplet25d/internal/power"
 	"chiplet25d/internal/surrogate"
-	"chiplet25d/internal/thermal"
 )
 
 const (
@@ -280,17 +279,16 @@ func (e *Engine) runDoESim(ctx context.Context, b perf.Benchmark, pt doePoint, s
 	if err != nil {
 		return surrogate.Sample{}, SimRecord{}, err
 	}
-	stack, err := floorplan.BuildStack(pt.pl)
-	if err != nil {
-		return surrogate.Sample{}, SimRecord{}, err
-	}
 	cores, err := pt.pl.Cores()
 	if err != nil {
 		return surrogate.Sample{}, SimRecord{}, err
 	}
-	model, err := thermal.NewModel(stack, e.phys.Thermal)
+	model, reused, err := e.model(pt.pl, k.ek.pl)
 	if err != nil {
 		return surrogate.Sample{}, SimRecord{}, err
+	}
+	if reused {
+		e.modelReuses.Add(1)
 	}
 	active, err := power.MintempActive(pt.p)
 	if err != nil {

@@ -1,0 +1,114 @@
+package org
+
+import "sync"
+
+// warmCache is the engine's bounded ring of recently converged temperature
+// fields, used to seed the first CG solve of an escalated full simulation
+// from a neighboring search point's field instead of ambient.
+//
+// Seeding discipline: a seed only pays when it shares the thermal operator
+// with the solve it seeds — the same placement geometry (plKey), so the
+// conductance matrix is identical and only the power map differs (another
+// DVFS point or active-core count). A field from a perturbed geometry is
+// measurably counterproductive: its error concentrates in the solver's
+// slowest mode, CG loses its superlinear phase, and the seeded solve takes
+// slightly MORE iterations than the ambient cold start (~10% in our
+// benchmarks). nearest therefore requires an exact placement match and
+// ranks the remaining candidates by integer distance over the search
+// coordinates the greedy walk actually moves, (fIdx, cores). In practice
+// the big winner is the surrogate-calibration pattern: the scalar tier
+// simulates every placement at the canonical DVFS point first, so an
+// escalated evaluation at any other point almost always finds a
+// same-operator seed already retained.
+//
+// Memory discipline: the ring holds at most its configured capacity of
+// fields and each slot's buffer is reused across generations, so a
+// long-lived engine does no steady-state warm-cache allocation. Reads copy
+// under the lock: a retained buffer may be overwritten by a concurrent put,
+// and the solver must never observe a torn seed.
+//
+// Purity note: a seed never changes what a simulation converges to beyond
+// the CG tolerance, but it does change the exact floating-point path. With
+// warm starts enabled the engine's memo purity is therefore
+// tolerance-bounded (|ΔT| ≤ solver tolerance, ~1e-6 °C) rather than
+// bit-exact; winner parity on the golden corpus is pinned by verify's
+// differential/warm-start check. WarmStart is a Config knob, default off,
+// so searches that want the bit-exact contract keep it.
+type warmCache struct {
+	mu    sync.Mutex
+	slots []warmSlot
+	next  int // slot the next put overwrites (oldest entry)
+}
+
+type warmSlot struct {
+	used bool
+	key  engineKey
+	t    []float64
+}
+
+// newWarmCache builds a ring of the given capacity (nil when non-positive,
+// which disables warm starts).
+func newWarmCache(capacity int) *warmCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &warmCache{slots: make([]warmSlot, capacity)}
+}
+
+// put retains a copy of field t for key k, overwriting the oldest slot.
+func (c *warmCache) put(k engineKey, t []float64) {
+	if c == nil || len(t) == 0 {
+		return
+	}
+	c.mu.Lock()
+	s := &c.slots[c.next]
+	s.used = true
+	s.key = k
+	if cap(s.t) < len(t) {
+		s.t = make([]float64, len(t))
+	}
+	s.t = s.t[:len(t)]
+	copy(s.t, t)
+	c.next = (c.next + 1) % len(c.slots)
+	c.mu.Unlock()
+}
+
+// nearest returns a copy of the retained field nearest to key k, or nil
+// when no same-operator candidate is resident. Candidates must match k's
+// benchmark and placement geometry exactly (the seed must share the thermal
+// operator; see the type comment); among them the smallest
+// |Δfidx| + |Δcores| wins, ties resolving to the most recently retained.
+func (c *warmCache) nearest(k engineKey) []float64 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	best, bestD := -1, int(^uint(0)>>1)
+	n := len(c.slots)
+	for i := 0; i < n; i++ {
+		// Scan newest-first so distance ties resolve to the most recent.
+		idx := ((c.next-1-i)%n + n) % n
+		s := &c.slots[idx]
+		if !s.used || s.key.bench != k.bench || s.key.ek.pl != k.ek.pl {
+			continue
+		}
+		d := absInt(s.key.ek.fIdx-k.ek.fIdx) + absInt(s.key.ek.cores-k.ek.cores)
+		if d < bestD {
+			best, bestD = idx, d
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	out := make([]float64, len(c.slots[best].t))
+	copy(out, c.slots[best].t)
+	return out
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

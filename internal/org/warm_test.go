@@ -1,0 +1,154 @@
+package org
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/power"
+	"chiplet25d/internal/thermal"
+)
+
+// testPlacement builds one valid 4-chiplet placement for engine-level tests.
+func testPlacement(t testing.TB) floorplan.Placement {
+	t.Helper()
+	pl, err := floorplan.PaperOrg(4, 0, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+// TestWarmCacheNearest pins the cache's seeding discipline: only fields
+// sharing the benchmark and placement geometry are candidates, the smallest
+// (fIdx, cores) distance wins, and reads are copies.
+func TestWarmCacheNearest(t *testing.T) {
+	c := newWarmCache(4)
+	bk := benchKey{name: "b", refCoreW: 1, traffic: 1}
+	pk := plKey{n: 4, edge2: 60, s12: 8, s22: 8}
+	key := func(f, cores int) engineKey {
+		return engineKey{bench: bk, ek: evalKey{pl: pk, fIdx: f, cores: cores}}
+	}
+	c.put(key(0, 64), []float64{1})
+	c.put(key(3, 64), []float64{2})
+	otherPl := key(1, 64)
+	otherPl.ek.pl.s12 = 10
+	c.put(otherPl, []float64{3})
+
+	got := c.nearest(key(1, 64))
+	if got == nil || got[0] != 1 {
+		t.Fatalf("nearest(f=1) = %v, want the f=0 field (same operator, distance 1)", got)
+	}
+	got = c.nearest(key(4, 64))
+	if got == nil || got[0] != 2 {
+		t.Fatalf("nearest(f=4) = %v, want the f=3 field", got)
+	}
+	// A different placement geometry must never serve as a seed, however
+	// close: the operator differs and the seed would cost iterations.
+	lonely := key(0, 64)
+	lonely.ek.pl.edge2 = 90
+	if got := c.nearest(lonely); got != nil {
+		t.Fatalf("nearest for an unseen geometry = %v, want nil", got)
+	}
+	// Mutating the returned copy must not corrupt the retained field.
+	got = c.nearest(key(0, 64))
+	got[0] = math.NaN()
+	if again := c.nearest(key(0, 64)); again[0] != 1 {
+		t.Fatalf("retained field corrupted by caller mutation: %v", again)
+	}
+	// The ring is bounded: capacity+1 inserts for the same geometry evict
+	// the oldest.
+	small := newWarmCache(2)
+	small.put(key(0, 64), []float64{10})
+	small.put(key(1, 64), []float64{11})
+	small.put(key(2, 64), []float64{12})
+	if got := small.nearest(key(0, 64)); got == nil || got[0] != 11 {
+		t.Fatalf("after overflow nearest(f=0) = %v, want the f=1 field (f=0 evicted)", got)
+	}
+}
+
+// TestEngineWarmStartMatchesCold is the engine-level warm-start contract:
+// with WarmStart on, a simulation seeded from a neighboring DVFS point's
+// field converges to the same record as the cold engine within the solver
+// tolerance, and the engine reports the seed in its telemetry.
+func TestEngineWarmStartMatchesCold(t *testing.T) {
+	cfg := fastConfig(t, "cholesky")
+	cfg.Thermal.Preconditioner = thermal.PrecondMG
+	warmCfg := cfg
+	warmCfg.WarmStart = true
+
+	cold, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := NewEngine(warmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Fingerprint() != warm.Fingerprint() {
+		t.Fatalf("WarmStart must not fork the physics fingerprint")
+	}
+	pl := testPlacement(t)
+	ctx := context.Background()
+	for _, fIdx := range []int{0, 1, 2} {
+		op := power.FrequencySet[fIdx]
+		want, _, err := cold.Simulate(ctx, cfg.Benchmark, pl, op, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := warm.Simulate(ctx, cfg.Benchmark, pl, op, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(got.PeakC - want.PeakC); d > 1e-5 {
+			t.Errorf("fIdx %d: warm peak differs from cold by %g °C", fIdx, d)
+		}
+		if d := math.Abs(got.TotalPowerW - want.TotalPowerW); d > 1e-5 {
+			t.Errorf("fIdx %d: warm power differs from cold by %g W", fIdx, d)
+		}
+	}
+	st := warm.Stats()
+	if st.WarmSeeds < 2 {
+		t.Errorf("warm engine reported %d seeded simulations, want >= 2 (fIdx 1 and 2 both had a same-operator neighbor)", st.WarmSeeds)
+	}
+	if cs := cold.Stats(); cs.WarmSeeds != 0 {
+		t.Errorf("cold engine reported %d warm seeds, want 0", cs.WarmSeeds)
+	}
+}
+
+// TestWarmStartSearchWinnerParity runs the full multi-start search with and
+// without warm starts: the chosen organization must be identical (the seed
+// perturbs peak temperatures by ~1e-6 °C at most, far below any decision
+// margin on the test corpus).
+func TestWarmStartSearchWinnerParity(t *testing.T) {
+	cfg := fastConfig(t, "cholesky")
+	cfg.Thermal.Preconditioner = thermal.PrecondMG
+	cold, err := NewSearcher(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cold.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := cfg
+	wc.WarmStart = true
+	warm, err := NewSearcher(wc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := warm.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, w := got.Best, want.Best
+	if got.Feasible != want.Feasible || b.N != w.N || b.S1 != w.S1 || b.S2 != w.S2 ||
+		b.S3 != w.S3 || b.InterposerMM != w.InterposerMM || b.Op != w.Op ||
+		b.ActiveCores != w.ActiveCores {
+		t.Fatalf("warm-start search winner\n  %+v\ndiffers from cold winner\n  %+v", b, w)
+	}
+	if d := math.Abs(b.PeakC - w.PeakC); d > 1e-5 {
+		t.Errorf("winner peak temperature differs by %g °C between warm and cold searches", d)
+	}
+}

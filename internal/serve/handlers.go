@@ -20,6 +20,7 @@ import (
 	"chiplet25d/internal/perf"
 	"chiplet25d/internal/power"
 	"chiplet25d/internal/serve/pool"
+	"chiplet25d/internal/thermal"
 )
 
 // statusClientClosed is the nginx-convention code for "client went away
@@ -183,6 +184,13 @@ type solveSpec struct {
 	// excluded from cacheKey: thread count never changes the bits of the
 	// result (thermal's determinism contract), only the wall clock.
 	kthreads int
+	// precond and warmStart are the server's solver-acceleration settings
+	// (Options.Preconditioner/WarmStart). Excluded from cacheKey by the
+	// same rule as kthreads, one notch weaker: they change how fast a
+	// solve converges, and the result only to within the CG tolerance
+	// (~1e-6 °C), never which answer a request gets.
+	precond   string
+	warmStart bool
 }
 
 func (req *SolveRequest) resolve(maxGridN int) (*solveSpec, error) {
@@ -221,6 +229,15 @@ func (req *SolveRequest) resolve(maxGridN int) (*solveSpec, error) {
 // the resolution at which two geometries are thermally identical.
 func hm(v float64) int { return int(math.Round(v * 2)) }
 
+// precondLabel canonicalizes a preconditioner setting for the
+// chipletd_cg_iterations metric label (empty means thermal's default).
+func precondLabel(p string) string {
+	if p == "" {
+		return thermal.PrecondIC0
+	}
+	return p
+}
+
 // cacheKey is the content address of the solve: every input that changes
 // the converged result participates; formatting or field order never does.
 func (sp *solveSpec) cacheKey() string {
@@ -238,6 +255,8 @@ func (sp *solveSpec) engineConfig() org.Config {
 	cfg := org.DefaultConfig(sp.bench)
 	cfg.Thermal.Nx, cfg.Thermal.Ny = sp.gridN, sp.gridN
 	cfg.Thermal.KernelThreads = sp.kthreads
+	cfg.Thermal.Preconditioner = sp.precond
+	cfg.WarmStart = sp.warmStart
 	return cfg
 }
 
@@ -282,6 +301,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sp.kthreads = s.opts.KernelThreads
+	sp.precond = s.opts.Preconditioner
+	sp.warmStart = s.opts.WarmStart
 	key := sp.cacheKey()
 	// The cache runs the computation on a context detached from this
 	// request (its lifetime is refcounted across all waiters), so the
@@ -297,7 +318,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			if err == nil && st.Sims > 0 {
 				s.thermalSims.Add(float64(st.Sims))
 				s.cgIterations.Add(float64(st.CGIterations))
-				s.cgIterHist.Observe(float64(res.CGIterations))
+				s.cgIterHist.With(precondLabel(sp.precond)).Observe(float64(res.CGIterations))
 				s.leakIterHist.Observe(float64(res.LeakageIterations))
 			}
 			return res, err
@@ -409,10 +430,17 @@ func searchKey(cfg org.Config, exhaustive bool) (string, error) {
 	// with bit-identical results (thermal's and org's determinism
 	// contracts), so they must not fork the content-addressed identity of a
 	// search: a serial and a parallel run of the same search share one cache
-	// entry.
+	// entry. The preconditioner and warm-start knobs are excluded by the
+	// same rule, one notch weaker: multigrid and IC(0) solves, seeded or
+	// cold, converge to the same tolerance (~1e-6 °C; verify's differential
+	// checks pin it), so they change how fast a search runs, not which
+	// winner it finds.
 	cfg.Thermal.KernelThreads = 0
 	cfg.SearchWorkers = 0
 	cfg.ParallelWorkers = 0
+	cfg.Thermal.Preconditioner = ""
+	cfg.WarmStart = false
+	cfg.WarmStartCache = 0
 	var buf bytes.Buffer
 	if err := config.Save(&buf, cfg); err != nil {
 		return "", err
@@ -446,6 +474,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		// Requests that do not pin their own restart parallelism get the
 		// daemon's per-search budget.
 		cfg.SearchWorkers = s.opts.SearchWorkers
+	}
+	if req.File.Preconditioner == nil && s.opts.Preconditioner != "" {
+		// Requests that do not choose a preconditioner inherit the daemon's
+		// (tolerance-equivalent; see searchKey).
+		cfg.Thermal.Preconditioner = s.opts.Preconditioner
+	}
+	if req.File.WarmStart == nil && s.opts.WarmStart {
+		cfg.WarmStart = true
 	}
 	if req.File.SpatialSurrogate == nil && s.opts.SpatialSurrogate {
 		// Requests that do not choose a fidelity policy inherit the daemon's

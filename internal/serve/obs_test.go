@@ -228,7 +228,7 @@ func TestObservabilityMetrics(t *testing.T) {
 	expo := scrape(t, h)
 	for _, want := range []string{
 		"chipletd_cg_iterations_bucket",
-		"chipletd_cg_iterations_count 1",
+		`chipletd_cg_iterations_count{precond="ic0"} 1`,
 		"chipletd_leakage_iterations_count 1",
 		`chipletd_stage_duration_seconds_count{stage="thermal.cg"}`,
 		`chipletd_stage_duration_seconds_count{stage="cache.lookup"}`,

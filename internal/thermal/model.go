@@ -52,6 +52,16 @@ type Config struct {
 	// avoid oversubscription. The thread count never changes results: the
 	// kernel is bit-deterministic across worker counts (see kernel.go).
 	KernelThreads int
+	// Preconditioner selects the CG preconditioner: PrecondIC0 (also the
+	// empty string) or PrecondMG for the geometric multigrid V-cycle (see
+	// mg.go). Grids the coarsener cannot halve fall back to IC(0);
+	// PreconditionerName reports what a model actually uses. Like
+	// KernelThreads this is a performance knob excluded from cache
+	// identity — both preconditioners converge the same system to the
+	// configured Tolerance — but unlike KernelThreads the two paths agree
+	// only to solver tolerance, not bit-for-bit. Within one
+	// preconditioner, results stay bit-identical at every thread count.
+	Preconditioner string
 }
 
 // DefaultConfig returns the evaluation configuration from Sec. IV: 64x64
@@ -94,6 +104,11 @@ func (c Config) Validate() error {
 	if c.KernelThreads < 0 {
 		return fmt.Errorf("thermal: kernel threads must be non-negative, got %d", c.KernelThreads)
 	}
+	switch c.Preconditioner {
+	case "", PrecondIC0, PrecondMG:
+	default:
+		return fmt.Errorf("thermal: unknown preconditioner %q (want %q or %q)", c.Preconditioner, PrecondIC0, PrecondMG)
+	}
 	return nil
 }
 
@@ -128,7 +143,14 @@ type Model struct {
 
 	sinkBase int // node index of the first sink node
 
-	precond *icPreconditioner
+	// precond is the IC(0) factorization, always built: it is the default
+	// preconditioner, the fallback when the multigrid coarsener declines a
+	// geometry, and what the transient solver derives its shifted variant
+	// from. mg is non-nil only when cfg.Preconditioner selected multigrid
+	// and the hierarchy was buildable; runPCG prefers it.
+	precond     *icPreconditioner
+	mg          *mgPreconditioner
+	precondName string
 
 	// wsPool recycles CG scratch workspaces and xPool recycled solution
 	// vectors (fed by Result.Recycle), so steady-state warm solves do no
@@ -181,14 +203,25 @@ func NewModel(stack floorplan.Stack, cfg Config) (*Model, error) {
 }
 
 // finalize converts the assembled edge list into the solver's CSR layout,
-// derives the IC(0) preconditioner from the same (already column-sorted)
+// derives the preconditioner from the same (already column-sorted)
 // structure, and drops the edge list — after this point every matvec is a
 // gather-only row sweep over the CSR arrays.
 func (m *Model) finalize() {
 	m.csr = newCSR(m.nNodes, m.links)
 	m.precond = newICFromCSR(m.nNodes, m.diag, m.csr)
+	m.precondName = PrecondIC0
+	if m.cfg.Preconditioner == PrecondMG {
+		if mg := newMultigrid(m.nLayer+2, m.cfg.Nx, m.cfg.Ny, m.diag, m.csr); mg != nil {
+			m.mg = mg
+			m.precondName = PrecondMG
+		}
+	}
 	m.links = nil
 }
+
+// PreconditionerName reports the preconditioner the model's solves use:
+// PrecondMG when multigrid was requested and buildable, else PrecondIC0.
+func (m *Model) PreconditionerName() string { return m.precondName }
 
 // addLink registers a symmetric conductance g between nodes a and b.
 func (m *Model) addLink(a, b int, g float64) {

@@ -213,6 +213,25 @@ func (m *Model) SolveWarm(chipPower []float64, prev *Result) (*Result, error) {
 
 // SolveWarmCtx is SolveWarm with cooperative cancellation (see SolveCtx).
 func (m *Model) SolveWarmCtx(ctx context.Context, chipPower []float64, prev *Result) (*Result, error) {
+	var seed []float64
+	if prev != nil {
+		seed = prev.T
+	}
+	return m.SolveSeededCtx(ctx, chipPower, seed)
+}
+
+// SolveSeeded is Solve with the CG iteration seeded from an arbitrary
+// temperature field (length NumNodes) — typically a retained field from a
+// neighboring evaluation rather than this model's own previous result.
+// Seeds that cannot safely start an iteration (wrong length, or holding
+// NaN/Inf entries) are ignored and the solve cold-starts from ambient, so
+// a bad seed can cost time but never correctness.
+func (m *Model) SolveSeeded(chipPower, seed []float64) (*Result, error) {
+	return m.SolveSeededCtx(context.Background(), chipPower, seed)
+}
+
+// SolveSeededCtx is SolveSeeded with cooperative cancellation (see SolveCtx).
+func (m *Model) SolveSeededCtx(ctx context.Context, chipPower, seed []float64) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("thermal: solve abandoned before starting: %w", err)
 	}
@@ -234,15 +253,31 @@ func (m *Model) SolveWarmCtx(ctx context.Context, chipPower []float64, prev *Res
 	}
 	m.addBoundaryRHS(rhs)
 	x := m.getX()
-	warm := prev != nil && len(prev.T) == m.nNodes
+	warm := validSeed(seed, m.nNodes)
 	if warm {
-		copy(x, prev.T)
+		copy(x, seed)
 	} else {
 		for i := range x {
 			x[i] = m.cfg.AmbientC
 		}
 	}
 	return m.runPCG(ctx, ws, x, warm)
+}
+
+// validSeed reports whether a seed field can start a CG iteration: exactly
+// one value per node and every value finite. A NaN or Inf anywhere would
+// poison the Krylov recurrence and surface as a spurious non-convergence
+// (or worse, a NaN field), so such seeds are rejected up front.
+func validSeed(seed []float64, n int) bool {
+	if len(seed) != n {
+		return false
+	}
+	for _, v := range seed {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 // SolveMulti solves with power injected into several package layers at
@@ -303,8 +338,12 @@ func (m *Model) addBoundaryRHS(rhs []float64) {
 // On error the solution buffer goes back to the pool.
 func (m *Model) runPCG(ctx context.Context, ws *workspace, x []float64, warm bool) (*Result, error) {
 	ctx, sp := obs.Start(ctx, "thermal.cg")
+	var pre cgPre = m.precond
+	if m.mg != nil {
+		pre = m.mg
+	}
 	sys := cgSystem{
-		diag: m.diag, mat: m.csr, pre: m.precond,
+		diag: m.diag, mat: m.csr, pre: pre,
 		tol: m.cfg.Tolerance, maxIter: m.cfg.MaxIterations,
 		threads: m.kernelThreads(),
 	}
@@ -315,6 +354,7 @@ func (m *Model) runPCG(ctx context.Context, ws *workspace, x []float64, warm boo
 	}
 	sp.SetAttr("grid_n", m.grid.Nx)
 	sp.SetAttr("warm_start", warm)
+	sp.SetAttr("precond", m.precondName)
 	sp.End()
 	if err != nil {
 		m.xPool.Put(&x)
@@ -324,12 +364,13 @@ func (m *Model) runPCG(ctx context.Context, ws *workspace, x []float64, warm boo
 }
 
 // cgSystem bundles the SPD system one PCG run solves: the (possibly
-// shifted) diagonal, the shared CSR off-diagonals, a matching IC(0)
-// factorization, and the iteration controls.
+// shifted) diagonal, the shared CSR off-diagonals, a matching
+// preconditioner (IC(0) or the multigrid V-cycle), and the iteration
+// controls.
 type cgSystem struct {
 	diag    []float64
 	mat     *csrMatrix
-	pre     *icPreconditioner
+	pre     cgPre
 	tol     float64
 	maxIter int
 	threads int
@@ -354,7 +395,18 @@ func pcgSolve(ctx context.Context, sys *cgSystem, ws *workspace, x, b []float64)
 		}
 		return 0, 0, nil
 	}
-	rz := sys.pre.apply(z, r)
+	// Convergence is relative to ‖b‖ (residualStriped's parts accumulate
+	// Σb², not Σr²), so a warm start's head start is banked rather than
+	// re-normalized away — and a seed already inside tolerance must return
+	// before paying for a single iteration, preconditioner application
+	// included. That early exit is what makes same-operator warm starts
+	// (leakage passes, repeated search points) nearly free.
+	dotStriped(th, r, r, parts)
+	r0norm := math.Sqrt(reduceParts(parts))
+	if r0norm/bnorm < sys.tol {
+		return 0, r0norm / bnorm, nil
+	}
+	rz := sys.pre.precondApply(th, ws, z, r)
 	copy(p, z)
 	for it := 1; it <= sys.maxIter; it++ {
 		if it&0x1f == 0 {
@@ -375,7 +427,7 @@ func pcgSolve(ctx context.Context, sys *cgSystem, ws *workspace, x, b []float64)
 		if rnorm/bnorm < sys.tol {
 			return it, rnorm / bnorm, nil
 		}
-		rzNew := sys.pre.apply(z, r)
+		rzNew := sys.pre.precondApply(th, ws, z, r)
 		beta := rzNew / rz
 		rz = rzNew
 		combineStriped(th, beta, p, z)

@@ -1,0 +1,249 @@
+package verify
+
+import (
+	"math"
+	"math/rand"
+
+	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/org"
+	"chiplet25d/internal/thermal"
+)
+
+// Tolerances for the preconditioner and warm-start differentials. Both
+// solver paths iterate to the same relative-residual target, so the gaps
+// below are bounded by how far a 1e-10 residual can reach through the
+// conductance matrix's condition number — the same argument as
+// GaussSeidelTolC, and observed gaps sit orders of magnitude inside them.
+const (
+	// MGIC0TolC bounds |T_mg - T_ic0| per node: two CG solves of the same
+	// system to relative residual VerifyCGTol, differing only in
+	// preconditioner. Observed gaps stay below 1e-8 °C.
+	MGIC0TolC = 1e-6
+
+	// WarmFixpointRelTol bounds the relative per-node gap between a
+	// warm-started solve and the cold solve of the same system. A seed at
+	// the solution already satisfies the residual test and is returned
+	// untouched (gap exactly zero); the bound leaves room for last-ulp
+	// drift in the residual evaluation.
+	WarmFixpointRelTol = 1e-9
+
+	// WarmNeighborTolC bounds |T_seeded - T_cold| per node when the seed is
+	// a converged field of the same operator under a perturbed power map —
+	// the org engine's cross-evaluation warm start. Both solves hit
+	// VerifyCGTol, so only CG error remains.
+	WarmNeighborTolC = 1e-6
+)
+
+// precondModel assembles a verification-tolerance model for placement pl at
+// grid n×n with the given preconditioner and kernel thread count.
+func precondModel(pl floorplan.Placement, n int, precond string, threads int) (*thermal.Model, error) {
+	stack, err := floorplan.BuildStack(pl)
+	if err != nil {
+		return nil, err
+	}
+	cfg := thermal.DefaultConfig()
+	cfg.Nx, cfg.Ny = n, n
+	cfg.Tolerance = VerifyCGTol
+	cfg.MaxIterations = 200000
+	cfg.Preconditioner = precond
+	cfg.KernelThreads = threads
+	return thermal.NewModel(stack, cfg)
+}
+
+// checkMGIC0Differential solves seeded random floorplans with both
+// preconditioners and requires node-for-node agreement: the multigrid path
+// must change how fast CG converges, never what it converges to. It also
+// pins the multigrid path's determinism contract — serial and parallel
+// kernels produce bit-identical fields — since the striped reductions that
+// guarantee it for IC(0) now also run inside the V-cycle.
+func checkMGIC0Differential(ctx *Context) error {
+	rng := rand.New(rand.NewSource(caseSeed + 5))
+	cases := 3
+	grids := []int{invariantGridN, 2 * invariantGridN}
+	if ctx != nil && ctx.Long {
+		cases = 6
+	}
+	for c := 0; c < cases; c++ {
+		pl := randPlacement(rng)
+		for _, n := range grids {
+			ic0, err := precondModel(pl, n, thermal.PrecondIC0, 1)
+			if err != nil {
+				return failf("mg-ic0: case %d grid %d: ic0 model: %v", c, n, err)
+			}
+			mg, err := precondModel(pl, n, thermal.PrecondMG, 1)
+			if err != nil {
+				return failf("mg-ic0: case %d grid %d: mg model: %v", c, n, err)
+			}
+			if got := mg.PreconditionerName(); got != thermal.PrecondMG {
+				return failf("mg-ic0: case %d grid %d: model configured for multigrid reports preconditioner %q — the mg path silently fell back", c, n, got)
+			}
+			pmap, _ := randPowerMap(rng, mg, pl)
+			ri, err := ic0.Solve(pmap)
+			if err != nil {
+				return failf("mg-ic0: case %d grid %d: ic0 solve: %v", c, n, err)
+			}
+			rm, err := mg.Solve(pmap)
+			if err != nil {
+				return failf("mg-ic0: case %d grid %d: mg solve: %v", c, n, err)
+			}
+			worst := 0.0
+			for i := range ri.T {
+				if d := math.Abs(ri.T[i] - rm.T[i]); d > worst {
+					worst = d
+				}
+			}
+			if worst > MGIC0TolC {
+				return failf("mg-ic0: case %d grid %d: worst node gap %.3g °C exceeds %.0e (ic0 %d iters, mg %d iters)",
+					c, n, worst, MGIC0TolC, ri.Iterations, rm.Iterations)
+			}
+			ctx.logf("mg-ic0: case %d grid %d: worst node gap %.3g °C; iterations ic0 %d, mg %d",
+				c, n, worst, ri.Iterations, rm.Iterations)
+		}
+	}
+
+	// Determinism: the multigrid solve must be bit-identical at every
+	// kernel thread count (the same contract the IC(0) path carries).
+	pl := randPlacement(rng)
+	n := 2 * invariantGridN
+	var ref []float64
+	for _, threads := range []int{1, 2, 4} {
+		m, err := precondModel(pl, n, thermal.PrecondMG, threads)
+		if err != nil {
+			return failf("mg-ic0: determinism model (threads %d): %v", threads, err)
+		}
+		pmapRng := rand.New(rand.NewSource(caseSeed + 6))
+		pmap, _ := randPowerMap(pmapRng, m, pl)
+		res, err := m.Solve(pmap)
+		if err != nil {
+			return failf("mg-ic0: determinism solve (threads %d): %v", threads, err)
+		}
+		if ref == nil {
+			ref = append([]float64(nil), res.T...)
+			continue
+		}
+		for i := range ref {
+			if res.T[i] != ref[i] {
+				return failf("mg-ic0: multigrid solve with %d kernel threads diverges bitwise from serial at node %d: %v vs %v",
+					threads, i, res.T[i], ref[i])
+			}
+		}
+	}
+	ctx.logf("mg-ic0: multigrid fields bit-identical across kernel threads {1,2,4} on grid %d", n)
+	return nil
+}
+
+// checkWarmStartFixpoint pins the warm-start contract at both layers. At
+// the solver layer: a solve seeded with its own solution returns that fixed
+// point (relative gap ≤ WarmFixpointRelTol), and a solve seeded with a
+// same-operator neighbor's field — the org engine's cross-evaluation warm
+// start — lands within WarmNeighborTolC of the cold solve. At the search
+// layer: the golden-corpus search replayed with multigrid + warm starts
+// must pick the identical winner, so the retained-field cache is a pure
+// performance knob on the corpus, invisible in results.
+func checkWarmStartFixpoint(ctx *Context) error {
+	rng := rand.New(rand.NewSource(caseSeed + 7))
+	for c := 0; c < 3; c++ {
+		pl := randPlacement(rng)
+		m, err := precondModel(pl, invariantGridN, thermal.PrecondMG, 1)
+		if err != nil {
+			return failf("warm-start: case %d: model: %v", c, err)
+		}
+		pmap, _ := randPowerMap(rng, m, pl)
+		cold, err := m.Solve(pmap)
+		if err != nil {
+			return failf("warm-start: case %d: cold solve: %v", c, err)
+		}
+		// Own-solution seed: already at the fixed point, so the solve must
+		// return it (0 iterations of drift at most).
+		self, err := m.SolveSeeded(pmap, cold.T)
+		if err != nil {
+			return failf("warm-start: case %d: self-seeded solve: %v", c, err)
+		}
+		scale := 0.0
+		for _, t := range cold.T {
+			if a := math.Abs(t); a > scale {
+				scale = a
+			}
+		}
+		worstRel := 0.0
+		for i := range cold.T {
+			if d := math.Abs(self.T[i]-cold.T[i]) / scale; d > worstRel {
+				worstRel = d
+			}
+		}
+		if worstRel > WarmFixpointRelTol {
+			return failf("warm-start: case %d: self-seeded solve drifted from its own fixed point by rel %.3g (> %.0e)",
+				c, worstRel, WarmFixpointRelTol)
+		}
+		// Neighbor seed: a converged field of the same operator under a
+		// perturbed power map, as the engine's warm cache serves.
+		pmap2 := make([]float64, len(pmap))
+		for i, p := range pmap {
+			pmap2[i] = p * (1 + 0.05*float64(i%3))
+		}
+		coldN, err := m.Solve(pmap2)
+		if err != nil {
+			return failf("warm-start: case %d: neighbor cold solve: %v", c, err)
+		}
+		warmN, err := m.SolveSeeded(pmap2, cold.T)
+		if err != nil {
+			return failf("warm-start: case %d: neighbor-seeded solve: %v", c, err)
+		}
+		worst := 0.0
+		for i := range coldN.T {
+			if d := math.Abs(warmN.T[i] - coldN.T[i]); d > worst {
+				worst = d
+			}
+		}
+		if worst > WarmNeighborTolC {
+			return failf("warm-start: case %d: neighbor-seeded solve off by %.3g °C (> %.0e) from cold", c, worst, WarmNeighborTolC)
+		}
+		ctx.logf("warm-start: case %d: self-seed rel gap %.3g, neighbor-seed gap %.3g °C (cold %d iters, seeded %d)",
+			c, worstRel, worst, coldN.Iterations, warmN.Iterations)
+	}
+
+	// End-to-end: replay the golden-corpus search with the full PR
+	// configuration (multigrid + warm starts) and require the identical
+	// winner. Same structure as drift/spatial-parity: parity is pinned on
+	// the corpus, not claimed universally.
+	_, _, searches := corpusCases()
+	for _, c := range searches {
+		cfg, err := searchConfig(c)
+		if err != nil {
+			return err
+		}
+		warm := cfg
+		warm.Thermal.Preconditioner = thermal.PrecondMG
+		warm.WarmStart = true
+
+		run := func(cfg org.Config) (org.Result, error) {
+			s, err := org.NewSearcher(cfg)
+			if err != nil {
+				return org.Result{}, err
+			}
+			return s.Optimize()
+		}
+		rw, err := run(warm)
+		if err != nil {
+			return failf("warm-start: %s: warm search: %v", c.Name, err)
+		}
+		rf, err := run(cfg)
+		if err != nil {
+			return failf("warm-start: %s: corpus search: %v", c.Name, err)
+		}
+		if rw.Feasible != rf.Feasible {
+			return failf("warm-start: %s: feasibility diverged: warm %v, corpus %v", c.Name, rw.Feasible, rf.Feasible)
+		}
+		b, w := rw.Best, rf.Best
+		if b.Op != w.Op || b.ActiveCores != w.ActiveCores || b.N != w.N ||
+			b.InterposerMM != w.InterposerMM || b.S1 != w.S1 || b.S2 != w.S2 || b.S3 != w.S3 {
+			return failf("warm-start: %s: winners diverged:\n  warm:   %+v\n  corpus: %+v", c.Name, b, w)
+		}
+		if d := math.Abs(b.PeakC - w.PeakC); d > GoldenTolC {
+			return failf("warm-start: %s: winner peak temperature differs by %.3g °C (> %.0e)", c.Name, d, GoldenTolC)
+		}
+		ctx.logf("warm-start: %s: identical winner (n=%d f=%.0f MHz p=%d), peak gap %.3g °C",
+			c.Name, b.N, b.Op.FreqMHz, b.ActiveCores, math.Abs(b.PeakC-w.PeakC))
+	}
+	return nil
+}

@@ -177,6 +177,17 @@ func Checks() []Check {
 			Run:         checkGaussSeidel,
 		},
 		{
+			Name:        "differential/mg-ic0",
+			Description: "multigrid-preconditioned solves against IC(0) node-for-node, plus bit-equality across kernel threads",
+			Quick:       true,
+			Run:         checkMGIC0Differential,
+		},
+		{
+			Name:        "differential/warm-start",
+			Description: "warm-started solves converge to the cold fixed point; corpus search with mg+warm picks the identical winner",
+			Run:         checkWarmStartFixpoint,
+		},
+		{
 			Name:        "differential/reference-evaluator",
 			Description: "Engine memo against the unmemoized single-threaded evaluator, bit for bit and order-independent",
 			Run:         checkReferenceEvaluator,

@@ -20,7 +20,22 @@
 # hit ratio, and the warm per-prediction latency of the spatial model. The
 # telemetry benchmarks add export_overhead_ratio (traced+exporting solve over
 # the untraced baseline) and audit_overhead_ratio (audited greedy search over
-# the unaudited one).
+# the unaudited one). The preconditioner benchmarks add cold_solve_speedup
+# (IC(0) cold 64x64 solve over the multigrid one), warm_neighbor_solve_ns
+# (multigrid solve seeded from a same-operator neighbor field),
+# cg_iters_{ic0,mg} (the machine-independent halves of those claims), and
+# two end-to-end search ratios at a 32x32 grid (at the multigrid
+# crossover): mg_warm_search_speedup with the fidelity ladder on and
+# mg_warm_fullfid_search_speedup with every evaluation simulating (the
+# paper's original workflow). Expect the end-to-end ratios near 1.0 at this
+# reduced scale — the surrogate ladder already removes most repeated sims,
+# so the cold-solve win shows up per solve, not per search; see
+# EXPERIMENTS.md.
+#
+# Every record is annotated with gomaxprocs and num_cpu so a series mixing
+# host sizes stays interpretable; on boxes with fewer than 4 CPUs the
+# workers-8 search benchmark is skipped (it can only measure oversubscription
+# noise there).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -31,12 +46,21 @@ for f in BENCH_*.json; do
 done
 out="BENCH_${n}.json"
 
+ncpu=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+gmp="${GOMAXPROCS:-$ncpu}"
+
+search_bench='BenchmarkMultiStartSearch|BenchmarkEngineLookupHit'
+if [ "$ncpu" -lt 4 ]; then
+    echo "bench.sh: $ncpu CPU(s) online; skipping the workers-8 search benchmark"
+    search_bench='BenchmarkMultiStartSearchSerial$|BenchmarkMultiStartSearchWorkers[24]$|BenchmarkMultiStartSearchWarmShared$|BenchmarkMultiStartSearchSerial32$|BenchmarkMultiStartSearchMGWarm32$|BenchmarkEngineLookupHit'
+fi
+
 bench_out=$(
-    go test -run '^$' -bench 'BenchmarkThermalSolve64$|BenchmarkLeakageCoupledSim$|BenchmarkTransientStep$' \
+    go test -run '^$' -bench 'BenchmarkThermalSolve64$|BenchmarkThermalSolve64MG$|BenchmarkThermalSolveWarmNeighbor64MG$|BenchmarkLeakageCoupledSim$|BenchmarkTransientStep$' \
         -benchmem -benchtime "${BENCHTIME:-1s}" . &&
         go test -run '^$' -bench 'BenchmarkSolveWarmGrid64' \
             -benchmem -benchtime "${BENCHTIME:-1s}" ./internal/thermal &&
-        go test -run '^$' -bench 'BenchmarkMultiStartSearch|BenchmarkEngineLookupHit' \
+        go test -run '^$' -bench "$search_bench" \
             -benchtime "${SEARCHBENCHTIME:-3x}" ./internal/org &&
         go test -run '^$' -bench 'BenchmarkSearchFullFidelity|BenchmarkSearchSpatialTier|BenchmarkSpatialPredict' \
             -benchtime "${SEARCHBENCHTIME:-3x}" ./internal/org &&
@@ -45,7 +69,7 @@ bench_out=$(
 )
 echo "$bench_out"
 
-echo "$bench_out" | awk -v out="$out" '
+echo "$bench_out" | awk -v out="$out" -v gmp="$gmp" -v ncpu="$ncpu" '
     /^Benchmark/ {
         name = $1
         sub(/-[0-9]+$/, "", name)
@@ -56,12 +80,14 @@ echo "$bench_out" | awk -v out="$out" '
             else if ($i == "memo-hit-ratio") hr[name] = $(i - 1)
             else if ($i == "full-sims/op") fs[name] = $(i - 1)
             else if ($i == "spatial-hit-ratio") sh[name] = $(i - 1)
+            else if ($i == "cg-iters/op") cg[name] = $(i - 1)
+            else if ($i == "warm-seeds/op") ws[name] = $(i - 1)
         }
         if (!(name in seen)) { order[++cnt] = name; seen[name] = 1 }
     }
     END {
         if (!cnt) { print "bench.sh: no benchmark output" > "/dev/stderr"; exit 1 }
-        printf "{\n  \"benchmarks\": [\n" > out
+        printf "{\n  \"gomaxprocs\": %d,\n  \"num_cpu\": %d,\n  \"benchmarks\": [\n", gmp, ncpu > out
         for (i = 1; i <= cnt; i++) {
             name = order[i]
             printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns[name] > out
@@ -69,6 +95,8 @@ echo "$bench_out" | awk -v out="$out" '
             if (name in hr) printf ", \"memo_hit_ratio\": %s", hr[name] > out
             if (name in fs) printf ", \"full_sims_per_op\": %s", fs[name] > out
             if (name in sh) printf ", \"spatial_hit_ratio\": %s", sh[name] > out
+            if (name in cg) printf ", \"cg_iters_per_op\": %s", cg[name] > out
+            if (name in ws) printf ", \"warm_seeds_per_op\": %s", ws[name] > out
             printf "}%s\n", (i < cnt ? "," : "") > out
         }
         printf "  ],\n  \"speedup_vs_serial\": {" > out
@@ -118,6 +146,24 @@ echo "$bench_out" | awk -v out="$out" '
         aud = ns["BenchmarkGreedyPlacementSearchAudited"]
         if (plain > 0 && aud > 0)
             printf ",\n  \"audit_overhead_ratio\": %.3f", aud / plain > out
+        ic0 = ns["BenchmarkThermalSolve64"]
+        mg = ns["BenchmarkThermalSolve64MG"]
+        if (ic0 > 0 && mg > 0)
+            printf ",\n  \"cold_solve_speedup\": %.2f", ic0 / mg > out
+        if ("BenchmarkThermalSolveWarmNeighbor64MG" in ns)
+            printf ",\n  \"warm_neighbor_solve_ns\": %s", ns["BenchmarkThermalSolveWarmNeighbor64MG"] > out
+        if ("BenchmarkThermalSolve64" in cg)
+            printf ",\n  \"cg_iters_ic0\": %s", cg["BenchmarkThermalSolve64"] > out
+        if ("BenchmarkThermalSolve64MG" in cg)
+            printf ",\n  \"cg_iters_mg\": %s", cg["BenchmarkThermalSolve64MG"] > out
+        s32 = ns["BenchmarkMultiStartSearchSerial32"]
+        mgwarm = ns["BenchmarkMultiStartSearchMGWarm32"]
+        if (s32 > 0 && mgwarm > 0)
+            printf ",\n  \"mg_warm_search_speedup\": %.2f", s32 / mgwarm > out
+        ff32 = ns["BenchmarkSearchFullFidelity32"]
+        ffmg = ns["BenchmarkSearchFullFidelity32MGWarm"]
+        if (ff32 > 0 && ffmg > 0)
+            printf ",\n  \"mg_warm_fullfid_search_speedup\": %.2f", ff32 / ffmg > out
         printf "\n}\n" > out
     }'
 

@@ -21,8 +21,10 @@
 # the thermal kernel-correctness gate (serial vs parallel bit-equality and
 # the concurrent-solve stress, under -race), the org parallel-search
 # determinism gate (parallel multi-start ≡ serial bit-for-bit over a shared
-# engine, under -race), and the warm-solve allocation budget (zero large
-# allocations per steady-state solve).
+# engine, under -race), the warm-solve allocation budget (zero large
+# allocations per steady-state solve), and the multigrid CG-iteration gate
+# (the 64x64 production solve must stay within its committed iteration
+# budget — the machine-independent form of the cold-solve speedup claim).
 #
 # The full verification tier (paper-scale grids, figure goldens) is not run
 # here; run it explicitly with `go test ./internal/verify -long` or
@@ -169,5 +171,14 @@ echo "==> thermal warm-solve allocation budget"
 # Steady-state serving must not allocate vectors: a warm SolveWarm is
 # bounded at a few objects per op (Result header + pool boxing).
 go test -count 1 -run 'TestSolveWarmSteadyStateAllocBudget' ./internal/thermal
+
+echo "==> multigrid CG-iteration gate"
+# The machine-independent half of the cold-solve speedup claim: the
+# multigrid-preconditioned production 64x64 solve must converge within its
+# committed iteration budget (IC(0) needs ~80 iterations on the same
+# system). A wall-clock gate would flake with host load; the iteration
+# count is deterministic, so a regression here is a real preconditioner
+# regression.
+go test -count 1 -run 'TestMGIterationBudget64' ./internal/thermal
 
 echo "==> ci.sh: all green"
