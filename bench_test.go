@@ -14,6 +14,7 @@ package chiplet25d
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"log/slog"
@@ -693,5 +694,137 @@ func BenchmarkChipletdSolveCacheHit(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		chipletdSolve(b, h, body)
+	}
+}
+
+// --- scale-out serving-path benchmarks ---
+
+// sweepBatchBody is a 64-candidate near-duplicate sweep: four spacings that
+// land in the same half-millimeter canonical cell, crossed with four DVFS
+// frequencies and four core counts. The spacing axis coalesces 4-to-1
+// inside the batch, so the 64 items resolve through 16 unique computations.
+const sweepBatchBody = `{"sweep": {
+  "solve": {"placement": {"chiplets": 4, "s3_mm": 1}, "benchmark": "cholesky",
+            "freq_mhz": 533, "cores": 128, "grid_n": 8},
+  "spacing_mm": [1.0, 1.05, 1.1, 1.2],
+  "freq_mhz": [1000, 800, 533, 400],
+  "cores": [128, 160, 192, 224]}}`
+
+// newBenchHTTPServer starts a chipletd handler behind a real TCP listener so
+// the batch-vs-sequential comparison charges both sides honest per-request
+// HTTP costs, not recorder shortcuts.
+func newBenchHTTPServer(b *testing.B) *httptest.Server {
+	b.Helper()
+	opts := serve.DefaultOptions()
+	opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	ts := httptest.NewServer(serve.New(opts).Handler())
+	b.Cleanup(ts.Close)
+	return ts
+}
+
+func benchPost(b *testing.B, url, body string) []byte {
+	b.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("POST %s = %d: %s", url, resp.StatusCode, out)
+	}
+	return out
+}
+
+// BenchmarkChipletdBatchSweep64Warm measures the 64-candidate sweep as one
+// POST /v1/batch on the warm path: a single HTTP round trip whose items all
+// resolve from the result cache. The cold seeding pass also reports the
+// sweep's coalesce-hit-ratio (computed keys saved by canonicalization before
+// the pool, 0.75 for this template). The acceptance bar in scripts/ci.sh is
+// >= 3x over BenchmarkChipletdSequentialSweep64Warm.
+func BenchmarkChipletdBatchSweep64Warm(b *testing.B) {
+	ts := newBenchHTTPServer(b)
+	var cold struct {
+		Total            int     `json:"total"`
+		Computed         int     `json:"computed"`
+		CoalesceHitRatio float64 `json:"coalesce_hit_ratio"`
+	}
+	if err := json.Unmarshal(benchPost(b, ts.URL+"/v1/batch", sweepBatchBody), &cold); err != nil {
+		b.Fatal(err)
+	}
+	if cold.Total != 64 {
+		b.Fatalf("sweep expanded to %d items, want 64", cold.Total)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, ts.URL+"/v1/batch", sweepBatchBody)
+	}
+	b.ReportMetric(cold.CoalesceHitRatio, "coalesce-hit-ratio")
+}
+
+// BenchmarkChipletdSequentialSweep64Warm is the client-side alternative the
+// batch endpoint replaces: the same 64 candidates as 64 sequential HTTP
+// solve requests against a warm cache.
+func BenchmarkChipletdSequentialSweep64Warm(b *testing.B) {
+	ts := newBenchHTTPServer(b)
+	var bodies []string
+	for _, spacing := range []float64{1.0, 1.05, 1.1, 1.2} {
+		for _, freq := range []int{1000, 800, 533, 400} {
+			for _, cores := range []int{128, 160, 192, 224} {
+				bodies = append(bodies, fmt.Sprintf(
+					`{"placement": {"chiplets": 4, "s3_mm": %g}, "benchmark": "cholesky",
+					  "freq_mhz": %d, "cores": %d, "grid_n": 8}`, spacing, freq, cores))
+			}
+		}
+	}
+	for _, body := range bodies { // warm the cache
+		benchPost(b, ts.URL+"/v1/thermal/solve", body)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, body := range bodies {
+			benchPost(b, ts.URL+"/v1/thermal/solve", body)
+		}
+	}
+}
+
+// BenchmarkChipletdPeerFetchHit measures what a peer pays to pull one
+// memoized simulation over GET /v1/memo/{fingerprint}/{key} — the unit cost
+// of the sharding layer's remote-memo alternative to re-simulating.
+func BenchmarkChipletdPeerFetchHit(b *testing.B) {
+	ts := newBenchHTTPServer(b)
+	benchPost(b, ts.URL+"/v1/thermal/solve",
+		`{"placement": {"chiplets": 4, "s3_mm": 1}, "benchmark": "cholesky",
+		  "freq_mhz": 533, "cores": 128, "grid_n": 8}`)
+	resp, err := http.Get(ts.URL + "/debug/shard?keys=1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var shard struct {
+		Engines []struct {
+			FingerprintHash string   `json:"fingerprint_hash"`
+			MemoKeys        []string `json:"memo_keys"`
+		} `json:"engines"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&shard)
+	resp.Body.Close()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(shard.Engines) != 1 || len(shard.Engines[0].MemoKeys) == 0 {
+		b.Fatalf("shard view = %+v, want one engine with a resident memo key", shard)
+	}
+	url := ts.URL + "/v1/memo/" + shard.Engines[0].FingerprintHash + "/" + shard.Engines[0].MemoKeys[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("memo fetch = %d", resp.StatusCode)
+		}
 	}
 }

@@ -13,6 +13,13 @@
 //	         [-trace-ring 64] [-slow-trace 2s]
 //	         [-otlp-endpoint http://host:4318] [-trace-sample 1.0]
 //	         [-audit-ring 256]
+//	         [-peers http://h2:8080,http://h3:8080] [-self http://h1:8080]
+//	         [-peer-timeout 500ms]
+//
+// -peers and -self enable the sharding layer: nodes rendezvous-hash engine
+// physics fingerprints over the (identical) fleet list, and a non-owner
+// pulls memoized simulation results from the owner over GET /v1/memo
+// before simulating locally. See internal/serve/shard.go.
 //
 // Flags override the optional "server" section of -config. Logs are
 // structured (log/slog); -log-format json emits one JSON object per line,
@@ -84,6 +91,9 @@ func main() {
 		otlp       = flag.String("otlp-endpoint", "", "OTLP/HTTP collector base URL; empty disables export")
 		traceRate  = flag.Float64("trace-sample", 0, "tail-sampling rate for unremarkable traces; slow/error traces always export (default 1.0, negative = slow/error only)")
 		auditRing  = flag.Int("audit-ring", 0, "search audit-trail capacity in events (default 256, negative disables)")
+		peers      = flag.String("peers", "", "comma-separated base URLs of the other chipletd nodes (enables sharding; requires -self)")
+		selfURL    = flag.String("self", "", "this node's own base URL as peers address it (required with -peers)")
+		peerTO     = flag.Duration("peer-timeout", 0, "memo peer-fetch deadline; misses fall back to local compute (default 500ms)")
 	)
 	flag.Parse()
 
@@ -146,6 +156,15 @@ func main() {
 			opts.WarmStart = *sc.WarmStart
 			warmFromConfig = true
 		}
+		if len(sc.Peers) > 0 {
+			opts.Peers = sc.Peers
+		}
+		if sc.SelfURL != "" {
+			opts.SelfURL = sc.SelfURL
+		}
+		if sc.PeerTimeoutMS != nil {
+			opts.PeerTimeout = time.Duration(*sc.PeerTimeoutMS * float64(time.Millisecond))
+		}
 		format, level = sc.LogFormat, sc.LogLevel
 	}
 	if *addr != "" {
@@ -207,6 +226,24 @@ func main() {
 	}
 	if *auditRing != 0 {
 		opts.AuditRingSize = *auditRing
+	}
+	if *peers != "" {
+		var list []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				list = append(list, p)
+			}
+		}
+		opts.Peers = list
+	}
+	if *selfURL != "" {
+		opts.SelfURL = *selfURL
+	}
+	if *peerTO > 0 {
+		opts.PeerTimeout = *peerTO
+	}
+	if len(opts.Peers) > 0 && opts.SelfURL == "" {
+		fatal(fmt.Errorf("-peers requires -self (this node's own base URL)"))
 	}
 	if *logFormat != "" {
 		format = *logFormat

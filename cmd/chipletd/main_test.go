@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os/exec"
@@ -258,6 +259,239 @@ func TestDaemonSmoke(t *testing.T) {
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
+}
+
+// freePort reserves an ephemeral 127.0.0.1 port and releases it for the
+// daemon to claim. Sharded nodes must know each other's URLs before either
+// binds, so the usual ":0 + listening record" discovery cannot work here.
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	l.Close()
+	return port
+}
+
+// TestShardedSmoke is the two-node scale-out check the CI script leans on:
+// two real daemons as mutual peers plus a standalone reference node. It
+// asserts that both shards and the reference agree bit-for-bit on solve and
+// search results, that the non-owner answered its memo miss from the owner
+// (>= 1 peer-fetch hit in /metrics), and that /v1/batch coalesces across the
+// sharded fleet.
+func TestShardedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded smoke test builds and runs three daemons; skipped with -short")
+	}
+
+	bin := filepath.Join(t.TempDir(), "chipletd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	portA, portB, portC := freePort(t), freePort(t), freePort(t)
+	urlA := fmt.Sprintf("http://127.0.0.1:%d", portA)
+	urlB := fmt.Sprintf("http://127.0.0.1:%d", portB)
+	urlC := fmt.Sprintf("http://127.0.0.1:%d", portC)
+
+	var logMu sync.Mutex
+	logs := map[string]*bytes.Buffer{}
+	start := func(port int, extra ...string) {
+		t.Helper()
+		args := append([]string{
+			"-addr", fmt.Sprintf("127.0.0.1:%d", port),
+			"-workers", "2", "-log-format", "json",
+		}, extra...)
+		cmd := exec.Command(bin, args...)
+		buf := &bytes.Buffer{}
+		logMu.Lock()
+		logs[fmt.Sprintf("127.0.0.1:%d", port)] = buf
+		logMu.Unlock()
+		cmd.Stderr = &lockedWriter{mu: &logMu, w: buf}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		})
+	}
+	start(portA, "-self", urlA, "-peers", urlB, "-peer-timeout", "2s")
+	start(portB, "-self", urlB, "-peers", urlA, "-peer-timeout", "2s")
+	start(portC) // standalone reference: no peers, must agree anyway
+
+	dumpLogs := func() string {
+		logMu.Lock()
+		defer logMu.Unlock()
+		var sb strings.Builder
+		for addr, buf := range logs {
+			fmt.Fprintf(&sb, "--- %s ---\n%s\n", addr, buf.String())
+		}
+		return sb.String()
+	}
+	waitReady := func(url string) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			resp, err := http.Get(url + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("node %s never became healthy\n%s", url, dumpLogs())
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+	waitReady(urlA)
+	waitReady(urlB)
+	waitReady(urlC)
+
+	post := func(url, path, body string) []byte {
+		t.Helper()
+		resp, err := http.Post(url+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s%s: %v", url, path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s%s = %d: %s\n%s", url, path, resp.StatusCode, b, dumpLogs())
+		}
+		return b
+	}
+	getJSON := func(url, path string, out any) {
+		t.Helper()
+		resp, err := http.Get(url + path)
+		if err != nil {
+			t.Fatalf("GET %s%s: %v", url, path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if err := json.Unmarshal(b, out); err != nil {
+			t.Fatalf("GET %s%s: %v\n%s", url, path, err, b)
+		}
+	}
+
+	// Warm node A, then learn from its shard view which node owns the
+	// engine fingerprint every node derives from this workload.
+	solveBody := `{"placement": {"chiplets": 4, "s3_mm": 1}, "benchmark": "cholesky",
+	               "freq_mhz": 533, "cores": 128, "grid_n": 8}`
+	post(urlA, "/v1/thermal/solve", solveBody)
+	var shard struct {
+		Enabled bool     `json:"enabled"`
+		Nodes   []string `json:"nodes"`
+		Engines []struct {
+			FingerprintHash string `json:"fingerprint_hash"`
+			Owner           string `json:"owner"`
+		} `json:"engines"`
+	}
+	getJSON(urlA, "/debug/shard", &shard)
+	if !shard.Enabled || len(shard.Nodes) != 2 || len(shard.Engines) != 1 {
+		t.Fatalf("node A shard view = %+v, want 2-node ring with one engine", shard)
+	}
+	owner := shard.Engines[0].Owner
+	other := urlA
+	if owner == urlA {
+		other = urlB
+	}
+
+	// Owner computes an operating point; the non-owner must then answer the
+	// same point via peer fetch, bit-for-bit, as must the standalone node.
+	// Cross-evaluation warm starts make a solve depend on the engine's prior
+	// solves, so the reference node must replay the owner's exact compute
+	// sequence (warm-up first, then the varied point) for bitwise parity.
+	post(owner, "/v1/thermal/solve", solveBody)
+	post(urlC, "/v1/thermal/solve", solveBody)
+	vary := strings.Replace(solveBody, `"cores": 128`, `"cores": 256`, 1)
+	type solveOut struct {
+		PeakC        float64 `json:"peak_c"`
+		TotalPowerW  float64 `json:"total_power_w"`
+		CGIterations int     `json:"cg_iterations"`
+	}
+	var fromOwner, fromOther, fromRef solveOut
+	mustJSON := func(b []byte, out any) {
+		t.Helper()
+		if err := json.Unmarshal(b, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustJSON(post(owner, "/v1/thermal/solve", vary), &fromOwner)
+	mustJSON(post(other, "/v1/thermal/solve", vary), &fromOther)
+	mustJSON(post(urlC, "/v1/thermal/solve", vary), &fromRef)
+	if fromOther != fromOwner || fromRef != fromOwner {
+		t.Fatalf("sharded answers diverged: owner %+v, non-owner %+v, standalone %+v",
+			fromOwner, fromOther, fromRef)
+	}
+
+	// Winner parity: the same organization search run on a shard and on the
+	// standalone node must pick the identical winner.
+	searchBody := `{"benchmark": "swaptions", "threshold_c": 85, "chiplet_counts": [4],
+	                "interposer_min_mm": 30, "interposer_max_mm": 30, "starts": 1,
+	                "thermal_grid_n": 8, "surrogate_margin_c": -1}`
+	var searchShard, searchRef struct {
+		Feasible bool            `json:"feasible"`
+		Best     json.RawMessage `json:"best"`
+	}
+	mustJSON(post(other, "/v1/org/search", searchBody), &searchShard)
+	mustJSON(post(urlC, "/v1/org/search", searchBody), &searchRef)
+	if !searchShard.Feasible || !bytes.Equal(searchShard.Best, searchRef.Best) {
+		t.Fatalf("search winner diverged:\nshard: %s\nref:   %s", searchShard.Best, searchRef.Best)
+	}
+
+	// A coalescing batch against the non-owner: two spacings on the same
+	// half-millimeter canonical cell collapse to one computation.
+	batchBody := `{"sweep": {"solve": ` + solveBody + `, "spacing_mm": [1.0, 1.1]}}`
+	var batch struct {
+		Total     int `json:"total"`
+		Coalesced int `json:"coalesced"`
+		Items     []struct {
+			Status int `json:"status"`
+		} `json:"items"`
+	}
+	mustJSON(post(other, "/v1/batch", batchBody), &batch)
+	if batch.Total != 2 || batch.Coalesced != 1 {
+		t.Fatalf("batch = %+v, want 2 items with 1 coalesced", batch)
+	}
+	for i, it := range batch.Items {
+		if it.Status != http.StatusOK {
+			t.Fatalf("batch item %d status = %d", i, it.Status)
+		}
+	}
+
+	// The non-owner's metrics must prove the peer exchange actually ran.
+	resp, err := http.Get(other + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	peerHits := 0.0
+	for _, line := range strings.Split(string(mb), "\n") {
+		if strings.HasPrefix(line, "chipletd_eval_peer_hits_total") {
+			fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%g", &peerHits)
+		}
+	}
+	if peerHits < 1 {
+		t.Fatalf("non-owner chipletd_eval_peer_hits_total = %g, want >= 1\n%s", peerHits, dumpLogs())
+	}
+}
+
+// lockedWriter serializes daemon stderr appends with the test's log reads.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (lw *lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
 }
 
 // TestBuildLogger covers the format/level matrix and rejection of unknowns.

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Fleet view: -targets host1,host2 polls several chipletd nodes and renders
+// one merged table — per-node liveness, load, memo effectiveness, and the
+// sharding layer's ownership/peer-fetch traffic — reusing the same
+// Prometheus text parser as the single-node view. Nodes are polled
+// sequentially per frame (the fleet sizes this tool is for are single
+// digits; a frame stays well under the refresh interval).
+
+// shardDebug mirrors chipletd's GET /debug/shard payload.
+type shardDebug struct {
+	Enabled bool     `json:"enabled"`
+	Self    string   `json:"self"`
+	Nodes   []string `json:"nodes"`
+	Engines []struct {
+		FingerprintHash string `json:"fingerprint_hash"`
+		Owner           string `json:"owner"`
+		Owned           bool   `json:"owned"`
+		MemoEntries     int    `json:"memo_entries"`
+	} `json:"engines"`
+}
+
+// nodeRow is one node's slice of the fleet table.
+type nodeRow struct {
+	target string
+	err    error
+
+	inflight   float64
+	busy       float64
+	memoHitPct string
+	peerHits   float64 // memo misses answered by a peer fetch
+	memoServed float64 // GET /v1/memo hits served to peers
+	engines    int
+	owned      int
+	shardOn    bool
+}
+
+// fleetTargets parses the -targets flag into base URLs.
+func fleetTargets(raw string) []string {
+	var out []string
+	for _, t := range strings.Split(raw, ",") {
+		if t = strings.TrimSpace(t); t == "" {
+			continue
+		}
+		if !strings.Contains(t, "://") {
+			t = "http://" + t
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// pollNode collects one node's row from /metrics and /debug/shard.
+func pollNode(ctx context.Context, client *http.Client, target string) nodeRow {
+	row := nodeRow{target: target}
+	raw, err := fetch(ctx, client, target, "/metrics")
+	if err != nil {
+		row.err = err
+		return row
+	}
+	m := parseProm(string(raw))
+	row.inflight = m.sumPrefix("chipletd_inflight_requests")
+	row.busy = m.value("chipletd_busy_workers")
+	hits := m.value("chipletd_eval_memo_hits_total")
+	misses := m.value("chipletd_eval_memo_misses_total")
+	row.memoHitPct = pct(hits, hits+misses)
+	row.peerHits = m.value("chipletd_eval_peer_hits_total")
+	row.memoServed = m.sumMatching("chipletd_memo_requests_total", func(l map[string]string) bool {
+		return l["result"] == "hit"
+	})
+	// Ownership comes from /debug/shard; a node without the endpoint (or
+	// with sharding off) still renders its metrics row.
+	if body, err := fetch(ctx, client, target, "/debug/shard"); err == nil {
+		var sd shardDebug
+		if json.Unmarshal(body, &sd) == nil {
+			row.shardOn = sd.Enabled
+			row.engines = len(sd.Engines)
+			for _, e := range sd.Engines {
+				if e.Owned {
+					row.owned++
+				}
+			}
+		}
+	}
+	return row
+}
+
+// renderFleet assembles the merged multi-node frame.
+func renderFleet(ctx context.Context, client *http.Client, targets []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chipletd fleet   %d nodes\n\n", len(targets))
+	fmt.Fprintf(&b, "%-28s %-5s %8s %6s %9s %10s %11s %13s\n",
+		"node", "up", "inflight", "busy", "memo-hit", "peer-hits", "memo-served", "engines-owned")
+	for _, t := range targets {
+		row := pollNode(ctx, client, t)
+		if row.err != nil {
+			fmt.Fprintf(&b, "%-28s %-5s %s\n", trimScheme(t), "DOWN", row.err)
+			continue
+		}
+		owned := fmt.Sprintf("%d/%d", row.owned, row.engines)
+		if !row.shardOn {
+			owned = fmt.Sprintf("%d (no ring)", row.engines)
+		}
+		fmt.Fprintf(&b, "%-28s %-5s %8.0f %6.0f %9s %10.0f %11.0f %13s\n",
+			trimScheme(t), "ok", row.inflight, row.busy, row.memoHitPct,
+			row.peerHits, row.memoServed, owned)
+	}
+	return b.String()
+}
+
+func trimScheme(u string) string {
+	u = strings.TrimPrefix(u, "http://")
+	return strings.TrimPrefix(u, "https://")
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFleetTargets(t *testing.T) {
+	got := fleetTargets(" host1:9090 ,, http://host2:8080, https://host3 ")
+	want := []string{"http://host1:9090", "http://host2:8080", "https://host3"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("fleetTargets = %v, want %v", got, want)
+	}
+	if out := fleetTargets(""); out != nil {
+		t.Fatalf("empty -targets parsed to %v", out)
+	}
+}
+
+// fleetStub serves the two endpoints the fleet poller reads.
+func fleetStub(t *testing.T, metrics, shard string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/metrics":
+			w.Write([]byte(metrics))
+		case "/debug/shard":
+			w.Write([]byte(shard))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+const stubMetrics = `# HELP chipletd_inflight_requests In-flight requests.
+chipletd_inflight_requests{route="thermal_solve"} 2
+chipletd_inflight_requests{route="org_search"} 1
+chipletd_busy_workers 1
+chipletd_eval_memo_hits_total 30
+chipletd_eval_memo_misses_total 10
+chipletd_eval_peer_hits_total 4
+chipletd_memo_requests_total{result="hit"} 7
+chipletd_memo_requests_total{result="miss"} 3
+`
+
+const stubShard = `{"enabled": true, "self": "http://a:8080",
+  "nodes": ["http://a:8080", "http://b:8080"],
+  "engines": [
+    {"fingerprint_hash": "aa", "owner": "http://a:8080", "owned": true, "memo_entries": 5},
+    {"fingerprint_hash": "bb", "owner": "http://b:8080", "owned": false, "memo_entries": 2}
+  ]}`
+
+func TestPollNode(t *testing.T) {
+	srv := fleetStub(t, stubMetrics, stubShard)
+	row := pollNode(context.Background(), srv.Client(), srv.URL)
+	if row.err != nil {
+		t.Fatal(row.err)
+	}
+	if row.inflight != 3 || row.busy != 1 {
+		t.Errorf("inflight=%g busy=%g, want 3 and 1", row.inflight, row.busy)
+	}
+	if row.memoHitPct != "75%" {
+		t.Errorf("memoHitPct = %q, want 75%%", row.memoHitPct)
+	}
+	if row.peerHits != 4 || row.memoServed != 7 {
+		t.Errorf("peerHits=%g memoServed=%g, want 4 and 7 (hit label only)", row.peerHits, row.memoServed)
+	}
+	if !row.shardOn || row.engines != 2 || row.owned != 1 {
+		t.Errorf("shard view: on=%v engines=%d owned=%d, want true/2/1", row.shardOn, row.engines, row.owned)
+	}
+}
+
+func TestRenderFleetMergesLiveAndDownNodes(t *testing.T) {
+	live := fleetStub(t, stubMetrics, stubShard)
+	down := httptest.NewServer(nil)
+	down.Close() // refused: the row must render DOWN, not abort the frame
+
+	out := renderFleet(context.Background(), live.Client(), []string{live.URL, down.URL})
+	if !strings.Contains(out, "2 nodes") {
+		t.Errorf("header missing node count:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	liveLine, downLine := "", ""
+	for _, l := range lines {
+		if strings.HasPrefix(l, trimScheme(live.URL)) {
+			liveLine = l
+		}
+		if strings.HasPrefix(l, trimScheme(down.URL)) {
+			downLine = l
+		}
+	}
+	if liveLine == "" || !strings.Contains(liveLine, "ok") ||
+		!strings.Contains(liveLine, "75%") || !strings.Contains(liveLine, "1/2") {
+		t.Errorf("live row wrong: %q", liveLine)
+	}
+	if downLine == "" || !strings.Contains(downLine, "DOWN") {
+		t.Errorf("down row wrong: %q", downLine)
+	}
+}
+
+func TestRenderFleetWithoutRing(t *testing.T) {
+	srv := fleetStub(t, stubMetrics, `{"enabled": false, "engines": []}`)
+	out := renderFleet(context.Background(), srv.Client(), []string{srv.URL})
+	if !strings.Contains(out, "(no ring)") {
+		t.Errorf("standalone node should render engines without ownership:\n%s", out)
+	}
+}

@@ -6,10 +6,13 @@
 // Usage:
 //
 //	chiplettop [-addr http://localhost:8080] [-interval 2s] [-once]
+//	chiplettop -targets host1:8080,host2:8080 [-interval 2s] [-once]
 //
 // -once renders a single frame without clearing the screen and exits (for
 // scripts and tests). Interactive runs clear and redraw every interval
-// until interrupted.
+// until interrupted. -targets switches to the merged fleet view: one row
+// per node with liveness, load, memo hit ratio, and the sharding layer's
+// ownership and peer-fetch traffic.
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", "http://localhost:8080", "chipletd base URL")
+		targets  = flag.String("targets", "", "comma-separated chipletd nodes for the merged fleet view (overrides -addr)")
 		interval = flag.Duration("interval", 2*time.Second, "refresh interval")
 		once     = flag.Bool("once", false, "render one frame and exit (no screen clearing)")
 	)
@@ -40,6 +44,25 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	client := &http.Client{Timeout: 5 * time.Second}
+
+	if *targets != "" {
+		nodes := fleetTargets(*targets)
+		if *once {
+			fmt.Print(renderFleet(ctx, client, nodes))
+			return
+		}
+		tick := time.NewTicker(*interval)
+		defer tick.Stop()
+		for {
+			fmt.Print("\x1b[2J\x1b[H" + renderFleet(ctx, client, nodes))
+			select {
+			case <-ctx.Done():
+				fmt.Println()
+				return
+			case <-tick.C:
+			}
+		}
+	}
 
 	if *once {
 		frame, err := render(ctx, client, *addr)

@@ -134,6 +134,13 @@ type Server struct {
 	// tolerance-equivalent accelerators excluded from cache identity.
 	Preconditioner string `json:"preconditioner,omitempty"`
 	WarmStart      *bool  `json:"warm_start,omitempty"`
+	// Peers lists the other chipletd nodes of a sharded deployment by base
+	// URL; SelfURL is this node's own URL as the peers address it (both
+	// required together — see serve.Options). PeerTimeoutMS bounds one memo
+	// peer-fetch round trip in milliseconds (default 500).
+	Peers         []string `json:"peers,omitempty"`
+	SelfURL       string   `json:"self_url,omitempty"`
+	PeerTimeoutMS *float64 `json:"peer_timeout_ms,omitempty"`
 }
 
 // LoadServer parses JSON from r and returns the server section (zero value

@@ -1,0 +1,90 @@
+package export
+
+import (
+	"encoding/json"
+	"testing"
+
+	"chiplet25d/internal/obs"
+)
+
+// TestEncodeTracesSpanLinks: the peer-fetch client records the owner node's
+// span identity as link.trace_id/link.span_id attrs; the encoder must lift
+// the pair into a proper OTLP span link and strip the raw attrs.
+func TestEncodeTracesSpanLinks(t *testing.T) {
+	tr := testTrace("req-link")
+	tr.Spans = append(tr.Spans,
+		&obs.SpanJSON{
+			Name: "peer.fetch", StartMS: 3, DurationMS: 2,
+			Attrs: map[string]any{
+				"peer":          "http://owner:8080",
+				"result":        "hit",
+				"link.trace_id": "4bf92f3577b34da6a3ce929d0e0e4736",
+				"link.span_id":  "00f067aa0ba902b7",
+			},
+		},
+		&obs.SpanJSON{
+			// A half-set pair is not a link; it must survive as a plain attr.
+			Name: "peer.fetch.partial", StartMS: 6, DurationMS: 1,
+			Attrs: map[string]any{"link.trace_id": "4bf92f3577b34da6a3ce929d0e0e4736"},
+		})
+
+	body, _ := EncodeTraces("chipletd", []*obs.TraceJSON{tr})
+	var payload struct {
+		ResourceSpans []struct {
+			ScopeSpans []struct {
+				Spans []struct {
+					Name       string `json:"name"`
+					Attributes []struct {
+						Key   string `json:"key"`
+						Value struct {
+							String *string `json:"stringValue"`
+						} `json:"value"`
+					} `json:"attributes"`
+					Links []struct {
+						TraceID string `json:"traceId"`
+						SpanID  string `json:"spanId"`
+					} `json:"links"`
+				} `json:"spans"`
+			} `json:"scopeSpans"`
+		} `json:"resourceSpans"`
+	}
+	if err := json.Unmarshal(body, &payload); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int{}
+	spans := payload.ResourceSpans[0].ScopeSpans[0].Spans
+	for i, sp := range spans {
+		byName[sp.Name] = i
+	}
+
+	fetch := spans[byName["peer.fetch"]]
+	if len(fetch.Links) != 1 ||
+		fetch.Links[0].TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" ||
+		fetch.Links[0].SpanID != "00f067aa0ba902b7" {
+		t.Fatalf("peer.fetch links = %+v, want the owner span lifted into one link", fetch.Links)
+	}
+	keys := map[string]bool{}
+	for _, a := range fetch.Attributes {
+		keys[a.Key] = true
+	}
+	if keys["link.trace_id"] || keys["link.span_id"] {
+		t.Errorf("raw link attrs leaked into attributes: %v", keys)
+	}
+	if !keys["peer"] || !keys["result"] {
+		t.Errorf("ordinary attrs lost during link extraction: %v", keys)
+	}
+
+	partial := spans[byName["peer.fetch.partial"]]
+	if len(partial.Links) != 0 {
+		t.Errorf("half-set pair produced links: %+v", partial.Links)
+	}
+	found := false
+	for _, a := range partial.Attributes {
+		if a.Key == "link.trace_id" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("half-set link.trace_id attr was dropped instead of kept")
+	}
+}

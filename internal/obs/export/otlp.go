@@ -101,6 +101,34 @@ type otlpSpan struct {
 	End          string      `json:"endTimeUnixNano"`
 	Attributes   []otlpAttr  `json:"attributes,omitempty"`
 	Status       *otlpStatus `json:"status,omitempty"`
+	Links        []otlpLink  `json:"links,omitempty"`
+}
+
+// otlpLink is trace.v1.Span.Link: a causal reference to a span in another
+// trace. The obs layer records links as link.trace_id/link.span_id string
+// attributes (it has no link type of its own); the encoder lifts them here
+// so backends render peer-fetch hops as proper cross-trace links.
+type otlpLink struct {
+	TraceID string `json:"traceId"`
+	SpanID  string `json:"spanId"`
+}
+
+// extractLink pulls the link.* attribute pair out of a span's attributes,
+// returning the remaining attribute keys and the link (nil when absent or
+// incomplete — a half-set pair stays an ordinary attribute for debugging).
+func extractLink(attrs map[string]any, keys []string) ([]string, []otlpLink) {
+	tid, okT := attrs["link.trace_id"].(string)
+	sid, okS := attrs["link.span_id"].(string)
+	if !okT || !okS || tid == "" || sid == "" {
+		return keys, nil
+	}
+	kept := keys[:0:len(keys)]
+	for _, k := range keys {
+		if k != "link.trace_id" && k != "link.span_id" {
+			kept = append(kept, k)
+		}
+	}
+	return kept, []otlpLink{{TraceID: tid, SpanID: sid}}
 }
 
 type otlpStatus struct {
@@ -223,6 +251,7 @@ func EncodeTraces(serviceName string, traces []*obs.TraceJSON) ([]byte, int) {
 			for _, n := range ns {
 				id := deriveSpanID(t.SpanID, idx)
 				idx++
+				keys, links := extractLink(n.Attrs, sortedKeys(n.Attrs))
 				spans = append(spans, otlpSpan{
 					TraceID:      t.TraceID,
 					SpanID:       id,
@@ -231,7 +260,8 @@ func EncodeTraces(serviceName string, traces []*obs.TraceJSON) ([]byte, int) {
 					Kind:         spanKindInternal,
 					Start:        unixNano(t.Start, n.StartMS),
 					End:          unixNano(t.Start, n.StartMS+n.DurationMS),
-					Attributes:   attrList(n.Attrs, sortedKeys(n.Attrs)),
+					Attributes:   attrList(n.Attrs, keys),
+					Links:        links,
 				})
 				walk(id, n.Children)
 			}

@@ -67,6 +67,10 @@ type AuditLog struct {
 	size    int
 	seq     uint64
 	dropped uint64
+	// notify, when set, observes every recorded event after it is stamped
+	// (outside the lock). Live consumers — the SSE streaming layer — use it
+	// to forward restart/incumbent updates as they land.
+	notify func(AuditEvent)
 }
 
 // NewAuditLog builds a log holding the most recent capacity events;
@@ -76,6 +80,20 @@ func NewAuditLog(capacity int) *AuditLog {
 		return nil
 	}
 	return &AuditLog{start: time.Now(), events: make([]AuditEvent, capacity)}
+}
+
+// WithNotify installs a live observer called with every recorded event
+// (after stamping, outside the ring lock). The callback must be fast and
+// non-blocking — it runs on the search's evaluation path. Nil-safe: on a
+// nil log it is a no-op returning nil, so the disabled path stays disabled.
+func (l *AuditLog) WithNotify(fn func(AuditEvent)) *AuditLog {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	l.notify = fn
+	l.mu.Unlock()
+	return l
 }
 
 // Add records one event, evicting the oldest when full. No-op on nil.
@@ -96,7 +114,11 @@ func (l *AuditLog) Add(ev AuditEvent) {
 		l.head = (l.head + 1) % len(l.events)
 		l.dropped++
 	}
+	notify := l.notify
 	l.mu.Unlock()
+	if notify != nil {
+		notify(ev)
+	}
 }
 
 // Events returns the retained events oldest-first. Nil-safe (returns nil).

@@ -1,0 +1,41 @@
+package org
+
+import "testing"
+
+// TestAuditNotify pins the live-observer contract the SSE streaming layer
+// depends on: every recorded event reaches the callback after stamping, in
+// order, and the ring retains them regardless.
+func TestAuditNotify(t *testing.T) {
+	var got []AuditEvent
+	l := NewAuditLog(4).WithNotify(func(ev AuditEvent) { got = append(got, ev) })
+	l.Add(AuditEvent{Kind: AuditRestartSeeded, Restart: 1})
+	l.Add(AuditEvent{Kind: AuditEval})
+	if len(got) != 2 {
+		t.Fatalf("notify observed %d events, want 2", len(got))
+	}
+	if got[0].Kind != AuditRestartSeeded || got[1].Kind != AuditEval {
+		t.Errorf("event kinds = %s, %s", got[0].Kind, got[1].Kind)
+	}
+	if got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Errorf("events reached notify unstamped: seqs %d, %d", got[0].Seq, got[1].Seq)
+	}
+	if l.Len() != 2 {
+		t.Errorf("ring retained %d events, want 2 (notify must not consume)", l.Len())
+	}
+}
+
+// TestAuditNotifyNilSafe: the disabled path (nil log) stays disabled through
+// WithNotify chaining, and a log without an observer records normally.
+func TestAuditNotifyNilSafe(t *testing.T) {
+	var nilLog *AuditLog
+	if nilLog.WithNotify(func(AuditEvent) {}) != nil {
+		t.Error("WithNotify on a nil log must return nil")
+	}
+	nilLog.Add(AuditEvent{Kind: AuditEval}) // must not panic
+
+	l := NewAuditLog(2) // no observer installed
+	l.Add(AuditEvent{Kind: AuditEval})
+	if l.Len() != 1 {
+		t.Errorf("observer-less log retained %d events, want 1", l.Len())
+	}
+}

@@ -42,8 +42,15 @@ import (
 // keyed by a physics fingerprint (Fingerprint); searchers may share an
 // engine only when their configurations agree on that fingerprint.
 type Engine struct {
-	phys physProfile
-	fp   string
+	phys   physProfile
+	fp     string
+	fpHash string // content address of fp (sharding identity; see memo.go)
+
+	// peerFetch, when installed, is consulted on every memo miss before a
+	// local simulation runs (see memo.go). peerHits counts misses answered
+	// by a peer's memo instead of a local simulation.
+	peerFetch atomic.Pointer[PeerFetchFunc]
+	peerHits  atomic.Int64
 
 	shards [engineShards]engineShard
 
@@ -159,6 +166,10 @@ type engineShard struct {
 	mu   sync.Mutex
 	sims map[engineKey]*simEntry
 	nocs map[engineKey]float64
+	// hashes indexes successfully completed entries by their canonical
+	// content-address hash, so peers can fetch by hash without knowing the
+	// engineKey encoding (see memo.go).
+	hashes map[string]engineKey
 }
 
 // EvalStats reports what one evaluation call did, so callers (Searcher,
@@ -173,6 +184,9 @@ type EvalStats struct {
 	MemoHits int
 	// DedupWaits counts lookups that joined an in-flight computation.
 	DedupWaits int
+	// PeerFetches counts memo misses answered by a peer node's memo over
+	// the sharding layer instead of a local simulation.
+	PeerFetches int
 	// Fidelity reports which tier of the evaluation ladder decided the
 	// call: FidelityFull (the zero value) when the memoized full
 	// simulation answered, FidelityScalar or FidelitySpatial when a
@@ -200,15 +214,19 @@ func (s *EvalStats) add(o EvalStats) {
 	s.LeakageIterations += o.LeakageIterations
 	s.MemoHits += o.MemoHits
 	s.DedupWaits += o.DedupWaits
+	s.PeerFetches += o.PeerFetches
 }
 
 // EngineStats is an engine's cumulative telemetry snapshot. SurrogateHits
 // remains the total across surrogate tiers for backward compatibility;
 // ScalarHits and SpatialHits break it down by fidelity.
 type EngineStats struct {
-	Hits          int64 `json:"hits"`
-	Misses        int64 `json:"misses"`
-	DedupWaits    int64 `json:"dedup_waits"`
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	DedupWaits int64 `json:"dedup_waits"`
+	// PeerHits counts memo misses answered by a peer node's memo (the
+	// sharding layer's fetch hook) instead of a local simulation.
+	PeerHits      int64 `json:"peer_hits"`
 	ThermalSims   int64 `json:"thermal_sims"`
 	SurrogateHits int64 `json:"surrogate_hits"`
 	ScalarHits    int64 `json:"scalar_hits"`
@@ -256,7 +274,8 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if (cfg.SearchWorkers > 1 || cfg.ParallelWorkers > 1) && phys.Thermal.KernelThreads == 0 {
 		phys.Thermal.KernelThreads = 1
 	}
-	e := &Engine{phys: phys, fp: physFingerprint(cfg), spatials: make(map[benchKey]*calEntry)}
+	fp := physFingerprint(cfg)
+	e := &Engine{phys: phys, fp: fp, fpHash: hashFingerprint(fp), spatials: make(map[benchKey]*calEntry)}
 	if cfg.WarmStart {
 		capacity := cfg.WarmStartCache
 		if capacity == 0 {
@@ -268,6 +287,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 	for i := range e.shards {
 		e.shards[i].sims = make(map[engineKey]*simEntry)
 		e.shards[i].nocs = make(map[engineKey]float64)
+		e.shards[i].hashes = make(map[string]engineKey)
 	}
 	return e, nil
 }
@@ -300,6 +320,7 @@ func (e *Engine) Stats() EngineStats {
 		Hits:          e.hits.Load(),
 		Misses:        e.misses.Load(),
 		DedupWaits:    e.dedupWaits.Load(),
+		PeerHits:      e.peerHits.Load(),
 		ThermalSims:   e.thermalSims.Load(),
 		SurrogateHits: scalar + spatial,
 		ScalarHits:    scalar,
@@ -436,7 +457,7 @@ func (e *Engine) sim(ctx context.Context, b perf.Benchmark, pl floorplan.Placeme
 			}
 			return SimRecord{}, ent.err
 		}
-		// Miss: claim the key and compute.
+		// Miss: claim the key and compute (or pull from the owning peer).
 		ent := &simEntry{done: make(chan struct{})}
 		if len(sh.sims) >= engineShardCap {
 			e.evictCompletedLocked(sh)
@@ -444,6 +465,22 @@ func (e *Engine) sim(ctx context.Context, b perf.Benchmark, pl floorplan.Placeme
 		sh.sims[k] = ent
 		sh.mu.Unlock()
 		e.misses.Add(1)
+
+		kh := memoKeyHash(k)
+		if pf := e.peerFetch.Load(); pf != nil {
+			// A fetched record is bit-identical to a local simulation (memo
+			// purity), so it is published exactly like one — waiters already
+			// parked on ent observe no difference. Any fetch failure falls
+			// through to the local simulation below.
+			if rec, ok := (*pf)(ctx, e.fpHash, kh); ok {
+				ent.rec = rec
+				close(ent.done)
+				e.indexMemoKey(sh, k, kh)
+				e.peerHits.Add(1)
+				st.PeerFetches++
+				return rec, nil
+			}
+		}
 
 		rec, err := e.runSim(ctx, b, pl, op, p, k, esc)
 		ent.rec, ent.err = rec, err
@@ -457,6 +494,7 @@ func (e *Engine) sim(ctx context.Context, b perf.Benchmark, pl floorplan.Placeme
 		}
 		close(ent.done)
 		if err == nil {
+			e.indexMemoKey(sh, k, kh)
 			st.Sims++
 			st.CGIterations += rec.CGIterations
 			st.LeakageIterations += rec.LeakageIterations
@@ -483,6 +521,13 @@ func (e *Engine) evictCompletedLocked(sh *engineShard) {
 		case <-ent.done:
 			delete(sh.sims, k)
 		default:
+		}
+	}
+	// Prune the hash index of evicted entries so peer fetches never resolve
+	// a hash to a key the memo no longer holds.
+	for h, k := range sh.hashes {
+		if _, ok := sh.sims[k]; !ok {
+			delete(sh.hashes, h)
 		}
 	}
 }

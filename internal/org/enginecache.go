@@ -49,6 +49,34 @@ func (c *EngineCache) Get(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// Lookup returns the resident engine whose fingerprint hash matches, or
+// nil. This is the peer-fetch endpoint's entry point: peers address engines
+// by FingerprintHash, never by the raw fingerprint. A hit counts as use for
+// LRU purposes — an engine serving peers is an engine worth keeping.
+func (c *EngineCache) Lookup(fpHash string) *Engine {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for fp, e := range c.engines {
+		if e.FingerprintHash() == fpHash {
+			c.touch(fp)
+			return e
+		}
+	}
+	return nil
+}
+
+// Resident snapshots the resident engines in LRU order (least recently
+// used first), for debug/ownership listings.
+func (c *EngineCache) Resident() []*Engine {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Engine, 0, len(c.engines))
+	for _, fp := range c.order {
+		out = append(out, c.engines[fp])
+	}
+	return out
+}
+
 // touch moves fp to the most-recently-used position (c.mu held).
 func (c *EngineCache) touch(fp string) {
 	for i, f := range c.order {
@@ -79,6 +107,7 @@ func (c *EngineCache) Stats() EngineStats {
 		out.Hits += s.Hits
 		out.Misses += s.Misses
 		out.DedupWaits += s.DedupWaits
+		out.PeerHits += s.PeerHits
 		out.ThermalSims += s.ThermalSims
 		out.SurrogateHits += s.SurrogateHits
 		out.ScalarHits += s.ScalarHits

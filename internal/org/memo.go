@@ -1,0 +1,121 @@
+package org
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Engine memo export/import: the sharding layer's view of the simulation
+// memo. Every memoized simulation gets a canonical, content-addressed key
+// hash, and an engine can both serve its resident records to peers
+// (MemoFetch) and pull records from the fingerprint's owning peer before
+// simulating locally (SetPeerFetch). The exchange needs no invalidation
+// protocol: a SimRecord is a pure function of its key and the engine's
+// physics fingerprint (the engine's determinism contract), so a fetched
+// record is bit-identical to what a local simulation would have produced,
+// immutable for the life of the fingerprint.
+
+// PeerFetchFunc asks the cluster for a memoized simulation before computing
+// it locally: fpHash identifies the engine's physics substrate
+// (FingerprintHash) and keyHash the simulation (the canonical memo key
+// hash). Implementations return ok=false on miss, timeout, or any transport
+// failure — the engine then falls back to simulating locally, so a dead
+// peer degrades to correct-but-cold.
+type PeerFetchFunc func(ctx context.Context, fpHash, keyHash string) (SimRecord, bool)
+
+// memoKeyString canonicalizes an engineKey: every field that identifies a
+// simulation, in a fixed order, independent of struct layout. The "v1"
+// tag versions the format so nodes from mixed builds never exchange records
+// under drifted addresses.
+func memoKeyString(k engineKey) string {
+	return fmt.Sprintf("sim|v1|bench=%s|ref=%g|traffic=%g|n=%d|edge2=%d|s12=%d|s22=%d|f=%d|p=%d",
+		k.bench.name, k.bench.refCoreW, k.bench.traffic,
+		k.ek.pl.n, k.ek.pl.edge2, k.ek.pl.s12, k.ek.pl.s22, k.ek.fIdx, k.ek.cores)
+}
+
+// memoKeyHash is the content address of one simulation within an engine.
+func memoKeyHash(k engineKey) string {
+	h := sha256.Sum256([]byte(memoKeyString(k)))
+	return hex.EncodeToString(h[:])
+}
+
+// hashFingerprint content-addresses a physics fingerprint for use in URLs
+// and rendezvous hashing (the raw fingerprint is a long %#v dump).
+func hashFingerprint(fp string) string {
+	h := sha256.Sum256([]byte(fp))
+	return hex.EncodeToString(h[:])
+}
+
+// FingerprintHash returns the content address of the engine's physics
+// fingerprint — the identity the sharding layer routes on.
+func (e *Engine) FingerprintHash() string { return e.fpHash }
+
+// SetPeerFetch installs (or replaces) the peer-fetch hook consulted on
+// every memo miss before a local simulation runs. Safe for concurrent use;
+// idempotent re-installation is the expected call pattern (the serve layer
+// attaches the hook on every engine lookup).
+func (e *Engine) SetPeerFetch(fn PeerFetchFunc) {
+	if fn == nil {
+		return
+	}
+	e.peerFetch.Store(&fn)
+}
+
+// MemoFetch returns the resident simulation record addressed by keyHash,
+// if any. Only successfully completed entries are indexed, so a hit is
+// always a finished, error-free record.
+func (e *Engine) MemoFetch(keyHash string) (SimRecord, bool) {
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		k, ok := sh.hashes[keyHash]
+		if !ok {
+			sh.mu.Unlock()
+			continue
+		}
+		ent := sh.sims[k]
+		sh.mu.Unlock()
+		if ent == nil {
+			return SimRecord{}, false
+		}
+		select {
+		case <-ent.done:
+			if ent.err == nil {
+				return ent.rec, true
+			}
+		default:
+		}
+		return SimRecord{}, false
+	}
+	return SimRecord{}, false
+}
+
+// MemoKeyHashes returns up to limit resident memo key hashes (completed
+// entries only), in no particular order. Debug/benchmark plumbing for the
+// GET /v1/memo peer-fetch endpoint.
+func (e *Engine) MemoKeyHashes(limit int) []string {
+	var out []string
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		for h := range sh.hashes {
+			if len(out) >= limit {
+				sh.mu.Unlock()
+				return out
+			}
+			out = append(out, h)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// indexMemoKey records the hash → key mapping for a completed, successful
+// entry so MemoFetch can answer peers in O(1) per shard.
+func (e *Engine) indexMemoKey(sh *engineShard, k engineKey, keyHash string) {
+	sh.mu.Lock()
+	sh.hashes[keyHash] = k
+	sh.mu.Unlock()
+}

@@ -1,0 +1,141 @@
+package org
+
+import (
+	"context"
+	"testing"
+
+	"chiplet25d/internal/floorplan"
+	"chiplet25d/internal/power"
+)
+
+// memoPoint is one simulation operating point shared by the memo tests.
+func memoPoint(t *testing.T) (floorplan.Placement, power.DVFSPoint, int) {
+	t.Helper()
+	pl, err := floorplan.UniformGrid(2, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl, power.FrequencySet[2], 128
+}
+
+func TestMemoFetchRoundTrip(t *testing.T) {
+	cfg := fastConfig(t, "cholesky")
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, op, p := memoPoint(t)
+	rec, st, err := eng.Simulate(context.Background(), cfg.Benchmark, pl, op, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sims != 1 {
+		t.Fatalf("sims = %d, want 1 fresh simulation", st.Sims)
+	}
+	hashes := eng.MemoKeyHashes(8)
+	if len(hashes) != 1 {
+		t.Fatalf("memo key hashes = %v, want exactly one", hashes)
+	}
+	got, ok := eng.MemoFetch(hashes[0])
+	if !ok || got != rec {
+		t.Fatalf("MemoFetch = %+v (ok=%v), want the simulated record %+v", got, ok, rec)
+	}
+	if _, ok := eng.MemoFetch("no-such-hash"); ok {
+		t.Error("MemoFetch answered an unknown key hash")
+	}
+}
+
+func TestPeerFetchServesMemoMiss(t *testing.T) {
+	cfg := fastConfig(t, "cholesky")
+	a, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FingerprintHash() != b.FingerprintHash() {
+		t.Fatal("same config produced different fingerprint hashes")
+	}
+	pl, op, p := memoPoint(t)
+	want, _, err := a.Simulate(context.Background(), cfg.Benchmark, pl, op, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	calls := 0
+	b.SetPeerFetch(func(_ context.Context, fpHash, keyHash string) (SimRecord, bool) {
+		calls++
+		if fpHash != a.FingerprintHash() {
+			t.Errorf("hook fingerprint = %s, want %s", fpHash, a.FingerprintHash())
+		}
+		return a.MemoFetch(keyHash)
+	})
+	got, st, err := b.Simulate(context.Background(), cfg.Benchmark, pl, op, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("peer-fetched record %+v != owner's %+v", got, want)
+	}
+	if st.Sims != 0 || st.PeerFetches != 1 {
+		t.Errorf("stats = %+v, want zero local sims and one peer fetch", st)
+	}
+	if calls != 1 {
+		t.Errorf("hook called %d times, want 1", calls)
+	}
+	if hits := b.Stats().PeerHits; hits != 1 {
+		t.Errorf("engine peer hits = %d, want 1", hits)
+	}
+
+	// The fetched record is now resident: the next lookup is a plain memo
+	// hit, not another network round trip.
+	_, st, err = b.Simulate(context.Background(), cfg.Benchmark, pl, op, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MemoHits != 1 || calls != 1 {
+		t.Errorf("second lookup: stats %+v with %d hook calls, want a local memo hit", st, calls)
+	}
+}
+
+func TestPeerFetchMissFallsBackToLocalSim(t *testing.T) {
+	cfg := fastConfig(t, "cholesky")
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	eng.SetPeerFetch(func(context.Context, string, string) (SimRecord, bool) {
+		calls++
+		return SimRecord{}, false
+	})
+	pl, op, p := memoPoint(t)
+	rec, st, err := eng.Simulate(context.Background(), cfg.Benchmark, pl, op, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 || st.Sims != 1 || st.PeerFetches != 0 {
+		t.Errorf("miss fallback: %d hook calls, stats %+v; want one consult then a local sim", calls, st)
+	}
+	if rec.PeakC <= 0 {
+		t.Errorf("fallback record = %+v, want a completed simulation", rec)
+	}
+	if hits := eng.Stats().PeerHits; hits != 0 {
+		t.Errorf("peer hits = %d after a miss, want 0", hits)
+	}
+}
+
+func TestSetPeerFetchNilIsNoop(t *testing.T) {
+	cfg := fastConfig(t, "cholesky")
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetPeerFetch(nil) // must not install a nil hook (or panic later)
+	pl, op, p := memoPoint(t)
+	if _, st, err := eng.Simulate(context.Background(), cfg.Benchmark, pl, op, p); err != nil || st.Sims != 1 {
+		t.Fatalf("simulate after nil hook: stats %+v, err %v", st, err)
+	}
+}

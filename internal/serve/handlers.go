@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"runtime"
 	"time"
 
 	"chiplet25d/internal/config"
@@ -263,8 +264,8 @@ func (sp *solveSpec) engineConfig() org.Config {
 // run executes the solve (on a pool worker) through the shared evaluation
 // engine, so individual solves and org searches on the same physics dedupe
 // into one memo tier.
-func (sp *solveSpec) run(ctx context.Context, engines *org.EngineCache) (*SolveResponse, org.EvalStats, error) {
-	eng, err := engines.Get(sp.engineConfig())
+func (sp *solveSpec) run(ctx context.Context, s *Server) (*SolveResponse, org.EvalStats, error) {
+	eng, err := s.engine(sp.engineConfig())
 	if err != nil {
 		return nil, org.EvalStats{}, err
 	}
@@ -285,6 +286,37 @@ func (sp *solveSpec) run(ctx context.Context, engines *org.EngineCache) (*SolveR
 	}, st, nil
 }
 
+// resolveSolve validates a solve request and applies the daemon's solver
+// settings, returning the spec and its canonical cache key — the same
+// normal form the batch coalescer dedups on.
+func (s *Server) resolveSolve(req *SolveRequest) (*solveSpec, string, error) {
+	sp, err := req.resolve(s.opts.MaxGridN)
+	if err != nil {
+		return nil, "", err
+	}
+	sp.kthreads = s.opts.KernelThreads
+	sp.precond = s.opts.Preconditioner
+	sp.warmStart = s.opts.WarmStart
+	return sp, sp.cacheKey(), nil
+}
+
+// solveComputer returns the pool-task body for one resolved solve — the
+// computation shared by POST /v1/thermal/solve and batch solve items.
+func (s *Server) solveComputer(sp *solveSpec) func(context.Context) (any, error) {
+	return func(taskCtx context.Context) (any, error) {
+		res, st, err := sp.run(taskCtx, s)
+		// Fresh-simulation metrics count only work this request actually
+		// ran; an engine-memo hit is free and must not inflate them.
+		if err == nil && st.Sims > 0 {
+			s.thermalSims.Add(float64(st.Sims))
+			s.cgIterations.Add(float64(st.CGIterations))
+			s.cgIterHist.With(precondLabel(sp.precond)).Observe(float64(res.CGIterations))
+			s.leakIterHist.Observe(float64(res.LeakageIterations))
+		}
+		return res, err
+	}
+}
+
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	const endpoint = "thermal_solve"
 	start := time.Now()
@@ -295,15 +327,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, endpoint, http.StatusBadRequest, err, start)
 		return
 	}
-	sp, err := req.resolve(s.opts.MaxGridN)
+	sp, key, err := s.resolveSolve(&req)
 	if err != nil {
 		s.fail(w, r, endpoint, http.StatusBadRequest, err, start)
 		return
 	}
-	sp.kthreads = s.opts.KernelThreads
-	sp.precond = s.opts.Preconditioner
-	sp.warmStart = s.opts.WarmStart
-	key := sp.cacheKey()
 	// The cache runs the computation on a context detached from this
 	// request (its lifetime is refcounted across all waiters), so the
 	// closure reattaches the trace/logger/request ID before handing the
@@ -311,18 +339,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	ctx, csp := obs.Start(ctx, "cache.lookup")
 	val, hit, err := s.cache.Do(ctx, key, func(runCtx context.Context) (any, error) {
 		runCtx = obs.Reattach(runCtx, ctx)
-		return s.pool.Do(runCtx, func(taskCtx context.Context) (any, error) {
-			res, st, err := sp.run(taskCtx, s.engines)
-			// Fresh-simulation metrics count only work this request actually
-			// ran; an engine-memo hit is free and must not inflate them.
-			if err == nil && st.Sims > 0 {
-				s.thermalSims.Add(float64(st.Sims))
-				s.cgIterations.Add(float64(st.CGIterations))
-				s.cgIterHist.With(precondLabel(sp.precond)).Observe(float64(res.CGIterations))
-				s.leakIterHist.Observe(float64(res.LeakageIterations))
-			}
-			return res, err
-		})
+		return s.pool.Do(runCtx, s.solveComputer(sp))
 	})
 	csp.SetAttr("hit", hit)
 	csp.SetAttr("key", key)
@@ -450,30 +467,29 @@ func searchKey(cfg org.Config, exhaustive bool) (string, error) {
 	return "search:" + hex.EncodeToString(h[:]), nil
 }
 
-func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	const endpoint = "org_search"
-	start := time.Now()
-	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
-	defer cancel()
-	var req SearchRequest
-	if err := decodeJSON(r, &req); err != nil {
-		s.fail(w, r, endpoint, http.StatusBadRequest, err, start)
-		return
-	}
+// resolveSearch validates a search request, applies the daemon-default
+// inheritance rules, and returns the resolved configuration with its
+// canonical cache key — the normal form the batch coalescer dedups on.
+func (s *Server) resolveSearch(req *SearchRequest) (org.Config, string, error) {
 	cfg, err := req.File.ToConfig()
 	if err != nil {
-		s.fail(w, r, endpoint, http.StatusBadRequest, err, start)
-		return
+		return org.Config{}, "", err
 	}
 	if cfg.Thermal.Nx > s.opts.MaxGridN || cfg.Thermal.Ny > s.opts.MaxGridN {
-		s.fail(w, r, endpoint, http.StatusBadRequest,
-			fmt.Errorf("thermal_grid_n %d exceeds the server limit %d", cfg.Thermal.Nx, s.opts.MaxGridN), start)
-		return
+		return org.Config{}, "", fmt.Errorf("thermal_grid_n %d exceeds the server limit %d", cfg.Thermal.Nx, s.opts.MaxGridN)
 	}
 	if req.File.SearchWorkers == nil {
 		// Requests that do not pin their own restart parallelism get the
 		// daemon's per-search budget.
 		cfg.SearchWorkers = s.opts.SearchWorkers
+	}
+	if ncpu := runtime.NumCPU(); cfg.SearchWorkers > ncpu {
+		// Same rule as Options.SearchWorkers: restart workers beyond the CPU
+		// count only add scheduling contention, and worker count never
+		// changes the winner (searchKey excludes it), so capping is safe.
+		s.logger.Warn("capping per-request search workers at the CPU count",
+			"requested", cfg.SearchWorkers, "num_cpu", ncpu)
+		cfg.SearchWorkers = ncpu
 	}
 	if req.File.Preconditioner == nil && s.opts.Preconditioner != "" {
 		// Requests that do not choose a preconditioner inherit the daemon's
@@ -499,55 +515,84 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	key, err := searchKey(cfg, req.Exhaustive)
 	if err != nil {
-		s.fail(w, r, endpoint, http.StatusInternalServerError, err, start)
+		return org.Config{}, "", err
+	}
+	return cfg, key, nil
+}
+
+// searchComputer returns the pool-task body for one resolved search — the
+// computation shared by POST /v1/org/search (plain and ?stream=1) and batch
+// search items. notify, when non-nil, observes every audit event live (the
+// SSE streaming path); the audit trail itself always rides the response.
+func (s *Server) searchComputer(cfg org.Config, exhaustive bool, key string, notify func(org.AuditEvent)) func(context.Context) (any, error) {
+	return func(taskCtx context.Context) (any, error) {
+		// Searches that share a physics substrate share one process-wide
+		// engine: concurrent requests dedupe and memoize individual
+		// simulations even when their search-level knobs (and hence
+		// their response-cache keys) differ.
+		eng, err := s.engine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sr, err := org.NewSearcherWithEngine(cfg, eng)
+		if err != nil {
+			return nil, err
+		}
+		computeStart := time.Now()
+		al := org.NewAuditLog(s.opts.AuditRingSize).WithNotify(notify)
+		sr.WithContext(taskCtx).WithAudit(al)
+		var res org.Result
+		if exhaustive {
+			res, err = sr.OptimizeExhaustive()
+		} else {
+			res, err = sr.Optimize()
+		}
+		s.thermalSims.Add(float64(sr.ThermalSims()))
+		s.cgIterations.Add(float64(sr.CGIterations()))
+		if err != nil {
+			return nil, err
+		}
+		if tr := obs.TraceFrom(taskCtx); tr != nil {
+			tr.SetAttr("engine_memo_hits", sr.EngineHits())
+			tr.SetAttr("engine_dedup_waits", sr.EngineDedupWaits())
+		}
+		resp := searchResponse(res, sr)
+		resp.Audit = al.Trail()
+		s.audits.add(auditRecord{
+			RequestID: obs.RequestID(taskCtx),
+			CacheKey:  key,
+			Start:     computeStart,
+			ElapsedMS: float64(time.Since(computeStart).Microseconds()) / 1e3,
+			Feasible:  res.Feasible,
+			Trail:     resp.Audit,
+		})
+		return resp, nil
+	}
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	const endpoint = "org_search"
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
+	var req SearchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.fail(w, r, endpoint, http.StatusBadRequest, err, start)
+		return
+	}
+	cfg, key, err := s.resolveSearch(&req)
+	if err != nil {
+		s.fail(w, r, endpoint, http.StatusBadRequest, err, start)
+		return
+	}
+	if wantStream(r) {
+		s.streamSearch(w, r, ctx, cfg, req.Exhaustive, key, start)
 		return
 	}
 	ctx, csp := obs.Start(ctx, "cache.lookup")
 	val, hit, err := s.cache.Do(ctx, key, func(runCtx context.Context) (any, error) {
 		runCtx = obs.Reattach(runCtx, ctx)
-		return s.pool.Do(runCtx, func(taskCtx context.Context) (any, error) {
-			// Searches that share a physics substrate share one process-wide
-			// engine: concurrent requests dedupe and memoize individual
-			// simulations even when their search-level knobs (and hence
-			// their response-cache keys) differ.
-			eng, err := s.engines.Get(cfg)
-			if err != nil {
-				return nil, err
-			}
-			sr, err := org.NewSearcherWithEngine(cfg, eng)
-			if err != nil {
-				return nil, err
-			}
-			computeStart := time.Now()
-			al := org.NewAuditLog(s.opts.AuditRingSize)
-			sr.WithContext(taskCtx).WithAudit(al)
-			var res org.Result
-			if req.Exhaustive {
-				res, err = sr.OptimizeExhaustive()
-			} else {
-				res, err = sr.Optimize()
-			}
-			s.thermalSims.Add(float64(sr.ThermalSims()))
-			s.cgIterations.Add(float64(sr.CGIterations()))
-			if err != nil {
-				return nil, err
-			}
-			if tr := obs.TraceFrom(taskCtx); tr != nil {
-				tr.SetAttr("engine_memo_hits", sr.EngineHits())
-				tr.SetAttr("engine_dedup_waits", sr.EngineDedupWaits())
-			}
-			resp := searchResponse(res, sr)
-			resp.Audit = al.Trail()
-			s.audits.add(auditRecord{
-				RequestID: obs.RequestID(taskCtx),
-				CacheKey:  key,
-				Start:     computeStart,
-				ElapsedMS: float64(time.Since(computeStart).Microseconds()) / 1e3,
-				Feasible:  res.Feasible,
-				Trail:     resp.Audit,
-			})
-			return resp, nil
-		})
+		return s.pool.Do(runCtx, s.searchComputer(cfg, req.Exhaustive, key, nil))
 	})
 	csp.SetAttr("hit", hit)
 	csp.SetAttr("key", key)
@@ -644,14 +689,9 @@ type CostResponse struct {
 	SingleChipYield float64 `json:"single_chip_yield"`
 }
 
-func (s *Server) handleCost(w http.ResponseWriter, r *http.Request) {
-	const endpoint = "cost"
-	start := time.Now()
-	var req CostRequest
-	if err := decodeJSON(r, &req); err != nil {
-		s.fail(w, r, endpoint, http.StatusBadRequest, err, start)
-		return
-	}
+// costCompute evaluates one cost query; every failure is a client error
+// (the model itself cannot fail). Shared by POST /v1/cost and batch items.
+func costCompute(req *CostRequest) (*CostResponse, error) {
 	p := cost.DefaultParams()
 	if req.D0PerCM2 != nil {
 		p.D0PerCM2 = *req.D0PerCM2
@@ -660,11 +700,10 @@ func (s *Server) handleCost(w http.ResponseWriter, r *http.Request) {
 		p.BondCost = *req.BondCostUSD
 	}
 	if err := p.Validate(); err != nil {
-		s.fail(w, r, endpoint, http.StatusBadRequest, err, start)
-		return
+		return nil, err
 	}
 	single := p.SingleChipCost(floorplan.ChipEdgeMM, floorplan.ChipEdgeMM)
-	resp := CostResponse{
+	resp := &CostResponse{
 		SingleChipUSD:   single,
 		SingleChipYield: p.CMOSYield(floorplan.ChipEdgeMM * floorplan.ChipEdgeMM),
 	}
@@ -676,19 +715,31 @@ func (s *Server) handleCost(w http.ResponseWriter, r *http.Request) {
 	case req.Chiplets == 4 || req.Chiplets == 16:
 		minEdge := cost.MinInterposerEdge(req.Chiplets)
 		if req.InterposerMM < minEdge || req.InterposerMM > floorplan.MaxInterposerEdgeMM {
-			s.fail(w, r, endpoint, http.StatusBadRequest,
-				fmt.Errorf("interposer_mm %g out of range [%g, %g] for %d chiplets",
-					req.InterposerMM, minEdge, floorplan.MaxInterposerEdgeMM, req.Chiplets), start)
-			return
+			return nil, fmt.Errorf("interposer_mm %g out of range [%g, %g] for %d chiplets",
+				req.InterposerMM, minEdge, floorplan.MaxInterposerEdgeMM, req.Chiplets)
 		}
 		resp.CostUSD = p.Cost25DForInterposer(req.Chiplets, req.InterposerMM)
 		resp.NormCost = resp.CostUSD / single
 		chipletArea := floorplan.ChipEdgeMM * floorplan.ChipEdgeMM / float64(req.Chiplets)
 		resp.ChipletYield = p.CMOSYield(chipletArea)
 	default:
-		s.fail(w, r, endpoint, http.StatusBadRequest,
-			fmt.Errorf("chiplets must be 1, 4, or 16, got %d", req.Chiplets), start)
+		return nil, fmt.Errorf("chiplets must be 1, 4, or 16, got %d", req.Chiplets)
+	}
+	return resp, nil
+}
+
+func (s *Server) handleCost(w http.ResponseWriter, r *http.Request) {
+	const endpoint = "cost"
+	start := time.Now()
+	var req CostRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.fail(w, r, endpoint, http.StatusBadRequest, err, start)
 		return
 	}
-	s.finish(w, endpoint, http.StatusOK, resp, start)
+	resp, err := costCompute(&req)
+	if err != nil {
+		s.fail(w, r, endpoint, http.StatusBadRequest, err, start)
+		return
+	}
+	s.finish(w, endpoint, http.StatusOK, *resp, start)
 }

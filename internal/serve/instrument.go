@@ -30,6 +30,15 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Flush forwards to the underlying ResponseWriter so SSE streaming works
+// through the middleware (the embedded interface alone does not make
+// statusWriter an http.Flusher).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // instrument wraps a compute handler with the per-request observability
 // plumbing: request ID (generated, or honored from an inbound X-Request-Id)
 // echoed in the response header, W3C trace context (an inbound traceparent

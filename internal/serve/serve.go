@@ -17,15 +17,27 @@
 //     request IDs echoed in X-Request-Id, structured request logs, and
 //     Prometheus text exposition at GET /metrics.
 //
+// For horizontal scale-out, chipletd adds a batched sweep API with
+// cross-request coalescing (POST /v1/batch expands sweep templates
+// server-side and deduplicates near-identical candidates on their canonical
+// cache keys before they reach the pool), SSE streaming of per-item and
+// search progress (?stream=1), and a sharding layer: a static -peers list,
+// rendezvous hashing on the engine physics fingerprint, and a memo
+// peer-fetch endpoint so a non-owner pulls memoized simulation results from
+// the owning node instead of re-simulating (see internal/serve/shard.go).
+//
 // Endpoints:
 //
 //	POST /v1/thermal/solve  floorplan + workload -> peak temperature/power
 //	POST /v1/org/search     benchmark, threshold, α/β -> best organization
 //	POST /v1/cost           Eqs. (1)-(4) manufacturing cost queries
+//	POST /v1/batch          batched solve/search/cost items + sweep templates
+//	GET  /v1/memo/{fp}/{k}  memo peer-fetch (sharding; content-addressed)
 //	GET  /metrics           Prometheus text exposition
 //	GET  /healthz           liveness + build info + uptime
 //	GET  /debug/solves      flight recorder (recent + slow request traces)
 //	GET  /debug/search      search convergence audit trails (recent searches)
+//	GET  /debug/shard       this node's ring view + per-engine ownership
 //	GET  /debug/pprof/*     runtime profiles (only with Options.EnablePprof)
 package serve
 
@@ -124,6 +136,21 @@ type Options struct {
 	// (events retained per search) and the /debug/search history ring.
 	// 0 picks the default (256); negative disables auditing.
 	AuditRingSize int
+	// Peers lists the base URLs of the other chipletd nodes in a sharded
+	// deployment (e.g. http://host2:8080). Empty disables sharding. All
+	// nodes must be configured with the same total node set (each naming
+	// the others in Peers and itself in SelfURL) for rendezvous ownership
+	// to agree.
+	Peers []string
+	// SelfURL is this node's own base URL as the peers address it. Required
+	// when Peers is set (ownership is computed over Peers + SelfURL); if
+	// empty while Peers is non-empty, sharding is disabled with a warning.
+	SelfURL string
+	// PeerTimeout bounds one memo peer-fetch round trip. A fetch that
+	// misses the deadline falls back to the local simulation, so a slow or
+	// dead peer costs at most this much extra latency per miss. 0 picks
+	// the default (500ms).
+	PeerTimeout time.Duration
 }
 
 // DefaultOptions returns the production defaults.
@@ -141,6 +168,7 @@ func DefaultOptions() Options {
 		SlowTraceThreshold: 2 * time.Second,
 		TraceSampleRate:    1.0,
 		AuditRingSize:      256,
+		PeerTimeout:        500 * time.Millisecond,
 	}
 }
 
@@ -195,6 +223,18 @@ func (o Options) withDefaults() Options {
 			o.SearchWorkers = 1
 		}
 	}
+	if ncpu := runtime.NumCPU(); o.SearchWorkers > ncpu {
+		// More restart workers than CPUs is pure scheduling overhead: the
+		// restarts are CPU-bound, so oversubscription only adds contention
+		// (benchmarked below 1x serial on a 1-CPU box). Cap and say so —
+		// worker count never changes results, only wall clock.
+		o.Logger.Warn("capping search workers at the CPU count",
+			"requested", o.SearchWorkers, "num_cpu", ncpu)
+		o.SearchWorkers = ncpu
+	}
+	if o.PeerTimeout <= 0 {
+		o.PeerTimeout = d.PeerTimeout
+	}
 	return o
 }
 
@@ -213,6 +253,11 @@ type Server struct {
 	exporter *export.Exporter // nil when OTLPEndpoint is unset (no-op)
 	audits   *auditRing       // /debug/search history; nil when auditing disabled
 
+	// Sharding state: nil ring means standalone (every fingerprint local).
+	ring      *shardRing
+	peerHTTP  *http.Client
+	peerFetch org.PeerFetchFunc // installed on engines via Server.engine
+
 	requests     *metrics.CounterVec // endpoint, code
 	cacheHits    *metrics.CounterVec // endpoint
 	cacheMisses  *metrics.CounterVec // endpoint
@@ -223,6 +268,12 @@ type Server struct {
 	leakIterHist *metrics.Histogram    // leakage-loop iterations per solve
 	stageSeconds *metrics.HistogramVec // stage
 	inflight     *metrics.GaugeVec     // route
+
+	peerFetches      *metrics.CounterVec // result: hit, miss, error
+	peerFetchSeconds *metrics.Histogram  // successful fetch round trips
+	memoServed       *metrics.CounterVec // result: hit, miss (GET /v1/memo)
+	batchItems       *metrics.Counter
+	batchCoalesced   *metrics.Counter
 }
 
 // New assembles a server (not yet listening; use Run, or Handler with your
@@ -244,6 +295,18 @@ func New(opts Options) *Server {
 	if opts.AuditRingSize > 0 {
 		s.audits = newAuditRing(opts.AuditRingSize)
 	}
+	if len(opts.Peers) > 0 {
+		if opts.SelfURL == "" {
+			s.logger.Warn("peers configured without a self URL; sharding disabled")
+		} else {
+			s.ring = newShardRing(opts.SelfURL, opts.Peers)
+			s.peerHTTP = &http.Client{Timeout: opts.PeerTimeout}
+			s.logger.Info("sharding enabled",
+				"self", s.ring.self, "nodes", len(s.ring.nodes),
+				"peer_timeout", opts.PeerTimeout.String())
+		}
+	}
+	s.peerFetch = s.peerFetcher()
 	s.exporter = export.New(export.Options{
 		Endpoint:    opts.OTLPEndpoint,
 		ServiceName: "chipletd",
@@ -335,6 +398,34 @@ func New(opts Options) *Server {
 	s.reg.GaugeFunc("chipletd_eval_engines",
 		"Evaluation engines resident in the fingerprint-keyed cache.",
 		func() float64 { return float64(s.engines.Len()) })
+	// Scale-out telemetry: batch coalescing and the memo peer-fetch exchange
+	// (both directions — fetches this node issued, and memo lookups it served
+	// to peers), plus this node's rendezvous-ownership view.
+	s.peerFetches = s.reg.CounterVec("chipletd_peer_fetch_total",
+		"Memo peer-fetch attempts by result (hit, miss, error).", "result")
+	s.peerFetchSeconds = s.reg.Histogram("chipletd_peer_fetch_seconds",
+		"Round-trip latency of successful memo peer fetches.",
+		[]float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5})
+	s.memoServed = s.reg.CounterVec("chipletd_memo_requests_total",
+		"GET /v1/memo lookups served to peers by result (hit, miss).", "result")
+	s.batchItems = s.reg.Counter("chipletd_batch_items_total",
+		"Items received in /v1/batch requests (after sweep expansion).")
+	s.batchCoalesced = s.reg.Counter("chipletd_batch_coalesced_total",
+		"Batch items coalesced onto another item's computation within their batch.")
+	s.reg.CounterFunc("chipletd_eval_peer_hits_total",
+		"Engine memo misses answered by a peer fetch instead of a local simulation.",
+		func() float64 { return float64(s.engines.Stats().PeerHits) })
+	s.reg.GaugeFunc("chipletd_shard_nodes",
+		"Nodes in the rendezvous ring (0 when sharding is disabled).",
+		func() float64 {
+			if s.ring == nil {
+				return 0
+			}
+			return float64(len(s.ring.nodes))
+		})
+	s.reg.GaugeFunc("chipletd_shard_owned_engines",
+		"Resident engines whose fingerprint this node owns.",
+		func() float64 { return float64(s.ownedEngines()) })
 	s.reg.GaugeFunc("chipletd_process_start_time_seconds",
 		"Unix time the process started, in seconds.",
 		func() float64 { return float64(s.started.UnixNano()) / 1e9 })
@@ -344,10 +435,13 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/thermal/solve", s.instrument("thermal_solve", s.handleSolve))
 	s.mux.HandleFunc("POST /v1/org/search", s.instrument("org_search", s.handleSearch))
 	s.mux.HandleFunc("POST /v1/cost", s.instrument("cost", s.handleCost))
+	s.mux.HandleFunc("POST /v1/batch", s.instrument("batch", s.handleBatch))
+	s.mux.HandleFunc("GET /v1/memo/{fp}/{key}", s.instrument("memo_fetch", s.handleMemo))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /debug/solves", s.handleDebugSolves)
 	s.mux.HandleFunc("GET /debug/search", s.handleDebugSearch)
+	s.mux.HandleFunc("GET /debug/shard", s.handleDebugShard)
 	if opts.EnablePprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,243 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"chiplet25d/internal/obs"
+	"chiplet25d/internal/org"
+)
+
+// Sharding layer: a static peer list plus rendezvous (highest-random-weight)
+// hashing on the engine physics fingerprint decides, for every fingerprint,
+// which node "owns" it — no external coordination, no hash ring state, and
+// every node computes the same answer from the same peer list. Ownership
+// does not gate requests (any node answers anything); it gates the memo
+// peer-fetch: a non-owner's engine asks the owner's memo over
+// GET /v1/memo/{fingerprint}/{key} before simulating locally, so the
+// owner's EngineCache stays hot and the fleet runs each simulation once.
+// Fetches are guarded by a short timeout and fall back to the local
+// simulation on any failure, so a dead peer degrades to correct-but-cold.
+
+// shardRing is the rendezvous-hash view of the static node set. Nodes are
+// base URLs; all nodes must be configured with the same set (each listing
+// the others as -peers and itself as -self) for ownership to agree.
+type shardRing struct {
+	self  string
+	nodes []string // deduplicated, sorted; includes self
+}
+
+// newShardRing builds the ring from this node's own advertised URL and its
+// peer list. Trailing slashes are stripped so "http://a:8080/" and
+// "http://a:8080" are one node.
+func newShardRing(self string, peers []string) *shardRing {
+	seen := make(map[string]bool)
+	var nodes []string
+	for _, n := range append([]string{self}, peers...) {
+		n = strings.TrimRight(strings.TrimSpace(n), "/")
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	return &shardRing{self: strings.TrimRight(strings.TrimSpace(self), "/"), nodes: nodes}
+}
+
+// rendezvousScore is the highest-random-weight score of (node, fingerprint).
+// FNV-1a over the joined strings is enough: the score only needs to be
+// deterministic across nodes and well-mixed across fingerprints.
+func rendezvousScore(node, fpHash string) uint64 {
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, node)
+	_, _ = io.WriteString(h, "|")
+	_, _ = io.WriteString(h, fpHash)
+	return h.Sum64()
+}
+
+// owner returns the node owning a fingerprint: the highest rendezvous
+// score, ties broken by node name so every node agrees.
+func (r *shardRing) owner(fpHash string) string {
+	best, bestScore := "", uint64(0)
+	for _, n := range r.nodes {
+		s := rendezvousScore(n, fpHash)
+		if best == "" || s > bestScore || (s == bestScore && n < best) {
+			best, bestScore = n, s
+		}
+	}
+	return best
+}
+
+// peerFetcher builds the engine-level fetch hook: on a local memo miss for
+// a fingerprint owned elsewhere, ask the owner's memo before simulating.
+// Returns nil when sharding is disabled.
+func (s *Server) peerFetcher() org.PeerFetchFunc {
+	if s.ring == nil {
+		return nil
+	}
+	return func(ctx context.Context, fpHash, keyHash string) (org.SimRecord, bool) {
+		owner := s.ring.owner(fpHash)
+		if owner == s.ring.self {
+			// This node is the authority for the fingerprint: compute locally.
+			return org.SimRecord{}, false
+		}
+		start := time.Now()
+		ctx, cancel := context.WithTimeout(ctx, s.opts.PeerTimeout)
+		defer cancel()
+		ctx, sp := obs.Start(ctx, "peer.fetch")
+		sp.SetAttr("peer", owner)
+		defer sp.End()
+		result := "error"
+		defer func() {
+			sp.SetAttr("result", result)
+			s.peerFetches.With(result).Inc()
+		}()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			owner+"/v1/memo/"+fpHash+"/"+keyHash, nil)
+		if err != nil {
+			return org.SimRecord{}, false
+		}
+		// Propagate trace context so the owner's server span joins this
+		// trace; its response Traceparent comes back as a span link.
+		if tr := obs.TraceFrom(ctx); tr != nil {
+			req.Header.Set("traceparent", tr.Traceparent())
+		}
+		resp, err := s.peerHTTP.Do(req)
+		if err != nil {
+			return org.SimRecord{}, false
+		}
+		defer resp.Body.Close()
+		if tid, sid, _, ok := obs.ParseTraceparent(resp.Header.Get("Traceparent")); ok {
+			// Recorded as link.* attrs; the OTLP encoder lifts them into a
+			// proper span link on export (see internal/obs/export).
+			sp.SetAttr("link.trace_id", tid)
+			sp.SetAttr("link.span_id", sid)
+		}
+		if resp.StatusCode != http.StatusOK {
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			result = "miss"
+			return org.SimRecord{}, false
+		}
+		var rec org.SimRecord
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&rec); err != nil {
+			return org.SimRecord{}, false
+		}
+		result = "hit"
+		s.peerFetchSeconds.Observe(time.Since(start).Seconds())
+		return rec, true
+	}
+}
+
+// engine returns the process-wide engine for cfg with the peer-fetch hook
+// attached. All serve-layer computations go through here (never
+// s.engines.Get directly) so sharded and standalone deployments share one
+// code path; attaching is idempotent and a no-op when sharding is off.
+func (s *Server) engine(cfg org.Config) (*org.Engine, error) {
+	eng, err := s.engines.Get(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if s.peerFetch != nil {
+		eng.SetPeerFetch(s.peerFetch)
+	}
+	return eng, nil
+}
+
+// statusLabel renders a status code for the request-counter label.
+func statusLabel(code int) string { return strconv.Itoa(code) }
+
+// handleMemo serves GET /v1/memo/{fp}/{key}: a peer's memo fetch. 404 for
+// an unknown fingerprint or a non-resident record — both mean "compute it
+// yourself" to the caller; neither is an error worth a 5xx.
+func (s *Server) handleMemo(w http.ResponseWriter, r *http.Request) {
+	const endpoint = "memo_fetch"
+	fpHash, keyHash := r.PathValue("fp"), r.PathValue("key")
+	writeJSON := func(code int, v any) {
+		s.requests.With(endpoint, statusLabel(code)).Inc()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(v)
+	}
+	eng := s.engines.Lookup(fpHash)
+	if eng == nil {
+		s.memoServed.With("miss").Inc()
+		writeJSON(http.StatusNotFound, errorResponse{Error: "engine fingerprint not resident", RequestID: obs.RequestID(r.Context())})
+		return
+	}
+	rec, ok := eng.MemoFetch(keyHash)
+	if !ok {
+		s.memoServed.With("miss").Inc()
+		writeJSON(http.StatusNotFound, errorResponse{Error: "memo entry not resident", RequestID: obs.RequestID(r.Context())})
+		return
+	}
+	s.memoServed.With("hit").Inc()
+	writeJSON(http.StatusOK, rec)
+}
+
+// shardEngineJSON describes one resident engine in GET /debug/shard.
+type shardEngineJSON struct {
+	FingerprintHash string   `json:"fingerprint_hash"`
+	Owner           string   `json:"owner,omitempty"`
+	Owned           bool     `json:"owned"`
+	MemoEntries     int      `json:"memo_entries"`
+	MemoKeys        []string `json:"memo_keys,omitempty"`
+}
+
+// debugShardResponse is the GET /debug/shard payload: the node's view of
+// the ring plus per-engine ownership, so operators (and the two-node smoke
+// test) can see where each physics fingerprint lives.
+type debugShardResponse struct {
+	Enabled bool              `json:"enabled"`
+	Self    string            `json:"self,omitempty"`
+	Nodes   []string          `json:"nodes,omitempty"`
+	Engines []shardEngineJSON `json:"engines"`
+}
+
+func (s *Server) handleDebugShard(w http.ResponseWriter, r *http.Request) {
+	resp := debugShardResponse{Enabled: s.ring != nil, Engines: []shardEngineJSON{}}
+	if s.ring != nil {
+		resp.Self = s.ring.self
+		resp.Nodes = s.ring.nodes
+	}
+	wantKeys := r.URL.Query().Get("keys") == "1"
+	for _, eng := range s.engines.Resident() {
+		ej := shardEngineJSON{
+			FingerprintHash: eng.FingerprintHash(),
+			MemoEntries:     eng.MemoLen(),
+			Owned:           true,
+		}
+		if s.ring != nil {
+			ej.Owner = s.ring.owner(ej.FingerprintHash)
+			ej.Owned = ej.Owner == s.ring.self
+		}
+		if wantKeys {
+			ej.MemoKeys = eng.MemoKeyHashes(16)
+			sort.Strings(ej.MemoKeys)
+		}
+		resp.Engines = append(resp.Engines, ej)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}
+
+// ownedEngines counts resident engines whose fingerprint this node owns
+// (all of them when sharding is off), for the shard-ownership gauge.
+func (s *Server) ownedEngines() int {
+	n := 0
+	for _, eng := range s.engines.Resident() {
+		if s.ring == nil || s.ring.owner(eng.FingerprintHash()) == s.ring.self {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,240 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chiplet25d/internal/org"
+)
+
+func TestRendezvousOwnerDeterministicAndAgreed(t *testing.T) {
+	nodes := []string{"http://a:8080", "http://b:8080", "http://c:8080"}
+	rings := []*shardRing{
+		newShardRing(nodes[0], nodes[1:]),
+		newShardRing(nodes[1], []string{nodes[0], nodes[2]}),
+		newShardRing(nodes[2], nodes[:2]),
+	}
+	for i := 0; i < 64; i++ {
+		fp := fmt.Sprintf("%064x", i)
+		owner := rings[0].owner(fp)
+		for _, r := range rings[1:] {
+			if got := r.owner(fp); got != owner {
+				t.Fatalf("fingerprint %d: ring disagreement: %s vs %s", i, got, owner)
+			}
+		}
+		if owner != rings[0].owner(fp) {
+			t.Fatalf("fingerprint %d: owner not deterministic", i)
+		}
+	}
+}
+
+func TestRendezvousDistribution(t *testing.T) {
+	ring := newShardRing("http://a", []string{"http://b", "http://c", "http://d"})
+	counts := map[string]int{}
+	for i := 0; i < 4096; i++ {
+		counts[ring.owner(fmt.Sprintf("%064x", i*2654435761))]++
+	}
+	for _, n := range ring.nodes {
+		// Perfectly uniform would be 1024 each; accept a generous band — the
+		// property under test is "no node starves", not statistical purity.
+		if counts[n] < 512 || counts[n] > 2048 {
+			t.Errorf("node %s owns %d of 4096 fingerprints, want roughly balanced", n, counts[n])
+		}
+	}
+}
+
+func TestShardRingNormalization(t *testing.T) {
+	r := newShardRing("http://a:8080/", []string{" http://b:8080 ", "http://a:8080", "", "http://b:8080/"})
+	if len(r.nodes) != 2 {
+		t.Fatalf("nodes = %v, want deduplicated pair", r.nodes)
+	}
+	if r.self != "http://a:8080" {
+		t.Fatalf("self = %q, want trimmed", r.self)
+	}
+}
+
+func TestMemoEndpointMisses(t *testing.T) {
+	s := testServer(t, nil)
+	req := httptest.NewRequest(http.MethodGet, "/v1/memo/deadbeef/cafebabe", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown fingerprint: status = %d, want 404", rec.Code)
+	}
+
+	// Materialize an engine, then ask for a key it does not hold.
+	if rec := postJSON(t, s.Handler(), "/v1/thermal/solve", solveBody); rec.Code != http.StatusOK {
+		t.Fatalf("solve: %d %s", rec.Code, rec.Body)
+	}
+	var sv debugShardResponse
+	shardRec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(shardRec, httptest.NewRequest(http.MethodGet, "/debug/shard?keys=1", nil))
+	if err := json.Unmarshal(shardRec.Body.Bytes(), &sv); err != nil {
+		t.Fatal(err)
+	}
+	if len(sv.Engines) != 1 || sv.Engines[0].MemoEntries < 1 || len(sv.Engines[0].MemoKeys) < 1 {
+		t.Fatalf("debug/shard = %+v, want one engine with a resident memo key", sv)
+	}
+	fp := sv.Engines[0].FingerprintHash
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/memo/"+fp+"/cafebabe", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown key: status = %d, want 404", rec.Code)
+	}
+
+	// And the key it does hold round-trips as a SimRecord.
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/memo/"+fp+"/"+sv.Engines[0].MemoKeys[0], nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("resident key: status = %d, body = %s", rec.Code, rec.Body)
+	}
+	var sim org.SimRecord
+	if err := json.Unmarshal(rec.Body.Bytes(), &sim); err != nil {
+		t.Fatal(err)
+	}
+	if sim.PeakC <= 0 || sim.CGIterations <= 0 {
+		t.Fatalf("memo record = %+v, want a completed simulation", sim)
+	}
+}
+
+// twoNodes builds a mutual-peer pair behind swappable handlers (each node
+// needs the other's URL before construction).
+func twoNodes(t *testing.T, mutate func(*Options)) (a, b *Server, urlA, urlB string) {
+	t.Helper()
+	var hA, hB atomic.Value
+	tsA := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hA.Load().(http.Handler).ServeHTTP(w, r)
+	}))
+	t.Cleanup(tsA.Close)
+	tsB := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hB.Load().(http.Handler).ServeHTTP(w, r)
+	}))
+	t.Cleanup(tsB.Close)
+	mk := func(self string, peers []string) *Server {
+		return testServer(t, func(o *Options) {
+			o.SelfURL, o.Peers = self, peers
+			if mutate != nil {
+				mutate(o)
+			}
+		})
+	}
+	a = mk(tsA.URL, []string{tsB.URL})
+	b = mk(tsB.URL, []string{tsA.URL})
+	hA.Store(a.Handler())
+	hB.Store(b.Handler())
+	return a, b, tsA.URL, tsB.URL
+}
+
+func solveVia(t *testing.T, url string) SolveResponse {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/thermal/solve", "application/json", strings.NewReader(solveBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve via %s: %d", url, resp.StatusCode)
+	}
+	return out
+}
+
+func TestTwoNodePeerFetch(t *testing.T) {
+	a, b, urlA, urlB := twoNodes(t, nil)
+
+	// Warm node A, learn who owns the solve's fingerprint, then direct the
+	// warm-up at the owner so the non-owner's first compute must peer-fetch.
+	first := solveVia(t, urlA)
+	fp := a.engines.Resident()[0].FingerprintHash()
+	owner := a.ring.owner(fp)
+	ownerSrv, otherSrv, otherURL := a, b, urlB
+	if owner == urlB {
+		// The probe warmed the non-owner; warm the owner too (the probe's
+		// record peer-fetches across, which is itself part of the test).
+		ownerSrv, otherSrv, otherURL = b, a, urlA
+		solveVia(t, urlB)
+		otherSrv, otherURL = a, urlA
+		_ = ownerSrv
+	}
+	// The non-owner has no local memo entry for a *different* operating
+	// point; computing it after the owner has it resident must hit the peer.
+	vary := strings.Replace(solveBody, `"cores": 128`, `"cores": 256`, 1)
+	respOwner, err := http.Post(owner+"/v1/thermal/solve", "application/json", strings.NewReader(vary))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ownerOut SolveResponse
+	if err := json.NewDecoder(respOwner.Body).Decode(&ownerOut); err != nil {
+		t.Fatal(err)
+	}
+	respOwner.Body.Close()
+
+	resp, err := http.Post(otherURL+"/v1/thermal/solve", "application/json", strings.NewReader(vary))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var otherOut SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&otherOut); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	if otherOut.PeakC != ownerOut.PeakC || otherOut.CGIterations != ownerOut.CGIterations ||
+		otherOut.TotalPowerW != ownerOut.TotalPowerW {
+		t.Fatalf("peer-fetched result diverged: %+v vs %+v", otherOut, ownerOut)
+	}
+	if hits := otherSrv.engines.Stats().PeerHits; hits < 1 {
+		t.Fatalf("non-owner peer hits = %d, want >= 1", hits)
+	}
+	_ = first
+}
+
+func TestDeadPeerFallsBackToLocal(t *testing.T) {
+	// A node whose only peer is unreachable must still answer, from local
+	// compute, within (roughly) the peer timeout plus the solve itself.
+	s := testServer(t, func(o *Options) {
+		o.SelfURL = "http://shard-test-self.invalid"
+		o.Peers = []string{"http://127.0.0.1:9"} // discard port: refused
+		o.PeerTimeout = 100 * time.Millisecond
+	})
+	rec := postJSON(t, s.Handler(), "/v1/thermal/solve", solveBody)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body = %s", rec.Code, rec.Body)
+	}
+	var out SolveResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.PeakC <= 0 {
+		t.Fatalf("peak_c = %g, want a computed result despite the dead peer", out.PeakC)
+	}
+}
+
+func TestDebugShardDisabled(t *testing.T) {
+	s := testServer(t, nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/shard", nil))
+	var sv debugShardResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sv); err != nil {
+		t.Fatal(err)
+	}
+	if sv.Enabled || sv.Self != "" || len(sv.Nodes) != 0 {
+		t.Fatalf("standalone /debug/shard = %+v, want disabled", sv)
+	}
+}
+
+func TestPeersWithoutSelfDisablesSharding(t *testing.T) {
+	s := testServer(t, func(o *Options) { o.Peers = []string{"http://b:8080"} })
+	if s.ring != nil || s.peerFetch != nil {
+		t.Fatal("peers without self must leave sharding disabled")
+	}
+}

@@ -193,6 +193,11 @@ func Checks() []Check {
 			Run:         checkReferenceEvaluator,
 		},
 		{
+			Name:        "differential/sharded-batch",
+			Description: "two-node sharded /v1/batch (memo peer-fetch) against standalone sequential requests, bit for bit, including with the peer unreachable",
+			Run:         checkShardedBatch,
+		},
+		{
 			Name:        "drift/spatial-calibration",
 			Description: "spatial-surrogate predictions at non-DoE points stay within the calibration's own recorded worst-case bound",
 			Quick:       true,

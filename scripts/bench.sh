@@ -30,7 +30,12 @@
 # paper's original workflow). Expect the end-to-end ratios near 1.0 at this
 # reduced scale — the surrogate ladder already removes most repeated sims,
 # so the cold-solve win shows up per solve, not per search; see
-# EXPERIMENTS.md.
+# EXPERIMENTS.md. The scale-out benchmarks add batch_vs_sequential_speedup
+# (64 sequential warm HTTP solves over one warm /v1/batch sweep of the same
+# 64 candidates), coalesce_hit_ratio (computations the sweep's canonical-form
+# coalescing removed on the cold pass), and peer_fetch_hit_ns (one memoized
+# simulation pulled over GET /v1/memo, the sharded alternative to
+# re-simulating).
 #
 # Every record is annotated with gomaxprocs and num_cpu so a series mixing
 # host sizes stays interpretable; on boxes with fewer than 4 CPUs the
@@ -65,7 +70,9 @@ bench_out=$(
         go test -run '^$' -bench 'BenchmarkSearchFullFidelity|BenchmarkSearchSpatialTier|BenchmarkSpatialPredict' \
             -benchtime "${SEARCHBENCHTIME:-3x}" ./internal/org &&
         go test -run '^$' -bench 'BenchmarkSolveUntraced$|BenchmarkSolveTracedExporting$|BenchmarkGreedyPlacementSearch$|BenchmarkGreedyPlacementSearchAudited$' \
-            -benchtime "${SEARCHBENCHTIME:-3x}" .
+            -benchtime "${SEARCHBENCHTIME:-3x}" . &&
+        go test -run '^$' -bench 'BenchmarkChipletdBatchSweep64Warm$|BenchmarkChipletdSequentialSweep64Warm$|BenchmarkChipletdPeerFetchHit$' \
+            -benchtime "${BATCHBENCHTIME:-20x}" .
 )
 echo "$bench_out"
 
@@ -82,6 +89,7 @@ echo "$bench_out" | awk -v out="$out" -v gmp="$gmp" -v ncpu="$ncpu" '
             else if ($i == "spatial-hit-ratio") sh[name] = $(i - 1)
             else if ($i == "cg-iters/op") cg[name] = $(i - 1)
             else if ($i == "warm-seeds/op") ws[name] = $(i - 1)
+            else if ($i == "coalesce-hit-ratio") ch[name] = $(i - 1)
         }
         if (!(name in seen)) { order[++cnt] = name; seen[name] = 1 }
     }
@@ -97,6 +105,7 @@ echo "$bench_out" | awk -v out="$out" -v gmp="$gmp" -v ncpu="$ncpu" '
             if (name in sh) printf ", \"spatial_hit_ratio\": %s", sh[name] > out
             if (name in cg) printf ", \"cg_iters_per_op\": %s", cg[name] > out
             if (name in ws) printf ", \"warm_seeds_per_op\": %s", ws[name] > out
+            if (name in ch) printf ", \"coalesce_hit_ratio\": %s", ch[name] > out
             printf "}%s\n", (i < cnt ? "," : "") > out
         }
         printf "  ],\n  \"speedup_vs_serial\": {" > out
@@ -164,6 +173,14 @@ echo "$bench_out" | awk -v out="$out" -v gmp="$gmp" -v ncpu="$ncpu" '
         ffmg = ns["BenchmarkSearchFullFidelity32MGWarm"]
         if (ff32 > 0 && ffmg > 0)
             printf ",\n  \"mg_warm_fullfid_search_speedup\": %.2f", ff32 / ffmg > out
+        bat = ns["BenchmarkChipletdBatchSweep64Warm"]
+        seq = ns["BenchmarkChipletdSequentialSweep64Warm"]
+        if (bat > 0 && seq > 0)
+            printf ",\n  \"batch_vs_sequential_speedup\": %.2f", seq / bat > out
+        if ("BenchmarkChipletdBatchSweep64Warm" in ch)
+            printf ",\n  \"coalesce_hit_ratio\": %s", ch["BenchmarkChipletdBatchSweep64Warm"] > out
+        if ("BenchmarkChipletdPeerFetchHit" in ns)
+            printf ",\n  \"peer_fetch_hit_ns\": %s", ns["BenchmarkChipletdPeerFetchHit"] > out
         printf "\n}\n" > out
     }'
 

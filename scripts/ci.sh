@@ -14,7 +14,10 @@
 # skips tests), the fuzz smoke (a few seconds per target; skipped under
 # -short), the chipletd daemon smoke test (real binary over HTTP:
 # traced solve, /healthz build info, /metrics histograms, /debug/solves,
-# clean SIGTERM drain), a smoke run of the chipletd cache benchmarks,
+# clean SIGTERM drain), the two-node sharded smoke test (mutual -peers
+# daemons plus a standalone reference: bit-identical solve and search
+# answers, at least one memo peer-fetch hit), a smoke run of the chipletd
+# cache benchmarks,
 # the tracer-overhead guard (BenchmarkSolveTraced vs BenchmarkSolveUntraced),
 # the export-overhead guard (BenchmarkSolveTracedExporting vs untraced, plus
 # the disabled-exporter zero-allocation test),
@@ -101,6 +104,13 @@ echo "==> chipletd daemon smoke (build binary, drive endpoints, SIGTERM drain)"
 # Redundant under a full (non-short) test run above, but cheap, and it keeps
 # the daemon check explicit when CI runs with -short.
 go test -run 'TestDaemonSmoke' -count 1 ./cmd/chipletd
+
+echo "==> chipletd two-node sharded smoke (winner parity + peer-fetch hit)"
+# Two real daemons as mutual -peers plus a standalone reference: solve and
+# search answers must agree bit-for-bit across all three, and the non-owner
+# must report >= 1 chipletd_eval_peer_hits_total (it answered its memo miss
+# from the owner instead of re-simulating).
+go test -run 'TestShardedSmoke' -count 1 ./cmd/chipletd
 
 echo "==> chipletd cache benchmarks (smoke)"
 go test -run '^$' -bench 'BenchmarkChipletdSolve' -benchtime 3x .
