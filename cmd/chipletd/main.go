@@ -1,13 +1,15 @@
 // Command chipletd serves the paper's models over HTTP/JSON: thermal
-// solves, organization searches, and cost queries, with a content-addressed
-// result cache, a bounded worker pool, request-scoped span traces, and
-// Prometheus metrics. See internal/serve for the endpoint reference.
+// solves, organization searches, cost queries, and server TCO
+// elaborations, with a content-addressed result cache, a bounded worker
+// pool, request-scoped span traces, and Prometheus metrics. See
+// internal/serve for the endpoint reference.
 //
 // Usage:
 //
 //	chipletd [-addr :8080] [-workers N] [-kernel-threads N]
 //	         [-search-workers N] [-queue N] [-cache N] [-timeout 60s]
 //	         [-grid-max 128] [-spatial] [-precond mg] [-warm-start]
+//	         [-tco-node 7nm]
 //	         [-config file.json]
 //	         [-log-format text|json] [-log-level info] [-pprof]
 //	         [-trace-ring 64] [-slow-trace 2s]
@@ -40,6 +42,7 @@ import (
 	"time"
 
 	"chiplet25d/internal/config"
+	"chiplet25d/internal/cost"
 	"chiplet25d/internal/serve"
 )
 
@@ -79,6 +82,7 @@ func main() {
 		cacheCap   = flag.Int("cache", 0, "result cache capacity in entries (default 512)")
 		timeout    = flag.Duration("timeout", 0, "per-request deadline (default 60s)")
 		gridMax    = flag.Int("grid-max", 0, "largest thermal grid a request may ask for (default 128)")
+		tcoNode    = flag.String("tco-node", "", "default tech node for /v1/cost/tco requests that do not set tech_node (45nm, 28nm, 16nm, 7nm)")
 		spatial    = flag.Bool("spatial", false, "default org searches to the spatial surrogate tier (requests may still opt out)")
 		precond    = flag.String("precond", "mg", "thermal CG preconditioner: mg (multigrid) or ic0; results agree to the solver tolerance")
 		warmStart  = flag.Bool("warm-start", true, "seed escalated solves from retained neighbor temperature fields (cross-evaluation warm starts)")
@@ -193,6 +197,12 @@ func main() {
 	}
 	if *spatial {
 		opts.SpatialSurrogate = true
+	}
+	if *tcoNode != "" {
+		if _, err := cost.NodeByName(*tcoNode); err != nil {
+			fatal(err)
+		}
+		opts.TCONode = *tcoNode
 	}
 	// -precond and -warm-start default to the accelerated path (mg + warm
 	// starts; results agree with ic0/cold to the solver tolerance). An

@@ -1,10 +1,14 @@
 // Command costmodel prints 2.5D manufacturing cost curves (Eqs. (1)-(4)):
 // absolute and normalized cost of 4- and 16-chiplet systems across
-// interposer sizes, for a configurable defect density.
+// interposer sizes, for a configurable defect density. With -tco it instead
+// elaborates a full server TCO sweep: lane silicon + heatsink cost, lanes
+// packed per server, and $/GIPS-year across chiplet counts for one tech
+// node (see internal/cost's elaboration model).
 //
 // Usage:
 //
 //	costmodel -d0 0.25 -step 2
+//	costmodel -tco -node 7nm -lane-power 220 -lane-gips 180
 package main
 
 import (
@@ -18,9 +22,13 @@ import (
 
 func main() {
 	var (
-		d0   = flag.Float64("d0", 0.25, "defect density (defects/cm²)")
-		step = flag.Float64("step", 2, "interposer edge step (mm)")
-		bond = flag.Float64("bond", 0.2, "per-chiplet bonding cost ($)")
+		d0        = flag.Float64("d0", 0.25, "defect density (defects/cm²)")
+		step      = flag.Float64("step", 2, "interposer edge step (mm)")
+		bond      = flag.Float64("bond", 0.2, "per-chiplet bonding cost ($)")
+		tco       = flag.Bool("tco", false, "print a server TCO sweep across chiplet counts instead of cost curves")
+		node      = flag.String("node", "45nm", "tech node for -tco (45nm, 28nm, 16nm, 7nm)")
+		lanePower = flag.Float64("lane-power", 220, "lane power draw at the base node for -tco (W)")
+		laneGIPS  = flag.Float64("lane-gips", 180, "lane throughput for -tco (GIPS)")
 	)
 	flag.Parse()
 	if *step <= 0 {
@@ -35,6 +43,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "costmodel:", err)
 		os.Exit(1)
 	}
+	if *tco {
+		if err := printTCOSweep(p, *node, *lanePower, *laneGIPS); err != nil {
+			fmt.Fprintln(os.Stderr, "costmodel:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	c2d := p.SingleChipCost(floorplan.ChipEdgeMM, floorplan.ChipEdgeMM)
 	fmt.Printf("defect density %.2f /cm², single chip (18x18 mm): $%.2f (yield %.1f%%)\n\n",
 		*d0, c2d, 100*p.CMOSYield(floorplan.ChipEdgeMM*floorplan.ChipEdgeMM))
@@ -46,4 +61,46 @@ func main() {
 	}
 	fmt.Printf("\nchiplet yields: 4-chiplet die %.1f%%, 16-chiplet die %.1f%%\n",
 		100*p.CMOSYield(81), 100*p.CMOSYield(20.25))
+}
+
+// printTCOSweep elaborates the lane design at each square chiplet count and
+// prints the fleet economics: heatsink capacity, per-lane cost, server
+// packing, and the $/GIPS-year objective, marking the minimum.
+func printTCOSweep(p cost.Params, node string, lanePowerW, laneGIPS float64) error {
+	tp := cost.DefaultTCOParams()
+	tp.Node = node
+	lane := cost.LaneDesign{LanePowerW: lanePowerW, LaneGIPS: laneGIPS}
+	counts := []int{1, 4, 9, 16, 25, 36, 64}
+	elabs, err := tp.SweepChiplets(p, lane, counts)
+	if err != nil {
+		return err
+	}
+	nd, err := cost.NodeByName(node)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("server TCO sweep: node %s, lane %.0f W (x%.2f scaled) / %.0f GIPS, budget %.0f W, PUE %.2f, $%.2f/kWh\n\n",
+		nd.Name, lanePowerW, nd.PowerScale, laneGIPS, tp.ServerPowerBudgetW, tp.PUE, tp.EnergyUSDPerKWH)
+	fmt.Printf("%-9s %-9s %-9s %-10s %-10s %-7s %-11s %-13s %s\n",
+		"chiplets", "lane_w", "max_w", "silicon_$", "heatsink_$", "lanes", "server_$", "$/gips-year", "status")
+	best := -1
+	for i, e := range elabs {
+		if e.Feasible && (best < 0 || e.TCOPerGIPSYear < elabs[best].TCOPerGIPSYear) {
+			best = i
+		}
+	}
+	for i, e := range elabs {
+		status := e.Reason
+		if i == best {
+			status = "ok  <-- min"
+		}
+		tcoStr := "-"
+		if e.Feasible {
+			tcoStr = fmt.Sprintf("%.5f", e.TCOPerGIPSYear)
+		}
+		fmt.Printf("%-9d %-9.1f %-9.1f %-10.2f %-10.2f %-7d %-11.2f %-13s %s\n",
+			e.Chiplets, e.LanePowerW, e.MaxLanePowerW, e.SiliconUSD, e.HeatsinkUSD,
+			e.LanesPerServer, e.ServerUSD, tcoStr, status)
+	}
+	return nil
 }

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"testing"
+
+	"chiplet25d/internal/cost"
+)
+
+func TestPrintTCOSweep(t *testing.T) {
+	p := cost.DefaultParams()
+	if err := printTCOSweep(p, "28nm", 220, 180); err != nil {
+		t.Fatalf("printTCOSweep(28nm): %v", err)
+	}
+	// A hot lane exercises the infeasible "-" rendering alongside the
+	// feasible rows.
+	if err := printTCOSweep(p, "45nm", 300, 180); err != nil {
+		t.Fatalf("printTCOSweep(45nm, 300 W): %v", err)
+	}
+}
+
+func TestPrintTCOSweepUnknownNode(t *testing.T) {
+	if err := printTCOSweep(cost.DefaultParams(), "3nm", 220, 180); err == nil {
+		t.Fatal("printTCOSweep accepted an unknown tech node")
+	}
+}

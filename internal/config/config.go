@@ -29,6 +29,16 @@ type File struct {
 	Beta       *float64 `json:"beta,omitempty"`
 	ThresholdC *float64 `json:"threshold_c,omitempty"`
 
+	// ObjectiveMode selects how the search ranks combinations: "eq5"
+	// (absent/empty: the paper's Eq. (5)) or "tco" (annual datacenter
+	// $/GIPS from the TCO elaboration). Unlike kernel_threads this knob —
+	// and the TCO section below — changes which organization wins, so both
+	// are part of a search's cache identity.
+	ObjectiveMode string `json:"objective_mode,omitempty"`
+	// TCO overrides the datacenter elaboration constants for objective
+	// mode "tco" (absent: cost.DefaultTCOParams).
+	TCO *cost.TCOParams `json:"tco,omitempty"`
+
 	ChipletCounts  []int    `json:"chiplet_counts,omitempty"`
 	InterposerMin  *float64 `json:"interposer_min_mm,omitempty"`
 	InterposerMax  *float64 `json:"interposer_max_mm,omitempty"`
@@ -193,6 +203,12 @@ func (f *File) ToConfig() (org.Config, error) {
 	setF(&cfg.Objective.Alpha, f.Alpha)
 	setF(&cfg.Objective.Beta, f.Beta)
 	setF(&cfg.ThresholdC, f.ThresholdC)
+	if f.ObjectiveMode != "" {
+		cfg.ObjectiveMode = f.ObjectiveMode
+	}
+	if f.TCO != nil {
+		cfg.TCO = *f.TCO
+	}
 	if f.ChipletCounts != nil {
 		cfg.ChipletCounts = f.ChipletCounts
 	}
@@ -276,6 +292,8 @@ func Save(w io.Writer, cfg org.Config) error {
 		Alpha:             &cfg.Objective.Alpha,
 		Beta:              &cfg.Objective.Beta,
 		ThresholdC:        &cfg.ThresholdC,
+		ObjectiveMode:     cfg.ObjectiveMode,
+		TCO:               &cfg.TCO,
 		ChipletCounts:     cfg.ChipletCounts,
 		InterposerMin:     &cfg.InterposerMinMM,
 		InterposerMax:     &cfg.InterposerMaxMM,

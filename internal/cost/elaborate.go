@@ -1,0 +1,197 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"chiplet25d/internal/floorplan"
+)
+
+// Lane/server elaboration: one lane is one 256-core 2.5D system (or the
+// monolithic 2D baseline at one chiplet) plus its heatsink; a server packs
+// as many lanes as its power budget and chassis allow; TCO amortizes the
+// server over its depreciation and adds energy at PUE. Everything here is
+// pure arithmetic — deterministic, sub-microsecond — so fleet sweeps over
+// thousands of candidates are cheap and content-addressable.
+
+// Infeasibility reasons reported by ServerElab.Reason and carried into
+// audit events.
+const (
+	// ReasonOK marks a feasible elaboration.
+	ReasonOK = "ok"
+	// ReasonHeatsink marks a lane whose workload power exceeds the
+	// heatsink capacity for its chiplet organization.
+	ReasonHeatsink = "heatsink"
+	// ReasonPowerBudget marks a server whose budget cannot power even one
+	// lane.
+	ReasonPowerBudget = "power-budget"
+	// ReasonThermal marks a lane rejected by a thermal-engine peak check
+	// (assigned by callers that refine feasibility with a predictor; the
+	// analytic elaboration never produces it).
+	ReasonThermal = "thermal"
+)
+
+// LaneDesign is one candidate fleet design point: how the 256-core
+// system's silicon is organized per lane and what the workload draws.
+type LaneDesign struct {
+	// Chiplets is the chiplet count; must be a perfect square. One chiplet
+	// is the monolithic 2D baseline (no interposer, no bonding).
+	Chiplets int
+	// InterposerEdgeMM is the square interposer edge; zero selects the
+	// smallest edge that fits the chiplets plus guard bands. Ignored for
+	// the monolithic baseline.
+	InterposerEdgeMM float64
+	// LanePowerW is the workload's lane power draw at the base node; the
+	// elaboration rescales it by the node's PowerScale.
+	LanePowerW float64
+	// LaneGIPS is the lane throughput (node-independent: same cores, same
+	// operating point).
+	LaneGIPS float64
+}
+
+// ServerElab is one fully elaborated server design.
+type ServerElab struct {
+	// Node is the resolved tech-node name.
+	Node string `json:"node"`
+	// Chiplets is the per-lane chiplet count.
+	Chiplets int `json:"chiplets"`
+	// ChipletAreaMM2 is the node-scaled area of one chiplet.
+	ChipletAreaMM2 float64 `json:"chiplet_area_mm2"`
+	// InterposerEdgeMM is the resolved interposer edge (zero for the
+	// monolithic baseline).
+	InterposerEdgeMM float64 `json:"interposer_edge_mm"`
+	// LanePowerW is the node-scaled workload power per lane.
+	LanePowerW float64 `json:"lane_power_w"`
+	// MaxLanePowerW is the heatsink capacity for this organization.
+	MaxLanePowerW float64 `json:"max_lane_power_w"`
+	// LaneGIPS is the per-lane throughput.
+	LaneGIPS float64 `json:"lane_gips"`
+	// SiliconUSD is the manufactured silicon cost per lane (Eqs. (1)-(4)).
+	SiliconUSD float64 `json:"silicon_usd"`
+	// HeatsinkUSD is the per-lane heatsink cost.
+	HeatsinkUSD float64 `json:"heatsink_usd"`
+	// LanesPerServer is the packed lane count (0 when infeasible).
+	LanesPerServer int `json:"lanes_per_server"`
+	// ServerPowerW is the server draw: lanes plus overhead.
+	ServerPowerW float64 `json:"server_power_w"`
+	// ServerUSD is the server capex: overhead + PSU + lanes.
+	ServerUSD float64 `json:"server_usd"`
+	// CapexUSDPerYear is ServerUSD amortized over the depreciation.
+	CapexUSDPerYear float64 `json:"capex_usd_per_year"`
+	// EnergyUSDPerYear is the annual energy bill at PUE.
+	EnergyUSDPerYear float64 `json:"energy_usd_per_year"`
+	// TCOUSDPerYear is capex + energy.
+	TCOUSDPerYear float64 `json:"tco_usd_per_year"`
+	// ServerGIPS is the server throughput.
+	ServerGIPS float64 `json:"server_gips"`
+	// TCOPerGIPSYear is the objective: annual dollars per sustained GIPS.
+	// Zero when infeasible (never ±Inf, so the struct is JSON-safe).
+	TCOPerGIPSYear float64 `json:"tco_per_gips_year"`
+	// Feasible reports whether the design survived the heatsink and
+	// power-budget checks.
+	Feasible bool `json:"feasible"`
+	// Reason is ReasonOK or the first failed check.
+	Reason string `json:"reason"`
+}
+
+// ElaborateServer elaborates one lane design into a full server TCO under
+// the given manufacturing and datacenter constants. Geometry or parameter
+// errors return a non-nil error; designs that are merely infeasible
+// (heatsink or power budget) return Feasible=false with the costs of the
+// rejected design filled in.
+func (t TCOParams) ElaborateServer(p Params, lane LaneDesign) (ServerElab, error) {
+	if err := t.Validate(); err != nil {
+		return ServerElab{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return ServerElab{}, err
+	}
+	nd, err := NodeByName(t.Node)
+	if err != nil {
+		return ServerElab{}, err
+	}
+	n := lane.Chiplets
+	r := int(math.Round(math.Sqrt(float64(n))))
+	if n < 1 || r*r != n {
+		return ServerElab{}, fmt.Errorf("cost: chiplet count %d is not a perfect square", n)
+	}
+	if lane.LanePowerW <= 0 || lane.LaneGIPS <= 0 {
+		return ServerElab{}, fmt.Errorf("cost: lane power and throughput must be positive")
+	}
+	np := p.AtNode(nd)
+	totalAreaMM2 := floorplan.ChipEdgeMM * floorplan.ChipEdgeMM * nd.AreaScale
+	chipletAreaMM2 := totalAreaMM2 / float64(n)
+	chipletEdgeMM := math.Sqrt(chipletAreaMM2)
+
+	e := ServerElab{
+		Node:           nd.Name,
+		Chiplets:       n,
+		ChipletAreaMM2: chipletAreaMM2,
+		LanePowerW:     lane.LanePowerW * nd.PowerScale,
+		LaneGIPS:       lane.LaneGIPS,
+		Reason:         ReasonOK,
+	}
+
+	if n == 1 {
+		e.SiliconUSD = np.CMOSDieCost(chipletAreaMM2)
+	} else {
+		minEdge := float64(r)*chipletEdgeMM + 2*floorplan.GuardBandMM
+		edge := lane.InterposerEdgeMM
+		if edge == 0 {
+			edge = minEdge
+		}
+		if edge < minEdge {
+			return ServerElab{}, fmt.Errorf("cost: interposer edge %.3f mm below the %.3f mm minimum for %d chiplets", edge, minEdge, n)
+		}
+		if edge > floorplan.MaxInterposerEdgeMM {
+			return ServerElab{}, fmt.Errorf("cost: interposer edge %.3f mm above the %.0f mm maximum", edge, floorplan.MaxInterposerEdgeMM)
+		}
+		e.InterposerEdgeMM = edge
+		e.SiliconUSD = np.System25DCost(n, chipletAreaMM2, edge*edge)
+	}
+	e.MaxLanePowerW = t.Heatsink.MaxLanePowerW(n, chipletAreaMM2)
+	e.HeatsinkUSD = t.Heatsink.CostUSD(n, chipletAreaMM2)
+
+	if e.LanePowerW > e.MaxLanePowerW {
+		e.Reason = ReasonHeatsink
+		return e, nil
+	}
+	lanes := int((t.ServerPowerBudgetW - t.ServerOverheadW) / e.LanePowerW)
+	if lanes > t.MaxLanesPerServer {
+		lanes = t.MaxLanesPerServer
+	}
+	if lanes < 1 {
+		e.Reason = ReasonPowerBudget
+		return e, nil
+	}
+	e.Feasible = true
+	e.LanesPerServer = lanes
+	e.ServerPowerW = float64(lanes)*e.LanePowerW + t.ServerOverheadW
+	e.ServerUSD = t.ServerOverheadUSD + t.PSUUSDPerW*e.ServerPowerW +
+		float64(lanes)*(e.SiliconUSD+e.HeatsinkUSD)
+	e.CapexUSDPerYear = e.ServerUSD / t.DepreciationYears
+	e.EnergyUSDPerYear = e.ServerPowerW * t.PUE * HoursPerYear * t.EnergyUSDPerKWH / 1000
+	e.TCOUSDPerYear = e.CapexUSDPerYear + e.EnergyUSDPerYear
+	e.ServerGIPS = float64(lanes) * e.LaneGIPS
+	e.TCOPerGIPSYear = e.TCOUSDPerYear / e.ServerGIPS
+	return e, nil
+}
+
+// SweepChiplets elaborates the lane design at each chiplet count (the
+// design's Chiplets and InterposerEdgeMM fields are overridden; the
+// interposer floats to its per-count minimum). Hard errors abort the
+// sweep; infeasible designs are returned with Feasible=false.
+func (t TCOParams) SweepChiplets(p Params, lane LaneDesign, counts []int) ([]ServerElab, error) {
+	out := make([]ServerElab, 0, len(counts))
+	for _, n := range counts {
+		l := lane
+		l.Chiplets = n
+		l.InterposerEdgeMM = 0
+		e, err := t.ElaborateServer(p, l)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

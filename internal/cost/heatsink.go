@@ -1,0 +1,106 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// Heatsink feasibility model for one server lane (one 2.5D system plus its
+// air-cooled heatsink), in the asic-cloud elaboration style: a candidate
+// lane design is feasible only if the power its workload dissipates fits
+// under the heatsink's capacity, and that capacity depends on how the
+// silicon is organized. Splitting one die into n spaced chiplets lowers the
+// spreading resistance into the sink base — each chiplet couples into a
+// fringe of base area beyond its own footprint — so the maximum
+// dissipatable power per lane is non-decreasing in chiplet count. This is
+// the fleet-level analog of the paper's dark-silicon reclamation: the same
+// silicon, reorganized, is allowed to burn more watts.
+//
+// The capacity model is a two-resistance series stack:
+//
+//	T_case - T_ambient = P·R_sink + (P/n)·R_spread / A_eff(one chiplet)
+//
+// where R_sink (°C/W) is the bulk fin-to-air resistance of the lane's
+// heatsink, R_spread (°C·cm²/W) is the area-normalized TIM + base
+// spreading resistance, and A_eff = (√A_chiplet + 2·f)² is the chiplet
+// footprint grown by the fringe half-width f (cm) on every side. Solving
+// for P at T_case = MaxCaseC gives MaxLanePowerW.
+type HeatsinkParams struct {
+	// MaxCaseC is the maximum allowed case (heat-spreader) temperature, °C.
+	MaxCaseC float64 `json:"max_case_c"`
+	// AmbientC is the inlet air temperature, °C.
+	AmbientC float64 `json:"ambient_c"`
+	// SinkRCPerW is the bulk fin-to-air thermal resistance, °C/W.
+	SinkRCPerW float64 `json:"sink_rc_per_w"`
+	// SpreadRCCM2PerW is the area-normalized TIM + base spreading
+	// resistance, °C·cm²/W, divided by the total effective footprint of the
+	// lane's chiplets.
+	SpreadRCCM2PerW float64 `json:"spread_rc_cm2_per_w"`
+	// FringeCM is the half-width (cm) of base area beyond a chiplet's own
+	// footprint that still conducts its heat — the mechanism by which more,
+	// smaller, spaced chiplets see a lower spreading resistance.
+	FringeCM float64 `json:"fringe_cm"`
+	// BaseCostUSD is the fixed cost of one lane heatsink.
+	BaseCostUSD float64 `json:"base_cost_usd"`
+	// CostUSDPerW is the marginal heatsink cost per watt of capacity
+	// (bigger fins, better TIM).
+	CostUSDPerW float64 `json:"cost_usd_per_w"`
+}
+
+// DefaultHeatsink returns a forced-air server heatsink: 40 °C of headroom
+// over a 45 °C inlet, 0.12 °C/W fins, and a spreading term that caps a
+// monolithic 18x18 mm die near 255 W but lets a 16-chiplet split of the
+// same silicon approach 308 W.
+func DefaultHeatsink() HeatsinkParams {
+	return HeatsinkParams{
+		MaxCaseC:        85,
+		AmbientC:        45,
+		SinkRCPerW:      0.12,
+		SpreadRCCM2PerW: 0.25,
+		FringeCM:        0.4,
+		BaseCostUSD:     10,
+		CostUSDPerW:     0.05,
+	}
+}
+
+// Validate checks the parameters.
+func (h HeatsinkParams) Validate() error {
+	for _, v := range []float64{h.MaxCaseC, h.AmbientC, h.SinkRCPerW,
+		h.SpreadRCCM2PerW, h.FringeCM, h.BaseCostUSD, h.CostUSDPerW} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("cost: heatsink parameter not finite")
+		}
+	}
+	if h.MaxCaseC <= h.AmbientC {
+		return fmt.Errorf("cost: heatsink MaxCaseC must exceed AmbientC")
+	}
+	if h.SinkRCPerW <= 0 {
+		return fmt.Errorf("cost: heatsink SinkRCPerW must be positive")
+	}
+	if h.SpreadRCCM2PerW < 0 || h.FringeCM < 0 {
+		return fmt.Errorf("cost: heatsink spreading parameters must be non-negative")
+	}
+	if h.BaseCostUSD < 0 || h.CostUSDPerW < 0 {
+		return fmt.Errorf("cost: heatsink costs must be non-negative")
+	}
+	return nil
+}
+
+// MaxLanePowerW returns the maximum power (W) one lane of n chiplets, each
+// of the given area (mm²), can dissipate with the case held at MaxCaseC.
+// Non-decreasing in both chiplet count and chiplet area.
+func (h HeatsinkParams) MaxLanePowerW(n int, chipletAreaMM2 float64) float64 {
+	if n < 1 || chipletAreaMM2 <= 0 {
+		return 0
+	}
+	edgeCM := math.Sqrt(chipletAreaMM2) / 10
+	aEff := (edgeCM + 2*h.FringeCM) * (edgeCM + 2*h.FringeCM)
+	r := h.SinkRCPerW + h.SpreadRCCM2PerW/(float64(n)*aEff)
+	return (h.MaxCaseC - h.AmbientC) / r
+}
+
+// CostUSD returns the cost of a heatsink sized for the given lane: the fixed
+// base plus the per-watt capacity term.
+func (h HeatsinkParams) CostUSD(n int, chipletAreaMM2 float64) float64 {
+	return h.BaseCostUSD + h.CostUSDPerW*h.MaxLanePowerW(n, chipletAreaMM2)
+}

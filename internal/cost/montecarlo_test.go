@@ -1,0 +1,81 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+// TestYieldQuantilesDeterministic is the deflake guard: the block-seeded
+// sampler promises bit-identical quantiles at any worker count for the
+// same seed — the same contract the parallel search keeps (serial ≡
+// parallel). Run under -race in CI.
+func TestYieldQuantilesDeterministic(t *testing.T) {
+	p := DefaultParams()
+	probs := []float64{0, 0.05, 0.5, 0.95, 1}
+	refQ, refMean, err := p.YieldQuantiles(324, 64, 1, 42, probs)
+	if err != nil {
+		t.Fatalf("serial YieldQuantiles: %v", err)
+	}
+	for _, workers := range []int{2, 3, 7, 16, 64, 100} {
+		q, mean, err := p.YieldQuantiles(324, 64, workers, 42, probs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if mean != refMean {
+			t.Fatalf("workers=%d: mean %v != serial %v", workers, mean, refMean)
+		}
+		for i := range q {
+			if q[i] != refQ[i] {
+				t.Fatalf("workers=%d: quantile p=%g: %v != serial %v", workers, probs[i], q[i], refQ[i])
+			}
+		}
+	}
+	// A different seed must actually change the draw (the guard is not
+	// vacuously comparing constants).
+	q2, _, err := p.YieldQuantiles(324, 64, 4, 43, probs)
+	if err != nil {
+		t.Fatalf("seed 43: %v", err)
+	}
+	same := true
+	for i := range q2 {
+		if q2[i] != refQ[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("seed 43 reproduced seed 42's quantiles exactly")
+	}
+	// Quantiles are ordered and the extremes bracket the mean.
+	for i := 1; i < len(refQ); i++ {
+		if refQ[i] < refQ[i-1] {
+			t.Fatalf("quantiles not monotone: %v", refQ)
+		}
+	}
+	if refMean < refQ[0] || refMean > refQ[len(refQ)-1] {
+		t.Fatalf("mean %v outside quantile range %v", refMean, refQ)
+	}
+	// And the median sits near the analytic yield.
+	if want := p.CMOSYield(324); math.Abs(refQ[2]-want) > 0.02 {
+		t.Fatalf("median %v far from analytic yield %v", refQ[2], want)
+	}
+}
+
+func TestYieldQuantilesErrors(t *testing.T) {
+	p := DefaultParams()
+	if _, _, err := p.YieldQuantiles(0, 8, 2, 1, nil); err == nil {
+		t.Errorf("zero area must error")
+	}
+	if _, _, err := p.YieldQuantiles(81, 0, 2, 1, nil); err == nil {
+		t.Errorf("zero blocks must error")
+	}
+	if _, _, err := p.YieldQuantiles(81, 8, 2, 1, []float64{1.5}); err == nil {
+		t.Errorf("out-of-range probability must error")
+	}
+	if _, _, err := p.YieldQuantiles(81, 8, 2, 1, []float64{math.NaN()}); err == nil {
+		t.Errorf("NaN probability must error")
+	}
+	// workers < 1 is clamped, not an error.
+	if _, _, err := p.YieldQuantiles(81, 4, 0, 1, []float64{0.5}); err != nil {
+		t.Errorf("workers=0 should clamp to 1: %v", err)
+	}
+}

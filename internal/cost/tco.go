@@ -1,0 +1,151 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// Datacenter TCO model on top of the Eqs. (1)-(4) manufacturing costs, in
+// the asic-cloud elaboration style: die yield and cost per tech node →
+// heatsink feasibility → lanes packed per server → capex amortization plus
+// energy at PUE → a $/throughput objective the organizer can optimize
+// instead of Eq. (5).
+
+// HoursPerYear is the mean Gregorian year in hours, used to annualize
+// energy cost.
+const HoursPerYear = 8766.0
+
+// TechNode describes one process node as scale factors relative to the
+// base Params (the paper's Table II node, labelled "45nm"): newer nodes
+// shrink area and power for the same 256-core logic but cost more per
+// wafer and start at a higher defect density.
+type TechNode struct {
+	// Name is the stable identifier ("45nm", "28nm", "16nm", "7nm").
+	Name string
+	// WaferCostScale multiplies Params.CMOSWaferCost.
+	WaferCostScale float64
+	// D0Scale multiplies Params.D0PerCM2.
+	D0Scale float64
+	// AreaScale multiplies die area for the same logic.
+	AreaScale float64
+	// PowerScale multiplies power for the same logic at the same
+	// performance.
+	PowerScale float64
+}
+
+// Nodes returns the built-in tech-node table, oldest first. The "45nm"
+// entry is the identity (the paper's own node); the scaling ratios for the
+// newer nodes are representative industry trajectories, chosen fixed and
+// documented rather than fitted, so sweeps across nodes are deterministic.
+func Nodes() []TechNode {
+	return []TechNode{
+		{Name: "45nm", WaferCostScale: 1.0, D0Scale: 1.0, AreaScale: 1.0, PowerScale: 1.0},
+		{Name: "28nm", WaferCostScale: 1.3, D0Scale: 1.2, AreaScale: 0.52, PowerScale: 0.65},
+		{Name: "16nm", WaferCostScale: 1.8, D0Scale: 1.6, AreaScale: 0.27, PowerScale: 0.42},
+		{Name: "7nm", WaferCostScale: 2.8, D0Scale: 2.2, AreaScale: 0.14, PowerScale: 0.28},
+	}
+}
+
+// NodeByName returns the named tech node; the empty name aliases the base
+// "45nm" identity node.
+func NodeByName(name string) (TechNode, error) {
+	if name == "" {
+		name = "45nm"
+	}
+	for _, nd := range Nodes() {
+		if nd.Name == name {
+			return nd, nil
+		}
+	}
+	return TechNode{}, fmt.Errorf("cost: unknown tech node %q", name)
+}
+
+// AtNode returns the cost parameters rescaled to the given node.
+func (p Params) AtNode(nd TechNode) Params {
+	p.CMOSWaferCost *= nd.WaferCostScale
+	p.D0PerCM2 *= nd.D0Scale
+	return p
+}
+
+// TCOParams are the server/datacenter elaboration constants. The zero
+// value is invalid; start from DefaultTCOParams. All fields carry JSON
+// tags so the struct can sit verbatim in a search-configuration file —
+// and therefore in the search cache key: unlike wall-clock knobs, every
+// TCO constant changes which organization wins.
+type TCOParams struct {
+	// Node selects the tech node ("" = the base "45nm").
+	Node string `json:"node,omitempty"`
+	// Heatsink is the per-lane heatsink feasibility model.
+	Heatsink HeatsinkParams `json:"heatsink"`
+	// ServerOverheadUSD is the per-server cost of everything that is not a
+	// lane: chassis, motherboard, NIC, assembly.
+	ServerOverheadUSD float64 `json:"server_overhead_usd"`
+	// ServerOverheadW is the constant per-server power draw (fans, NIC,
+	// board losses) independent of lane count.
+	ServerOverheadW float64 `json:"server_overhead_w"`
+	// PSUUSDPerW is the power-delivery cost per watt of server power.
+	PSUUSDPerW float64 `json:"psu_usd_per_w"`
+	// MaxLanesPerServer bounds how many lanes fit mechanically.
+	MaxLanesPerServer int `json:"max_lanes_per_server"`
+	// ServerPowerBudgetW bounds total server power (PSU + rack feed).
+	ServerPowerBudgetW float64 `json:"server_power_budget_w"`
+	// PUE is the datacenter power usage effectiveness multiplier applied
+	// to server power when billing energy.
+	PUE float64 `json:"pue"`
+	// EnergyUSDPerKWH is the electricity price.
+	EnergyUSDPerKWH float64 `json:"energy_usd_per_kwh"`
+	// DepreciationYears amortizes server capex into $/year.
+	DepreciationYears float64 `json:"depreciation_years"`
+}
+
+// DefaultTCOParams returns a representative air-cooled datacenter: 2 kW
+// 10-lane servers, PUE 1.25, $0.10/kWh, 3-year straight-line depreciation.
+func DefaultTCOParams() TCOParams {
+	return TCOParams{
+		Heatsink:           DefaultHeatsink(),
+		ServerOverheadUSD:  1200,
+		ServerOverheadW:    60,
+		PSUUSDPerW:         0.15,
+		MaxLanesPerServer:  10,
+		ServerPowerBudgetW: 2000,
+		PUE:                1.25,
+		EnergyUSDPerKWH:    0.10,
+		DepreciationYears:  3,
+	}
+}
+
+// Validate checks the parameters, including the node name.
+func (t TCOParams) Validate() error {
+	if _, err := NodeByName(t.Node); err != nil {
+		return err
+	}
+	if err := t.Heatsink.Validate(); err != nil {
+		return err
+	}
+	for _, v := range []float64{t.ServerOverheadUSD, t.ServerOverheadW,
+		t.PSUUSDPerW, t.ServerPowerBudgetW, t.PUE, t.EnergyUSDPerKWH,
+		t.DepreciationYears} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("cost: TCO parameter not finite")
+		}
+	}
+	if t.ServerOverheadUSD < 0 || t.ServerOverheadW < 0 || t.PSUUSDPerW < 0 {
+		return fmt.Errorf("cost: server overheads must be non-negative")
+	}
+	if t.MaxLanesPerServer < 1 {
+		return fmt.Errorf("cost: MaxLanesPerServer must be at least 1")
+	}
+	if t.ServerPowerBudgetW <= 0 {
+		return fmt.Errorf("cost: ServerPowerBudgetW must be positive")
+	}
+	if t.PUE < 1 {
+		return fmt.Errorf("cost: PUE must be at least 1")
+	}
+	if t.EnergyUSDPerKWH < 0 {
+		return fmt.Errorf("cost: EnergyUSDPerKWH must be non-negative")
+	}
+	if t.DepreciationYears <= 0 {
+		return fmt.Errorf("cost: DepreciationYears must be positive")
+	}
+	return nil
+}

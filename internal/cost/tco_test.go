@@ -1,0 +1,217 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+// The TCO elaboration goldens below are computed by hand from the inline
+// formulas (independent arithmetic, not a call back into this package) at
+// DefaultParams/DefaultTCOParams, 45nm, n = 4 chiplets on the minimum
+// 20 mm interposer, lane power 220 W, lane throughput 180 GIPS:
+//
+//	chiplet area   324/4 = 81 mm², edge 9 mm
+//	CMOS die cost  5000 / (DPW(300,81) · (1+81·0.0025/3)⁻³)   = 7.61614729688
+//	interposer     500 / (DPW(300,400) · 0.98)                = 3.55808308029
+//	lane silicon   (4·(7.61614729688+0.2)+3.55808308029)/0.99⁴ = 36.2511106702
+//	heatsink cap   40 / (0.12 + 0.25/(4·(0.9+0.8)²))          = 282.433422917 W
+//	heatsink cost  10 + 0.05·282.433422917                    = 24.1216711459
+//	lanes          floor((2000−60)/220) = 8; server 8·220+60  = 1820 W
+//	server capex   1200 + 0.15·1820 + 8·(36.2511…+24.1216…)   = 1955.98225453
+//	capex/yr       /3                                         = 651.994084843
+//	energy/yr      1820 · 1.25 · 8766 · 0.10 / 1000           = 1994.265
+//	TCO/yr         651.994084843 + 1994.265                   = 2646.25908484
+//	$/GIPS·yr      2646.25908484 / (8·180)                    = 1.83767992003
+//
+// Compared with relClose (1e-9 relative), same as the Eq. (1)-(4) goldens.
+
+func TestElaborateServerGolden(t *testing.T) {
+	e, err := DefaultTCOParams().ElaborateServer(DefaultParams(),
+		LaneDesign{Chiplets: 4, LanePowerW: 220, LaneGIPS: 180})
+	if err != nil {
+		t.Fatalf("ElaborateServer: %v", err)
+	}
+	check := func(name string, got, want float64) {
+		t.Helper()
+		if !relClose(got, want) {
+			t.Errorf("%s = %.12g, want %.12g", name, got, want)
+		}
+	}
+	if !e.Feasible || e.Reason != ReasonOK {
+		t.Fatalf("elaboration infeasible: %+v", e)
+	}
+	if e.Node != "45nm" || e.Chiplets != 4 || e.LanesPerServer != 8 {
+		t.Fatalf("wrong shape: node %q chiplets %d lanes %d", e.Node, e.Chiplets, e.LanesPerServer)
+	}
+	check("ChipletAreaMM2", e.ChipletAreaMM2, 81)
+	check("InterposerEdgeMM", e.InterposerEdgeMM, 20)
+	check("SiliconUSD", e.SiliconUSD, 36.2511106702)
+	check("MaxLanePowerW", e.MaxLanePowerW, 282.433422917)
+	check("HeatsinkUSD", e.HeatsinkUSD, 24.1216711459)
+	check("ServerPowerW", e.ServerPowerW, 1820)
+	check("ServerUSD", e.ServerUSD, 1955.98225453)
+	check("CapexUSDPerYear", e.CapexUSDPerYear, 651.994084843)
+	check("EnergyUSDPerYear", e.EnergyUSDPerYear, 1994.265)
+	check("TCOUSDPerYear", e.TCOUSDPerYear, 2646.25908484)
+	check("ServerGIPS", e.ServerGIPS, 1440)
+	check("TCOPerGIPSYear", e.TCOPerGIPSYear, 1.83767992003)
+}
+
+// TestHeatsinkMonotone pins the two monotonicity properties the verify
+// suite leans on: capacity is non-decreasing in chiplet count (same total
+// silicon, more spread) and in chiplet area.
+func TestHeatsinkMonotone(t *testing.T) {
+	h := DefaultHeatsink()
+	total := 324.0
+	prev := 0.0
+	for _, n := range []int{1, 4, 9, 16, 25, 36, 64, 100} {
+		w := h.MaxLanePowerW(n, total/float64(n))
+		if w <= prev {
+			t.Fatalf("capacity not increasing at n=%d: %.6g <= %.6g", n, w, prev)
+		}
+		prev = w
+	}
+	prev = 0
+	for _, a := range []float64{10, 40, 81, 160, 324} {
+		w := h.MaxLanePowerW(4, a)
+		if w <= prev {
+			t.Fatalf("capacity not increasing at area=%g: %.6g <= %.6g", a, w, prev)
+		}
+		prev = w
+	}
+	if h.MaxLanePowerW(0, 81) != 0 || h.MaxLanePowerW(4, 0) != 0 {
+		t.Fatalf("degenerate inputs must cap at zero")
+	}
+}
+
+func TestElaborateInfeasibleReasons(t *testing.T) {
+	p, tco := DefaultParams(), DefaultTCOParams()
+	// 255 W monolithic lane exceeds the n=1 heatsink cap (~254.8 W) but
+	// fits once the silicon is split four ways.
+	mono, err := tco.ElaborateServer(p, LaneDesign{Chiplets: 1, LanePowerW: 255, LaneGIPS: 180})
+	if err != nil {
+		t.Fatalf("monolithic: %v", err)
+	}
+	if mono.Feasible || mono.Reason != ReasonHeatsink {
+		t.Fatalf("monolithic 255 W lane should be heatsink-limited, got %+v", mono)
+	}
+	if mono.TCOPerGIPSYear != 0 || mono.LanesPerServer != 0 {
+		t.Fatalf("infeasible elaboration must not report a TCO: %+v", mono)
+	}
+	split, err := tco.ElaborateServer(p, LaneDesign{Chiplets: 4, LanePowerW: 255, LaneGIPS: 180})
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	if !split.Feasible {
+		t.Fatalf("4-chiplet 255 W lane should be feasible, got %+v", split)
+	}
+	// A lane hotter than the whole budget cannot be powered at all.
+	tight := tco
+	tight.ServerPowerBudgetW = 200
+	tight.Heatsink.SinkRCPerW = 0.01
+	budget, err := tight.ElaborateServer(p, LaneDesign{Chiplets: 4, LanePowerW: 250, LaneGIPS: 180})
+	if err != nil {
+		t.Fatalf("budget: %v", err)
+	}
+	if budget.Feasible || budget.Reason != ReasonPowerBudget {
+		t.Fatalf("expected power-budget rejection, got %+v", budget)
+	}
+}
+
+func TestElaborateErrors(t *testing.T) {
+	p, tco := DefaultParams(), DefaultTCOParams()
+	ok := LaneDesign{Chiplets: 4, LanePowerW: 220, LaneGIPS: 180}
+	cases := []struct {
+		name string
+		tco  TCOParams
+		lane LaneDesign
+	}{
+		{"non-square count", tco, LaneDesign{Chiplets: 6, LanePowerW: 220, LaneGIPS: 180}},
+		{"zero count", tco, LaneDesign{Chiplets: 0, LanePowerW: 220, LaneGIPS: 180}},
+		{"zero power", tco, LaneDesign{Chiplets: 4, LaneGIPS: 180}},
+		{"zero throughput", tco, LaneDesign{Chiplets: 4, LanePowerW: 220}},
+		{"edge below minimum", tco, LaneDesign{Chiplets: 4, InterposerEdgeMM: 19, LanePowerW: 220, LaneGIPS: 180}},
+		{"edge above maximum", tco, LaneDesign{Chiplets: 4, InterposerEdgeMM: 51, LanePowerW: 220, LaneGIPS: 180}},
+		{"unknown node", func() TCOParams { c := tco; c.Node = "3nm"; return c }(), ok},
+		{"bad PUE", func() TCOParams { c := tco; c.PUE = 0.5; return c }(), ok},
+		{"bad depreciation", func() TCOParams { c := tco; c.DepreciationYears = 0; return c }(), ok},
+		{"bad heatsink", func() TCOParams { c := tco; c.Heatsink.SinkRCPerW = 0; return c }(), ok},
+		{"NaN energy price", func() TCOParams { c := tco; c.EnergyUSDPerKWH = math.NaN(); return c }(), ok},
+	}
+	for _, c := range cases {
+		if _, err := c.tco.ElaborateServer(p, c.lane); err == nil {
+			t.Errorf("%s: expected an error", c.name)
+		}
+	}
+}
+
+// TestSweepInteriorOptimum: at the base node with a 220 W lane the
+// $/throughput objective is minimized at an interior chiplet count — the
+// U-shape the search exploits (yield gains beat bonding overhead at first,
+// then bond yield and interposer cost win).
+func TestSweepInteriorOptimum(t *testing.T) {
+	counts := []int{1, 4, 9, 16, 25, 36, 64}
+	elabs, err := DefaultTCOParams().SweepChiplets(DefaultParams(),
+		LaneDesign{LanePowerW: 220, LaneGIPS: 180}, counts)
+	if err != nil {
+		t.Fatalf("SweepChiplets: %v", err)
+	}
+	best := 0
+	for i, e := range elabs {
+		if !e.Feasible {
+			t.Fatalf("n=%d unexpectedly infeasible: %s", e.Chiplets, e.Reason)
+		}
+		if e.TCOPerGIPSYear < elabs[best].TCOPerGIPSYear {
+			best = i
+		}
+	}
+	if best == 0 || best == len(elabs)-1 {
+		t.Fatalf("optimum at the boundary (n=%d); want interior", elabs[best].Chiplets)
+	}
+}
+
+func TestNodeTable(t *testing.T) {
+	if _, err := NodeByName("45nm"); err != nil {
+		t.Fatalf("45nm: %v", err)
+	}
+	if nd, err := NodeByName(""); err != nil || nd.Name != "45nm" {
+		t.Fatalf("empty name must alias 45nm, got %+v, %v", nd, err)
+	}
+	if _, err := NodeByName("90nm"); err == nil {
+		t.Fatalf("unknown node must error")
+	}
+	p := DefaultParams()
+	for _, nd := range Nodes() {
+		np := p.AtNode(nd)
+		if got, want := np.CMOSWaferCost, p.CMOSWaferCost*nd.WaferCostScale; !relClose(got, want) {
+			t.Errorf("%s wafer cost %g want %g", nd.Name, got, want)
+		}
+		if got, want := np.D0PerCM2, p.D0PerCM2*nd.D0Scale; !relClose(got, want) {
+			t.Errorf("%s D0 %g want %g", nd.Name, got, want)
+		}
+	}
+}
+
+func TestTCOParamsValidate(t *testing.T) {
+	if err := DefaultTCOParams().Validate(); err != nil {
+		t.Fatalf("defaults must validate: %v", err)
+	}
+	bad := []func(*TCOParams){
+		func(c *TCOParams) { c.Node = "nope" },
+		func(c *TCOParams) { c.MaxLanesPerServer = 0 },
+		func(c *TCOParams) { c.ServerPowerBudgetW = 0 },
+		func(c *TCOParams) { c.PUE = 0 },
+		func(c *TCOParams) { c.EnergyUSDPerKWH = -1 },
+		func(c *TCOParams) { c.DepreciationYears = -2 },
+		func(c *TCOParams) { c.ServerOverheadUSD = -1 },
+		func(c *TCOParams) { c.ServerOverheadW = math.Inf(1) },
+		func(c *TCOParams) { c.Heatsink.MaxCaseC = 10 },
+	}
+	for i, mutate := range bad {
+		c := DefaultTCOParams()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected a validation error", i)
+		}
+	}
+}

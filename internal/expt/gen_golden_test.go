@@ -6,35 +6,47 @@ import (
 	"testing"
 )
 
+// goldens maps each golden file to the experiment run that produces it.
+// Only fully deterministic (pure-arithmetic) experiments belong here.
+var goldens = map[string]func(Options) (*Table, error){
+	"testdata/fig3a_reduced.golden.csv":    Fig3a,
+	"testdata/tcosweep_reduced.golden.csv": TCOSweep,
+}
+
 // TestGenerateGoldens regenerates the golden files when run with
 // -run TestGenerateGoldens and the UPDATE_GOLDENS environment variable set.
 func TestGenerateGoldens(t *testing.T) {
 	if os.Getenv("UPDATE_GOLDENS") == "" {
 		t.Skip("set UPDATE_GOLDENS=1 to regenerate")
 	}
-	tb, err := Fig3a(Options{Scale: Reduced, Seed: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	f, err := os.Create("testdata/fig3a_reduced.golden.csv")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer f.Close()
-	if err := tb.WriteCSV(f); err != nil {
-		t.Fatal(err)
+	for path, run := range goldens {
+		tb, err := run(Options{Scale: Reduced, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.WriteCSV(f); err != nil {
+			f.Close()
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 
-// The cost model is fully deterministic, so its reduced-scale figure output
-// is pinned to a golden file: any change to Eqs. (1)-(4), Table II
-// constants, or the normalization shows up as a diff.
-func TestFig3aGolden(t *testing.T) {
-	want, err := os.ReadFile("testdata/fig3a_reduced.golden.csv")
+// checkGolden compares the experiment's reduced-scale output byte-for-byte
+// against its pinned golden file.
+func checkGolden(t *testing.T, path string, run func(Options) (*Table, error)) {
+	t.Helper()
+	want, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tb, err := Fig3a(Options{Scale: Reduced, Seed: 1})
+	tb, err := run(Options{Scale: Reduced, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +55,21 @@ func TestFig3aGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	if got.String() != string(want) {
-		t.Fatalf("fig3a output drifted from golden (rerun with UPDATE_GOLDENS=1 if intentional):\n--- got ---\n%s\n--- want ---\n%s",
-			got.String(), want)
+		t.Fatalf("output drifted from %s (rerun with UPDATE_GOLDENS=1 if intentional):\n--- got ---\n%s\n--- want ---\n%s",
+			path, got.String(), want)
 	}
+}
+
+// The cost model is fully deterministic, so its reduced-scale figure output
+// is pinned to a golden file: any change to Eqs. (1)-(4), Table II
+// constants, or the normalization shows up as a diff.
+func TestFig3aGolden(t *testing.T) {
+	checkGolden(t, "testdata/fig3a_reduced.golden.csv", Fig3a)
+}
+
+// The TCO elaboration is pure arithmetic on top of the cost model, so the
+// tech-node sweep is pinned the same way: any change to the yield curves,
+// node scale factors, heatsink model, or server packing shows up as a diff.
+func TestTCOSweepGolden(t *testing.T) {
+	checkGolden(t, "testdata/tcosweep_reduced.golden.csv", TCOSweep)
 }

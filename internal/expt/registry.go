@@ -33,6 +33,7 @@ func Registry() []Experiment {
 		{Name: "fidelity", Description: "Infrastructure: fidelity-tier breakdown, spatial surrogate vs full-fidelity search", Run: FidelityBreakdown},
 		{Name: "sprint", Description: "Extension: computational sprinting, time-to-threshold vs organization", Run: Sprint},
 		{Name: "stacking", Description: "Extension: 2D vs 2.5D vs 3D stacking peak temperature", Run: Stacking},
+		{Name: "tcosweep", Description: "Extension: server TCO elaboration, $/GIPS-year vs chiplet count across tech nodes", Run: TCOSweep},
 		{Name: "tsp", Description: "Extension: Thermal Safe Power curves, single chip vs 2.5D", Run: TSPCurves},
 		{Name: "reliability", Description: "Extension: lifetime gain of iso-performance 2.5D organizations", Run: Reliability},
 		{Name: "ablation-search", Description: "Ablation: greedy vs annealing vs exhaustive search", Run: AblationSearch},

@@ -1,0 +1,65 @@
+package expt
+
+import (
+	"fmt"
+
+	"chiplet25d/internal/cost"
+)
+
+// TCOSweep elaborates the fleet-design space of the TCO objective: for each
+// tech node, a representative 256-core lane (220 W / 180 GIPS at the base
+// node) is organized into every square chiplet count and packed into
+// servers; the table reports the heatsink capacity, per-lane cost, packing,
+// and the $/GIPS-year objective. The elaboration is pure arithmetic —
+// bit-deterministic at any scale — so the reduced output is pinned to a
+// byte-exact golden. The curve is the paper's dark-silicon argument in
+// datacenter units: splitting a lane into more chiplets raises the heatsink
+// capacity (more spread area) and die yield, until interposer and bonding
+// overheads win — the optimum sits at an interior chiplet count.
+func TCOSweep(o Options) (*Table, error) {
+	nodes := []string{"45nm", "28nm", "16nm", "7nm"}
+	counts := []int{1, 4, 9, 16, 25, 36, 64}
+	if o.Scale == Reduced {
+		nodes = []string{"45nm", "7nm"}
+		counts = []int{1, 4, 16, 64}
+	}
+	p := cost.DefaultParams()
+	tp := cost.DefaultTCOParams()
+	lane := cost.LaneDesign{LanePowerW: 220, LaneGIPS: 180}
+	t := &Table{
+		Title: "TCO sweep: $/GIPS-year vs chiplet organization across tech nodes",
+		Columns: []string{"node", "chiplets", "lane_w", "max_lane_w", "silicon_usd",
+			"heatsink_usd", "lanes", "server_usd", "tco_per_gips_year", "status"},
+	}
+	for _, node := range nodes {
+		ntp := tp
+		ntp.Node = node
+		elabs, err := ntp.SweepChiplets(p, lane, counts)
+		if err != nil {
+			return nil, err
+		}
+		best := -1
+		for i, e := range elabs {
+			if e.Feasible && (best < 0 || e.TCOPerGIPSYear < elabs[best].TCOPerGIPSYear) {
+				best = i
+			}
+		}
+		for i, e := range elabs {
+			status := e.Reason
+			if i == best {
+				status = "min"
+			}
+			tcoStr := "-"
+			if e.Feasible {
+				tcoStr = fmt.Sprintf("%.5f", e.TCOPerGIPSYear)
+			}
+			t.AddRow(e.Node, fmt.Sprintf("%d", e.Chiplets), f1(e.LanePowerW),
+				f1(e.MaxLanePowerW), f2(e.SiliconUSD), f2(e.HeatsinkUSD),
+				fmt.Sprintf("%d", e.LanesPerServer), f2(e.ServerUSD), tcoStr, status)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"lane workload fixed at 220 W / 180 GIPS (base node); newer nodes rescale power by their PowerScale",
+		"status 'min' marks each node's $/GIPS-year optimum; heatsink capacity grows with chiplet count (reclaimed dark silicon), die cost falls with yield, interposer+bonding overheads eventually dominate")
+	return t, nil
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"math"
+	"runtime/metrics"
+	"testing"
+	"time"
+)
+
+func TestRuntimeCollectorStats(t *testing.T) {
+	c := NewRuntimeCollector(0) // default ttl
+	s := c.Stats()
+	if s.Goroutines < 1 {
+		t.Errorf("Goroutines = %v, want >= 1", s.Goroutines)
+	}
+	if s.HeapBytes <= 0 {
+		t.Errorf("HeapBytes = %v, want > 0", s.HeapBytes)
+	}
+	if got := len(s.GCPause.Counts); got != len(s.GCPause.Bounds)+1 {
+		t.Errorf("GCPause has %d counts for %d bounds", got, len(s.GCPause.Bounds))
+	}
+	// A second call inside the ttl must serve the cached snapshot.
+	if s2 := c.Stats(); s2.Goroutines != s.Goroutines || s2.GCCycles != s.GCCycles {
+		t.Error("second Stats call within ttl returned a fresh read")
+	}
+}
+
+func TestRuntimeCollectorUnknownMetrics(t *testing.T) {
+	// A collector whose resolved index is empty (as if every runtime metric
+	// were renamed) must degrade to zeros, not panic.
+	c := NewRuntimeCollector(time.Nanosecond)
+	c.idx = map[string]int{}
+	s := c.Stats()
+	if s.Goroutines != 0 || s.GCPause.Count != 0 {
+		t.Errorf("unknown metrics should read as zero, got %+v", s)
+	}
+}
+
+func TestRebucket(t *testing.T) {
+	if got := rebucket(nil); got.Count != 0 {
+		t.Errorf("rebucket(nil).Count = %d", got.Count)
+	}
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{3, 0, 2, 1},
+		Buckets: []float64{math.Inf(-1), 1e-6, 1e-5, 2e-4, math.Inf(+1)},
+	}
+	out := rebucket(h)
+	if out.Count != 6 {
+		t.Fatalf("Count = %d, want 6", out.Count)
+	}
+	// [−Inf,1e-6) lands at the 1e-6 bound (slot 0); [1e-5,2e-4) has upper
+	// edge 2e-4 → first bound >= it is 2.5e-4 (slot 7); [2e-4,+Inf) is
+	// overflow.
+	if out.Counts[0] != 3 || out.Counts[7] != 2 || out.Counts[len(out.Counts)-1] != 1 {
+		t.Errorf("counts misbucketed: %v", out.Counts)
+	}
+	// Infinite-edged buckets contribute their finite edge to Sum, not NaN.
+	if math.IsNaN(out.Sum) || math.IsInf(out.Sum, 0) || out.Sum <= 0 {
+		t.Errorf("Sum = %v", out.Sum)
+	}
+}
+
+func TestContextLogger(t *testing.T) {
+	if Logger(context.Background()) != slog.Default() {
+		t.Error("Logger without a context value should fall back to slog.Default")
+	}
+	lg := slog.New(slog.NewTextHandler(io.Discard, nil))
+	ctx := WithLogger(context.Background(), lg)
+	if Logger(ctx) != lg {
+		t.Error("Logger did not return the context-scoped logger")
+	}
+}

@@ -24,6 +24,9 @@ const (
 	AuditMoveRejected  = "move_rejected"
 	AuditFeasibleFound = "feasible_found"
 	AuditEval          = "eval"
+	// AuditTCOEval is one server TCO elaboration (recorded by serving
+	// layers that answer /v1/cost/tco, not by the search itself).
+	AuditTCOEval = "tco_eval"
 )
 
 // AuditEvent is one entry of the search audit trail. Fields are a union

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"chiplet25d/internal/cost"
 	"chiplet25d/internal/floorplan"
 	"chiplet25d/internal/obs"
 	"chiplet25d/internal/power"
@@ -20,6 +21,9 @@ type combo struct {
 	ips  float64
 	cost float64
 	obj  float64
+	// elab is the server elaboration behind obj under ObjectiveTCO (nil
+	// under Eq. (5)); the winner's copy lands in Organization.TCO.
+	elab *cost.ServerElab
 }
 
 // edges returns the discretized interposer edges for a chiplet count,
@@ -40,22 +44,48 @@ func (s *Searcher) edges(n int) []float64 {
 // faster, then fewer chiplets — a deterministic refinement of the paper's
 // unspecified tie order.
 func (s *Searcher) buildCombos(base Baseline) []combo {
+	tcoMode := s.cfg.ObjectiveMode == ObjectiveTCO
 	var combos []combo
 	for fIdx, op := range power.FrequencySet {
 		for _, p := range power.ActiveCoreCounts {
 			ips := s.cfg.Benchmark.IPS(op, p)
+			// Under ObjectiveTCO the lane draws the a-priori nominal power
+			// of (f, p): deterministic and temperature-independent, so the
+			// ranking never depends on simulation order.
+			laneW := 0.0
+			if tcoMode {
+				laneW = power.TotalNominal(s.cfg.Benchmark.RefCoreW, p, op, s.cfg.Leakage)
+			}
 			for _, n := range s.cfg.ChipletCounts {
 				for _, e := range s.edges(n) {
 					c := s.cfg.CostParams.Cost25DForInterposer(n, e)
 					if s.cfg.MaxNormCost > 0 && c/base.CostUSD > s.cfg.MaxNormCost {
 						continue
 					}
-					obj := s.cfg.Objective.Alpha*base.BestIPS/ips +
-						s.cfg.Objective.Beta*c/base.CostUSD
-					combos = append(combos, combo{
+					cb := combo{
 						fIdx: fIdx, p: p, n: n, edge: e,
-						ips: ips, cost: c, obj: obj,
-					})
+						ips: ips, cost: c,
+					}
+					if tcoMode {
+						elab, err := s.cfg.TCO.ElaborateServer(s.cfg.CostParams, cost.LaneDesign{
+							Chiplets:         n,
+							InterposerEdgeMM: e,
+							LanePowerW:       laneW,
+							LaneGIPS:         ips,
+						})
+						// Geometry errors and heatsink/budget rejections both
+						// remove the combination; the thermal walk never sees
+						// lanes the datacenter could not cool or power.
+						if err != nil || !elab.Feasible {
+							continue
+						}
+						cb.obj = elab.TCOPerGIPSYear
+						cb.elab = &elab
+					} else {
+						cb.obj = s.cfg.Objective.Alpha*base.BestIPS/ips +
+							s.cfg.Objective.Beta*c/base.CostUSD
+					}
+					combos = append(combos, cb)
 				}
 			}
 		}
@@ -145,6 +175,7 @@ func (s *Searcher) optimize(find placementFinder) (Result, error) {
 			NormPerf:     cb.ips / base.BestIPS,
 			NormCost:     cb.cost / base.CostUSD,
 			ObjValue:     cb.obj,
+			TCO:          cb.elab,
 			Placement:    pl,
 		}
 		break

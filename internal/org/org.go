@@ -65,12 +65,36 @@ func (o Objective) Validate() error {
 	return nil
 }
 
+// Objective-mode names for Config.ObjectiveMode.
+const (
+	// ObjectiveEq5 ranks combinations by the paper's Eq. (5) weighted sum
+	// (the default; the empty string aliases it).
+	ObjectiveEq5 = "eq5"
+	// ObjectiveTCO ranks combinations by annual datacenter dollars per
+	// sustained GIPS from the cost.TCOParams server elaboration, with the
+	// heatsink capacity as an additional feasibility filter. The thermal
+	// constraint (Eq. (6)) still gates every candidate.
+	ObjectiveTCO = "tco"
+)
+
 // Config parameterizes one optimization run.
 type Config struct {
 	// Benchmark is the workload being optimized for.
 	Benchmark perf.Benchmark
 	// Objective holds α and β.
 	Objective Objective
+	// ObjectiveMode selects how combinations are ranked: ObjectiveEq5
+	// (default) or ObjectiveTCO. Unlike wall-clock knobs, the mode — and
+	// every TCO constant below — changes which organization wins, so both
+	// are part of a search's cache identity (see serve.searchKey).
+	ObjectiveMode string
+	// TCO parameterizes the datacenter elaboration when ObjectiveMode is
+	// ObjectiveTCO: tech node, heatsink feasibility, lane packing, PUE,
+	// energy price, depreciation. Lane power for the ranking is the
+	// a-priori nominal draw (power.TotalNominal) — deterministic and
+	// temperature-independent — while thermal feasibility stays with the
+	// engine's evaluation ladder.
+	TCO cost.TCOParams
 	// ThresholdC is T_threshold of Eq. (6) (the paper's default is 85 °C).
 	ThresholdC float64
 	// ChipletCounts lists the chiplet counts to consider (paper: {4, 16}).
@@ -172,6 +196,7 @@ func DefaultConfig(b perf.Benchmark) Config {
 		InterposerStepMM: 0.5,
 		Starts:           10,
 		Seed:             1,
+		TCO:              cost.DefaultTCOParams(),
 		SurrogateMarginC: 3,
 		SpatialMarginC:   0,
 		Thermal:          tc,
@@ -190,6 +215,15 @@ func (c Config) Validate() error {
 	}
 	if err := c.Objective.Validate(); err != nil {
 		return err
+	}
+	switch c.ObjectiveMode {
+	case "", ObjectiveEq5:
+	case ObjectiveTCO:
+		if err := c.TCO.Validate(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("org: unknown objective mode %q (want %q or %q)", c.ObjectiveMode, ObjectiveEq5, ObjectiveTCO)
 	}
 	if c.ThresholdC <= c.Thermal.AmbientC {
 		return fmt.Errorf("org: threshold %.1f °C must exceed ambient %.1f °C", c.ThresholdC, c.Thermal.AmbientC)
@@ -256,8 +290,12 @@ type Organization struct {
 	CostUSD float64
 	// NormPerf is IPS / IPS_2D; NormCost is Cost / C_2D.
 	NormPerf, NormCost float64
-	// ObjValue is Eq. (5)'s value.
+	// ObjValue is the configured objective's value: Eq. (5) under
+	// ObjectiveEq5, annual $/GIPS under ObjectiveTCO.
 	ObjValue float64
+	// TCO is the full server elaboration behind ObjValue when the search
+	// ran under ObjectiveTCO; nil otherwise.
+	TCO *cost.ServerElab `json:",omitempty"`
 	// Placement is the concrete geometry.
 	Placement floorplan.Placement
 }

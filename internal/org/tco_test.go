@@ -1,0 +1,130 @@
+package org
+
+import (
+	"testing"
+
+	"chiplet25d/internal/cost"
+	"chiplet25d/internal/power"
+)
+
+func TestObjectiveModeValidate(t *testing.T) {
+	cfg := fastConfig(t, "cholesky")
+	for _, mode := range []string{"", ObjectiveEq5, ObjectiveTCO} {
+		c := cfg
+		c.ObjectiveMode = mode
+		if err := c.Validate(); err != nil {
+			t.Errorf("mode %q: %v", mode, err)
+		}
+	}
+	bad := cfg
+	bad.ObjectiveMode = "dollars"
+	if err := bad.Validate(); err == nil {
+		t.Errorf("unknown mode must fail validation")
+	}
+	bad = cfg
+	bad.ObjectiveMode = ObjectiveTCO
+	bad.TCO.PUE = 0.3
+	if err := bad.Validate(); err == nil {
+		t.Errorf("tco mode must validate TCO params")
+	}
+}
+
+// TestOptimizeTCOMode runs the search under the TCO objective: the winner
+// must carry a feasible server elaboration whose $/GIPS matches ObjValue,
+// respect the heatsink capacity for its organization, and still meet the
+// thermal threshold. It must also be the minimum-TCO combination among all
+// thermally feasible ones the Eq. (5) search would consider — checked
+// indirectly: every strictly cheaper combination in the ranking was tried
+// and rejected, which optimize's first-feasible-wins contract guarantees.
+func TestOptimizeTCOMode(t *testing.T) {
+	cfg := fastConfig(t, "cholesky")
+	cfg.ObjectiveMode = ObjectiveTCO
+	s, err := NewSearcher(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("TCO search found no feasible organization")
+	}
+	best := res.Best
+	if best.TCO == nil {
+		t.Fatal("TCO-mode winner must carry its server elaboration")
+	}
+	e := best.TCO
+	if !e.Feasible || e.Reason != cost.ReasonOK {
+		t.Fatalf("winner elaboration infeasible: %+v", e)
+	}
+	if best.ObjValue != e.TCOPerGIPSYear {
+		t.Fatalf("ObjValue %v != elaboration $/GIPS %v", best.ObjValue, e.TCOPerGIPSYear)
+	}
+	if e.Chiplets != best.N {
+		t.Fatalf("elaboration chiplets %d != winner N %d", e.Chiplets, best.N)
+	}
+	if best.PeakC > cfg.ThresholdC {
+		t.Fatalf("winner violates the thermal threshold: %.2f > %.2f", best.PeakC, cfg.ThresholdC)
+	}
+	laneW := power.TotalNominal(cfg.Benchmark.RefCoreW, best.ActiveCores, best.Op, cfg.Leakage)
+	nd, err := cost.NodeByName(cfg.TCO.Node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := laneW * nd.PowerScale; e.LanePowerW != got {
+		t.Fatalf("elaboration lane power %v != nominal draw %v", e.LanePowerW, got)
+	}
+	if e.LanePowerW > e.MaxLanePowerW {
+		t.Fatalf("winner exceeds heatsink capacity: %v > %v", e.LanePowerW, e.MaxLanePowerW)
+	}
+
+	// The Eq. (5) search over the same configuration must not carry an
+	// elaboration, and its winner may differ.
+	cfg2 := cfg
+	cfg2.ObjectiveMode = ""
+	s2, err := NewSearcher(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := s2.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Best.TCO != nil {
+		t.Fatalf("Eq. (5) winner must not carry a TCO elaboration")
+	}
+}
+
+// TestBuildCombosTCOOrdering: under ObjectiveTCO the combo list is sorted
+// by ascending $/GIPS and every entry passed the heatsink filter.
+func TestBuildCombosTCOOrdering(t *testing.T) {
+	cfg := fastConfig(t, "cholesky")
+	cfg.ObjectiveMode = ObjectiveTCO
+	s, err := NewSearcher(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := s.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	combos := s.buildCombos(base)
+	if len(combos) == 0 {
+		t.Fatal("no TCO combos")
+	}
+	for i, cb := range combos {
+		if cb.elab == nil {
+			t.Fatalf("combo %d missing elaboration", i)
+		}
+		if !cb.elab.Feasible {
+			t.Fatalf("combo %d failed the datacenter filter: %s", i, cb.elab.Reason)
+		}
+		if cb.obj != cb.elab.TCOPerGIPSYear {
+			t.Fatalf("combo %d obj %v != elaboration %v", i, cb.obj, cb.elab.TCOPerGIPSYear)
+		}
+		if i > 0 && cb.obj < combos[i-1].obj {
+			t.Fatalf("combos not sorted at %d: %v < %v", i, cb.obj, combos[i-1].obj)
+		}
+	}
+}

@@ -33,18 +33,21 @@ type BatchItem struct {
 	Solve  *SolveRequest  `json:"solve,omitempty"`
 	Search *SearchRequest `json:"search,omitempty"`
 	Cost   *CostRequest   `json:"cost,omitempty"`
+	TCO    *TCORequest    `json:"tco,omitempty"`
 }
 
 // SweepTemplate generates items server-side: a base request (exactly one of
-// Solve/Search) crossed with every non-empty axis. Solve axes are
+// Solve/Search/TCO) crossed with every non-empty axis. Solve axes are
 // spacing_mm, freq_mhz, cores, benchmarks; search axes are benchmarks,
-// alphas, betas, thresholds_c. Axes of the other kind are rejected rather
-// than ignored, so a typo'd sweep fails loudly.
+// alphas, betas, thresholds_c; TCO axes are tech_nodes, chiplets_per_lane,
+// interposer_mm, lanes_per_server, benchmarks. Axes of another kind are
+// rejected rather than ignored, so a typo'd sweep fails loudly.
 type SweepTemplate struct {
 	Solve  *SolveRequest  `json:"solve,omitempty"`
 	Search *SearchRequest `json:"search,omitempty"`
+	TCO    *TCORequest    `json:"tco,omitempty"`
 
-	// Benchmarks applies to both kinds.
+	// Benchmarks applies to all kinds.
 	Benchmarks []string `json:"benchmarks,omitempty"`
 
 	// Solve axes.
@@ -56,6 +59,13 @@ type SweepTemplate struct {
 	Alphas      []float64 `json:"alphas,omitempty"`
 	Betas       []float64 `json:"betas,omitempty"`
 	ThresholdsC []float64 `json:"thresholds_c,omitempty"`
+
+	// TCO axes: the fleet-sweep cross product (node x organization x
+	// interposer x chassis packing).
+	TechNodes       []string  `json:"tech_nodes,omitempty"`
+	ChipletsPerLane []int     `json:"chiplets_per_lane,omitempty"`
+	InterposerMM    []float64 `json:"interposer_mm,omitempty"`
+	LanesPerServer  []int     `json:"lanes_per_server,omitempty"`
 }
 
 // BatchRequest is the POST /v1/batch payload. Items and Sweep compose: the
@@ -76,7 +86,7 @@ type BatchRequest struct {
 // shared Key.
 type BatchItemResult struct {
 	Index     int             `json:"index"`
-	Kind      string          `json:"kind"` // solve, search, cost
+	Kind      string          `json:"kind"` // solve, search, cost, tco
 	Status    int             `json:"status"`
 	Error     string          `json:"error,omitempty"`
 	Key       string          `json:"key,omitempty"`
@@ -87,6 +97,7 @@ type BatchItemResult struct {
 	Solve     *SolveResponse  `json:"solve,omitempty"`
 	Search    *SearchResponse `json:"search,omitempty"`
 	Cost      *CostResponse   `json:"cost,omitempty"`
+	TCO       *TCOResponse    `json:"tco,omitempty"`
 }
 
 // BatchResponse reports the whole batch. CoalesceHitRatio is the fraction
@@ -108,21 +119,41 @@ type BatchResponse struct {
 // clients can reproduce the server-side expansion (and its item order)
 // exactly.
 func (t *SweepTemplate) Expand() ([]BatchItem, error) {
+	bases := 0
+	for _, set := range []bool{t.Solve != nil, t.Search != nil, t.TCO != nil} {
+		if set {
+			bases++
+		}
+	}
+	if bases != 1 {
+		return nil, fmt.Errorf("sweep: exactly one of solve, search, or tco must be set, got %d", bases)
+	}
+	tcoAxes := len(t.TechNodes) + len(t.ChipletsPerLane) + len(t.InterposerMM) + len(t.LanesPerServer)
 	switch {
-	case t.Solve != nil && t.Search != nil:
-		return nil, fmt.Errorf("sweep: exactly one of solve or search must be set, got both")
 	case t.Solve != nil:
 		if len(t.Alphas)+len(t.Betas)+len(t.ThresholdsC) > 0 {
 			return nil, fmt.Errorf("sweep: alphas/betas/thresholds_c are search axes, but the base is a solve")
+		}
+		if tcoAxes > 0 {
+			return nil, fmt.Errorf("sweep: tech_nodes/chiplets_per_lane/interposer_mm/lanes_per_server are tco axes, but the base is a solve")
 		}
 		return t.expandSolve()
 	case t.Search != nil:
 		if len(t.SpacingMM)+len(t.FreqMHz)+len(t.Cores) > 0 {
 			return nil, fmt.Errorf("sweep: spacing_mm/freq_mhz/cores are solve axes, but the base is a search")
 		}
+		if tcoAxes > 0 {
+			return nil, fmt.Errorf("sweep: tech_nodes/chiplets_per_lane/interposer_mm/lanes_per_server are tco axes, but the base is a search")
+		}
 		return t.expandSearch()
 	default:
-		return nil, fmt.Errorf("sweep: exactly one of solve or search must be set, got neither")
+		if len(t.Alphas)+len(t.Betas)+len(t.ThresholdsC) > 0 {
+			return nil, fmt.Errorf("sweep: alphas/betas/thresholds_c are search axes, but the base is a tco")
+		}
+		if len(t.SpacingMM)+len(t.FreqMHz)+len(t.Cores) > 0 {
+			return nil, fmt.Errorf("sweep: spacing_mm/freq_mhz/cores are solve axes, but the base is a tco")
+		}
+		return t.expandTCO()
 	}
 }
 
@@ -220,6 +251,48 @@ func (t *SweepTemplate) expandSearch() ([]BatchItem, error) {
 	return items, nil
 }
 
+func (t *SweepTemplate) expandTCO() ([]BatchItem, error) {
+	items := []BatchItem{{TCO: t.TCO}}
+	var err error
+	if items, err = cross(items, t.Benchmarks, func(it BatchItem, b string) BatchItem {
+		cp := *it.TCO
+		cp.Benchmark = b
+		return BatchItem{TCO: &cp}
+	}); err != nil {
+		return nil, err
+	}
+	if items, err = cross(items, t.TechNodes, func(it BatchItem, nd string) BatchItem {
+		cp := *it.TCO
+		cp.TechNode = nd
+		return BatchItem{TCO: &cp}
+	}); err != nil {
+		return nil, err
+	}
+	if items, err = cross(items, t.ChipletsPerLane, func(it BatchItem, n int) BatchItem {
+		cp := *it.TCO
+		cp.Chiplets = n
+		return BatchItem{TCO: &cp}
+	}); err != nil {
+		return nil, err
+	}
+	if items, err = cross(items, t.InterposerMM, func(it BatchItem, e float64) BatchItem {
+		cp := *it.TCO
+		cp.InterposerMM = e
+		return BatchItem{TCO: &cp}
+	}); err != nil {
+		return nil, err
+	}
+	if items, err = cross(items, t.LanesPerServer, func(it BatchItem, l int) BatchItem {
+		cp := *it.TCO
+		v := l
+		cp.MaxLanesPerServer = &v
+		return BatchItem{TCO: &cp}
+	}); err != nil {
+		return nil, err
+	}
+	return items, nil
+}
+
 // batchWork is one resolved item: its canonical identity plus the
 // computation to run on a cache miss. Items whose resolution failed carry
 // only err (reported per-item as 400; the rest of the batch still runs).
@@ -236,13 +309,13 @@ type batchWork struct {
 // audit events (nil outside SSE mode).
 func (s *Server) resolveBatchItem(idx int, it BatchItem, notify func(org.AuditEvent)) batchWork {
 	set := 0
-	for _, p := range []bool{it.Solve != nil, it.Search != nil, it.Cost != nil} {
+	for _, p := range []bool{it.Solve != nil, it.Search != nil, it.Cost != nil, it.TCO != nil} {
 		if p {
 			set++
 		}
 	}
 	if set != 1 {
-		return batchWork{index: idx, err: fmt.Errorf("item %d: exactly one of solve, search, or cost must be set", idx)}
+		return batchWork{index: idx, err: fmt.Errorf("item %d: exactly one of solve, search, cost, or tco must be set", idx)}
 	}
 	switch {
 	case it.Solve != nil:
@@ -257,6 +330,16 @@ func (s *Server) resolveBatchItem(idx int, it BatchItem, notify func(org.AuditEv
 			return batchWork{index: idx, kind: "search", err: fmt.Errorf("item %d: %w", idx, err)}
 		}
 		return batchWork{index: idx, kind: "search", key: key, computer: s.searchComputer(cfg, it.Search.Exhaustive, key, notify)}
+	case it.TCO != nil:
+		// TCO items are keyed (not direct like cost items): a fleet sweep
+		// repeats many identical elaborations across its cross product, and
+		// keying them buys intra-batch coalescing, the result cache, and
+		// bit-identity with sequential /v1/cost/tco calls.
+		sp, key, err := s.resolveTCO(it.TCO)
+		if err != nil {
+			return batchWork{index: idx, kind: "tco", err: fmt.Errorf("item %d: %w", idx, err)}
+		}
+		return batchWork{index: idx, kind: "tco", key: key, computer: s.tcoComputer(sp, key)}
 	default:
 		req := it.Cost
 		return batchWork{index: idx, kind: "cost", direct: true, computer: func(context.Context) (any, error) {
@@ -506,6 +589,11 @@ func itemResult(bw batchWork, out *groupOutcome, rep int, batchID string, start 
 		res.Search = &cp
 	case *CostResponse:
 		res.Cost = v
+	case *TCOResponse:
+		cp := *v
+		cp.Cached = out.hit
+		cp.CacheKey = bw.key
+		res.TCO = &cp
 	}
 	return res
 }

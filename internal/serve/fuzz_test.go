@@ -46,6 +46,48 @@ func FuzzSolveRequestDecode(f *testing.F) {
 	})
 }
 
+// FuzzTCORequestDecode exercises the /v1/cost/tco request path up to (but
+// not including) the elaboration: decodeJSON must never panic, and any
+// request that decodes and resolves must produce a stable, well-formed
+// content address — the batch coalescer's bit-identity guarantee rests on
+// that key.
+func FuzzTCORequestDecode(f *testing.F) {
+	f.Add(`{"chiplets":4,"lane_power_w":220,"lane_gips":180}`)
+	f.Add(`{"chiplets":16,"interposer_mm":30,"tech_node":"7nm","lane_power_w":150,"lane_gips":90,"pue":1.1}`)
+	f.Add(`{"chiplets":1,"benchmark":"cholesky","freq_mhz":1000,"cores":256}`)
+	f.Add(`{"chiplets":4,"benchmark":"canneal","freq_mhz":533,"cores":128,"thermal_check":true,"grid_n":16}`)
+	f.Add(`{"chiplets":64,"lane_power_w":100,"lane_gips":50,"max_lanes_per_server":8}`)
+	f.Add(`{"chiplets":0}`)
+	f.Add(`{"chiplets":4,"lane_power_w":-1,"lane_gips":10}`)
+	f.Add(`{"chiplets":4,"lane_power_w":220,"lane_gips":180,"benchmark":"cholesky"}`)
+	f.Add(`{"unknown":true}`)
+	f.Add(`{"chiplets":4,"lane_power_w":220,"lane_gips":180} extra`)
+	f.Fuzz(func(t *testing.T, body string) {
+		httpReq := httptest.NewRequest("POST", "/v1/cost/tco", strings.NewReader(body))
+		var req TCORequest
+		if err := decodeJSON(httpReq, &req); err != nil {
+			return
+		}
+		sp, err := req.resolve(64)
+		if err != nil {
+			return
+		}
+		key := sp.cacheKey()
+		if !strings.HasPrefix(key, "tco:") {
+			t.Fatalf("malformed cache key %q", key)
+		}
+		// Resolving the same decoded request again must address the same
+		// cache entry.
+		sp2, err := req.resolve(64)
+		if err != nil {
+			t.Fatalf("second resolve of an accepted request failed: %v", err)
+		}
+		if k2 := sp2.cacheKey(); k2 != key {
+			t.Fatalf("cache key unstable across resolves: %q vs %q", key, k2)
+		}
+	})
+}
+
 // FuzzSearchRequestDecode exercises the /v1/org/search request path the
 // same way: decode, resolve against the paper defaults, and demand a
 // stable canonical search key for anything accepted.

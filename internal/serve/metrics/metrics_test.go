@@ -291,3 +291,89 @@ func TestOpenMetricsExemplars(t *testing.T) {
 		t.Errorf("0.0.4 exposition leaked exemplars:\n%s", classic.String())
 	}
 }
+
+// TestSnapshotAPI covers the plain-data Snapshot form protocol exporters
+// consume: every family kind must round-trip its state, with labeled
+// children in exposition order.
+func TestSnapshotAPI(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "Plain counter.").Add(2)
+	r.CounterFunc("cf_total", "Callback counter.", func() float64 { return 7 })
+	r.GaugeFunc("g", "Callback gauge.", func() float64 { return 5 })
+	cv := r.CounterVec("cv_total", "Labeled counter.", "k")
+	cv.With("b").Add(3)
+	cv.With("a").Inc()
+	gv := r.GaugeVec("gv", "Labeled gauge.", "k")
+	gv.With("x").Set(9)
+	h := r.Histogram("h_seconds", "Histogram.", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(99)
+	hv := r.HistogramVec("hv_seconds", "Labeled histogram.", []float64{1}, "k")
+	hv.With("y").Observe(2)
+	r.HistogramFunc("hf_seconds", "Callback histogram.", func() HistSnapshot {
+		return HistSnapshot{Bounds: []float64{1, 10}, Counts: []uint64{1, 2, 3}, Sum: 40, Count: 6}
+	})
+
+	byName := map[string]FamilySnapshot{}
+	for _, fs := range r.Snapshot() {
+		byName[fs.Name] = fs
+	}
+	if got := byName["c_total"]; got.Type != "counter" || got.Points[0].Value != 2 {
+		t.Errorf("c_total snapshot: %+v", got)
+	}
+	if got := byName["cf_total"]; got.Type != "counter" || got.Points[0].Value != 7 {
+		t.Errorf("cf_total snapshot: %+v", got)
+	}
+	if got := byName["g"]; got.Points[0].Value != 5 {
+		t.Errorf("g snapshot: %+v", got)
+	}
+	cvs := byName["cv_total"]
+	if len(cvs.Points) != 2 || cvs.Points[0].Labels[0] != [2]string{"k", "a"} ||
+		cvs.Points[0].Value != 1 || cvs.Points[1].Value != 3 {
+		t.Errorf("cv_total snapshot not in exposition order: %+v", cvs.Points)
+	}
+	if got := byName["gv"]; got.Points[0].Value != 9 || got.Points[0].Labels[0] != [2]string{"k", "x"} {
+		t.Errorf("gv snapshot: %+v", got)
+	}
+	hs := byName["h_seconds"].Points[0].Hist
+	if hs == nil || hs.Count != 2 || hs.Sum != 99.5 ||
+		len(hs.Counts) != 3 || hs.Counts[0] != 1 || hs.Counts[2] != 1 {
+		t.Errorf("h_seconds snapshot: %+v", hs)
+	}
+	hvs := byName["hv_seconds"].Points[0]
+	if hvs.Hist == nil || hvs.Hist.Count != 1 || hvs.Labels[0] != [2]string{"k", "y"} {
+		t.Errorf("hv_seconds snapshot: %+v", hvs)
+	}
+	if got := byName["hf_seconds"].Points[0].Hist; got == nil || got.Count != 6 || got.Sum != 40 {
+		t.Errorf("hf_seconds snapshot: %+v", got)
+	}
+}
+
+// TestHistogramFuncExposition covers the callback-histogram text rendering:
+// cumulative buckets from per-bound counts, the +Inf overflow slot, and the
+// le label spliced into empty and non-empty label sets.
+func TestHistogramFuncExposition(t *testing.T) {
+	r := NewRegistry()
+	r.HistogramFunc("pause_seconds", "GC pauses.", func() HistSnapshot {
+		return HistSnapshot{Bounds: []float64{0.1, 1}, Counts: []uint64{2, 3, 1}, Sum: 4.5, Count: 6}
+	})
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`pause_seconds_bucket{le="0.1"} 2`,
+		`pause_seconds_bucket{le="1"} 5`,
+		`pause_seconds_bucket{le="+Inf"} 6`,
+		"pause_seconds_sum 4.5",
+		"pause_seconds_count 6",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if got := mergeLe(`{k="v"}`, "+Inf"); got != `{k="v",le="+Inf"}` {
+		t.Errorf("mergeLe spliced %q", got)
+	}
+}

@@ -31,7 +31,8 @@
 //	POST /v1/thermal/solve  floorplan + workload -> peak temperature/power
 //	POST /v1/org/search     benchmark, threshold, α/β -> best organization
 //	POST /v1/cost           Eqs. (1)-(4) manufacturing cost queries
-//	POST /v1/batch          batched solve/search/cost items + sweep templates
+//	POST /v1/cost/tco       server/datacenter TCO elaboration ($/GIPS-year)
+//	POST /v1/batch          batched solve/search/cost/tco items + sweep templates
 //	GET  /v1/memo/{fp}/{k}  memo peer-fetch (sharding; content-addressed)
 //	GET  /metrics           Prometheus text exposition
 //	GET  /healthz           liveness + build info + uptime
@@ -100,6 +101,12 @@ type Options struct {
 	// contract, winner parity pinned by the verify drift tier), so the tier
 	// changes how much work finds a winner, not which winner is found.
 	SpatialSurrogate bool
+	// TCONode is the default tech node applied to /v1/cost/tco requests
+	// that do not set their own tech_node (empty keeps the base 45nm).
+	// Unlike the wall-clock knobs, the node changes elaborations, so the
+	// resolved node — not the raw request — enters each request's cache
+	// key: two daemons with different defaults never share a stale entry.
+	TCONode string
 	// QueueDepth bounds the admission queue; beyond it requests get 503.
 	QueueDepth int
 	// CacheCapacity bounds the result cache in entries.
@@ -274,6 +281,7 @@ type Server struct {
 	memoServed       *metrics.CounterVec // result: hit, miss (GET /v1/memo)
 	batchItems       *metrics.Counter
 	batchCoalesced   *metrics.Counter
+	tcoEvals         *metrics.CounterVec // fidelity: analytic, spatial
 }
 
 // New assembles a server (not yet listening; use Run, or Handler with your
@@ -412,6 +420,8 @@ func New(opts Options) *Server {
 		"Items received in /v1/batch requests (after sweep expansion).")
 	s.batchCoalesced = s.reg.Counter("chipletd_batch_coalesced_total",
 		"Batch items coalesced onto another item's computation within their batch.")
+	s.tcoEvals = s.reg.CounterVec("chipletd_tco_evals_total",
+		"Fresh server TCO elaborations by fidelity tier (analytic, spatial).", "fidelity")
 	s.reg.CounterFunc("chipletd_eval_peer_hits_total",
 		"Engine memo misses answered by a peer fetch instead of a local simulation.",
 		func() float64 { return float64(s.engines.Stats().PeerHits) })
@@ -435,6 +445,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/thermal/solve", s.instrument("thermal_solve", s.handleSolve))
 	s.mux.HandleFunc("POST /v1/org/search", s.instrument("org_search", s.handleSearch))
 	s.mux.HandleFunc("POST /v1/cost", s.instrument("cost", s.handleCost))
+	s.mux.HandleFunc("POST /v1/cost/tco", s.instrument("cost_tco", s.handleTCO))
 	s.mux.HandleFunc("POST /v1/batch", s.instrument("batch", s.handleBatch))
 	s.mux.HandleFunc("GET /v1/memo/{fp}/{key}", s.instrument("memo_fetch", s.handleMemo))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)

@@ -209,6 +209,29 @@ func Checks() []Check {
 			Run:         checkSpatialSearchParity,
 		},
 		{
+			Name:        "cost/monotonicity",
+			Description: "economic monotonicity laws (yield, die cost, heatsink capacity, TCO knob directions) on seeded random parameter draws",
+			Quick:       true,
+			Run:         checkCostMonotonicity,
+		},
+		{
+			Name:        "cost/interior-optimum",
+			Description: "base-node $/GIPS-year sweep is minimized at an interior chiplet count, with the monolithic baseline heatsink-starved",
+			Quick:       true,
+			Run:         checkCostInteriorOptimum,
+		},
+		{
+			Name:        "cost/golden-elaboration",
+			Description: "one full server elaboration pinned at 12 significant digits, every intermediate asserted",
+			Quick:       true,
+			Run:         checkCostGoldenElaboration,
+		},
+		{
+			Name:        "cost/tco-batch-differential",
+			Description: "1000-candidate fleet sweep via /v1/batch against sequential /v1/cost/tco calls, bit for bit",
+			Run:         checkTCOBatchDifferential,
+		},
+		{
 			Name:        "golden/corpus",
 			Description: "committed end-to-end results: direct solves, leakage-coupled sims, search winners",
 			Run:         checkGoldenCorpus,

@@ -24,7 +24,9 @@
 # the thermal kernel-correctness gate (serial vs parallel bit-equality and
 # the concurrent-solve stress, under -race), the org parallel-search
 # determinism gate (parallel multi-start ≡ serial bit-for-bit over a shared
-# engine, under -race), the warm-solve allocation budget (zero large
+# engine, under -race), the cost Monte Carlo determinism gate (same seed →
+# bit-identical yield quantiles at any worker count, under -race), the
+# warm-solve allocation budget (zero large
 # allocations per steady-state solve), and the multigrid CG-iteration gate
 # (the 64x64 production solve must stay within its committed iteration
 # budget — the machine-independent form of the cold-solve speedup claim).
@@ -75,17 +77,18 @@ go test -race -coverprofile=coverage.out $short ./...
 if [ -z "$short" ]; then
     echo "==> coverage gate"
     # Total statement coverage must not fall below the recorded baseline
-    # (79.5% measured 2026-08; the floor at 78.0% leaves headroom for new
-    # command mains, which are smoke-tested rather than unit-tested).
-    # Per-package numbers are printed by the test run above.
+    # (80.4% measured 2026-08 after the TCO elaborator landed; the floor at
+    # 80.0% leaves headroom for new command mains, which are smoke-tested
+    # rather than unit-tested). Per-package numbers are printed by the test
+    # run above.
     go tool cover -func=coverage.out | awk '
         END {
             sub(/%$/, "", $NF); total = $NF + 0
-            if (total < 78.0) {
-                printf "coverage gate: total %.1f%% below the 78.0%% baseline\n", total > "/dev/stderr"
+            if (total < 80.0) {
+                printf "coverage gate: total %.1f%% below the 80.0%% baseline\n", total > "/dev/stderr"
                 exit 1
             }
-            printf "coverage gate: total %.1f%% >= 78.0%% baseline\n", total
+            printf "coverage gate: total %.1f%% >= 80.0%% baseline\n", total
         }'
 
     echo "==> fuzz smoke (3s per target)"
@@ -98,6 +101,7 @@ if [ -z "$short" ]; then
     go test -fuzz 'FuzzLoadServer' -fuzztime 3s -run '^$' ./internal/config
     go test -fuzz 'FuzzSolveRequestDecode' -fuzztime 3s -run '^$' ./internal/serve
     go test -fuzz 'FuzzSearchRequestDecode' -fuzztime 3s -run '^$' ./internal/serve
+    go test -fuzz 'FuzzTCORequestDecode' -fuzztime 3s -run '^$' ./internal/serve
 fi
 
 echo "==> chipletd daemon smoke (build binary, drive endpoints, SIGTERM drain)"
@@ -176,6 +180,13 @@ echo "==> org package under -race"
 # Cache-friendly form (no -count): reuses the full -race run's cached result
 # when nothing changed, and re-runs the whole package otherwise.
 go test -race ./internal/org/...
+
+echo "==> cost Monte Carlo determinism gate (-race)"
+# The yield/cost quantile simulation promises the same seed produces
+# bit-identical quantiles at any worker count — the property that keeps TCO
+# sweeps memoizable and this suite deflaked. Pin it by name under -race so a
+# scheduling-dependent reduction cannot slip in.
+go test -race -count 1 -run 'TestYieldQuantilesDeterministic' ./internal/cost
 
 echo "==> thermal warm-solve allocation budget"
 # Steady-state serving must not allocate vectors: a warm SolveWarm is
